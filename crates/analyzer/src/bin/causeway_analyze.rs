@@ -1,0 +1,257 @@
+//! `causeway-analyze` — the stand-alone off-line characterization tool.
+//!
+//! Reads a run log in the JSONL format produced by
+//! `causeway_collector::jsonl::write_run` and prints the requested views:
+//!
+//! ```text
+//! causeway_analyze <runlog.jsonl> [--stats] [--dscg] [--latency] [--cpu]
+//!                                 [--ccsg] [--dot] [--lossy] [--max-nodes N]
+//! ```
+//!
+//! With no view flags, `--stats --dscg` is assumed.
+
+use causeway_analyzer::ccsg::Ccsg;
+use causeway_analyzer::cpu::CpuAnalysis;
+use causeway_analyzer::dscg::Dscg;
+use causeway_analyzer::latency::LatencyAnalysis;
+use causeway_analyzer::hotspot;
+use causeway_analyzer::render::{AsciiOptions, ascii_tree, ccsg_xml, dot, sequence_chart};
+use causeway_collector::db::MonitoringDb;
+use causeway_collector::jsonl;
+use std::process::ExitCode;
+
+struct Options {
+    path: String,
+    stats: bool,
+    dscg: bool,
+    latency: bool,
+    cpu: bool,
+    ccsg: bool,
+    dot: bool,
+    chart: bool,
+    hotspots: bool,
+    histogram: bool,
+    lossy: bool,
+    max_nodes: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut options = Options {
+        path: String::new(),
+        stats: false,
+        dscg: false,
+        latency: false,
+        cpu: false,
+        ccsg: false,
+        dot: false,
+        chart: false,
+        hotspots: false,
+        histogram: false,
+        lossy: false,
+        max_nodes: 50,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stats" => options.stats = true,
+            "--dscg" => options.dscg = true,
+            "--latency" => options.latency = true,
+            "--cpu" => options.cpu = true,
+            "--ccsg" => options.ccsg = true,
+            "--dot" => options.dot = true,
+            "--chart" => options.chart = true,
+            "--hotspots" => options.hotspots = true,
+            "--histogram" => options.histogram = true,
+            "--lossy" => options.lossy = true,
+            "--max-nodes" => {
+                options.max_nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-nodes needs a number")?;
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            path => {
+                if !options.path.is_empty() {
+                    return Err("multiple input files given".into());
+                }
+                options.path = path.to_owned();
+            }
+        }
+    }
+    if options.path.is_empty() {
+        return Err("no input file given".into());
+    }
+    if !(options.stats || options.dscg || options.latency || options.cpu || options.ccsg
+        || options.dot || options.chart || options.hotspots || options.histogram)
+    {
+        options.stats = true;
+        options.dscg = true;
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            if message != "help" {
+                eprintln!("error: {message}\n");
+            }
+            eprintln!(
+                "usage: causeway_analyze <runlog.jsonl> [--stats] [--dscg] [--latency] \
+                 [--cpu] [--ccsg] [--dot] [--chart] [--hotspots] [--histogram] [--lossy] [--max-nodes N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = match std::fs::read_to_string(&options.path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", options.path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let run = if options.lossy {
+        match jsonl::read_run_lossy(&text) {
+            Ok((run, skipped)) => {
+                if skipped > 0 {
+                    eprintln!("warning: skipped {skipped} corrupt record lines");
+                }
+                run
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match jsonl::read_run(&text) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("error: {e} (try --lossy for damaged logs)");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let db = MonitoringDb::from_run(run);
+    let dscg = Dscg::build(&db);
+
+    if options.stats {
+        let stats = db.scale_stats();
+        println!("== run statistics ==");
+        println!("records:            {}", stats.total_records);
+        println!("calls:              {}", stats.calls);
+        println!("unique methods:     {}", stats.unique_methods);
+        println!("unique interfaces:  {}", stats.unique_interfaces);
+        println!("unique components:  {}", stats.unique_components);
+        println!("unique objects:     {}", stats.unique_objects);
+        println!("causal chains:      {}", stats.unique_chains);
+        println!("threads:            {}", stats.threads);
+        println!("processes:          {}", stats.processes);
+        println!("dscg trees:         {}", dscg.trees.len());
+        println!("dscg nodes:         {}", dscg.total_nodes());
+        println!("abnormalities:      {}", dscg.abnormalities.len());
+        println!();
+    }
+
+    if options.dscg {
+        println!("== dynamic system call graph ==");
+        print!(
+            "{}",
+            ascii_tree(
+                &dscg,
+                db.vocab(),
+                AsciiOptions {
+                    show_latency: true,
+                    show_site: true,
+                    max_nodes_per_tree: options.max_nodes,
+                }
+            )
+        );
+        println!();
+    }
+
+    if options.latency {
+        println!("== per-method latency ==");
+        let analysis = LatencyAnalysis::compute(&dscg);
+        for ((iface, method), stats) in &analysis.per_method {
+            println!(
+                "{}.{}: n={} mean={:.1}µs min={:.1}µs p50={:.1}µs p95={:.1}µs max={:.1}µs",
+                db.vocab().interface_name(*iface),
+                db.vocab().method_name(*iface, *method),
+                stats.count,
+                stats.mean_ns / 1e3,
+                stats.min_ns as f64 / 1e3,
+                stats.p50_ns as f64 / 1e3,
+                stats.p95_ns as f64 / 1e3,
+                stats.max_ns as f64 / 1e3,
+            );
+        }
+        println!();
+    }
+
+    if options.cpu {
+        println!("== system-wide CPU by processor type ==");
+        let analysis = CpuAnalysis::compute(&dscg, db.deployment());
+        for (cpu_type, ns) in analysis.system_total.iter() {
+            println!(
+                "{}: {:.3} ms",
+                db.vocab().cpu_type_name(cpu_type),
+                ns as f64 / 1e6
+            );
+        }
+        println!();
+    }
+
+    if options.ccsg {
+        let ccsg = Ccsg::build(&dscg, db.deployment());
+        print!("{}", ccsg_xml(&ccsg, db.vocab()));
+    }
+
+    if options.chart {
+        println!("== sequence chart ==");
+        print!("{}", sequence_chart(&dscg, db.vocab(), 100));
+        println!();
+    }
+
+    if options.hotspots {
+        println!("== hotspots (self latency) ==");
+        for ((iface, method), spot) in hotspot::hotspots(&dscg).into_iter().take(15) {
+            println!(
+                "{}.{}: total {:.1}µs across {} calls (max {:.1}µs)",
+                db.vocab().interface_name(iface),
+                db.vocab().method_name(iface, method),
+                spot.total_self_ns as f64 / 1e3,
+                spot.count,
+                spot.max_self_ns as f64 / 1e3,
+            );
+        }
+        println!();
+    }
+
+    if options.histogram {
+        println!("== latency histograms ==");
+        for ((iface, method), hist) in causeway_analyzer::latency::histograms(&dscg) {
+            println!(
+                "{}.{} (n={}):",
+                db.vocab().interface_name(iface),
+                db.vocab().method_name(iface, method),
+                hist.count(),
+            );
+            print!("{}", hist.render());
+            println!();
+        }
+    }
+
+    if options.dot {
+        print!("{}", dot(&dscg, db.vocab()));
+    }
+
+    ExitCode::SUCCESS
+}

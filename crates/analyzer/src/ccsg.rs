@@ -1,0 +1,239 @@
+//! The CPU Consumption Summarization Graph (Figure 6).
+//!
+//! Phase 3 of the CPU characterization: synthesize the per-invocation
+//! self/descendant CPU with the DSCG into an aggregated graph. Nodes with
+//! the same (object, function) under the same aggregated parent are merged;
+//! each CCSG node reports the object identifier, invocation count, the
+//! included function instances, and the summed self and descendant CPU —
+//! the exact fields visible in the paper's XML viewer snapshot.
+
+use crate::cpu::{CpuVector, self_cpu_of};
+use crate::dscg::{CallNode, Dscg};
+use causeway_core::deploy::Deployment;
+use causeway_core::record::FunctionKey;
+use std::collections::BTreeMap;
+
+/// One aggregated node of the CCSG.
+#[derive(Debug, Clone)]
+pub struct CcsgNode {
+    /// The aggregated (interface, method, object).
+    pub func: FunctionKey,
+    /// `InvocationTimes`: how many DSCG nodes were merged here.
+    pub invocation_times: usize,
+    /// `IncludedFunctionInstances`: the chain-local identities of the merged
+    /// instances, as (chain seq of stub-start or skel-start) markers.
+    pub included_instances: Vec<u64>,
+    /// Summed `SelfCPUConsumption`.
+    pub self_cpu: CpuVector,
+    /// Summed `DescendentCPUConsumption`.
+    pub descendant_cpu: CpuVector,
+    /// Aggregated children, keyed by their (interface, method, object).
+    pub children: Vec<CcsgNode>,
+}
+
+impl CcsgNode {
+    /// Total nodes in this aggregated subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(CcsgNode::size).sum::<usize>()
+    }
+}
+
+/// The CPU Consumption Summarization Graph.
+#[derive(Debug, Clone, Default)]
+pub struct Ccsg {
+    /// Aggregated top-level invocations.
+    pub roots: Vec<CcsgNode>,
+    /// System-wide self-CPU total by processor type.
+    pub system_total: CpuVector,
+}
+
+impl Ccsg {
+    /// Builds the CCSG from a DSCG and the deployment's CPU-type map.
+    pub fn build(dscg: &Dscg, deployment: &Deployment) -> Ccsg {
+        let mut builder = Aggregate::default();
+        for tree in &dscg.trees {
+            for root in &tree.roots {
+                builder.absorb(root, deployment);
+            }
+        }
+        let mut system_total = CpuVector::new();
+        let roots = builder.finish(&mut system_total);
+        Ccsg { roots, system_total }
+    }
+
+    /// Total aggregated nodes.
+    pub fn size(&self) -> usize {
+        self.roots.iter().map(CcsgNode::size).sum()
+    }
+}
+
+/// Aggregation scaffold: merges call nodes by function key level by level.
+#[derive(Debug, Default)]
+struct Aggregate {
+    by_func: BTreeMap<FunctionKey, AggregateEntry>,
+}
+
+#[derive(Debug, Default)]
+struct AggregateEntry {
+    invocation_times: usize,
+    included_instances: Vec<u64>,
+    self_cpu: CpuVector,
+    children: Aggregate,
+}
+
+impl Aggregate {
+    fn absorb(&mut self, node: &CallNode, deployment: &Deployment) {
+        let entry = self.by_func.entry(node.func).or_default();
+        entry.invocation_times += 1;
+        let instance_marker = node
+            .stub_start
+            .as_ref()
+            .or(node.skel_start.as_ref())
+            .map(|r| r.seq)
+            .unwrap_or(0);
+        entry.included_instances.push(instance_marker);
+        entry.self_cpu.add_vector(&self_cpu_of(node, deployment));
+        for child in &node.children {
+            entry.children.absorb(child, deployment);
+        }
+    }
+
+    /// Converts the scaffold into CCSG nodes, computing descendant CPU
+    /// bottom-up and accumulating the system-wide self-CPU total.
+    fn finish(self, system_total: &mut CpuVector) -> Vec<CcsgNode> {
+        self.by_func
+            .into_iter()
+            .map(|(func, entry)| {
+                system_total.add_vector(&entry.self_cpu);
+                let children = entry.children.finish(system_total);
+                let mut descendant = CpuVector::new();
+                for child in &children {
+                    descendant.add_vector(&child.self_cpu);
+                    descendant.add_vector(&child.descendant_cpu);
+                }
+                CcsgNode {
+                    func,
+                    invocation_times: entry.invocation_times,
+                    included_instances: entry.included_instances,
+                    self_cpu: entry.self_cpu,
+                    descendant_cpu: descendant,
+                    children,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Formats nanoseconds in the paper's `[second, microsecond]` style.
+pub fn format_sec_usec(ns: u64) -> String {
+    let seconds = ns / 1_000_000_000;
+    let micros = (ns % 1_000_000_000) / 1_000;
+    format!("[{seconds} second, {micros} microsecond]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dscg::CallTree;
+    use causeway_core::event::{CallKind, TraceEvent};
+    use causeway_core::ids::*;
+    use causeway_core::record::{CallSite, ProbeRecord};
+    use causeway_core::uuid::Uuid;
+
+    fn stamped(event: TraceEvent, cpu: (u64, u64)) -> ProbeRecord {
+        ProbeRecord {
+            uuid: Uuid(1),
+            seq: 1,
+            event,
+            kind: CallKind::Sync,
+            site: CallSite {
+                node: NodeId(0),
+                process: ProcessId(0),
+                thread: LogicalThreadId(0),
+            },
+            func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(0)),
+            wall_start: None,
+            wall_end: None,
+            cpu_start: Some(cpu.0),
+            cpu_end: Some(cpu.1),
+            oneway_child: None,
+            oneway_parent: None,
+        }
+    }
+
+    fn leaf(object: u64, self_ns: u64) -> CallNode {
+        let mut node = CallNode {
+            func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(object)),
+            kind: CallKind::Sync,
+            stub_start: Some(stamped(TraceEvent::StubStart, (0, 0))),
+            skel_start: Some(stamped(TraceEvent::SkelStart, (0, 100))),
+            skel_end: Some(stamped(TraceEvent::SkelEnd, (100 + self_ns, 100 + self_ns))),
+            stub_end: Some(stamped(TraceEvent::StubEnd, (0, 0))),
+            children: Vec::new(),
+            complete: true,
+        };
+        node.stub_start.as_mut().unwrap().func = node.func;
+        node
+    }
+
+    fn deployment() -> Deployment {
+        let mut d = Deployment::new();
+        let n = d.add_node("box", CpuTypeId(0));
+        d.add_process("p", n);
+        d
+    }
+
+    #[test]
+    fn repeated_invocations_merge_into_one_ccsg_node() {
+        let trees = vec![
+            CallTree { chain: Uuid(1), roots: vec![leaf(7, 50), leaf(7, 70)] },
+            CallTree { chain: Uuid(2), roots: vec![leaf(7, 30)] },
+        ];
+        let dscg = Dscg { trees, abnormalities: vec![] };
+        let ccsg = Ccsg::build(&dscg, &deployment());
+        assert_eq!(ccsg.roots.len(), 1);
+        let node = &ccsg.roots[0];
+        assert_eq!(node.invocation_times, 3);
+        assert_eq!(node.included_instances.len(), 3);
+        assert_eq!(node.self_cpu.get(CpuTypeId(0)), 150);
+        assert!(node.descendant_cpu.is_zero());
+        assert_eq!(ccsg.system_total.total(), 150);
+    }
+
+    #[test]
+    fn hierarchy_is_preserved_and_descendants_summed() {
+        let mut parent = leaf(1, 100);
+        parent.children.push(leaf(2, 40));
+        parent.children.push(leaf(2, 60));
+        let dscg = Dscg {
+            trees: vec![CallTree { chain: Uuid(1), roots: vec![parent] }],
+            abnormalities: vec![],
+        };
+        let ccsg = Ccsg::build(&dscg, &deployment());
+        assert_eq!(ccsg.roots.len(), 1);
+        let root = &ccsg.roots[0];
+        assert_eq!(root.children.len(), 1, "both child instances merged");
+        assert_eq!(root.children[0].invocation_times, 2);
+        assert_eq!(root.children[0].self_cpu.get(CpuTypeId(0)), 100);
+        assert_eq!(root.descendant_cpu.get(CpuTypeId(0)), 100);
+        assert_eq!(ccsg.size(), 2);
+    }
+
+    #[test]
+    fn distinct_objects_stay_distinct() {
+        let trees = vec![CallTree { chain: Uuid(1), roots: vec![leaf(1, 10), leaf(2, 20)] }];
+        let dscg = Dscg { trees, abnormalities: vec![] };
+        let ccsg = Ccsg::build(&dscg, &deployment());
+        assert_eq!(ccsg.roots.len(), 2);
+    }
+
+    #[test]
+    fn sec_usec_formatting_matches_figure_6() {
+        assert_eq!(format_sec_usec(0), "[0 second, 0 microsecond]");
+        assert_eq!(format_sec_usec(1_500_000), "[0 second, 1500 microsecond]");
+        assert_eq!(
+            format_sec_usec(2_000_456_000),
+            "[2 second, 456 microsecond]"
+        );
+    }
+}

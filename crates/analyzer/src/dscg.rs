@@ -1,0 +1,601 @@
+//! Dynamic System Call Graph reconstruction.
+//!
+//! For each unique Function UUID the analyzer sorts the chain's events by
+//! ascending event number and parses them with the state machine of the
+//! paper's Figure 4. A synchronous invocation contributes the pattern
+//! `F.stub_start … F.skel_start … (children) … F.skel_end … F.stub_end`;
+//! a one-way invocation contributes `F.stub_start F.stub_end` on the parent
+//! chain and `F.skel_start … (children) … F.skel_end` at the head of a fresh
+//! child chain, which is grafted back under its fork site.
+//!
+//! When adjacent records follow none of the legal transitions, the analyzer
+//! "indicates the failure and restarts from the next log record" — each such
+//! failure is reported as an [`Abnormality`].
+
+use causeway_collector::db::MonitoringDb;
+use causeway_core::event::{CallKind, TraceEvent};
+use causeway_core::record::{FunctionKey, ProbeRecord};
+use causeway_core::uuid::Uuid;
+use std::collections::HashMap;
+
+/// One reconstructed invocation in the call graph.
+#[derive(Debug, Clone)]
+pub struct CallNode {
+    /// What was invoked.
+    pub func: FunctionKey,
+    /// How it was invoked.
+    pub kind: CallKind,
+    /// Probe-1 record (client side), when observed.
+    pub stub_start: Option<ProbeRecord>,
+    /// Probe-2 record (server side), when observed.
+    pub skel_start: Option<ProbeRecord>,
+    /// Probe-3 record (server side), when observed.
+    pub skel_end: Option<ProbeRecord>,
+    /// Probe-4 record (client side), when observed.
+    pub stub_end: Option<ProbeRecord>,
+    /// Child invocations in call order (one-way children included after
+    /// grafting).
+    pub children: Vec<CallNode>,
+    /// `false` when the parser had to force-close this invocation (missing
+    /// events — e.g. a crashed process's lost log).
+    pub complete: bool,
+}
+
+impl CallNode {
+    fn new(func: FunctionKey, kind: CallKind) -> CallNode {
+        CallNode {
+            func,
+            kind,
+            stub_start: None,
+            skel_start: None,
+            skel_end: None,
+            stub_end: None,
+            children: Vec::new(),
+            complete: false,
+        }
+    }
+
+    /// Total number of nodes in this subtree (including self).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(CallNode::size).sum::<usize>()
+    }
+
+    /// Depth of this subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(CallNode::depth).max().unwrap_or(0)
+    }
+
+    /// Depth-first pre-order traversal.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a CallNode, usize)) {
+        fn inner<'a>(node: &'a CallNode, depth: usize, f: &mut impl FnMut(&'a CallNode, usize)) {
+            f(node, depth);
+            for child in &node.children {
+                inner(child, depth + 1, f);
+            }
+        }
+        inner(self, 0, f);
+    }
+}
+
+/// One causal chain unfolded into a tree (the paper's `T_i`).
+#[derive(Debug, Clone)]
+pub struct CallTree {
+    /// The chain's Function UUID.
+    pub chain: Uuid,
+    /// Top-level sibling invocations of the chain, in call order.
+    pub roots: Vec<CallNode>,
+}
+
+impl CallTree {
+    /// Total nodes across all roots.
+    pub fn size(&self) -> usize {
+        self.roots.iter().map(CallNode::size).sum()
+    }
+}
+
+/// A reconstruction failure: adjacent records followed none of the legal
+/// Figure-4 transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Abnormality {
+    /// The chain on which the failure occurred.
+    pub chain: Uuid,
+    /// The event number of the offending record (`None` for end-of-stream
+    /// failures such as never-closed invocations).
+    pub at_seq: Option<u64>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The Dynamic System Call Graph: the grouping of every chain's tree.
+#[derive(Debug, Clone, Default)]
+pub struct Dscg {
+    /// Root trees in chain-first-appearance order. One-way child chains are
+    /// grafted under their fork sites and do not appear here separately.
+    pub trees: Vec<CallTree>,
+    /// All reconstruction failures encountered.
+    pub abnormalities: Vec<Abnormality>,
+}
+
+impl Dscg {
+    /// Reconstructs the DSCG from a monitoring database.
+    pub fn build(db: &MonitoringDb) -> Dscg {
+        let mut abnormalities = Vec::new();
+        // Parse every chain independently.
+        let mut parsed: HashMap<Uuid, ParsedChain> = HashMap::new();
+        for &uuid in db.unique_uuids() {
+            let events = db.events_for(uuid);
+            parsed.insert(uuid, parse_chain(uuid, &events, &mut abnormalities));
+        }
+
+        // Graft one-way child chains under their fork sites. A chain is a
+        // child when some stub-start record pointed at it, or when its own
+        // head carried a parent marker.
+        let mut child_chains: HashMap<Uuid, Uuid> = HashMap::new(); // child -> parent
+        for record in db.records() {
+            if let Some(child) = record.oneway_child {
+                child_chains.insert(child, record.uuid);
+            }
+        }
+        for (&uuid, chain) in &parsed {
+            if let Some((parent, _)) = chain.oneway_parent {
+                child_chains.entry(uuid).or_insert(parent);
+            }
+        }
+
+        // Extract child chains from the map so they can be moved into their
+        // parents. Chains forming cycles (corruption) degrade to roots.
+        let mut children_by_id: HashMap<Uuid, ParsedChain> = HashMap::new();
+        for &child in child_chains.keys() {
+            if let Some(chain) = parsed.remove(&child) {
+                children_by_id.insert(child, chain);
+            }
+        }
+
+        // Graft, deepest-first: repeatedly attach child chains whose parent
+        // is already rooted or is itself a pending child.
+        let mut trees: Vec<CallTree> = Vec::new();
+        let mut order: Vec<Uuid> = db
+            .unique_uuids()
+            .iter()
+            .copied()
+            .filter(|u| parsed.contains_key(u))
+            .collect();
+
+        // Build final trees: graft recursively into parsed chains.
+        fn graft_into(
+            node: &mut CallNode,
+            children_by_id: &mut HashMap<Uuid, ParsedChain>,
+            abnormalities: &mut Vec<Abnormality>,
+        ) {
+            // First recurse into existing children.
+            for child in &mut node.children {
+                graft_into(child, children_by_id, abnormalities);
+            }
+            if node.kind == CallKind::Oneway {
+                if let Some(child_id) = node.stub_start.as_ref().and_then(|r| r.oneway_child) {
+                    if let Some(mut chain) = children_by_id.remove(&child_id) {
+                        match chain.roots.len() {
+                            0 => {
+                                // The message never arrived (lost one-way):
+                                // nothing to graft; the node stays skel-less.
+                            }
+                            1 => {
+                                let mut root = chain.roots.pop().expect("len checked");
+                                for grand in &mut root.children {
+                                    graft_into(grand, children_by_id, abnormalities);
+                                }
+                                node.skel_start = root.skel_start;
+                                node.skel_end = root.skel_end;
+                                node.children = root.children;
+                                node.complete = node.complete && root.complete;
+                            }
+                            n => {
+                                abnormalities.push(Abnormality {
+                                    chain: child_id,
+                                    at_seq: None,
+                                    message: format!(
+                                        "one-way child chain has {n} roots, expected 1"
+                                    ),
+                                });
+                                // Keep them all as children of the fork node.
+                                for mut root in chain.roots {
+                                    for grand in &mut root.children {
+                                        graft_into(grand, children_by_id, abnormalities);
+                                    }
+                                    node.children.push(root);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for uuid in order.drain(..) {
+            let mut chain = parsed.remove(&uuid).expect("filtered to parsed chains");
+            for root in &mut chain.roots {
+                graft_into(root, &mut children_by_id, &mut abnormalities);
+            }
+            trees.push(CallTree { chain: uuid, roots: chain.roots });
+        }
+
+        // Orphaned child chains (their fork record was lost): surface them
+        // as their own trees plus an abnormality.
+        let mut orphans: Vec<Uuid> = children_by_id.keys().copied().collect();
+        orphans.sort();
+        for uuid in orphans {
+            let chain = children_by_id.remove(&uuid).expect("key just listed");
+            abnormalities.push(Abnormality {
+                chain: uuid,
+                at_seq: None,
+                message: "one-way child chain without a reachable fork site".into(),
+            });
+            trees.push(CallTree { chain: uuid, roots: chain.roots });
+        }
+
+        Dscg { trees, abnormalities }
+    }
+
+    /// Total invocations across all trees.
+    pub fn total_nodes(&self) -> usize {
+        self.trees.iter().map(CallTree::size).sum()
+    }
+
+    /// Depth-first pre-order traversal over every tree.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a CallNode, usize)) {
+        for tree in &self.trees {
+            for root in &tree.roots {
+                root.walk(f);
+            }
+        }
+    }
+}
+
+struct ParsedChain {
+    roots: Vec<CallNode>,
+    /// Parent marker when this chain began life as a one-way callee.
+    oneway_parent: Option<(Uuid, u64)>,
+}
+
+/// The Figure-4 state machine over one chain's seq-sorted events.
+fn parse_chain(
+    chain: Uuid,
+    events: &[&ProbeRecord],
+    abnormalities: &mut Vec<Abnormality>,
+) -> ParsedChain {
+    let mut roots: Vec<CallNode> = Vec::new();
+    // Stack of open invocations; `usize` indexes into a scratch arena to
+    // avoid fighting the borrow checker with nested `&mut`.
+    let mut arena: Vec<CallNode> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut oneway_parent = None;
+
+    fn close(
+        arena: &mut Vec<CallNode>,
+        stack: &mut Vec<usize>,
+        roots: &mut Vec<CallNode>,
+        complete: bool,
+    ) {
+        let idx = stack.pop().expect("caller checks non-empty");
+        let placeholder = CallNode::new(
+            FunctionKey::new(
+                causeway_core::ids::InterfaceId(u32::MAX),
+                causeway_core::ids::MethodIndex(u16::MAX),
+                causeway_core::ids::ObjectId(u64::MAX),
+            ),
+            CallKind::Sync,
+        );
+        let mut node = std::mem::replace(&mut arena[idx], placeholder);
+        node.complete = complete;
+        match stack.last() {
+            Some(&parent) => arena[parent].children.push(node),
+            None => roots.push(node),
+        }
+    }
+
+    let mut abnormal = |seq: u64, message: String| {
+        abnormalities.push(Abnormality { chain, at_seq: Some(seq), message });
+    };
+
+    for record in events {
+        let top_matches = |arena: &Vec<CallNode>, stack: &Vec<usize>| {
+            stack
+                .last()
+                .map(|&i| arena[i].func == record.func)
+                .unwrap_or(false)
+        };
+        match record.event {
+            TraceEvent::StubStart => {
+                let mut node = CallNode::new(record.func, record.kind);
+                node.stub_start = Some((*record).clone());
+                arena.push(node);
+                stack.push(arena.len() - 1);
+            }
+            TraceEvent::SkelStart => {
+                if top_matches(&arena, &stack)
+                    && arena[*stack.last().expect("matched")].skel_start.is_none()
+                    && arena[*stack.last().expect("matched")].stub_start.is_some()
+                {
+                    let idx = *stack.last().expect("matched");
+                    arena[idx].skel_start = Some((*record).clone());
+                } else if stack.is_empty() && record.kind == CallKind::Oneway {
+                    // Head of a one-way child chain.
+                    let mut node = CallNode::new(record.func, record.kind);
+                    node.skel_start = Some((*record).clone());
+                    if oneway_parent.is_none() {
+                        oneway_parent = record.oneway_parent;
+                    }
+                    arena.push(node);
+                    stack.push(arena.len() - 1);
+                } else {
+                    abnormal(
+                        record.seq,
+                        format!("unexpected skel_start for {}", record.func),
+                    );
+                }
+            }
+            TraceEvent::SkelEnd => {
+                if top_matches(&arena, &stack) {
+                    let idx = *stack.last().expect("matched");
+                    if arena[idx].skel_start.is_some() && arena[idx].skel_end.is_none() {
+                        arena[idx].skel_end = Some((*record).clone());
+                        // One-way skeleton side completes here (no stub_end
+                        // will arrive on this chain).
+                        if arena[idx].kind == CallKind::Oneway && arena[idx].stub_start.is_none() {
+                            close(&mut arena, &mut stack, &mut roots, true);
+                        }
+                    } else {
+                        abnormal(
+                            record.seq,
+                            format!("skel_end without open skeleton for {}", record.func),
+                        );
+                    }
+                } else {
+                    abnormal(record.seq, format!("unexpected skel_end for {}", record.func));
+                }
+            }
+            TraceEvent::StubEnd => {
+                if top_matches(&arena, &stack) {
+                    let idx = *stack.last().expect("matched");
+                    let node = &mut arena[idx];
+                    let legal = match node.kind {
+                        // One-way stub side: stub_start then stub_end, no
+                        // skeleton events on this chain.
+                        CallKind::Oneway => node.stub_start.is_some() && node.skel_end.is_none(),
+                        // Synchronous / collocated: the skeleton must have
+                        // closed first.
+                        _ => node.skel_end.is_some(),
+                    };
+                    if legal && node.stub_end.is_none() {
+                        node.stub_end = Some((*record).clone());
+                        close(&mut arena, &mut stack, &mut roots, true);
+                    } else {
+                        abnormal(
+                            record.seq,
+                            format!("stub_end out of order for {}", record.func),
+                        );
+                        // Restart heuristic: force-close the confused frame
+                        // so subsequent records can re-synchronize.
+                        close(&mut arena, &mut stack, &mut roots, false);
+                    }
+                } else {
+                    abnormal(record.seq, format!("unexpected stub_end for {}", record.func));
+                }
+            }
+        }
+    }
+
+    // Anything left open never completed (lost records / crash).
+    while !stack.is_empty() {
+        let idx = *stack.last().expect("non-empty");
+        abnormalities.push(Abnormality {
+            chain,
+            at_seq: None,
+            message: format!("invocation {} never completed", arena[idx].func),
+        });
+        close(&mut arena, &mut stack, &mut roots, false);
+    }
+
+    ParsedChain { roots, oneway_parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causeway_core::deploy::Deployment;
+    use causeway_core::ids::*;
+    use causeway_core::names::VocabSnapshot;
+    use causeway_core::record::CallSite;
+    use causeway_core::runlog::RunLog;
+
+    fn func(object: u64) -> FunctionKey {
+        FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(object))
+    }
+
+    fn rec(uuid: u128, seq: u64, event: TraceEvent, kind: CallKind, object: u64) -> ProbeRecord {
+        ProbeRecord {
+            uuid: Uuid(uuid),
+            seq,
+            event,
+            kind,
+            site: CallSite {
+                node: NodeId(0),
+                process: ProcessId(0),
+                thread: LogicalThreadId(0),
+            },
+            func: func(object),
+            wall_start: None,
+            wall_end: None,
+            cpu_start: None,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: None,
+        }
+    }
+
+    fn build(records: Vec<ProbeRecord>) -> Dscg {
+        let db = MonitoringDb::from_run(RunLog::new(
+            records,
+            VocabSnapshot::default(),
+            Deployment::new(),
+        ));
+        Dscg::build(&db)
+    }
+
+    /// `main { F(); G(); }` — the sibling pattern of Table 1.
+    #[test]
+    fn sibling_pattern_reconstructs_two_roots() {
+        let mut records = Vec::new();
+        let mut seq = 0;
+        for object in [1u64, 2] {
+            for event in TraceEvent::ALL {
+                seq += 1;
+                records.push(rec(7, seq, event, CallKind::Sync, object));
+            }
+        }
+        let dscg = build(records);
+        assert!(dscg.abnormalities.is_empty());
+        assert_eq!(dscg.trees.len(), 1);
+        let tree = &dscg.trees[0];
+        assert_eq!(tree.roots.len(), 2, "F and G are siblings");
+        assert_eq!(tree.roots[0].func, func(1));
+        assert_eq!(tree.roots[1].func, func(2));
+        assert!(tree.roots.iter().all(|r| r.children.is_empty() && r.complete));
+    }
+
+    /// `F { G { H } }` — the parent/child pattern of Table 1.
+    #[test]
+    fn nested_pattern_reconstructs_parent_child() {
+        let records = vec![
+            rec(7, 1, TraceEvent::StubStart, CallKind::Sync, 1),
+            rec(7, 2, TraceEvent::SkelStart, CallKind::Sync, 1),
+            rec(7, 3, TraceEvent::StubStart, CallKind::Sync, 2),
+            rec(7, 4, TraceEvent::SkelStart, CallKind::Sync, 2),
+            rec(7, 5, TraceEvent::StubStart, CallKind::Sync, 3),
+            rec(7, 6, TraceEvent::SkelStart, CallKind::Sync, 3),
+            rec(7, 7, TraceEvent::SkelEnd, CallKind::Sync, 3),
+            rec(7, 8, TraceEvent::StubEnd, CallKind::Sync, 3),
+            rec(7, 9, TraceEvent::SkelEnd, CallKind::Sync, 2),
+            rec(7, 10, TraceEvent::StubEnd, CallKind::Sync, 2),
+            rec(7, 11, TraceEvent::SkelEnd, CallKind::Sync, 1),
+            rec(7, 12, TraceEvent::StubEnd, CallKind::Sync, 1),
+        ];
+        let dscg = build(records);
+        assert!(dscg.abnormalities.is_empty());
+        assert_eq!(dscg.trees.len(), 1);
+        let f = &dscg.trees[0].roots[0];
+        assert_eq!(f.func, func(1));
+        assert_eq!(f.children.len(), 1);
+        let g = &f.children[0];
+        assert_eq!(g.func, func(2));
+        assert_eq!(g.children.len(), 1);
+        assert_eq!(g.children[0].func, func(3));
+        assert_eq!(f.size(), 3);
+        assert_eq!(f.depth(), 3);
+        assert_eq!(dscg.total_nodes(), 3);
+    }
+
+    #[test]
+    fn oneway_child_chain_grafts_under_fork_site() {
+        let mut fork = rec(1, 1, TraceEvent::StubStart, CallKind::Oneway, 5);
+        fork.oneway_child = Some(Uuid(2));
+        let mut child_head = rec(2, 1, TraceEvent::SkelStart, CallKind::Oneway, 5);
+        child_head.oneway_parent = Some((Uuid(1), 1));
+        let records = vec![
+            fork,
+            rec(1, 2, TraceEvent::StubEnd, CallKind::Oneway, 5),
+            child_head,
+            // The one-way implementation makes a nested sync call.
+            rec(2, 2, TraceEvent::StubStart, CallKind::Sync, 6),
+            rec(2, 3, TraceEvent::SkelStart, CallKind::Sync, 6),
+            rec(2, 4, TraceEvent::SkelEnd, CallKind::Sync, 6),
+            rec(2, 5, TraceEvent::StubEnd, CallKind::Sync, 6),
+            rec(2, 6, TraceEvent::SkelEnd, CallKind::Oneway, 5),
+        ];
+        let dscg = build(records);
+        assert!(dscg.abnormalities.is_empty(), "{:?}", dscg.abnormalities);
+        assert_eq!(dscg.trees.len(), 1, "child chain was grafted, not rooted");
+        let root = &dscg.trees[0].roots[0];
+        assert_eq!(root.func, func(5));
+        assert!(root.stub_start.is_some() && root.stub_end.is_some());
+        assert!(root.skel_start.is_some() && root.skel_end.is_some());
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].func, func(6));
+    }
+
+    #[test]
+    fn orphan_child_chain_becomes_root_with_abnormality() {
+        let mut head = rec(2, 1, TraceEvent::SkelStart, CallKind::Oneway, 5);
+        head.oneway_parent = Some((Uuid(1), 1)); // parent chain never logged
+        let records = vec![head, rec(2, 2, TraceEvent::SkelEnd, CallKind::Oneway, 5)];
+        let dscg = build(records);
+        assert_eq!(dscg.trees.len(), 1);
+        assert_eq!(dscg.abnormalities.len(), 1);
+        assert!(dscg.abnormalities[0].message.contains("fork site"));
+    }
+
+    #[test]
+    fn missing_skeleton_events_are_abnormal_but_recovered() {
+        // A lost request: stub_start then stub_end with nothing in between
+        // (the failure shape `Client::invoke` produces on timeouts).
+        let records = vec![
+            rec(1, 1, TraceEvent::StubStart, CallKind::Sync, 1),
+            rec(1, 2, TraceEvent::StubEnd, CallKind::Sync, 1),
+            // A healthy sibling afterwards.
+            rec(1, 3, TraceEvent::StubStart, CallKind::Sync, 2),
+            rec(1, 4, TraceEvent::SkelStart, CallKind::Sync, 2),
+            rec(1, 5, TraceEvent::SkelEnd, CallKind::Sync, 2),
+            rec(1, 6, TraceEvent::StubEnd, CallKind::Sync, 2),
+        ];
+        let dscg = build(records);
+        assert_eq!(dscg.abnormalities.len(), 1);
+        let tree = &dscg.trees[0];
+        assert_eq!(tree.roots.len(), 2, "parser re-synchronized after the failure");
+        assert!(!tree.roots[0].complete);
+        assert!(tree.roots[1].complete);
+    }
+
+    #[test]
+    fn truncated_chain_reports_incomplete_invocation() {
+        let records = vec![
+            rec(1, 1, TraceEvent::StubStart, CallKind::Sync, 1),
+            rec(1, 2, TraceEvent::SkelStart, CallKind::Sync, 1),
+            // skel_end / stub_end lost in a crash.
+        ];
+        let dscg = build(records);
+        assert_eq!(dscg.abnormalities.len(), 1);
+        assert!(dscg.abnormalities[0].message.contains("never completed"));
+        assert_eq!(dscg.trees[0].roots.len(), 1);
+        assert!(!dscg.trees[0].roots[0].complete);
+    }
+
+    #[test]
+    fn stray_skel_events_are_flagged() {
+        let records = vec![
+            rec(1, 1, TraceEvent::SkelEnd, CallKind::Sync, 1),
+            rec(1, 2, TraceEvent::SkelStart, CallKind::Sync, 1),
+        ];
+        let dscg = build(records);
+        assert_eq!(dscg.abnormalities.len(), 2);
+        assert!(dscg.trees[0].roots.is_empty());
+    }
+
+    #[test]
+    fn collocated_pattern_parses_like_sync() {
+        let records: Vec<ProbeRecord> = TraceEvent::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &event)| rec(3, (i + 1) as u64, event, CallKind::Collocated, 9))
+            .collect();
+        let dscg = build(records);
+        assert!(dscg.abnormalities.is_empty());
+        assert_eq!(dscg.trees[0].roots[0].kind, CallKind::Collocated);
+    }
+
+    #[test]
+    fn empty_db_builds_empty_dscg() {
+        let dscg = build(vec![]);
+        assert!(dscg.trees.is_empty());
+        assert_eq!(dscg.total_nodes(), 0);
+    }
+}

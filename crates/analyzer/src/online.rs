@@ -1,0 +1,499 @@
+//! On-line causality analysis — the paper's future-work direction "to apply
+//! the global causality capturing technique from the on-line perspective
+//! for application-level system management".
+//!
+//! [`OnlineAnalyzer`] consumes probe records *as they are produced* (in any
+//! arrival order — records of one chain are re-sequenced by their event
+//! numbers) and emits management events the moment they are knowable:
+//! a call completed (with its compensated latency), a chain went idle, an
+//! abnormal transition appeared. Unlike the off-line [`crate::dscg::Dscg`]
+//! pass, no quiescence is required — which is precisely what an adaptive
+//! runtime manager needs.
+
+use causeway_core::event::{CallKind, TraceEvent};
+use causeway_core::record::{FunctionKey, ProbeRecord};
+use causeway_core::uuid::Uuid;
+use std::collections::{BTreeMap, HashMap};
+
+/// A management event emitted by the on-line analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineEvent {
+    /// An invocation finished (its final probe was processed). `latency_ns`
+    /// is the paper's `L(F)` — probe-overhead compensated — when wall
+    /// stamps are present.
+    CallCompleted {
+        /// The chain the call belongs to.
+        chain: Uuid,
+        /// What was invoked.
+        func: FunctionKey,
+        /// Nesting depth within the chain (0 = top level).
+        depth: usize,
+        /// Compensated end-to-end latency, when measurable.
+        latency_ns: Option<u64>,
+    },
+    /// A chain has no open invocations and no buffered records — e.g. a
+    /// transaction boundary.
+    ChainIdle {
+        /// The chain.
+        chain: Uuid,
+        /// Invocations completed on it so far.
+        completed_calls: usize,
+    },
+    /// Adjacent records followed none of the legal Figure-4 transitions.
+    Abnormality {
+        /// The chain.
+        chain: Uuid,
+        /// Event number of the offending record.
+        at_seq: u64,
+        /// Description.
+        message: String,
+    },
+}
+
+#[derive(Debug)]
+struct OpenCall {
+    func: FunctionKey,
+    kind: CallKind,
+    stub_start: Option<ProbeRecord>,
+    skel_start: Option<ProbeRecord>,
+    skel_end: Option<ProbeRecord>,
+    /// Probe spans of completed children, for `O_F` compensation.
+    child_overhead_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct ChainState {
+    /// The highest event number processed so far (dense numbering: the next
+    /// record to process is `processed + 1`).
+    processed: u64,
+    /// Out-of-order arrivals waiting for their predecessors.
+    pending: BTreeMap<u64, ProbeRecord>,
+    stack: Vec<OpenCall>,
+    completed_calls: usize,
+}
+
+/// Incremental, order-tolerant causality analyzer.
+///
+/// # Example
+///
+/// ```
+/// use causeway_analyzer::online::{OnlineAnalyzer, OnlineEvent};
+/// let mut analyzer = OnlineAnalyzer::new();
+/// let mut events = Vec::new();
+/// // records arrive from the wire...
+/// # let records: Vec<causeway_core::record::ProbeRecord> = Vec::new();
+/// for record in records {
+///     analyzer.ingest(record, &mut |e| events.push(e));
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct OnlineAnalyzer {
+    chains: HashMap<Uuid, ChainState>,
+}
+
+impl OnlineAnalyzer {
+    /// Creates an empty analyzer.
+    pub fn new() -> OnlineAnalyzer {
+        OnlineAnalyzer::default()
+    }
+
+    /// Chains with unfinished work (open invocations or buffered records).
+    pub fn open_chains(&self) -> usize {
+        self.chains
+            .values()
+            .filter(|c| !c.stack.is_empty() || !c.pending.is_empty())
+            .count()
+    }
+
+    /// Records buffered waiting for out-of-order predecessors.
+    pub fn buffered_records(&self) -> usize {
+        self.chains.values().map(|c| c.pending.len()).sum()
+    }
+
+    /// Feeds one record; `sink` receives any events it triggers.
+    pub fn ingest(&mut self, record: ProbeRecord, sink: &mut impl FnMut(OnlineEvent)) {
+        let chain = record.uuid;
+        let state = self.chains.entry(chain).or_default();
+        state.pending.insert(record.seq, record);
+        // Drain the contiguous prefix.
+        while let Some(record) = {
+            let next = state.processed + 1;
+            state.pending.remove(&next)
+        } {
+            state.processed = record.seq;
+            Self::apply(chain, state, record, sink);
+        }
+        if state.stack.is_empty() && state.pending.is_empty() && state.completed_calls > 0 {
+            sink(OnlineEvent::ChainIdle { chain, completed_calls: state.completed_calls });
+        }
+    }
+
+    /// Forces out everything still buffered (end of run): gaps are reported
+    /// as abnormalities, open invocations as incomplete.
+    pub fn finish(&mut self, sink: &mut impl FnMut(OnlineEvent)) {
+        let mut chains: Vec<Uuid> = self.chains.keys().copied().collect();
+        chains.sort();
+        for chain in chains {
+            let mut state = self.chains.remove(&chain).expect("key listed");
+            while let Some((&seq, _)) = state.pending.iter().next() {
+                if seq != state.processed + 1 {
+                    sink(OnlineEvent::Abnormality {
+                        chain,
+                        at_seq: seq,
+                        message: format!(
+                            "gap in event numbers: expected {}, have {seq}",
+                            state.processed + 1
+                        ),
+                    });
+                }
+                let record = state.pending.remove(&seq).expect("key just read");
+                state.processed = seq;
+                Self::apply(chain, &mut state, record, sink);
+            }
+            for open in state.stack.drain(..).rev() {
+                sink(OnlineEvent::Abnormality {
+                    chain,
+                    at_seq: state.processed,
+                    message: format!("invocation {} never completed", open.func),
+                });
+            }
+        }
+    }
+
+    /// The incremental Figure-4 state machine (mirrors the off-line parser
+    /// in [`crate::dscg`]).
+    fn apply(
+        chain: Uuid,
+        state: &mut ChainState,
+        record: ProbeRecord,
+        sink: &mut impl FnMut(OnlineEvent),
+    ) {
+        let top_matches = state
+            .stack
+            .last()
+            .map(|open| open.func == record.func)
+            .unwrap_or(false);
+        match record.event {
+            TraceEvent::StubStart => {
+                state.stack.push(OpenCall {
+                    func: record.func,
+                    kind: record.kind,
+                    stub_start: Some(record),
+                    skel_start: None,
+                    skel_end: None,
+                    child_overhead_ns: 0,
+                });
+            }
+            TraceEvent::SkelStart => {
+                if top_matches
+                    && state.stack.last().map(|o| o.skel_start.is_none()).unwrap_or(false)
+                {
+                    state.stack.last_mut().expect("matched").skel_start = Some(record);
+                } else if state.stack.is_empty() && record.kind == CallKind::Oneway {
+                    state.stack.push(OpenCall {
+                        func: record.func,
+                        kind: record.kind,
+                        stub_start: None,
+                        skel_start: Some(record),
+                        skel_end: None,
+                        child_overhead_ns: 0,
+                    });
+                } else {
+                    sink(OnlineEvent::Abnormality {
+                        chain,
+                        at_seq: record.seq,
+                        message: format!("unexpected skel_start for {}", record.func),
+                    });
+                }
+            }
+            TraceEvent::SkelEnd => {
+                if top_matches
+                    && state.stack.last().map(|o| o.skel_start.is_some()).unwrap_or(false)
+                {
+                    let is_oneway_root = {
+                        let open = state.stack.last().expect("matched");
+                        open.kind == CallKind::Oneway && open.stub_start.is_none()
+                    };
+                    state.stack.last_mut().expect("matched").skel_end = Some(record);
+                    if is_oneway_root {
+                        Self::complete_top(chain, state, sink);
+                    }
+                } else {
+                    sink(OnlineEvent::Abnormality {
+                        chain,
+                        at_seq: record.seq,
+                        message: format!("unexpected skel_end for {}", record.func),
+                    });
+                }
+            }
+            TraceEvent::StubEnd => {
+                let legal = top_matches && {
+                    let open = state.stack.last().expect("matched");
+                    match open.kind {
+                        CallKind::Oneway => open.stub_start.is_some() && open.skel_end.is_none(),
+                        _ => open.skel_end.is_some(),
+                    }
+                };
+                if legal {
+                    let depth = state.stack.len() - 1;
+                    let open = state.stack.last().expect("matched");
+                    let latency = compensated_latency(open, &record);
+                    let func = open.func;
+                    // The one-way stub side only confirms the *send*; the
+                    // call completes on its child chain (skeleton side), so
+                    // emitting here would double-count the invocation.
+                    let is_oneway_send = open.kind == CallKind::Oneway && open.skel_end.is_none();
+                    // Charge this call's caller-side probe spans to the
+                    // parent's overhead accumulator.
+                    let caller_spans = caller_side_spans(open, &record);
+                    state.stack.pop();
+                    if let Some(parent) = state.stack.last_mut() {
+                        parent.child_overhead_ns += caller_spans;
+                    }
+                    if !is_oneway_send {
+                        state.completed_calls += 1;
+                        sink(OnlineEvent::CallCompleted { chain, func, depth, latency_ns: latency });
+                    }
+                } else {
+                    sink(OnlineEvent::Abnormality {
+                        chain,
+                        at_seq: record.seq,
+                        message: format!("stub_end out of order for {}", record.func),
+                    });
+                    // Restart heuristic: drop the confused frame.
+                    if top_matches {
+                        state.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_top(chain: Uuid, state: &mut ChainState, sink: &mut impl FnMut(OnlineEvent)) {
+        let open = state.stack.pop().expect("caller checked");
+        let depth = state.stack.len();
+        // One-way skeleton side: latency from the skel window.
+        let latency = match (&open.skel_start, &open.skel_end) {
+            (Some(start), Some(end)) => match (start.wall_end, end.wall_start) {
+                (Some(s), Some(e)) => Some(e.saturating_sub(s).saturating_sub(open.child_overhead_ns)),
+                _ => None,
+            },
+            _ => None,
+        };
+        state.completed_calls += 1;
+        sink(OnlineEvent::CallCompleted { chain, func: open.func, depth, latency_ns: latency });
+    }
+}
+
+/// `L(F)` for a closing synchronous/one-way-stub-side call.
+fn compensated_latency(open: &OpenCall, stub_end: &ProbeRecord) -> Option<u64> {
+    let window = match open.kind {
+        CallKind::Collocated | CallKind::CustomMarshal => {
+            let end = open.skel_end.as_ref()?.wall_start?;
+            let start = open.skel_start.as_ref()?.wall_end?;
+            end.saturating_sub(start)
+        }
+        _ => {
+            let end = stub_end.wall_start?;
+            let start = open.stub_start.as_ref()?.wall_end?;
+            end.saturating_sub(start)
+        }
+    };
+    Some(window.saturating_sub(open.child_overhead_ns))
+}
+
+/// The probe spans of a completed call that sat inside its caller's window.
+fn caller_side_spans(open: &OpenCall, stub_end: &ProbeRecord) -> u64 {
+    let mut spans = 0u64;
+    let records: [&Option<ProbeRecord>; 3] = [&open.stub_start, &open.skel_start, &open.skel_end];
+    for record in records.into_iter().flatten() {
+        // One-way children only occupy the caller with their stub probes.
+        if open.kind == CallKind::Oneway && record.event.is_skel_side() {
+            continue;
+        }
+        spans += record.wall_span().unwrap_or(0);
+    }
+    spans += stub_end.wall_span().unwrap_or(0);
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causeway_core::ids::*;
+    use causeway_core::record::CallSite;
+
+    fn rec(
+        uuid: u128,
+        seq: u64,
+        event: TraceEvent,
+        kind: CallKind,
+        object: u64,
+        wall: (u64, u64),
+    ) -> ProbeRecord {
+        ProbeRecord {
+            uuid: Uuid(uuid),
+            seq,
+            event,
+            kind,
+            site: CallSite {
+                node: NodeId(0),
+                process: ProcessId(0),
+                thread: LogicalThreadId(0),
+            },
+            func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(object)),
+            wall_start: Some(wall.0),
+            wall_end: Some(wall.1),
+            cpu_start: None,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: None,
+        }
+    }
+
+    fn sync_call(uuid: u128, base_seq: u64, object: u64, t0: u64) -> Vec<ProbeRecord> {
+        vec![
+            rec(uuid, base_seq, TraceEvent::StubStart, CallKind::Sync, object, (t0, t0 + 5)),
+            rec(uuid, base_seq + 1, TraceEvent::SkelStart, CallKind::Sync, object, (t0 + 10, t0 + 12)),
+            rec(uuid, base_seq + 2, TraceEvent::SkelEnd, CallKind::Sync, object, (t0 + 90, t0 + 92)),
+            rec(uuid, base_seq + 3, TraceEvent::StubEnd, CallKind::Sync, object, (t0 + 100, t0 + 103)),
+        ]
+    }
+
+    fn collect(records: Vec<ProbeRecord>) -> (Vec<OnlineEvent>, OnlineAnalyzer) {
+        let mut analyzer = OnlineAnalyzer::new();
+        let mut events = Vec::new();
+        for record in records {
+            analyzer.ingest(record, &mut |e| events.push(e));
+        }
+        (events, analyzer)
+    }
+
+    #[test]
+    fn in_order_call_completes_with_latency() {
+        let (events, analyzer) = collect(sync_call(1, 1, 7, 0));
+        assert_eq!(analyzer.open_chains(), 0);
+        assert_eq!(
+            events,
+            vec![
+                OnlineEvent::CallCompleted {
+                    chain: Uuid(1),
+                    func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(7)),
+                    depth: 0,
+                    latency_ns: Some(95), // 100 − 5, no children
+                },
+                OnlineEvent::ChainIdle { chain: Uuid(1), completed_calls: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_resequenced() {
+        let mut records = sync_call(1, 1, 7, 0);
+        records.swap(1, 3); // skeleton events arrive late (different process)
+        records.swap(0, 2);
+        let (events, analyzer) = collect(records);
+        assert_eq!(analyzer.buffered_records(), 0);
+        assert!(matches!(events[0], OnlineEvent::CallCompleted { latency_ns: Some(95), .. }));
+    }
+
+    #[test]
+    fn nested_calls_report_depth_and_compensated_latency() {
+        // Parent window [5, 500]; child probes cost 5+2+2+3 = 12.
+        let mut records = vec![
+            rec(1, 1, TraceEvent::StubStart, CallKind::Sync, 1, (0, 5)),
+            rec(1, 2, TraceEvent::SkelStart, CallKind::Sync, 1, (10, 12)),
+        ];
+        records.extend(sync_call(1, 3, 2, 100)); // child at seqs 3..6
+        records.push(rec(1, 7, TraceEvent::SkelEnd, CallKind::Sync, 1, (450, 452)));
+        records.push(rec(1, 8, TraceEvent::StubEnd, CallKind::Sync, 1, (500, 503)));
+        let (events, _) = collect(records);
+        let completed: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                OnlineEvent::CallCompleted { func, depth, latency_ns, .. } => {
+                    Some((func.object.0, *depth, *latency_ns))
+                }
+                _ => None,
+            })
+            .collect();
+        // Child completes first (depth 1), then the parent (depth 0) with
+        // the child's probe spans (5+2+2+3 = 12) compensated away.
+        assert_eq!(completed, vec![(2, 1, Some(95)), (1, 0, Some(500 - 5 - 12))]);
+    }
+
+    #[test]
+    fn oneway_skeleton_side_completes_at_skel_end() {
+        let records = vec![
+            rec(2, 1, TraceEvent::SkelStart, CallKind::Oneway, 9, (10, 12)),
+            rec(2, 2, TraceEvent::SkelEnd, CallKind::Oneway, 9, (50, 52)),
+        ];
+        let (events, _) = collect(records);
+        assert!(matches!(
+            events[0],
+            OnlineEvent::CallCompleted { latency_ns: Some(38), depth: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn abnormal_transitions_are_reported_live() {
+        let records = vec![
+            rec(1, 1, TraceEvent::SkelEnd, CallKind::Sync, 1, (0, 1)),
+            rec(1, 2, TraceEvent::StubStart, CallKind::Sync, 1, (2, 3)),
+            rec(1, 3, TraceEvent::StubEnd, CallKind::Sync, 1, (4, 5)),
+        ];
+        let (events, _) = collect(records);
+        let abnormal = events
+            .iter()
+            .filter(|e| matches!(e, OnlineEvent::Abnormality { .. }))
+            .count();
+        assert_eq!(abnormal, 2, "stray skel_end + stub_end without skeleton");
+    }
+
+    #[test]
+    fn finish_reports_gaps_and_incomplete_calls() {
+        let mut analyzer = OnlineAnalyzer::new();
+        let mut events = Vec::new();
+        // Seq 2 missing forever; seq 3 buffered.
+        analyzer.ingest(
+            rec(1, 1, TraceEvent::StubStart, CallKind::Sync, 1, (0, 5)),
+            &mut |e| events.push(e),
+        );
+        analyzer.ingest(
+            rec(1, 3, TraceEvent::SkelEnd, CallKind::Sync, 1, (90, 92)),
+            &mut |e| events.push(e),
+        );
+        assert_eq!(analyzer.buffered_records(), 1);
+        assert_eq!(analyzer.open_chains(), 1);
+        analyzer.finish(&mut |e| events.push(e));
+        let gap = events.iter().any(
+            |e| matches!(e, OnlineEvent::Abnormality { message, .. } if message.contains("gap")),
+        );
+        let incomplete = events.iter().any(
+            |e| matches!(e, OnlineEvent::Abnormality { message, .. } if message.contains("never completed")),
+        );
+        assert!(gap, "{events:?}");
+        assert!(incomplete, "{events:?}");
+        assert_eq!(analyzer.open_chains(), 0);
+    }
+
+    #[test]
+    fn interleaved_chains_stay_independent() {
+        let mut records = sync_call(1, 1, 1, 0);
+        let other = sync_call(2, 1, 2, 1000);
+        // Interleave the two chains' records.
+        for (i, r) in other.into_iter().enumerate() {
+            records.insert(i * 2 + 1, r);
+        }
+        let (events, _) = collect(records);
+        let completed: Vec<u128> = events
+            .iter()
+            .filter_map(|e| match e {
+                OnlineEvent::CallCompleted { chain, .. } => Some(chain.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completed.len(), 2);
+        assert!(completed.contains(&1) && completed.contains(&2));
+    }
+}

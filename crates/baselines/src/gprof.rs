@@ -1,0 +1,233 @@
+//! A GPROF-style profiler over the same probe data.
+//!
+//! GPROF sees only what happens inside one thread: a flat profile plus
+//! caller/callee arcs of depth 1. To model it faithfully, this module walks
+//! each thread's records in chronological order, maintaining a per-thread
+//! call stack, and deliberately ignores the Function UUID and event number
+//! (which gprof never had). A server-side up-call arrives with no local
+//! caller — gprof renders such arcs as `<spontaneous>` — so every
+//! cross-thread/cross-process relationship is lost, which is exactly the
+//! limitation the paper's comparison hinges on.
+
+use causeway_collector::db::MonitoringDb;
+use causeway_core::event::TraceEvent;
+use causeway_core::ids::{LogicalThreadId, ProcessId};
+use causeway_core::record::FunctionKey;
+use std::collections::{BTreeMap, HashMap};
+
+/// A depth-1 caller/callee arc. `caller == None` is an arc with no visible
+/// caller: the program root on a driver thread, or — the interesting case —
+/// an up-call that crossed a thread/process boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GprofArc {
+    /// The caller, when visible in the same thread.
+    pub caller: Option<FunctionKey>,
+    /// The callee.
+    pub callee: FunctionKey,
+}
+
+/// The profile gprof would produce.
+#[derive(Debug, Clone, Default)]
+pub struct FlatProfile {
+    /// Arc → invocation count.
+    pub arcs: BTreeMap<GprofArc, usize>,
+    /// Per-function call counts.
+    pub calls: BTreeMap<FunctionKey, usize>,
+    /// Up-calls that arrived on a thread with no local caller — the
+    /// relationships gprof lost to thread/process boundaries.
+    pub cross_boundary_arcs: usize,
+}
+
+impl FlatProfile {
+    /// Builds the profile from the monitoring database, seeing only what a
+    /// per-thread profiler can see.
+    pub fn build(db: &MonitoringDb) -> FlatProfile {
+        // Partition records per (process, thread), preserving drain order
+        // (chronological within a thread).
+        let mut per_thread: HashMap<(ProcessId, LogicalThreadId), Vec<usize>> = HashMap::new();
+        for (idx, record) in db.records().iter().enumerate() {
+            per_thread
+                .entry((record.site.process, record.site.thread))
+                .or_default()
+                .push(idx);
+        }
+
+        let mut profile = FlatProfile::default();
+        let mut keys: Vec<_> = per_thread.keys().copied().collect();
+        keys.sort();
+        for key in keys {
+            let mut stack: Vec<FunctionKey> = Vec::new();
+            // Set between a local stub-start and the event that follows it,
+            // so a collocated skeleton is recognized as a *local* call
+            // rather than an arriving up-call.
+            let mut pending_call: Option<FunctionKey> = None;
+            for &idx in &per_thread[&key] {
+                let record = &db.records()[idx];
+                match record.event {
+                    TraceEvent::StubStart => {
+                        let arc = GprofArc {
+                            caller: stack.last().copied(),
+                            callee: record.func,
+                        };
+                        *profile.arcs.entry(arc).or_insert(0) += 1;
+                        *profile.calls.entry(record.func).or_insert(0) += 1;
+                        pending_call = Some(record.func);
+                    }
+                    TraceEvent::SkelStart => {
+                        if pending_call != Some(record.func) {
+                            // An up-call from outside this thread: the true
+                            // caller is invisible to gprof.
+                            let arc = GprofArc { caller: None, callee: record.func };
+                            *profile.arcs.entry(arc).or_insert(0) += 1;
+                            *profile.calls.entry(record.func).or_insert(0) += 1;
+                            profile.cross_boundary_arcs += 1;
+                        }
+                        stack.push(record.func);
+                        pending_call = None;
+                    }
+                    TraceEvent::SkelEnd => {
+                        if stack.last() == Some(&record.func) {
+                            stack.pop();
+                        }
+                        pending_call = None;
+                    }
+                    TraceEvent::StubEnd => {
+                        pending_call = None;
+                    }
+                }
+            }
+        }
+        profile
+    }
+
+    /// Total arcs recorded.
+    pub fn total_arcs(&self) -> usize {
+        self.arcs.values().sum()
+    }
+
+    /// Fraction of call relationships whose caller gprof lost by crossing a
+    /// thread/process boundary (0.0 for single-threaded collocated
+    /// programs, large for distributed ones).
+    pub fn blindness(&self) -> f64 {
+        let total = self.total_arcs();
+        if total == 0 {
+            return 0.0;
+        }
+        self.cross_boundary_arcs as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causeway_core::deploy::Deployment;
+    use causeway_core::event::CallKind;
+    use causeway_core::ids::*;
+    use causeway_core::names::VocabSnapshot;
+    use causeway_core::record::{CallSite, ProbeRecord};
+    use causeway_core::runlog::RunLog;
+    use causeway_core::uuid::Uuid;
+
+    fn rec(process: u16, thread: u32, event: TraceEvent, object: u64) -> ProbeRecord {
+        ProbeRecord {
+            uuid: Uuid(1),
+            seq: 0,
+            event,
+            kind: CallKind::Sync,
+            site: CallSite {
+                node: NodeId(0),
+                process: ProcessId(process),
+                thread: LogicalThreadId(thread),
+            },
+            func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(object)),
+            wall_start: None,
+            wall_end: None,
+            cpu_start: None,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: None,
+        }
+    }
+
+    fn func(object: u64) -> FunctionKey {
+        FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(object))
+    }
+
+    fn db(records: Vec<ProbeRecord>) -> MonitoringDb {
+        MonitoringDb::from_run(RunLog::new(records, VocabSnapshot::default(), Deployment::new()))
+    }
+
+    #[test]
+    fn same_thread_nesting_is_fully_visible() {
+        // Collocated F calls collocated G on one thread.
+        let records = vec![
+            rec(0, 0, TraceEvent::StubStart, 1),
+            rec(0, 0, TraceEvent::SkelStart, 1),
+            rec(0, 0, TraceEvent::StubStart, 2),
+            rec(0, 0, TraceEvent::SkelStart, 2),
+            rec(0, 0, TraceEvent::SkelEnd, 2),
+            rec(0, 0, TraceEvent::StubEnd, 2),
+            rec(0, 0, TraceEvent::SkelEnd, 1),
+            rec(0, 0, TraceEvent::StubEnd, 1),
+        ];
+        let profile = FlatProfile::build(&db(records));
+        assert_eq!(
+            profile.arcs.get(&GprofArc { caller: Some(func(1)), callee: func(2) }),
+            Some(&1)
+        );
+        assert_eq!(
+            profile.arcs.get(&GprofArc { caller: None, callee: func(1) }),
+            Some(&1),
+            "the root call has no caller (that is `main`, not blindness)"
+        );
+        assert_eq!(profile.cross_boundary_arcs, 0);
+        assert_eq!(profile.blindness(), 0.0);
+        assert_eq!(profile.total_arcs(), 2);
+    }
+
+    #[test]
+    fn cross_process_caller_is_lost() {
+        // Client thread (p0) calls F whose skeleton runs in p1.
+        let records = vec![
+            rec(0, 0, TraceEvent::StubStart, 1),
+            rec(1, 0, TraceEvent::SkelStart, 1),
+            rec(1, 0, TraceEvent::SkelEnd, 1),
+            rec(0, 0, TraceEvent::StubEnd, 1),
+        ];
+        let profile = FlatProfile::build(&db(records));
+        assert_eq!(profile.cross_boundary_arcs, 1);
+        assert!(profile.blindness() > 0.0);
+    }
+
+    #[test]
+    fn nested_remote_relationship_is_invisible() {
+        // F (server thread p1) calls G (server thread p2): the true F -> G
+        // arc exists in the DSCG but gprof only sees F's stub call locally
+        // and G arriving spontaneously elsewhere.
+        let records = vec![
+            rec(0, 0, TraceEvent::StubStart, 1),
+            rec(1, 0, TraceEvent::SkelStart, 1),
+            rec(1, 0, TraceEvent::StubStart, 2),
+            rec(2, 0, TraceEvent::SkelStart, 2),
+            rec(2, 0, TraceEvent::SkelEnd, 2),
+            rec(1, 0, TraceEvent::StubEnd, 2),
+            rec(1, 0, TraceEvent::SkelEnd, 1),
+            rec(0, 0, TraceEvent::StubEnd, 1),
+        ];
+        let profile = FlatProfile::build(&db(records));
+        // The local stub arc F -> G *is* visible on p1's thread…
+        assert_eq!(
+            profile.arcs.get(&GprofArc { caller: Some(func(1)), callee: func(2) }),
+            Some(&1)
+        );
+        // …but both skeletons arrived spontaneously.
+        assert_eq!(profile.cross_boundary_arcs, 2);
+    }
+
+    #[test]
+    fn empty_profile_is_not_blind() {
+        let profile = FlatProfile::build(&db(vec![]));
+        assert_eq!(profile.blindness(), 0.0);
+        assert_eq!(profile.total_arcs(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # causeway-baselines
+//!
+//! The comparison points of the paper's §5 related work, implemented so the
+//! benchmarks can demonstrate each one's documented limitation against the
+//! same monitoring data:
+//!
+//! * [`gprof`] — a GPROF-style profiler: caller/callee arcs of depth 1,
+//!   **within one thread only** ("GPROF merely reports the callee-caller
+//!   propagation of CPU utilization within the same thread context").
+//!   Cross-thread/process calls degrade to `<spontaneous>` roots.
+//! * [`trace_object`] — the Universal Delegator's **Trace Object**: a log
+//!   that *concatenates* an entry per call as the chain advances, so its
+//!   wire size grows linearly with chain length ("unavoidably introduces
+//!   the barrier for the call chains that exceed tens of thousands calls"),
+//!   and which cannot distinguish sibling from nested call patterns ("the
+//!   proposed TO is not sufficient to determine the hierarchical call
+//!   graph").
+//! * [`ovation`] — an OVATION-style interceptor: four timing anchors per
+//!   invocation with runtime entities but **no global causality**, so
+//!   relating one invocation to another is ambiguous as soon as the system
+//!   is concurrent ("the tool cannot determine how this particular
+//!   invocation is related to the rest of method invocations").
+//!
+//! Each module consumes an ordinary [`causeway_collector::db::MonitoringDb`]
+//! and *discards* exactly the fields its technique never had (the Function
+//! UUID and/or the event number), making the comparisons apples-to-apples.
+
+#![warn(missing_docs)]
+
+pub mod gprof;
+pub mod ovation;
+pub mod trace_object;
+
+pub use gprof::{FlatProfile, GprofArc};
+pub use ovation::OvationAnalysis;
+pub use trace_object::{TraceObject, TraceObjectEntry};

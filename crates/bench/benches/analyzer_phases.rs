@@ -1,0 +1,47 @@
+//! Bench: the analyzer's characterization phases over a PPS run — latency
+//! analysis, CPU propagation and CCSG synthesis on top of a fixed DSCG.
+
+use causeway_analyzer::ccsg::Ccsg;
+use causeway_analyzer::cpu::CpuAnalysis;
+use causeway_analyzer::dscg::Dscg;
+use causeway_analyzer::latency::LatencyAnalysis;
+use causeway_collector::db::MonitoringDb;
+use causeway_core::monitor::ProbeMode;
+use causeway_workloads::{Pps, PpsConfig, PpsDeployment};
+use criterion::{Criterion, criterion_group, criterion_main};
+
+fn pps_db(mode: ProbeMode) -> MonitoringDb {
+    let config = PpsConfig {
+        deployment: PpsDeployment::FourProcess,
+        probe_mode: mode,
+        work_scale: 0.01,
+        ..PpsConfig::default()
+    };
+    let pps = Pps::build(&config);
+    pps.run_jobs(50);
+    MonitoringDb::from_run(pps.finish())
+}
+
+fn bench_analyzer_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyzer_phases");
+    group.sample_size(20);
+
+    let latency_db = pps_db(ProbeMode::Latency);
+    let latency_dscg = Dscg::build(&latency_db);
+    group.bench_function("latency_analysis", |b| {
+        b.iter(|| LatencyAnalysis::compute(&latency_dscg).per_method.len())
+    });
+
+    let cpu_db = pps_db(ProbeMode::Cpu);
+    let cpu_dscg = Dscg::build(&cpu_db);
+    group.bench_function("cpu_analysis", |b| {
+        b.iter(|| CpuAnalysis::compute(&cpu_dscg, cpu_db.deployment()).system_total.total())
+    });
+    group.bench_function("ccsg_build", |b| {
+        b.iter(|| Ccsg::build(&cpu_dscg, cpu_db.deployment()).size())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer_phases);
+criterion_main!(benches);

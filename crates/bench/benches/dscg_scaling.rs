@@ -1,0 +1,39 @@
+//! Bench E3: DSCG construction time vs. call count (the paper's 28-minute
+//! 195k-call analysis, swept across scales).
+
+use causeway_analyzer::dscg::Dscg;
+use causeway_collector::db::MonitoringDb;
+use causeway_core::runlog::RunLog;
+use causeway_workloads::{CommercialConfig, CommercialSystem};
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+
+fn generate(calls: usize) -> RunLog {
+    let commercial = CommercialSystem::build(&CommercialConfig::scaled(calls, 0xbeef));
+    commercial.run();
+    commercial.finish()
+}
+
+fn bench_dscg_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dscg_scaling");
+    group.sample_size(10);
+    for calls in [1_000usize, 5_000, 20_000] {
+        let run = generate(calls);
+        let db = MonitoringDb::from_run(run);
+        group.bench_with_input(BenchmarkId::new("build", calls), &db, |b, db| {
+            b.iter(|| {
+                let dscg = Dscg::build(db);
+                assert!(dscg.abnormalities.is_empty());
+                dscg.total_nodes()
+            })
+        });
+        // Also bench the relational synthesis itself.
+        let run = db.run().clone();
+        group.bench_with_input(BenchmarkId::new("synthesize", calls), &run, |b, run| {
+            b.iter(|| MonitoringDb::from_run(run.clone()).scale_stats().calls)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dscg_scaling);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench B1: marshalling cost of the tunnel payload — the constant FTL vs.
+//! the Universal Delegator's concatenating Trace Object at increasing chain
+//! depths.
+
+use causeway_baselines::trace_object::TraceObject;
+use causeway_core::ftl::FunctionTxLog;
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+
+fn bench_payloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tunnel_payload");
+
+    // The FTL: the same 24-byte encode at any depth.
+    let mut ftl = FunctionTxLog::fresh();
+    for _ in 0..10_000 {
+        ftl.next_seq();
+    }
+    group.bench_function("ftl/encode", |b| b.iter(|| ftl.to_wire()));
+    let wire = ftl.to_wire();
+    group.bench_function("ftl/decode", |b| {
+        b.iter(|| FunctionTxLog::from_wire(&wire).unwrap())
+    });
+
+    // The Trace Object: encode cost grows with accumulated entries.
+    for depth in [10usize, 100, 1_000, 10_000] {
+        let to = TraceObject::simulate_chain(depth, 32);
+        group.bench_with_input(BenchmarkId::new("trace_object/encode", depth), &to, |b, to| {
+            b.iter(|| to.to_wire().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_payloads);
+criterion_main!(benches);

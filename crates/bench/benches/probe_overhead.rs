@@ -1,0 +1,143 @@
+//! Bench O1: per-call cost of the instrumentation — instrumented vs. plain
+//! stubs/skeletons, remote and collocated.
+
+use causeway_core::monitor::ProbeMode;
+use causeway_core::value::Value;
+use causeway_orb::prelude::*;
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::sync::Arc;
+
+struct Rig {
+    system: System,
+    local: ObjRef,
+    remote: ObjRef,
+    client_p: causeway_core::ids::ProcessId,
+}
+
+fn rig(instrumented: bool) -> Rig {
+    let mut builder = System::builder();
+    builder.instrumented(instrumented).probe_mode(ProbeMode::Latency);
+    let node = builder.node("n", "X");
+    let client_p = builder.process("client", node, ThreadingPolicy::ThreadPerRequest);
+    let server_p = builder.process("server", node, ThreadingPolicy::ThreadPool(2));
+    let system = builder.build();
+    system
+        .load_idl("interface Echo { long id(in long x); };")
+        .unwrap();
+    let servant = || {
+        Arc::new(FnServant::new(|_, _, args: Vec<Value>| {
+            Ok(args.into_iter().next().unwrap_or(Value::Void))
+        }))
+    };
+    let local = system
+        .register_servant(client_p, "Echo", "L", "l#0", servant())
+        .unwrap();
+    let remote = system
+        .register_servant(server_p, "Echo", "R", "r#0", servant())
+        .unwrap();
+    system.start();
+    Rig { system, local, remote, client_p }
+}
+
+fn bench_probe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_overhead");
+    for (label, instrumented) in [("plain", false), ("instrumented", true)] {
+        let rig = rig(instrumented);
+        let client = rig.system.client(rig.client_p);
+        // Keep the log buffers bounded: drain every few thousand calls so
+        // buffer reallocation does not pollute the per-call timing.
+        let client_store = rig.system.orb(rig.client_p).monitor().store().clone();
+        let server_store = rig
+            .system
+            .orb(rig.remote.owner)
+            .monitor()
+            .store()
+            .clone();
+        let since_drain = std::cell::Cell::new(0u32);
+        let drain_sometimes = || {
+            let n = since_drain.get() + 1;
+            if n >= 4096 {
+                since_drain.set(0);
+                client_store.drain();
+                server_store.drain();
+            } else {
+                since_drain.set(n);
+            }
+        };
+
+        group.bench_function(format!("collocated/{label}"), |b| {
+            b.iter(|| {
+                client.begin_root();
+                let out = client.invoke(&rig.local, "id", vec![Value::I64(1)]).unwrap();
+                drain_sometimes();
+                out
+            })
+        });
+        group.bench_function(format!("remote/{label}"), |b| {
+            b.iter(|| {
+                client.begin_root();
+                let out = client.invoke(&rig.remote, "id", vec![Value::I64(1)]).unwrap();
+                drain_sometimes();
+                out
+            })
+        });
+        rig.system.orb(rig.client_p).monitor().store().drain();
+        rig.system.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_overhead, bench_probe_modes);
+criterion_main!(benches);
+
+/// Ablation: per-call cost of each probe mode (what each behavior aspect
+/// adds on top of causality capture).
+fn bench_probe_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_modes");
+    for (label, mode) in [
+        ("causality_only", ProbeMode::CausalityOnly),
+        ("latency", ProbeMode::Latency),
+        ("cpu", ProbeMode::Cpu),
+        ("both", ProbeMode::Both),
+    ] {
+        let mut builder = System::builder();
+        builder.instrumented(true).probe_mode(mode);
+        let node = builder.node("n", "X");
+        let p = builder.process("solo", node, ThreadingPolicy::ThreadPerRequest);
+        let system = builder.build();
+        system
+            .load_idl("interface Echo { long id(in long x); };")
+            .unwrap();
+        let obj = system
+            .register_servant(
+                p,
+                "Echo",
+                "E",
+                "e#0",
+                Arc::new(FnServant::new(|_, _, args: Vec<Value>| {
+                    Ok(args.into_iter().next().unwrap_or(Value::Void))
+                })),
+            )
+            .unwrap();
+        system.start();
+        let client = system.client(p);
+        let store = system.orb(p).monitor().store().clone();
+        let since_drain = std::cell::Cell::new(0u32);
+        group.bench_function(format!("collocated/{label}"), |b| {
+            b.iter(|| {
+                client.begin_root();
+                let out = client.invoke(&obj, "id", vec![Value::I64(1)]).unwrap();
+                let n = since_drain.get() + 1;
+                if n >= 4096 {
+                    since_drain.set(0);
+                    store.drain();
+                } else {
+                    since_drain.set(n);
+                }
+                out
+            })
+        });
+        system.shutdown();
+    }
+    group.finish();
+}

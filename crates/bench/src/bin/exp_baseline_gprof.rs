@@ -1,0 +1,88 @@
+//! Experiment B2 — §5: GPROF keeps only depth-1, same-thread relations.
+//!
+//! Runs the PPS in two deployments and compares what a gprof-style
+//! per-thread profiler recovers against the DSCG's ground truth: in the
+//! monolithic collocated deployment gprof sees everything; in the
+//! distributed deployment every cross-process relationship degrades to a
+//! `<spontaneous>` arc.
+
+use causeway_bench::{banner, print_table};
+use causeway_analyzer::dscg::Dscg;
+use causeway_baselines::gprof::FlatProfile;
+use causeway_collector::db::MonitoringDb;
+use causeway_core::monitor::ProbeMode;
+use causeway_workloads::{Pps, PpsConfig, PpsDeployment};
+
+fn run(deployment: PpsDeployment, collocation: bool) -> MonitoringDb {
+    let config = PpsConfig {
+        deployment,
+        probe_mode: ProbeMode::CausalityOnly,
+        collocation_optimization: collocation,
+        work_scale: 0.02,
+        ..PpsConfig::default()
+    };
+    let pps = Pps::build(&config);
+    pps.run_jobs(20);
+    MonitoringDb::from_run(pps.finish())
+}
+
+fn main() {
+    banner(
+        "B2",
+        "gprof baseline — depth-1, same-thread caller/callee only",
+        "GPROF merely reports the callee-caller propagation … within the same \
+         thread context",
+    );
+
+    let mut rows = Vec::new();
+    for (label, deployment, collocation) in [
+        ("monolithic (collocated)", PpsDeployment::Monolithic, true),
+        ("4-process", PpsDeployment::FourProcess, false),
+        ("multi-node", PpsDeployment::MultiNode, false),
+    ] {
+        let db = run(deployment, collocation);
+        let profile = FlatProfile::build(&db);
+        let dscg = Dscg::build(&db);
+        // Ground truth: parent->child relationships in the DSCG.
+        let mut true_edges = 0usize;
+        dscg.walk(&mut |node, _| {
+            true_edges += node.children.len();
+        });
+        rows.push(vec![
+            label.to_owned(),
+            true_edges.to_string(),
+            profile.total_arcs().to_string(),
+            profile.cross_boundary_arcs.to_string(),
+            format!("{:.0}%", profile.blindness() * 100.0),
+        ]);
+    }
+    println!();
+    print_table(
+        &[
+            "deployment",
+            "true edges (DSCG)",
+            "gprof arcs",
+            "spontaneous (caller lost)",
+            "blindness",
+        ],
+        &rows,
+    );
+
+    // Shape assertions: distribution destroys gprof's view; the DSCG is
+    // deployment-independent.
+    let mono = FlatProfile::build(&run(PpsDeployment::Monolithic, true));
+    let four = FlatProfile::build(&run(PpsDeployment::FourProcess, false));
+    assert_eq!(mono.cross_boundary_arcs, mono_oneway_arcs(), "collocated sync calls are visible");
+    assert!(four.blindness() > 0.3, "distribution blinds gprof");
+    println!(
+        "\nB2 PASS: gprof loses {:.0}% of relationships once the PPS is \
+         distributed; the DSCG loses none.",
+        four.blindness() * 100.0
+    );
+}
+
+/// In the monolithic deployment the only cross-thread arcs are the one-way
+/// status events (3 per job, always dispatched on server threads).
+fn mono_oneway_arcs() -> usize {
+    20 * 3
+}

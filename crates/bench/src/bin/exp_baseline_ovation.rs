@@ -1,0 +1,105 @@
+//! Experiment B3 — §5: OVATION's anchors cannot relate invocations.
+//!
+//! "The major difference to our work is that it does not provide global
+//! causality capture. As the result, for each method invocation … the tool
+//! cannot determine how this particular invocation is related to the rest
+//! of method invocations."
+//!
+//! OVATION is given its best causality-free heuristic (innermost temporal
+//! containment) and scored against ground truth across increasing client
+//! concurrency; the DSCG's attribution is exact at every level.
+
+use causeway_bench::{banner, print_table};
+use causeway_analyzer::dscg::Dscg;
+use causeway_baselines::ovation::OvationAnalysis;
+use causeway_collector::db::MonitoringDb;
+use causeway_core::monitor::ProbeMode;
+use causeway_core::value::Value;
+use causeway_workloads::{Pps, PpsConfig, PpsDeployment, StageName};
+use std::time::Duration;
+
+fn run_concurrent(jobs: usize, concurrency: usize) -> MonitoringDb {
+    let config = PpsConfig {
+        deployment: PpsDeployment::FourProcess,
+        probe_mode: ProbeMode::Latency, // OVATION needs the timing anchors
+        collocation_optimization: false,
+        work_scale: 0.05,
+        ..PpsConfig::default()
+    };
+    let pps = Pps::build(&config);
+    std::thread::scope(|scope| {
+        for lane in 0..concurrency {
+            let client = pps.system.client(pps.driver);
+            let source = pps.stage(StageName::JobSource);
+            scope.spawn(move || {
+                for job in 0..jobs {
+                    client.begin_root();
+                    client
+                        .invoke(&source, "submit", vec![Value::I64((lane * 1000 + job) as i64)])
+                        .expect("job");
+                }
+            });
+        }
+    });
+    pps.system.quiesce(Duration::from_secs(30)).expect("quiesce");
+    MonitoringDb::from_run(pps.finish())
+}
+
+fn main() {
+    banner(
+        "B3",
+        "OVATION baseline — four timing anchors, no global causality",
+        "the tool cannot determine how an invocation is related to the rest of \
+         the invocations",
+    );
+
+    let mut rows = Vec::new();
+    let mut sequential_failure = 1.0f64;
+    let mut concurrent_failure = 0.0f64;
+    for concurrency in [1usize, 2, 4, 8] {
+        let db = run_concurrent(6, concurrency);
+        let ovation = OvationAnalysis::evaluate(&db);
+        let dscg = Dscg::build(&db);
+        assert!(dscg.abnormalities.is_empty(), "the DSCG stays exact");
+        if concurrency == 1 {
+            sequential_failure = ovation.failure_rate();
+        }
+        if concurrency == 8 {
+            concurrent_failure = ovation.failure_rate();
+        }
+        rows.push(vec![
+            concurrency.to_string(),
+            ovation.total.to_string(),
+            ovation.correct.to_string(),
+            ovation.ambiguous.to_string(),
+            ovation.wrong.to_string(),
+            format!("{:.0}%", ovation.failure_rate() * 100.0),
+            "0%".to_owned(),
+        ]);
+    }
+    println!();
+    print_table(
+        &[
+            "concurrent clients",
+            "remote invocations",
+            "OVATION correct",
+            "ambiguous",
+            "misattributed",
+            "OVATION failure",
+            "DSCG failure",
+        ],
+        &rows,
+    );
+
+    assert!(
+        concurrent_failure > sequential_failure,
+        "attribution must degrade with concurrency \
+         ({sequential_failure:.2} -> {concurrent_failure:.2})"
+    );
+    assert!(concurrent_failure > 0.0);
+    println!(
+        "\nB3 PASS: OVATION misattributes {:.0}% of callers at 8-way concurrency; \
+         the UUID-based DSCG misattributes none.",
+        concurrent_failure * 100.0
+    );
+}

@@ -1,0 +1,51 @@
+//! Experiment F6 — Figure 6: the CPU Consumption Summarization Graph of the
+//! PPS, single-processor 4-process configuration, rendered as XML.
+
+use causeway_bench::banner;
+use causeway_analyzer::ccsg::Ccsg;
+use causeway_analyzer::cpu::CpuAnalysis;
+use causeway_analyzer::dscg::Dscg;
+use causeway_analyzer::render::ccsg_xml;
+use causeway_collector::db::MonitoringDb;
+use causeway_core::monitor::ProbeMode;
+use causeway_workloads::{Pps, PpsConfig, PpsDeployment};
+
+fn main() {
+    banner(
+        "F6",
+        "Figure 6 — CCSG of the PPS (single-processor 4-process, XML view)",
+        "self and descendent CPU results structured following the call \
+         hierarchy; each node identified by interface and function names and \
+         its unique object identifier; consumption in [second, microsecond]",
+    );
+
+    let config = PpsConfig {
+        deployment: PpsDeployment::FourProcess,
+        probe_mode: ProbeMode::Cpu,
+        work_scale: 1.0,
+        ..PpsConfig::default()
+    };
+    let pps = Pps::build(&config);
+    pps.run_jobs(25);
+    let db = MonitoringDb::from_run(pps.finish());
+
+    let dscg = Dscg::build(&db);
+    assert!(dscg.abnormalities.is_empty());
+    let cpu = CpuAnalysis::compute(&dscg, db.deployment());
+    let ccsg = Ccsg::build(&dscg, db.deployment());
+
+    println!(
+        "\nsystem-wide self-CPU total: {} µs across {} aggregated nodes\n",
+        cpu.system_total.total() / 1_000,
+        ccsg.size()
+    );
+    print!("{}", ccsg_xml(&ccsg, db.vocab()));
+
+    // The root aggregates all 25 jobs and its descendant CPU covers the
+    // whole pipeline below it.
+    assert_eq!(ccsg.roots.len(), 1);
+    assert_eq!(ccsg.roots[0].invocation_times, 25);
+    assert!(ccsg.roots[0].descendant_cpu.total() > ccsg.roots[0].self_cpu.total());
+
+    println!("\nF6 PASS: CCSG rendered with InvocationTimes / Self / Descendent CPU.");
+}

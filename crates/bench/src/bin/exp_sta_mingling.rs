@@ -1,0 +1,140 @@
+//! Experiment O2 — §2.2: COM STA causal mingling and the runtime fix.
+//!
+//! "The apartment thread T can switch to serve another incoming call C2
+//! when the call C1 that T is serving issues an outbound call C3 and
+//! suffers blocking. … Techniques have been devised to avoid causal chain
+//! mingling. In the actual implementation, only a very limited amount of
+//! instrumentation before and after call sending and dispatching is
+//! required to the COM infrastructure."
+
+use causeway_bench::{banner, print_table};
+use causeway_analyzer::dscg::Dscg;
+use causeway_collector::db::MonitoringDb;
+use causeway_com::{ApartmentKind, ComConfig, ComDomain, FnComServant};
+use causeway_core::ids::{NodeId, ProcessId};
+use causeway_core::value::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+const IDL: &str = r#"
+    interface Worker {
+        long work(in long x);
+        long quick(in long x);
+        string echo(in string text);
+    };
+"#;
+
+fn scenario(fix: bool, rounds: usize) -> Dscg {
+    let d = ComDomain::builder(ProcessId(0), NodeId(0))
+        .config(ComConfig { fix_mingling: fix, ..ComConfig::default() })
+        .build();
+    d.load_idl(IDL).unwrap();
+    let apt_a = d.create_apartment(ApartmentKind::Sta);
+    let apt_b = d.create_apartment(ApartmentKind::Sta);
+
+    let echo = d
+        .register_object(
+            apt_b,
+            "Worker",
+            "Echo",
+            "echo#0",
+            Arc::new(FnComServant::new(|_, _, args| {
+                Ok(Value::Str(args[0].as_str().unwrap_or("").to_owned()))
+            })),
+        )
+        .unwrap();
+
+    let echo_ref = echo;
+    let x = d
+        .register_object(
+            apt_a,
+            "Worker",
+            "X",
+            "x#0",
+            Arc::new(FnComServant::new(move |ctx, midx, args| match midx.0 {
+                0 => {
+                    // `work`: wait for `quick` to queue up, enter a modal
+                    // wait (pump), then make a child call.
+                    std::thread::sleep(Duration::from_millis(40));
+                    ctx.client().pump();
+                    let out = ctx
+                        .client()
+                        .invoke(&echo_ref, "echo", vec![Value::from("after-pump")])
+                        .map_err(|e| ("Downstream".to_owned(), e.to_string()))?;
+                    Ok(out)
+                }
+                1 => Ok(Value::I64(args[0].as_i64().unwrap_or(0) + 100)),
+                _ => Err(("BadMethod".into(), String::new())),
+            })),
+        )
+        .unwrap();
+
+    for _ in 0..rounds {
+        let d2 = d.clone();
+        let worker = std::thread::spawn(move || {
+            let client = d2.client();
+            client.begin_root();
+            client.invoke(&x, "work", vec![Value::I64(0)]).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let client = d.client();
+        client.begin_root();
+        client.invoke(&x, "quick", vec![Value::I64(5)]).unwrap();
+        worker.join().unwrap();
+    }
+
+    d.quiesce(Duration::from_secs(10)).unwrap();
+    d.shutdown();
+    let db = MonitoringDb::from_run(d.harvest_standalone("com-box", "WindowsNT"));
+    Dscg::build(&db)
+}
+
+fn main() {
+    banner(
+        "O2",
+        "STA causal mingling — unfixed vs. fixed runtime",
+        "without the save/restore instrumentation around dispatch, nested \
+         message-loop dispatch tramples the thread's FTL and chains mingle",
+    );
+
+    let rounds = 5;
+    let unfixed = scenario(false, rounds);
+    let fixed = scenario(true, rounds);
+
+    println!();
+    print_table(
+        &["runtime", "chains", "nodes", "abnormalities"],
+        &[
+            vec![
+                "COM, mingling fix OFF".into(),
+                unfixed.trees.len().to_string(),
+                unfixed.total_nodes().to_string(),
+                unfixed.abnormalities.len().to_string(),
+            ],
+            vec![
+                "COM, mingling fix ON".into(),
+                fixed.trees.len().to_string(),
+                fixed.total_nodes().to_string(),
+                fixed.abnormalities.len().to_string(),
+            ],
+        ],
+    );
+
+    if let Some(a) = unfixed.abnormalities.first() {
+        println!("\nexample mingling symptom: {}", a.message);
+    }
+
+    assert!(
+        !unfixed.abnormalities.is_empty(),
+        "the unfixed STA must exhibit causal mingling"
+    );
+    assert!(
+        fixed.abnormalities.is_empty(),
+        "the fixed STA must keep chains clean: {:?}",
+        fixed.abnormalities
+    );
+    println!(
+        "\nO2 PASS: {} abnormalities without the fix, 0 with it.",
+        unfixed.abnormalities.len()
+    );
+}

@@ -1,0 +1,181 @@
+//! # causeway-bridge
+//!
+//! A bi-directional CORBA↔COM bridge (§2.3 of the paper): "as long as the
+//! bi-directional CORBA-COM bridge is aware of the extra FTL data hidden in
+//! the instrumented calls, and delivers it from the caller's domain to the
+//! callee's domain, causality will seamlessly propagate across the boundary,
+//! and continue to advance in the other domain."
+//!
+//! Both directions are implemented as ordinary servants that forward each
+//! up-call through the *other* runtime's instrumented stub. Because the
+//! forwarding happens on the same thread that ran the incoming skeleton, the
+//! thread-specific storage already holds the live FTL — the outgoing stub
+//! picks it up and the chain crosses the boundary without either runtime
+//! knowing about the other. Delivering the FTL is therefore exactly as
+//! cheap as the paper claims: the bridge only has to *not lose* it.
+//!
+//! * [`OrbToComBridge`] — a CORBA servant fronting a COM object.
+//! * [`ComToOrbBridge`] — a COM servant fronting a CORBA object.
+//!
+//! Both require the two domains to share a [`SystemVocab`] (load the same
+//! IDL into both) so that interface ids and method indexes agree.
+
+#![warn(missing_docs)]
+
+use causeway_com::{ComClient, ComObjRef, ComServant};
+use causeway_core::ids::MethodIndex;
+use causeway_core::names::SystemVocab;
+use causeway_core::value::Value;
+use causeway_orb::servant::{MethodResult, Servant, ServerCtx};
+use causeway_orb::{AppError, Client, ObjRef};
+
+/// A CORBA servant that forwards every method to a COM object.
+pub struct OrbToComBridge {
+    com: ComClient,
+    target: ComObjRef,
+    vocab: SystemVocab,
+}
+
+impl OrbToComBridge {
+    /// Creates a bridge servant fronting `target`.
+    pub fn new(com: ComClient, target: ComObjRef, vocab: SystemVocab) -> OrbToComBridge {
+        OrbToComBridge { com, target, vocab }
+    }
+}
+
+impl Servant for OrbToComBridge {
+    fn dispatch(&self, _ctx: &ServerCtx, method: MethodIndex, args: Vec<Value>) -> MethodResult {
+        let name = self
+            .vocab
+            .method_name(self.target.interface, method)
+            .ok_or_else(|| AppError::new("BridgeError", format!("no method {method}")))?;
+        self.com
+            .invoke(&self.target, &name, args)
+            .map_err(|e| AppError::new("BridgeError", e.to_string()))
+    }
+}
+
+impl std::fmt::Debug for OrbToComBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrbToComBridge").field("target", &self.target).finish()
+    }
+}
+
+/// A COM servant that forwards every method to a CORBA object.
+pub struct ComToOrbBridge {
+    orb: Client,
+    target: ObjRef,
+    vocab: SystemVocab,
+}
+
+impl ComToOrbBridge {
+    /// Creates a bridge servant fronting `target`.
+    pub fn new(orb: Client, target: ObjRef, vocab: SystemVocab) -> ComToOrbBridge {
+        ComToOrbBridge { orb, target, vocab }
+    }
+}
+
+impl ComServant for ComToOrbBridge {
+    fn dispatch(
+        &self,
+        _ctx: &causeway_com::ComCtx,
+        method: MethodIndex,
+        args: Vec<Value>,
+    ) -> Result<Value, (String, String)> {
+        let name = self
+            .vocab
+            .method_name(self.target.interface, method)
+            .ok_or_else(|| ("BridgeError".to_owned(), format!("no method {method}")))?;
+        self.orb
+            .invoke(&self.target, &name, args)
+            .map_err(|e| ("BridgeError".to_owned(), e.to_string()))
+    }
+}
+
+impl std::fmt::Debug for ComToOrbBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComToOrbBridge").field("target", &self.target).finish()
+    }
+}
+
+/// A CORBA servant that forwards every method to an EJB bean — the J2EE leg
+/// of the hybrid story: "we strive for the monitoring framework capable of
+/// monitoring the end-to-end application that consists of different
+/// subsystems, each of which is built upon a different remote invocation
+/// infrastructure."
+pub struct OrbToEjbBridge {
+    ejb: causeway_ejb::EjbClient,
+    jndi_name: String,
+    vocab: SystemVocab,
+    interface: causeway_core::ids::InterfaceId,
+}
+
+impl OrbToEjbBridge {
+    /// Creates a bridge servant fronting the bean bound at `jndi_name`.
+    /// `interface` names the shared business interface (for method-name
+    /// resolution).
+    pub fn new(
+        ejb: causeway_ejb::EjbClient,
+        jndi_name: impl Into<String>,
+        interface: causeway_core::ids::InterfaceId,
+        vocab: SystemVocab,
+    ) -> OrbToEjbBridge {
+        OrbToEjbBridge { ejb, jndi_name: jndi_name.into(), vocab, interface }
+    }
+}
+
+impl Servant for OrbToEjbBridge {
+    fn dispatch(&self, _ctx: &ServerCtx, method: MethodIndex, args: Vec<Value>) -> MethodResult {
+        let name = self
+            .vocab
+            .method_name(self.interface, method)
+            .ok_or_else(|| AppError::new("BridgeError", format!("no method {method}")))?;
+        self.ejb
+            .call(&self.jndi_name, &name, args)
+            .map_err(|e| AppError::new("BridgeError", e.to_string()))
+    }
+}
+
+impl std::fmt::Debug for OrbToEjbBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrbToEjbBridge").field("jndi", &self.jndi_name).finish()
+    }
+}
+
+/// An EJB bean that forwards every business method to a CORBA object — the
+/// reverse leg.
+pub struct EjbToOrbBridge {
+    orb: Client,
+    target: ObjRef,
+    vocab: SystemVocab,
+}
+
+impl EjbToOrbBridge {
+    /// Creates a bridge bean fronting `target`.
+    pub fn new(orb: Client, target: ObjRef, vocab: SystemVocab) -> EjbToOrbBridge {
+        EjbToOrbBridge { orb, target, vocab }
+    }
+}
+
+impl causeway_ejb::SessionBean for EjbToOrbBridge {
+    fn business(
+        &mut self,
+        _ctx: &causeway_ejb::BeanCtx,
+        method: MethodIndex,
+        args: Vec<Value>,
+    ) -> Result<Value, (String, String)> {
+        let name = self
+            .vocab
+            .method_name(self.target.interface, method)
+            .ok_or_else(|| ("BridgeError".to_owned(), format!("no method {method}")))?;
+        self.orb
+            .invoke(&self.target, &name, args)
+            .map_err(|e| ("BridgeError".to_owned(), e.to_string()))
+    }
+}
+
+impl std::fmt::Debug for EjbToOrbBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EjbToOrbBridge").field("target", &self.target).finish()
+    }
+}

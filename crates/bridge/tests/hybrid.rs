@@ -1,0 +1,149 @@
+//! Hybrid CORBA/COM system: one causal chain crossing both runtimes through
+//! the bridge, twice.
+
+use causeway_analyzer::dscg::Dscg;
+use causeway_bridge::{ComToOrbBridge, OrbToComBridge};
+use causeway_collector::db::MonitoringDb;
+use causeway_com::{ApartmentKind, ComConfig, ComDomain, FnComServant};
+use causeway_core::runlog::RunLog;
+use causeway_core::value::Value;
+use causeway_orb::prelude::*;
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const IDL: &str = r#"
+    interface Task {
+        string perform(in string label);
+    };
+"#;
+
+#[test]
+fn chain_crosses_corba_com_boundary_both_ways() {
+    // Topology: orb client -> ORB servant "front" -> [OrbToComBridge] ->
+    // COM object "middle" -> [ComToOrbBridge] -> ORB servant "back".
+    let mut builder = System::builder();
+    let node = builder.node("hybrid-box", "HPUX");
+    let p_client = builder.process("driver", node, ThreadingPolicy::ThreadPerRequest);
+    let p_orb = builder.process("corba-side", node, ThreadingPolicy::ThreadPerRequest);
+    let p_com = builder.process("com-side", node, ThreadingPolicy::ThreadPerRequest);
+    let system = builder.build();
+    system.load_idl(IDL).unwrap();
+
+    // The COM domain shares the system's vocabulary and claims the
+    // deployment slot of `p_com` so CPU typing resolves.
+    let domain = ComDomain::builder(p_com, node)
+        .vocab(system.vocab().clone())
+        .config(ComConfig::default())
+        .build();
+    domain.load_idl(IDL).unwrap();
+    let apt = domain.create_apartment(ApartmentKind::Sta);
+
+    // Innermost CORBA servant.
+    let back = system
+        .register_servant(
+            p_orb,
+            "Task",
+            "Back",
+            "back#0",
+            Arc::new(FnServant::new(|_, _, args| {
+                Ok(Value::Str(format!("back({})", args[0].as_str().unwrap_or(""))))
+            })),
+        )
+        .unwrap();
+
+    // COM object that forwards into CORBA through the second bridge leg.
+    let com_to_orb = ComToOrbBridge::new(system.client(p_com), back, system.vocab().clone());
+    let bridge_back = domain
+        .register_object(apt, "Task", "BridgeBack", "bridge-back#0", Arc::new(com_to_orb))
+        .unwrap();
+
+    let bridge_back_ref = bridge_back;
+    let middle = domain
+        .register_object(
+            apt,
+            "Task",
+            "Middle",
+            "middle#0",
+            Arc::new(FnComServant::new(move |ctx, _, args| {
+                let inner = ctx
+                    .client()
+                    .invoke(&bridge_back_ref, "perform", args)
+                    .map_err(|e| ("Downstream".to_owned(), e.to_string()))?;
+                Ok(Value::Str(format!("middle({})", inner.as_str().unwrap_or(""))))
+            })),
+        )
+        .unwrap();
+
+    // First bridge leg: CORBA servant fronting the COM object.
+    let orb_to_com = OrbToComBridge::new(domain.client(), middle, system.vocab().clone());
+    let bridge_mid = system
+        .register_servant(p_orb, "Task", "BridgeMid", "bridge-mid#0", Arc::new(orb_to_com))
+        .unwrap();
+
+    // Outer CORBA servant.
+    let bridge_mid_slot: Arc<OnceLock<ObjRef>> = Arc::new(OnceLock::new());
+    bridge_mid_slot.set(bridge_mid).unwrap();
+    let front_slot = bridge_mid_slot.clone();
+    let front = system
+        .register_servant(
+            p_orb,
+            "Task",
+            "Front",
+            "front#0",
+            Arc::new(FnServant::new(move |ctx, _, args| {
+                let inner = ctx
+                    .client()
+                    .invoke(front_slot.get().expect("wired"), "perform", args)
+                    .map_err(|e| AppError::new("Downstream", e.to_string()))?;
+                Ok(Value::Str(format!("front({})", inner.as_str().unwrap_or(""))))
+            })),
+        )
+        .unwrap();
+
+    system.start();
+    let client = system.client(p_client);
+    client.begin_root();
+    let out = client.invoke(&front, "perform", vec![Value::from("job")]).unwrap();
+    assert_eq!(out.as_str(), Some("front(middle(back(job)))"));
+
+    system.quiesce(Duration::from_secs(10)).unwrap();
+    domain.quiesce(Duration::from_secs(10)).unwrap();
+    system.shutdown();
+    domain.shutdown();
+
+    // Merge both runtimes' logs into one run.
+    let mut run = system.harvest();
+    run.merge(RunLog::new(
+        domain.drain_records(),
+        run.vocab.clone(),
+        run.deployment.clone(),
+    ));
+
+    let db = MonitoringDb::from_run(run);
+    let dscg = Dscg::build(&db);
+    assert!(dscg.abnormalities.is_empty(), "{:?}", dscg.abnormalities);
+    assert_eq!(dscg.trees.len(), 1, "one chain crosses the whole hybrid");
+    // front -> bridge-mid -> middle -> bridge-back -> back: 5 nested calls.
+    assert_eq!(dscg.total_nodes(), 5);
+    let mut labels = Vec::new();
+    dscg.walk(&mut |node, depth| {
+        labels.push((depth, db.vocab().qualified_function(&node.func)));
+    });
+    assert_eq!(
+        labels,
+        vec![
+            (0, "Task.perform@front#0".to_owned()),
+            (1, "Task.perform@bridge-mid#0".to_owned()),
+            (2, "Task.perform@middle#0".to_owned()),
+            (3, "Task.perform@bridge-back#0".to_owned()),
+            (4, "Task.perform@back#0".to_owned()),
+        ]
+    );
+    // The chain's event numbering is dense across both domains: 5 calls x 4
+    // probes.
+    let events = db.events_for(dscg.trees[0].chain);
+    let mut seqs: Vec<u64> = events.iter().map(|r| r.seq).collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, (1..=20).collect::<Vec<u64>>());
+}

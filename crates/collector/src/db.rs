@@ -1,0 +1,230 @@
+//! The relational monitoring database.
+
+use causeway_core::deploy::Deployment;
+use causeway_core::event::TraceEvent;
+use causeway_core::names::VocabSnapshot;
+use causeway_core::record::ProbeRecord;
+use causeway_core::runlog::RunLog;
+use causeway_core::uuid::Uuid;
+use std::collections::{HashMap, HashSet};
+
+/// Scale statistics of a run — the shape numbers the paper reports for its
+/// commercial system ("about 195,000 calls, with a total of 801 unique
+/// methods in 155 unique interfaces from 176 unique components … 32
+/// threads … 4 processes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScaleStats {
+    /// Total probe records.
+    pub total_records: usize,
+    /// Number of invocations (stub-start events).
+    pub calls: usize,
+    /// Distinct (interface, method) pairs invoked.
+    pub unique_methods: usize,
+    /// Distinct interfaces invoked.
+    pub unique_interfaces: usize,
+    /// Distinct components owning invoked objects.
+    pub unique_components: usize,
+    /// Distinct objects invoked.
+    pub unique_objects: usize,
+    /// Distinct causal chains (Function UUIDs).
+    pub unique_chains: usize,
+    /// Distinct (process, logical thread) pairs that recorded probes.
+    pub threads: usize,
+    /// Distinct processes that recorded probes.
+    pub processes: usize,
+}
+
+/// The synthesized relational store over one run's records.
+#[derive(Debug, Clone)]
+pub struct MonitoringDb {
+    run: RunLog,
+    /// Record indexes per chain, sorted by ascending event number (the
+    /// paper's "second query").
+    by_uuid: HashMap<Uuid, Vec<usize>>,
+    /// Chains in first-appearance order, for deterministic iteration.
+    uuid_order: Vec<Uuid>,
+}
+
+impl MonitoringDb {
+    /// Synthesizes the database from a harvested run.
+    pub fn from_run(run: RunLog) -> MonitoringDb {
+        let mut by_uuid: HashMap<Uuid, Vec<usize>> = HashMap::new();
+        let mut uuid_order = Vec::new();
+        for (idx, record) in run.records.iter().enumerate() {
+            let entry = by_uuid.entry(record.uuid).or_insert_with(|| {
+                uuid_order.push(record.uuid);
+                Vec::new()
+            });
+            entry.push(idx);
+        }
+        let records = &run.records;
+        for indexes in by_uuid.values_mut() {
+            // Ascending event number; ties (which only occur in corrupted
+            // logs) break by probe order then record index for determinism.
+            indexes.sort_by_key(|&i| (records[i].seq, records[i].event.probe_number(), i));
+        }
+        MonitoringDb { run, by_uuid, uuid_order }
+    }
+
+    /// The full record table.
+    pub fn records(&self) -> &[ProbeRecord] {
+        &self.run.records
+    }
+
+    /// The name dimension tables.
+    pub fn vocab(&self) -> &VocabSnapshot {
+        &self.run.vocab
+    }
+
+    /// The deployment dimension table.
+    pub fn deployment(&self) -> &Deployment {
+        &self.run.deployment
+    }
+
+    /// The underlying run (for re-export).
+    pub fn run(&self) -> &RunLog {
+        &self.run
+    }
+
+    /// The set of unique Function UUIDs ever created, in first-appearance
+    /// order — the analyzer's first query.
+    pub fn unique_uuids(&self) -> &[Uuid] {
+        &self.uuid_order
+    }
+
+    /// The events of one chain sorted by ascending event number — the
+    /// analyzer's second query.
+    pub fn events_for(&self, uuid: Uuid) -> Vec<&ProbeRecord> {
+        self.by_uuid
+            .get(&uuid)
+            .map(|indexes| indexes.iter().map(|&i| &self.run.records[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Scale statistics over the whole run.
+    pub fn scale_stats(&self) -> ScaleStats {
+        let mut methods = HashSet::new();
+        let mut interfaces = HashSet::new();
+        let mut components = HashSet::new();
+        let mut objects = HashSet::new();
+        let mut threads = HashSet::new();
+        let mut processes = HashSet::new();
+        let mut calls = 0usize;
+        for r in &self.run.records {
+            if r.event == TraceEvent::StubStart {
+                calls += 1;
+            }
+            methods.insert(r.func.method_key());
+            interfaces.insert(r.func.interface);
+            objects.insert(r.func.object);
+            if let Some(obj) = self.run.vocab.object(r.func.object) {
+                components.insert(obj.component);
+            }
+            threads.insert((r.site.process, r.site.thread));
+            processes.insert(r.site.process);
+        }
+        ScaleStats {
+            total_records: self.run.records.len(),
+            calls,
+            unique_methods: methods.len(),
+            unique_interfaces: interfaces.len(),
+            unique_components: components.len(),
+            unique_objects: objects.len(),
+            unique_chains: self.uuid_order.len(),
+            threads: threads.len(),
+            processes: processes.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causeway_core::event::CallKind;
+    use causeway_core::ids::*;
+    use causeway_core::record::{CallSite, FunctionKey};
+
+    fn rec(uuid: u128, seq: u64, event: TraceEvent) -> ProbeRecord {
+        ProbeRecord {
+            uuid: Uuid(uuid),
+            seq,
+            event,
+            kind: CallKind::Sync,
+            site: CallSite {
+                node: NodeId(0),
+                process: ProcessId(0),
+                thread: LogicalThreadId(0),
+            },
+            func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(0)),
+            wall_start: None,
+            wall_end: None,
+            cpu_start: None,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: None,
+        }
+    }
+
+    fn db_from(records: Vec<ProbeRecord>) -> MonitoringDb {
+        MonitoringDb::from_run(RunLog::new(records, VocabSnapshot::default(), Deployment::new()))
+    }
+
+    #[test]
+    fn events_are_sorted_by_seq_per_uuid() {
+        // Insert out of order, as scattered multi-thread logs would be.
+        let db = db_from(vec![
+            rec(1, 3, TraceEvent::SkelEnd),
+            rec(2, 1, TraceEvent::StubStart),
+            rec(1, 1, TraceEvent::StubStart),
+            rec(1, 4, TraceEvent::StubEnd),
+            rec(1, 2, TraceEvent::SkelStart),
+            rec(2, 2, TraceEvent::StubEnd),
+        ]);
+        assert_eq!(db.unique_uuids(), &[Uuid(1), Uuid(2)]);
+        let events: Vec<u64> = db.events_for(Uuid(1)).iter().map(|r| r.seq).collect();
+        assert_eq!(events, vec![1, 2, 3, 4]);
+        let events: Vec<u64> = db.events_for(Uuid(2)).iter().map(|r| r.seq).collect();
+        assert_eq!(events, vec![1, 2]);
+        assert!(db.events_for(Uuid(99)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_seq_ties_break_by_probe_order() {
+        let db = db_from(vec![
+            rec(1, 1, TraceEvent::SkelStart),
+            rec(1, 1, TraceEvent::StubStart),
+        ]);
+        let events: Vec<TraceEvent> = db.events_for(Uuid(1)).iter().map(|r| r.event).collect();
+        assert_eq!(events, vec![TraceEvent::StubStart, TraceEvent::SkelStart]);
+    }
+
+    #[test]
+    fn scale_stats_count_distinct_dimensions() {
+        let mut records = vec![
+            rec(1, 1, TraceEvent::StubStart),
+            rec(1, 2, TraceEvent::SkelStart),
+            rec(1, 3, TraceEvent::SkelEnd),
+            rec(1, 4, TraceEvent::StubEnd),
+            rec(2, 1, TraceEvent::StubStart),
+        ];
+        records[4].func = FunctionKey::new(InterfaceId(1), MethodIndex(3), ObjectId(9));
+        records[4].site.process = ProcessId(2);
+        let db = db_from(records);
+        let stats = db.scale_stats();
+        assert_eq!(stats.total_records, 5);
+        assert_eq!(stats.calls, 2);
+        assert_eq!(stats.unique_methods, 2);
+        assert_eq!(stats.unique_interfaces, 2);
+        assert_eq!(stats.unique_objects, 2);
+        assert_eq!(stats.unique_chains, 2);
+        assert_eq!(stats.processes, 2);
+        assert_eq!(stats.threads, 2);
+    }
+
+    #[test]
+    fn empty_db_is_well_behaved() {
+        let db = db_from(vec![]);
+        assert!(db.unique_uuids().is_empty());
+        assert_eq!(db.scale_stats(), ScaleStats::default());
+    }
+}

@@ -1,0 +1,511 @@
+//! Line-oriented persistence for run logs.
+//!
+//! Format: the first line is a header object carrying the vocabulary and
+//! deployment dimension tables; every following line is one probe record.
+//! The format is append-friendly (a crashed process's partial log is still
+//! readable up to the crash point) and diff-friendly.
+
+use crate::json::{Json, JsonError, parse};
+use causeway_core::deploy::{Deployment, NodeInfo, ProcessInfo};
+use causeway_core::event::{CallKind, TraceEvent};
+use causeway_core::ids::*;
+use causeway_core::names::{InterfaceEntry, ObjectEntry, VocabSnapshot};
+use causeway_core::record::{CallSite, FunctionKey, ProbeRecord};
+use causeway_core::runlog::RunLog;
+use causeway_core::uuid::Uuid;
+use std::fmt::Write as _;
+
+/// Errors produced while reading the JSONL format.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadError {
+    /// A line failed to parse as JSON.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// The parse failure.
+        source: JsonError,
+    },
+    /// A line parsed but was missing or mistyping a field.
+    Schema {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The input had no header line.
+    MissingHeader,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Json { line, source } => write!(f, "line {line}: {source}"),
+            ReadError::Schema { line, message } => write!(f, "line {line}: {message}"),
+            ReadError::MissingHeader => f.write_str("missing header line"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Serializes a run log to the JSONL text format.
+pub fn write_run(run: &RunLog) -> String {
+    let mut out = String::new();
+    writeln!(out, "{}", header_json(run)).expect("write to string");
+    for record in &run.records {
+        writeln!(out, "{}", record_json(record)).expect("write to string");
+    }
+    out
+}
+
+/// Deserializes a run log from the JSONL text format.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on malformed lines. Use [`read_run_lossy`] to skip
+/// corrupted record lines instead.
+pub fn read_run(text: &str) -> Result<RunLog, ReadError> {
+    read_run_impl(text, false).map(|(run, _)| run)
+}
+
+/// Like [`read_run`] but skips unparseable *record* lines, returning the run
+/// and the number of lines skipped — the forgiving mode for logs from
+/// crashed processes.
+///
+/// # Errors
+///
+/// Still fails when the header is missing or malformed.
+pub fn read_run_lossy(text: &str) -> Result<(RunLog, usize), ReadError> {
+    read_run_impl(text, true)
+}
+
+fn read_run_impl(text: &str, lossy: bool) -> Result<(RunLog, usize), ReadError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines
+        .find(|(_, l)| !l.trim().is_empty())
+        .ok_or(ReadError::MissingHeader)?;
+    let header = parse(header_line).map_err(|source| ReadError::Json { line: 1, source })?;
+    let vocab = vocab_from_json(header.get("vocab"), 1)?;
+    let deployment = deployment_from_json(header.get("deployment"), 1)?;
+
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let parsed = match parse(line) {
+            Ok(v) => v,
+            Err(source) if lossy => {
+                let _ = source;
+                skipped += 1;
+                continue;
+            }
+            Err(source) => return Err(ReadError::Json { line: lineno, source }),
+        };
+        match record_from_json(&parsed, lineno) {
+            Ok(record) => records.push(record),
+            Err(_) if lossy => skipped += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((RunLog::new(records, vocab, deployment), skipped))
+}
+
+fn u128_json(v: u128) -> Json {
+    Json::Str(format!("{v:032x}"))
+}
+
+fn u64_json(v: u64) -> Json {
+    if v < (1 << 53) {
+        Json::Num(v as f64)
+    } else {
+        Json::Str(v.to_string())
+    }
+}
+
+fn opt_u64_json(v: Option<u64>) -> Json {
+    match v {
+        Some(v) => u64_json(v),
+        None => Json::Null,
+    }
+}
+
+fn header_json(run: &RunLog) -> Json {
+    let vocab = &run.vocab;
+    Json::obj([
+        ("format", Json::Str("causeway-runlog-v1".into())),
+        (
+            "vocab",
+            Json::obj([
+                (
+                    "interfaces",
+                    Json::Arr(
+                        vocab
+                            .interfaces
+                            .iter()
+                            .map(|e| {
+                                Json::obj([
+                                    ("name", Json::Str(e.name.clone())),
+                                    (
+                                        "methods",
+                                        Json::Arr(
+                                            e.methods
+                                                .iter()
+                                                .map(|m| Json::Str(m.clone()))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "components",
+                    Json::Arr(vocab.components.iter().map(|c| Json::Str(c.clone())).collect()),
+                ),
+                (
+                    "cpu_types",
+                    Json::Arr(vocab.cpu_types.iter().map(|c| Json::Str(c.clone())).collect()),
+                ),
+                (
+                    "objects",
+                    Json::Arr(
+                        vocab
+                            .objects
+                            .iter()
+                            .map(|(id, e)| {
+                                Json::obj([
+                                    ("id", u64_json(id.0)),
+                                    ("label", Json::Str(e.label.clone())),
+                                    ("interface", Json::Num(e.interface.0 as f64)),
+                                    ("component", Json::Num(e.component.0 as f64)),
+                                    ("process", Json::Num(e.process.0 as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "deployment",
+            Json::obj([
+                (
+                    "nodes",
+                    Json::Arr(
+                        run.deployment
+                            .nodes
+                            .iter()
+                            .map(|n| {
+                                Json::obj([
+                                    ("name", Json::Str(n.name.clone())),
+                                    ("cpu_type", Json::Num(n.cpu_type.0 as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "processes",
+                    Json::Arr(
+                        run.deployment
+                            .processes
+                            .iter()
+                            .map(|p| {
+                                Json::obj([
+                                    ("name", Json::Str(p.name.clone())),
+                                    ("node", Json::Num(p.node.0 as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn record_json(r: &ProbeRecord) -> Json {
+    let mut pairs = vec![
+        ("uuid", u128_json(r.uuid.0)),
+        ("seq", u64_json(r.seq)),
+        ("event", Json::Str(r.event.to_string())),
+        ("kind", Json::Str(r.kind.to_string())),
+        ("node", Json::Num(r.site.node.0 as f64)),
+        ("process", Json::Num(r.site.process.0 as f64)),
+        ("thread", Json::Num(r.site.thread.0 as f64)),
+        ("interface", Json::Num(r.func.interface.0 as f64)),
+        ("method", Json::Num(r.func.method.0 as f64)),
+        ("object", u64_json(r.func.object.0)),
+        ("ws", opt_u64_json(r.wall_start)),
+        ("we", opt_u64_json(r.wall_end)),
+        ("cs", opt_u64_json(r.cpu_start)),
+        ("ce", opt_u64_json(r.cpu_end)),
+    ];
+    if let Some(child) = r.oneway_child {
+        pairs.push(("ow_child", u128_json(child.0)));
+    }
+    if let Some((parent, seq)) = r.oneway_parent {
+        pairs.push(("ow_parent", u128_json(parent.0)));
+        pairs.push(("ow_parent_seq", u64_json(seq)));
+    }
+    Json::obj(pairs)
+}
+
+fn schema_err(line: usize, message: impl Into<String>) -> ReadError {
+    ReadError::Schema { line, message: message.into() }
+}
+
+fn get_u64(v: &Json, key: &str, line: usize) -> Result<u64, ReadError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| schema_err(line, format!("missing numeric field `{key}`")))
+}
+
+fn get_opt_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_u64)
+}
+
+fn get_str<'a>(v: &'a Json, key: &str, line: usize) -> Result<&'a str, ReadError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema_err(line, format!("missing string field `{key}`")))
+}
+
+fn parse_u128(text: &str, line: usize) -> Result<u128, ReadError> {
+    u128::from_str_radix(text, 16).map_err(|_| schema_err(line, "bad uuid hex"))
+}
+
+fn record_from_json(v: &Json, line: usize) -> Result<ProbeRecord, ReadError> {
+    let event = match get_str(v, "event", line)? {
+        "stub_start" => TraceEvent::StubStart,
+        "skel_start" => TraceEvent::SkelStart,
+        "skel_end" => TraceEvent::SkelEnd,
+        "stub_end" => TraceEvent::StubEnd,
+        other => return Err(schema_err(line, format!("unknown event `{other}`"))),
+    };
+    let kind = match get_str(v, "kind", line)? {
+        "sync" => CallKind::Sync,
+        "oneway" => CallKind::Oneway,
+        "collocated" => CallKind::Collocated,
+        "custom_marshal" => CallKind::CustomMarshal,
+        other => return Err(schema_err(line, format!("unknown kind `{other}`"))),
+    };
+    let oneway_child = match v.get("ow_child").and_then(Json::as_str) {
+        Some(hex) => Some(Uuid(parse_u128(hex, line)?)),
+        None => None,
+    };
+    let oneway_parent = match v.get("ow_parent").and_then(Json::as_str) {
+        Some(hex) => Some((
+            Uuid(parse_u128(hex, line)?),
+            get_u64(v, "ow_parent_seq", line)?,
+        )),
+        None => None,
+    };
+    Ok(ProbeRecord {
+        uuid: Uuid(parse_u128(get_str(v, "uuid", line)?, line)?),
+        seq: get_u64(v, "seq", line)?,
+        event,
+        kind,
+        site: CallSite {
+            node: NodeId(get_u64(v, "node", line)? as u16),
+            process: ProcessId(get_u64(v, "process", line)? as u16),
+            thread: LogicalThreadId(get_u64(v, "thread", line)? as u32),
+        },
+        func: FunctionKey::new(
+            InterfaceId(get_u64(v, "interface", line)? as u32),
+            MethodIndex(get_u64(v, "method", line)? as u16),
+            ObjectId(get_u64(v, "object", line)?),
+        ),
+        wall_start: get_opt_u64(v, "ws"),
+        wall_end: get_opt_u64(v, "we"),
+        cpu_start: get_opt_u64(v, "cs"),
+        cpu_end: get_opt_u64(v, "ce"),
+        oneway_child,
+        oneway_parent,
+    })
+}
+
+fn vocab_from_json(v: Option<&Json>, line: usize) -> Result<VocabSnapshot, ReadError> {
+    let v = v.ok_or_else(|| schema_err(line, "header missing `vocab`"))?;
+    let mut vocab = VocabSnapshot::default();
+    for iface in v.get("interfaces").and_then(Json::as_arr).unwrap_or(&[]) {
+        vocab.interfaces.push(InterfaceEntry {
+            name: get_str(iface, "name", line)?.to_owned(),
+            methods: iface
+                .get("methods")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|m| m.as_str().map(str::to_owned))
+                .collect(),
+        });
+    }
+    for c in v.get("components").and_then(Json::as_arr).unwrap_or(&[]) {
+        vocab.components.push(c.as_str().unwrap_or_default().to_owned());
+    }
+    for c in v.get("cpu_types").and_then(Json::as_arr).unwrap_or(&[]) {
+        vocab.cpu_types.push(c.as_str().unwrap_or_default().to_owned());
+    }
+    for obj in v.get("objects").and_then(Json::as_arr).unwrap_or(&[]) {
+        vocab.objects.push((
+            ObjectId(get_u64(obj, "id", line)?),
+            ObjectEntry {
+                label: get_str(obj, "label", line)?.to_owned(),
+                interface: InterfaceId(get_u64(obj, "interface", line)? as u32),
+                component: causeway_core::names::ComponentId(
+                    get_u64(obj, "component", line)? as u32
+                ),
+                process: ProcessId(get_u64(obj, "process", line)? as u16),
+            },
+        ));
+    }
+    Ok(vocab)
+}
+
+fn deployment_from_json(v: Option<&Json>, line: usize) -> Result<Deployment, ReadError> {
+    let v = v.ok_or_else(|| schema_err(line, "header missing `deployment`"))?;
+    let mut deployment = Deployment::new();
+    for node in v.get("nodes").and_then(Json::as_arr).unwrap_or(&[]) {
+        deployment.nodes.push(NodeInfo {
+            name: get_str(node, "name", line)?.to_owned(),
+            cpu_type: CpuTypeId(get_u64(node, "cpu_type", line)? as u16),
+        });
+    }
+    for proc in v.get("processes").and_then(Json::as_arr).unwrap_or(&[]) {
+        deployment.processes.push(ProcessInfo {
+            name: get_str(proc, "name", line)?.to_owned(),
+            node: NodeId(get_u64(proc, "node", line)? as u16),
+        });
+    }
+    Ok(deployment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> RunLog {
+        let mut vocab = VocabSnapshot::default();
+        vocab.interfaces.push(InterfaceEntry {
+            name: "Pipe::Stage".into(),
+            methods: vec!["run".into(), "notify".into()],
+        });
+        vocab.components.push("StageComponent".into());
+        vocab.cpu_types.push("HPUX".into());
+        vocab.objects.push((
+            ObjectId(0),
+            ObjectEntry {
+                label: "stage#0".into(),
+                interface: InterfaceId(0),
+                component: causeway_core::names::ComponentId(0),
+                process: ProcessId(1),
+            },
+        ));
+        let mut deployment = Deployment::new();
+        let n = deployment.add_node("hp1", CpuTypeId(0));
+        deployment.add_process("client", n);
+        deployment.add_process("server", n);
+
+        let records = vec![
+            ProbeRecord {
+                uuid: Uuid(0xdead_beef),
+                seq: 1,
+                event: TraceEvent::StubStart,
+                kind: CallKind::Oneway,
+                site: CallSite {
+                    node: NodeId(0),
+                    process: ProcessId(0),
+                    thread: LogicalThreadId(0),
+                },
+                func: FunctionKey::new(InterfaceId(0), MethodIndex(1), ObjectId(0)),
+                wall_start: Some(100),
+                wall_end: Some(150),
+                cpu_start: None,
+                cpu_end: None,
+                oneway_child: Some(Uuid(0xfeed)),
+                oneway_parent: None,
+            },
+            ProbeRecord {
+                uuid: Uuid(0xfeed),
+                seq: 1,
+                event: TraceEvent::SkelStart,
+                kind: CallKind::Oneway,
+                site: CallSite {
+                    node: NodeId(0),
+                    process: ProcessId(1),
+                    thread: LogicalThreadId(0),
+                },
+                func: FunctionKey::new(InterfaceId(0), MethodIndex(1), ObjectId(0)),
+                wall_start: Some(u64::MAX - 5), // exercise the string fallback
+                wall_end: Some(u64::MAX),
+                cpu_start: None,
+                cpu_end: None,
+                oneway_child: None,
+                oneway_parent: Some((Uuid(0xdead_beef), 1)),
+            },
+        ];
+        RunLog::new(records, vocab, deployment)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let run = sample_run();
+        let text = write_run(&run);
+        let restored = read_run(&text).unwrap();
+        assert_eq!(restored, run);
+    }
+
+    #[test]
+    fn empty_run_round_trips() {
+        let run = RunLog::default();
+        let restored = read_run(&write_run(&run)).unwrap();
+        assert_eq!(restored, run);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(matches!(read_run(""), Err(ReadError::MissingHeader)));
+    }
+
+    #[test]
+    fn corrupt_record_line_fails_strict_mode() {
+        let run = sample_run();
+        let mut text = write_run(&run);
+        text.push_str("{not json\n");
+        assert!(read_run(&text).is_err());
+    }
+
+    #[test]
+    fn lossy_mode_skips_corruption() {
+        let run = sample_run();
+        let mut text = write_run(&run);
+        text.push_str("{not json\n");
+        text.push_str("{\"uuid\": \"00\"}\n"); // schema-bad line
+        let (restored, skipped) = read_run_lossy(&text).unwrap();
+        assert_eq!(restored.records, run.records);
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn truncated_file_reads_up_to_truncation() {
+        let run = sample_run();
+        let text = write_run(&run);
+        // Cut the file mid-way through the final line.
+        let cut = text.len() - 10;
+        let (restored, skipped) = read_run_lossy(&text[..cut]).unwrap();
+        assert_eq!(restored.records.len(), run.records.len() - 1);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let run = sample_run();
+        let text = write_run(&run).replace('\n', "\n\n");
+        assert_eq!(read_run(&text).unwrap(), run);
+    }
+}

@@ -1,0 +1,266 @@
+//! Basic query processing over the relational store.
+//!
+//! The paper contrasts its analyzer with tools that offer only "basic query
+//! processing to present raw monitoring data (reminiscent of printf)"; this
+//! module provides that baseline layer too — filtered scans and group-bys —
+//! because the characterization tools sit on top of it and users need it
+//! for ad-hoc inspection.
+
+use crate::db::MonitoringDb;
+use causeway_core::event::{CallKind, TraceEvent};
+use causeway_core::ids::{InterfaceId, MethodIndex, ObjectId, ProcessId};
+use causeway_core::record::ProbeRecord;
+use causeway_core::uuid::Uuid;
+use std::collections::BTreeMap;
+
+/// A filtered scan over the record table (builder-style).
+#[derive(Debug, Clone)]
+pub struct Query<'a> {
+    db: &'a MonitoringDb,
+    process: Option<ProcessId>,
+    interface: Option<InterfaceId>,
+    method: Option<MethodIndex>,
+    object: Option<ObjectId>,
+    event: Option<TraceEvent>,
+    kind: Option<CallKind>,
+    chain: Option<Uuid>,
+    wall_between: Option<(u64, u64)>,
+}
+
+impl MonitoringDb {
+    /// Starts a query over this database.
+    pub fn query(&self) -> Query<'_> {
+        Query {
+            db: self,
+            process: None,
+            interface: None,
+            method: None,
+            object: None,
+            event: None,
+            kind: None,
+            chain: None,
+            wall_between: None,
+        }
+    }
+}
+
+impl<'a> Query<'a> {
+    /// Restricts to records from one process.
+    pub fn process(mut self, process: ProcessId) -> Self {
+        self.process = Some(process);
+        self
+    }
+
+    /// Restricts to one interface.
+    pub fn interface(mut self, interface: InterfaceId) -> Self {
+        self.interface = Some(interface);
+        self
+    }
+
+    /// Restricts to one method.
+    pub fn method(mut self, method: MethodIndex) -> Self {
+        self.method = Some(method);
+        self
+    }
+
+    /// Restricts to one object.
+    pub fn object(mut self, object: ObjectId) -> Self {
+        self.object = Some(object);
+        self
+    }
+
+    /// Restricts to one tracing event.
+    pub fn event(mut self, event: TraceEvent) -> Self {
+        self.event = Some(event);
+        self
+    }
+
+    /// Restricts to one invocation kind.
+    pub fn kind(mut self, kind: CallKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Restricts to one causal chain.
+    pub fn chain(mut self, chain: Uuid) -> Self {
+        self.chain = Some(chain);
+        self
+    }
+
+    /// Restricts to records whose probe-start wall stamp lies in
+    /// `[from, to)` (records without stamps never match).
+    pub fn wall_between(mut self, from: u64, to: u64) -> Self {
+        self.wall_between = Some((from, to));
+        self
+    }
+
+    fn matches(&self, r: &ProbeRecord) -> bool {
+        if let Some(p) = self.process {
+            if r.site.process != p {
+                return false;
+            }
+        }
+        if let Some(i) = self.interface {
+            if r.func.interface != i {
+                return false;
+            }
+        }
+        if let Some(m) = self.method {
+            if r.func.method != m {
+                return false;
+            }
+        }
+        if let Some(o) = self.object {
+            if r.func.object != o {
+                return false;
+            }
+        }
+        if let Some(e) = self.event {
+            if r.event != e {
+                return false;
+            }
+        }
+        if let Some(k) = self.kind {
+            if r.kind != k {
+                return false;
+            }
+        }
+        if let Some(c) = self.chain {
+            if r.uuid != c {
+                return false;
+            }
+        }
+        if let Some((from, to)) = self.wall_between {
+            match r.wall_start {
+                Some(t) if t >= from && t < to => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Materializes the matching records.
+    pub fn records(&self) -> Vec<&'a ProbeRecord> {
+        self.db.records().iter().filter(|r| self.matches(r)).collect()
+    }
+
+    /// Number of matching records.
+    pub fn count(&self) -> usize {
+        self.db.records().iter().filter(|r| self.matches(r)).count()
+    }
+
+    /// Matching records grouped and counted by process.
+    pub fn count_by_process(&self) -> BTreeMap<ProcessId, usize> {
+        let mut out = BTreeMap::new();
+        for r in self.db.records().iter().filter(|r| self.matches(r)) {
+            *out.entry(r.site.process).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Matching records grouped and counted by (interface, method).
+    pub fn count_by_method(&self) -> BTreeMap<(InterfaceId, MethodIndex), usize> {
+        let mut out = BTreeMap::new();
+        for r in self.db.records().iter().filter(|r| self.matches(r)) {
+            *out.entry(r.func.method_key()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Matching records grouped and counted by chain.
+    pub fn count_by_chain(&self) -> BTreeMap<Uuid, usize> {
+        let mut out = BTreeMap::new();
+        for r in self.db.records().iter().filter(|r| self.matches(r)) {
+            *out.entry(r.uuid).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causeway_core::deploy::Deployment;
+    use causeway_core::ids::*;
+    use causeway_core::names::VocabSnapshot;
+    use causeway_core::record::{CallSite, FunctionKey};
+    use causeway_core::runlog::RunLog;
+
+    fn rec(uuid: u128, process: u16, event: TraceEvent, method: u16, t: Option<u64>) -> ProbeRecord {
+        ProbeRecord {
+            uuid: Uuid(uuid),
+            seq: 1,
+            event,
+            kind: CallKind::Sync,
+            site: CallSite {
+                node: NodeId(0),
+                process: ProcessId(process),
+                thread: LogicalThreadId(0),
+            },
+            func: FunctionKey::new(InterfaceId(0), MethodIndex(method), ObjectId(0)),
+            wall_start: t,
+            wall_end: t,
+            cpu_start: None,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: None,
+        }
+    }
+
+    fn sample_db() -> MonitoringDb {
+        MonitoringDb::from_run(RunLog::new(
+            vec![
+                rec(1, 0, TraceEvent::StubStart, 0, Some(10)),
+                rec(1, 1, TraceEvent::SkelStart, 0, Some(20)),
+                rec(2, 0, TraceEvent::StubStart, 1, Some(30)),
+                rec(2, 0, TraceEvent::StubEnd, 1, None),
+            ],
+            VocabSnapshot::default(),
+            Deployment::new(),
+        ))
+    }
+
+    #[test]
+    fn filters_compose() {
+        let db = sample_db();
+        assert_eq!(db.query().count(), 4);
+        assert_eq!(db.query().process(ProcessId(0)).count(), 3);
+        assert_eq!(
+            db.query().process(ProcessId(0)).event(TraceEvent::StubStart).count(),
+            2
+        );
+        assert_eq!(db.query().chain(Uuid(2)).count(), 2);
+        assert_eq!(db.query().method(MethodIndex(1)).count(), 2);
+        assert_eq!(db.query().kind(CallKind::Oneway).count(), 0);
+    }
+
+    #[test]
+    fn time_range_excludes_unstamped() {
+        let db = sample_db();
+        assert_eq!(db.query().wall_between(0, 25).count(), 2);
+        assert_eq!(db.query().wall_between(30, 31).count(), 1);
+        assert_eq!(db.query().wall_between(0, u64::MAX).count(), 3, "unstamped excluded");
+    }
+
+    #[test]
+    fn group_bys() {
+        let db = sample_db();
+        let by_process = db.query().count_by_process();
+        assert_eq!(by_process[&ProcessId(0)], 3);
+        assert_eq!(by_process[&ProcessId(1)], 1);
+        let by_method = db.query().count_by_method();
+        assert_eq!(by_method[&(InterfaceId(0), MethodIndex(0))], 2);
+        let by_chain = db.query().count_by_chain();
+        assert_eq!(by_chain[&Uuid(1)], 2);
+        assert_eq!(by_chain[&Uuid(2)], 2);
+    }
+
+    #[test]
+    fn records_materialize_in_table_order() {
+        let db = sample_db();
+        let records = db.query().process(ProcessId(0)).records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].uuid, Uuid(1));
+        assert_eq!(records[2].event, TraceEvent::StubEnd);
+    }
+}

@@ -1,0 +1,49 @@
+//! COM runtime errors.
+
+use std::fmt;
+
+/// Errors surfaced by the COM-like runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ComError {
+    /// The target object is not registered.
+    UnknownObject(String),
+    /// The method name does not exist on the target interface.
+    UnknownMethod(String),
+    /// The target apartment is gone or never existed.
+    ApartmentUnreachable(String),
+    /// The reply did not arrive in time.
+    Timeout(String),
+    /// The servant raised (exception name, message).
+    Application(String, String),
+    /// A payload failed to (un)marshal.
+    Wire(String),
+}
+
+impl fmt::Display for ComError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComError::UnknownObject(m) => write!(f, "unknown object: {m}"),
+            ComError::UnknownMethod(m) => write!(f, "unknown method: {m}"),
+            ComError::ApartmentUnreachable(m) => write!(f, "apartment unreachable: {m}"),
+            ComError::Timeout(m) => write!(f, "call timed out: {m}"),
+            ComError::Application(e, m) => write!(f, "application exception {e}: {m}"),
+            ComError::Wire(m) => write!(f, "marshalling error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ComError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            ComError::Application("E_FAIL".into(), "boom".into()).to_string(),
+            "application exception E_FAIL: boom"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # causeway-com
+//!
+//! A COM-like component runtime: apartments, an ORPC-style channel with
+//! channel hooks, and the Single-Threaded-Apartment message loop whose
+//! reentrancy threatens causality tracing (§2.2 of the paper).
+//!
+//! The paper's observation O1 — a physical thread is dedicated to a call
+//! until it finishes — "will not hold true for COM applications. For its
+//! Single-Threaded Apartment call dispatching, the server-side up-call is
+//! through a message loop. The apartment thread T can switch to serve
+//! another incoming call C2 when the call C1 that T is serving issues an
+//! outbound call C3 and suffers blocking." Without countermeasures, C2's
+//! dispatch overwrites T's thread-specific FTL, and when C1 resumes, its
+//! subsequent child calls continue the *wrong* chain — causal mingling.
+//!
+//! The fix the paper describes ("only a very limited amount of
+//! instrumentation before and after call sending and dispatching is required
+//! to the COM infrastructure") is implemented in
+//! [`apartment`]: the message pump saves the thread's FTL before a nested
+//! dispatch and restores it afterwards. The fix can be disabled
+//! ([`domain::ComConfig::fix_mingling`]) to reproduce the hazard — the
+//! `exp_sta_mingling` experiment does exactly that.
+//!
+//! The FTL crosses apartments via a channel hook
+//! ([`hook::FtlChannelHook`]) that stashes it in the ORPC message's
+//! extension header, mirroring how the real COM interceptors used channel
+//! hooks.
+
+#![warn(missing_docs)]
+
+pub mod apartment;
+pub mod domain;
+pub mod error;
+pub mod hook;
+
+pub use apartment::{ApartmentId, ApartmentKind};
+pub use domain::{ComClient, ComConfig, ComCtx, ComDomain, ComObjRef, ComServant, FnComServant};
+pub use error::ComError;

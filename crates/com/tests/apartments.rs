@@ -1,0 +1,375 @@
+//! End-to-end tests of the COM-like runtime: apartments, reentrancy, and
+//! the causal-mingling hazard + fix.
+
+use causeway_collector::db::MonitoringDb;
+use causeway_com::{ApartmentKind, ComConfig, ComDomain, ComError, FnComServant};
+use causeway_core::ids::{NodeId, ProcessId};
+use causeway_core::value::Value;
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const IDL: &str = r#"
+    interface Worker {
+        long work(in long x);
+        long quick(in long x);
+        string echo(in string text);
+    };
+"#;
+
+fn domain(config: ComConfig) -> ComDomain {
+    let d = ComDomain::builder(ProcessId(0), NodeId(0)).config(config).build();
+    d.load_idl(IDL).unwrap();
+    d
+}
+
+fn harvest(d: &ComDomain) -> MonitoringDb {
+    d.quiesce(Duration::from_secs(10)).unwrap();
+    d.shutdown();
+    MonitoringDb::from_run(d.harvest_standalone("combox", "WindowsNT"))
+}
+
+#[test]
+fn sync_call_into_sta_round_trips() {
+    let d = domain(ComConfig::default());
+    let apt = d.create_apartment(ApartmentKind::Sta);
+    let obj = d
+        .register_object(
+            apt,
+            "Worker",
+            "WorkerComponent",
+            "w#0",
+            Arc::new(FnComServant::new(|_, _, args| {
+                Ok(Value::I64(args[0].as_i64().unwrap_or(0) * 3))
+            })),
+        )
+        .unwrap();
+    let client = d.client();
+    client.begin_root();
+    let out = client.invoke(&obj, "work", vec![Value::I64(7)]).unwrap();
+    assert_eq!(out.as_i64(), Some(21));
+    let db = harvest(&d);
+    assert_eq!(db.records().len(), 4);
+    let seqs: Vec<u64> = db.events_for(db.unique_uuids()[0]).iter().map(|r| r.seq).collect();
+    assert_eq!(seqs, vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn mta_pool_serves_concurrent_calls() {
+    let d = domain(ComConfig::default());
+    let apt = d.create_apartment(ApartmentKind::Mta(4));
+    let obj = d
+        .register_object(
+            apt,
+            "Worker",
+            "WorkerComponent",
+            "w#0",
+            Arc::new(FnComServant::new(|_, _, args| {
+                std::thread::sleep(Duration::from_millis(5));
+                Ok(Value::I64(args[0].as_i64().unwrap_or(0)))
+            })),
+        )
+        .unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let client = d.client();
+            std::thread::spawn(move || {
+                client.begin_root();
+                client.invoke(&obj, "work", vec![Value::I64(i)]).unwrap().as_i64()
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.join().unwrap(), Some(i as i64));
+    }
+    let db = harvest(&d);
+    assert_eq!(db.unique_uuids().len(), 4);
+}
+
+#[test]
+fn sta_reentrancy_serves_second_call_while_first_blocks() {
+    // X (in STA a) calls Y (in STA b); while X's thread waits, a second
+    // call into STA a is served — the message loop in action.
+    let d = domain(ComConfig::default());
+    let apt_a = d.create_apartment(ApartmentKind::Sta);
+    let apt_b = d.create_apartment(ApartmentKind::Sta);
+
+    let y = d
+        .register_object(
+            apt_b,
+            "Worker",
+            "Y",
+            "y#0",
+            Arc::new(FnComServant::new(|_, _, args| {
+                std::thread::sleep(Duration::from_millis(100));
+                Ok(Value::Str(format!("echo:{}", args[0].as_str().unwrap_or(""))))
+            })),
+        )
+        .unwrap();
+
+    let y_ref = y;
+    let x = d
+        .register_object(
+            apt_a,
+            "Worker",
+            "X",
+            "x#0",
+            Arc::new(FnComServant::new(move |ctx, midx, args| match midx.0 {
+                0 => {
+                    // work: blocks on an outbound call, forcing a pump.
+                    let out = ctx
+                        .client()
+                        .invoke(&y_ref, "echo", vec![Value::from("hi")])
+                        .map_err(|e| ("Downstream".to_owned(), e.to_string()))?;
+                    Ok(out)
+                }
+                1 => Ok(Value::I64(args[0].as_i64().unwrap_or(0) + 100)),
+                _ => Err(("BadMethod".into(), String::new())),
+            })),
+        )
+        .unwrap();
+
+    let d2 = d.clone();
+    let slow = std::thread::spawn(move || {
+        let client = d2.client();
+        client.begin_root();
+        client.invoke(&x, "work", vec![Value::I64(0)]).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    // This lands on STA a while its thread is blocked inside `work`.
+    let t0 = std::time::Instant::now();
+    let client = d.client();
+    client.begin_root();
+    let out = client.invoke(&x, "quick", vec![Value::I64(1)]).unwrap();
+    let quick_elapsed = t0.elapsed();
+    assert_eq!(out.as_i64(), Some(101));
+    assert!(
+        quick_elapsed < Duration::from_millis(90),
+        "quick was served reentrantly, not after work ({quick_elapsed:?})"
+    );
+    assert_eq!(slow.join().unwrap().as_str(), Some("echo:hi"));
+
+    let db = harvest(&d);
+    let dscg = causeway_analyzer::dscg::Dscg::build(&db);
+    assert!(dscg.abnormalities.is_empty(), "{:?}", dscg.abnormalities);
+    assert_eq!(dscg.trees.len(), 2);
+}
+
+/// The §2.2 hazard and its fix, via a modal-wait pump in the middle of an
+/// implementation.
+fn mingling_scenario(fix: bool) -> causeway_analyzer::dscg::Dscg {
+    let d = domain(ComConfig { fix_mingling: fix, ..ComConfig::default() });
+    let apt_a = d.create_apartment(ApartmentKind::Sta);
+    let apt_b = d.create_apartment(ApartmentKind::Sta);
+
+    let echo = d
+        .register_object(
+            apt_b,
+            "Worker",
+            "Echo",
+            "echo#0",
+            Arc::new(FnComServant::new(|_, _, args| {
+                Ok(Value::Str(args[0].as_str().unwrap_or("").to_owned()))
+            })),
+        )
+        .unwrap();
+
+    let echo_ref = echo;
+    let x_slot: Arc<OnceLock<causeway_com::ComObjRef>> = Arc::new(OnceLock::new());
+    let x = d
+        .register_object(
+            apt_a,
+            "Worker",
+            "X",
+            "x#0",
+            Arc::new(FnComServant::new(move |ctx, midx, args| match midx.0 {
+                0 => {
+                    // work: wait long enough for `quick` to be queued, then
+                    // enter a modal wait (pump) — the nested dispatch runs
+                    // here — and only then make a child call.
+                    std::thread::sleep(Duration::from_millis(60));
+                    ctx.client().pump();
+                    let out = ctx
+                        .client()
+                        .invoke(&echo_ref, "echo", vec![Value::from("after-pump")])
+                        .map_err(|e| ("Downstream".to_owned(), e.to_string()))?;
+                    Ok(out)
+                }
+                1 => Ok(Value::I64(args[0].as_i64().unwrap_or(0) + 100)),
+                _ => Err(("BadMethod".into(), String::new())),
+            })),
+        )
+        .unwrap();
+    x_slot.set(x).unwrap();
+
+    let d2 = d.clone();
+    let worker = std::thread::spawn(move || {
+        let client = d2.client();
+        client.begin_root();
+        client.invoke(&x, "work", vec![Value::I64(0)]).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    let client = d.client();
+    client.begin_root();
+    client.invoke(&x, "quick", vec![Value::I64(5)]).unwrap();
+    worker.join().unwrap();
+
+    let db = harvest(&d);
+    causeway_analyzer::dscg::Dscg::build(&db)
+}
+
+#[test]
+fn sta_mingling_fix_keeps_chains_clean() {
+    let dscg = mingling_scenario(true);
+    assert!(dscg.abnormalities.is_empty(), "{:?}", dscg.abnormalities);
+    assert_eq!(dscg.trees.len(), 2);
+    // `work` kept its child `echo` on its own chain.
+    let work_tree = dscg
+        .trees
+        .iter()
+        .find(|t| t.roots.first().map(|r| !r.children.is_empty()).unwrap_or(false))
+        .expect("one tree has the nested call");
+    assert_eq!(work_tree.roots[0].children.len(), 1);
+}
+
+#[test]
+fn sta_mingling_without_fix_corrupts_chains() {
+    let dscg = mingling_scenario(false);
+    // The nested dispatch trampled the thread's FTL: `work`'s subsequent
+    // child call continued the wrong chain, so reconstruction must flag
+    // abnormalities (incomplete invocation on the original chain, stray
+    // events on the other).
+    assert!(
+        !dscg.abnormalities.is_empty(),
+        "expected causal mingling to be visible, got clean trees: {} trees",
+        dscg.trees.len()
+    );
+}
+
+#[test]
+fn application_exception_maps_to_com_error() {
+    let d = domain(ComConfig::default());
+    let apt = d.create_apartment(ApartmentKind::Sta);
+    let obj = d
+        .register_object(
+            apt,
+            "Worker",
+            "W",
+            "w#0",
+            Arc::new(FnComServant::new(|_, _, _| Err(("E_FAIL".into(), "broken".into())))),
+        )
+        .unwrap();
+    let client = d.client();
+    client.begin_root();
+    let err = client.invoke(&obj, "work", vec![Value::I64(0)]).unwrap_err();
+    assert!(matches!(err, ComError::Application(e, m) if e == "E_FAIL" && m == "broken"));
+    let db = harvest(&d);
+    assert_eq!(db.records().len(), 4, "probes fire despite the exception");
+}
+
+#[test]
+fn unknown_targets_fail_cleanly() {
+    let d = domain(ComConfig::default());
+    let apt = d.create_apartment(ApartmentKind::Sta);
+    let obj = d
+        .register_object(
+            apt,
+            "Worker",
+            "W",
+            "w#0",
+            Arc::new(FnComServant::new(|_, _, _| Ok(Value::Void))),
+        )
+        .unwrap();
+    let client = d.client();
+    assert!(matches!(
+        client.invoke(&obj, "nope", vec![]),
+        Err(ComError::UnknownMethod(_))
+    ));
+    let bogus = causeway_com::ComObjRef { object: causeway_core::ids::ObjectId(999), ..obj };
+    assert!(matches!(
+        client.invoke(&bogus, "work", vec![]),
+        Err(ComError::UnknownObject(_))
+    ));
+    let gone = causeway_com::ComObjRef { apartment: causeway_com::ApartmentId(42), ..obj };
+    assert!(matches!(
+        client.invoke(&gone, "work", vec![]),
+        Err(ComError::ApartmentUnreachable(_))
+    ));
+    d.shutdown();
+}
+
+#[test]
+fn uninstrumented_domain_records_nothing() {
+    let d = domain(ComConfig { instrumented: false, ..ComConfig::default() });
+    let apt = d.create_apartment(ApartmentKind::Sta);
+    let obj = d
+        .register_object(
+            apt,
+            "Worker",
+            "W",
+            "w#0",
+            Arc::new(FnComServant::new(|_, _, args| Ok(args.into_iter().next().unwrap_or(Value::Void)))),
+        )
+        .unwrap();
+    let client = d.client();
+    let out = client.invoke(&obj, "work", vec![Value::I64(9)]).unwrap();
+    assert_eq!(out.as_i64(), Some(9));
+    let db = harvest(&d);
+    assert!(db.records().is_empty());
+}
+
+#[test]
+fn posted_call_forks_a_linked_child_chain() {
+    let d = domain(ComConfig::default());
+    let apt = d.create_apartment(ApartmentKind::Sta);
+    let obj = d
+        .register_object(
+            apt,
+            "Worker",
+            "W",
+            "w#0",
+            Arc::new(FnComServant::new(|_, _, _| Ok(Value::Void))),
+        )
+        .unwrap();
+    let client = d.client();
+    client.begin_root();
+    // A sync call then a post on the same chain.
+    client.invoke(&obj, "work", vec![Value::I64(1)]).unwrap();
+    client.post(&obj, "quick", vec![Value::I64(2)]).unwrap();
+    let db = harvest(&d);
+    let dscg = causeway_analyzer::dscg::Dscg::build(&db);
+    assert!(dscg.abnormalities.is_empty(), "{:?}", dscg.abnormalities);
+    assert_eq!(dscg.trees.len(), 1, "posted child chain grafts under the fork");
+    let tree = &dscg.trees[0];
+    assert_eq!(tree.roots.len(), 2, "sync call + posted call are siblings");
+    let posted = &tree.roots[1];
+    assert_eq!(posted.kind, causeway_core::event::CallKind::Oneway);
+    assert!(posted.skel_start.is_some() && posted.skel_end.is_some());
+    assert!(posted.complete);
+}
+
+#[test]
+fn post_to_unknown_apartment_fails() {
+    let d = domain(ComConfig::default());
+    let apt = d.create_apartment(ApartmentKind::Sta);
+    let obj = d
+        .register_object(
+            apt,
+            "Worker",
+            "W",
+            "w#0",
+            Arc::new(FnComServant::new(|_, _, _| Ok(Value::Void))),
+        )
+        .unwrap();
+    let client = d.client();
+    let gone = causeway_com::ComObjRef { apartment: causeway_com::ApartmentId(42), ..obj };
+    assert!(matches!(
+        client.post(&gone, "work", vec![]),
+        Err(ComError::ApartmentUnreachable(_))
+    ));
+    assert!(matches!(
+        client.post(&obj, "nope", vec![]),
+        Err(ComError::UnknownMethod(_))
+    ));
+    d.shutdown();
+}

@@ -1,0 +1,46 @@
+//! Error types shared across the framework.
+
+use std::fmt;
+
+/// Errors produced by the core mechanism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A wire buffer could not be decoded (truncated, bad tag, …).
+    WireDecode(String),
+    /// A probe expected an FTL in thread-specific storage but found none.
+    /// The monitor recovers by starting a fresh chain and counts the anomaly.
+    TssEmpty,
+    /// A name lookup failed.
+    UnknownName(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::WireDecode(msg) => write!(f, "wire decode failed: {msg}"),
+            CoreError::TssEmpty => f.write_str("thread-specific storage held no FTL"),
+            CoreError::UnknownName(name) => write!(f, "unknown name: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_meaningful() {
+        let e = CoreError::WireDecode("short buffer".into());
+        assert_eq!(e.to_string(), "wire decode failed: short buffer");
+        assert_eq!(CoreError::TssEmpty.to_string(), "thread-specific storage held no FTL");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

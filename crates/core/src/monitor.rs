@@ -1,0 +1,664 @@
+//! The four probes of Figure 1, packaged as a per-process [`Monitor`].
+//!
+//! The runtime substrates (`causeway-orb`, `causeway-com`) call these probes
+//! from their generated stubs and skeletons. The probes:
+//!
+//! 1. maintain the FTL — mint a chain at the root, increment the event
+//!    number at every event, move the FTL between thread-specific storage
+//!    and the wire;
+//! 2. record a [`ProbeRecord`] with the probe's own start/end stamps (wall
+//!    and/or per-thread CPU depending on the [`ProbeMode`]);
+//! 3. charge their own execution to the thread's CPU counter, so that probe
+//!    interference is *visible* in the CPU data exactly as it was on the
+//!    paper's HP-UX counters (this is what the accuracy experiments
+//!    quantify).
+//!
+//! Event-number discipline (matters for the analyzer's state machine): each
+//! probe increments the chain's sequence number once and records the new
+//! value. A synchronous call `F` therefore logs
+//! `F.stub_start(k) … F.skel_start(k+1) … F.skel_end(n) … F.stub_end(n+1)`
+//! with all child events strictly inside `(k+1, n)`. There is exactly one
+//! locus of control per chain, so the numbering is dense and totally ordered
+//! without any clock synchronization.
+
+use crate::clock::{CpuClock, SystemClock, VirtualCpuClock, WallClock};
+use crate::event::{CallKind, TraceEvent};
+use crate::ftl::FunctionTxLog;
+use crate::ids::{NodeId, ProcessId};
+use crate::record::{CallSite, FunctionKey, ProbeRecord};
+use crate::sink::LogStore;
+use crate::tss;
+use crate::uuid::Uuid;
+use std::fmt;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Which behavior aspects the probes record.
+///
+/// Per the paper, "to reduce interference, latency and CPU utilization
+/// probes are not activated simultaneously. However, they always perform
+/// causality capture." [`ProbeMode::Both`] is provided as an extension for
+/// users who accept the interference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeMode {
+    /// Record only causality (uuid / seq / event) — no stamps.
+    CausalityOnly,
+    /// Record causality + wall-clock stamps.
+    #[default]
+    Latency,
+    /// Record causality + per-thread CPU stamps.
+    Cpu,
+    /// Record causality + both stamp families (extension; adds interference).
+    Both,
+}
+
+impl ProbeMode {
+    /// `true` when wall stamps are recorded.
+    pub fn wall(self) -> bool {
+        matches!(self, ProbeMode::Latency | ProbeMode::Both)
+    }
+
+    /// `true` when CPU stamps are recorded.
+    pub fn cpu(self) -> bool {
+        matches!(self, ProbeMode::Cpu | ProbeMode::Both)
+    }
+}
+
+struct MonitorInner {
+    process: ProcessId,
+    node: NodeId,
+    mode: ProbeMode,
+    enabled: AtomicBool,
+    wall: Arc<dyn WallClock>,
+    cpu: Arc<dyn CpuClock>,
+    store: LogStore,
+    anomalies: AtomicU64,
+}
+
+impl fmt::Debug for MonitorInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Monitor")
+            .field("process", &self.process)
+            .field("node", &self.node)
+            .field("mode", &self.mode)
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .field("buffered", &self.store.len())
+            .finish()
+    }
+}
+
+/// Result of the stub-start probe: what must ride the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StubStartOutcome {
+    /// The FTL to marshal with the request as the hidden `inout` parameter.
+    /// For one-way calls this is the *fresh child chain*; for everything
+    /// else it is the caller's (possibly just-minted) chain.
+    pub wire_ftl: FunctionTxLog,
+    /// For one-way calls: the parent chain position at the fork, to be
+    /// carried alongside the child FTL so the skeleton can record the link
+    /// redundantly.
+    pub oneway_parent: Option<(Uuid, u64)>,
+}
+
+/// Per-process probe runtime.
+///
+/// Cloning is cheap; clones share state. See the crate-level example for a
+/// hand-driven probe sequence.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    inner: Arc<MonitorInner>,
+}
+
+impl Monitor {
+    /// Starts building a monitor for the process/node a runtime lives in.
+    pub fn builder(process: ProcessId, node: NodeId) -> MonitorBuilder {
+        MonitorBuilder {
+            process,
+            node,
+            mode: ProbeMode::default(),
+            enabled: true,
+            wall: None,
+            cpu: None,
+            store: None,
+        }
+    }
+
+    /// The process this monitor belongs to.
+    pub fn process(&self) -> ProcessId {
+        self.inner.process
+    }
+
+    /// The node hosting the process.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The probe mode.
+    pub fn mode(&self) -> ProbeMode {
+        self.inner.mode
+    }
+
+    /// Whether the probes are active. When disabled, probe calls are no-ops
+    /// and the wire carries no FTL — the "non-instrumented stub/skeleton"
+    /// configuration used to measure probe overhead.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables the probes at runtime.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The log store probes record into.
+    pub fn store(&self) -> &LogStore {
+        &self.inner.store
+    }
+
+    /// The wall clock used for latency stamps.
+    pub fn wall_clock(&self) -> &Arc<dyn WallClock> {
+        &self.inner.wall
+    }
+
+    /// The CPU clock used for per-thread CPU stamps.
+    pub fn cpu_clock(&self) -> &Arc<dyn CpuClock> {
+        &self.inner.cpu
+    }
+
+    /// Count of internal anomalies recovered from (e.g. a skeleton-end probe
+    /// finding empty thread-specific storage). Zero in a healthy run.
+    pub fn anomaly_count(&self) -> u64 {
+        self.inner.anomalies.load(Ordering::Relaxed)
+    }
+
+    /// Clears the calling thread's chain context so the next invocation
+    /// starts a new causal chain (a new tree in the DSCG). Client drivers
+    /// call this between top-level transactions.
+    pub fn begin_root(&self) {
+        tss::clear();
+    }
+
+    /// The calling thread's current chain, if any.
+    pub fn current_chain(&self) -> Option<FunctionTxLog> {
+        tss::peek()
+    }
+
+    fn site(&self) -> CallSite {
+        CallSite {
+            node: self.inner.node,
+            process: self.inner.process,
+            thread: self.inner.store.current_thread(),
+        }
+    }
+
+    /// Probe 1 — start of the stub, after the client invokes the function.
+    ///
+    /// Reads the caller's chain from thread-specific storage (minting a
+    /// fresh chain when the storage is empty, i.e. at a root invocation),
+    /// issues the next event number, and returns what must ride the wire.
+    /// For one-way calls a fresh child chain is created and its identity is
+    /// recorded in this probe's record, as §2.2 of the paper specifies.
+    pub fn stub_start(&self, func: FunctionKey, kind: CallKind) -> StubStartOutcome {
+        if !self.is_enabled() {
+            return StubStartOutcome {
+                wire_ftl: FunctionTxLog::new(Uuid::NIL, 0),
+                oneway_parent: None,
+            };
+        }
+        let mode = self.inner.mode;
+        let wall_start = mode.wall().then(|| self.inner.wall.now());
+        let cpu_start = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
+        let region = self.inner.cpu.region_begin();
+
+        let mut ftl = tss::peek().unwrap_or_else(FunctionTxLog::fresh);
+        let seq = ftl.next_seq();
+        tss::store(ftl);
+
+        let (wire_ftl, oneway_child, oneway_parent) = if kind == CallKind::Oneway {
+            let child = FunctionTxLog::fresh();
+            (
+                child,
+                Some(child.global_function_id),
+                Some((ftl.global_function_id, seq)),
+            )
+        } else {
+            (ftl, None, None)
+        };
+
+        let mut record = ProbeRecord {
+            uuid: ftl.global_function_id,
+            seq,
+            event: TraceEvent::StubStart,
+            kind,
+            site: self.site(),
+            func,
+            wall_start,
+            wall_end: None,
+            cpu_start,
+            cpu_end: None,
+            oneway_child,
+            oneway_parent: None,
+        };
+
+        self.inner.cpu.region_end(region);
+        record.cpu_end = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
+        record.wall_end = mode.wall().then(|| self.inner.wall.now());
+        self.inner.store.push(record);
+
+        StubStartOutcome { wire_ftl, oneway_parent }
+    }
+
+    /// Probe 2 — beginning of the skeleton, when the request reaches the
+    /// server side. Installs the wire FTL into the server thread's
+    /// thread-specific storage (refreshing any stale FTL a pooled thread may
+    /// hold — observation O2).
+    pub fn skel_start(
+        &self,
+        func: FunctionKey,
+        kind: CallKind,
+        wire_ftl: FunctionTxLog,
+        oneway_parent: Option<(Uuid, u64)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mode = self.inner.mode;
+        let wall_start = mode.wall().then(|| self.inner.wall.now());
+        let cpu_start = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
+        let region = self.inner.cpu.region_begin();
+
+        let mut ftl = wire_ftl;
+        let seq = ftl.next_seq();
+        tss::store(ftl);
+
+        let mut record = ProbeRecord {
+            uuid: ftl.global_function_id,
+            seq,
+            event: TraceEvent::SkelStart,
+            kind,
+            site: self.site(),
+            func,
+            wall_start,
+            wall_end: None,
+            cpu_start,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: if kind == CallKind::Oneway { oneway_parent } else { None },
+        };
+
+        self.inner.cpu.region_end(region);
+        record.cpu_end = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
+        record.wall_end = mode.wall().then(|| self.inner.wall.now());
+        self.inner.store.push(record);
+    }
+
+    /// Probe 3 — end of the skeleton, when the function implementation
+    /// concludes. Returns the updated FTL to marshal with the reply.
+    pub fn skel_end(&self, func: FunctionKey, kind: CallKind) -> FunctionTxLog {
+        if !self.is_enabled() {
+            return FunctionTxLog::new(Uuid::NIL, 0);
+        }
+        let mode = self.inner.mode;
+        let wall_start = mode.wall().then(|| self.inner.wall.now());
+        let cpu_start = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
+        let region = self.inner.cpu.region_begin();
+
+        let mut ftl = tss::peek().unwrap_or_else(|| {
+            // A skeleton end with no TSS context means the tunnel was broken
+            // (e.g. a runtime dispatched the up-call on a different thread
+            // than the one that ran skel_start — the interceptor hazard the
+            // paper warns about). Recover with a fresh chain and count it.
+            self.inner.anomalies.fetch_add(1, Ordering::Relaxed);
+            FunctionTxLog::fresh()
+        });
+        let seq = ftl.next_seq();
+        tss::store(ftl);
+
+        let mut record = ProbeRecord {
+            uuid: ftl.global_function_id,
+            seq,
+            event: TraceEvent::SkelEnd,
+            kind,
+            site: self.site(),
+            func,
+            wall_start,
+            wall_end: None,
+            cpu_start,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: None,
+        };
+
+        self.inner.cpu.region_end(region);
+        record.cpu_end = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
+        record.wall_end = mode.wall().then(|| self.inner.wall.now());
+        self.inner.store.push(record);
+        ftl
+    }
+
+    /// Probe 4 — end of the stub, when the response is ready to return to
+    /// the client. `reply_ftl` is the FTL that came back with the reply for
+    /// synchronous calls, or `None` for one-way calls (whose parent chain
+    /// continues from thread-specific storage).
+    pub fn stub_end(&self, func: FunctionKey, kind: CallKind, reply_ftl: Option<FunctionTxLog>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mode = self.inner.mode;
+        let wall_start = mode.wall().then(|| self.inner.wall.now());
+        let cpu_start = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
+        let region = self.inner.cpu.region_begin();
+
+        let mut ftl = reply_ftl
+            .or_else(tss::peek)
+            .unwrap_or_else(|| {
+                self.inner.anomalies.fetch_add(1, Ordering::Relaxed);
+                FunctionTxLog::fresh()
+            });
+        let seq = ftl.next_seq();
+        tss::store(ftl);
+
+        let mut record = ProbeRecord {
+            uuid: ftl.global_function_id,
+            seq,
+            event: TraceEvent::StubEnd,
+            kind,
+            site: self.site(),
+            func,
+            wall_start,
+            wall_end: None,
+            cpu_start,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: None,
+        };
+
+        self.inner.cpu.region_end(region);
+        record.cpu_end = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
+        record.wall_end = mode.wall().then(|| self.inner.wall.now());
+        self.inner.store.push(record);
+    }
+}
+
+/// Builder for [`Monitor`] (C-BUILDER).
+#[derive(Debug)]
+pub struct MonitorBuilder {
+    process: ProcessId,
+    node: NodeId,
+    mode: ProbeMode,
+    enabled: bool,
+    wall: Option<Arc<dyn WallClock>>,
+    cpu: Option<Arc<dyn CpuClock>>,
+    store: Option<LogStore>,
+}
+
+impl MonitorBuilder {
+    /// Sets the probe mode (default: [`ProbeMode::Latency`]).
+    pub fn mode(mut self, mode: ProbeMode) -> MonitorBuilder {
+        self.mode = mode;
+        self
+    }
+
+    /// Starts the monitor enabled or disabled (default: enabled).
+    pub fn enabled(mut self, enabled: bool) -> MonitorBuilder {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Substitutes the wall clock (default: [`SystemClock`]).
+    pub fn wall_clock(mut self, clock: Arc<dyn WallClock>) -> MonitorBuilder {
+        self.wall = Some(clock);
+        self
+    }
+
+    /// Substitutes the CPU clock (default: [`VirtualCpuClock`]).
+    pub fn cpu_clock(mut self, clock: Arc<dyn CpuClock>) -> MonitorBuilder {
+        self.cpu = Some(clock);
+        self
+    }
+
+    /// Substitutes the log store (default: a fresh store). Useful when
+    /// several monitors should share one store.
+    pub fn store(mut self, store: LogStore) -> MonitorBuilder {
+        self.store = Some(store);
+        self
+    }
+
+    /// Builds the monitor.
+    pub fn build(self) -> Monitor {
+        Monitor {
+            inner: Arc::new(MonitorInner {
+                process: self.process,
+                node: self.node,
+                mode: self.mode,
+                enabled: AtomicBool::new(self.enabled),
+                wall: self.wall.unwrap_or_else(|| Arc::new(SystemClock::new())),
+                cpu: self.cpu.unwrap_or_else(|| Arc::new(VirtualCpuClock::new())),
+                store: self.store.unwrap_or_default(),
+                anomalies: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{InterfaceId, MethodIndex, ObjectId};
+
+    fn func(n: u64) -> FunctionKey {
+        FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(n))
+    }
+
+    fn fresh_monitor(mode: ProbeMode) -> Monitor {
+        Monitor::builder(ProcessId(0), NodeId(0)).mode(mode).build()
+    }
+
+    #[test]
+    fn sync_call_produces_four_densely_numbered_events() {
+        let m = fresh_monitor(ProbeMode::Latency);
+        m.begin_root();
+        let out = m.stub_start(func(1), CallKind::Sync);
+        m.skel_start(func(1), CallKind::Sync, out.wire_ftl, None);
+        let reply = m.skel_end(func(1), CallKind::Sync);
+        m.stub_end(func(1), CallKind::Sync, Some(reply));
+
+        let recs = m.store().drain();
+        assert_eq!(recs.len(), 4);
+        let uuid = recs[0].uuid;
+        assert!(!uuid.is_nil());
+        assert!(recs.iter().all(|r| r.uuid == uuid));
+        let seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4]);
+        let events: Vec<TraceEvent> = recs.iter().map(|r| r.event).collect();
+        assert_eq!(events, TraceEvent::ALL.to_vec());
+        m.begin_root();
+    }
+
+    #[test]
+    fn nested_call_numbers_children_inside_parent_window() {
+        let m = fresh_monitor(ProbeMode::CausalityOnly);
+        m.begin_root();
+        // F calls G (both collocated for a single-thread test).
+        let f = func(1);
+        let g = func(2);
+        let out_f = m.stub_start(f, CallKind::Collocated);
+        m.skel_start(f, CallKind::Collocated, out_f.wire_ftl, None);
+        let out_g = m.stub_start(g, CallKind::Collocated);
+        m.skel_start(g, CallKind::Collocated, out_g.wire_ftl, None);
+        let rg = m.skel_end(g, CallKind::Collocated);
+        m.stub_end(g, CallKind::Collocated, Some(rg));
+        let rf = m.skel_end(f, CallKind::Collocated);
+        m.stub_end(f, CallKind::Collocated, Some(rf));
+
+        let recs = m.store().drain();
+        let seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        // Chronological push order == seq order on one thread.
+        assert_eq!(seqs, (1..=8).collect::<Vec<u64>>());
+        // The parent/child nesting pattern of Table 1:
+        let pattern: Vec<(TraceEvent, ObjectId)> =
+            recs.iter().map(|r| (r.event, r.func.object)).collect();
+        assert_eq!(
+            pattern,
+            vec![
+                (TraceEvent::StubStart, ObjectId(1)),
+                (TraceEvent::SkelStart, ObjectId(1)),
+                (TraceEvent::StubStart, ObjectId(2)),
+                (TraceEvent::SkelStart, ObjectId(2)),
+                (TraceEvent::SkelEnd, ObjectId(2)),
+                (TraceEvent::StubEnd, ObjectId(2)),
+                (TraceEvent::SkelEnd, ObjectId(1)),
+                (TraceEvent::StubEnd, ObjectId(1)),
+            ]
+        );
+        m.begin_root();
+    }
+
+    #[test]
+    fn sibling_calls_share_one_chain() {
+        let m = fresh_monitor(ProbeMode::CausalityOnly);
+        m.begin_root();
+        for n in [1u64, 2] {
+            let f = func(n);
+            let out = m.stub_start(f, CallKind::Collocated);
+            m.skel_start(f, CallKind::Collocated, out.wire_ftl, None);
+            let r = m.skel_end(f, CallKind::Collocated);
+            m.stub_end(f, CallKind::Collocated, Some(r));
+        }
+        let recs = m.store().drain();
+        assert_eq!(recs.len(), 8);
+        assert!(recs.iter().all(|r| r.uuid == recs[0].uuid), "siblings share the UUID");
+        let seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (1..=8).collect::<Vec<u64>>());
+        m.begin_root();
+    }
+
+    #[test]
+    fn begin_root_starts_a_new_chain() {
+        let m = fresh_monitor(ProbeMode::CausalityOnly);
+        m.begin_root();
+        let a = m.stub_start(func(1), CallKind::Sync).wire_ftl;
+        m.stub_end(func(1), CallKind::Sync, Some(a));
+        m.begin_root();
+        let b = m.stub_start(func(1), CallKind::Sync).wire_ftl;
+        assert_ne!(a.global_function_id, b.global_function_id);
+        m.begin_root();
+        m.store().drain();
+    }
+
+    #[test]
+    fn oneway_forks_a_child_chain_and_records_the_link() {
+        let m = fresh_monitor(ProbeMode::CausalityOnly);
+        m.begin_root();
+        let f = func(7);
+        let out = m.stub_start(f, CallKind::Oneway);
+        // The wire FTL is the fresh child chain, not the parent chain.
+        let parent = m.current_chain().unwrap();
+        assert_ne!(out.wire_ftl.global_function_id, parent.global_function_id);
+        assert_eq!(out.wire_ftl.event_seq_no, 0);
+        assert_eq!(out.oneway_parent, Some((parent.global_function_id, 1)));
+        m.stub_end(f, CallKind::Oneway, None);
+
+        // Server side (same thread here, different chain).
+        m.skel_start(f, CallKind::Oneway, out.wire_ftl, out.oneway_parent);
+        m.skel_end(f, CallKind::Oneway);
+
+        let recs = m.store().drain();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].oneway_child, Some(out.wire_ftl.global_function_id));
+        assert_eq!(recs[2].oneway_parent, Some((parent.global_function_id, 1)));
+        assert_eq!(recs[0].uuid, parent.global_function_id);
+        assert_eq!(recs[1].uuid, parent.global_function_id);
+        assert_eq!(recs[2].uuid, out.wire_ftl.global_function_id);
+        assert_eq!(recs[3].uuid, out.wire_ftl.global_function_id);
+        m.begin_root();
+    }
+
+    #[test]
+    fn latency_mode_stamps_wall_not_cpu() {
+        let m = fresh_monitor(ProbeMode::Latency);
+        m.begin_root();
+        let out = m.stub_start(func(1), CallKind::Sync);
+        m.stub_end(func(1), CallKind::Sync, Some(out.wire_ftl));
+        let recs = m.store().drain();
+        for r in &recs {
+            assert!(r.wall_start.is_some() && r.wall_end.is_some());
+            assert!(r.cpu_start.is_none() && r.cpu_end.is_none());
+            assert!(r.wall_end.unwrap() >= r.wall_start.unwrap());
+        }
+        m.begin_root();
+    }
+
+    #[test]
+    fn cpu_mode_stamps_cpu_not_wall() {
+        let m = fresh_monitor(ProbeMode::Cpu);
+        m.begin_root();
+        let out = m.stub_start(func(1), CallKind::Sync);
+        m.stub_end(func(1), CallKind::Sync, Some(out.wire_ftl));
+        let recs = m.store().drain();
+        for r in &recs {
+            assert!(r.cpu_start.is_some() && r.cpu_end.is_some());
+            assert!(r.wall_start.is_none() && r.wall_end.is_none());
+        }
+        m.begin_root();
+    }
+
+    #[test]
+    fn causality_only_mode_stamps_nothing() {
+        let m = fresh_monitor(ProbeMode::CausalityOnly);
+        m.begin_root();
+        let out = m.stub_start(func(1), CallKind::Sync);
+        m.stub_end(func(1), CallKind::Sync, Some(out.wire_ftl));
+        for r in m.store().drain() {
+            assert_eq!(r.wall_start, None);
+            assert_eq!(r.cpu_start, None);
+        }
+        m.begin_root();
+    }
+
+    #[test]
+    fn disabled_monitor_records_nothing() {
+        let m = fresh_monitor(ProbeMode::Latency);
+        m.set_enabled(false);
+        m.begin_root();
+        let out = m.stub_start(func(1), CallKind::Sync);
+        assert!(out.wire_ftl.global_function_id.is_nil());
+        m.skel_start(func(1), CallKind::Sync, out.wire_ftl, None);
+        let r = m.skel_end(func(1), CallKind::Sync);
+        m.stub_end(func(1), CallKind::Sync, Some(r));
+        assert!(m.store().is_empty());
+        assert!(m.is_enabled() == false);
+        m.set_enabled(true);
+        assert!(m.is_enabled());
+        m.begin_root();
+    }
+
+    #[test]
+    fn skel_end_without_tss_recovers_and_counts_anomaly() {
+        let m = fresh_monitor(ProbeMode::CausalityOnly);
+        m.begin_root();
+        assert_eq!(m.anomaly_count(), 0);
+        let _ = m.skel_end(func(1), CallKind::Sync);
+        assert_eq!(m.anomaly_count(), 1);
+        m.begin_root();
+        m.store().drain();
+    }
+
+    #[test]
+    fn pooled_thread_stale_ftl_is_refreshed_by_next_dispatch() {
+        // Observation O2: a reused thread holds a stale FTL, but skel_start
+        // always installs the incoming call's FTL before user code runs.
+        let m = fresh_monitor(ProbeMode::CausalityOnly);
+        m.begin_root();
+        let stale = FunctionTxLog::fresh();
+        tss::store(stale);
+        let incoming = FunctionTxLog::fresh();
+        m.skel_start(func(1), CallKind::Sync, incoming, None);
+        assert_eq!(
+            m.current_chain().unwrap().global_function_id,
+            incoming.global_function_id
+        );
+        m.begin_root();
+        m.store().drain();
+    }
+}

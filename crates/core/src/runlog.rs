@@ -1,0 +1,60 @@
+//! The harvested output of a monitored run.
+//!
+//! After the application reaches a quiescent state, the scattered per-thread
+//! logs are gathered together with the name vocabulary and the deployment
+//! topology — everything the off-line collector needs to synthesize its
+//! relational database.
+
+use crate::deploy::Deployment;
+use crate::names::VocabSnapshot;
+use crate::record::ProbeRecord;
+use serde::{Deserialize, Serialize};
+
+/// Everything harvested from one system run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunLog {
+    /// All probe records, grouped by (process, thread) in drain order.
+    pub records: Vec<ProbeRecord>,
+    /// Names for every id appearing in the records.
+    pub vocab: VocabSnapshot,
+    /// The node/process topology of the run.
+    pub deployment: Deployment,
+}
+
+impl RunLog {
+    /// Creates a run log.
+    pub fn new(records: Vec<ProbeRecord>, vocab: VocabSnapshot, deployment: Deployment) -> RunLog {
+        RunLog { records, vocab, deployment }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no records were harvested.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Merges another run log's records into this one (e.g. logs gathered
+    /// from two runtime domains of a hybrid system). Vocabulary and
+    /// deployment must already agree (they come from the shared system).
+    pub fn merge(&mut self, other: RunLog) {
+        self.records.extend(other.records);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_concatenates_records() {
+        let mut a = RunLog::default();
+        assert!(a.is_empty());
+        let b = RunLog::default();
+        a.merge(b);
+        assert_eq!(a.len(), 0);
+    }
+}

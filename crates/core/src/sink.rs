@@ -1,0 +1,216 @@
+//! Per-thread log buffers.
+//!
+//! "All runtime behavior information is recorded individually by probes
+//! without coordination" — each thread appends to its own buffer, and the
+//! collector drains every buffer after the application reaches a quiescent
+//! state. A thread's buffer is guarded by a mutex that is uncontended in
+//! steady state (only the owning thread pushes; only the collector drains),
+//! so probe cost stays in the tens of nanoseconds.
+//!
+//! The store also assigns dense process-local [`LogicalThreadId`]s, which is
+//! how scattered records are attributed to "the 32 threads" of a run without
+//! leaking OS thread handles into the data model.
+
+use crate::ids::LogicalThreadId;
+use crate::record::ProbeRecord;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
+
+type Buffer = Arc<Mutex<Vec<ProbeRecord>>>;
+
+#[derive(Debug)]
+struct StoreInner {
+    id: u64,
+    buffers: Mutex<Vec<Buffer>>,
+    next_thread: AtomicU32,
+    records: AtomicU64,
+}
+
+thread_local! {
+    /// Cache of (store id → this thread's registration) so the hot path is a
+    /// hash lookup plus an uncontended lock.
+    static THREAD_REG: RefCell<HashMap<u64, (LogicalThreadId, Buffer)>> =
+        RefCell::new(HashMap::new());
+}
+
+/// A process's log store: one buffer per thread that ever probed.
+///
+/// Cloning is cheap and clones share state.
+///
+/// # Example
+///
+/// ```
+/// use causeway_core::sink::LogStore;
+/// let store = LogStore::new();
+/// let tid = store.current_thread();
+/// assert_eq!(tid.0, 0); // first thread gets id 0
+/// assert!(store.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogStore {
+    inner: Arc<StoreInner>,
+}
+
+impl Default for LogStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogStore {
+    /// Creates an empty store.
+    pub fn new() -> LogStore {
+        LogStore {
+            inner: Arc::new(StoreInner {
+                id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
+                buffers: Mutex::new(Vec::new()),
+                next_thread: AtomicU32::new(0),
+                records: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn register_current(&self) -> (LogicalThreadId, Buffer) {
+        THREAD_REG.with(|reg| {
+            let mut reg = reg.borrow_mut();
+            if let Some(entry) = reg.get(&self.inner.id) {
+                return entry.clone();
+            }
+            let tid = LogicalThreadId(self.inner.next_thread.fetch_add(1, Ordering::Relaxed));
+            let buf: Buffer = Arc::new(Mutex::new(Vec::new()));
+            self.inner.buffers.lock().push(Arc::clone(&buf));
+            reg.insert(self.inner.id, (tid, Arc::clone(&buf)));
+            (tid, buf)
+        })
+    }
+
+    /// The calling thread's logical id within this store, assigning one on
+    /// first use.
+    pub fn current_thread(&self) -> LogicalThreadId {
+        self.register_current().0
+    }
+
+    /// Appends a record to the calling thread's buffer.
+    pub fn push(&self, record: ProbeRecord) {
+        let (_, buf) = self.register_current();
+        buf.lock().push(record);
+        self.inner.records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total records currently buffered across all threads.
+    pub fn len(&self) -> usize {
+        self.inner.records.load(Ordering::Relaxed) as usize
+    }
+
+    /// `true` when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of threads that have registered with this store.
+    pub fn thread_count(&self) -> usize {
+        self.inner.next_thread.load(Ordering::Relaxed) as usize
+    }
+
+    /// Drains every thread's buffer, returning all records (grouped by
+    /// thread in registration order — within one thread, records are in
+    /// chronological push order, which the analyzer may rely on as a
+    /// secondary ordering hint but never requires).
+    pub fn drain(&self) -> Vec<ProbeRecord> {
+        let buffers = self.inner.buffers.lock();
+        let mut out = Vec::with_capacity(self.len());
+        for buf in buffers.iter() {
+            out.append(&mut buf.lock());
+        }
+        self.inner.records.fetch_sub(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CallKind, TraceEvent};
+    use crate::ids::{InterfaceId, MethodIndex, NodeId, ObjectId, ProcessId};
+    use crate::record::{CallSite, FunctionKey};
+    use crate::uuid::Uuid;
+
+    fn rec(store: &LogStore, seq: u64) -> ProbeRecord {
+        ProbeRecord {
+            uuid: Uuid(1),
+            seq,
+            event: TraceEvent::StubStart,
+            kind: CallKind::Sync,
+            site: CallSite {
+                node: NodeId(0),
+                process: ProcessId(0),
+                thread: store.current_thread(),
+            },
+            func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(0)),
+            wall_start: None,
+            wall_end: None,
+            cpu_start: None,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: None,
+        }
+    }
+
+    #[test]
+    fn push_and_drain() {
+        let store = LogStore::new();
+        let r1 = rec(&store, 1);
+        let r2 = rec(&store, 2);
+        store.push(r1.clone());
+        store.push(r2.clone());
+        assert_eq!(store.len(), 2);
+        let drained = store.drain();
+        assert_eq!(drained, vec![r1, r2]);
+        assert!(store.is_empty());
+        assert!(store.drain().is_empty());
+    }
+
+    #[test]
+    fn thread_ids_are_dense_and_stable() {
+        let store = LogStore::new();
+        let t0 = store.current_thread();
+        assert_eq!(t0, store.current_thread(), "stable within a thread");
+        let store2 = store.clone();
+        let t1 = std::thread::spawn(move || store2.current_thread()).join().unwrap();
+        assert_ne!(t0, t1);
+        assert_eq!(store.thread_count(), 2);
+    }
+
+    #[test]
+    fn two_stores_assign_independent_ids() {
+        let a = LogStore::new();
+        let b = LogStore::new();
+        assert_eq!(a.current_thread().0, 0);
+        assert_eq!(b.current_thread().0, 0);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_arrive() {
+        let store = LogStore::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let s = store.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let r = rec(&s, i);
+                        s.push(r);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(store.drain().len(), 800);
+    }
+}

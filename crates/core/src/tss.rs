@@ -1,0 +1,106 @@
+//! Thread-specific storage (TSS) for the in-flight [`FunctionTxLog`].
+//!
+//! The TSS is the second half of the virtual tunnel (Figure 2): the private
+//! stub↔skeleton channel carries the FTL *across* process boundaries, and
+//! the TSS carries it *within* a thread — from the skeleton that installed it
+//! into any child stubs invoked by the function implementation, and from a
+//! completed call to its immediate sibling ("the previous function's
+//! termination and the immediate follower's invocation incur always within
+//! the same thread").
+//!
+//! The storage is created independently of user applications (here: a
+//! `thread_local!`), matching the paper's monitoring-initialization-phase
+//! TSS. It is deliberately *global per OS thread* rather than per runtime:
+//! that is precisely what lets causality propagate seamlessly when a CORBA
+//! skeleton's up-call turns around and invokes a COM stub on the same thread
+//! (the CORBA/COM bridge scenario of Section 2.3).
+//!
+//! Observation O2 of the paper holds by construction: a pooled server thread
+//! may retain a stale FTL after its call completes, but every new dispatch
+//! re-installs the incoming call's FTL before user code runs.
+
+use crate::ftl::FunctionTxLog;
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_FTL: Cell<Option<FunctionTxLog>> = const { Cell::new(None) };
+}
+
+/// Stores `ftl` as the calling thread's current chain context, returning the
+/// previous value (useful for save/restore around reentrant dispatch, see
+/// `causeway-com`).
+pub fn store(ftl: FunctionTxLog) -> Option<FunctionTxLog> {
+    CURRENT_FTL.with(|c| c.replace(Some(ftl)))
+}
+
+/// Reads the calling thread's current chain context without clearing it.
+pub fn peek() -> Option<FunctionTxLog> {
+    CURRENT_FTL.with(|c| c.get())
+}
+
+/// Clears the calling thread's chain context, returning what was there.
+///
+/// Client drivers call this between top-level transactions so that each
+/// transaction unfolds into its own causal chain (its own tree in the DSCG).
+pub fn clear() -> Option<FunctionTxLog> {
+    CURRENT_FTL.with(|c| c.take())
+}
+
+/// Replaces the calling thread's chain context wholesale (including `None`).
+/// Returns the previous value.
+pub fn swap(ftl: Option<FunctionTxLog>) -> Option<FunctionTxLog> {
+    CURRENT_FTL.with(|c| c.replace(ftl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uuid::Uuid;
+
+    #[test]
+    fn store_peek_clear_round_trip() {
+        clear();
+        assert_eq!(peek(), None);
+        let ftl = FunctionTxLog::new(Uuid(42), 3);
+        assert_eq!(store(ftl), None);
+        assert_eq!(peek(), Some(ftl));
+        assert_eq!(peek(), Some(ftl), "peek must not consume");
+        assert_eq!(clear(), Some(ftl));
+        assert_eq!(peek(), None);
+    }
+
+    #[test]
+    fn store_returns_previous() {
+        clear();
+        let a = FunctionTxLog::new(Uuid(1), 0);
+        let b = FunctionTxLog::new(Uuid(2), 0);
+        store(a);
+        assert_eq!(store(b), Some(a));
+        clear();
+    }
+
+    #[test]
+    fn swap_supports_save_restore() {
+        clear();
+        let outer = FunctionTxLog::new(Uuid(10), 5);
+        store(outer);
+        // Simulate reentrant dispatch: save, run nested chain, restore.
+        let saved = swap(None);
+        assert_eq!(saved, Some(outer));
+        let nested = FunctionTxLog::new(Uuid(11), 0);
+        store(nested);
+        assert_eq!(peek(), Some(nested));
+        swap(saved);
+        assert_eq!(peek(), Some(outer));
+        clear();
+    }
+
+    #[test]
+    fn tss_is_thread_local() {
+        clear();
+        store(FunctionTxLog::new(Uuid(99), 1));
+        let other = std::thread::spawn(peek).join().unwrap();
+        assert_eq!(other, None, "another thread must not see our FTL");
+        clear();
+    }
+}

@@ -1,0 +1,334 @@
+//! Marshalling: a compact CDR-like binary encoding for [`Value`]s and the
+//! hidden FTL parameter.
+//!
+//! The instrumented stub appends the 24-byte FTL to every request buffer and
+//! the instrumented skeleton splits it back off — the byte-level equivalent
+//! of the IDL compiler's internal translation in Figure 3, where every
+//! method signature silently gains an `inout Probe::FunctionTxLogType log`
+//! parameter.
+
+use crate::error::CoreError;
+use crate::ftl::{FTL_WIRE_LEN, FunctionTxLog};
+use crate::value::Value;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const TAG_VOID: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_I32: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BLOB: u8 = 6;
+const TAG_SEQ: u8 = 7;
+const TAG_STRUCT: u8 = 8;
+
+/// Maximum marshalled collection length accepted by the decoder — a sanity
+/// bound against corrupted buffers.
+const MAX_LEN: usize = 64 * 1024 * 1024;
+
+/// Encodes one value into `buf`.
+pub fn encode_value(value: &Value, buf: &mut BytesMut) {
+    match value {
+        Value::Void => buf.put_u8(TAG_VOID),
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::I32(v) => {
+            buf.put_u8(TAG_I32);
+            buf.put_i32_le(*v);
+        }
+        Value::I64(v) => {
+            buf.put_u8(TAG_I64);
+            buf.put_i64_le(*v);
+        }
+        Value::F64(v) => {
+            buf.put_u8(TAG_F64);
+            buf.put_f64_le(*v);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            put_bytes(buf, s.as_bytes());
+        }
+        Value::Blob(b) => {
+            buf.put_u8(TAG_BLOB);
+            put_bytes(buf, b);
+        }
+        Value::Seq(items) => {
+            buf.put_u8(TAG_SEQ);
+            buf.put_u32_le(items.len() as u32);
+            for item in items {
+                encode_value(item, buf);
+            }
+        }
+        Value::Struct(fields) => {
+            buf.put_u8(TAG_STRUCT);
+            buf.put_u32_le(fields.len() as u32);
+            for (name, v) in fields {
+                put_bytes(buf, name.as_bytes());
+                encode_value(v, buf);
+            }
+        }
+    }
+}
+
+/// Decodes one value from `buf`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::WireDecode`] when the buffer is truncated, a tag is
+/// unknown, a string is not UTF-8, or a length exceeds the sanity bound.
+pub fn decode_value(buf: &mut Bytes) -> Result<Value, CoreError> {
+    if buf.remaining() < 1 {
+        return Err(CoreError::WireDecode("empty buffer".into()));
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_VOID => Ok(Value::Void),
+        TAG_BOOL => {
+            need(buf, 1)?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        TAG_I32 => {
+            need(buf, 4)?;
+            Ok(Value::I32(buf.get_i32_le()))
+        }
+        TAG_I64 => {
+            need(buf, 8)?;
+            Ok(Value::I64(buf.get_i64_le()))
+        }
+        TAG_F64 => {
+            need(buf, 8)?;
+            Ok(Value::F64(buf.get_f64_le()))
+        }
+        TAG_STR => {
+            let bytes = get_bytes(buf)?;
+            String::from_utf8(bytes)
+                .map(Value::Str)
+                .map_err(|_| CoreError::WireDecode("invalid utf-8 in string".into()))
+        }
+        TAG_BLOB => Ok(Value::Blob(get_bytes(buf)?)),
+        TAG_SEQ => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            check_len(len)?;
+            let mut items = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                items.push(decode_value(buf)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        TAG_STRUCT => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            check_len(len)?;
+            let mut fields = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                let name_bytes = get_bytes(buf)?;
+                let name = String::from_utf8(name_bytes)
+                    .map_err(|_| CoreError::WireDecode("invalid utf-8 in field name".into()))?;
+                fields.push((name, decode_value(buf)?));
+            }
+            Ok(Value::Struct(fields))
+        }
+        other => Err(CoreError::WireDecode(format!("unknown tag {other}"))),
+    }
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CoreError> {
+    if buf.remaining() < n {
+        Err(CoreError::WireDecode(format!(
+            "truncated buffer: need {n} bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn check_len(len: usize) -> Result<(), CoreError> {
+    if len > MAX_LEN {
+        Err(CoreError::WireDecode(format!("length {len} exceeds sanity bound")))
+    } else {
+        Ok(())
+    }
+}
+
+fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
+    buf.put_u32_le(bytes.len() as u32);
+    buf.put_slice(bytes);
+}
+
+fn get_bytes(buf: &mut Bytes) -> Result<Vec<u8>, CoreError> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    check_len(len)?;
+    need(buf, len)?;
+    let mut out = vec![0u8; len];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Marshals an argument list (in declaration order).
+pub fn encode_args(args: &[Value]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(args.iter().map(Value::wire_size_hint).sum::<usize>() + 8);
+    buf.put_u32_le(args.len() as u32);
+    for arg in args {
+        encode_value(arg, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Unmarshals an argument list.
+///
+/// # Errors
+///
+/// Returns [`CoreError::WireDecode`] on malformed input.
+pub fn decode_args(mut buf: Bytes) -> Result<Vec<Value>, CoreError> {
+    need(&buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    check_len(len)?;
+    let mut args = Vec::with_capacity(len.min(1024));
+    for _ in 0..len {
+        args.push(decode_value(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(CoreError::WireDecode(format!(
+            "{} trailing bytes after argument list",
+            buf.remaining()
+        )));
+    }
+    Ok(args)
+}
+
+/// Appends the hidden FTL parameter to a marshalled payload — what the
+/// instrumented stub does just before sending.
+pub fn append_ftl(payload: Bytes, ftl: FunctionTxLog) -> Bytes {
+    let mut buf = BytesMut::with_capacity(payload.len() + FTL_WIRE_LEN);
+    buf.put_slice(&payload);
+    buf.put_slice(&ftl.to_wire());
+    buf.freeze()
+}
+
+/// Splits the hidden FTL parameter back off a marshalled payload — what the
+/// instrumented skeleton does on receipt. Returns the bare payload and the
+/// FTL.
+///
+/// # Errors
+///
+/// Returns [`CoreError::WireDecode`] when the buffer is shorter than an FTL.
+pub fn split_ftl(mut payload: Bytes) -> Result<(Bytes, FunctionTxLog), CoreError> {
+    if payload.len() < FTL_WIRE_LEN {
+        return Err(CoreError::WireDecode("payload shorter than FTL".into()));
+    }
+    let ftl_bytes = payload.split_off(payload.len() - FTL_WIRE_LEN);
+    let ftl = FunctionTxLog::from_wire(&ftl_bytes)
+        .ok_or_else(|| CoreError::WireDecode("malformed FTL".into()))?;
+    Ok((payload, ftl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uuid::Uuid;
+
+    fn round_trip(v: Value) {
+        let mut buf = BytesMut::new();
+        encode_value(&v, &mut buf);
+        let decoded = decode_value(&mut buf.freeze()).unwrap();
+        assert_eq!(decoded, v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(Value::Void);
+        round_trip(Value::Bool(true));
+        round_trip(Value::Bool(false));
+        round_trip(Value::I32(-5));
+        round_trip(Value::I64(i64::MAX));
+        round_trip(Value::F64(3.25));
+        round_trip(Value::Str("héllo wörld".into()));
+        round_trip(Value::Blob(vec![0, 255, 128]));
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        round_trip(Value::Seq(vec![
+            Value::I32(1),
+            Value::Str("two".into()),
+            Value::Seq(vec![Value::Bool(true)]),
+        ]));
+        round_trip(Value::Struct(vec![
+            ("job".into(), Value::I64(99)),
+            ("data".into(), Value::Blob(vec![7; 64])),
+        ]));
+        round_trip(Value::Seq(vec![]));
+        round_trip(Value::Struct(vec![]));
+    }
+
+    #[test]
+    fn args_round_trip() {
+        let args = vec![Value::I32(1), Value::from("x"), Value::F64(0.5)];
+        let encoded = encode_args(&args);
+        assert_eq!(decode_args(encoded).unwrap(), args);
+        assert_eq!(decode_args(encode_args(&[])).unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let args = vec![Value::Str("hello".into())];
+        let encoded = encode_args(&args);
+        for cut in 1..encoded.len() {
+            let truncated = encoded.slice(..cut);
+            assert!(decode_args(truncated).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = BytesMut::new();
+        bytes.put_slice(&encode_args(&[Value::I32(1)]));
+        bytes.put_u8(0xFF);
+        assert!(decode_args(bytes.freeze()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(42);
+        assert!(decode_value(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_STR);
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert!(decode_value(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_absurd_length() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_SEQ);
+        buf.put_u32_le(u32::MAX);
+        assert!(decode_value(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn ftl_append_split_round_trip() {
+        let payload = encode_args(&[Value::from("body")]);
+        let ftl = FunctionTxLog::new(Uuid::new(), 17);
+        let on_wire = append_ftl(payload.clone(), ftl);
+        assert_eq!(on_wire.len(), payload.len() + FTL_WIRE_LEN);
+        let (bare, got) = split_ftl(on_wire).unwrap();
+        assert_eq!(bare, payload);
+        assert_eq!(got, ftl);
+    }
+
+    #[test]
+    fn split_ftl_rejects_short_payloads() {
+        assert!(split_ftl(Bytes::from_static(&[0u8; 10])).is_err());
+    }
+}

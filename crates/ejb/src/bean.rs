@@ -1,0 +1,84 @@
+//! Session beans: the user-defined business logic.
+
+use crate::container::EjbClient;
+use causeway_core::ids::{MethodIndex, ObjectId};
+use causeway_core::value::Value;
+
+/// A stateless session bean. Unlike ORB servants, bean methods take
+/// `&mut self`: the container guarantees exclusive access by checking the
+/// instance out of its pool for the duration of the call.
+pub trait SessionBean: Send {
+    /// Executes one business method.
+    fn business(
+        &mut self,
+        ctx: &BeanCtx,
+        method: MethodIndex,
+        args: Vec<Value>,
+    ) -> Result<Value, (String, String)>;
+}
+
+/// Context injected into a bean for the duration of one call.
+#[derive(Debug, Clone)]
+pub struct BeanCtx {
+    client: EjbClient,
+    bean: ObjectId,
+}
+
+impl BeanCtx {
+    pub(crate) fn new(client: EjbClient, bean: ObjectId) -> BeanCtx {
+        BeanCtx { client, bean }
+    }
+
+    /// A client for invoking other beans (children of this call).
+    pub fn client(&self) -> &EjbClient {
+        &self.client
+    }
+
+    /// The identity of the bean deployment this instance belongs to.
+    pub fn bean(&self) -> ObjectId {
+        self.bean
+    }
+}
+
+/// A bean built from a closure plus per-instance state created by a factory
+/// — handy for tests and examples.
+pub struct FnBean<S, F> {
+    state: S,
+    body: F,
+}
+
+impl<S, F> FnBean<S, F>
+where
+    S: Send,
+    F: Fn(&mut S, &BeanCtx, MethodIndex, Vec<Value>) -> Result<Value, (String, String)>
+        + Send
+        + Sync,
+{
+    /// Creates a bean instance with the given state and body.
+    pub fn new(state: S, body: F) -> FnBean<S, F> {
+        FnBean { state, body }
+    }
+}
+
+impl<S, F> SessionBean for FnBean<S, F>
+where
+    S: Send,
+    F: Fn(&mut S, &BeanCtx, MethodIndex, Vec<Value>) -> Result<Value, (String, String)>
+        + Send
+        + Sync,
+{
+    fn business(
+        &mut self,
+        ctx: &BeanCtx,
+        method: MethodIndex,
+        args: Vec<Value>,
+    ) -> Result<Value, (String, String)> {
+        (self.body)(&mut self.state, ctx, method, args)
+    }
+}
+
+impl<S, F> std::fmt::Debug for FnBean<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnBean")
+    }
+}

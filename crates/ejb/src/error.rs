@@ -1,0 +1,53 @@
+//! EJB container errors.
+
+use std::fmt;
+
+/// Errors surfaced by the container runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EjbError {
+    /// No bean is bound under the JNDI name.
+    NameNotFound(String),
+    /// The method name does not exist on the bean's business interface.
+    UnknownMethod(String),
+    /// The target container is gone.
+    ContainerUnreachable(String),
+    /// The reply did not arrive in time.
+    Timeout(String),
+    /// The bean raised (exception, message).
+    Application(String, String),
+    /// A payload failed to (un)marshal, or IDL failed to compile.
+    Definition(String),
+}
+
+impl fmt::Display for EjbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EjbError::NameNotFound(n) => write!(f, "name not found: {n}"),
+            EjbError::UnknownMethod(m) => write!(f, "unknown method: {m}"),
+            EjbError::ContainerUnreachable(m) => write!(f, "container unreachable: {m}"),
+            EjbError::Timeout(m) => write!(f, "invocation timed out: {m}"),
+            EjbError::Application(e, m) => write!(f, "application exception {e}: {m}"),
+            EjbError::Definition(m) => write!(f, "definition error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EjbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            EjbError::NameNotFound("java:global/Cart".into()).to_string(),
+            "name not found: java:global/Cart"
+        );
+        assert_eq!(
+            EjbError::Application("CartFull".into(), "limit".into()).to_string(),
+            "application exception CartFull: limit"
+        );
+    }
+}

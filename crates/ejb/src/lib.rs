@@ -1,0 +1,44 @@
+//! # causeway-ejb
+//!
+//! A J2EE-style container runtime — the paper's first-named future effort:
+//! "one future effort is to investigate the adoption of our monitoring
+//! techniques to the J2EE-based applications."
+//!
+//! The adoption works because J2EE has the same structural property the
+//! paper exploits in CORBA and COM: an *indirection layer* between caller
+//! and implementation. Here that layer is the container-generated business
+//! proxy (client side) and the container dispatch (server side); the four
+//! probes of Figure 1 sit at exactly those points, and the FTL rides the
+//! invocation's *work-area context* (a tagged map attached to every
+//! container invocation, as J2EE activity services did).
+//!
+//! What makes this a genuinely different substrate rather than a re-skinned
+//! ORB:
+//!
+//! * **Stateless-session-bean pooling** — bean instances take `&mut self`;
+//!   the container checks an instance out of a bounded [`pool`] for the
+//!   duration of a call and queues callers when the pool is exhausted.
+//! * **Container interceptor chains** — `@AroundInvoke`-style
+//!   [`interceptor::ContainerInterceptor`]s wrap every business method
+//!   *inside* the container (not at the transport), in registration order.
+//! * **JNDI-style naming** — beans are looked up by string names bound in
+//!   a shared [`container::Jndi`] registry.
+//!
+//! Observation O1 holds (a container worker is dedicated to a call until it
+//! completes), so — per §2.2 of the paper — the TSS-based tunnel carries
+//! over unchanged. The integration tests verify end-to-end chains across
+//! containers, and the hybrid test in `tests/` shows a chain crossing
+//! CORBA → EJB through nothing but the shared thread-specific storage.
+
+#![warn(missing_docs)]
+
+pub mod bean;
+pub mod container;
+pub mod error;
+pub mod interceptor;
+pub mod pool;
+
+pub use bean::{BeanCtx, FnBean, SessionBean};
+pub use container::{BeanRef, Container, ContainerConfig, EjbClient, Jndi};
+pub use error::EjbError;
+pub use interceptor::{ContainerInterceptor, InvocationInfo};

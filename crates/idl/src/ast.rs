@@ -1,0 +1,235 @@
+//! Abstract syntax tree for the supported IDL subset.
+
+use std::fmt;
+
+/// A parsed IDL compilation unit: a list of top-level definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Spec {
+    /// Top-level definitions in source order.
+    pub definitions: Vec<Definition>,
+}
+
+/// A top-level or module-scoped definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Definition {
+    /// `module X { … };`
+    Module(Module),
+    /// `interface Foo { … };`
+    Interface(Interface),
+    /// `struct Job { … };`
+    Struct(StructDef),
+}
+
+/// `module X { … };`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Nested definitions.
+    pub definitions: Vec<Definition>,
+}
+
+/// `interface Foo : Base { … };`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name (unqualified).
+    pub name: String,
+    /// Optional base interface (scoped name).
+    pub base: Option<String>,
+    /// Methods in declaration order.
+    pub methods: Vec<Method>,
+}
+
+/// One method declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Method {
+    /// Method name.
+    pub name: String,
+    /// `true` for `oneway` (asynchronous, no reply) methods.
+    pub oneway: bool,
+    /// Result type (`IdlType::Void` for `void`).
+    pub result: IdlType,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Exception names from the `raises(…)` clause.
+    pub raises: Vec<String>,
+}
+
+/// One method parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Passing direction.
+    pub dir: ParamDir,
+    /// Parameter type.
+    pub ty: IdlType,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// Parameter passing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamDir {
+    /// `in` — client to server.
+    In,
+    /// `out` — server to client.
+    Out,
+    /// `inout` — both ways (the hidden FTL parameter uses this).
+    InOut,
+}
+
+impl fmt::Display for ParamDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ParamDir::In => "in",
+            ParamDir::Out => "out",
+            ParamDir::InOut => "inout",
+        })
+    }
+}
+
+/// `struct Job { long id; string name; };`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields as (type, name) pairs in declaration order.
+    pub fields: Vec<(IdlType, String)>,
+}
+
+/// The supported IDL types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdlType {
+    /// `void` (results only).
+    Void,
+    /// `boolean`.
+    Boolean,
+    /// `long` (32-bit).
+    Long,
+    /// `long long` (64-bit).
+    LongLong,
+    /// `unsigned long` — accepted and treated as 64-bit at runtime.
+    UnsignedLong,
+    /// `float` (carried as 64-bit at runtime).
+    Float,
+    /// `double`.
+    Double,
+    /// `string`.
+    String_,
+    /// `octet`.
+    Octet,
+    /// `sequence<T>`.
+    Sequence(Box<IdlType>),
+    /// A scoped name referring to a struct or interface.
+    Named(String),
+}
+
+impl fmt::Display for IdlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdlType::Void => f.write_str("void"),
+            IdlType::Boolean => f.write_str("boolean"),
+            IdlType::Long => f.write_str("long"),
+            IdlType::LongLong => f.write_str("long long"),
+            IdlType::UnsignedLong => f.write_str("unsigned long"),
+            IdlType::Float => f.write_str("float"),
+            IdlType::Double => f.write_str("double"),
+            IdlType::String_ => f.write_str("string"),
+            IdlType::Octet => f.write_str("octet"),
+            IdlType::Sequence(inner) => write!(f, "sequence<{inner}>"),
+            IdlType::Named(name) => f.write_str(name),
+        }
+    }
+}
+
+impl Spec {
+    /// Iterates over all interfaces with their module-qualified names
+    /// (`"Example::Foo"`), depth-first in source order.
+    pub fn interfaces(&self) -> Vec<(String, &Interface)> {
+        let mut out = Vec::new();
+        collect_interfaces("", &self.definitions, &mut out);
+        out
+    }
+
+    /// Iterates over all structs with their module-qualified names.
+    pub fn structs(&self) -> Vec<(String, &StructDef)> {
+        let mut out = Vec::new();
+        collect_structs("", &self.definitions, &mut out);
+        out
+    }
+}
+
+fn qualify(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{prefix}::{name}")
+    }
+}
+
+fn collect_interfaces<'a>(
+    prefix: &str,
+    defs: &'a [Definition],
+    out: &mut Vec<(String, &'a Interface)>,
+) {
+    for def in defs {
+        match def {
+            Definition::Module(m) => {
+                collect_interfaces(&qualify(prefix, &m.name), &m.definitions, out)
+            }
+            Definition::Interface(i) => out.push((qualify(prefix, &i.name), i)),
+            Definition::Struct(_) => {}
+        }
+    }
+}
+
+fn collect_structs<'a>(
+    prefix: &str,
+    defs: &'a [Definition],
+    out: &mut Vec<(String, &'a StructDef)>,
+) {
+    for def in defs {
+        match def {
+            Definition::Module(m) => collect_structs(&qualify(prefix, &m.name), &m.definitions, out),
+            Definition::Struct(s) => out.push((qualify(prefix, &s.name), s)),
+            Definition::Interface(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display() {
+        assert_eq!(IdlType::Sequence(Box::new(IdlType::Octet)).to_string(), "sequence<octet>");
+        assert_eq!(IdlType::LongLong.to_string(), "long long");
+        assert_eq!(IdlType::Named("Example::Job".into()).to_string(), "Example::Job");
+    }
+
+    #[test]
+    fn qualified_interface_collection() {
+        let spec = Spec {
+            definitions: vec![Definition::Module(Module {
+                name: "A".into(),
+                definitions: vec![
+                    Definition::Interface(Interface {
+                        name: "I".into(),
+                        base: None,
+                        methods: vec![],
+                    }),
+                    Definition::Module(Module {
+                        name: "B".into(),
+                        definitions: vec![Definition::Interface(Interface {
+                            name: "J".into(),
+                            base: None,
+                            methods: vec![],
+                        })],
+                    }),
+                ],
+            })],
+        };
+        let names: Vec<String> = spec.interfaces().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["A::I".to_string(), "A::B::J".to_string()]);
+    }
+}

@@ -1,0 +1,485 @@
+//! The compiler back-end: semantic checks, inheritance flattening, and the
+//! instrumentation transform of Figure 3.
+//!
+//! With [`InstrumentMode::Instrumented`], every method of every interface
+//! gains a synthetic trailing parameter
+//! `inout Probe::FunctionTxLogType log` — the hidden FTL the stubs and
+//! skeletons transport. With [`InstrumentMode::Plain`] the interfaces are
+//! compiled verbatim (the "non-instrumented version of stub and skeleton
+//! generation" selected by the paper's back-end compilation flag).
+
+use crate::ast::{Definition, IdlType, Interface, Method, ParamDir, Spec, StructDef};
+pub use crate::error::CompileError;
+use causeway_core::ids::InterfaceId;
+use causeway_core::names::SystemVocab;
+use std::collections::{HashMap, HashSet};
+
+/// The back-end compilation flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InstrumentMode {
+    /// Generate plain (uninstrumented) stub/skeleton metadata.
+    Plain,
+    /// Generate instrumented metadata: the hidden FTL parameter is appended
+    /// to every method.
+    #[default]
+    Instrumented,
+}
+
+/// The qualified type name of the hidden parameter, as in Figure 3.
+pub const FTL_TYPE_NAME: &str = "Probe::FunctionTxLogType";
+
+/// The name of the hidden parameter, as in Figure 3.
+pub const FTL_PARAM_NAME: &str = "log";
+
+/// A compiled parameter. `synthetic` marks the instrumentation-injected FTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledParam {
+    /// Passing direction.
+    pub dir: ParamDir,
+    /// Parameter type.
+    pub ty: IdlType,
+    /// Parameter name.
+    pub name: String,
+    /// `true` for the injected FTL parameter.
+    pub synthetic: bool,
+}
+
+/// A compiled method (inheritance flattened, instrumentation applied).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledMethod {
+    /// Method name.
+    pub name: String,
+    /// `true` for one-way methods.
+    pub oneway: bool,
+    /// Result type.
+    pub result: IdlType,
+    /// Parameters, including the synthetic FTL when instrumented.
+    pub params: Vec<CompiledParam>,
+    /// Declared exceptions.
+    pub raises: Vec<String>,
+}
+
+impl CompiledMethod {
+    /// The user-declared parameters (excluding the synthetic FTL).
+    pub fn user_params(&self) -> impl Iterator<Item = &CompiledParam> {
+        self.params.iter().filter(|p| !p.synthetic)
+    }
+
+    /// `true` when the method carries the hidden FTL parameter.
+    pub fn is_instrumented(&self) -> bool {
+        self.params.iter().any(|p| p.synthetic)
+    }
+}
+
+/// A compiled interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledInterface {
+    /// Module-qualified name, e.g. `"Example::Foo"`.
+    pub qualified_name: String,
+    /// Qualified name of the base interface, if any.
+    pub base: Option<String>,
+    /// Methods in declaration order, inherited methods first.
+    pub methods: Vec<CompiledMethod>,
+}
+
+impl CompiledInterface {
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&CompiledMethod> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// The method names in index order (what the vocabulary interns).
+    pub fn method_names(&self) -> Vec<&str> {
+        self.methods.iter().map(|m| m.name.as_str()).collect()
+    }
+}
+
+/// The output of the compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledSpec {
+    /// The mode this spec was compiled with.
+    pub mode: InstrumentMode,
+    /// Compiled interfaces in declaration order.
+    pub interfaces: Vec<CompiledInterface>,
+    /// Declared structs with their qualified names.
+    pub structs: Vec<(String, StructDef)>,
+}
+
+impl CompiledSpec {
+    /// Looks up an interface by qualified name.
+    pub fn interface(&self, qualified_name: &str) -> Option<&CompiledInterface> {
+        self.interfaces.iter().find(|i| i.qualified_name == qualified_name)
+    }
+
+    /// Registers every interface (with its user-visible method names) in a
+    /// system vocabulary, returning the name → id mapping the runtimes use.
+    pub fn register(&self, vocab: &SystemVocab) -> HashMap<String, InterfaceId> {
+        self.interfaces
+            .iter()
+            .map(|iface| {
+                let id = vocab.intern_interface(&iface.qualified_name, &iface.method_names());
+                (iface.qualified_name.clone(), id)
+            })
+            .collect()
+    }
+}
+
+/// Compiles a parsed [`Spec`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when a semantic rule is violated: invalid
+/// `oneway` signatures, duplicate methods, unknown named types or bases, or
+/// a user parameter colliding with the reserved instrumentation name.
+pub fn compile(spec: &Spec, mode: InstrumentMode) -> Result<CompiledSpec, CompileError> {
+    let declared: DeclaredNames = DeclaredNames::collect(spec);
+
+    let mut interfaces = Vec::new();
+    let mut by_name: HashMap<String, usize> = HashMap::new();
+
+    for (qualified_name, iface) in spec.interfaces() {
+        let base_methods: Vec<CompiledMethod> = match &iface.base {
+            Some(base) => {
+                let base_q = declared
+                    .resolve_interface(base, &qualified_name)
+                    .ok_or_else(|| CompileError::UnknownBase {
+                        interface: qualified_name.clone(),
+                        base: base.clone(),
+                    })?;
+                let idx = by_name.get(&base_q).copied().ok_or_else(|| {
+                    // Base declared later in the file — keep the subset simple
+                    // by requiring declaration-before-use.
+                    CompileError::UnknownBase {
+                        interface: qualified_name.clone(),
+                        base: base.clone(),
+                    }
+                })?;
+                let compiled: &CompiledInterface = &interfaces[idx];
+                compiled.methods.clone()
+            }
+            None => Vec::new(),
+        };
+
+        let mut methods = base_methods;
+        let mut seen: HashSet<String> =
+            methods.iter().map(|m| m.name.clone()).collect();
+        for method in &iface.methods {
+            if !seen.insert(method.name.clone()) {
+                return Err(CompileError::DuplicateMethod {
+                    interface: qualified_name.clone(),
+                    method: method.name.clone(),
+                });
+            }
+            methods.push(compile_method(&qualified_name, method, mode, &declared)?);
+        }
+
+        by_name.insert(qualified_name.clone(), interfaces.len());
+        interfaces.push(CompiledInterface {
+            qualified_name,
+            base: iface.base.clone(),
+            methods,
+        });
+    }
+
+    Ok(CompiledSpec {
+        mode,
+        interfaces,
+        structs: spec
+            .structs()
+            .into_iter()
+            .map(|(q, s)| (q, s.clone()))
+            .collect(),
+    })
+}
+
+fn compile_method(
+    interface: &str,
+    method: &Method,
+    mode: InstrumentMode,
+    declared: &DeclaredNames,
+) -> Result<CompiledMethod, CompileError> {
+    if method.oneway {
+        if method.result != IdlType::Void {
+            return Err(CompileError::InvalidOneway {
+                interface: interface.to_owned(),
+                method: method.name.clone(),
+                reason: "result type must be void".into(),
+            });
+        }
+        if let Some(p) = method.params.iter().find(|p| p.dir != ParamDir::In) {
+            return Err(CompileError::InvalidOneway {
+                interface: interface.to_owned(),
+                method: method.name.clone(),
+                reason: format!("parameter {} must be `in`", p.name),
+            });
+        }
+    }
+
+    for param in &method.params {
+        check_type_known(&param.ty, interface, &method.name, declared)?;
+        if mode == InstrumentMode::Instrumented && param.name == FTL_PARAM_NAME {
+            return Err(CompileError::ReservedName {
+                interface: interface.to_owned(),
+                method: method.name.clone(),
+            });
+        }
+    }
+    check_type_known(&method.result, interface, &method.name, declared)?;
+
+    let mut params: Vec<CompiledParam> = method
+        .params
+        .iter()
+        .map(|p| CompiledParam {
+            dir: p.dir,
+            ty: p.ty.clone(),
+            name: p.name.clone(),
+            synthetic: false,
+        })
+        .collect();
+
+    if mode == InstrumentMode::Instrumented {
+        // The Figure 3 internal translation: "as if an additional in-out
+        // parameter is introduced into the function interface with the type
+        // corresponding to the FTL".
+        params.push(CompiledParam {
+            dir: ParamDir::InOut,
+            ty: IdlType::Named(FTL_TYPE_NAME.to_owned()),
+            name: FTL_PARAM_NAME.to_owned(),
+            synthetic: true,
+        });
+    }
+
+    Ok(CompiledMethod {
+        name: method.name.clone(),
+        oneway: method.oneway,
+        result: method.result.clone(),
+        params,
+        raises: method.raises.clone(),
+    })
+}
+
+fn check_type_known(
+    ty: &IdlType,
+    interface: &str,
+    method: &str,
+    declared: &DeclaredNames,
+) -> Result<(), CompileError> {
+    match ty {
+        IdlType::Sequence(inner) => check_type_known(inner, interface, method, declared),
+        IdlType::Named(name) => {
+            if declared.resolve_any(name, interface).is_some() {
+                Ok(())
+            } else {
+                Err(CompileError::UnknownType {
+                    interface: interface.to_owned(),
+                    method: method.to_owned(),
+                    name: name.clone(),
+                })
+            }
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Declared struct and interface names, for resolving `Named` references.
+///
+/// Resolution is a simplification of full CORBA scoping: a reference matches
+/// if it equals a qualified name, or if prefixing it with any ancestor
+/// module of the referencing interface produces a qualified name.
+#[derive(Debug)]
+struct DeclaredNames {
+    interfaces: HashSet<String>,
+    structs: HashSet<String>,
+}
+
+impl DeclaredNames {
+    fn collect(spec: &Spec) -> DeclaredNames {
+        fn walk(prefix: &str, defs: &[Definition], out: &mut DeclaredNames) {
+            for def in defs {
+                match def {
+                    Definition::Module(m) => {
+                        let q = if prefix.is_empty() {
+                            m.name.clone()
+                        } else {
+                            format!("{prefix}::{}", m.name)
+                        };
+                        walk(&q, &m.definitions, out);
+                    }
+                    Definition::Interface(Interface { name, .. }) => {
+                        out.interfaces.insert(qualify(prefix, name));
+                    }
+                    Definition::Struct(StructDef { name, .. }) => {
+                        out.structs.insert(qualify(prefix, name));
+                    }
+                }
+            }
+        }
+        fn qualify(prefix: &str, name: &str) -> String {
+            if prefix.is_empty() {
+                name.to_owned()
+            } else {
+                format!("{prefix}::{name}")
+            }
+        }
+        let mut out = DeclaredNames {
+            interfaces: HashSet::new(),
+            structs: HashSet::new(),
+        };
+        walk("", &spec.definitions, &mut out);
+        out
+    }
+
+    /// Candidate qualified names for `name` referenced from inside
+    /// `context` (a qualified interface name).
+    fn candidates(name: &str, context: &str) -> Vec<String> {
+        let mut out = vec![name.to_owned()];
+        let mut segments: Vec<&str> = context.split("::").collect();
+        segments.pop(); // drop the interface's own name
+        while !segments.is_empty() {
+            out.push(format!("{}::{}", segments.join("::"), name));
+            segments.pop();
+        }
+        out
+    }
+
+    fn resolve_interface(&self, name: &str, context: &str) -> Option<String> {
+        Self::candidates(name, context)
+            .into_iter()
+            .find(|c| self.interfaces.contains(c))
+    }
+
+    fn resolve_any(&self, name: &str, context: &str) -> Option<String> {
+        if name == FTL_TYPE_NAME {
+            return Some(name.to_owned());
+        }
+        Self::candidates(name, context)
+            .into_iter()
+            .find(|c| self.interfaces.contains(c) || self.structs.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    const FIGURE_3: &str = r#"
+        module Example {
+            interface Foo {
+                void funcA(in long x);
+                string funcB(in float y);
+            };
+        };
+    "#;
+
+    #[test]
+    fn instrumented_methods_gain_the_hidden_parameter() {
+        let spec = parse(FIGURE_3).unwrap();
+        let compiled = compile(&spec, InstrumentMode::Instrumented).unwrap();
+        let foo = compiled.interface("Example::Foo").unwrap();
+        for m in &foo.methods {
+            let last = m.params.last().unwrap();
+            assert!(last.synthetic);
+            assert_eq!(last.name, FTL_PARAM_NAME);
+            assert_eq!(last.dir, ParamDir::InOut);
+            assert_eq!(last.ty, IdlType::Named(FTL_TYPE_NAME.into()));
+            assert!(m.is_instrumented());
+        }
+        // User params are preserved in front.
+        assert_eq!(foo.methods[0].user_params().count(), 1);
+        assert_eq!(foo.methods[0].params.len(), 2);
+    }
+
+    #[test]
+    fn plain_mode_leaves_signatures_untouched() {
+        let spec = parse(FIGURE_3).unwrap();
+        let compiled = compile(&spec, InstrumentMode::Plain).unwrap();
+        let foo = compiled.interface("Example::Foo").unwrap();
+        assert!(foo.methods.iter().all(|m| !m.is_instrumented()));
+        assert_eq!(foo.methods[0].params.len(), 1);
+    }
+
+    #[test]
+    fn oneway_with_result_is_rejected() {
+        let spec = parse("interface I { oneway long bad(); };").unwrap();
+        let err = compile(&spec, InstrumentMode::Plain).unwrap_err();
+        assert!(matches!(err, CompileError::InvalidOneway { .. }));
+    }
+
+    #[test]
+    fn oneway_with_out_param_is_rejected() {
+        let spec = parse("interface I { oneway void bad(out long x); };").unwrap();
+        let err = compile(&spec, InstrumentMode::Plain).unwrap_err();
+        assert!(matches!(err, CompileError::InvalidOneway { .. }));
+    }
+
+    #[test]
+    fn duplicate_methods_are_rejected() {
+        let spec = parse("interface I { void m(); void m(); };").unwrap();
+        let err = compile(&spec, InstrumentMode::Plain).unwrap_err();
+        assert!(matches!(err, CompileError::DuplicateMethod { .. }));
+    }
+
+    #[test]
+    fn unknown_named_type_is_rejected() {
+        let spec = parse("interface I { void m(in Mystery x); };").unwrap();
+        let err = compile(&spec, InstrumentMode::Plain).unwrap_err();
+        assert!(matches!(err, CompileError::UnknownType { .. }));
+    }
+
+    #[test]
+    fn named_types_resolve_within_module() {
+        let spec = parse(
+            "module M { struct Job { long id; }; interface I { void m(in Job j); }; };",
+        )
+        .unwrap();
+        assert!(compile(&spec, InstrumentMode::Plain).is_ok());
+    }
+
+    #[test]
+    fn inheritance_flattens_base_methods_first() {
+        let spec = parse(
+            "interface Base { void a(); }; interface Derived : Base { void b(); };",
+        )
+        .unwrap();
+        let compiled = compile(&spec, InstrumentMode::Plain).unwrap();
+        let derived = compiled.interface("Derived").unwrap();
+        assert_eq!(derived.method_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unknown_base_is_rejected() {
+        let spec = parse("interface D : Nowhere { void m(); };").unwrap();
+        let err = compile(&spec, InstrumentMode::Plain).unwrap_err();
+        assert!(matches!(err, CompileError::UnknownBase { .. }));
+    }
+
+    #[test]
+    fn reserved_log_parameter_is_rejected_when_instrumenting() {
+        let spec = parse("interface I { void m(in long log); };").unwrap();
+        assert!(compile(&spec, InstrumentMode::Plain).is_ok());
+        let err = compile(&spec, InstrumentMode::Instrumented).unwrap_err();
+        assert!(matches!(err, CompileError::ReservedName { .. }));
+    }
+
+    #[test]
+    fn register_interns_user_visible_methods() {
+        let spec = parse(FIGURE_3).unwrap();
+        let compiled = compile(&spec, InstrumentMode::Instrumented).unwrap();
+        let vocab = SystemVocab::new();
+        let ids = compiled.register(&vocab);
+        let id = ids["Example::Foo"];
+        assert_eq!(vocab.method_name(id, causeway_core::ids::MethodIndex(0)).unwrap(), "funcA");
+        assert_eq!(vocab.method_count(id), 2);
+    }
+
+    #[test]
+    fn interface_method_lookup() {
+        let spec = parse(FIGURE_3).unwrap();
+        let compiled = compile(&spec, InstrumentMode::Plain).unwrap();
+        let foo = compiled.interface("Example::Foo").unwrap();
+        assert!(foo.method("funcA").is_some());
+        assert!(foo.method("nope").is_none());
+        assert!(compiled.interface("Missing").is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! Parse and compile errors.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing IDL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub column: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at a position.
+    pub fn new(line: u32, column: u32, message: impl Into<String>) -> ParseError {
+        ParseError { line, column, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An error produced by the compiler's semantic checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A `oneway` method declared a non-void result or out/inout parameters,
+    /// which CORBA forbids (there is no reply to carry them).
+    InvalidOneway {
+        /// Qualified interface name.
+        interface: String,
+        /// Offending method.
+        method: String,
+        /// Detail of the violation.
+        reason: String,
+    },
+    /// Two methods in the same interface share a name.
+    DuplicateMethod {
+        /// Qualified interface name.
+        interface: String,
+        /// Duplicated method name.
+        method: String,
+    },
+    /// A named type was referenced but never declared.
+    UnknownType {
+        /// Qualified interface name of the referencing method.
+        interface: String,
+        /// Referencing method.
+        method: String,
+        /// The unresolved name.
+        name: String,
+    },
+    /// An interface inherits from an undeclared base.
+    UnknownBase {
+        /// Qualified interface name.
+        interface: String,
+        /// The unresolved base name.
+        base: String,
+    },
+    /// A reserved name collided with the instrumentation (a user parameter
+    /// named `log` of the FTL type would shadow the hidden parameter).
+    ReservedName {
+        /// Qualified interface name.
+        interface: String,
+        /// Offending method.
+        method: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidOneway { interface, method, reason } => {
+                write!(f, "oneway method {interface}::{method} is invalid: {reason}")
+            }
+            CompileError::DuplicateMethod { interface, method } => {
+                write!(f, "duplicate method {method} in interface {interface}")
+            }
+            CompileError::UnknownType { interface, method, name } => {
+                write!(f, "unknown type {name} referenced by {interface}::{method}")
+            }
+            CompileError::UnknownBase { interface, base } => {
+                write!(f, "interface {interface} inherits unknown base {base}")
+            }
+            CompileError::ReservedName { interface, method } => {
+                write!(
+                    f,
+                    "method {interface}::{method} uses the reserved parameter name `log`"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display_includes_position() {
+        let e = ParseError::new(3, 14, "expected `;`");
+        assert_eq!(e.to_string(), "3:14: expected `;`");
+    }
+
+    #[test]
+    fn compile_error_display() {
+        let e = CompileError::DuplicateMethod {
+            interface: "A::I".into(),
+            method: "run".into(),
+        };
+        assert_eq!(e.to_string(), "duplicate method run in interface A::I");
+    }
+}

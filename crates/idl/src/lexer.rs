@@ -1,0 +1,264 @@
+//! Tokenizer for the IDL subset.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword (`module`, `Foo`, …).
+    Ident(String),
+    /// `::`
+    Scope,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Scope => f.write_str("`::`"),
+            Token::LBrace => f.write_str("`{`"),
+            Token::RBrace => f.write_str("`}`"),
+            Token::LParen => f.write_str("`(`"),
+            Token::RParen => f.write_str("`)`"),
+            Token::Lt => f.write_str("`<`"),
+            Token::Gt => f.write_str("`>`"),
+            Token::Semi => f.write_str("`;`"),
+            Token::Comma => f.write_str("`,`"),
+            Token::Colon => f.write_str("`:`"),
+            Token::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+/// Tokenizes IDL source. Line (`//`) and block (`/* */`) comments and the
+/// C-preprocessor-style lines the CORBA IDL grammar allows (`#pragma`,
+/// `#include`) are skipped.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on characters outside the subset or an unclosed
+/// block comment.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! advance {
+        () => {{
+            if bytes[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            c if c.is_whitespace() => advance!(),
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    advance!();
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                advance!();
+                advance!();
+                let mut closed = false;
+                while i < bytes.len() {
+                    if bytes[i] == '*' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+                        advance!();
+                        advance!();
+                        closed = true;
+                        break;
+                    }
+                    advance!();
+                }
+                if !closed {
+                    return Err(ParseError::new(tline, tcol, "unclosed block comment"));
+                }
+            }
+            '#' => {
+                // Preprocessor line: skip to end of line.
+                while i < bytes.len() && bytes[i] != '\n' {
+                    advance!();
+                }
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == ':' => {
+                advance!();
+                advance!();
+                tokens.push(Spanned { token: Token::Scope, line: tline, column: tcol });
+            }
+            ':' => {
+                advance!();
+                tokens.push(Spanned { token: Token::Colon, line: tline, column: tcol });
+            }
+            '{' => {
+                advance!();
+                tokens.push(Spanned { token: Token::LBrace, line: tline, column: tcol });
+            }
+            '}' => {
+                advance!();
+                tokens.push(Spanned { token: Token::RBrace, line: tline, column: tcol });
+            }
+            '(' => {
+                advance!();
+                tokens.push(Spanned { token: Token::LParen, line: tline, column: tcol });
+            }
+            ')' => {
+                advance!();
+                tokens.push(Spanned { token: Token::RParen, line: tline, column: tcol });
+            }
+            '<' => {
+                advance!();
+                tokens.push(Spanned { token: Token::Lt, line: tline, column: tcol });
+            }
+            '>' => {
+                advance!();
+                tokens.push(Spanned { token: Token::Gt, line: tline, column: tcol });
+            }
+            ';' => {
+                advance!();
+                tokens.push(Spanned { token: Token::Semi, line: tline, column: tcol });
+            }
+            ',' => {
+                advance!();
+                tokens.push(Spanned { token: Token::Comma, line: tline, column: tcol });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
+                {
+                    ident.push(bytes[i]);
+                    advance!();
+                }
+                tokens.push(Spanned { token: Token::Ident(ident), line: tline, column: tcol });
+            }
+            other => {
+                return Err(ParseError::new(
+                    tline,
+                    tcol,
+                    format!("unexpected character {other:?}"),
+                ));
+            }
+        }
+    }
+    tokens.push(Spanned { token: Token::Eof, line, column: col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("module X { };"),
+            vec![
+                Token::Ident("module".into()),
+                Token::Ident("X".into()),
+                Token::LBrace,
+                Token::RBrace,
+                Token::Semi,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn scope_vs_colon() {
+        assert_eq!(
+            toks("A::B : C"),
+            vec![
+                Token::Ident("A".into()),
+                Token::Scope,
+                Token::Ident("B".into()),
+                Token::Colon,
+                Token::Ident("C".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_are_skipped() {
+        let src = "// line\n#pragma prefix \"x\"\n/* block\n comment */ module";
+        assert_eq!(toks(src), vec![Token::Ident("module".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = tokenize("a\n  b").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].column), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].column), (2, 3));
+    }
+
+    #[test]
+    fn unclosed_comment_errors() {
+        assert!(tokenize("/* never closed").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = tokenize("module $").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn generics_tokens() {
+        assert_eq!(
+            toks("sequence<octet>"),
+            vec![
+                Token::Ident("sequence".into()),
+                Token::Lt,
+                Token::Ident("octet".into()),
+                Token::Gt,
+                Token::Eof,
+            ]
+        );
+    }
+}

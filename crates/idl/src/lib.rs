@@ -1,0 +1,62 @@
+//! # causeway-idl
+//!
+//! An IDL compiler for a CORBA-IDL subset, with the instrumentation back-end
+//! described in the paper: "the IDL compiler generates the instrumented stub
+//! and skeleton in a way as if an additional in-out parameter is introduced
+//! into the function interface with the type corresponding to the FTL"
+//! (Figure 3), controlled by "a back-end compilation flag … for the
+//! instrumented or non-instrumented version of stub and skeleton
+//! generation".
+//!
+//! The pipeline is
+//! [`parse`] → [`compile`](compile::compile) → [`CompiledSpec`],
+//! and the compiled metadata is what drives the generic instrumented
+//! stubs/skeletons of `causeway-orb` and `causeway-com`. A textual emitter
+//! reproduces the internal translation for inspection
+//! ([`emit::translated_idl`]).
+//!
+//! # Example
+//!
+//! The exact example of Figure 3:
+//!
+//! ```
+//! use causeway_idl::{parse, compile::{compile, InstrumentMode}};
+//!
+//! let spec = parse(r#"
+//!     module Example {
+//!         interface Foo {
+//!             void funcA(in long x);
+//!             string funcB(in float y);
+//!         };
+//!     };
+//! "#).unwrap();
+//!
+//! let compiled = compile(&spec, InstrumentMode::Instrumented).unwrap();
+//! let foo = compiled.interface("Example::Foo").unwrap();
+//! // Every method gained the hidden FTL parameter:
+//! assert!(foo.methods.iter().all(|m| {
+//!     m.params.last().map(|p| p.name == "log").unwrap_or(false)
+//! }));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod emit;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Definition, IdlType, Interface, Method, Module, Param, ParamDir, Spec, StructDef};
+pub use compile::{CompiledInterface, CompiledMethod, CompiledParam, CompiledSpec, InstrumentMode};
+pub use error::ParseError;
+
+/// Parses IDL source text into a [`Spec`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with line/column information on malformed input.
+pub fn parse(source: &str) -> Result<Spec, ParseError> {
+    parser::Parser::new(source)?.parse_spec()
+}

@@ -1,0 +1,406 @@
+//! Recursive-descent parser for the IDL subset.
+//!
+//! Supported grammar (sufficient for the paper's examples and the workload
+//! systems):
+//!
+//! ```text
+//! spec       := definition*
+//! definition := module | interface | struct
+//! module     := "module" ident "{" definition* "}" ";"?
+//! interface  := "interface" ident (":" scoped_name)? "{" method* "}" ";"?
+//! struct     := "struct" ident "{" (type ident ";")* "}" ";"?
+//! method     := "oneway"? type ident "(" params? ")" raises? ";"
+//! params     := param ("," param)*
+//! param      := ("in" | "out" | "inout") type ident
+//! raises     := "raises" "(" scoped_name ("," scoped_name)* ")"
+//! type       := "void" | "boolean" | "long" "long"? | "unsigned" "long"
+//!             | "float" | "double" | "string" | "octet"
+//!             | "sequence" "<" type ">" | scoped_name
+//! ```
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::{Spanned, Token, tokenize};
+
+/// The parser state over a token stream.
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Tokenizes `source` and prepares a parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on lexical errors.
+    pub fn new(source: &str) -> Result<Parser, ParseError> {
+        Ok(Parser { tokens: tokenize(source)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::new(t.line, t.column, message)
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        if &self.peek().token == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {want}, found {}", self.peek().token)))
+        }
+    }
+
+    fn eat(&mut self, want: &Token) -> bool {
+        if &self.peek().token == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().token {
+            Token::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err_here(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().token, Token::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses a full compilation unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on the first syntax error.
+    pub fn parse_spec(&mut self) -> Result<Spec, ParseError> {
+        let mut definitions = Vec::new();
+        while self.peek().token != Token::Eof {
+            definitions.push(self.parse_definition()?);
+        }
+        Ok(Spec { definitions })
+    }
+
+    fn parse_definition(&mut self) -> Result<Definition, ParseError> {
+        if self.at_keyword("module") {
+            Ok(Definition::Module(self.parse_module()?))
+        } else if self.at_keyword("interface") {
+            Ok(Definition::Interface(self.parse_interface()?))
+        } else if self.at_keyword("struct") {
+            Ok(Definition::Struct(self.parse_struct()?))
+        } else {
+            Err(self.err_here(format!(
+                "expected `module`, `interface` or `struct`, found {}",
+                self.peek().token
+            )))
+        }
+    }
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        self.bump(); // module
+        let name = self.expect_ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut definitions = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            if self.peek().token == Token::Eof {
+                return Err(self.err_here("unexpected end of input inside module"));
+            }
+            definitions.push(self.parse_definition()?);
+        }
+        self.eat(&Token::Semi);
+        Ok(Module { name, definitions })
+    }
+
+    fn parse_interface(&mut self) -> Result<Interface, ParseError> {
+        self.bump(); // interface
+        let name = self.expect_ident()?;
+        let base = if self.eat(&Token::Colon) {
+            Some(self.parse_scoped_name()?)
+        } else {
+            None
+        };
+        self.expect(&Token::LBrace)?;
+        let mut methods = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            if self.peek().token == Token::Eof {
+                return Err(self.err_here("unexpected end of input inside interface"));
+            }
+            methods.push(self.parse_method()?);
+        }
+        self.eat(&Token::Semi);
+        Ok(Interface { name, base, methods })
+    }
+
+    fn parse_struct(&mut self) -> Result<StructDef, ParseError> {
+        self.bump(); // struct
+        let name = self.expect_ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            if self.peek().token == Token::Eof {
+                return Err(self.err_here("unexpected end of input inside struct"));
+            }
+            let ty = self.parse_type()?;
+            let field = self.expect_ident()?;
+            self.expect(&Token::Semi)?;
+            fields.push((ty, field));
+        }
+        self.eat(&Token::Semi);
+        Ok(StructDef { name, fields })
+    }
+
+    fn parse_method(&mut self) -> Result<Method, ParseError> {
+        let oneway = self.eat_keyword("oneway");
+        let result = self.parse_type()?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                params.push(self.parse_param()?);
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(&Token::Comma)?;
+            }
+        }
+        let mut raises = Vec::new();
+        if self.eat_keyword("raises") {
+            self.expect(&Token::LParen)?;
+            loop {
+                raises.push(self.parse_scoped_name()?);
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(&Token::Comma)?;
+            }
+        }
+        self.expect(&Token::Semi)?;
+        Ok(Method { name, oneway, result, params, raises })
+    }
+
+    fn parse_param(&mut self) -> Result<Param, ParseError> {
+        let dir = if self.eat_keyword("in") {
+            ParamDir::In
+        } else if self.eat_keyword("out") {
+            ParamDir::Out
+        } else if self.eat_keyword("inout") {
+            ParamDir::InOut
+        } else {
+            return Err(self.err_here(format!(
+                "expected parameter direction (`in`/`out`/`inout`), found {}",
+                self.peek().token
+            )));
+        };
+        let ty = self.parse_type()?;
+        let name = self.expect_ident()?;
+        Ok(Param { dir, ty, name })
+    }
+
+    fn parse_type(&mut self) -> Result<IdlType, ParseError> {
+        if self.eat_keyword("void") {
+            Ok(IdlType::Void)
+        } else if self.eat_keyword("boolean") {
+            Ok(IdlType::Boolean)
+        } else if self.eat_keyword("long") {
+            if self.eat_keyword("long") {
+                Ok(IdlType::LongLong)
+            } else {
+                Ok(IdlType::Long)
+            }
+        } else if self.eat_keyword("unsigned") {
+            if self.eat_keyword("long") {
+                Ok(IdlType::UnsignedLong)
+            } else {
+                Err(self.err_here("expected `long` after `unsigned`"))
+            }
+        } else if self.eat_keyword("float") {
+            Ok(IdlType::Float)
+        } else if self.eat_keyword("double") {
+            Ok(IdlType::Double)
+        } else if self.eat_keyword("string") {
+            Ok(IdlType::String_)
+        } else if self.eat_keyword("octet") {
+            Ok(IdlType::Octet)
+        } else if self.eat_keyword("sequence") {
+            self.expect(&Token::Lt)?;
+            let inner = self.parse_type()?;
+            self.expect(&Token::Gt)?;
+            Ok(IdlType::Sequence(Box::new(inner)))
+        } else if matches!(self.peek().token, Token::Ident(_)) {
+            Ok(IdlType::Named(self.parse_scoped_name()?))
+        } else {
+            Err(self.err_here(format!("expected a type, found {}", self.peek().token)))
+        }
+    }
+
+    fn parse_scoped_name(&mut self) -> Result<String, ParseError> {
+        let mut name = self.expect_ident()?;
+        while self.eat(&Token::Scope) {
+            name.push_str("::");
+            name.push_str(&self.expect_ident()?);
+        }
+        Ok(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn figure_3_example_parses() {
+        let spec = parse(
+            r#"
+            module Example {
+                interface Foo {
+                    void funcA(in long x);
+                    string funcB(in float y);
+                };
+            };
+            "#,
+        )
+        .unwrap();
+        let ifaces = spec.interfaces();
+        assert_eq!(ifaces.len(), 1);
+        let (name, foo) = &ifaces[0];
+        assert_eq!(name, "Example::Foo");
+        assert_eq!(foo.methods.len(), 2);
+        assert_eq!(foo.methods[0].name, "funcA");
+        assert_eq!(foo.methods[0].result, IdlType::Void);
+        assert_eq!(foo.methods[0].params[0].ty, IdlType::Long);
+        assert_eq!(foo.methods[1].result, IdlType::String_);
+        assert_eq!(foo.methods[1].params[0].ty, IdlType::Float);
+    }
+
+    #[test]
+    fn oneway_and_raises_parse() {
+        let spec = parse(
+            r#"
+            interface Printer {
+                oneway void notify(in string event);
+                long submit(in sequence<octet> data) raises (Full, Offline);
+            };
+            "#,
+        )
+        .unwrap();
+        let (_, printer) = &spec.interfaces()[0];
+        assert!(printer.methods[0].oneway);
+        assert!(!printer.methods[1].oneway);
+        assert_eq!(printer.methods[1].raises, vec!["Full".to_string(), "Offline".to_string()]);
+        assert_eq!(
+            printer.methods[1].params[0].ty,
+            IdlType::Sequence(Box::new(IdlType::Octet))
+        );
+    }
+
+    #[test]
+    fn struct_and_named_types_parse() {
+        let spec = parse(
+            r#"
+            module M {
+                struct Job { long id; string title; };
+                interface Queue {
+                    void push(in Job item);
+                    Job pop();
+                };
+            };
+            "#,
+        )
+        .unwrap();
+        let structs = spec.structs();
+        assert_eq!(structs[0].0, "M::Job");
+        assert_eq!(structs[0].1.fields.len(), 2);
+        let (_, queue) = &spec.interfaces()[0];
+        assert_eq!(queue.methods[0].params[0].ty, IdlType::Named("Job".into()));
+        assert_eq!(queue.methods[1].result, IdlType::Named("Job".into()));
+    }
+
+    #[test]
+    fn interface_inheritance_parses() {
+        let spec = parse("interface A {}; interface B : A { void m(); };").unwrap();
+        let ifaces = spec.interfaces();
+        assert_eq!(ifaces[1].1.base.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn nested_modules_qualify() {
+        let spec = parse("module A { module B { interface C {}; }; };").unwrap();
+        assert_eq!(spec.interfaces()[0].0, "A::B::C");
+    }
+
+    #[test]
+    fn all_directions_parse() {
+        let spec = parse("interface I { void m(in long a, out string b, inout double c); };")
+            .unwrap();
+        let dirs: Vec<ParamDir> = spec.interfaces()[0].1.methods[0]
+            .params
+            .iter()
+            .map(|p| p.dir)
+            .collect();
+        assert_eq!(dirs, vec![ParamDir::In, ParamDir::Out, ParamDir::InOut]);
+    }
+
+    #[test]
+    fn unsigned_long_and_long_long() {
+        let spec = parse("interface I { unsigned long a(); long long b(); };").unwrap();
+        let methods = &spec.interfaces()[0].1.methods;
+        assert_eq!(methods[0].result, IdlType::UnsignedLong);
+        assert_eq!(methods[1].result, IdlType::LongLong);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("module { }").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("identifier"));
+
+        let err = parse("interface I { void m(in long); };").unwrap_err();
+        assert!(err.message.contains("identifier"), "{}", err.message);
+
+        let err = parse("interface I { void m(long x); };").unwrap_err();
+        assert!(err.message.contains("direction"), "{}", err.message);
+    }
+
+    #[test]
+    fn unterminated_bodies_error() {
+        assert!(parse("module M { interface I {").is_err());
+        assert!(parse("struct S { long x;").is_err());
+    }
+
+    #[test]
+    fn missing_semicolon_errors() {
+        assert!(parse("interface I { void m() }").is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Server engines: the multithreading architectures of Schmidt's ORB survey
+//! that §2.2 of the paper proves causality tracing robust against.
+//!
+//! All three policies preserve observation O1 — a physical thread is
+//! dedicated to an incoming call until that call finishes — which, together
+//! with O2 (the skeleton-start probe refreshes the thread's FTL on every
+//! dispatch), is why the tunnel survives thread reuse.
+
+use crate::orb::Orb;
+use crate::transport::{ConnKey, Incoming};
+use crossbeam::channel::{Receiver, Sender, unbounded};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The server threading policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThreadingPolicy {
+    /// A fresh thread per incoming request (reclaimed by the OS afterwards).
+    #[default]
+    ThreadPerRequest,
+    /// A fixed pool of worker threads sharing the request queue.
+    ThreadPool(usize),
+    /// One dedicated worker per client connection, spawned on first use.
+    ThreadPerConnection,
+}
+
+/// The running server side of one process.
+#[derive(Debug)]
+pub struct ServerEngine {
+    acceptor: Option<JoinHandle<()>>,
+    /// Joined at stop; per-request and per-connection threads park their
+    /// handles here.
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerEngine {
+    /// Starts an engine consuming `rx` under `policy`.
+    pub fn start(orb: Orb, rx: Receiver<Incoming>, policy: ThreadingPolicy) -> ServerEngine {
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = match policy {
+            ThreadingPolicy::ThreadPerRequest => spawn_per_request(orb, rx, Arc::clone(&workers)),
+            ThreadingPolicy::ThreadPool(size) => spawn_pool(orb, rx, size, Arc::clone(&workers)),
+            ThreadingPolicy::ThreadPerConnection => {
+                spawn_per_connection(orb, rx, Arc::clone(&workers))
+            }
+        };
+        ServerEngine { acceptor: Some(acceptor), workers }
+    }
+
+    /// Joins the acceptor and every worker. Call after sending
+    /// [`Incoming::Stop`] to the inbox.
+    pub fn join(&mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerEngine {
+    fn drop(&mut self) {
+        // Best effort: if stop was never signalled the acceptor thread may
+        // still be blocked; joining would hang, so only join when the
+        // acceptor was already taken by `join`.
+        if self.acceptor.is_none() {
+            let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn spawn_per_request(
+    orb: Orb,
+    rx: Receiver<Incoming>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("{}-acceptor", orb.process()))
+        .spawn(move || {
+            while let Ok(incoming) = rx.recv() {
+                match incoming {
+                    Incoming::Request(msg) => {
+                        let orb = orb.clone();
+                        let handle = std::thread::Builder::new()
+                            .name(format!("{}-req", orb.process()))
+                            .spawn(move || orb.dispatch(msg))
+                            .expect("spawn request thread");
+                        workers.lock().push(handle);
+                    }
+                    Incoming::Stop => break,
+                }
+            }
+        })
+        .expect("spawn acceptor")
+}
+
+fn spawn_pool(
+    orb: Orb,
+    rx: Receiver<Incoming>,
+    size: usize,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> JoinHandle<()> {
+    let size = size.max(1);
+    let (work_tx, work_rx) = unbounded::<Incoming>();
+    {
+        let mut guard = workers.lock();
+        for i in 0..size {
+            let orb = orb.clone();
+            let work_rx = work_rx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("{}-pool{}", orb.process(), i))
+                .spawn(move || {
+                    while let Ok(incoming) = work_rx.recv() {
+                        match incoming {
+                            Incoming::Request(msg) => orb.dispatch(msg),
+                            Incoming::Stop => break,
+                        }
+                    }
+                })
+                .expect("spawn pool worker");
+            guard.push(handle);
+        }
+    }
+    std::thread::Builder::new()
+        .name(format!("{}-acceptor", orb.process()))
+        .spawn(move || {
+            while let Ok(incoming) = rx.recv() {
+                match incoming {
+                    Incoming::Request(msg) => {
+                        if work_tx.send(Incoming::Request(msg)).is_err() {
+                            break;
+                        }
+                    }
+                    Incoming::Stop => {
+                        for _ in 0..size {
+                            let _ = work_tx.send(Incoming::Stop);
+                        }
+                        break;
+                    }
+                }
+            }
+        })
+        .expect("spawn acceptor")
+}
+
+fn spawn_per_connection(
+    orb: Orb,
+    rx: Receiver<Incoming>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("{}-acceptor", orb.process()))
+        .spawn(move || {
+            let mut conns: HashMap<ConnKey, Sender<Incoming>> = HashMap::new();
+            while let Ok(incoming) = rx.recv() {
+                match incoming {
+                    Incoming::Request(msg) => {
+                        let conn = msg.conn;
+                        let tx = conns.entry(conn).or_insert_with(|| {
+                            let (tx, conn_rx) = unbounded::<Incoming>();
+                            let orb = orb.clone();
+                            let handle = std::thread::Builder::new()
+                                .name(format!("{}-conn{}", orb.process(), conn.0))
+                                .spawn(move || {
+                                    while let Ok(incoming) = conn_rx.recv() {
+                                        match incoming {
+                                            Incoming::Request(msg) => orb.dispatch(msg),
+                                            Incoming::Stop => break,
+                                        }
+                                    }
+                                })
+                                .expect("spawn connection worker");
+                            workers.lock().push(handle);
+                            tx
+                        });
+                        let _ = tx.send(Incoming::Request(msg));
+                    }
+                    Incoming::Stop => {
+                        for tx in conns.values() {
+                            let _ = tx.send(Incoming::Stop);
+                        }
+                        break;
+                    }
+                }
+            }
+        })
+        .expect("spawn acceptor")
+}

@@ -1,0 +1,117 @@
+//! ORB error types.
+
+use causeway_core::error::CoreError;
+use std::fmt;
+
+/// An application-level exception raised by a servant — the runtime carries
+/// it back to the caller like a CORBA user exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppError {
+    /// Exception name (one of the method's `raises(…)` names by convention).
+    pub exception: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl AppError {
+    /// Creates an application exception.
+    pub fn new(exception: impl Into<String>, message: impl Into<String>) -> AppError {
+        AppError { exception: exception.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.exception, self.message)
+    }
+}
+
+impl std::error::Error for AppError {}
+
+/// Errors surfaced to invokers by the ORB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OrbError {
+    /// The target object is not registered in the owning process.
+    UnknownObject(String),
+    /// The method name does not exist on the target interface.
+    UnknownMethod(String),
+    /// The target process has no transport endpoint (not started or torn
+    /// down).
+    ProcessUnreachable(String),
+    /// The reply did not arrive within the client's timeout.
+    Timeout(String),
+    /// A payload failed to marshal or unmarshal.
+    Wire(CoreError),
+    /// The servant raised an application exception.
+    Application(AppError),
+    /// A one-way invocation was attempted on a method not declared `oneway`,
+    /// or vice versa.
+    CallKindMismatch(String),
+}
+
+impl fmt::Display for OrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrbError::UnknownObject(msg) => write!(f, "unknown object: {msg}"),
+            OrbError::UnknownMethod(msg) => write!(f, "unknown method: {msg}"),
+            OrbError::ProcessUnreachable(msg) => write!(f, "process unreachable: {msg}"),
+            OrbError::Timeout(msg) => write!(f, "invocation timed out: {msg}"),
+            OrbError::Wire(err) => write!(f, "marshalling error: {err}"),
+            OrbError::Application(err) => write!(f, "application exception {err}"),
+            OrbError::CallKindMismatch(msg) => write!(f, "call kind mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OrbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrbError::Wire(err) => Some(err),
+            OrbError::Application(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for OrbError {
+    fn from(err: CoreError) -> OrbError {
+        OrbError::Wire(err)
+    }
+}
+
+impl From<AppError> for OrbError {
+    fn from(err: AppError) -> OrbError {
+        OrbError::Application(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = OrbError::Application(AppError::new("Offline", "printer offline"));
+        assert_eq!(e.to_string(), "application exception Offline: printer offline");
+        assert_eq!(
+            OrbError::UnknownObject("obj9".into()).to_string(),
+            "unknown object: obj9"
+        );
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = OrbError::Wire(CoreError::TssEmpty);
+        assert!(e.source().is_some());
+        assert!(OrbError::Timeout("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OrbError>();
+        assert_send_sync::<AppError>();
+    }
+}

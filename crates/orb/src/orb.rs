@@ -1,0 +1,259 @@
+//! The per-process ORB: configuration, server-side dispatch (the generic
+//! instrumented skeleton), and accessors.
+
+use crate::catalog::InterfaceCatalog;
+use crate::client::Client;
+use crate::interceptor::{InterceptorSet, RequestInfo, ServiceContexts};
+use crate::registry::{ObjectRegistry, SharedRegistries};
+use crate::reply::encode_reply;
+use crate::servant::ServerCtx;
+use crate::transport::{Fabric, ReplyMsg, RequestMsg};
+use bytes::Bytes;
+use causeway_core::event::CallKind;
+use causeway_core::ftl::FunctionTxLog;
+use causeway_core::ids::{NodeId, ProcessId};
+use causeway_core::monitor::Monitor;
+use causeway_core::names::SystemVocab;
+use causeway_core::record::FunctionKey;
+use causeway_core::uuid::Uuid;
+use causeway_core::wire;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Duration;
+
+/// Static ORB configuration, fixed at system build time.
+#[derive(Debug, Clone)]
+pub struct OrbConfig {
+    /// `true` when stubs/skeletons are the instrumented variants (the
+    /// paper's back-end compilation flag).
+    pub instrumented: bool,
+    /// `true` enables collocation optimization: in-process invocations
+    /// bypass marshalling and the server engine, and the stub/skeleton
+    /// probes degenerate into merged start/end probes on the caller thread.
+    pub collocation_optimization: bool,
+    /// How long a synchronous caller waits for a reply before giving up.
+    pub reply_timeout: Duration,
+}
+
+impl Default for OrbConfig {
+    fn default() -> Self {
+        OrbConfig {
+            instrumented: true,
+            collocation_optimization: true,
+            reply_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct OrbInner {
+    pub(crate) process: ProcessId,
+    pub(crate) node: NodeId,
+    pub(crate) monitor: Monitor,
+    pub(crate) registry: ObjectRegistry,
+    pub(crate) registries: SharedRegistries,
+    pub(crate) catalog: InterfaceCatalog,
+    pub(crate) vocab: SystemVocab,
+    pub(crate) fabric: Fabric,
+    pub(crate) config: OrbConfig,
+    pub(crate) pending: Arc<AtomicI64>,
+    pub(crate) interceptors: parking_lot::RwLock<InterceptorSet>,
+}
+
+/// A per-process ORB handle. Cloning shares state.
+#[derive(Debug, Clone)]
+pub struct Orb {
+    pub(crate) inner: Arc<OrbInner>,
+}
+
+impl Orb {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        process: ProcessId,
+        node: NodeId,
+        monitor: Monitor,
+        registry: ObjectRegistry,
+        registries: SharedRegistries,
+        catalog: InterfaceCatalog,
+        vocab: SystemVocab,
+        fabric: Fabric,
+        config: OrbConfig,
+        pending: Arc<AtomicI64>,
+    ) -> Orb {
+        Orb {
+            inner: Arc::new(OrbInner {
+                process,
+                node,
+                monitor,
+                registry,
+                registries,
+                catalog,
+                vocab,
+                fabric,
+                config,
+                pending,
+                interceptors: parking_lot::RwLock::new(InterceptorSet::new()),
+            }),
+        }
+    }
+
+    /// The process this ORB serves.
+    pub fn process(&self) -> ProcessId {
+        self.inner.process
+    }
+
+    /// The node hosting the process.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The probe runtime of this process.
+    pub fn monitor(&self) -> &Monitor {
+        &self.inner.monitor
+    }
+
+    /// This process's object registry.
+    pub fn registry(&self) -> &ObjectRegistry {
+        &self.inner.registry
+    }
+
+    /// The ORB configuration.
+    pub fn config(&self) -> &OrbConfig {
+        &self.inner.config
+    }
+
+    /// A client bound to this process, for issuing invocations.
+    pub fn client(&self) -> Client {
+        Client::new(self.clone())
+    }
+
+    /// Registers this process's portable interceptors (replacing any
+    /// previous set). See [`crate::interceptor`] for the caveats the paper
+    /// raises about this instrumentation point.
+    pub fn set_interceptors(&self, set: InterceptorSet) {
+        *self.inner.interceptors.write() = set;
+    }
+
+    /// Server-side dispatch of one request: the generic instrumented
+    /// skeleton of Figure 1 (probes 2 and 3 around the up-call), plus reply
+    /// transmission. Called by the server engine on whatever thread the
+    /// threading policy selected.
+    pub(crate) fn dispatch(&self, msg: RequestMsg) {
+        if !msg.net_delay.is_zero() {
+            // One-way transit modelled on the server side because the
+            // caller did not wait.
+            std::thread::sleep(msg.net_delay);
+        }
+        let (body, contexts) = self.dispatch_inner(&msg);
+        if let Some(reply) = &msg.reply {
+            // The caller may have timed out and dropped the receiver; that
+            // is its problem, not ours.
+            let _ = reply.send(ReplyMsg { body, contexts });
+        }
+        self.inner.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn dispatch_inner(&self, msg: &RequestMsg) -> (Result<Bytes, String>, ServiceContexts) {
+        let instrumented = self.inner.config.instrumented;
+        let kind = if msg.oneway { CallKind::Oneway } else { CallKind::Sync };
+        let monitor = &self.inner.monitor;
+        let mut reply_contexts = ServiceContexts::new();
+
+        // Split the hidden FTL parameter(s) back off the payload.
+        let split = if instrumented {
+            if msg.oneway {
+                wire::split_ftl(msg.payload.clone())
+                    .map_err(|e| format!("bad oneway parent marker: {e}"))
+                    .and_then(|(rest, parent)| {
+                        wire::split_ftl(rest).map_err(|e| format!("bad FTL: {e}")).map(
+                            |(body, child)| {
+                                (
+                                    body,
+                                    Some(child),
+                                    Some((parent.global_function_id, parent.event_seq_no)),
+                                )
+                            },
+                        )
+                    })
+            } else {
+                wire::split_ftl(msg.payload.clone())
+                    .map_err(|e| format!("bad FTL: {e}"))
+                    .map(|(body, ftl)| (body, Some(ftl), None))
+            }
+        } else {
+            Ok((msg.payload.clone(), None, None))
+        };
+        let (body, ftl, oneway_parent) = match split {
+            Ok(parts) => parts,
+            Err(e) => return (Err(e), reply_contexts),
+        };
+
+        // Unknown objects fail before any probe fires — the invocation never
+        // reached a skeleton.
+        let Some(record) = self.inner.registry.lookup(msg.target) else {
+            return (
+                Err(format!("unknown object {} in {}", msg.target, self.inner.process)),
+                reply_contexts,
+            );
+        };
+
+        let func = FunctionKey::new(msg.interface, msg.method, msg.target);
+        let info = RequestInfo { func, kind };
+        {
+            let interceptors = self.inner.interceptors.read();
+            if !interceptors.is_empty() {
+                interceptors.run_receive_request(&info, &msg.contexts);
+            }
+        }
+        if let Some(ftl) = ftl {
+            monitor.skel_start(func, kind, ftl, oneway_parent);
+        }
+
+        // Unmarshal inside the skeleton window, charged to this thread.
+        let cpu = monitor.cpu_clock();
+        let token = cpu.region_begin();
+        let args = wire::decode_args(body);
+        cpu.region_end(token);
+
+        let result = match args {
+            Ok(args) => {
+                let ctx = ServerCtx::new(self.client(), msg.target);
+                record.servant.dispatch(&ctx, msg.method, args)
+            }
+            Err(e) => Err(crate::error::AppError::new("MarshalError", e.to_string())),
+        };
+
+        let reply_ftl = instrumented.then(|| monitor.skel_end(func, kind));
+        {
+            let interceptors = self.inner.interceptors.read();
+            if !interceptors.is_empty() {
+                interceptors.run_send_reply(&info, &mut reply_contexts);
+            }
+        }
+
+        if msg.oneway {
+            return (Ok(Bytes::new()), reply_contexts);
+        }
+
+        let token = cpu.region_begin();
+        let body = encode_reply(&result);
+        cpu.region_end(token);
+        let body = match reply_ftl {
+            Some(ftl) => wire::append_ftl(body, ftl),
+            None => body,
+        };
+        (Ok(body), reply_contexts)
+    }
+
+    /// Appends the one-way hidden parameters (child FTL + parent marker) to
+    /// a payload. The parent marker reuses the FTL wire form: UUID + the
+    /// parent's event number at the fork.
+    pub(crate) fn append_oneway_meta(
+        payload: Bytes,
+        child: FunctionTxLog,
+        parent: (Uuid, u64),
+    ) -> Bytes {
+        let with_child = wire::append_ftl(payload, child);
+        wire::append_ftl(with_child, FunctionTxLog::new(parent.0, parent.1))
+    }
+}

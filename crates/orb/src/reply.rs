@@ -1,0 +1,83 @@
+//! Reply-body marshalling: results and application exceptions.
+//!
+//! Application exceptions travel back through the same instrumented reply
+//! path as normal results, so the FTL returns to the stub even when the
+//! servant raised — the causal chain never breaks on an exception.
+
+use crate::error::AppError;
+use crate::servant::MethodResult;
+use bytes::Bytes;
+use causeway_core::error::CoreError;
+use causeway_core::value::Value;
+use causeway_core::wire;
+
+/// Marshals a method result (or application exception) for the reply.
+pub fn encode_reply(result: &MethodResult) -> Bytes {
+    let value = match result {
+        Ok(v) => Value::Struct(vec![("ok".into(), v.clone())]),
+        Err(e) => Value::Struct(vec![
+            ("exception".into(), Value::Str(e.exception.clone())),
+            ("message".into(), Value::Str(e.message.clone())),
+        ]),
+    };
+    wire::encode_args(std::slice::from_ref(&value))
+}
+
+/// Unmarshals a reply body back into a method result.
+///
+/// # Errors
+///
+/// Returns [`CoreError::WireDecode`] on malformed reply buffers.
+pub fn decode_reply(bytes: Bytes) -> Result<MethodResult, CoreError> {
+    let mut args = wire::decode_args(bytes)?;
+    if args.len() != 1 {
+        return Err(CoreError::WireDecode(format!(
+            "reply carried {} values, expected 1",
+            args.len()
+        )));
+    }
+    let value = args.pop().expect("length checked above");
+    if let Some(ok) = value.field("ok") {
+        return Ok(Ok(ok.clone()));
+    }
+    match (value.field("exception"), value.field("message")) {
+        (Some(Value::Str(exception)), Some(Value::Str(message))) => {
+            Ok(Err(AppError::new(exception.clone(), message.clone())))
+        }
+        _ => Err(CoreError::WireDecode("reply struct missing ok/exception".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_round_trips() {
+        let result: MethodResult = Ok(Value::Str("done".into()));
+        let decoded = decode_reply(encode_reply(&result)).unwrap();
+        assert_eq!(decoded, result);
+    }
+
+    #[test]
+    fn exception_round_trips() {
+        let result: MethodResult = Err(AppError::new("Offline", "device off"));
+        let decoded = decode_reply(encode_reply(&result)).unwrap();
+        assert_eq!(decoded, result);
+    }
+
+    #[test]
+    fn void_round_trips() {
+        let result: MethodResult = Ok(Value::Void);
+        assert_eq!(decode_reply(encode_reply(&result)).unwrap(), result);
+    }
+
+    #[test]
+    fn malformed_reply_is_rejected() {
+        assert!(decode_reply(Bytes::from_static(&[1, 2, 3])).is_err());
+        let empty = wire::encode_args(&[]);
+        assert!(decode_reply(empty).is_err());
+        let wrong = wire::encode_args(&[Value::I32(5)]);
+        assert!(decode_reply(wrong).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Servants: user-defined function implementations.
+//!
+//! A [`Servant`] is the component object implementation the skeleton
+//! up-calls into. Implementations receive a [`ServerCtx`] through which they
+//! can invoke *child* functions on other objects — those child stubs read
+//! the FTL from the current thread's TSS, which is how the causal chain
+//! continues through user code without the user code knowing.
+
+use crate::client::Client;
+use crate::error::AppError;
+use causeway_core::ids::{MethodIndex, ObjectId};
+use causeway_core::value::Value;
+
+/// Result of a method implementation: a value or an application exception.
+pub type MethodResult = Result<Value, AppError>;
+
+/// Context handed to a servant for the duration of one up-call.
+#[derive(Debug, Clone)]
+pub struct ServerCtx {
+    client: Client,
+    object: ObjectId,
+}
+
+impl ServerCtx {
+    pub(crate) fn new(client: Client, object: ObjectId) -> ServerCtx {
+        ServerCtx { client, object }
+    }
+
+    /// A client bound to the hosting process, for invoking child functions.
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// The object this up-call targets (useful for servants shared between
+    /// several registrations).
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+}
+
+/// A component object implementation.
+///
+/// `dispatch` receives the method's declaration index (resolve names via the
+/// vocabulary at registration time) and the unmarshalled arguments.
+pub trait Servant: Send + Sync {
+    /// Executes one method. Child invocations made through
+    /// [`ServerCtx::client`] are traced as this call's children.
+    fn dispatch(&self, ctx: &ServerCtx, method: MethodIndex, args: Vec<Value>) -> MethodResult;
+}
+
+/// A servant built from a closure — convenient for tests and examples.
+///
+/// # Example
+///
+/// ```no_run
+/// use causeway_orb::servant::{FnServant, MethodResult};
+/// use causeway_core::value::Value;
+///
+/// let servant = FnServant::new(|_ctx, _method, args| -> MethodResult {
+///     let x = args[0].as_i32().unwrap_or(0);
+///     Ok(Value::I32(x * 2))
+/// });
+/// # let _ = servant;
+/// ```
+pub struct FnServant<F>(F);
+
+impl<F> FnServant<F>
+where
+    F: Fn(&ServerCtx, MethodIndex, Vec<Value>) -> MethodResult + Send + Sync,
+{
+    /// Wraps a closure as a servant.
+    pub fn new(f: F) -> FnServant<F> {
+        FnServant(f)
+    }
+}
+
+impl<F> Servant for FnServant<F>
+where
+    F: Fn(&ServerCtx, MethodIndex, Vec<Value>) -> MethodResult + Send + Sync,
+{
+    fn dispatch(&self, ctx: &ServerCtx, method: MethodIndex, args: Vec<Value>) -> MethodResult {
+        (self.0)(ctx, method, args)
+    }
+}
+
+impl<F> std::fmt::Debug for FnServant<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnServant")
+    }
+}

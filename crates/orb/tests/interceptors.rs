@@ -1,0 +1,131 @@
+//! Interceptor-based causality capture — the §5 alternative — works only
+//! when the vendor runs interception on the dispatch thread. These tests
+//! pin down both sides of the paper's argument.
+
+use causeway_analyzer::dscg::Dscg;
+use causeway_collector::db::MonitoringDb;
+use causeway_core::value::Value;
+use causeway_orb::interceptor::{FtlInterceptor, InterceptorSet, InterceptorThreadModel};
+use causeway_orb::prelude::*;
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const IDL: &str = "interface Hop { long go(in long x); };";
+
+/// Three-process chain (driver → A → B) traced *only* by interceptors:
+/// plain stubs/skeletons, FTL via service contexts.
+fn run_with_interceptors(model: InterceptorThreadModel) -> MonitoringDb {
+    let mut builder = System::builder();
+    builder.instrumented(false); // no stub/skeleton probes
+    builder.collocation_optimization(false); // interceptors skip fast paths
+    let node = builder.node("n", "X");
+    let driver = builder.process("driver", node, ThreadingPolicy::ThreadPerRequest);
+    let pa = builder.process("a", node, ThreadingPolicy::ThreadPerRequest);
+    let pb = builder.process("b", node, ThreadingPolicy::ThreadPerRequest);
+    let system = builder.build();
+    system.load_idl(IDL).unwrap();
+
+    let b_ref: Arc<OnceLock<ObjRef>> = Arc::new(OnceLock::new());
+    let b = system
+        .register_servant(
+            pb,
+            "Hop",
+            "B",
+            "b#0",
+            Arc::new(FnServant::new(|_, _, args| {
+                Ok(Value::I64(args[0].as_i64().unwrap_or(0) * 10))
+            })),
+        )
+        .unwrap();
+    b_ref.set(b).unwrap();
+
+    let next = b_ref.clone();
+    let a = system
+        .register_servant(
+            pa,
+            "Hop",
+            "A",
+            "a#0",
+            Arc::new(FnServant::new(move |ctx, _, args| {
+                let inner = ctx
+                    .client()
+                    .invoke(next.get().expect("wired"), "go", args)
+                    .map_err(|e| AppError::new("Downstream", e.to_string()))?;
+                Ok(Value::I64(inner.as_i64().unwrap_or(0) + 1))
+            })),
+        )
+        .unwrap();
+
+    // Register the tracing interceptor in every process, under the given
+    // vendor thread model.
+    for p in [driver, pa, pb] {
+        let orb = system.orb(p);
+        let tracer = Arc::new(FtlInterceptor::new(orb.monitor().clone()));
+        let mut set = InterceptorSet::new();
+        set.clients.push(tracer.clone());
+        set.servers.push(tracer);
+        set.thread_model = model;
+        orb.set_interceptors(set);
+    }
+
+    system.start();
+    let client = system.client(driver);
+    client.begin_root();
+    let out = client.invoke(&a, "go", vec![Value::I64(4)]).unwrap();
+    assert_eq!(out.as_i64(), Some(41));
+    system.quiesce(Duration::from_secs(5)).unwrap();
+    system.shutdown();
+    MonitoringDb::from_run(system.harvest())
+}
+
+#[test]
+fn dispatch_thread_vendor_preserves_the_tunnel() {
+    let db = run_with_interceptors(InterceptorThreadModel::DispatchThread);
+    let dscg = Dscg::build(&db);
+    assert!(dscg.abnormalities.is_empty(), "{:?}", dscg.abnormalities);
+    assert_eq!(dscg.trees.len(), 1, "one chain end to end");
+    assert_eq!(dscg.total_nodes(), 2, "A and nested B");
+    let root = &dscg.trees[0].roots[0];
+    assert_eq!(root.children.len(), 1, "B nests under A");
+}
+
+#[test]
+fn io_thread_vendor_breaks_the_tunnel() {
+    let db = run_with_interceptors(InterceptorThreadModel::IoThread);
+    let dscg = Dscg::build(&db);
+    // The interceptor installed the FTL into the I/O thread's TSS; the
+    // dispatch thread (and hence A's child call) never saw it. The chain
+    // shatters: more than one tree and/or abnormalities.
+    let broken = dscg.trees.len() > 1 || !dscg.abnormalities.is_empty();
+    assert!(
+        broken,
+        "expected the tunnel to break: {} trees, {} abnormalities",
+        dscg.trees.len(),
+        dscg.abnormalities.len()
+    );
+}
+
+#[test]
+fn interceptors_do_not_fire_without_registration() {
+    // Baseline sanity: no interceptors, plain stubs — nothing recorded.
+    let mut builder = System::builder();
+    builder.instrumented(false);
+    let node = builder.node("n", "X");
+    let p = builder.process("solo", node, ThreadingPolicy::ThreadPerRequest);
+    let system = builder.build();
+    system.load_idl(IDL).unwrap();
+    let obj = system
+        .register_servant(
+            p,
+            "Hop",
+            "S",
+            "s#0",
+            Arc::new(FnServant::new(|_, _, args| Ok(args.into_iter().next().unwrap_or(Value::Void)))),
+        )
+        .unwrap();
+    system.start();
+    system.client(p).invoke(&obj, "go", vec![Value::I64(1)]).unwrap();
+    system.shutdown();
+    assert!(system.harvest().is_empty());
+}

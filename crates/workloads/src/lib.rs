@@ -1,0 +1,29 @@
+//! # causeway-workloads
+//!
+//! The example systems of the paper's §4 plus generic workload machinery:
+//!
+//! * [`script`] — scripted servants: declarative per-method action lists
+//!   (compute, sleep, call child, raise) that drive the ORB, used by every
+//!   workload and by the property-based integration tests.
+//! * [`pps`] — the **Printing Pipeline Simulator**: 11 components,
+//!   configurable into a monolithic single-thread deployment, the paper's
+//!   single-processor 4-process deployment, or a multi-node
+//!   HPUX/WindowsNT/VxWorks deployment.
+//! * [`commercial`] — a seeded synthetic stand-in for the paper's
+//!   1M-line commercial embedded system, matching its published shape
+//!   statistics (~176 components, ~155 interfaces, ~801 methods, ~195,000
+//!   calls, 32 threads, 4 processes on one processor).
+
+#![warn(missing_docs)]
+
+pub mod commercial;
+pub mod pps;
+pub mod random;
+pub mod replay;
+pub mod script;
+
+pub use commercial::{CommercialConfig, CommercialSystem};
+pub use pps::{Pps, PpsConfig, PpsDeployment, StageName};
+pub use random::{RandomNode, RandomTreeConfig};
+pub use replay::{DeriveOptions, ReplayNode, ReplaySpec, ReplayTree};
+pub use script::{Action, MethodScript, ScriptedServant};

@@ -1,0 +1,146 @@
+//! A J2EE-style shop on the EJB container runtime: pooled session beans,
+//! container interceptors, JNDI lookups — fully traced end to end.
+//!
+//! ```text
+//! cargo run --example ejb_shop
+//! ```
+
+use causeway::analyzer::dscg::Dscg;
+use causeway::analyzer::render::{AsciiOptions, ascii_tree};
+use causeway::collector::db::MonitoringDb;
+use causeway::core::ids::{NodeId, ProcessId};
+use causeway::core::value::Value;
+use causeway::ejb::{
+    BeanCtx, Container, ContainerInterceptor, FnBean, InvocationInfo,
+};
+use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+const IDL: &str = r#"
+    module Shop {
+        interface Ops {
+            long add_item(in long sku);
+            long reserve(in long sku);
+            long charge(in long amount);
+            long place_order(in long sku);
+        };
+    };
+"#;
+
+/// A metrics interceptor: counts every business invocation in the container.
+struct CallCounter(AtomicUsize);
+impl ContainerInterceptor for CallCounter {
+    fn before(&self, _: &InvocationInfo) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+    fn after(&self, _: &InvocationInfo, _: bool) {}
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two containers: web tier and service tier.
+    let web = Container::builder(ProcessId(0), NodeId(0)).build();
+    web.load_idl(IDL)?;
+    let services = Container::builder(ProcessId(1), NodeId(0)).join(&web).build();
+
+    let counter = Arc::new(CallCounter(AtomicUsize::new(0)));
+    services.add_interceptor(counter.clone());
+
+    // Service tier beans.
+    services.deploy(
+        "java:global/Inventory",
+        "Shop::Ops",
+        Some(4),
+        Arc::new(|| {
+            Box::new(FnBean::new(100i64, |stock, _ctx, midx, args| {
+                let sku = args.first().and_then(Value::as_i64).unwrap_or(0);
+                match midx.0 {
+                    1 => {
+                        // reserve
+                        if *stock == 0 {
+                            return Err(("OutOfStock".into(), format!("sku {sku}")));
+                        }
+                        *stock -= 1;
+                        Ok(Value::I64(*stock))
+                    }
+                    _ => Ok(Value::I64(sku)),
+                }
+            }))
+        }),
+    )?;
+    services.deploy(
+        "java:global/Payment",
+        "Shop::Ops",
+        Some(2),
+        Arc::new(|| {
+            Box::new(FnBean::new(0i64, |charged, _ctx, midx, args| {
+                let amount = args.first().and_then(Value::as_i64).unwrap_or(0);
+                if midx.0 == 2 {
+                    *charged += amount;
+                    Ok(Value::I64(*charged))
+                } else {
+                    Ok(Value::Void)
+                }
+            }))
+        }),
+    )?;
+
+    // Web tier: the Cart orchestrates the service tier.
+    web.deploy(
+        "java:global/Cart",
+        "Shop::Ops",
+        None,
+        Arc::new(|| {
+            Box::new(FnBean::new((), |_, ctx: &BeanCtx, midx, args| {
+                if midx.0 == 3 {
+                    // place_order: reserve stock, then charge.
+                    let sku = args.first().and_then(Value::as_i64).unwrap_or(0);
+                    ctx.client()
+                        .call("java:global/Inventory", "reserve", vec![Value::I64(sku)])
+                        .map_err(|e| ("OrderFailed".to_owned(), e.to_string()))?;
+                    let charged = ctx
+                        .client()
+                        .call("java:global/Payment", "charge", vec![Value::I64(sku * 10)])
+                        .map_err(|e| ("PaymentFailed".to_owned(), e.to_string()))?;
+                    Ok(charged)
+                } else {
+                    Ok(Value::Void)
+                }
+            }))
+        }),
+    )?;
+
+    // Place a few orders.
+    let client = web.client();
+    for sku in [7i64, 12, 31] {
+        client.begin_root();
+        let charged = client.call("java:global/Cart", "place_order", vec![Value::I64(sku)])?;
+        println!("order sku={sku}: total charged so far = {}", charged.as_i64().unwrap_or(0));
+    }
+
+    web.quiesce(Duration::from_secs(5)).map_err(|n| format!("{n} stuck"))?;
+    web.shutdown();
+    services.shutdown();
+
+    println!(
+        "\ncontainer interceptor observed {} service-tier invocations",
+        counter.0.load(Ordering::SeqCst)
+    );
+
+    // Merge both containers' logs and reconstruct.
+    let mut run = web.harvest_standalone("appserver", "JvmHost");
+    run.merge(causeway::core::runlog::RunLog::new(
+        services.drain_records(),
+        run.vocab.clone(),
+        run.deployment.clone(),
+    ));
+    let db = MonitoringDb::from_run(run);
+    let dscg = Dscg::build(&db);
+    assert!(dscg.abnormalities.is_empty());
+    println!("\ntraced call graph:");
+    print!(
+        "{}",
+        ascii_tree(&dscg, db.vocab(), AsciiOptions { show_latency: true, ..Default::default() })
+    );
+    Ok(())
+}

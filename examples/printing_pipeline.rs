@@ -1,0 +1,96 @@
+//! The Printing Pipeline Simulator across three platforms, with full
+//! latency and CPU characterization — the paper's flagship CORBA example.
+//!
+//! ```text
+//! cargo run --release --example printing_pipeline
+//! ```
+
+use causeway::analyzer::ccsg::Ccsg;
+use causeway::analyzer::cpu::CpuAnalysis;
+use causeway::analyzer::dscg::Dscg;
+use causeway::analyzer::latency::LatencyAnalysis;
+use causeway::analyzer::render::{AsciiOptions, ascii_tree, ccsg_xml};
+use causeway::collector::db::MonitoringDb;
+use causeway::core::monitor::ProbeMode;
+use causeway::workloads::{Pps, PpsConfig, PpsDeployment};
+
+fn main() {
+    // --- Latency pass (latency and CPU probes run separately, as in the
+    // paper, to keep interference down). ---
+    let config = PpsConfig {
+        deployment: PpsDeployment::MultiNode,
+        probe_mode: ProbeMode::Latency,
+        work_scale: 0.3,
+        pages_per_job: 3,
+        ..PpsConfig::default()
+    };
+    println!("running 10 print jobs across HPUX / WindowsNT / VxWorks…");
+    let pps = Pps::build(&config);
+    pps.run_jobs(10);
+    let db = MonitoringDb::from_run(pps.finish());
+
+    let dscg = Dscg::build(&db);
+    assert!(dscg.abnormalities.is_empty());
+    println!(
+        "\none print job's call tree ({} invocations per job):",
+        dscg.trees[0].size()
+    );
+    let first_job = Dscg { trees: dscg.trees[..1].to_vec(), abnormalities: vec![] };
+    print!(
+        "{}",
+        ascii_tree(
+            &first_job,
+            db.vocab(),
+            AsciiOptions { show_latency: true, show_site: true, max_nodes_per_tree: 0 }
+        )
+    );
+
+    let latency = LatencyAnalysis::compute(&dscg);
+    println!("\nslowest stages (mean end-to-end latency):");
+    let mut rows: Vec<_> = latency
+        .per_method
+        .iter()
+        .map(|((iface, method), stats)| {
+            (
+                format!("{}", db.vocab().method_name(*iface, *method)),
+                stats.mean_ns,
+                stats.count,
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (name, mean, count) in rows.iter().take(5) {
+        println!("  {name:<12} {:.1} µs (n={count})", mean / 1_000.0);
+    }
+
+    // --- CPU pass on the same deployment. ---
+    let config = PpsConfig {
+        deployment: PpsDeployment::MultiNode,
+        probe_mode: ProbeMode::Cpu,
+        work_scale: 0.3,
+        pages_per_job: 3,
+        ..PpsConfig::default()
+    };
+    println!("\nre-running with CPU probes…");
+    let pps = Pps::build(&config);
+    pps.run_jobs(10);
+    let db = MonitoringDb::from_run(pps.finish());
+    let dscg = Dscg::build(&db);
+    let cpu = CpuAnalysis::compute(&dscg, db.deployment());
+
+    println!("system-wide CPU by processor type:");
+    for (cpu_type, ns) in cpu.system_total.iter() {
+        println!(
+            "  {:<10} {:.1} ms",
+            db.vocab().cpu_type_name(cpu_type),
+            ns as f64 / 1e6
+        );
+    }
+
+    let ccsg = Ccsg::build(&dscg, db.deployment());
+    println!("\nCPU Consumption Summarization Graph (Figure-6 XML, excerpt):");
+    for line in ccsg_xml(&ccsg, db.vocab()).lines().take(18) {
+        println!("{line}");
+    }
+    println!("…");
+}

@@ -1,0 +1,105 @@
+//! Quickstart: monitor a tiny two-process application and print its
+//! reconstructed call graph with latencies.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use causeway::analyzer::dscg::Dscg;
+use causeway::analyzer::latency::LatencyAnalysis;
+use causeway::analyzer::render::{AsciiOptions, ascii_tree};
+use causeway::collector::db::MonitoringDb;
+use causeway::core::value::Value;
+use causeway::orb::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const IDL: &str = r#"
+    module Demo {
+        interface Greeter {
+            string greet(in string name);
+            string decorate(in string text);
+        };
+    };
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the deployment: two processes on one node.
+    let mut builder = System::builder();
+    let node = builder.node("laptop", "Linux");
+    let frontend = builder.process("frontend", node, ThreadingPolicy::ThreadPerRequest);
+    let backend = builder.process("backend", node, ThreadingPolicy::ThreadPool(2));
+    let system = builder.build();
+
+    // 2. Compile the IDL (instrumented stubs/skeletons by default).
+    system.load_idl(IDL)?;
+
+    // 3. Register servants. The decorator lives in the backend.
+    let decorator = system.register_servant(
+        backend,
+        "Demo::Greeter",
+        "Decorator",
+        "decorator#0",
+        Arc::new(FnServant::new(|_ctx, _m, args| {
+            let text = args[0].as_str().unwrap_or("");
+            Ok(Value::Str(format!("✨ {text} ✨")))
+        })),
+    )?;
+
+    // The greeter lives in the frontend and calls the decorator — a real
+    // cross-process child invocation whose causality the FTL carries.
+    let decorator_ref = decorator;
+    let greeter = system.register_servant(
+        frontend,
+        "Demo::Greeter",
+        "Greeter",
+        "greeter#0",
+        Arc::new(FnServant::new(move |ctx, _m, args| {
+            let name = args[0].as_str().unwrap_or("world");
+            let decorated = ctx
+                .client()
+                .invoke(&decorator_ref, "decorate", vec![Value::from(format!("hello {name}"))])
+                .map_err(|e| AppError::new("Downstream", e.to_string()))?;
+            Ok(decorated)
+        })),
+    )?;
+
+    // 4. Run.
+    system.start();
+    let client = system.client(frontend);
+    for name in ["ada", "grace", "barbara"] {
+        client.begin_root(); // each greeting is its own causal chain
+        let reply = client.invoke(&greeter, "greet", vec![Value::from(name)])?;
+        println!("reply: {}", reply.as_str().unwrap_or("?"));
+    }
+
+    // 5. Quiesce, collect, analyze.
+    system.quiesce(Duration::from_secs(5))?;
+    system.shutdown();
+    let db = MonitoringDb::from_run(system.harvest());
+    let dscg = Dscg::build(&db);
+
+    println!("\nDynamic System Call Graph:");
+    print!(
+        "{}",
+        ascii_tree(
+            &dscg,
+            db.vocab(),
+            AsciiOptions { show_latency: true, show_site: true, max_nodes_per_tree: 0 }
+        )
+    );
+
+    let latency = LatencyAnalysis::compute(&dscg);
+    println!("\nper-method latency:");
+    for ((iface, method), stats) in &latency.per_method {
+        println!(
+            "  {}.{}: n={} mean={:.1}µs p95={:.1}µs",
+            db.vocab().interface_name(*iface),
+            db.vocab().method_name(*iface, *method),
+            stats.count,
+            stats.mean_ns / 1_000.0,
+            stats.p95_ns as f64 / 1_000.0,
+        );
+    }
+    Ok(())
+}

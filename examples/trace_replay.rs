@@ -1,0 +1,71 @@
+//! Trace-driven test harness generation: capture a run, derive a replayable
+//! harness from its call graph, replay it on a fresh system, and diff —
+//! the paper's "automate or semi-automate test harness generation" future
+//! work, closed end-to-end.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use causeway::analyzer::dscg::Dscg;
+use causeway::collector::db::MonitoringDb;
+use causeway::core::monitor::ProbeMode;
+use causeway::workloads::replay::{self, DeriveOptions};
+use causeway::workloads::{Pps, PpsConfig, PpsDeployment};
+
+fn main() {
+    // 1. Capture: a production-like PPS run.
+    println!("capturing a 5-job PPS run…");
+    let config = PpsConfig {
+        deployment: PpsDeployment::FourProcess,
+        probe_mode: ProbeMode::Latency,
+        work_scale: 0.2,
+        ..PpsConfig::default()
+    };
+    let pps = Pps::build(&config);
+    pps.run_jobs(5);
+    let db = MonitoringDb::from_run(pps.finish());
+    let original = Dscg::build(&db);
+    println!(
+        "  captured {} invocations in {} chains",
+        original.total_nodes(),
+        original.trees.len()
+    );
+
+    // 2. Derive: a harness reproducing structure AND timing.
+    let spec = replay::derive(&db, DeriveOptions { work_scale: 1.0 });
+    println!(
+        "  derived harness: {} calls across {} processes",
+        spec.total_calls(),
+        spec.processes
+    );
+
+    // 3. Replay on a fresh system.
+    println!("replaying…");
+    let replay_run = replay::execute(&spec, ProbeMode::Latency);
+    let replay_db = MonitoringDb::from_run(replay_run);
+    let replayed = Dscg::build(&replay_db);
+
+    // 4. Diff.
+    println!("\noriginal  : {} chains, {} nodes", original.trees.len(), original.total_nodes());
+    println!("replayed  : {} chains, {} nodes", replayed.trees.len(), replayed.total_nodes());
+    assert_eq!(original.trees.len(), replayed.trees.len());
+    assert_eq!(original.total_nodes(), replayed.total_nodes());
+    assert!(replayed.abnormalities.is_empty());
+
+    let mean = |dscg: &Dscg| {
+        let analysis = causeway::analyzer::latency::LatencyAnalysis::compute(dscg);
+        analysis
+            .per_method
+            .values()
+            .map(|s| s.mean_ns * s.count as f64)
+            .sum::<f64>()
+            / analysis.per_method.values().map(|s| s.count as f64).sum::<f64>()
+    };
+    println!(
+        "mean invocation latency — original {:.1} µs, replay {:.1} µs",
+        mean(&original) / 1e3,
+        mean(&replayed) / 1e3
+    );
+    println!("\nthe captured trace is now a regression harness.");
+}

@@ -1,0 +1,62 @@
+//! # Causeway
+//!
+//! Global causality capture and characterization for component-based
+//! distributed systems — a from-scratch Rust reproduction of Jun Li,
+//! *"Monitoring and Characterization of Component-Based Systems with Global
+//! Causality Capture"*, ICDCS 2003.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `causeway-core` | FTL, probes, TSS, clocks, records |
+//! | [`idl`] | `causeway-idl` | the instrumenting IDL compiler |
+//! | [`orb`] | `causeway-orb` | the CORBA-like runtime |
+//! | [`com`] | `causeway-com` | the COM-like runtime (apartments) |
+//! | [`ejb`] | `causeway-ejb` | the J2EE-like container runtime |
+//! | [`bridge`] | `causeway-bridge` | the CORBA↔COM bridge |
+//! | [`collector`] | `causeway-collector` | log gathering + relational db |
+//! | [`analyzer`] | `causeway-analyzer` | DSCG, latency, CPU, CCSG |
+//! | [`baselines`] | `causeway-baselines` | GPROF / Trace-Object / OVATION analogs |
+//! | [`workloads`] | `causeway-workloads` | PPS + synthetic commercial system |
+//!
+//! See the repository README for a quickstart, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! # Example
+//!
+//! ```
+//! use causeway::orb::prelude::*;
+//! use causeway::core::value::Value;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut builder = System::builder();
+//! let node = builder.node("laptop", "Linux");
+//! let p = builder.process("app", node, ThreadingPolicy::ThreadPerRequest);
+//! let system = builder.build();
+//! system.load_idl("interface Hello { string greet(in string name); };")?;
+//! let hello = system.register_servant(
+//!     p, "Hello", "HelloComponent", "hello#0",
+//!     Arc::new(FnServant::new(|_ctx, _m, args| {
+//!         Ok(Value::Str(format!("hi {}", args[0].as_str().unwrap_or("?"))))
+//!     })),
+//! )?;
+//! system.start();
+//! let out = system.client(p).invoke(&hello, "greet", vec![Value::from("ada")])?;
+//! assert_eq!(out.as_str(), Some("hi ada"));
+//! system.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub use causeway_analyzer as analyzer;
+pub use causeway_baselines as baselines;
+pub use causeway_bridge as bridge;
+pub use causeway_collector as collector;
+pub use causeway_com as com;
+pub use causeway_core as core;
+pub use causeway_ejb as ejb;
+pub use causeway_idl as idl;
+pub use causeway_orb as orb;
+pub use causeway_workloads as workloads;

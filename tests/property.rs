@@ -1,0 +1,419 @@
+//! Property-based tests over the core invariants:
+//!
+//! * marshalling and persistence round-trips, and decoder totality on
+//!   arbitrary garbage;
+//! * **reconstruction fidelity**: any randomly shaped call tree executed on
+//!   the real runtime is reconstructed *exactly* by the analyzer;
+//! * event numbering density per chain;
+//! * CPU conservation (inclusive CPU of a root equals the sum of self CPU
+//!   over its subtree);
+//! * analyzer totality on arbitrary (even nonsensical) record streams.
+
+use causeway::analyzer::cpu::CpuAnalysis;
+use causeway::analyzer::dscg::{CallNode, Dscg};
+use causeway::collector::db::MonitoringDb;
+use causeway::collector::jsonl;
+use causeway::core::deploy::Deployment;
+use causeway::core::event::{CallKind, TraceEvent};
+use causeway::core::ids::*;
+use causeway::core::monitor::ProbeMode;
+use causeway::core::names::VocabSnapshot;
+use causeway::core::record::{CallSite, FunctionKey, ProbeRecord};
+use causeway::core::runlog::RunLog;
+use causeway::core::uuid::Uuid;
+use causeway::core::value::Value;
+use causeway::core::wire;
+use causeway::orb::prelude::*;
+use causeway::workloads::{Action, MethodScript, ScriptedServant};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Wire round-trips and decoder totality
+// ---------------------------------------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Void),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(Value::I32),
+        any::<i64>().prop_map(Value::I64),
+        any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan()).prop_map(Value::F64),
+        ".{0,24}".prop_map(Value::Str),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::Blob),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                .prop_map(|fields| Value::Struct(fields)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_round_trips_any_value(values in prop::collection::vec(value_strategy(), 0..6)) {
+        let encoded = wire::encode_args(&values);
+        let decoded = wire::decode_args(encoded).expect("own encoding decodes");
+        prop_assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn wire_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Must never panic; errors are fine.
+        let _ = wire::decode_args(bytes::Bytes::from(bytes));
+    }
+
+    #[test]
+    fn jsonl_reader_is_total(text in ".{0,400}") {
+        let _ = jsonl::read_run(&text);
+        let _ = jsonl::read_run_lossy(&text);
+    }
+
+    #[test]
+    fn json_parser_is_total(text in ".{0,200}") {
+        let _ = causeway::collector::json::parse(&text);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reconstruction fidelity for arbitrary call trees
+// ---------------------------------------------------------------------------
+
+/// A randomly shaped invocation tree: each node is one call, one-way or
+/// synchronous, hosted on one of three processes.
+#[derive(Debug, Clone)]
+struct SpecNode {
+    oneway: bool,
+    process: usize, // 0..3
+    children: Vec<SpecNode>,
+}
+
+fn spec_tree() -> impl Strategy<Value = SpecNode> {
+    let leaf = (any::<bool>(), 0usize..3).prop_map(|(oneway, process)| SpecNode {
+        oneway,
+        process,
+        children: Vec::new(),
+    });
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        (any::<bool>(), 0usize..3, prop::collection::vec(inner, 0..3)).prop_map(
+            |(oneway, process, children)| SpecNode { oneway, process, children },
+        )
+    })
+}
+
+fn count_nodes(node: &SpecNode) -> usize {
+    1 + node.children.iter().map(count_nodes).sum::<usize>()
+}
+
+/// Builds one servant per spec node; node `i` calls its children in order.
+fn run_spec(root: &SpecNode) -> (MonitoringDb, usize) {
+    let mut builder = System::builder();
+    builder.probe_mode(ProbeMode::CausalityOnly);
+    let node = builder.node("n", "X");
+    let driver = builder.process("driver", node, ThreadingPolicy::ThreadPerRequest);
+    let ps: Vec<_> = (0..3)
+        .map(|i| builder.process(&format!("p{i}"), node, ThreadingPolicy::ThreadPerRequest))
+        .collect();
+    let system = builder.build();
+    system
+        .load_idl("interface N { long go(in long x); oneway void fire(in long x); };")
+        .unwrap();
+
+    // Flatten the spec depth-first; register one object per node.
+    fn register(
+        spec: &SpecNode,
+        system: &System,
+        ps: &[causeway_core::ids::ProcessId],
+        counter: &mut usize,
+    ) -> (ObjRef, Arc<ScriptedServant>, Vec<(usize, ObjRef)>) {
+        let my_index = *counter;
+        *counter += 1;
+        let mut actions = Vec::new();
+        let mut wires = Vec::new();
+        let mut child_regs = Vec::new();
+        for (slot, child) in spec.children.iter().enumerate() {
+            let (child_ref, _, grandchildren) = register(child, system, ps, counter);
+            child_regs.extend(grandchildren);
+            wires.push((slot, child_ref));
+            if child.oneway {
+                actions.push(Action::CallOneway { target: slot, method: "fire" });
+            } else {
+                actions.push(Action::Call { target: slot, method: "go", manual: None });
+            }
+        }
+        // `go` and `fire` share the same behavior script.
+        let script = MethodScript::new(actions);
+        let servant = ScriptedServant::new(vec![script.clone(), script]);
+        let obj = system
+            .register_servant(
+                ps[spec.process],
+                "N",
+                &format!("C{my_index}"),
+                &format!("n{my_index}"),
+                servant.clone(),
+            )
+            .unwrap();
+        for (slot, target) in wires {
+            servant.wire(slot, target);
+        }
+        (obj, servant, child_regs)
+    }
+
+    let mut counter = 0usize;
+    let (root_ref, _, _) = register(root, &system, &ps, &mut counter);
+    system.start();
+    let client = system.client(driver);
+    client.begin_root();
+    if root.oneway {
+        client.invoke_oneway(&root_ref, "fire", vec![Value::I64(0)]).unwrap();
+    } else {
+        client.invoke(&root_ref, "go", vec![Value::I64(0)]).unwrap();
+    }
+    system.quiesce(Duration::from_secs(30)).unwrap();
+    system.shutdown();
+    assert_eq!(system.anomaly_count(), 0);
+    let total = count_nodes(root);
+    (MonitoringDb::from_run(system.harvest()), total)
+}
+
+/// Compares the reconstructed tree against the spec, by object label.
+/// `caller_process` is `None` for the driver (always a remote caller).
+fn assert_matches(
+    spec: &SpecNode,
+    node: &CallNode,
+    vocab: &VocabSnapshot,
+    counter: &mut usize,
+    caller_process: Option<usize>,
+) {
+    let expected_label = format!("n{}", *counter);
+    *counter += 1;
+    let actual = vocab
+        .object(node.func.object)
+        .map(|o| o.label.clone())
+        .unwrap_or_default();
+    assert_eq!(actual, expected_label, "node identity mismatch");
+    let expected_kind = if spec.oneway {
+        CallKind::Oneway
+    } else if caller_process == Some(spec.process) {
+        // In-process synchronous calls take the collocation fast path.
+        CallKind::Collocated
+    } else {
+        CallKind::Sync
+    };
+    assert_eq!(node.kind, expected_kind);
+    assert!(node.complete, "every invocation completed");
+    assert_eq!(node.children.len(), spec.children.len(), "fan-out mismatch at {actual}");
+    for (child_spec, child_node) in spec.children.iter().zip(&node.children) {
+        assert_matches(child_spec, child_node, vocab, counter, Some(spec.process));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_call_tree_is_reconstructed_exactly(spec in spec_tree()) {
+        let (db, expected_nodes) = run_spec(&spec);
+        let dscg = Dscg::build(&db);
+        prop_assert!(dscg.abnormalities.is_empty(), "{:?}", dscg.abnormalities);
+        prop_assert_eq!(dscg.trees.len(), 1, "one root chain (oneway children grafted)");
+        prop_assert_eq!(dscg.total_nodes(), expected_nodes);
+        let tree = &dscg.trees[0];
+        prop_assert_eq!(tree.roots.len(), 1);
+        let mut counter = 0usize;
+        assert_matches(&spec, &tree.roots[0], db.vocab(), &mut counter, None);
+    }
+
+    #[test]
+    fn event_numbering_is_dense_per_chain(spec in spec_tree()) {
+        let (db, _) = run_spec(&spec);
+        for &uuid in db.unique_uuids() {
+            let seqs: Vec<u64> = db.events_for(uuid).iter().map(|r| r.seq).collect();
+            let expected: Vec<u64> = (1..=seqs.len() as u64).collect();
+            prop_assert_eq!(seqs, expected, "chain {} numbering must be dense", uuid);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CPU conservation
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn inclusive_cpu_equals_subtree_self_sum(spec in spec_tree()) {
+        // Re-run the spec with CPU probes; verify DC+SC of every node equals
+        // the sum of SC over its subtree (the paper's propagation phase is a
+        // pure aggregation and must conserve CPU).
+        let mut builder = System::builder();
+        builder.probe_mode(ProbeMode::Cpu);
+        let node = builder.node("n", "X");
+        let driver = builder.process("driver", node, ThreadingPolicy::ThreadPerRequest);
+        let _ps: Vec<_> = (0..3)
+            .map(|i| builder.process(&format!("p{i}"), node, ThreadingPolicy::ThreadPerRequest))
+            .collect();
+        drop(builder); // the simple path below rebuilds via run_spec
+        let _ = driver;
+
+        let (db, _) = run_spec(&spec);
+        let dscg = Dscg::build(&db);
+        let analysis = CpuAnalysis::compute(&dscg, db.deployment());
+
+        // Pre-order walk aligned with per_node.
+        let mut self_totals: Vec<u64> = Vec::new();
+        let mut subtree_sums: Vec<u64> = Vec::new();
+        fn subtree(node: &CallNode, analysis_idx: &mut usize, per_node: &[causeway::analyzer::cpu::NodeCpu], out_self: &mut Vec<u64>, out_sum: &mut Vec<u64>) -> u64 {
+            let my = *analysis_idx;
+            *analysis_idx += 1;
+            out_self.push(per_node[my].self_cpu.total());
+            let mut sum = per_node[my].self_cpu.total();
+            for child in &node.children {
+                sum += subtree(child, analysis_idx, per_node, out_self, out_sum);
+            }
+            out_sum.push(sum); // post-order, only used via root below
+            sum
+        }
+        let mut idx = 0usize;
+        for tree in &dscg.trees {
+            for root in &tree.roots {
+                let total = subtree(root, &mut idx, &analysis.per_node, &mut self_totals, &mut subtree_sums);
+                // idx-1 walks past the subtree; recompute the root index:
+                // the root of this subtree was at (idx - subtree size).
+                let root_idx = idx - root.size();
+                let inclusive = analysis.per_node[root_idx].inclusive().total();
+                prop_assert_eq!(inclusive, total, "inclusive(root) == sum(self over subtree)");
+            }
+        }
+        // System total equals all selves.
+        prop_assert_eq!(
+            analysis.system_total.total(),
+            self_totals.iter().sum::<u64>()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer totality on arbitrary record streams
+// ---------------------------------------------------------------------------
+
+fn arbitrary_record() -> impl Strategy<Value = ProbeRecord> {
+    (
+        0u128..4,           // uuid from a tiny pool to force collisions
+        0u64..12,           // seq
+        0usize..4,          // event
+        0usize..4,          // kind
+        0u64..3,            // object
+        any::<bool>(),      // has stamps
+    )
+        .prop_map(|(uuid, seq, event, kind, object, stamped)| {
+            let event = TraceEvent::ALL[event];
+            let kind = [
+                CallKind::Sync,
+                CallKind::Oneway,
+                CallKind::Collocated,
+                CallKind::CustomMarshal,
+            ][kind];
+            ProbeRecord {
+                uuid: Uuid(uuid),
+                seq,
+                event,
+                kind,
+                site: CallSite {
+                    node: NodeId(0),
+                    process: ProcessId(0),
+                    thread: LogicalThreadId(0),
+                },
+                func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(object)),
+                wall_start: stamped.then_some(seq * 10),
+                wall_end: stamped.then_some(seq * 10 + 1),
+                cpu_start: None,
+                cpu_end: None,
+                oneway_child: (kind == CallKind::Oneway && event == TraceEvent::StubStart)
+                    .then_some(Uuid(uuid + 1)),
+                oneway_parent: None,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn analyzer_never_panics_on_garbage(records in prop::collection::vec(arbitrary_record(), 0..40)) {
+        let db = MonitoringDb::from_run(RunLog::new(
+            records.clone(),
+            VocabSnapshot::default(),
+            Deployment::new(),
+        ));
+        let dscg = Dscg::build(&db);
+        // Every parsed node corresponds to at least one record.
+        prop_assert!(dscg.total_nodes() <= records.len());
+        // Downstream analyses must also be total.
+        let _ = causeway::analyzer::latency::LatencyAnalysis::compute(&dscg);
+        let _ = CpuAnalysis::compute(&dscg, db.deployment());
+        let _ = causeway::analyzer::ccsg::Ccsg::build(&dscg, db.deployment());
+        let _ = causeway::analyzer::render::ascii_tree(
+            &dscg,
+            db.vocab(),
+            causeway::analyzer::render::AsciiOptions::default(),
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_arbitrary_records(records in prop::collection::vec(arbitrary_record(), 0..20)) {
+        let run = RunLog::new(records, VocabSnapshot::default(), Deployment::new());
+        let text = jsonl::write_run(&run);
+        let restored = jsonl::read_run(&text).expect("own output reads back");
+        prop_assert_eq!(restored, run);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay-harness round trip
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any executed random tree, derived into a harness and replayed,
+    /// reconstructs to the same shape — closing the record→replay loop.
+    #[test]
+    fn derived_harness_replays_to_the_same_shape(spec in spec_tree()) {
+        let (db, expected_nodes) = run_spec(&spec);
+        let harness = causeway::workloads::replay::derive(
+            &db,
+            causeway::workloads::replay::DeriveOptions::default(),
+        );
+        prop_assert_eq!(harness.total_calls(), expected_nodes);
+
+        let replayed_run = causeway::workloads::replay::execute(&harness, ProbeMode::CausalityOnly);
+        let replayed_db = MonitoringDb::from_run(replayed_run);
+        let replayed = Dscg::build(&replayed_db);
+        prop_assert!(replayed.abnormalities.is_empty(), "{:?}", replayed.abnormalities);
+        prop_assert_eq!(replayed.total_nodes(), expected_nodes);
+        prop_assert_eq!(replayed.trees.len(), 1);
+
+        // Shape: identical (depth, label) pre-order sequences.
+        let shape = |dscg: &Dscg, db: &MonitoringDb| {
+            let mut out = Vec::new();
+            dscg.walk(&mut |node, depth| {
+                let label = db
+                    .vocab()
+                    .object(node.func.object)
+                    .map(|o| o.label.clone())
+                    .unwrap_or_default();
+                out.push((depth, label, node.kind));
+            });
+            out
+        };
+        let original = Dscg::build(&db);
+        prop_assert_eq!(shape(&replayed, &replayed_db), shape(&original, &db));
+    }
+}
