@@ -271,7 +271,7 @@ fn parse_chain(
     let mut oneway_parent = None;
 
     fn close(
-        arena: &mut Vec<CallNode>,
+        arena: &mut [CallNode],
         stack: &mut Vec<usize>,
         roots: &mut Vec<CallNode>,
         complete: bool,

@@ -56,7 +56,7 @@ pub fn hotspots(dscg: &Dscg) -> Vec<((InterfaceId, MethodIndex), Hotspot)> {
         }
     });
     let mut out: Vec<_> = map.into_iter().collect();
-    out.sort_by(|a, b| b.1.total_self_ns.cmp(&a.1.total_self_ns));
+    out.sort_by_key(|e| std::cmp::Reverse(e.1.total_self_ns));
     out
 }
 
@@ -79,10 +79,7 @@ pub fn critical_path(tree: &CallTree) -> Vec<PathStep> {
     let Some(mut node) = tree.roots.first() else {
         return path;
     };
-    loop {
-        let Some(latency) = node_latency(node) else {
-            break;
-        };
+    while let Some(latency) = node_latency(node) {
         path.push(PathStep {
             func: node.func,
             latency_ns: latency.latency_ns,

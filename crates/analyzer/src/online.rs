@@ -12,8 +12,10 @@
 
 use causeway_core::event::{CallKind, TraceEvent};
 use causeway_core::record::{FunctionKey, ProbeRecord};
+use causeway_core::sink::{Chunk, LogStore};
 use causeway_core::uuid::Uuid;
 use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
 
 /// A management event emitted by the on-line analyzer.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +128,57 @@ impl OnlineAnalyzer {
         if state.stack.is_empty() && state.pending.is_empty() && state.completed_calls > 0 {
             sink(OnlineEvent::ChainIdle { chain, completed_calls: state.completed_calls });
         }
+    }
+
+    /// Feeds every record of a sealed chunk, in the producing thread's
+    /// push order.
+    pub fn ingest_chunk(&mut self, chunk: Chunk, sink: &mut impl FnMut(OnlineEvent)) {
+        for record in chunk.records {
+            self.ingest(record, sink);
+        }
+    }
+
+    /// Consumes every chunk a live store has sealed so far, without
+    /// blocking. Returns the number of records ingested. Safe while
+    /// producer threads keep pushing — this is the on-line consumption
+    /// path: no quiescence, no post-hoc [`causeway_core::runlog::RunLog`].
+    pub fn poll_store(&mut self, store: &LogStore, sink: &mut impl FnMut(OnlineEvent)) -> usize {
+        let mut ingested = 0;
+        while let Some(chunk) = store.try_recv_chunk() {
+            ingested += chunk.len();
+            self.ingest_chunk(chunk, sink);
+        }
+        ingested
+    }
+
+    /// Waits up to `timeout` for a producer to seal a chunk, then consumes
+    /// it and everything else already available. Returns the number of
+    /// records ingested (0 on timeout) — the pump loop primitive for a
+    /// dedicated analysis thread.
+    pub fn follow_store(
+        &mut self,
+        store: &LogStore,
+        timeout: Duration,
+        sink: &mut impl FnMut(OnlineEvent),
+    ) -> usize {
+        match store.recv_chunk_timeout(timeout) {
+            Some(chunk) => {
+                let mut ingested = chunk.len();
+                self.ingest_chunk(chunk, sink);
+                ingested += self.poll_store(store, sink);
+                ingested
+            }
+            None => 0,
+        }
+    }
+
+    /// End-of-stream sweep: asks producers to flush their open chunks and
+    /// consumes what is already sealed. Call once producers are quiescent
+    /// (then the store is left empty), and follow with [`Self::finish`].
+    pub fn drain_store(&mut self, store: &LogStore, sink: &mut impl FnMut(OnlineEvent)) -> usize {
+        store.request_flush();
+        store.flush_current_thread();
+        self.poll_store(store, sink)
     }
 
     /// Forces out everything still buffered (end of run): gaps are reported
@@ -475,6 +528,56 @@ mod tests {
         assert!(gap, "{events:?}");
         assert!(incomplete, "{events:?}");
         assert_eq!(analyzer.open_chains(), 0);
+    }
+
+    #[test]
+    fn live_chunk_stream_from_a_monitor_is_complete() {
+        use causeway_core::monitor::{Monitor, ProbeMode};
+        use causeway_core::sink::CHUNK_CAPACITY;
+
+        const CALLS: usize = 300; // 4 records/call ≫ one chunk
+
+        let monitor = Monitor::builder(ProcessId(0), NodeId(0))
+            .mode(ProbeMode::CausalityOnly)
+            .build();
+        let store = monitor.store().clone();
+        let func = FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(1));
+        let producer = std::thread::spawn(move || {
+            for _ in 0..CALLS {
+                monitor.begin_root();
+                let out = monitor.stub_start(func, CallKind::Sync);
+                monitor.skel_start(func, CallKind::Sync, out.wire_ftl, None);
+                let reply = monitor.skel_end(func, CallKind::Sync);
+                monitor.stub_end(func, CallKind::Sync, Some(reply));
+            }
+        });
+
+        // Consume chunks while the producer runs — no quiescence, no
+        // post-hoc RunLog.
+        let mut analyzer = OnlineAnalyzer::new();
+        let mut events = Vec::new();
+        let mut ingested = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while ingested < CALLS * 4 && std::time::Instant::now() < deadline {
+            ingested +=
+                analyzer.follow_store(&store, Duration::from_millis(50), &mut |e| events.push(e));
+        }
+        producer.join().unwrap();
+        ingested += analyzer.drain_store(&store, &mut |e| events.push(e));
+        analyzer.finish(&mut |e| events.push(e));
+
+        // Compile-time sanity: the workload spans several chunks.
+        const _: () = assert!(CALLS * 4 > CHUNK_CAPACITY);
+        assert_eq!(ingested, CALLS * 4, "every record reached the analyzer");
+        let completed = events
+            .iter()
+            .filter(|e| matches!(e, OnlineEvent::CallCompleted { .. }))
+            .count();
+        assert_eq!(completed, CALLS);
+        assert!(
+            !events.iter().any(|e| matches!(e, OnlineEvent::Abnormality { .. })),
+            "clean run has no abnormalities"
+        );
     }
 
     #[test]

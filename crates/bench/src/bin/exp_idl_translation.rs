@@ -47,11 +47,11 @@ fn main() {
     let instrumented = compile(&spec, InstrumentMode::Instrumented).expect("compiles");
     print!("{}", emit::translated_idl(&instrumented));
 
-    let foo = instrumented.interface("Example::Foo").expect("registered");
+    let iface_foo = instrumented.interface("Example::Foo").expect("registered");
     println!("\n--- generated stub (funcA) ---");
-    print!("{}", emit::stub_code(foo, &foo.methods[0]));
+    print!("{}", emit::stub_code(iface_foo, &iface_foo.methods[0]));
     println!("\n--- generated skeleton (funcA) ---");
-    print!("{}", emit::skeleton_code(foo, &foo.methods[0]));
+    print!("{}", emit::skeleton_code(iface_foo, &iface_foo.methods[0]));
 
     assert!(
         emit::translated_idl(&instrumented)

@@ -485,6 +485,10 @@ impl ComDomain {
             };
             let _ = reply.send(OrpcReply { body, extensions });
         }
+        // Seal this apartment thread's open log chunk before the call
+        // stops counting as in-flight, so quiescence implies every
+        // server-side record reached the collector stream.
+        monitor.store().flush_current_thread();
         self.inner.pending.fetch_sub(1, Ordering::SeqCst);
     }
 }

@@ -627,7 +627,7 @@ mod tests {
         let r = m.skel_end(func(1), CallKind::Sync);
         m.stub_end(func(1), CallKind::Sync, Some(r));
         assert!(m.store().is_empty());
-        assert!(m.is_enabled() == false);
+        assert!(!m.is_enabled());
         m.set_enabled(true);
         assert!(m.is_enabled());
         m.begin_root();

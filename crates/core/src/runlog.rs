@@ -8,6 +8,7 @@
 use crate::deploy::Deployment;
 use crate::names::VocabSnapshot;
 use crate::record::ProbeRecord;
+use crate::sink::Chunk;
 use serde::{Deserialize, Serialize};
 
 /// Everything harvested from one system run.
@@ -42,6 +43,13 @@ impl RunLog {
     /// deployment must already agree (they come from the shared system).
     pub fn merge(&mut self, other: RunLog) {
         self.records.extend(other.records);
+    }
+
+    /// Appends a sealed chunk's records (streaming harvest: a collector
+    /// can accumulate a run log chunk-by-chunk as producers seal them,
+    /// instead of waiting for one big post-hoc drain).
+    pub fn push_chunk(&mut self, chunk: Chunk) {
+        self.records.extend(chunk.records);
     }
 }
 

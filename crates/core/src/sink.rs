@@ -1,11 +1,31 @@
-//! Per-thread log buffers.
+//! Per-thread chunked log buffers with a streaming drain.
 //!
 //! "All runtime behavior information is recorded individually by probes
-//! without coordination" — each thread appends to its own buffer, and the
-//! collector drains every buffer after the application reaches a quiescent
-//! state. A thread's buffer is guarded by a mutex that is uncontended in
-//! steady state (only the owning thread pushes; only the collector drains),
-//! so probe cost stays in the tens of nanoseconds.
+//! without coordination" — each thread appends to a chunk it exclusively
+//! owns, cached in thread-local storage, so the probe hot path takes **no
+//! lock and performs no hash lookup**: it is an atomic counter bump plus an
+//! unsynchronized `Vec::push`. When a chunk fills (or the owning thread
+//! reaches an idle point, or exits), it is *sealed* — handed to the
+//! collector side over a multi-producer channel. Draining is therefore an
+//! incremental, concurrency-safe *stream* of sealed chunks: a collector may
+//! pull chunks while producer threads keep pushing, which is what the
+//! on-line analyzer builds on. Full collection still happens at the
+//! quiescent state, as in the paper — but quiescence is needed only for
+//! *completeness*, never for safety.
+//!
+//! Sealing discipline (who closes an open chunk):
+//!
+//! * the **owning thread**, when the chunk reaches [`CHUNK_CAPACITY`];
+//! * the **owning thread**, at an idle point — runtimes call
+//!   [`LogStore::flush_current_thread`] before blocking on an empty inbox,
+//!   so a quiescent system has no open chunks;
+//! * the **owning thread**, on its next push after a collector called
+//!   [`LogStore::request_flush`] (each drain bumps a flush epoch that every
+//!   producer checks for free on its own schedule);
+//! * the **thread-local destructor**, when the thread exits.
+//!
+//! No other thread ever touches an open chunk, which is exactly why no
+//! synchronization is needed on the record path.
 //!
 //! The store also assigns dense process-local [`LogicalThreadId`]s, which is
 //! how scattered records are attributed to "the 32 threads" of a run without
@@ -13,32 +33,151 @@
 
 use crate::ids::LogicalThreadId;
 use crate::record::ProbeRecord;
-use parking_lot::Mutex;
+use crossbeam::channel::{Receiver, Sender, unbounded};
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
 
-type Buffer = Arc<Mutex<Vec<ProbeRecord>>>;
+/// Records per chunk before the owning thread seals it on its own.
+///
+/// Small enough that a live consumer sees records promptly even under
+/// steady load; large enough that the channel send amortizes to well under
+/// a nanosecond per record.
+pub const CHUNK_CAPACITY: usize = 256;
 
-#[derive(Debug)]
+/// A sealed batch of records from one thread, in push (chronological)
+/// order.
+///
+/// Chunks from one thread arrive in the order they were sealed, so a
+/// single thread's records never reorder across chunks. Chunks from
+/// different threads interleave arbitrarily, as scattered logs always
+/// have.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// The logical thread that recorded these probes.
+    pub thread: LogicalThreadId,
+    /// The records, in the order they were pushed.
+    pub records: Vec<ProbeRecord>,
+}
+
+impl Chunk {
+    /// Records in the chunk.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the chunk holds no records (never produced by a store;
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
 struct StoreInner {
     id: u64,
-    buffers: Mutex<Vec<Buffer>>,
     next_thread: AtomicU32,
-    records: AtomicU64,
+    /// Records pushed but not yet handed out by a drain/chunk receive.
+    ///
+    /// Incremented *before* the record becomes reachable and decremented
+    /// exactly once per record handed out, so it can transiently
+    /// over-count in-flight pushes but never under-counts or wraps — the
+    /// count is exact whenever producers are between pushes.
+    buffered: AtomicU64,
+    /// Bumped by [`LogStore::request_flush`]; producers seal their open
+    /// chunk when they notice the epoch moved.
+    flush_epoch: AtomicU64,
+    chunk_tx: Sender<Chunk>,
+    chunk_rx: Receiver<Chunk>,
+}
+
+impl fmt::Debug for StoreInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogStore")
+            .field("id", &self.id)
+            .field("threads", &self.next_thread.load(Ordering::Relaxed))
+            .field("buffered", &self.buffered.load(Ordering::Relaxed))
+            .field("sealed_chunks", &self.chunk_rx.len())
+            .finish()
+    }
+}
+
+/// One thread's open chunk for one store.
+struct LocalSlot {
+    store_id: u64,
+    /// For pruning slots whose store is gone.
+    store: Weak<StoreInner>,
+    thread: LogicalThreadId,
+    /// The flush epoch observed when the open chunk started.
+    epoch: u64,
+    buf: Vec<ProbeRecord>,
+    tx: Sender<Chunk>,
+}
+
+impl LocalSlot {
+    fn seal(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let records =
+            std::mem::replace(&mut self.buf, Vec::with_capacity(CHUNK_CAPACITY));
+        // Send fails only when the store (every receiver) is gone; then
+        // there is nobody left to read the records.
+        let _ = self.tx.send(Chunk { thread: self.thread, records });
+    }
+}
+
+impl Drop for LocalSlot {
+    fn drop(&mut self) {
+        // Thread exit: hand over whatever the thread still buffered.
+        self.seal();
+    }
+}
+
+#[derive(Default)]
+struct LocalRegistry {
+    /// Open chunks of this thread, one per store it probed into. Most
+    /// threads probe into exactly one store, so lookup is a linear scan
+    /// with the last-used slot kept at the front.
+    slots: Vec<LocalSlot>,
+}
+
+impl LocalRegistry {
+    /// The slot for `store`, created (registering the thread) on first
+    /// use, and moved to the front so repeat lookups hit immediately.
+    fn slot_for(&mut self, store: &Arc<StoreInner>) -> &mut LocalSlot {
+        if let Some(i) = self.slots.iter().position(|s| s.store_id == store.id) {
+            self.slots.swap(0, i);
+            return &mut self.slots[0];
+        }
+        // Miss: prune slots whose store died (keeps the scan short in
+        // long-lived threads that touch many short-lived stores).
+        self.slots.retain(|s| s.store.upgrade().is_some());
+        let thread =
+            LogicalThreadId(store.next_thread.fetch_add(1, Ordering::Relaxed));
+        self.slots.push(LocalSlot {
+            store_id: store.id,
+            store: Arc::downgrade(store),
+            thread,
+            epoch: store.flush_epoch.load(Ordering::Relaxed),
+            buf: Vec::with_capacity(CHUNK_CAPACITY),
+            tx: store.chunk_tx.clone(),
+        });
+        let last = self.slots.len() - 1;
+        self.slots.swap(0, last);
+        &mut self.slots[0]
+    }
 }
 
 thread_local! {
-    /// Cache of (store id → this thread's registration) so the hot path is a
-    /// hash lookup plus an uncontended lock.
-    static THREAD_REG: RefCell<HashMap<u64, (LogicalThreadId, Buffer)>> =
-        RefCell::new(HashMap::new());
+    static LOCAL: RefCell<LocalRegistry> = RefCell::new(LocalRegistry::default());
 }
 
-/// A process's log store: one buffer per thread that ever probed.
+/// A process's log store: per-thread chunked buffers feeding a sealed-chunk
+/// stream.
 ///
 /// Cloning is cheap and clones share state.
 ///
@@ -65,46 +204,52 @@ impl Default for LogStore {
 impl LogStore {
     /// Creates an empty store.
     pub fn new() -> LogStore {
+        let (chunk_tx, chunk_rx) = unbounded();
         LogStore {
             inner: Arc::new(StoreInner {
                 id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
-                buffers: Mutex::new(Vec::new()),
                 next_thread: AtomicU32::new(0),
-                records: AtomicU64::new(0),
+                buffered: AtomicU64::new(0),
+                flush_epoch: AtomicU64::new(0),
+                chunk_tx,
+                chunk_rx,
             }),
         }
-    }
-
-    fn register_current(&self) -> (LogicalThreadId, Buffer) {
-        THREAD_REG.with(|reg| {
-            let mut reg = reg.borrow_mut();
-            if let Some(entry) = reg.get(&self.inner.id) {
-                return entry.clone();
-            }
-            let tid = LogicalThreadId(self.inner.next_thread.fetch_add(1, Ordering::Relaxed));
-            let buf: Buffer = Arc::new(Mutex::new(Vec::new()));
-            self.inner.buffers.lock().push(Arc::clone(&buf));
-            reg.insert(self.inner.id, (tid, Arc::clone(&buf)));
-            (tid, buf)
-        })
     }
 
     /// The calling thread's logical id within this store, assigning one on
     /// first use.
     pub fn current_thread(&self) -> LogicalThreadId {
-        self.register_current().0
+        LOCAL.with(|l| l.borrow_mut().slot_for(&self.inner).thread)
     }
 
-    /// Appends a record to the calling thread's buffer.
+    /// Appends a record to the calling thread's open chunk — no lock, no
+    /// hash lookup; the chunk is owned exclusively by this thread.
     pub fn push(&self, record: ProbeRecord) {
-        let (_, buf) = self.register_current();
-        buf.lock().push(record);
-        self.inner.records.fetch_add(1, Ordering::Relaxed);
+        // Count before the record can become visible to a consumer, so
+        // the drain-side decrement can never outrun the increment.
+        self.inner.buffered.fetch_add(1, Ordering::Relaxed);
+        LOCAL.with(|l| {
+            let mut reg = l.borrow_mut();
+            let slot = reg.slot_for(&self.inner);
+            let epoch = self.inner.flush_epoch.load(Ordering::Relaxed);
+            if slot.epoch != epoch {
+                // A collector asked for a flush since this chunk started:
+                // seal what precedes the request, then start fresh.
+                slot.seal();
+                slot.epoch = epoch;
+            }
+            slot.buf.push(record);
+            if slot.buf.len() >= CHUNK_CAPACITY {
+                slot.seal();
+            }
+        });
     }
 
-    /// Total records currently buffered across all threads.
+    /// Total records currently buffered (open chunks + sealed, undrained
+    /// chunks). Exact whenever no push is mid-flight.
     pub fn len(&self) -> usize {
-        self.inner.records.load(Ordering::Relaxed) as usize
+        self.inner.buffered.load(Ordering::Relaxed) as usize
     }
 
     /// `true` when no records are buffered.
@@ -117,17 +262,73 @@ impl LogStore {
         self.inner.next_thread.load(Ordering::Relaxed) as usize
     }
 
-    /// Drains every thread's buffer, returning all records (grouped by
-    /// thread in registration order — within one thread, records are in
-    /// chronological push order, which the analyzer may rely on as a
-    /// secondary ordering hint but never requires).
+    /// Seals the *calling thread's* open chunk, making its records
+    /// available to chunk consumers. Runtimes call this at idle points —
+    /// e.g. a pool worker about to block on an empty inbox — so that a
+    /// quiescent system has no records stranded in open chunks.
+    pub fn flush_current_thread(&self) {
+        LOCAL.with(|l| {
+            let mut reg = l.borrow_mut();
+            if let Some(slot) =
+                reg.slots.iter_mut().find(|s| s.store_id == self.inner.id)
+            {
+                slot.seal();
+            }
+        });
+    }
+
+    /// Asks every producer thread to seal its open chunk at its next push.
+    ///
+    /// This is asynchronous by design — the paper's probes never
+    /// coordinate, so a collector cannot *force* another thread's hand; it
+    /// can only leave a note the producer honors on its own schedule.
+    pub fn request_flush(&self) {
+        self.inner.flush_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Receives one sealed chunk if any is ready, without blocking.
+    ///
+    /// This is the streaming consumption path: safe to call concurrently
+    /// with pushes (and with other consumers — each chunk is delivered
+    /// exactly once).
+    pub fn try_recv_chunk(&self) -> Option<Chunk> {
+        let chunk = self.inner.chunk_rx.try_recv().ok()?;
+        self.inner
+            .buffered
+            .fetch_sub(chunk.records.len() as u64, Ordering::Relaxed);
+        Some(chunk)
+    }
+
+    /// Receives one sealed chunk, waiting up to `timeout` for a producer
+    /// to seal one.
+    pub fn recv_chunk_timeout(&self, timeout: Duration) -> Option<Chunk> {
+        let chunk = self.inner.chunk_rx.recv_timeout(timeout).ok()?;
+        self.inner
+            .buffered
+            .fetch_sub(chunk.records.len() as u64, Ordering::Relaxed);
+        Some(chunk)
+    }
+
+    /// Drains every currently sealed chunk, returning the records in chunk
+    /// arrival order (within one thread, chronological push order — which
+    /// the analyzer may use as a secondary ordering hint but never
+    /// requires).
+    ///
+    /// Safe to call while other threads are pushing: concurrent pushers
+    /// lose nothing and the count removed is exact — records an active
+    /// thread still holds in an open chunk simply arrive at a later drain
+    /// (their threads were asked to flush via [`Self::request_flush`]).
+    /// For a *complete* drain, reach quiescence first: idle runtimes flush
+    /// at their blocking points and exited threads flush on termination.
     pub fn drain(&self) -> Vec<ProbeRecord> {
-        let buffers = self.inner.buffers.lock();
-        let mut out = Vec::with_capacity(self.len());
-        for buf in buffers.iter() {
-            out.append(&mut buf.lock());
+        self.request_flush();
+        // The drain itself runs on some thread that may have pushed
+        // (clients, tests): hand over our own open chunk immediately.
+        self.flush_current_thread();
+        let mut out = Vec::new();
+        while let Some(chunk) = self.try_recv_chunk() {
+            out.extend(chunk.records);
         }
-        self.inner.records.fetch_sub(out.len() as u64, Ordering::Relaxed);
         out
     }
 }
@@ -139,6 +340,7 @@ mod tests {
     use crate::ids::{InterfaceId, MethodIndex, NodeId, ObjectId, ProcessId};
     use crate::record::{CallSite, FunctionKey};
     use crate::uuid::Uuid;
+    use std::sync::atomic::AtomicBool;
 
     fn rec(store: &LogStore, seq: u64) -> ProbeRecord {
         ProbeRecord {
@@ -212,5 +414,140 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(store.drain().len(), 800);
+    }
+
+    #[test]
+    fn full_chunks_stream_without_any_flush() {
+        let store = LogStore::new();
+        for i in 0..(CHUNK_CAPACITY as u64 + 10) {
+            store.push(rec(&store, i));
+        }
+        // The first CHUNK_CAPACITY records sealed on their own.
+        let chunk = store.try_recv_chunk().expect("a sealed chunk is ready");
+        assert_eq!(chunk.len(), CHUNK_CAPACITY);
+        assert_eq!(chunk.thread, store.current_thread());
+        let seqs: Vec<u64> = chunk.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..CHUNK_CAPACITY as u64).collect::<Vec<_>>());
+        // The remainder is still open; a flush hands it over.
+        assert!(store.try_recv_chunk().is_none());
+        store.flush_current_thread();
+        assert_eq!(store.try_recv_chunk().expect("flushed").len(), 10);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn request_flush_seals_producer_chunks_at_their_next_push() {
+        let store = LogStore::new();
+        store.push(rec(&store, 1));
+        store.request_flush();
+        assert!(store.try_recv_chunk().is_none(), "flush is asynchronous");
+        store.push(rec(&store, 2));
+        let chunk = store.try_recv_chunk().expect("sealed at next push");
+        assert_eq!(chunk.len(), 1, "only the pre-flush record");
+        assert_eq!(chunk.records[0].seq, 1);
+    }
+
+    #[test]
+    fn thread_exit_seals_the_open_chunk() {
+        let store = LogStore::new();
+        let s = store.clone();
+        std::thread::spawn(move || {
+            for i in 0..5 {
+                s.push(rec(&s, i));
+            }
+        })
+        .join()
+        .unwrap();
+        let chunk = store.try_recv_chunk().expect("sealed by TLS destructor");
+        assert_eq!(chunk.len(), 5);
+        assert!(store.is_empty());
+    }
+
+    /// The acceptance scenario: a drain concurrent with 8 pushing threads
+    /// loses zero records and duplicates none, and the buffered count is
+    /// exact once the producers are done.
+    #[test]
+    fn streaming_drain_concurrent_with_pushers_loses_nothing() {
+        const PUSHERS: u64 = 8;
+        const PER_THREAD: u64 = 4000;
+        let store = LogStore::new();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let producers: Vec<_> = (0..PUSHERS)
+            .map(|p| {
+                let s = store.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Globally unique tag so duplicates are detectable.
+                        s.push(rec(&s, p * PER_THREAD + i));
+                    }
+                })
+            })
+            .collect();
+
+        // Drain continuously while producers are live.
+        let collector = {
+            let s = store.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    got.extend(s.drain());
+                }
+                got
+            })
+        };
+
+        for t in producers {
+            t.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut got = collector.join().unwrap();
+        // Producers have exited (TLS sealed everything); the count is
+        // exact and one final drain empties the store.
+        got.extend(store.drain());
+        assert_eq!(store.len(), 0, "exact count after quiescence");
+
+        let mut seqs: Vec<u64> = got.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(
+            seqs.len(),
+            (PUSHERS * PER_THREAD) as usize,
+            "no record lost, none duplicated"
+        );
+    }
+
+    #[test]
+    fn per_thread_order_is_preserved_across_chunks() {
+        let store = LogStore::new();
+        let s = store.clone();
+        std::thread::spawn(move || {
+            for i in 0..(3 * CHUNK_CAPACITY as u64) {
+                s.push(rec(&s, i));
+            }
+        })
+        .join()
+        .unwrap();
+        let drained = store.drain();
+        let seqs: Vec<u64> = drained.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..3 * CHUNK_CAPACITY as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_chunk_timeout_sees_a_live_producer() {
+        let store = LogStore::new();
+        let s = store.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..(CHUNK_CAPACITY as u64) {
+                s.push(rec(&s, i));
+            }
+            // Open remainder is sealed by thread exit.
+        });
+        let chunk = store
+            .recv_chunk_timeout(Duration::from_secs(5))
+            .expect("producer seals a full chunk");
+        assert_eq!(chunk.len(), CHUNK_CAPACITY);
+        producer.join().unwrap();
     }
 }

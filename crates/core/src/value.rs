@@ -10,9 +10,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dynamically typed IDL value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum Value {
     /// The absence of a value (a `void` result).
+    #[default]
     Void,
     /// `boolean`.
     Bool(bool),
@@ -131,12 +132,6 @@ impl Value {
                     .sum::<usize>()
             }
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Void
     }
 }
 

@@ -511,6 +511,10 @@ impl Container {
             Err(app) => Ok(Err(app)),
         };
         let _ = item.reply.send(WorkReply { body, work_area });
+        // Seal this dispatch thread's open log chunk before the call stops
+        // counting as in-flight, so quiescence implies every server-side
+        // record reached the collector stream.
+        monitor.store().flush_current_thread();
         self.inner.domain.pending.fetch_sub(1, Ordering::SeqCst);
     }
 }

@@ -5,10 +5,16 @@
 //! dedicated to an incoming call until that call finishes — which, together
 //! with O2 (the skeleton-start probe refreshes the thread's FTL on every
 //! dispatch), is why the tunnel survives thread reuse.
+//!
+//! Worker threads also honor the chunked log sink's sealing discipline:
+//! each dispatch seals the worker's open chunk before the request stops
+//! counting as in-flight (see [`crate::orb::Orb`]), and pooled workers
+//! additionally flush before blocking on an empty inbox, so a quiescent
+//! engine strands no records in open chunks.
 
 use crate::orb::Orb;
 use crate::transport::{ConnKey, Incoming};
-use crossbeam::channel::{Receiver, Sender, unbounded};
+use crossbeam::channel::{Receiver, Sender, TryRecvError, unbounded};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -31,13 +37,24 @@ pub enum ThreadingPolicy {
 pub struct ServerEngine {
     acceptor: Option<JoinHandle<()>>,
     /// Joined at stop; per-request and per-connection threads park their
-    /// handles here.
+    /// handles here (finished per-request handles are reaped as new
+    /// requests arrive, so the list stays bounded by live threads).
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Lets `Drop` signal the inbox so the acceptor and its workers exit
+    /// even when nobody sent [`Incoming::Stop`] explicitly.
+    stop_tx: Sender<Incoming>,
 }
 
 impl ServerEngine {
-    /// Starts an engine consuming `rx` under `policy`.
-    pub fn start(orb: Orb, rx: Receiver<Incoming>, policy: ThreadingPolicy) -> ServerEngine {
+    /// Starts an engine consuming `rx` under `policy`. `stop_tx` must feed
+    /// the same inbox as `rx`; the engine uses it to stop itself when
+    /// dropped without an explicit [`Incoming::Stop`].
+    pub fn start(
+        orb: Orb,
+        rx: Receiver<Incoming>,
+        stop_tx: Sender<Incoming>,
+        policy: ThreadingPolicy,
+    ) -> ServerEngine {
         let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = match policy {
             ThreadingPolicy::ThreadPerRequest => spawn_per_request(orb, rx, Arc::clone(&workers)),
@@ -46,7 +63,7 @@ impl ServerEngine {
                 spawn_per_connection(orb, rx, Arc::clone(&workers))
             }
         };
-        ServerEngine { acceptor: Some(acceptor), workers }
+        ServerEngine { acceptor: Some(acceptor), workers, stop_tx }
     }
 
     /// Joins the acceptor and every worker. Call after sending
@@ -60,18 +77,50 @@ impl ServerEngine {
             let _ = handle.join();
         }
     }
+
+    /// Worker threads currently tracked (live, or finished but not yet
+    /// reaped).
+    pub fn tracked_workers(&self) -> usize {
+        self.workers.lock().len()
+    }
 }
 
 impl Drop for ServerEngine {
     fn drop(&mut self) {
-        // Best effort: if stop was never signalled the acceptor thread may
-        // still be blocked; joining would hang, so only join when the
-        // acceptor was already taken by `join`.
-        if self.acceptor.is_none() {
-            let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
-            for handle in handles {
-                let _ = handle.join();
-            }
+        // If `join` already ran the acceptor is gone and workers were
+        // joined; otherwise signal the inbox so the engine's threads wind
+        // down instead of leaking, then join them.
+        if self.acceptor.is_some() {
+            let _ = self.stop_tx.send(Incoming::Stop);
+        }
+        self.join();
+    }
+}
+
+/// Joins and removes finished handles, keeping the tracked set bounded by
+/// the number of *live* threads.
+fn reap_finished(workers: &Mutex<Vec<JoinHandle<()>>>) {
+    let mut guard = workers.lock();
+    let mut i = 0;
+    while i < guard.len() {
+        if guard[i].is_finished() {
+            let handle = guard.swap_remove(i);
+            let _ = handle.join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Receives the next message, sealing the worker's open log chunk before
+/// blocking on an empty inbox — a parked worker must not sit on records.
+fn recv_flushing(rx: &Receiver<Incoming>, orb: &Orb) -> Option<Incoming> {
+    match rx.try_recv() {
+        Ok(incoming) => Some(incoming),
+        Err(TryRecvError::Disconnected) => None,
+        Err(TryRecvError::Empty) => {
+            orb.monitor().store().flush_current_thread();
+            rx.recv().ok()
         }
     }
 }
@@ -92,6 +141,11 @@ fn spawn_per_request(
                             .name(format!("{}-req", orb.process()))
                             .spawn(move || orb.dispatch(msg))
                             .expect("spawn request thread");
+                        // Completed requests leave finished handles behind;
+                        // reap them here so a long-lived engine does not
+                        // accumulate one dead handle per request ever
+                        // served.
+                        reap_finished(&workers);
                         workers.lock().push(handle);
                     }
                     Incoming::Stop => break,
@@ -117,7 +171,7 @@ fn spawn_pool(
             let handle = std::thread::Builder::new()
                 .name(format!("{}-pool{}", orb.process(), i))
                 .spawn(move || {
-                    while let Ok(incoming) = work_rx.recv() {
+                    while let Some(incoming) = recv_flushing(&work_rx, &orb) {
                         match incoming {
                             Incoming::Request(msg) => orb.dispatch(msg),
                             Incoming::Stop => break,
@@ -169,7 +223,7 @@ fn spawn_per_connection(
                             let handle = std::thread::Builder::new()
                                 .name(format!("{}-conn{}", orb.process(), conn.0))
                                 .spawn(move || {
-                                    while let Ok(incoming) = conn_rx.recv() {
+                                    while let Some(incoming) = recv_flushing(&conn_rx, &orb) {
                                         match incoming {
                                             Incoming::Request(msg) => orb.dispatch(msg),
                                             Incoming::Stop => break,

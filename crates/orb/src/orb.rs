@@ -150,6 +150,11 @@ impl Orb {
             // is its problem, not ours.
             let _ = reply.send(ReplyMsg { body, contexts });
         }
+        // Seal this worker's open chunk before the request stops counting
+        // as in-flight: quiescence (`pending == 0`) then implies every
+        // server-side record is visible to the collector. Runs after the
+        // reply send, so it never sits on the caller's latency path.
+        self.inner.monitor.store().flush_current_thread();
         self.inner.pending.fetch_sub(1, Ordering::SeqCst);
     }
 

@@ -357,7 +357,11 @@ impl System {
         for (idx, orb) in self.orbs.iter().enumerate() {
             let process = ProcessId(idx as u16);
             let rx = self.fabric.register(process);
-            engines.push((process, ServerEngine::start(orb.clone(), rx, self.policies[idx])));
+            let stop_tx = self.fabric.sender(process).expect("inbox just registered");
+            engines.push((
+                process,
+                ServerEngine::start(orb.clone(), rx, stop_tx, self.policies[idx]),
+            ));
         }
         *started = true;
     }
@@ -365,6 +369,31 @@ impl System {
     /// Requests currently in flight (sent but not fully dispatched).
     pub fn in_flight(&self) -> i64 {
         self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Seals the calling thread's open log chunks for every process's
+    /// store. Application (client) threads should call this at idle
+    /// points — e.g. after a batch of root invocations — so a live
+    /// monitor draining from another thread can see their records;
+    /// server-side worker threads already flush at dispatch end. Without
+    /// this, an idle client thread's tail records stay in its open chunk
+    /// until its next invocation or thread exit.
+    pub fn flush_local_logs(&self) {
+        for orb in &self.orbs {
+            orb.monitor().store().flush_current_thread();
+        }
+    }
+
+    /// Worker threads the process's engine currently tracks (live, or
+    /// finished but not yet reaped). Returns 0 when the system is not
+    /// started. Observability hook for engine lifecycle tests.
+    pub fn tracked_workers(&self, process: ProcessId) -> usize {
+        self.engines
+            .lock()
+            .iter()
+            .find(|(p, _)| *p == process)
+            .map(|(_, engine)| engine.tracked_workers())
+            .unwrap_or(0)
     }
 
     /// Waits until no requests are in flight — the "quiescent state" after

@@ -112,6 +112,12 @@ impl Fabric {
         self.inner.inboxes.write().remove(&process);
     }
 
+    /// The sending end of a registered process's inbox, e.g. for a server
+    /// engine to signal itself to stop.
+    pub fn sender(&self, process: ProcessId) -> Option<Sender<Incoming>> {
+        self.inner.inboxes.read().get(&process).cloned()
+    }
+
     /// Sends a message to a process's inbox.
     ///
     /// # Errors

@@ -204,11 +204,12 @@ impl CommercialSystem {
             if next.is_empty() {
                 continue;
             }
-            for mslot in 0..iface_methods[comp_iface[c]].len() {
+            let method_count = iface_methods[comp_iface[c]].len();
+            for slot in children[c].iter_mut().take(method_count) {
                 for _ in 0..rng.gen_range(0..=2) {
                     let target = next[rng.gen_range(0..next.len())];
                     let t_slots = iface_methods[comp_iface[target]].len();
-                    children[c][mslot].push((target, rng.gen_range(0..t_slots)));
+                    slot.push((target, rng.gen_range(0..t_slots)));
                 }
             }
         }

@@ -336,7 +336,7 @@ mod tests {
             .trees
             .iter()
             .flat_map(|t| &t.roots)
-            .any(|r| tree_has_work(r));
+            .any(tree_has_work);
         assert!(has_work, "derived harness carries timing actions");
 
         let replay_run = execute(&spec, ProbeMode::Latency);

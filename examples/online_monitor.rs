@@ -83,6 +83,9 @@ fn main() {
 
     println!("running 8 print jobs with a live monitor (alert threshold {SLOW_CALL_US}µs)…\n");
     pps.run_jobs(8);
+    // The job driver is now idle: seal its open log chunks so the
+    // monitor's final drain pass sees the tail of the run.
+    pps.system.flush_local_logs();
     done.store(true, Ordering::Relaxed);
     let (completed, alerts, leftovers) = monitor.join().expect("monitor thread");
     pps.system.shutdown();

@@ -52,7 +52,7 @@ fn main() {
         .iter()
         .map(|((iface, method), stats)| {
             (
-                format!("{}", db.vocab().method_name(*iface, *method)),
+                db.vocab().method_name(*iface, *method).to_string(),
                 stats.mean_ns,
                 stats.count,
             )

@@ -1,0 +1,142 @@
+//! Engine lifecycle integration tests: worker-handle reaping, stop-on-drop,
+//! and the paper's observation O2 (the skeleton-start probe refreshes a
+//! pooled thread's stale FTL when the thread is reused across chains).
+
+use causeway_collector::db::MonitoringDb;
+use causeway_core::event::TraceEvent;
+use causeway_core::monitor::ProbeMode;
+use causeway_core::value::Value;
+use causeway_orb::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const IDL: &str = "interface Echo { long id(in long x); };";
+
+fn echo_servant() -> Arc<dyn Servant> {
+    Arc::new(FnServant::new(|_, _, args: Vec<Value>| {
+        Ok(args.into_iter().next().unwrap_or(Value::Void))
+    }))
+}
+
+fn two_process_system(server_policy: ThreadingPolicy) -> (System, ObjRef, causeway_core::ids::ProcessId) {
+    let mut builder = System::builder();
+    builder.probe_mode(ProbeMode::CausalityOnly);
+    let node = builder.node("n", "X");
+    let client_p = builder.process("client", node, ThreadingPolicy::ThreadPerRequest);
+    let server_p = builder.process("server", node, server_policy);
+    let system = builder.build();
+    system.load_idl(IDL).unwrap();
+    let remote = system
+        .register_servant(server_p, "Echo", "E", "e#0", echo_servant())
+        .unwrap();
+    system.start();
+    (system, remote, client_p)
+}
+
+/// The per-request engine joins finished handles as new requests arrive,
+/// so a long-lived engine tracks O(live threads), not one dead handle per
+/// request ever served.
+#[test]
+fn per_request_engine_reaps_finished_worker_handles() {
+    let (system, remote, client_p) = two_process_system(ThreadingPolicy::ThreadPerRequest);
+    let client = system.client(client_p);
+    const CALLS: usize = 200;
+    for i in 0..CALLS {
+        client.begin_root();
+        let out = client.invoke(&remote, "id", vec![Value::I64(i as i64)]).unwrap();
+        assert_eq!(out.as_i64(), Some(i as i64));
+    }
+    system.quiesce(Duration::from_secs(10)).unwrap();
+    // Sequential calls: at most a couple of request threads can still be
+    // winding down when the next request reaps. Without reaping this would
+    // be exactly CALLS.
+    let tracked = system.tracked_workers(remote.owner);
+    assert!(
+        tracked <= 8,
+        "per-request engine retained {tracked} of {CALLS} finished handles"
+    );
+    system.shutdown();
+    assert_eq!(system.anomaly_count(), 0);
+}
+
+/// Dropping a started system without an explicit `shutdown` must still
+/// stop and join the engine threads: once the drop returns, nothing but
+/// the test holds the servant.
+#[test]
+fn dropping_a_started_system_joins_engine_threads() {
+    for policy in [
+        ThreadingPolicy::ThreadPerRequest,
+        ThreadingPolicy::ThreadPool(2),
+        ThreadingPolicy::ThreadPerConnection,
+    ] {
+        let mut builder = System::builder();
+        builder.probe_mode(ProbeMode::CausalityOnly);
+        let node = builder.node("n", "X");
+        let client_p = builder.process("client", node, ThreadingPolicy::ThreadPerRequest);
+        let server_p = builder.process("server", node, policy);
+        let system = builder.build();
+        system.load_idl(IDL).unwrap();
+        let servant = echo_servant();
+        let remote = system
+            .register_servant(server_p, "Echo", "E", "e#0", Arc::clone(&servant))
+            .unwrap();
+        system.start();
+        let client = system.client(client_p);
+        client.begin_root();
+        client.invoke(&remote, "id", vec![Value::I64(7)]).unwrap();
+        system.quiesce(Duration::from_secs(10)).unwrap();
+        drop(client);
+        drop(system);
+        // Engine threads each held an ORB clone and thus the registry's
+        // reference to the servant; after the drop joined them, only the
+        // test's handle remains.
+        assert_eq!(
+            Arc::strong_count(&servant),
+            1,
+            "engine threads leaked under {policy:?}"
+        );
+    }
+}
+
+/// Observation O2 end-to-end: a ThreadPool(1) server serves two different
+/// causal chains on the same physical thread. The skeleton-start probe
+/// must replace the worker's stale FTL from chain one with chain two's,
+/// so both chains come out complete, disjoint, and densely numbered.
+#[test]
+fn pooled_thread_reuse_refreshes_the_ftl() {
+    let (system, remote, client_p) = two_process_system(ThreadingPolicy::ThreadPool(1));
+    let client = system.client(client_p);
+    for i in 0..2 {
+        client.begin_root();
+        let out = client.invoke(&remote, "id", vec![Value::I64(i)]).unwrap();
+        assert_eq!(out.as_i64(), Some(i));
+    }
+    system.quiesce(Duration::from_secs(10)).unwrap();
+    system.shutdown();
+    assert_eq!(system.anomaly_count(), 0);
+    let db = MonitoringDb::from_run(system.harvest());
+
+    let uuids = db.unique_uuids().to_vec();
+    assert_eq!(uuids.len(), 2, "one chain per begin_root");
+    let mut skel_sites = Vec::new();
+    for uuid in uuids {
+        let events = db.events_for(uuid);
+        assert_eq!(
+            events.iter().map(|r| r.event).collect::<Vec<_>>(),
+            vec![
+                TraceEvent::StubStart,
+                TraceEvent::SkelStart,
+                TraceEvent::SkelEnd,
+                TraceEvent::StubEnd,
+            ],
+        );
+        // Dense per-chain numbering proves the skeleton adopted the
+        // incoming FTL rather than continuing a stale one.
+        assert_eq!(events.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        let skel = events[1];
+        skel_sites.push((skel.site.process, skel.site.thread));
+    }
+    // Pool size one: both chains really did run on the same server thread,
+    // so the disjoint numbering above exercised the refresh, not luck.
+    assert_eq!(skel_sites[0], skel_sites[1], "expected the pooled thread to be reused");
+}

@@ -47,7 +47,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
             prop::collection::vec(("[a-z]{1,6}", inner), 0..4)
-                .prop_map(|fields| Value::Struct(fields)),
+                .prop_map(Value::Struct),
         ]
     })
 }

@@ -1,0 +1,272 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: [`Criterion`],
+//! benchmark groups with `sample_size`, `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! plain wall-clock loop: each sample times a batch of iterations and the
+//! harness prints the per-sample mean, best, and worst ns/iter. There is
+//! no warm-up modeling, outlier rejection, or HTML report — adequate for
+//! the relative comparisons EXPERIMENTS.md records, not for
+//! publication-grade statistics.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level harness handle, passed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 60 }
+    }
+
+    /// Registers a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times `f`'s `Bencher::iter` body and prints ns/iter statistics.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Like [`bench_function`](Self::bench_function) but threads a borrowed
+    /// input through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_string();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Ends the group (prints a trailing newline for readability).
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: name.into(), parameter: parameter.to_string() }
+    }
+
+    /// An id with only a parameter part.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: String::new(), parameter: parameter.to_string() }
+    }
+
+    fn into_string(self) -> String {
+        if self.name.is_empty() {
+            self.parameter
+        } else {
+            format!("{}/{}", self.name, self.parameter)
+        }
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean ns/iter of each sample.
+    samples: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher { sample_size, samples: Vec::new(), total_iters: 0 }
+    }
+
+    /// Runs the benchmarked routine: calibrates a batch size targeting a
+    /// few milliseconds per sample, then times `sample_size` batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibration: grow the batch until one batch takes >= 1ms, so
+        // Instant overhead stays well under the measured time.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch = batch.saturating_mul(4);
+        }
+
+        self.samples.clear();
+        self.total_iters = 0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            self.samples.push(nanos / batch as f64);
+            self.total_iters += batch;
+        }
+    }
+
+    /// Like [`iter`](Self::iter) but the routine does its own timing: it
+    /// receives an iteration count, must perform the measured operation
+    /// that many times, and returns the elapsed time for the whole batch
+    /// (real criterion's `iter_custom` contract). The batch is calibrated
+    /// upward until one batch reports >= 1ms.
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        // Calibrate on the *minimum* of two runs per step so a one-off
+        // scheduling hiccup (e.g. a slow first thread spawn) cannot freeze
+        // the batch at a size far too small to amortize setup costs.
+        let mut batch: u64 = 1;
+        loop {
+            let elapsed = routine(batch).min(routine(batch));
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch = batch.saturating_mul(4);
+        }
+
+        self.samples.clear();
+        self.total_iters = 0;
+        for _ in 0..self.sample_size {
+            let elapsed = routine(batch);
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+            self.total_iters += batch;
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {group}/{id}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let best = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = self.samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "  {group}/{id}: {mean:>12.1} ns/iter (best {best:.1}, worst {worst:.1}, \
+             {} samples, {} iters)",
+            self.samples.len(),
+            self.total_iters,
+        );
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("test");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_custom_times_whole_batches() {
+        let mut bencher = Bencher::new(3);
+        let mut calls = Vec::new();
+        bencher.iter_custom(|iters| {
+            calls.push(iters);
+            Duration::from_millis(2)
+        });
+        assert_eq!(bencher.samples.len(), 3);
+        // Calibration runs the routine twice at batch 1, already exceeds
+        // 1ms, and every subsequent sample reuses that batch.
+        assert!(calls.iter().all(|&iters| iters == 1));
+        assert_eq!(calls.len(), 5);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_parameter() {
+        assert_eq!(BenchmarkId::new("build", 64).into_string(), "build/64");
+        assert_eq!(BenchmarkId::from_parameter("x").into_string(), "x");
+    }
+}

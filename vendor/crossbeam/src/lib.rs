@@ -1,0 +1,467 @@
+//! Minimal in-tree stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of crossbeam it actually uses: `channel` with
+//! MPMC `unbounded`/`bounded` channels (cloneable senders *and*
+//! receivers), `recv`/`recv_timeout`/`try_recv`, and a fixed-shape
+//! `select!` covering the two-receivers-plus-default-timeout pattern.
+//! Built on `std::sync` (mutex + condvar); throughput is adequate for
+//! the workloads in this repository — sealed-chunk handoff, request
+//! inboxes, reply rendezvous — which move coarse work items, not bytes.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    // `crossbeam::channel::select!` path form; the macro itself is
+    // exported at crate root by `#[macro_export]`.
+    pub use crate::select;
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    /// Carries the unsent message back to the caller.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("channel is empty and disconnected")
+                }
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when a message is enqueued or the last sender leaves.
+        readable: Condvar,
+        /// Signalled when space frees up or the last receiver leaves.
+        writable: Condvar,
+        cap: Option<usize>,
+    }
+
+    /// The sending half; cloneable (MPMC).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC) — messages go to exactly one
+    /// receiver.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `cap` queued messages; `send`
+    /// blocks while full. A `cap` of 0 is treated as 1 (this stand-in has
+    /// no rendezvous mode; nothing in the workspace uses one).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            cap,
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    fn lock<T>(inner: &Inner<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message inside [`SendError`] when every receiver has
+        /// been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = lock(&self.inner);
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.inner.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self
+                            .inner
+                            .writable
+                            .wait(state)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.inner.readable.notify_one();
+            Ok(())
+        }
+
+        /// Queued messages not yet received.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).queue.len()
+        }
+
+        /// `true` when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and every sender
+        /// has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = lock(&self.inner);
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.writable.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .inner
+                    .readable
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        /// Dequeues the next message, giving up after `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] on deadline,
+        /// [`RecvTimeoutError::Disconnected`] when empty with no senders.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = lock(&self.inner);
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.writable.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .readable
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = guard;
+            }
+        }
+
+        /// Dequeues the next message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when additionally no sender
+        /// remains.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = lock(&self.inner);
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.inner.writable.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Queued messages not yet received.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).queue.len()
+        }
+
+        /// `true` when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            lock(&self.inner).senders += 1;
+            Sender { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            lock(&self.inner).receivers += 1;
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = lock(&self.inner);
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.inner.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = lock(&self.inner);
+            state.receivers -= 1;
+            let disconnected = state.receivers == 0;
+            drop(state);
+            if disconnected {
+                self.inner.writable.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+/// Fixed-shape `select!`: two `recv` arms plus a `default(timeout)` arm —
+/// the one pattern the workspace uses (an STA thread waiting on a reply
+/// while pumping its own queue). Polls both receivers, parking briefly
+/// between rounds; a disconnected receiver makes its arm ready with
+/// `Err(RecvError)`, mirroring crossbeam. Arm bodies run *outside* the
+/// internal polling loop, so `break`/`continue`/`return` inside an arm
+/// target the caller's control flow exactly as with crossbeam.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($r1:expr) -> $p1:pat => $e1:expr,
+        recv($r2:expr) -> $p2:pat => $e2:expr,
+        default($d:expr) => $e3:expr $(,)?
+    ) => {{
+        let __deadline = ::std::time::Instant::now() + $d;
+        let mut __msg1: ::std::option::Option<
+            ::std::result::Result<_, $crate::channel::RecvError>,
+        > = ::std::option::Option::None;
+        let mut __msg2: ::std::option::Option<
+            ::std::result::Result<_, $crate::channel::RecvError>,
+        > = ::std::option::Option::None;
+        let __which: u8 = loop {
+            match $r1.try_recv() {
+                ::std::result::Result::Ok(v) => {
+                    __msg1 = ::std::option::Option::Some(::std::result::Result::Ok(v));
+                    break 0;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __msg1 = ::std::option::Option::Some(::std::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break 0;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $r2.try_recv() {
+                ::std::result::Result::Ok(v) => {
+                    __msg2 = ::std::option::Option::Some(::std::result::Result::Ok(v));
+                    break 1;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __msg2 = ::std::option::Option::Some(::std::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break 1;
+                }
+                ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            if ::std::time::Instant::now() >= __deadline {
+                break 2;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+        };
+        match __which {
+            0 => {
+                let $p1 = __msg1.take().expect("arm 0 selected");
+                $e1
+            }
+            1 => {
+                let $p2 = __msg2.take().expect("arm 1 selected");
+                $e2
+            }
+            _ => $e3,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_unblocks_on_sender_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        let t = std::thread::spawn(move || rx.recv());
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_when_receiver_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cloned_receivers_split_messages() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let a = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx1.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx2.recv() {
+            got.push(v);
+        }
+        got.extend(a.join().unwrap());
+        got.sort();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn select_picks_ready_arm_and_default() {
+        let (tx1, rx1) = unbounded::<u8>();
+        let (_tx2, rx2) = unbounded::<u8>();
+        tx1.send(7).unwrap();
+        let mut hit;
+        crate::select! {
+            recv(rx1) -> r => { assert_eq!(r, Ok(7)); hit = 1; },
+            recv(rx2) -> _r => { hit = 2; },
+            default(Duration::from_millis(5)) => { hit = 3; }
+        }
+        assert_eq!(hit, 1);
+        crate::select! {
+            recv(rx1) -> _r => { hit = 1; },
+            recv(rx2) -> _r => { hit = 2; },
+            default(Duration::from_millis(5)) => { hit = 3; }
+        }
+        assert_eq!(hit, 3);
+    }
+}

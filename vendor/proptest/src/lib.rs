@@ -1,0 +1,624 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest it actually uses: [`Strategy`] with
+//! `prop_map` / `prop_filter` / `prop_recursive`, range and tuple and
+//! `&str` (regex-lite) strategies, `prop::collection::vec`, `any`,
+//! [`prop_oneof!`], and the [`proptest!`] test runner. Cases are drawn
+//! from a deterministic per-test generator (seeded by the test's name and
+//! case index), so failures reproduce across runs. There is **no
+//! shrinking**: a failing case panics with the generated inputs left to
+//! the assertion message. That trades minimal counterexamples for zero
+//! dependencies — acceptable for an offline CI gate.
+
+use std::rc::Rc;
+
+/// Deterministic test-case generator (xoroshiro128++ core).
+pub mod test_runner {
+    /// The random source handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s0: u64,
+        s1: u64,
+    }
+
+    impl TestRng {
+        /// Builds a generator from a 64-bit seed.
+        pub fn seed_from_u64(seed: u64) -> TestRng {
+            let mut state = seed;
+            let mut mix = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let (mut s0, s1) = (mix(), mix());
+            if s0 == 0 && s1 == 0 {
+                s0 = 1;
+            }
+            TestRng { s0, s1 }
+        }
+
+        /// Seed for one named test's case: stable across runs.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for byte in test_name.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng::seed_from_u64(hash ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let (s0, mut s1) = (self.s0, self.s1);
+            let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
+            s1 ^= s0;
+            self.s0 = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
+            self.s1 = s1.rotate_left(28);
+            result
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` 0 yields 0.
+        pub fn below(&mut self, bound: usize) -> usize {
+            if bound == 0 {
+                0
+            } else {
+                (self.next_u64() % bound as u64) as usize
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Strategy combinators and base strategies.
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Applies `map` to every generated value.
+        fn prop_map<U, F>(self, map: F) -> BoxedStrategy<U>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            BoxedStrategy::new(move |rng| map(self.generate(rng)))
+        }
+
+        /// Rejects values failing `keep`, retrying (bounded; panics if the
+        /// filter rejects everything for too long).
+        fn prop_filter<F>(self, reason: &'static str, keep: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            BoxedStrategy::new(move |rng| {
+                for _ in 0..1000 {
+                    let value = self.generate(rng);
+                    if keep(&value) {
+                        return value;
+                    }
+                }
+                panic!("prop_filter retry budget exhausted: {reason}");
+            })
+        }
+
+        /// Builds a recursive strategy: `expand` receives a strategy for
+        /// the inner (shallower) cases and returns one for the next level.
+        /// `levels` bounds nesting depth; `_target_size` and `_fanout` are
+        /// accepted for source compatibility with the real crate.
+        fn prop_recursive<S, F>(
+            self,
+            levels: u32,
+            _target_size: u32,
+            _fanout: u32,
+            expand: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..levels {
+                // Each level flips between the pure leaf and one more
+                // layer of expansion, so expected depth stays small.
+                strat = union(vec![leaf.clone(), expand(strat).boxed()]);
+            }
+            strat
+        }
+
+        /// Type-erases into a cloneable boxed strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(move |rng| self.generate(rng))
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        draw: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> BoxedStrategy<T> {
+        pub(crate) fn new(draw: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+            BoxedStrategy { draw: Rc::new(draw) }
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy { draw: Rc::clone(&self.draw) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.draw)(rng)
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    /// Uniform choice among equally weighted strategies (`prop_oneof!`).
+    pub fn union<T>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+    where
+        T: 'static,
+    {
+        assert!(!arms.is_empty(), "union of zero strategies");
+        BoxedStrategy::new(move |rng| {
+            let arm = rng.below(arms.len());
+            arms[arm].generate(rng)
+        })
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {
+            $(
+                impl Strategy for Range<$ty> {
+                    type Value = $ty;
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        assert!(self.start < self.end, "strategy over empty range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                        (self.start as i128 + draw as i128) as $ty
+                    }
+                }
+
+                impl Strategy for RangeInclusive<$ty> {
+                    type Value = $ty;
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "strategy over empty range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                        (lo as i128 + draw as i128) as $ty
+                    }
+                }
+            )*
+        };
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "strategy over empty range");
+            let span = self.end - self.start;
+            let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+            self.start + draw
+        }
+    }
+
+    /// Regex-lite string strategy: supports the `X{min,max}` shapes the
+    /// workspace uses, where `X` is `.` (printable ASCII plus a sprinkle
+    /// of escapes and non-ASCII to stress encoders) or a `[a-z]`-style
+    /// class. Other patterns fall back to short alphanumeric strings.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, min, max) = parse_pattern(self).unwrap_or((CharClass::Alnum, 0, 8));
+            let len = min + rng.below(max - min + 1);
+            (0..len).map(|_| class.draw(rng)).collect()
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    enum CharClass {
+        /// `.` — mostly printable ASCII, with escapes and unicode mixed in.
+        Any,
+        /// `[lo-hi]`.
+        Span(char, char),
+        Alnum,
+    }
+
+    impl CharClass {
+        fn draw(self, rng: &mut TestRng) -> char {
+            match self {
+                CharClass::Any => match rng.below(10) {
+                    0 => *['"', '\\', '\n', '\t', '\r', '\u{0}', '\u{7f}']
+                        .get(rng.below(7))
+                        .expect("index below length"),
+                    1 => char::from_u32(0x80 + rng.below(0xFFFF) as u32).unwrap_or('\u{FFFD}'),
+                    _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+                },
+                CharClass::Span(lo, hi) => {
+                    let span = hi as u32 - lo as u32 + 1;
+                    char::from_u32(lo as u32 + rng.below(span as usize) as u32)
+                        .unwrap_or(lo)
+                }
+                CharClass::Alnum => {
+                    const ALNUM: &[u8] =
+                        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+                    ALNUM[rng.below(ALNUM.len())] as char
+                }
+            }
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Option<(CharClass, usize, usize)> {
+        let brace = pattern.rfind('{')?;
+        let (head, counts) = pattern.split_at(brace);
+        let counts = counts.strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = match counts.split_once(',') {
+            Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+            None => {
+                let n = counts.parse().ok()?;
+                (n, n)
+            }
+        };
+        let class = if head == "." {
+            CharClass::Any
+        } else {
+            let span = head.strip_prefix('[')?.strip_suffix(']')?;
+            let mut chars = span.chars();
+            let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+            if dash != '-' || chars.next().is_some() {
+                return None;
+            }
+            CharClass::Span(lo, hi)
+        };
+        (min <= max).then_some((class, min, max))
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+}
+
+/// `any::<T>()` — the default strategy for primitive types.
+pub mod arbitrary {
+    use super::strategy::{BoxedStrategy, Strategy};
+    use super::TestRng;
+
+    /// Types with a default generation recipe.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The default strategy for `T`.
+    pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+        struct AnyStrategy<T>(std::marker::PhantomData<T>);
+        impl<T> Clone for AnyStrategy<T> {
+            fn clone(&self) -> Self {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+        impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                T::arbitrary(rng)
+            }
+        }
+        AnyStrategy(std::marker::PhantomData).boxed()
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {
+            $(impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            })*
+        };
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mix plain magnitudes with special values and raw bit
+            // patterns (which include NaN and subnormals) so encoder
+            // tests meet the awkward cases.
+            match rng.next_u64() % 4 {
+                0 => f64::from_bits(rng.next_u64()),
+                1 => *[0.0, -0.0, 1.0, -1.0, f64::INFINITY, f64::NEG_INFINITY, f64::MAX]
+                    .get((rng.next_u64() % 7) as usize)
+                    .expect("index below length"),
+                _ => {
+                    let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    let scale = 10f64.powi((rng.next_u64() % 61) as i32 - 30);
+                    mantissa * scale
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32((rng.next_u64() % 0xD7FF) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::strategy::{BoxedStrategy, Strategy};
+    use std::ops::Range;
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        assert!(len.start < len.end, "vec strategy over empty length range");
+        let span = len.end - len.start;
+        let lo = len.start;
+        let element = element.boxed();
+        BoxedStrategy::new(move |rng| {
+            let count = lo + rng.below(span);
+            (0..count).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// The `prop::` alias module glob-imported from the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Runner configuration.
+pub mod config {
+    /// Mirror of `proptest::test_runner::Config` (the `cases` knob only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases drawn per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics with context; no
+/// shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` drawing `cases` deterministic inputs and running the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::config::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::config::ProptestConfig = $cfg;
+                $(let $arg = $strat;)+
+                #[allow(unused_parens)]
+                let strategies = ($($arg),+);
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    #[allow(unused_parens)]
+                    let ($($arg),+) = {
+                        let ($(ref $arg),+) = strategies;
+                        ($($crate::strategy::Strategy::generate($arg, &mut rng)),+)
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+const _: () = {
+    // Compile-time reminder that Rc keeps strategies single-threaded; the
+    // proptest! runner generates and runs on one thread, matching use.
+    fn _assert_usable(_: Rc<()>) {}
+};
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_strings_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(1);
+        let strat = (0u64..10, "[a-z]{1,6}", any::<bool>());
+        for _ in 0..200 {
+            let (n, s, _b) = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(n < 10);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(2);
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[crate::strategy::Strategy::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => {
+                    1 + children.iter().map(depth).max().unwrap_or(0)
+                }
+            }
+        }
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(3);
+        let leaf = any::<u8>().prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        for _ in 0..100 {
+            let tree = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(depth(&tree) <= 5, "depth {} too deep", depth(&tree));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn runner_draws_and_asserts(x in 0u32..50, v in prop::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(x < 50);
+            prop_assert!(v.len() < 8, "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(5);
+        let strat = (0u8..10).prop_filter("evens only", |n| n % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(crate::strategy::Strategy::generate(&strat, &mut rng) % 2, 0);
+        }
+    }
+}

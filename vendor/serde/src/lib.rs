@@ -1,0 +1,24 @@
+//! Minimal in-tree stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, and the workspace
+//! never serializes *through* serde — persistence is the hand-written
+//! `collector::jsonl` / `collector::json` pair. The `#[derive(Serialize,
+//! Deserialize)]` annotations on core data types therefore only need to
+//! parse: this crate re-exports no-op derives and declares empty marker
+//! traits of the same names so `use serde::{Serialize, Deserialize}`
+//! resolves. If a future change actually needs serde's data model, swap
+//! this vendored pair for the real crates.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

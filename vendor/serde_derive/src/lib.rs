@@ -1,0 +1,23 @@
+//! Stand-in `serde_derive`: both derives expand to an empty token stream.
+//!
+//! The workspace's persistence layer is hand-written (`collector::jsonl`
+//! and `collector::json`) and nothing consumes `Serialize`/`Deserialize`
+//! impls generically, so the derive annotations on core data types only
+//! need to *parse*. Expanding to nothing keeps every annotated type
+//! compiling without pulling the real syn/quote dependency chain into an
+//! offline build. If a future change actually serializes through serde,
+//! replace this vendored pair with the real crates.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
