@@ -6,11 +6,15 @@
 //! ```text
 //! causeway_analyze <runlog.jsonl> [--stats] [--dscg] [--latency] [--cpu]
 //!                                 [--ccsg] [--dot] [--lossy] [--max-nodes N]
+//! causeway_analyze trace <runlog.jsonl> [--lossy]
 //! ```
 //!
-//! With no view flags, `--stats --dscg` is assumed.
+//! With no view flags, `--stats --dscg` is assumed. The `trace` subcommand
+//! writes Chrome trace-event JSON to stdout — redirect it to a file and
+//! open it in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
 
 use causeway_analyzer::ccsg::Ccsg;
+use causeway_analyzer::chrome_trace;
 use causeway_analyzer::cpu::CpuAnalysis;
 use causeway_analyzer::dscg::Dscg;
 use causeway_analyzer::latency::LatencyAnalysis;
@@ -22,6 +26,7 @@ use std::process::ExitCode;
 
 struct Options {
     path: String,
+    trace: bool,
     stats: bool,
     dscg: bool,
     latency: bool,
@@ -37,8 +42,10 @@ struct Options {
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
+    let mut first_positional = true;
     let mut options = Options {
         path: String::new(),
+        trace: false,
         stats: false,
         dscg: false,
         latency: false,
@@ -73,7 +80,12 @@ fn parse_args() -> Result<Options, String> {
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}"));
             }
+            "trace" if first_positional => {
+                options.trace = true;
+                first_positional = false;
+            }
             path => {
+                first_positional = false;
                 if !options.path.is_empty() {
                     return Err("multiple input files given".into());
                 }
@@ -83,6 +95,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if options.path.is_empty() {
         return Err("no input file given".into());
+    }
+    if options.trace {
+        return Ok(options);
     }
     if !(options.stats || options.dscg || options.latency || options.cpu || options.ccsg
         || options.dot || options.chart || options.hotspots || options.histogram)
@@ -102,7 +117,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: causeway_analyze <runlog.jsonl> [--stats] [--dscg] [--latency] \
-                 [--cpu] [--ccsg] [--dot] [--chart] [--hotspots] [--histogram] [--lossy] [--max-nodes N]"
+                 [--cpu] [--ccsg] [--dot] [--chart] [--hotspots] [--histogram] [--lossy] [--max-nodes N]\n\
+                 \x20      causeway_analyze trace <runlog.jsonl> [--lossy]   Chrome trace JSON on stdout"
             );
             return ExitCode::FAILURE;
         }
@@ -139,13 +155,35 @@ fn main() -> ExitCode {
         }
     };
 
+    // Harvest-completeness diagnostic: the header says how many records the
+    // stores held when harvested; fewer in the log means the rest were
+    // stranded in unsealed per-thread chunks or lost in transit.
+    let expected_records = run.expected_records;
+    if let Some(missing) = run.missing_records() {
+        eprintln!(
+            "warning: {missing} record(s) missing — the log holds {} of {} buffered at \
+             harvest; quiesce before harvesting so every thread seals its open chunk",
+            run.len(),
+            expected_records.unwrap_or(0),
+        );
+    }
+
     let db = MonitoringDb::from_run(run);
+
+    if options.trace {
+        print!("{}", chrome_trace::export(&db));
+        return ExitCode::SUCCESS;
+    }
+
     let dscg = Dscg::build(&db);
 
     if options.stats {
         let stats = db.scale_stats();
         println!("== run statistics ==");
         println!("records:            {}", stats.total_records);
+        if let Some(expected) = expected_records {
+            println!("expected at harvest:{expected:>6}");
+        }
         println!("calls:              {}", stats.calls);
         println!("unique methods:     {}", stats.unique_methods);
         println!("unique interfaces:  {}", stats.unique_interfaces);

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod ccsg;
+pub mod chrome_trace;
 pub mod cpu;
 pub mod dscg;
 pub mod hotspot;

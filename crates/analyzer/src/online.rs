@@ -11,11 +11,68 @@
 //! runtime manager needs.
 
 use causeway_core::event::{CallKind, TraceEvent};
+use causeway_core::metrics::{Counter, Gauge, MetricsRegistry};
 use causeway_core::record::{FunctionKey, ProbeRecord};
 use causeway_core::sink::{Chunk, LogStore};
 use causeway_core::uuid::Uuid;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
 use std::time::Duration;
+
+/// Self-observability handles for on-line analysis, aggregated across every
+/// analyzer in the process (an analyzer instance is not a stable series
+/// identity — monitors create them freely).
+struct OnlineMetrics {
+    records: Counter,
+    completed: Counter,
+    abnormalities: Counter,
+    open_chains: Gauge,
+    buffered: Gauge,
+    lag: Gauge,
+}
+
+fn online_metrics() -> &'static OnlineMetrics {
+    static METRICS: OnceLock<OnlineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = MetricsRegistry::global();
+        OnlineMetrics {
+            records: r.counter(
+                "causeway_online_records_total",
+                "probe records processed by on-line analyzers",
+            ),
+            completed: r.counter(
+                "causeway_online_calls_completed_total",
+                "invocations the on-line analyzers saw complete",
+            ),
+            abnormalities: r.counter(
+                "causeway_online_abnormalities_total",
+                "abnormal Figure-4 transitions reported on-line",
+            ),
+            open_chains: r.gauge(
+                "causeway_online_open_chains",
+                "causal chains with open invocations or buffered records",
+            ),
+            buffered: r.gauge(
+                "causeway_online_resequence_buffered",
+                "records buffered waiting for out-of-order predecessors",
+            ),
+            lag: r.gauge(
+                "causeway_online_consumption_lag_records",
+                "records still in the polled store after the last poll",
+            ),
+        }
+    })
+}
+
+/// Forwards an event to the caller's sink, counting the countable ones.
+fn emit(sink: &mut impl FnMut(OnlineEvent), event: OnlineEvent) {
+    match &event {
+        OnlineEvent::CallCompleted { .. } => online_metrics().completed.add(1),
+        OnlineEvent::Abnormality { .. } => online_metrics().abnormalities.add(1),
+        OnlineEvent::ChainIdle { .. } => {}
+    }
+    sink(event);
+}
 
 /// A management event emitted by the on-line analyzer.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,8 +169,22 @@ impl OnlineAnalyzer {
         self.chains.values().map(|c| c.pending.len()).sum()
     }
 
+    /// Publishes this analyzer's instantaneous state (open chains,
+    /// re-sequencing buffer depth) to the process-global metrics registry.
+    ///
+    /// Called automatically by the batch consumption paths
+    /// ([`Self::poll_store`], [`Self::follow_store`], [`Self::drain_store`],
+    /// [`Self::finish`]); both queries walk every chain, so the per-record
+    /// [`Self::ingest`] path deliberately does not.
+    pub fn publish_metrics(&self) {
+        let m = online_metrics();
+        m.open_chains.set(self.open_chains() as i64);
+        m.buffered.set(self.buffered_records() as i64);
+    }
+
     /// Feeds one record; `sink` receives any events it triggers.
     pub fn ingest(&mut self, record: ProbeRecord, sink: &mut impl FnMut(OnlineEvent)) {
+        online_metrics().records.add(1);
         let chain = record.uuid;
         let state = self.chains.entry(chain).or_default();
         state.pending.insert(record.seq, record);
@@ -126,7 +197,7 @@ impl OnlineAnalyzer {
             Self::apply(chain, state, record, sink);
         }
         if state.stack.is_empty() && state.pending.is_empty() && state.completed_calls > 0 {
-            sink(OnlineEvent::ChainIdle { chain, completed_calls: state.completed_calls });
+            emit(sink, OnlineEvent::ChainIdle { chain, completed_calls: state.completed_calls });
         }
     }
 
@@ -148,6 +219,8 @@ impl OnlineAnalyzer {
             ingested += chunk.len();
             self.ingest_chunk(chunk, sink);
         }
+        online_metrics().lag.set(store.len() as i64);
+        self.publish_metrics();
         ingested
     }
 
@@ -190,7 +263,7 @@ impl OnlineAnalyzer {
             let mut state = self.chains.remove(&chain).expect("key listed");
             while let Some((&seq, _)) = state.pending.iter().next() {
                 if seq != state.processed + 1 {
-                    sink(OnlineEvent::Abnormality {
+                    emit(sink, OnlineEvent::Abnormality {
                         chain,
                         at_seq: seq,
                         message: format!(
@@ -204,13 +277,14 @@ impl OnlineAnalyzer {
                 Self::apply(chain, &mut state, record, sink);
             }
             for open in state.stack.drain(..).rev() {
-                sink(OnlineEvent::Abnormality {
+                emit(sink, OnlineEvent::Abnormality {
                     chain,
                     at_seq: state.processed,
                     message: format!("invocation {} never completed", open.func),
                 });
             }
         }
+        self.publish_metrics();
     }
 
     /// The incremental Figure-4 state machine (mirrors the off-line parser
@@ -252,7 +326,7 @@ impl OnlineAnalyzer {
                         child_overhead_ns: 0,
                     });
                 } else {
-                    sink(OnlineEvent::Abnormality {
+                    emit(sink, OnlineEvent::Abnormality {
                         chain,
                         at_seq: record.seq,
                         message: format!("unexpected skel_start for {}", record.func),
@@ -272,7 +346,7 @@ impl OnlineAnalyzer {
                         Self::complete_top(chain, state, sink);
                     }
                 } else {
-                    sink(OnlineEvent::Abnormality {
+                    emit(sink, OnlineEvent::Abnormality {
                         chain,
                         at_seq: record.seq,
                         message: format!("unexpected skel_end for {}", record.func),
@@ -305,10 +379,10 @@ impl OnlineAnalyzer {
                     }
                     if !is_oneway_send {
                         state.completed_calls += 1;
-                        sink(OnlineEvent::CallCompleted { chain, func, depth, latency_ns: latency });
+                        emit(sink, OnlineEvent::CallCompleted { chain, func, depth, latency_ns: latency });
                     }
                 } else {
-                    sink(OnlineEvent::Abnormality {
+                    emit(sink, OnlineEvent::Abnormality {
                         chain,
                         at_seq: record.seq,
                         message: format!("stub_end out of order for {}", record.func),
@@ -334,7 +408,7 @@ impl OnlineAnalyzer {
             _ => None,
         };
         state.completed_calls += 1;
-        sink(OnlineEvent::CallCompleted { chain, func: open.func, depth, latency_ns: latency });
+        emit(sink, OnlineEvent::CallCompleted { chain, func: open.func, depth, latency_ns: latency });
     }
 }
 

@@ -1,0 +1,98 @@
+//! Smoke O3: the self-observability layer must stay out of the hot path.
+//!
+//! Measures the probe-sink push with metrics enabled vs. disabled *in the
+//! same process* (the disabled path early-outs every handle update, which
+//! is the pre-metrics baseline cost) and fails — nonzero exit, for CI —
+//! when the enabled/disabled ratio exceeds the overhead budget.
+//!
+//! Comparing both modes at runtime instead of against a recorded number
+//! keeps the check meaningful on any machine: absolute nanoseconds vary
+//! wildly across CI hosts, the ratio does not.
+//!
+//! ```text
+//! cargo run --release -p causeway-bench --bin smoke_metrics_overhead
+//! ```
+
+use causeway_core::event::{CallKind, TraceEvent};
+use causeway_core::ids::{InterfaceId, MethodIndex, NodeId, ObjectId, ProcessId};
+use causeway_core::metrics;
+use causeway_core::record::{CallSite, FunctionKey, ProbeRecord};
+use causeway_core::sink::LogStore;
+use causeway_core::uuid::Uuid;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Enabled-vs-disabled budget for the mean push. The metrics cost is one
+/// relaxed RMW plus a 1-in-64 sampled clock pair, well under the chunk
+/// push itself; 2× leaves room for CI noise.
+const MAX_RATIO: f64 = 2.0;
+const PUSHES_PER_TRIAL: usize = 200_000;
+const TRIALS: usize = 5;
+
+fn record(store: &LogStore, seq: u64) -> ProbeRecord {
+    ProbeRecord {
+        uuid: Uuid(7),
+        seq,
+        event: TraceEvent::StubStart,
+        kind: CallKind::Sync,
+        site: CallSite {
+            node: NodeId(0),
+            process: ProcessId(0),
+            thread: store.current_thread(),
+        },
+        func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(0)),
+        wall_start: Some(seq),
+        wall_end: Some(seq + 1),
+        cpu_start: None,
+        cpu_end: None,
+        oneway_child: None,
+        oneway_parent: None,
+    }
+}
+
+/// Mean nanoseconds per push over one trial, draining afterwards so buffer
+/// growth never compounds across trials.
+fn trial(store: &LogStore) -> f64 {
+    let template = record(store, 0);
+    let started = Instant::now();
+    for seq in 0..PUSHES_PER_TRIAL as u64 {
+        let mut r = template.clone();
+        r.seq = seq;
+        store.push(black_box(r));
+    }
+    let elapsed = started.elapsed().as_nanos() as f64;
+    black_box(store.drain());
+    elapsed / PUSHES_PER_TRIAL as f64
+}
+
+fn best_of(store: &LogStore, enabled: bool) -> f64 {
+    metrics::set_enabled(enabled);
+    (0..TRIALS).map(|_| trial(store)).fold(f64::INFINITY, f64::min)
+}
+
+fn main() -> ExitCode {
+    let store = LogStore::new();
+    // Warm up the thread slot and the chunk channel in both modes.
+    metrics::set_enabled(false);
+    trial(&store);
+    metrics::set_enabled(true);
+    trial(&store);
+
+    let disabled_ns = best_of(&store, false);
+    let enabled_ns = best_of(&store, true);
+    metrics::set_enabled(true);
+    let ratio = enabled_ns / disabled_ns;
+
+    println!("probe push, best of {TRIALS}×{PUSHES_PER_TRIAL}:");
+    println!("  metrics disabled: {disabled_ns:.1} ns/push");
+    println!("  metrics enabled:  {enabled_ns:.1} ns/push");
+    println!("  ratio:            {ratio:.2}× (budget {MAX_RATIO:.1}×)");
+
+    if ratio > MAX_RATIO {
+        eprintln!("FAIL: metrics overhead {ratio:.2}× exceeds the {MAX_RATIO:.1}× budget");
+        return ExitCode::FAILURE;
+    }
+    println!("OK");
+    ExitCode::SUCCESS
+}

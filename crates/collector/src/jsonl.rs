@@ -88,6 +88,7 @@ fn read_run_impl(text: &str, lossy: bool) -> Result<(RunLog, usize), ReadError> 
     let header = parse(header_line).map_err(|source| ReadError::Json { line: 1, source })?;
     let vocab = vocab_from_json(header.get("vocab"), 1)?;
     let deployment = deployment_from_json(header.get("deployment"), 1)?;
+    let expected_records = header.get("expected_records").and_then(Json::as_u64);
 
     let mut records = Vec::new();
     let mut skipped = 0usize;
@@ -111,7 +112,9 @@ fn read_run_impl(text: &str, lossy: bool) -> Result<(RunLog, usize), ReadError> 
             Err(e) => return Err(e),
         }
     }
-    Ok((RunLog::new(records, vocab, deployment), skipped))
+    let mut run = RunLog::new(records, vocab, deployment);
+    run.expected_records = expected_records;
+    Ok((run, skipped))
 }
 
 fn u128_json(v: u128) -> Json {
@@ -137,6 +140,7 @@ fn header_json(run: &RunLog) -> Json {
     let vocab = &run.vocab;
     Json::obj([
         ("format", Json::Str("causeway-runlog-v1".into())),
+        ("expected_records", opt_u64_json(run.expected_records)),
         (
             "vocab",
             Json::obj([
@@ -458,6 +462,17 @@ mod tests {
         let text = write_run(&run);
         let restored = read_run(&text).unwrap();
         assert_eq!(restored, run);
+    }
+
+    #[test]
+    fn expected_records_round_trips_through_the_header() {
+        let mut run = sample_run();
+        run.expected_records = Some(5);
+        let restored = read_run(&write_run(&run)).unwrap();
+        assert_eq!(restored.expected_records, Some(5));
+        assert_eq!(restored, run);
+        // Logs written before the field existed read back as "unknown".
+        assert_eq!(read_run(&write_run(&sample_run())).unwrap().expected_records, None);
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct OrpcMsg {
     pub extensions: Extensions,
     /// Where the reply goes; `None` for posted (fire-and-forget) calls.
     pub reply: Option<Sender<OrpcReply>>,
+    /// When the message was enqueued to its apartment — the apartment
+    /// thread reports the wait as
+    /// `causeway_engine_queue_wait_ns{engine="com"}` at pickup.
+    pub enqueued: std::time::Instant,
 }
 
 /// An ORPC reply message.

@@ -14,6 +14,7 @@ use causeway_core::clock::{CpuClock, SystemClock, VirtualCpuClock, WallClock};
 use causeway_core::deploy::Deployment;
 use causeway_core::event::CallKind;
 use causeway_core::ids::{InterfaceId, MethodIndex, NodeId, ObjectId, ProcessId};
+use causeway_core::metrics::{EngineMetrics, MetricsRegistry};
 use causeway_core::monitor::{Monitor, ProbeMode};
 use causeway_core::names::SystemVocab;
 use causeway_core::record::FunctionKey;
@@ -25,10 +26,17 @@ use causeway_idl::parse;
 use crossbeam::channel::{Sender, bounded, unbounded};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Self-observability handles for the COM substrate (series labeled
+/// `engine="com"`), shared by every domain in the process.
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics::register(MetricsRegistry::global(), "com"))
+}
 
 /// COM domain configuration.
 #[derive(Debug, Clone)]
@@ -295,6 +303,7 @@ impl ComDomain {
                     std::thread::Builder::new()
                         .name(format!("{}-{id}-sta", self.inner.process))
                         .spawn(move || {
+                            let _worker = engine_metrics().worker();
                             let _guard = enter_sta(rx.clone(), tx);
                             while let Ok(incoming) = rx.recv() {
                                 match incoming {
@@ -314,6 +323,7 @@ impl ComDomain {
                         std::thread::Builder::new()
                             .name(format!("{}-{id}-mta{i}", self.inner.process))
                             .spawn(move || {
+                                let _worker = engine_metrics().worker();
                                 while let Ok(incoming) = rx.recv() {
                                     match incoming {
                                         AptIncoming::Call(msg) => domain.dispatch(msg),
@@ -421,11 +431,17 @@ impl ComDomain {
         let mut deployment = Deployment::new();
         let node = deployment.add_node(node_name, cpu);
         deployment.add_process("com-domain", node);
-        RunLog::new(self.drain_records(), self.inner.vocab.snapshot(), deployment)
+        let expected = self.inner.monitor.store().len() as u64;
+        let mut run = RunLog::new(self.drain_records(), self.inner.vocab.snapshot(), deployment);
+        run.expected_records = Some(expected);
+        run
     }
 
     /// Server-side dispatch on an apartment thread.
     fn dispatch(&self, msg: OrpcMsg) {
+        let m = engine_metrics();
+        m.queue_wait_ns.observe(msg.enqueued.elapsed().as_nanos() as u64);
+        let _timer = m.begin_dispatch();
         let monitor = &self.inner.monitor;
         let instrumented = self.inner.config.instrumented;
         let func = FunctionKey::new(msg.interface, msg.method, msg.target);
@@ -558,6 +574,7 @@ impl ComClient {
                 payload,
                 extensions,
                 reply: Some(reply_tx),
+                enqueued: Instant::now(),
             }))
             .is_err()
         {
@@ -678,6 +695,7 @@ impl ComClient {
             payload,
             extensions,
             reply: None,
+            enqueued: Instant::now(),
         }));
         if sent.is_err() {
             inner.pending.fetch_sub(1, Ordering::SeqCst);

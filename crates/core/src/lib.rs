@@ -67,6 +67,7 @@ pub mod event;
 pub mod ftl;
 pub mod ids;
 pub mod manual;
+pub mod metrics;
 pub mod monitor;
 pub mod names;
 pub mod record;
@@ -90,6 +91,7 @@ pub mod prelude {
         CpuTypeId, InterfaceId, LogicalThreadId, MethodIndex, NodeId, ObjectId, ProcessId,
     };
     pub use crate::manual::ManualProbe;
+    pub use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
     pub use crate::monitor::{Monitor, MonitorBuilder, ProbeMode, StubStartOutcome};
     pub use crate::names::{ComponentId, SystemVocab, VocabSnapshot};
     pub use crate::record::{CallSite, FunctionKey, ProbeRecord};

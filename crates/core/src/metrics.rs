@@ -1,0 +1,834 @@
+//! Self-observability: a lock-free runtime metrics registry.
+//!
+//! The monitor records everything about the *target* system but — before
+//! this module — nothing about itself. Yet the monitor's own health (probe
+//! push cost, chunk backlog, dispatch queue wait, analyzer consumption lag)
+//! is exactly what a production deployment needs to watch. This module is
+//! the measurement substrate: every hot path in the sink, the runtime
+//! engines, and the on-line analyzer publishes counters, gauges, and
+//! log-bucketed histograms here.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **The instrumented path must stay lock-free.** Handles
+//!    ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-wrapped atomics;
+//!    updating one is a single relaxed RMW. The registry's internal lock is
+//!    taken only at *registration* (once per metric per process) and at
+//!    *exposition* (when someone renders a snapshot).
+//! 2. **Cheap to hold.** A subsystem resolves its handles once (typically
+//!    into a `OnceLock`-initialized struct) and clones are reference
+//!    bumps, so per-thread or per-store caching is free.
+//! 3. **Disable-able.** [`set_enabled`]`(false)` turns every handle update
+//!    into a branch-and-return, which is how the overhead budget
+//!    (`smoke_metrics_overhead`, CI-enforced at ≤ 2× the uninstrumented
+//!    sink push) is measured.
+//!
+//! Naming convention (see `DESIGN.md` §5c): every metric is
+//! `causeway_<subsystem>_<quantity>[_<unit>][_total]` — `_total` for
+//! monotonic counters, `_ns` for nanosecond histograms/sums, bare names for
+//! gauges. Label sets are static and tiny (they become part of the series
+//! key); unbounded cardinality (per-store, per-chain) is aggregated away
+//! instead of labeled.
+//!
+//! # Example
+//!
+//! ```
+//! use causeway_core::metrics::MetricsRegistry;
+//! let registry = MetricsRegistry::new();
+//! let pushed = registry.counter("demo_records_pushed_total", "records pushed");
+//! pushed.inc();
+//! pushed.add(2);
+//! assert_eq!(pushed.get(), 3);
+//! assert!(registry.render_prometheus().contains("demo_records_pushed_total 3"));
+//! ```
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide metrics switch. On by default; flip off to measure the
+/// cost of the instrumentation itself (every handle update early-outs).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables every metric handle in the process.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// `true` when metric updates are being recorded.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Histogram bucket count: bucket `i` holds values `v` with
+/// `floor(log2(v)) + 1 == i` (bucket 0 holds `v == 0`), so the full `u64`
+/// range is covered.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Push-latency sampling stride in [`Counter::inc`]-driven hot paths: time
+/// one operation in [`SAMPLE_STRIDE`] rather than all of them, keeping the
+/// common case a pure counter bump. Must be a power of two.
+pub const SAMPLE_STRIDE: u64 = 64;
+
+/// A monotonically increasing counter. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter detached from any registry (for tests or optional wiring).
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds 1, returning the *previous* value (useful for sampling: time
+    /// the operation when `prev % stride == 0`).
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        if !enabled() {
+            return u64::MAX; // never matches a sampling stride of 2^k
+        }
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge detached from any registry.
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts 1.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if enabled() {
+            self.0.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (typically nanoseconds).
+/// Cloning shares the cells; observation is three relaxed RMWs.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// The bucket a value falls into: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `i` (`2^i − 1`), saturating at the
+/// top bucket.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= 64 { u64::MAX } else { (1u64 << index) - 1 }
+}
+
+impl Histogram {
+    /// A histogram detached from any registry.
+    pub fn detached() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        let core = &*self.0;
+        core.buckets[bucket_index(value).min(HISTOGRAM_BUCKETS - 1)]
+            .fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 { 0.0 } else { self.sum() as f64 / count as f64 }
+    }
+
+    /// Approximate quantile (`0.0 ..= 1.0`): the upper bound of the bucket
+    /// containing the `q`-th sample, so the estimate is within 2× of the
+    /// true value. Returns 0 with no samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.0.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// One registered series' handle.
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Series {
+    fn kind(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    /// Series keyed by rendered label set (`""` for the unlabeled series).
+    series: BTreeMap<String, Series>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// A registry of named metric families. Cloning shares state.
+///
+/// Most code uses the process-global [`MetricsRegistry::global`]; fresh
+/// registries exist for tests and for embedding several monitored systems
+/// in one process without mingling their series.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+/// Renders a label set as it will appear in the exposition
+/// (`key="value",…`), escaping `\`, `"`, and newlines per the Prometheus
+/// text format.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out
+}
+
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The process-global registry every built-in subsystem publishes to.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a counter with a static label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series exists with a different kind.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, labels, || Series::Counter(Counter::default())) {
+            Series::Counter(c) => c,
+            other => panic!("metric {name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series exists with a different kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a gauge with a static label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series exists with a different kind.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, labels, || Series::Gauge(Gauge::default())) {
+            Series::Gauge(g) => g,
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series exists with a different kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a histogram with a static label set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the series exists with a different kind.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.series(name, help, labels, || Series::Histogram(Histogram::default())) {
+            Series::Histogram(h) => h,
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        create: impl FnOnce() -> Series,
+    ) -> Series {
+        let key = label_key(labels);
+        let mut families = self.inner.families.lock();
+        let family = families
+            .entry(name.to_owned())
+            .or_insert_with(|| Family { help: help.to_owned(), series: BTreeMap::new() });
+        family.series.entry(key).or_insert_with(create).clone()
+    }
+
+    /// Looks up an existing counter's current value (exposition helpers and
+    /// tests; hot paths hold handles instead).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.find(name)? {
+            Series::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Looks up an existing gauge's current value.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        match self.find(name)? {
+            Series::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Looks up an existing histogram handle.
+    pub fn histogram_value(&self, name: &str) -> Option<Histogram> {
+        match self.find(name)? {
+            Series::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    fn find(&self, name: &str) -> Option<Series> {
+        let families = self.inner.families.lock();
+        let family = families.get(name)?;
+        // Unlabeled series first, else the sole series.
+        family
+            .series
+            .get("")
+            .or_else(|| family.series.values().next())
+            .cloned()
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (families and series in sorted order, so output is stable).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let families = self.inner.families.lock();
+        for (name, family) in families.iter() {
+            let kind = match family.series.values().next() {
+                Some(series) => series.kind(),
+                None => continue,
+            };
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels), c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels), g.get());
+                    }
+                    Series::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cumulative = 0u64;
+                        for (i, count) in counts.iter().enumerate() {
+                            cumulative += count;
+                            if *count == 0 && i != 0 {
+                                continue; // keep the exposition compact
+                            }
+                            let le = bucket_upper_bound(i);
+                            let le = if le == u64::MAX {
+                                "+Inf".to_owned()
+                            } else {
+                                le.to_string()
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                with_label(labels, "le", &le)
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cumulative}",
+                            with_label(labels, "le", "+Inf")
+                        );
+                        let _ = writeln!(out, "{name}_sum{} {}", braced(labels), h.sum());
+                        let _ = writeln!(out, "{name}_count{} {}", braced(labels), h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a compact JSON snapshot: an object keyed by series name
+    /// (labels appended in braces); counters and gauges as numbers,
+    /// histograms as `{count, sum, mean, p50, p95, max}` using the bucket
+    /// upper bounds as quantile estimates.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{");
+        let families = self.inner.families.lock();
+        let mut first = true;
+        for (name, family) in families.iter() {
+            for (labels, series) in &family.series {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\"{name}{}\":", braced_json(labels));
+                match series {
+                    Series::Counter(c) => {
+                        let _ = write!(out, "{}", c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = write!(out, "{}", g.get());
+                    }
+                    Series::Histogram(h) => {
+                        let _ = write!(
+                            out,
+                            "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{},\"max\":{}}}",
+                            h.count(),
+                            h.sum(),
+                            h.mean(),
+                            h.quantile(0.5),
+                            h.quantile(0.95),
+                            h.quantile(1.0),
+                        );
+                    }
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Dispatch-path handles shared by the runtime engines (ORB, COM, EJB).
+///
+/// Each engine registers the same family names with an `engine` label, so
+/// one Prometheus scrape compares the substrates side by side:
+/// `causeway_engine_dispatch_total{engine="orb"}` vs `{engine="ejb"}`.
+/// Worker utilization is derived as `rate(busy_ns) / workers / 1e9`.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Requests dispatched (entered a skeleton/up-call path).
+    pub dispatch: Counter,
+    /// Requests currently inside dispatch.
+    pub inflight: Gauge,
+    /// Total nanoseconds workers spent occupied by dispatches.
+    pub busy_ns: Counter,
+    /// Nanoseconds between a request's enqueue and a worker picking it up.
+    pub queue_wait_ns: Histogram,
+    /// Worker threads currently live for this engine.
+    pub workers: Gauge,
+}
+
+/// RAII span for one dispatch: counts it, marks it in flight, and on drop
+/// charges the elapsed time to the engine's busy counter — so every exit
+/// path of a dispatch function is covered.
+#[derive(Debug)]
+pub struct DispatchTimer {
+    busy_ns: Counter,
+    inflight: Gauge,
+    started: std::time::Instant,
+}
+
+impl Drop for DispatchTimer {
+    fn drop(&mut self) {
+        self.busy_ns.add(self.started.elapsed().as_nanos() as u64);
+        self.inflight.dec();
+    }
+}
+
+/// RAII handle counting one live worker thread.
+#[derive(Debug)]
+pub struct WorkerHandle(Gauge);
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
+impl EngineMetrics {
+    /// Marks a dispatch as started; drop the returned timer when it ends.
+    pub fn begin_dispatch(&self) -> DispatchTimer {
+        self.dispatch.inc();
+        self.inflight.inc();
+        DispatchTimer {
+            busy_ns: self.busy_ns.clone(),
+            inflight: self.inflight.clone(),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Marks a worker thread as live until the returned handle drops.
+    pub fn worker(&self) -> WorkerHandle {
+        self.workers.inc();
+        WorkerHandle(self.workers.clone())
+    }
+
+    /// Registers (or retrieves) the engine-labeled dispatch series.
+    pub fn register(registry: &MetricsRegistry, engine: &str) -> EngineMetrics {
+        let labels = &[("engine", engine)][..];
+        EngineMetrics {
+            dispatch: registry.counter_with(
+                "causeway_engine_dispatch_total",
+                "requests dispatched by the engine",
+                labels,
+            ),
+            inflight: registry.gauge_with(
+                "causeway_engine_inflight",
+                "requests currently inside dispatch",
+                labels,
+            ),
+            busy_ns: registry.counter_with(
+                "causeway_engine_busy_ns_total",
+                "nanoseconds workers spent occupied by dispatches",
+                labels,
+            ),
+            queue_wait_ns: registry.histogram_with(
+                "causeway_engine_queue_wait_ns",
+                "nanoseconds requests waited for a worker",
+                labels,
+            ),
+            workers: registry.gauge_with(
+                "causeway_engine_workers",
+                "live worker threads",
+                labels,
+            ),
+        }
+    }
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() { String::new() } else { format!("{{{labels}}}") }
+}
+
+fn braced_json(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", labels.replace('"', "'"))
+    }
+}
+
+fn with_label(labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        format!("{{{labels},{key}=\"{value}\"}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The enabled flag is process-global, so the one test that flips it
+    /// takes this lock exclusively while every other test holds it shared.
+    static FLAG: std::sync::RwLock<()> = std::sync::RwLock::new(());
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let _shared = FLAG.read().unwrap();
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("t_total", "a counter");
+        let g = registry.gauge("t_depth", "a gauge");
+        c.inc();
+        c.add(4);
+        g.add(3);
+        g.dec();
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 2);
+        assert_eq!(registry.counter_value("t_total"), Some(5));
+        assert_eq!(registry.gauge_value("t_depth"), Some(2));
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let _shared = FLAG.read().unwrap();
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("shared_total", "x");
+        let b = registry.counter("shared_total", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let _shared = FLAG.read().unwrap();
+        let registry = MetricsRegistry::new();
+        let a = registry.counter_with("lbl_total", "x", &[("engine", "pool")]);
+        let b = registry.counter_with("lbl_total", "x", &[("engine", "sta")]);
+        a.add(2);
+        b.add(5);
+        let text = registry.render_prometheus();
+        assert!(text.contains("lbl_total{engine=\"pool\"} 2"), "{text}");
+        assert!(text.contains("lbl_total{engine=\"sta\"} 5"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let _shared = FLAG.read().unwrap();
+        let registry = MetricsRegistry::new();
+        registry.counter("kind_total", "x");
+        registry.gauge("kind_total", "x");
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let _shared = FLAG.read().unwrap();
+        let h = Histogram::detached();
+        for v in [0u64, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 0u64.wrapping_add(1 + 2 + 3 + 4 + 1000).wrapping_add(u64::MAX));
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_upper_bound(2), 3);
+    }
+
+    #[test]
+    fn quantiles_use_bucket_upper_bounds() {
+        let _shared = FLAG.read().unwrap();
+        let h = Histogram::detached();
+        for _ in 0..99 {
+            h.observe(100); // bucket 7, upper bound 127
+        }
+        h.observe(100_000); // bucket 17, upper bound 131071
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(1.0), 131_071);
+        assert_eq!(Histogram::detached().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let _shared = FLAG.read().unwrap();
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("conc_total", "x");
+        let h = registry.histogram("conc_ns", "x");
+        let threads: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let c = c.clone();
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.observe(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), THREADS * PER_THREAD);
+        assert_eq!(h.count(), THREADS * PER_THREAD);
+        assert_eq!(h.sum(), THREADS * (PER_THREAD * (PER_THREAD - 1) / 2));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_stable() {
+        let _shared = FLAG.read().unwrap();
+        let registry = MetricsRegistry::new();
+        registry.counter("z_total", "last").add(3);
+        registry.gauge("a_depth", "first").set(2);
+        let h = registry.histogram("m_ns", "middle");
+        h.observe(0);
+        h.observe(5);
+        let expected = "\
+# HELP a_depth first
+a_depth 2
+# HELP m_ns middle
+m_ns_bucket{le=\"0\"} 1
+m_ns_bucket{le=\"7\"} 2
+m_ns_bucket{le=\"+Inf\"} 2
+m_ns_sum 5
+m_ns_count 2
+# HELP z_total last
+z_total 3
+";
+        let rendered: String = registry
+            .render_prometheus()
+            .lines()
+            .filter(|l| !l.starts_with("# TYPE"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(rendered, expected);
+        // Rendering twice without updates is byte-identical.
+        assert_eq!(registry.render_prometheus(), registry.render_prometheus());
+    }
+
+    #[test]
+    fn json_snapshot_is_parseable_shape() {
+        let _shared = FLAG.read().unwrap();
+        let registry = MetricsRegistry::new();
+        registry.counter("j_total", "x").add(7);
+        let h = registry.histogram("j_ns", "x");
+        h.observe(10);
+        let json = registry.snapshot_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"j_total\":7"), "{json}");
+        assert!(json.contains("\"j_ns\":{\"count\":1"), "{json}");
+    }
+
+    #[test]
+    fn disabled_metrics_drop_updates() {
+        let _exclusive = FLAG.write().unwrap();
+        let c = Counter::detached();
+        let g = Gauge::detached();
+        let h = Histogram::detached();
+        set_enabled(false);
+        c.inc();
+        g.inc();
+        h.observe(9);
+        set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let _shared = FLAG.read().unwrap();
+        let registry = MetricsRegistry::new();
+        registry
+            .counter_with("esc_total", "x", &[("path", "a\"b\\c\nd")])
+            .inc();
+        let text = registry.render_prometheus();
+        assert!(text.contains("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"), "{text}");
+    }
+}

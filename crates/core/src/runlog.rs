@@ -20,12 +20,21 @@ pub struct RunLog {
     pub vocab: VocabSnapshot,
     /// The node/process topology of the run.
     pub deployment: Deployment,
+    /// How many records the harvesting side *expected* to drain — the sum
+    /// of each store's buffered count captured immediately before its
+    /// drain. When this exceeds [`RunLog::len`], the difference was
+    /// stranded in unsealed per-thread chunks (a thread never reached an
+    /// idle point, or the system was harvested before quiescence); the
+    /// analyzer warns about it. `None` for logs assembled by hand or
+    /// written by older tools.
+    #[serde(default)]
+    pub expected_records: Option<u64>,
 }
 
 impl RunLog {
     /// Creates a run log.
     pub fn new(records: Vec<ProbeRecord>, vocab: VocabSnapshot, deployment: Deployment) -> RunLog {
-        RunLog { records, vocab, deployment }
+        RunLog { records, vocab, deployment, expected_records: None }
     }
 
     /// Number of records.
@@ -43,6 +52,20 @@ impl RunLog {
     /// deployment must already agree (they come from the shared system).
     pub fn merge(&mut self, other: RunLog) {
         self.records.extend(other.records);
+        // The expectation only stays meaningful when both sides carry one.
+        self.expected_records = match (self.expected_records, other.expected_records) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+    }
+
+    /// Records dropped between harvest and now: `expected_records` minus
+    /// what the log actually holds, when the expectation is known and was
+    /// missed. `None` means "no discrepancy detectable".
+    pub fn missing_records(&self) -> Option<u64> {
+        let expected = self.expected_records?;
+        let actual = self.records.len() as u64;
+        (expected > actual).then(|| expected - actual)
     }
 
     /// Appends a sealed chunk's records (streaming harvest: a collector
@@ -64,5 +87,25 @@ mod tests {
         let b = RunLog::default();
         a.merge(b);
         assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn merge_sums_expectations_only_when_both_known() {
+        let mut a = RunLog { expected_records: Some(3), ..RunLog::default() };
+        let b = RunLog { expected_records: Some(4), ..RunLog::default() };
+        a.merge(b);
+        assert_eq!(a.expected_records, Some(7));
+        a.merge(RunLog::default()); // unknown side poisons the sum
+        assert_eq!(a.expected_records, None);
+    }
+
+    #[test]
+    fn missing_records_reports_only_shortfalls() {
+        let mut run = RunLog::default();
+        assert_eq!(run.missing_records(), None, "no expectation, no verdict");
+        run.expected_records = Some(2);
+        assert_eq!(run.missing_records(), Some(2));
+        run.expected_records = Some(0);
+        assert_eq!(run.missing_records(), None, "surplus is not a loss");
     }
 }

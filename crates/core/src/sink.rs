@@ -32,15 +32,72 @@
 //! leaking OS thread handles into the data model.
 
 use crate::ids::LogicalThreadId;
+use crate::metrics::{self, Counter, Gauge, Histogram, MetricsRegistry};
 use crate::record::ProbeRecord;
 use crossbeam::channel::{Receiver, Sender, unbounded};
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::{Duration, Instant};
 
 static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Sink self-observability handles, resolved once per process against the
+/// global registry. Metrics are aggregated across stores on purpose:
+/// per-store labels would be unbounded-cardinality series (tests and
+/// short-lived systems mint store ids freely).
+struct SinkMetrics {
+    records_pushed: Counter,
+    records_drained: Counter,
+    chunks_sealed: Counter,
+    chunks_open: Gauge,
+    chunks_in_flight: Gauge,
+    push_ns: Histogram,
+    flush_requests: Counter,
+    epoch_seals: Counter,
+}
+
+fn sink_metrics() -> &'static SinkMetrics {
+    static METRICS: OnceLock<SinkMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = MetricsRegistry::global();
+        SinkMetrics {
+            records_pushed: r.counter(
+                "causeway_sink_records_pushed_total",
+                "probe records pushed into any log store",
+            ),
+            records_drained: r.counter(
+                "causeway_sink_records_drained_total",
+                "probe records handed to chunk consumers",
+            ),
+            chunks_sealed: r.counter(
+                "causeway_sink_chunks_sealed_total",
+                "chunks sealed onto the collector channel",
+            ),
+            chunks_open: r.gauge(
+                "causeway_sink_chunks_open",
+                "per-thread chunks currently accumulating records",
+            ),
+            chunks_in_flight: r.gauge(
+                "causeway_sink_chunks_in_flight",
+                "sealed chunks not yet received by a consumer (channel depth)",
+            ),
+            push_ns: r.histogram(
+                "causeway_sink_push_ns",
+                "probe push latency in nanoseconds, sampled 1 in 64",
+            ),
+            flush_requests: r.counter(
+                "causeway_sink_flush_requests_total",
+                "collector-initiated flush epochs (request_flush calls)",
+            ),
+            epoch_seals: r.counter(
+                "causeway_sink_epoch_seals_total",
+                "chunks sealed because a producer noticed a flush epoch lap",
+            ),
+        }
+    })
+}
 
 /// Records per chunk before the owning thread seals it on its own.
 ///
@@ -124,6 +181,10 @@ impl LocalSlot {
         }
         let records =
             std::mem::replace(&mut self.buf, Vec::with_capacity(CHUNK_CAPACITY));
+        let m = sink_metrics();
+        m.chunks_sealed.add(1);
+        m.chunks_open.dec();
+        m.chunks_in_flight.inc();
         // Send fails only when the store (every receiver) is gone; then
         // there is nobody left to read the records.
         let _ = self.tx.send(Chunk { thread: self.thread, records });
@@ -226,6 +287,12 @@ impl LogStore {
     /// Appends a record to the calling thread's open chunk — no lock, no
     /// hash lookup; the chunk is owned exclusively by this thread.
     pub fn push(&self, record: ProbeRecord) {
+        let m = sink_metrics();
+        // `inc` returns the previous count (or u64::MAX when metrics are
+        // off, which never hits the stride), so one push in SAMPLE_STRIDE
+        // pays for two clock reads and the rest stay a pure counter bump.
+        let sampled = m.records_pushed.inc().is_multiple_of(metrics::SAMPLE_STRIDE);
+        let push_started = if sampled { Some(Instant::now()) } else { None };
         // Count before the record can become visible to a consumer, so
         // the drain-side decrement can never outrun the increment.
         self.inner.buffered.fetch_add(1, Ordering::Relaxed);
@@ -236,14 +303,23 @@ impl LogStore {
             if slot.epoch != epoch {
                 // A collector asked for a flush since this chunk started:
                 // seal what precedes the request, then start fresh.
+                if !slot.buf.is_empty() {
+                    m.epoch_seals.add(1);
+                }
                 slot.seal();
                 slot.epoch = epoch;
             }
             slot.buf.push(record);
+            if slot.buf.len() == 1 {
+                m.chunks_open.inc();
+            }
             if slot.buf.len() >= CHUNK_CAPACITY {
                 slot.seal();
             }
         });
+        if let Some(started) = push_started {
+            m.push_ns.observe(started.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Total records currently buffered (open chunks + sealed, undrained
@@ -283,6 +359,7 @@ impl LogStore {
     /// coordinate, so a collector cannot *force* another thread's hand; it
     /// can only leave a note the producer honors on its own schedule.
     pub fn request_flush(&self) {
+        sink_metrics().flush_requests.add(1);
         self.inner.flush_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -293,9 +370,7 @@ impl LogStore {
     /// exactly once).
     pub fn try_recv_chunk(&self) -> Option<Chunk> {
         let chunk = self.inner.chunk_rx.try_recv().ok()?;
-        self.inner
-            .buffered
-            .fetch_sub(chunk.records.len() as u64, Ordering::Relaxed);
+        self.note_received(&chunk);
         Some(chunk)
     }
 
@@ -303,10 +378,19 @@ impl LogStore {
     /// to seal one.
     pub fn recv_chunk_timeout(&self, timeout: Duration) -> Option<Chunk> {
         let chunk = self.inner.chunk_rx.recv_timeout(timeout).ok()?;
+        self.note_received(&chunk);
+        Some(chunk)
+    }
+
+    /// Bookkeeping for a chunk leaving the store: the exact buffered count
+    /// and the process-global drain metrics.
+    fn note_received(&self, chunk: &Chunk) {
         self.inner
             .buffered
             .fetch_sub(chunk.records.len() as u64, Ordering::Relaxed);
-        Some(chunk)
+        let m = sink_metrics();
+        m.records_drained.add(chunk.records.len() as u64);
+        m.chunks_in_flight.dec();
     }
 
     /// Drains every currently sealed chunk, returning the records in chunk

@@ -11,6 +11,7 @@ use causeway_core::deploy::Deployment;
 use causeway_core::event::CallKind;
 use causeway_core::ftl::FunctionTxLog;
 use causeway_core::ids::{InterfaceId, NodeId, ObjectId, ProcessId};
+use causeway_core::metrics::{EngineMetrics, MetricsRegistry};
 use causeway_core::monitor::{Monitor, ProbeMode};
 use causeway_core::names::SystemVocab;
 use causeway_core::runlog::RunLog;
@@ -21,10 +22,17 @@ use causeway_idl::parse;
 use crossbeam::channel::{Receiver, Sender, bounded, unbounded};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Self-observability handles for the EJB substrate (series labeled
+/// `engine="ejb"`), shared by every container in the process.
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics::register(MetricsRegistry::global(), "ejb"))
+}
 
 /// Container configuration.
 #[derive(Debug, Clone)]
@@ -117,6 +125,9 @@ struct WorkItem {
     payload: Bytes,
     work_area: WorkArea,
     reply: Sender<WorkReply>,
+    /// Stamped at enqueue; the dispatch worker reports the wait as
+    /// `causeway_engine_queue_wait_ns{engine="ejb"}`.
+    enqueued: Instant,
 }
 
 struct WorkReply {
@@ -286,6 +297,7 @@ impl Container {
                 std::thread::Builder::new()
                     .name(format!("{}-ejb{}", self.inner.process, i))
                     .spawn(move || {
+                        let _worker = engine_metrics().worker();
                         while let Ok(msg) = rx.recv() {
                             match msg {
                                 ContainerMsg::Work(item) => container.dispatch(item),
@@ -436,12 +448,18 @@ impl Container {
         let mut deployment = Deployment::new();
         let node = deployment.add_node(node_name, cpu);
         deployment.add_process("ejb-container", node);
-        RunLog::new(self.drain_records(), self.inner.vocab.snapshot(), deployment)
+        let expected = self.inner.monitor.store().len() as u64;
+        let mut run = RunLog::new(self.drain_records(), self.inner.vocab.snapshot(), deployment);
+        run.expected_records = Some(expected);
+        run
     }
 
     /// Server-side dispatch: skeleton probe, pool checkout, interceptor
     /// chain, business method, checkin, reply.
     fn dispatch(&self, item: WorkItem) {
+        let m = engine_metrics();
+        m.queue_wait_ns.observe(item.enqueued.elapsed().as_nanos() as u64);
+        let _timer = m.begin_dispatch();
         let monitor = &self.inner.monitor;
         let instrumented = self.inner.config.instrumented;
         let func = causeway_core::record::FunctionKey::new(item.interface, item.method, item.bean);
@@ -613,6 +631,7 @@ impl EjbClient {
                 payload,
                 work_area,
                 reply: reply_tx,
+                enqueued: Instant::now(),
             }))
             .is_err()
         {

@@ -12,13 +12,40 @@
 //! additionally flush before blocking on an empty inbox, so a quiescent
 //! engine strands no records in open chunks.
 
-use crate::orb::Orb;
+use crate::orb::{Orb, engine_metrics};
 use crate::transport::{ConnKey, Incoming};
 use crossbeam::channel::{Receiver, Sender, TryRecvError, unbounded};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A message on an engine-internal queue, stamped at enqueue so the worker
+/// that picks it up can report how long it waited
+/// (`causeway_engine_queue_wait_ns{engine="orb"}`).
+struct Queued {
+    enqueued: Instant,
+    incoming: Incoming,
+}
+
+impl Queued {
+    fn now(incoming: Incoming) -> Queued {
+        Queued { enqueued: Instant::now(), incoming }
+    }
+
+    /// Records the queue wait (for requests; control messages are not a
+    /// workload) and unwraps. Call exactly once, at pickup.
+    fn claim(self) -> Incoming {
+        if matches!(self.incoming, Incoming::Request(_)) {
+            engine_metrics()
+                .queue_wait_ns
+                .observe(self.enqueued.elapsed().as_nanos() as u64);
+        }
+        self.incoming
+    }
+}
+
 
 /// The server threading policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -114,7 +141,7 @@ fn reap_finished(workers: &Mutex<Vec<JoinHandle<()>>>) {
 
 /// Receives the next message, sealing the worker's open log chunk before
 /// blocking on an empty inbox — a parked worker must not sit on records.
-fn recv_flushing(rx: &Receiver<Incoming>, orb: &Orb) -> Option<Incoming> {
+fn recv_flushing<T>(rx: &Receiver<T>, orb: &Orb) -> Option<T> {
     match rx.try_recv() {
         Ok(incoming) => Some(incoming),
         Err(TryRecvError::Disconnected) => None,
@@ -137,9 +164,17 @@ fn spawn_per_request(
                 match incoming {
                     Incoming::Request(msg) => {
                         let orb = orb.clone();
+                        // Queue wait under thread-per-request is the spawn
+                        // cost: stamp here, claim when the thread runs.
+                        let queued = Queued::now(Incoming::Request(msg));
                         let handle = std::thread::Builder::new()
                             .name(format!("{}-req", orb.process()))
-                            .spawn(move || orb.dispatch(msg))
+                            .spawn(move || {
+                                let _worker = engine_metrics().worker();
+                                if let Incoming::Request(msg) = queued.claim() {
+                                    orb.dispatch(msg);
+                                }
+                            })
                             .expect("spawn request thread");
                         // Completed requests leave finished handles behind;
                         // reap them here so a long-lived engine does not
@@ -162,7 +197,7 @@ fn spawn_pool(
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) -> JoinHandle<()> {
     let size = size.max(1);
-    let (work_tx, work_rx) = unbounded::<Incoming>();
+    let (work_tx, work_rx) = unbounded::<Queued>();
     {
         let mut guard = workers.lock();
         for i in 0..size {
@@ -171,8 +206,9 @@ fn spawn_pool(
             let handle = std::thread::Builder::new()
                 .name(format!("{}-pool{}", orb.process(), i))
                 .spawn(move || {
-                    while let Some(incoming) = recv_flushing(&work_rx, &orb) {
-                        match incoming {
+                    let _worker = engine_metrics().worker();
+                    while let Some(queued) = recv_flushing(&work_rx, &orb) {
+                        match queued.claim() {
                             Incoming::Request(msg) => orb.dispatch(msg),
                             Incoming::Stop => break,
                         }
@@ -188,13 +224,13 @@ fn spawn_pool(
             while let Ok(incoming) = rx.recv() {
                 match incoming {
                     Incoming::Request(msg) => {
-                        if work_tx.send(Incoming::Request(msg)).is_err() {
+                        if work_tx.send(Queued::now(Incoming::Request(msg))).is_err() {
                             break;
                         }
                     }
                     Incoming::Stop => {
                         for _ in 0..size {
-                            let _ = work_tx.send(Incoming::Stop);
+                            let _ = work_tx.send(Queued::now(Incoming::Stop));
                         }
                         break;
                     }
@@ -212,19 +248,20 @@ fn spawn_per_connection(
     std::thread::Builder::new()
         .name(format!("{}-acceptor", orb.process()))
         .spawn(move || {
-            let mut conns: HashMap<ConnKey, Sender<Incoming>> = HashMap::new();
+            let mut conns: HashMap<ConnKey, Sender<Queued>> = HashMap::new();
             while let Ok(incoming) = rx.recv() {
                 match incoming {
                     Incoming::Request(msg) => {
                         let conn = msg.conn;
                         let tx = conns.entry(conn).or_insert_with(|| {
-                            let (tx, conn_rx) = unbounded::<Incoming>();
+                            let (tx, conn_rx) = unbounded::<Queued>();
                             let orb = orb.clone();
                             let handle = std::thread::Builder::new()
                                 .name(format!("{}-conn{}", orb.process(), conn.0))
                                 .spawn(move || {
-                                    while let Some(incoming) = recv_flushing(&conn_rx, &orb) {
-                                        match incoming {
+                                    let _worker = engine_metrics().worker();
+                                    while let Some(queued) = recv_flushing(&conn_rx, &orb) {
+                                        match queued.claim() {
                                             Incoming::Request(msg) => orb.dispatch(msg),
                                             Incoming::Stop => break,
                                         }
@@ -234,11 +271,11 @@ fn spawn_per_connection(
                             workers.lock().push(handle);
                             tx
                         });
-                        let _ = tx.send(Incoming::Request(msg));
+                        let _ = tx.send(Queued::now(Incoming::Request(msg)));
                     }
                     Incoming::Stop => {
                         for tx in conns.values() {
-                            let _ = tx.send(Incoming::Stop);
+                            let _ = tx.send(Queued::now(Incoming::Stop));
                         }
                         break;
                     }

@@ -12,14 +12,22 @@ use bytes::Bytes;
 use causeway_core::event::CallKind;
 use causeway_core::ftl::FunctionTxLog;
 use causeway_core::ids::{NodeId, ProcessId};
+use causeway_core::metrics::{EngineMetrics, MetricsRegistry};
 use causeway_core::monitor::Monitor;
 use causeway_core::names::SystemVocab;
 use causeway_core::record::FunctionKey;
 use causeway_core::uuid::Uuid;
 use causeway_core::wire;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Self-observability handles for the ORB substrate, shared by every ORB in
+/// the process (series are labeled `engine="orb"`).
+pub(crate) fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics::register(MetricsRegistry::global(), "orb"))
+}
 
 /// Static ORB configuration, fixed at system build time.
 #[derive(Debug, Clone)]
@@ -139,6 +147,9 @@ impl Orb {
     /// transmission. Called by the server engine on whatever thread the
     /// threading policy selected.
     pub(crate) fn dispatch(&self, msg: RequestMsg) {
+        // Busy time covers the whole dispatch — including the modelled
+        // one-way transit sleep, which really does occupy the worker.
+        let _timer = engine_metrics().begin_dispatch();
         if !msg.net_delay.is_zero() {
             // One-way transit modelled on the server side because the
             // caller did not wait.

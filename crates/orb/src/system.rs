@@ -440,10 +440,17 @@ impl System {
     /// and deployment into a [`RunLog`]. Call after [`System::quiesce`].
     pub fn harvest(&self) -> RunLog {
         let mut records = Vec::new();
+        let mut expected = 0u64;
         for orb in &self.orbs {
-            records.extend(orb.monitor().store().drain());
+            let store = orb.monitor().store();
+            // Captured before the drain so the analyzer can detect records
+            // stranded in unsealed chunks (harvest before quiescence).
+            expected += store.len() as u64;
+            records.extend(store.drain());
         }
-        RunLog::new(records, self.vocab.snapshot(), self.deployment.clone())
+        let mut run = RunLog::new(records, self.vocab.snapshot(), self.deployment.clone());
+        run.expected_records = Some(expected);
+        run
     }
 
     /// Total anomalies recovered by any process's monitor (0 in healthy

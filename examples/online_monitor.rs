@@ -4,18 +4,29 @@
 //!
 //! A monitor thread drains each process's probe buffers every few
 //! milliseconds and feeds them to the incremental analyzer, which emits a
-//! latency alert the moment a slow invocation closes.
+//! latency alert the moment a slow invocation closes. While it runs, the
+//! self-observability layer (`causeway_core::metrics`) tracks the
+//! monitoring pipeline itself: the monitor prints a snapshot — ingest
+//! rate, open causal chains, consumption lag — every few drain intervals,
+//! and the full Prometheus exposition at the end.
+//!
+//! The run is also exported as a Chrome trace
+//! (`online_monitor.trace.json` in the temp directory): drop it on
+//! <https://ui.perfetto.dev> to see the causal chains as spans.
 //!
 //! ```text
 //! cargo run --example online_monitor
 //! ```
 
+use causeway::analyzer::chrome_trace;
 use causeway::analyzer::online::{OnlineAnalyzer, OnlineEvent};
+use causeway::collector::db::MonitoringDb;
+use causeway::core::metrics::MetricsRegistry;
 use causeway::core::monitor::ProbeMode;
 use causeway::workloads::{Pps, PpsConfig, PpsDeployment};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const SLOW_CALL_US: u64 = 400;
 
@@ -42,13 +53,18 @@ fn main() {
         .collect();
     let vocab = pps.system.vocab().snapshot();
     let monitor = std::thread::spawn(move || {
+        let registry = MetricsRegistry::global();
         let mut analyzer = OnlineAnalyzer::new();
         let mut alerts = 0usize;
         let mut completed = 0usize;
+        let mut kept = Vec::new();
+        let mut last_snapshot = Instant::now();
+        let mut last_records = 0u64;
         loop {
             let finished = done_monitor.load(Ordering::Relaxed);
             for store in &stores {
                 for record in store.drain() {
+                    kept.push(record.clone());
                     analyzer.ingest(record, &mut |event| match event {
                         OnlineEvent::CallCompleted { func, latency_ns, depth, .. } => {
                             completed += 1;
@@ -71,6 +87,29 @@ fn main() {
                     });
                 }
             }
+            // Per-record ingest skips the O(chains) gauge refresh; the
+            // monitor loop is the batch boundary, so refresh here.
+            analyzer.publish_metrics();
+
+            // One snapshot line per drain interval that moved records.
+            let records = registry
+                .counter_value("causeway_online_records_total")
+                .unwrap_or(0);
+            if records > last_records {
+                let rate =
+                    (records - last_records) as f64 / last_snapshot.elapsed().as_secs_f64();
+                let open = registry
+                    .gauge_value("causeway_online_open_chains")
+                    .unwrap_or(0);
+                let lag: usize = stores.iter().map(|s| s.len()).sum();
+                println!(
+                    "[metrics] {rate:>7.0} records/s | {open:>3} open chains | \
+                     {lag:>4} records lagging in buffers"
+                );
+                last_records = records;
+                last_snapshot = Instant::now();
+            }
+
             if finished {
                 break;
             }
@@ -78,7 +117,7 @@ fn main() {
         }
         let mut tail = Vec::new();
         analyzer.finish(&mut |e| tail.push(e));
-        (completed, alerts, tail.len())
+        (completed, alerts, tail.len(), kept)
     });
 
     println!("running 8 print jobs with a live monitor (alert threshold {SLOW_CALL_US}µs)…\n");
@@ -87,12 +126,33 @@ fn main() {
     // monitor's final drain pass sees the tail of the run.
     pps.system.flush_local_logs();
     done.store(true, Ordering::Relaxed);
-    let (completed, alerts, leftovers) = monitor.join().expect("monitor thread");
+    let (completed, alerts, leftovers, records) = monitor.join().expect("monitor thread");
+
+    // The streamed records plus the harvest's vocabulary/deployment make a
+    // complete run log — export it for Perfetto.
+    let mut run = pps.system.harvest();
+    run.records.extend(records);
+    let trace_path = std::env::temp_dir().join("online_monitor.trace.json");
+    std::fs::write(&trace_path, chrome_trace::export(&MonitoringDb::from_run(run)))
+        .expect("write chrome trace");
     pps.system.shutdown();
 
     println!(
         "\nlive monitor observed {completed} completed calls, raised {alerts} slow-call \
          alerts, {leftovers} end-of-run anomalies."
     );
+    println!(
+        "chrome trace written to {} — open it in https://ui.perfetto.dev\n",
+        trace_path.display()
+    );
+
+    // What the monitoring pipeline spent on itself, in Prometheus text
+    // exposition (histogram buckets elided for readability).
+    println!("== self-observability (prometheus exposition, buckets elided) ==");
+    for line in MetricsRegistry::global().render_prometheus().lines() {
+        if !line.contains("_bucket") {
+            println!("{line}");
+        }
+    }
     assert!(completed > 0);
 }

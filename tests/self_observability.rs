@@ -1,0 +1,115 @@
+//! Self-observability integration: drive a monitored ORB system end to end
+//! and verify the metrics layer saw every stage of the pipeline — probe
+//! pushes in the sink, dispatches in the engine, records and completions
+//! in the on-line analyzer — and exposes them through the Prometheus and
+//! JSON renderings.
+
+use causeway_analyzer::online::{OnlineAnalyzer, OnlineEvent};
+use causeway_collector::json;
+use causeway_core::metrics::MetricsRegistry;
+use causeway_core::monitor::ProbeMode;
+use causeway_core::value::Value;
+use causeway_orb::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const IDL: &str = r#"
+    module Print {
+        interface Stage {
+            long process(in long page);
+        };
+    };
+"#;
+
+#[test]
+fn metrics_cover_sink_engine_and_online_analyzer() {
+    let mut builder = System::builder();
+    builder.probe_mode(ProbeMode::Latency);
+    let node = builder.node("hp-k460", "HPUX");
+    let client_p = builder.process("driver", node, ThreadingPolicy::ThreadPerRequest);
+    let server_p = builder.process("press", node, ThreadingPolicy::ThreadPool(2));
+    let system = builder.build();
+    system.load_idl(IDL).unwrap();
+
+    let servant: Arc<dyn Servant> = Arc::new(FnServant::new(|_ctx, _midx, args| {
+        Ok(Value::I64(args[0].as_i64().unwrap_or(0) + 1))
+    }));
+    let press = system
+        .register_servant(server_p, "Print::Stage", "Press", "press#0", servant)
+        .unwrap();
+    system.start();
+
+    let pages = 5usize;
+    let client = system.client(client_p);
+    for page in 0..pages {
+        client.begin_root();
+        let out = client.invoke(&press, "process", vec![Value::I64(page as i64)]).unwrap();
+        assert_eq!(out.as_i64(), Some(page as i64 + 1));
+    }
+    system.quiesce(Duration::from_secs(10)).unwrap();
+    system.shutdown();
+    let run = system.harvest();
+    assert!(!run.is_empty());
+    assert_eq!(run.missing_records(), None, "quiesced harvest loses nothing");
+
+    // Stream the harvested records through the on-line analyzer so its
+    // metrics fire too.
+    let mut analyzer = OnlineAnalyzer::new();
+    let mut completed = 0usize;
+    for record in run.records.iter().cloned() {
+        analyzer.ingest(record, &mut |event| {
+            if matches!(event, OnlineEvent::CallCompleted { .. }) {
+                completed += 1;
+            }
+        });
+    }
+    let mut tail = Vec::new();
+    analyzer.finish(&mut |e| tail.push(e));
+    assert!(completed >= pages, "every page's root call completes");
+
+    let registry = MetricsRegistry::global();
+    let total = run.len() as u64;
+
+    // Sink: every probe record passed through a store.
+    assert!(registry.counter_value("causeway_sink_records_pushed_total").unwrap() >= total);
+    assert!(registry.counter_value("causeway_sink_records_drained_total").unwrap() >= total);
+    assert!(registry.counter_value("causeway_sink_chunks_sealed_total").unwrap() >= 1);
+
+    // Engine: one dispatch per server-side invocation, none left in flight,
+    // and the dispatch window cost some wall time.
+    assert!(registry.counter_value("causeway_engine_dispatch_total").unwrap() >= pages as u64);
+    assert_eq!(registry.gauge_value("causeway_engine_inflight").unwrap(), 0);
+    assert!(registry.counter_value("causeway_engine_busy_ns_total").unwrap() > 0);
+    let queue_wait = registry.histogram_value("causeway_engine_queue_wait_ns").unwrap();
+    assert!(queue_wait.count() >= pages as u64);
+
+    // On-line analyzer: saw every record, completed the calls, settled.
+    assert!(registry.counter_value("causeway_online_records_total").unwrap() >= total);
+    assert!(
+        registry.counter_value("causeway_online_calls_completed_total").unwrap()
+            >= completed as u64
+    );
+    assert_eq!(registry.gauge_value("causeway_online_open_chains").unwrap(), 0);
+    assert_eq!(registry.gauge_value("causeway_online_resequence_buffered").unwrap(), 0);
+
+    // The exposition formats carry all three subsystems.
+    let prom = registry.render_prometheus();
+    for needle in [
+        "# TYPE causeway_sink_records_pushed_total counter",
+        "causeway_engine_dispatch_total{engine=\"orb\"}",
+        "# TYPE causeway_engine_queue_wait_ns histogram",
+        "causeway_online_calls_completed_total",
+    ] {
+        assert!(prom.contains(needle), "prometheus exposition missing {needle}:\n{prom}");
+    }
+
+    let snapshot = json::parse(&registry.snapshot_json()).expect("snapshot is valid JSON");
+    assert!(snapshot.get("causeway_sink_records_pushed_total").is_some());
+    assert!(
+        snapshot
+            .get("causeway_engine_queue_wait_ns{engine='orb'}")
+            .and_then(|h| h.get("count"))
+            .is_some(),
+        "histograms snapshot as summary objects"
+    );
+}

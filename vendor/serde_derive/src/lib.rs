@@ -10,14 +10,16 @@
 
 use proc_macro::TokenStream;
 
-/// Accepts and discards a `#[derive(Serialize)]` request.
-#[proc_macro_derive(Serialize)]
+/// Accepts and discards a `#[derive(Serialize)]` request, including any
+/// `#[serde(...)]` helper attributes on the type or its fields.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Accepts and discards a `#[derive(Deserialize)]` request.
-#[proc_macro_derive(Deserialize)]
+/// Accepts and discards a `#[derive(Deserialize)]` request, including any
+/// `#[serde(...)]` helper attributes on the type or its fields.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
