@@ -6,7 +6,8 @@
 //! ```text
 //! causeway_analyze <runlog.jsonl> [--stats] [--dscg] [--latency] [--cpu]
 //!                                 [--ccsg] [--dot] [--lossy] [--max-nodes N]
-//! causeway_analyze trace <runlog.jsonl> [--lossy]
+//!                                 [--threads N]
+//! causeway_analyze trace <runlog.jsonl> [--lossy] [--threads N]
 //! ```
 //!
 //! With no view flags, `--stats --dscg` is assumed. The `trace` subcommand
@@ -22,6 +23,7 @@ use causeway_analyzer::hotspot;
 use causeway_analyzer::render::{AsciiOptions, ascii_tree, ccsg_xml, dot, sequence_chart};
 use causeway_collector::db::MonitoringDb;
 use causeway_collector::jsonl;
+use causeway_core::pool;
 use std::process::ExitCode;
 
 struct Options {
@@ -38,6 +40,7 @@ struct Options {
     histogram: bool,
     lossy: bool,
     max_nodes: usize,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -57,6 +60,7 @@ fn parse_args() -> Result<Options, String> {
         histogram: false,
         lossy: false,
         max_nodes: 50,
+        threads: pool::configured_threads(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,6 +79,13 @@ fn parse_args() -> Result<Options, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--max-nodes needs a number")?;
+            }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--threads needs a positive number")?;
             }
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with('-') => {
@@ -117,8 +128,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: causeway_analyze <runlog.jsonl> [--stats] [--dscg] [--latency] \
-                 [--cpu] [--ccsg] [--dot] [--chart] [--hotspots] [--histogram] [--lossy] [--max-nodes N]\n\
-                 \x20      causeway_analyze trace <runlog.jsonl> [--lossy]   Chrome trace JSON on stdout"
+                 [--cpu] [--ccsg] [--dot] [--chart] [--hotspots] [--histogram] [--lossy] [--max-nodes N] [--threads N]\n\
+                 \x20      causeway_analyze trace <runlog.jsonl> [--lossy] [--threads N]   Chrome trace JSON on stdout"
             );
             return ExitCode::FAILURE;
         }
@@ -133,7 +144,7 @@ fn main() -> ExitCode {
     };
 
     let run = if options.lossy {
-        match jsonl::read_run_lossy(&text) {
+        match jsonl::read_run_lossy_with_threads(&text, options.threads) {
             Ok((run, skipped)) => {
                 if skipped > 0 {
                     eprintln!("warning: skipped {skipped} corrupt record lines");
@@ -146,7 +157,7 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        match jsonl::read_run(&text) {
+        match jsonl::read_run_with_threads(&text, options.threads) {
             Ok(run) => run,
             Err(e) => {
                 eprintln!("error: {e} (try --lossy for damaged logs)");
@@ -168,14 +179,14 @@ fn main() -> ExitCode {
         );
     }
 
-    let db = MonitoringDb::from_run(run);
+    let db = MonitoringDb::from_run_with_threads(run, options.threads);
 
     if options.trace {
         print!("{}", chrome_trace::export(&db));
         return ExitCode::SUCCESS;
     }
 
-    let dscg = Dscg::build(&db);
+    let dscg = Dscg::build_with_threads(&db, options.threads);
 
     if options.stats {
         let stats = db.scale_stats();
@@ -217,7 +228,7 @@ fn main() -> ExitCode {
 
     if options.latency {
         println!("== per-method latency ==");
-        let analysis = LatencyAnalysis::compute(&dscg);
+        let analysis = LatencyAnalysis::compute_with_threads(&dscg, options.threads);
         for ((iface, method), stats) in &analysis.per_method {
             println!(
                 "{}.{}: n={} mean={:.1}µs min={:.1}µs p50={:.1}µs p95={:.1}µs max={:.1}µs",
@@ -236,7 +247,7 @@ fn main() -> ExitCode {
 
     if options.cpu {
         println!("== system-wide CPU by processor type ==");
-        let analysis = CpuAnalysis::compute(&dscg, db.deployment());
+        let analysis = CpuAnalysis::compute_with_threads(&dscg, db.deployment(), options.threads);
         for (cpu_type, ns) in analysis.system_total.iter() {
             println!(
                 "{}: {:.3} ms",
@@ -248,7 +259,7 @@ fn main() -> ExitCode {
     }
 
     if options.ccsg {
-        let ccsg = Ccsg::build(&dscg, db.deployment());
+        let ccsg = Ccsg::build_with_threads(&dscg, db.deployment(), options.threads);
         print!("{}", ccsg_xml(&ccsg, db.vocab()));
     }
 
@@ -275,7 +286,9 @@ fn main() -> ExitCode {
 
     if options.histogram {
         println!("== latency histograms ==");
-        for ((iface, method), hist) in causeway_analyzer::latency::histograms(&dscg) {
+        for ((iface, method), hist) in
+            causeway_analyzer::latency::histograms_with_threads(&dscg, options.threads)
+        {
             println!(
                 "{}.{} (n={}):",
                 db.vocab().interface_name(iface),

@@ -10,11 +10,16 @@
 use crate::cpu::{CpuVector, self_cpu_of};
 use crate::dscg::{CallNode, Dscg};
 use causeway_core::deploy::Deployment;
+use causeway_core::pool;
 use causeway_core::record::FunctionKey;
 use std::collections::BTreeMap;
 
 /// One aggregated node of the CCSG.
-#[derive(Debug, Clone)]
+///
+/// `Clone` and `Drop` are hand-written iteratively — an aggregated chain is
+/// as deep as the deepest call chain it summarizes, and the derived /
+/// compiler-generated versions would recurse once per level.
+#[derive(Debug)]
 pub struct CcsgNode {
     /// The aggregated (interface, method, object).
     pub func: FunctionKey,
@@ -34,7 +39,73 @@ pub struct CcsgNode {
 impl CcsgNode {
     /// Total nodes in this aggregated subtree.
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(CcsgNode::size).sum::<usize>()
+        let mut count = 0;
+        let mut stack = vec![self];
+        while let Some(node) = stack.pop() {
+            count += 1;
+            stack.extend(node.children.iter());
+        }
+        count
+    }
+}
+
+impl Clone for CcsgNode {
+    fn clone(&self) -> CcsgNode {
+        enum Step<'a> {
+            Enter(&'a CcsgNode),
+            Exit,
+        }
+        fn shallow(node: &CcsgNode) -> CcsgNode {
+            CcsgNode {
+                func: node.func,
+                invocation_times: node.invocation_times,
+                included_instances: node.included_instances.clone(),
+                self_cpu: node.self_cpu.clone(),
+                descendant_cpu: node.descendant_cpu.clone(),
+                children: Vec::with_capacity(node.children.len()),
+            }
+        }
+        // Two-phase build: Enter pushes a childless copy, Exit pops it into
+        // its parent (or out as the finished root).
+        let mut building: Vec<CcsgNode> = Vec::new();
+        let mut done: Option<CcsgNode> = None;
+        let mut stack = vec![Step::Enter(self)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(node) => {
+                    building.push(shallow(node));
+                    stack.push(Step::Exit);
+                    for child in node.children.iter().rev() {
+                        stack.push(Step::Enter(child));
+                    }
+                }
+                Step::Exit => {
+                    let finished = building.pop().expect("Enter pushed a copy");
+                    match building.last_mut() {
+                        Some(parent) => parent.children.push(finished),
+                        None => done = Some(finished),
+                    }
+                }
+            }
+        }
+        done.expect("root Exit ran")
+    }
+}
+
+impl Drop for CcsgNode {
+    fn drop(&mut self) {
+        // Flatten the subtree so every node drops with empty children (see
+        // `Drop for CallNode`).
+        if self.children.is_empty() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.children);
+        let mut next = 0;
+        while next < scratch.len() {
+            let grandchildren = std::mem::take(&mut scratch[next].children);
+            scratch.extend(grandchildren);
+            next += 1;
+        }
     }
 }
 
@@ -48,13 +119,27 @@ pub struct Ccsg {
 }
 
 impl Ccsg {
-    /// Builds the CCSG from a DSCG and the deployment's CPU-type map.
+    /// Builds the CCSG from a DSCG and the deployment's CPU-type map on the
+    /// configured worker pool.
     pub fn build(dscg: &Dscg, deployment: &Deployment) -> Ccsg {
+        Self::build_with_threads(dscg, deployment, pool::configured_threads())
+    }
+
+    /// Builds the CCSG using up to `threads` worker threads.
+    ///
+    /// Each tree aggregates into its own partial scaffold on the pool; the
+    /// partials then merge in tree order, so every aggregated node's
+    /// instance list accumulates in exactly the serial absorb order and the
+    /// output is bit-identical at any thread count.
+    pub fn build_with_threads(dscg: &Dscg, deployment: &Deployment, threads: usize) -> Ccsg {
+        let shards = pool::par_map(&dscg.trees, threads, |tree| {
+            let mut partial = Aggregate::default();
+            partial.absorb_tree(&tree.roots, deployment);
+            partial
+        });
         let mut builder = Aggregate::default();
-        for tree in &dscg.trees {
-            for root in &tree.roots {
-                builder.absorb(root, deployment);
-            }
+        for shard in shards {
+            builder.merge(shard);
         }
         let mut system_total = CpuVector::new();
         let roots = builder.finish(&mut system_total);
@@ -68,9 +153,14 @@ impl Ccsg {
 }
 
 /// Aggregation scaffold: merges call nodes by function key level by level.
+///
+/// Entries live in a flat arena indexed by `usize` — parent/child structure
+/// is index maps, not owned nesting — so absorbing, merging, finishing and
+/// dropping the scaffold never recurse, regardless of chain depth.
 #[derive(Debug, Default)]
 struct Aggregate {
-    by_func: BTreeMap<FunctionKey, AggregateEntry>,
+    entries: Vec<AggregateEntry>,
+    roots: BTreeMap<FunctionKey, usize>,
 }
 
 #[derive(Debug, Default)]
@@ -78,49 +168,137 @@ struct AggregateEntry {
     invocation_times: usize,
     included_instances: Vec<u64>,
     self_cpu: CpuVector,
-    children: Aggregate,
+    children: BTreeMap<FunctionKey, usize>,
 }
 
 impl Aggregate {
-    fn absorb(&mut self, node: &CallNode, deployment: &Deployment) {
-        let entry = self.by_func.entry(node.func).or_default();
-        entry.invocation_times += 1;
-        let instance_marker = node
-            .stub_start
-            .as_ref()
-            .or(node.skel_start.as_ref())
-            .map(|r| r.seq)
-            .unwrap_or(0);
-        entry.included_instances.push(instance_marker);
-        entry.self_cpu.add_vector(&self_cpu_of(node, deployment));
-        for child in &node.children {
-            entry.children.absorb(child, deployment);
+    /// The arena index for `func` under `parent` (`None` = top level),
+    /// allocating a fresh entry on first sight.
+    fn entry_index(&mut self, parent: Option<usize>, func: FunctionKey) -> usize {
+        let existing = match parent {
+            Some(p) => self.entries[p].children.get(&func).copied(),
+            None => self.roots.get(&func).copied(),
+        };
+        if let Some(index) = existing {
+            return index;
+        }
+        let index = self.entries.len();
+        self.entries.push(AggregateEntry::default());
+        match parent {
+            Some(p) => self.entries[p].children.insert(func, index),
+            None => self.roots.insert(func, index),
+        };
+        index
+    }
+
+    /// Absorbs one tree's invocations, pre-order, with an explicit stack.
+    fn absorb_tree(&mut self, roots: &[CallNode], deployment: &Deployment) {
+        enum Step<'a> {
+            Enter(&'a CallNode),
+            Exit,
+        }
+        let mut steps: Vec<Step> = roots.iter().rev().map(Step::Enter).collect();
+        // The aggregate entry each open DSCG node merged into.
+        let mut path: Vec<usize> = Vec::new();
+        while let Some(step) = steps.pop() {
+            match step {
+                Step::Enter(node) => {
+                    let index = self.entry_index(path.last().copied(), node.func);
+                    let entry = &mut self.entries[index];
+                    entry.invocation_times += 1;
+                    let instance_marker = node
+                        .stub_start
+                        .as_ref()
+                        .or(node.skel_start.as_ref())
+                        .map(|r| r.seq)
+                        .unwrap_or(0);
+                    entry.included_instances.push(instance_marker);
+                    entry.self_cpu.add_vector(&self_cpu_of(node, deployment));
+                    path.push(index);
+                    steps.push(Step::Exit);
+                    for child in node.children.iter().rev() {
+                        steps.push(Step::Enter(child));
+                    }
+                }
+                Step::Exit => {
+                    path.pop();
+                }
+            }
+        }
+    }
+
+    /// Merges another scaffold into this one. Each (path, function) entry
+    /// merges independently; the caller merges shards in tree order so
+    /// instance lists concatenate in the serial absorb order.
+    fn merge(&mut self, mut other: Aggregate) {
+        let mut stack: Vec<(FunctionKey, usize, Option<usize>)> = other
+            .roots
+            .iter()
+            .map(|(&func, &index)| (func, index, None))
+            .collect();
+        while let Some((func, other_index, parent)) = stack.pop() {
+            let entry = std::mem::take(&mut other.entries[other_index]);
+            let self_index = self.entry_index(parent, func);
+            let target = &mut self.entries[self_index];
+            target.invocation_times += entry.invocation_times;
+            target.included_instances.extend(entry.included_instances);
+            target.self_cpu.add_vector(&entry.self_cpu);
+            for (&child_func, &child_index) in &entry.children {
+                stack.push((child_func, child_index, Some(self_index)));
+            }
         }
     }
 
     /// Converts the scaffold into CCSG nodes, computing descendant CPU
-    /// bottom-up and accumulating the system-wide self-CPU total.
-    fn finish(self, system_total: &mut CpuVector) -> Vec<CcsgNode> {
-        self.by_func
-            .into_iter()
-            .map(|(func, entry)| {
-                system_total.add_vector(&entry.self_cpu);
-                let children = entry.children.finish(system_total);
-                let mut descendant = CpuVector::new();
-                for child in &children {
-                    descendant.add_vector(&child.self_cpu);
-                    descendant.add_vector(&child.descendant_cpu);
+    /// bottom-up and accumulating the system-wide self-CPU total — one
+    /// iterative two-phase pass (no recursion).
+    fn finish(mut self, system_total: &mut CpuVector) -> Vec<CcsgNode> {
+        enum Step {
+            Enter(FunctionKey, usize),
+            Exit,
+        }
+        let mut result: Vec<CcsgNode> = Vec::new();
+        let mut building: Vec<CcsgNode> = Vec::new();
+        let mut stack: Vec<Step> = self
+            .roots
+            .iter()
+            .rev()
+            .map(|(&func, &index)| Step::Enter(func, index))
+            .collect();
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(func, index) => {
+                    let entry = std::mem::take(&mut self.entries[index]);
+                    system_total.add_vector(&entry.self_cpu);
+                    stack.push(Step::Exit);
+                    for (&child_func, &child_index) in entry.children.iter().rev() {
+                        stack.push(Step::Enter(child_func, child_index));
+                    }
+                    building.push(CcsgNode {
+                        func,
+                        invocation_times: entry.invocation_times,
+                        included_instances: entry.included_instances,
+                        self_cpu: entry.self_cpu,
+                        descendant_cpu: CpuVector::new(),
+                        children: Vec::with_capacity(entry.children.len()),
+                    });
                 }
-                CcsgNode {
-                    func,
-                    invocation_times: entry.invocation_times,
-                    included_instances: entry.included_instances,
-                    self_cpu: entry.self_cpu,
-                    descendant_cpu: descendant,
-                    children,
+                Step::Exit => {
+                    let mut node = building.pop().expect("Enter pushed a node");
+                    let mut descendant = CpuVector::new();
+                    for child in &node.children {
+                        descendant.add_vector(&child.self_cpu);
+                        descendant.add_vector(&child.descendant_cpu);
+                    }
+                    node.descendant_cpu = descendant;
+                    match building.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => result.push(node),
+                    }
                 }
-            })
-            .collect()
+            }
+        }
+        result
     }
 }
 

@@ -68,8 +68,21 @@ impl Exporter<'_> {
         self.events.push(Json::obj(fields));
     }
 
-    /// Emits the events of one invocation, then recurses into children.
-    fn node(&mut self, node: &CallNode) {
+    /// Emits the events of a whole subtree, pre-order, with an explicit
+    /// stack — the per-node recursion this replaces overflowed on deep
+    /// chains.
+    fn node(&mut self, root: &CallNode) {
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            self.emit_invocation(node);
+            for child in node.children.iter().rev() {
+                stack.push(child);
+            }
+        }
+    }
+
+    /// Emits the events of one invocation (no descent).
+    fn emit_invocation(&mut self, node: &CallNode) {
         let name = self.vocab.qualified_function(&node.func);
         let id = self.next_id;
         self.next_id += 1;
@@ -116,10 +129,6 @@ impl Exporter<'_> {
         self.flow(&name, id, "request", node.stub_start.as_ref(), node.skel_start.as_ref());
         if node.kind != CallKind::Oneway {
             self.flow(&name, id, "reply", node.skel_end.as_ref(), node.stub_end.as_ref());
-        }
-
-        for child in &node.children {
-            self.node(child);
         }
     }
 

@@ -11,9 +11,10 @@
 //!    `<C_1 … C_M>` with one component per processor type.
 //! 3. Synthesis with the DSCG into the CCSG (see [`crate::ccsg`]).
 
-use crate::dscg::{CallNode, Dscg};
+use crate::dscg::{CallNode, Dscg, Visit, walk_pre_post};
 use causeway_core::deploy::Deployment;
 use causeway_core::ids::CpuTypeId;
+use causeway_core::pool;
 use std::collections::BTreeMap;
 
 /// CPU nanoseconds bucketed by processor type — the paper's `<C1..CM>`.
@@ -98,43 +99,64 @@ pub struct CpuAnalysis {
 }
 
 impl CpuAnalysis {
-    /// Runs phases 1 and 2 over the DSCG.
+    /// Runs phases 1 and 2 over the DSCG on the configured worker pool.
     pub fn compute(dscg: &Dscg, deployment: &Deployment) -> CpuAnalysis {
+        Self::compute_with_threads(dscg, deployment, pool::configured_threads())
+    }
+
+    /// Runs phases 1 and 2 using up to `threads` worker threads.
+    ///
+    /// Every tree's `SC`/`DC` roll-up is independent, so trees shard across
+    /// the pool; per-tree pre-order slices concatenate in tree order, which
+    /// is exactly the serial `Dscg::walk` alignment.
+    pub fn compute_with_threads(dscg: &Dscg, deployment: &Deployment, threads: usize) -> CpuAnalysis {
+        let shards = pool::par_map(&dscg.trees, threads, |tree| {
+            let mut slice = Vec::new();
+            let mut tree_total = CpuVector::new();
+            compute_tree(&tree.roots, deployment, &mut slice, &mut tree_total);
+            (slice, tree_total)
+        });
         let mut per_node = Vec::new();
         let mut system_total = CpuVector::new();
-        for tree in &dscg.trees {
-            for root in &tree.roots {
-                compute_node(root, deployment, &mut per_node, &mut system_total);
-            }
+        for (slice, tree_total) in shards {
+            per_node.extend(slice);
+            system_total.add_vector(&tree_total);
         }
         CpuAnalysis { per_node, system_total }
     }
 }
 
-/// Computes `SC` and `DC` for `node`, appending pre-order and returning this
-/// node's inclusive vector.
-fn compute_node(
-    node: &CallNode,
+/// Computes `SC` and `DC` for every node under `roots`, appending pre-order.
+///
+/// One iterative pre/post pass: Enter reserves the node's pre-order slot and
+/// opens an inclusive-sum frame; Exit fills the slot and folds the node's
+/// inclusive vector into its parent's frame — no recursion, so paper-scale
+/// chain depths cost heap instead of call stack.
+fn compute_tree(
+    roots: &[CallNode],
     deployment: &Deployment,
     out: &mut Vec<NodeCpu>,
     system_total: &mut CpuVector,
-) -> CpuVector {
-    // Reserve this node's slot to keep pre-order alignment.
-    let my_index = out.len();
-    out.push(NodeCpu::default());
-
-    let mut descendant = CpuVector::new();
-    for child in &node.children {
-        let inclusive = compute_node(child, deployment, out, system_total);
-        descendant.add_vector(&inclusive);
-    }
-
-    let self_cpu = self_cpu_of(node, deployment);
-    system_total.add_vector(&self_cpu);
-    let entry = NodeCpu { self_cpu, descendant_cpu: descendant };
-    let inclusive = entry.inclusive();
-    out[my_index] = entry;
-    inclusive
+) {
+    // Frame per open node: (pre-order slot, Σ children's inclusive vectors).
+    let mut frames: Vec<(usize, CpuVector)> = Vec::new();
+    walk_pre_post(roots, &mut |node, _, visit| match visit {
+        Visit::Enter => {
+            frames.push((out.len(), CpuVector::new()));
+            out.push(NodeCpu::default());
+        }
+        Visit::Exit => {
+            let (my_index, descendant) = frames.pop().expect("Enter pushed a frame");
+            let self_cpu = self_cpu_of(node, deployment);
+            system_total.add_vector(&self_cpu);
+            let entry = NodeCpu { self_cpu, descendant_cpu: descendant };
+            let inclusive = entry.inclusive();
+            out[my_index] = entry;
+            if let Some((_, parent_sum)) = frames.last_mut() {
+                parent_sum.add_vector(&inclusive);
+            }
+        }
+    });
 }
 
 /// Phase 1: `SC_F` on per-thread CPU stamps, attributed to the CPU type of

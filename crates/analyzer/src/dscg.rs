@@ -14,12 +14,17 @@
 
 use causeway_collector::db::MonitoringDb;
 use causeway_core::event::{CallKind, TraceEvent};
+use causeway_core::pool;
 use causeway_core::record::{FunctionKey, ProbeRecord};
 use causeway_core::uuid::Uuid;
 use std::collections::HashMap;
 
 /// One reconstructed invocation in the call graph.
-#[derive(Debug, Clone)]
+///
+/// `Clone`, `PartialEq` and `Drop` are hand-written iteratively: the derived
+/// (or compiler-generated) versions recurse once per tree level and overflow
+/// the stack on paper-scale chain depths.
+#[derive(Debug)]
 pub struct CallNode {
     /// What was invoked.
     pub func: FunctionKey,
@@ -57,28 +62,153 @@ impl CallNode {
 
     /// Total number of nodes in this subtree (including self).
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(CallNode::size).sum::<usize>()
+        let mut count = 0;
+        let mut stack = vec![self];
+        while let Some(node) = stack.pop() {
+            count += 1;
+            stack.extend(node.children.iter());
+        }
+        count
     }
 
     /// Depth of this subtree (a leaf has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(CallNode::depth).max().unwrap_or(0)
+        let mut max = 0;
+        let mut stack = vec![(self, 1usize)];
+        while let Some((node, depth)) = stack.pop() {
+            max = max.max(depth);
+            stack.extend(node.children.iter().map(|c| (c, depth + 1)));
+        }
+        max
     }
 
     /// Depth-first pre-order traversal.
     pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a CallNode, usize)) {
-        fn inner<'a>(node: &'a CallNode, depth: usize, f: &mut impl FnMut(&'a CallNode, usize)) {
-            f(node, depth);
-            for child in &node.children {
-                inner(child, depth + 1, f);
+        walk_nodes(std::slice::from_ref(self), f);
+    }
+}
+
+/// Which side of a node's subtree a [`walk_pre_post`] visit is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visit {
+    /// Before the node's children.
+    Enter,
+    /// After all of the node's children.
+    Exit,
+}
+
+/// Iterative depth-first pre-order traversal over sibling roots.
+///
+/// The callback sees each node with its depth (roots are depth 0) in exactly
+/// the order the old per-level recursion produced, but with an explicit work
+/// stack — deep chains cost heap, not call-stack frames.
+pub fn walk_nodes<'a>(roots: &'a [CallNode], f: &mut impl FnMut(&'a CallNode, usize)) {
+    let mut stack: Vec<(&'a CallNode, usize)> = roots.iter().rev().map(|r| (r, 0)).collect();
+    while let Some((node, depth)) = stack.pop() {
+        f(node, depth);
+        for child in node.children.iter().rev() {
+            stack.push((child, depth + 1));
+        }
+    }
+}
+
+/// Iterative depth-first traversal delivering both [`Visit::Enter`] (before a
+/// node's children) and [`Visit::Exit`] (after all of them).
+///
+/// This is the one traversal shape every recursive analyzer pass shares —
+/// CPU roll-up, CCSG aggregation, XML rendering, replay-spec derivation —
+/// expressed without per-level stack frames. Roots are depth 0.
+pub fn walk_pre_post<'a>(roots: &'a [CallNode], f: &mut impl FnMut(&'a CallNode, usize, Visit)) {
+    let mut stack: Vec<(&'a CallNode, usize, Visit)> =
+        roots.iter().rev().map(|r| (r, 0, Visit::Enter)).collect();
+    while let Some((node, depth, visit)) = stack.pop() {
+        match visit {
+            Visit::Enter => {
+                f(node, depth, Visit::Enter);
+                stack.push((node, depth, Visit::Exit));
+                for child in node.children.iter().rev() {
+                    stack.push((child, depth + 1, Visit::Enter));
+                }
+            }
+            Visit::Exit => f(node, depth, Visit::Exit),
+        }
+    }
+}
+
+impl Clone for CallNode {
+    fn clone(&self) -> CallNode {
+        fn shallow(node: &CallNode) -> CallNode {
+            CallNode {
+                func: node.func,
+                kind: node.kind,
+                stub_start: node.stub_start.clone(),
+                skel_start: node.skel_start.clone(),
+                skel_end: node.skel_end.clone(),
+                stub_end: node.stub_end.clone(),
+                children: Vec::with_capacity(node.children.len()),
+                complete: node.complete,
             }
         }
-        inner(self, 0, f);
+        // Two-phase build: on Enter push a childless copy, on Exit pop it
+        // into its parent (or out as the finished root).
+        let mut building: Vec<CallNode> = Vec::new();
+        let mut done: Option<CallNode> = None;
+        walk_pre_post(std::slice::from_ref(self), &mut |node, _, visit| match visit {
+            Visit::Enter => building.push(shallow(node)),
+            Visit::Exit => {
+                let finished = building.pop().expect("Enter pushed a copy");
+                match building.last_mut() {
+                    Some(parent) => parent.children.push(finished),
+                    None => done = Some(finished),
+                }
+            }
+        });
+        done.expect("root Exit ran")
+    }
+}
+
+impl PartialEq for CallNode {
+    fn eq(&self, other: &CallNode) -> bool {
+        let mut stack = vec![(self, other)];
+        while let Some((a, b)) = stack.pop() {
+            if a.func != b.func
+                || a.kind != b.kind
+                || a.complete != b.complete
+                || a.stub_start != b.stub_start
+                || a.skel_start != b.skel_start
+                || a.skel_end != b.skel_end
+                || a.stub_end != b.stub_end
+                || a.children.len() != b.children.len()
+            {
+                return false;
+            }
+            stack.extend(a.children.iter().zip(b.children.iter()));
+        }
+        true
+    }
+}
+
+impl Eq for CallNode {}
+
+impl Drop for CallNode {
+    fn drop(&mut self) {
+        // Flatten the subtree into a scratch list first, so every node
+        // reaches the compiler-generated drop glue with empty children.
+        if self.children.is_empty() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.children);
+        let mut next = 0;
+        while next < scratch.len() {
+            let grandchildren = std::mem::take(&mut scratch[next].children);
+            scratch.extend(grandchildren);
+            next += 1;
+        }
     }
 }
 
 /// One causal chain unfolded into a tree (the paper's `T_i`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallTree {
     /// The chain's Function UUID.
     pub chain: Uuid,
@@ -107,7 +237,7 @@ pub struct Abnormality {
 }
 
 /// The Dynamic System Call Graph: the grouping of every chain's tree.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Dscg {
     /// Root trees in chain-first-appearance order. One-way child chains are
     /// grafted under their fork sites and do not appear here separately.
@@ -117,14 +247,40 @@ pub struct Dscg {
 }
 
 impl Dscg {
-    /// Reconstructs the DSCG from a monitoring database.
+    /// Reconstructs the DSCG from a monitoring database on the configured
+    /// worker pool (see [`causeway_core::pool::configured_threads`]).
     pub fn build(db: &MonitoringDb) -> Dscg {
+        Self::build_with_threads(db, pool::configured_threads())
+    }
+
+    /// Reconstructs the DSCG on the caller's thread only — the reference
+    /// the parallel build is checked against.
+    pub fn build_serial(db: &MonitoringDb) -> Dscg {
+        Self::build_with_threads(db, 1)
+    }
+
+    /// Reconstructs the DSCG using up to `threads` worker threads.
+    ///
+    /// Chains are sharded by Function UUID — causal identity — so every
+    /// chain parses independently; per-chain trees and abnormality lists
+    /// then merge back in the existing chain-first-appearance order, which
+    /// makes the output bit-identical at any thread count. The grafting of
+    /// one-way child chains is a cross-chain fix-up and stays serial (it is
+    /// O(nodes moved), a small fraction of parse cost).
+    pub fn build_with_threads(db: &MonitoringDb, threads: usize) -> Dscg {
+        let uuids = db.unique_uuids();
+        // Parse every chain independently on the pool; each shard returns
+        // its tree plus the abnormalities it alone observed.
+        let shards = pool::par_map(uuids, threads, |&uuid| {
+            let mut local = Vec::new();
+            let chain = parse_chain(uuid, &db.events_for(uuid), &mut local);
+            (chain, local)
+        });
         let mut abnormalities = Vec::new();
-        // Parse every chain independently.
-        let mut parsed: HashMap<Uuid, ParsedChain> = HashMap::new();
-        for &uuid in db.unique_uuids() {
-            let events = db.events_for(uuid);
-            parsed.insert(uuid, parse_chain(uuid, &events, &mut abnormalities));
+        let mut parsed: HashMap<Uuid, ParsedChain> = HashMap::with_capacity(shards.len());
+        for (&uuid, (chain, local)) in uuids.iter().zip(shards) {
+            abnormalities.extend(local);
+            parsed.insert(uuid, chain);
         }
 
         // Graft one-way child chains under their fork sites. A chain is a
@@ -161,62 +317,56 @@ impl Dscg {
             .filter(|u| parsed.contains_key(u))
             .collect();
 
-        // Build final trees: graft recursively into parsed chains.
+        // Build final trees: graft child chains into parsed chains with an
+        // explicit work stack (deep trees must not recurse). Each popped
+        // node is grafted if it is a fork site, then its children — the
+        // freshly grafted subtree included — are pushed, so nested one-way
+        // chains attach transitively exactly as the old recursion did.
         fn graft_into(
-            node: &mut CallNode,
+            roots: &mut [CallNode],
             children_by_id: &mut HashMap<Uuid, ParsedChain>,
             abnormalities: &mut Vec<Abnormality>,
         ) {
-            // First recurse into existing children.
-            for child in &mut node.children {
-                graft_into(child, children_by_id, abnormalities);
-            }
-            if node.kind == CallKind::Oneway {
-                if let Some(child_id) = node.stub_start.as_ref().and_then(|r| r.oneway_child) {
-                    if let Some(mut chain) = children_by_id.remove(&child_id) {
-                        match chain.roots.len() {
-                            0 => {
-                                // The message never arrived (lost one-way):
-                                // nothing to graft; the node stays skel-less.
-                            }
-                            1 => {
-                                let mut root = chain.roots.pop().expect("len checked");
-                                for grand in &mut root.children {
-                                    graft_into(grand, children_by_id, abnormalities);
+            let mut stack: Vec<&mut CallNode> = roots.iter_mut().collect();
+            while let Some(node) = stack.pop() {
+                if node.kind == CallKind::Oneway {
+                    if let Some(child_id) = node.stub_start.as_ref().and_then(|r| r.oneway_child) {
+                        if let Some(mut chain) = children_by_id.remove(&child_id) {
+                            match chain.roots.len() {
+                                0 => {
+                                    // The message never arrived (lost one-way):
+                                    // nothing to graft; the node stays skel-less.
                                 }
-                                node.skel_start = root.skel_start;
-                                node.skel_end = root.skel_end;
-                                node.children = root.children;
-                                node.complete = node.complete && root.complete;
-                            }
-                            n => {
-                                abnormalities.push(Abnormality {
-                                    chain: child_id,
-                                    at_seq: None,
-                                    message: format!(
-                                        "one-way child chain has {n} roots, expected 1"
-                                    ),
-                                });
-                                // Keep them all as children of the fork node.
-                                for mut root in chain.roots {
-                                    for grand in &mut root.children {
-                                        graft_into(grand, children_by_id, abnormalities);
-                                    }
-                                    node.children.push(root);
+                                1 => {
+                                    let mut root = chain.roots.pop().expect("len checked");
+                                    node.skel_start = root.skel_start.take();
+                                    node.skel_end = root.skel_end.take();
+                                    node.children = std::mem::take(&mut root.children);
+                                    node.complete = node.complete && root.complete;
+                                }
+                                n => {
+                                    abnormalities.push(Abnormality {
+                                        chain: child_id,
+                                        at_seq: None,
+                                        message: format!(
+                                            "one-way child chain has {n} roots, expected 1"
+                                        ),
+                                    });
+                                    // Keep them all as children of the fork node.
+                                    node.children.append(&mut chain.roots);
                                 }
                             }
                         }
                     }
                 }
+                stack.extend(node.children.iter_mut());
             }
         }
 
         for uuid in order.drain(..) {
             let mut chain = parsed.remove(&uuid).expect("filtered to parsed chains");
-            for root in &mut chain.roots {
-                graft_into(root, &mut children_by_id, &mut abnormalities);
-            }
-            trees.push(CallTree { chain: uuid, roots: chain.roots });
+            graft_into(&mut chain.roots, &mut children_by_id, &mut abnormalities);
+            trees.push(CallTree { chain: uuid, roots: std::mem::take(&mut chain.roots) });
         }
 
         // Orphaned child chains (their fork record was lost): surface them

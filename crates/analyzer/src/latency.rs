@@ -13,9 +13,10 @@
 //! and `{1,4}` for one-way children (whose skeleton probes run elsewhere and
 //! do not occupy the caller's window).
 
-use crate::dscg::{CallNode, Dscg};
+use crate::dscg::{CallNode, Dscg, walk_nodes};
 use causeway_core::event::CallKind;
 use causeway_core::ids::{InterfaceId, MethodIndex};
+use causeway_core::pool;
 use std::collections::BTreeMap;
 
 /// Latency of a single invocation, ns.
@@ -110,17 +111,38 @@ pub struct LatencyAnalysis {
 }
 
 impl LatencyAnalysis {
-    /// Computes per-method statistics across every invocation in the DSCG.
+    /// Computes per-method statistics across every invocation in the DSCG on
+    /// the configured worker pool.
     pub fn compute(dscg: &Dscg) -> LatencyAnalysis {
-        let mut samples: BTreeMap<(InterfaceId, MethodIndex), Vec<NodeLatency>> = BTreeMap::new();
-        dscg.walk(&mut |node, _| {
-            if let Some(lat) = node_latency(node) {
-                samples
-                    .entry((node.func.interface, node.func.method))
-                    .or_default()
-                    .push(lat);
-            }
+        Self::compute_with_threads(dscg, pool::configured_threads())
+    }
+
+    /// Computes per-method statistics using up to `threads` worker threads.
+    ///
+    /// Trees shard across the pool; each shard collects its `L(F)` samples
+    /// in walk order, and the merge appends shard maps in tree order — the
+    /// exact sample sequence the serial walk produces, so the (stable) sort
+    /// and percentile math below yield bit-identical statistics.
+    pub fn compute_with_threads(dscg: &Dscg, threads: usize) -> LatencyAnalysis {
+        let shard_maps = pool::par_map(&dscg.trees, threads, |tree| {
+            let mut samples: BTreeMap<(InterfaceId, MethodIndex), Vec<NodeLatency>> =
+                BTreeMap::new();
+            walk_nodes(&tree.roots, &mut |node, _| {
+                if let Some(lat) = node_latency(node) {
+                    samples
+                        .entry((node.func.interface, node.func.method))
+                        .or_default()
+                        .push(lat);
+                }
+            });
+            samples
         });
+        let mut samples: BTreeMap<(InterfaceId, MethodIndex), Vec<NodeLatency>> = BTreeMap::new();
+        for map in shard_maps {
+            for (key, values) in map {
+                samples.entry(key).or_default().extend(values);
+            }
+        }
         let per_method = samples
             .into_iter()
             .map(|(key, mut values)| {
@@ -339,6 +361,14 @@ impl LatencyHistogram {
         self.buckets.get(i).copied().unwrap_or(0)
     }
 
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
     /// An approximate quantile (`q` in `[0, 1]`): the upper bound of the
     /// bucket containing the q-th sample.
     pub fn quantile_ns(&self, q: f64) -> u64 {
@@ -398,18 +428,39 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// Per-method latency histograms over a whole DSCG.
+/// Per-method latency histograms over a whole DSCG, computed on the
+/// configured worker pool.
 pub fn histograms(
     dscg: &Dscg,
 ) -> BTreeMap<(InterfaceId, MethodIndex), LatencyHistogram> {
-    let mut out: BTreeMap<(InterfaceId, MethodIndex), LatencyHistogram> = BTreeMap::new();
-    dscg.walk(&mut |node, _| {
-        if let Some(lat) = node_latency(node) {
-            out.entry((node.func.interface, node.func.method))
-                .or_default()
-                .record(lat.latency_ns);
-        }
+    histograms_with_threads(dscg, pool::configured_threads())
+}
+
+/// Per-method latency histograms using up to `threads` worker threads.
+/// Bucket counts are order-insensitive sums, so any merge order yields the
+/// serial result.
+pub fn histograms_with_threads(
+    dscg: &Dscg,
+    threads: usize,
+) -> BTreeMap<(InterfaceId, MethodIndex), LatencyHistogram> {
+    let shard_maps = pool::par_map(&dscg.trees, threads, |tree| {
+        let mut shard: BTreeMap<(InterfaceId, MethodIndex), LatencyHistogram> = BTreeMap::new();
+        walk_nodes(&tree.roots, &mut |node, _| {
+            if let Some(lat) = node_latency(node) {
+                shard
+                    .entry((node.func.interface, node.func.method))
+                    .or_default()
+                    .record(lat.latency_ns);
+            }
+        });
+        shard
     });
+    let mut out: BTreeMap<(InterfaceId, MethodIndex), LatencyHistogram> = BTreeMap::new();
+    for map in shard_maps {
+        for (key, hist) in map {
+            out.entry(key).or_default().merge(&hist);
+        }
+    }
     out
 }
 

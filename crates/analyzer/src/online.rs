@@ -12,6 +12,7 @@
 
 use causeway_core::event::{CallKind, TraceEvent};
 use causeway_core::metrics::{Counter, Gauge, MetricsRegistry};
+use causeway_core::pool;
 use causeway_core::record::{FunctionKey, ProbeRecord};
 use causeway_core::sink::{Chunk, LogStore};
 use causeway_core::uuid::Uuid;
@@ -206,6 +207,71 @@ impl OnlineAnalyzer {
     pub fn ingest_chunk(&mut self, chunk: Chunk, sink: &mut impl FnMut(OnlineEvent)) {
         for record in chunk.records {
             self.ingest(record, sink);
+        }
+    }
+
+    /// Feeds a batch of records, processing distinct chains in parallel on
+    /// [`pool::configured_threads`] workers.
+    pub fn ingest_batch(&mut self, records: Vec<ProbeRecord>, sink: &mut impl FnMut(OnlineEvent)) {
+        self.ingest_batch_with_threads(records, pool::configured_threads(), sink);
+    }
+
+    /// Like [`Self::ingest_batch`] with an explicit worker count.
+    ///
+    /// The batch is sharded by chain (Function UUID) — a chain's records are
+    /// applied by exactly one worker, against that chain's carried-over
+    /// state — and events reach `sink` grouped by chain in the batch's
+    /// first-appearance order, so the output is identical at any thread
+    /// count. Within one chain the event stream matches per-record
+    /// [`Self::ingest`] calls, except that [`OnlineEvent::ChainIdle`] is
+    /// evaluated once per chain at the end of the batch instead of after
+    /// every record.
+    pub fn ingest_batch_with_threads(
+        &mut self,
+        records: Vec<ProbeRecord>,
+        threads: usize,
+        sink: &mut impl FnMut(OnlineEvent),
+    ) {
+        online_metrics().records.add(records.len() as u64);
+        // Shard by chain in first-appearance order.
+        let mut shard_of: HashMap<Uuid, usize> = HashMap::new();
+        let mut shards: Vec<(Uuid, Vec<ProbeRecord>)> = Vec::new();
+        for record in records {
+            let idx = *shard_of.entry(record.uuid).or_insert_with(|| {
+                shards.push((record.uuid, Vec::new()));
+                shards.len() - 1
+            });
+            shards[idx].1.push(record);
+        }
+        // Move each touched chain's state out to its worker.
+        let work: Vec<(Uuid, ChainState, Vec<ProbeRecord>)> = shards
+            .into_iter()
+            .map(|(uuid, recs)| (uuid, self.chains.remove(&uuid).unwrap_or_default(), recs))
+            .collect();
+        let done = pool::par_map_vec(work, threads, |(chain, mut state, recs)| {
+            let mut events = Vec::new();
+            for record in recs {
+                state.pending.insert(record.seq, record);
+                // Drain the contiguous prefix, as `ingest` does.
+                while let Some(record) = {
+                    let next = state.processed + 1;
+                    state.pending.remove(&next)
+                } {
+                    state.processed = record.seq;
+                    Self::apply(chain, &mut state, record, &mut |e| events.push(e));
+                }
+            }
+            if state.stack.is_empty() && state.pending.is_empty() && state.completed_calls > 0 {
+                events
+                    .push(OnlineEvent::ChainIdle { chain, completed_calls: state.completed_calls });
+            }
+            (chain, state, events)
+        });
+        for (chain, state, events) in done {
+            self.chains.insert(chain, state);
+            for event in events {
+                sink(event);
+            }
         }
     }
 
@@ -652,6 +718,49 @@ mod tests {
             !events.iter().any(|e| matches!(e, OnlineEvent::Abnormality { .. })),
             "clean run has no abnormalities"
         );
+    }
+
+    #[test]
+    fn batch_ingest_matches_per_record_ingest() {
+        // Chain-grouped input: the serial per-record event order equals the
+        // batch path's chain-grouped order, so the streams compare exactly.
+        let mut records = sync_call(1, 1, 1, 0);
+        records.extend(sync_call(2, 1, 2, 1000));
+        records.extend(sync_call(3, 1, 3, 2000));
+        // An abnormal chain, to compare abnormality events too.
+        records.push(rec(4, 1, TraceEvent::SkelEnd, CallKind::Sync, 4, (0, 1)));
+        let (serial_events, _) = collect(records.clone());
+        for threads in [1, 2, 4] {
+            let mut analyzer = OnlineAnalyzer::new();
+            let mut events = Vec::new();
+            analyzer.ingest_batch_with_threads(records.clone(), threads, &mut |e| events.push(e));
+            assert_eq!(events, serial_events, "threads={threads}");
+            assert_eq!(analyzer.open_chains(), 0);
+        }
+    }
+
+    #[test]
+    fn batch_ingest_preserves_chain_state_across_batches() {
+        let records = sync_call(1, 1, 7, 0);
+        let mut analyzer = OnlineAnalyzer::new();
+        let mut events = Vec::new();
+        analyzer.ingest_batch_with_threads(records[..2].to_vec(), 2, &mut |e| events.push(e));
+        assert!(events.is_empty(), "call still open after half the records");
+        assert_eq!(analyzer.open_chains(), 1);
+        analyzer.ingest_batch_with_threads(records[2..].to_vec(), 2, &mut |e| events.push(e));
+        assert_eq!(
+            events,
+            vec![
+                OnlineEvent::CallCompleted {
+                    chain: Uuid(1),
+                    func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(7)),
+                    depth: 0,
+                    latency_ns: Some(95),
+                },
+                OnlineEvent::ChainIdle { chain: Uuid(1), completed_calls: 1 },
+            ]
+        );
+        assert_eq!(analyzer.open_chains(), 0);
     }
 
     #[test]

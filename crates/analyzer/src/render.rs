@@ -30,8 +30,17 @@ pub fn ascii_tree(dscg: &Dscg, vocab: &VocabSnapshot, options: AsciiOptions) -> 
         writeln!(out, "chain {} ({} nodes)", tree.chain, tree.size()).expect("string write");
         let mut printed = 0usize;
         let mut truncated = false;
-        for root in &tree.roots {
-            render_ascii_node(root, vocab, options, 1, &mut printed, &mut truncated, &mut out);
+        // Explicit pre-order stack: deep trees must not recurse.
+        let mut stack: Vec<(&CallNode, usize)> = tree.roots.iter().rev().map(|r| (r, 1)).collect();
+        while let Some((node, depth)) = stack.pop() {
+            if options.max_nodes_per_tree > 0 && printed >= options.max_nodes_per_tree {
+                truncated = true;
+                break;
+            }
+            render_ascii_node(node, vocab, options, depth, &mut printed, &mut out);
+            for child in node.children.iter().rev() {
+                stack.push((child, depth + 1));
+            }
         }
         if truncated {
             writeln!(out, "  … ({} more nodes)", tree.size() - printed).expect("string write");
@@ -55,13 +64,8 @@ fn render_ascii_node(
     options: AsciiOptions,
     depth: usize,
     printed: &mut usize,
-    truncated: &mut bool,
     out: &mut String,
 ) {
-    if options.max_nodes_per_tree > 0 && *printed >= options.max_nodes_per_tree {
-        *truncated = true;
-        return;
-    }
     *printed += 1;
     let indent = "  ".repeat(depth);
     let name = vocab.qualified_function(&node.func);
@@ -82,9 +86,6 @@ fn render_ascii_node(
         }
     }
     out.push('\n');
-    for child in &node.children {
-        render_ascii_node(child, vocab, options, depth + 1, printed, truncated, out);
-    }
 }
 
 /// Renders the DSCG as Graphviz DOT (one cluster per chain).
@@ -94,32 +95,26 @@ pub fn dot(dscg: &Dscg, vocab: &VocabSnapshot) -> String {
     for (i, tree) in dscg.trees.iter().enumerate() {
         writeln!(out, "  subgraph cluster_{i} {{").expect("string write");
         writeln!(out, "    label=\"chain {}\";", tree.chain).expect("string write");
-        for root in &tree.roots {
-            dot_node(root, vocab, None, &mut next_id, &mut out);
+        // Explicit pre-order stack (node, parent id); ids are assigned in
+        // pop order, which matches the old recursion's DFS numbering.
+        let mut stack: Vec<(&CallNode, Option<usize>)> =
+            tree.roots.iter().rev().map(|r| (r, None)).collect();
+        while let Some((node, parent)) = stack.pop() {
+            let id = next_id;
+            next_id += 1;
+            let label = vocab.qualified_function(&node.func).replace('"', "'");
+            writeln!(out, "    n{id} [label=\"{label}\\n{}\"];", node.kind).expect("string write");
+            if let Some(parent) = parent {
+                writeln!(out, "    n{parent} -> n{id};").expect("string write");
+            }
+            for child in node.children.iter().rev() {
+                stack.push((child, Some(id)));
+            }
         }
         out.push_str("  }\n");
     }
     out.push_str("}\n");
     out
-}
-
-fn dot_node(
-    node: &CallNode,
-    vocab: &VocabSnapshot,
-    parent: Option<usize>,
-    next_id: &mut usize,
-    out: &mut String,
-) {
-    let id = *next_id;
-    *next_id += 1;
-    let label = vocab.qualified_function(&node.func).replace('"', "'");
-    writeln!(out, "    n{id} [label=\"{label}\\n{}\"];", node.kind).expect("string write");
-    if let Some(parent) = parent {
-        writeln!(out, "    n{parent} -> n{id};").expect("string write");
-    }
-    for child in &node.children {
-        dot_node(child, vocab, Some(id), next_id, out);
-    }
 }
 
 /// Renders the CCSG as the Figure-6-style XML document.
@@ -134,14 +129,32 @@ pub fn ccsg_xml(ccsg: &Ccsg, vocab: &VocabSnapshot) -> String {
         )
         .expect("string write");
     }
-    for root in &ccsg.roots {
-        ccsg_xml_node(root, vocab, 1, &mut out);
+    // Open/close tags need both sides of each subtree: an explicit
+    // enter/exit stack replaces the old per-level recursion.
+    enum Step<'a> {
+        Enter(&'a CcsgNode, usize),
+        Exit(usize),
+    }
+    let mut stack: Vec<Step> = ccsg.roots.iter().rev().map(|r| Step::Enter(r, 1)).collect();
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Enter(node, depth) => {
+                ccsg_xml_open(node, vocab, depth, &mut out);
+                stack.push(Step::Exit(depth));
+                for child in node.children.iter().rev() {
+                    stack.push(Step::Enter(child, depth + 1));
+                }
+            }
+            Step::Exit(depth) => {
+                writeln!(out, "{}</Function>", "  ".repeat(depth)).expect("string write");
+            }
+        }
     }
     out.push_str("</CPUConsumptionSummarizationGraph>\n");
     out
 }
 
-fn ccsg_xml_node(node: &CcsgNode, vocab: &VocabSnapshot, depth: usize, out: &mut String) {
+fn ccsg_xml_open(node: &CcsgNode, vocab: &VocabSnapshot, depth: usize, out: &mut String) {
     let indent = "  ".repeat(depth);
     let iface = xml_escape(vocab.interface_name(node.func.interface));
     let method = xml_escape(vocab.method_name(node.func.interface, node.func.method));
@@ -175,10 +188,6 @@ fn ccsg_xml_node(node: &CcsgNode, vocab: &VocabSnapshot, depth: usize, out: &mut
         )
         .expect("string write");
     }
-    for child in &node.children {
-        ccsg_xml_node(child, vocab, depth + 1, out);
-    }
-    writeln!(out, "{indent}</Function>").expect("string write");
 }
 
 fn xml_escape(s: &str) -> String {

@@ -1,8 +1,9 @@
 //! Bench E3: DSCG construction time vs. call count (the paper's 28-minute
-//! 195k-call analysis, swept across scales).
+//! 195k-call analysis, swept across scales), serial and sharded-parallel.
 
 use causeway_analyzer::dscg::Dscg;
 use causeway_collector::db::MonitoringDb;
+use causeway_core::pool;
 use causeway_core::runlog::RunLog;
 use causeway_workloads::{CommercialConfig, CommercialSystem};
 use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
@@ -16,16 +17,29 @@ fn generate(calls: usize) -> RunLog {
 fn bench_dscg_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("dscg_scaling");
     group.sample_size(10);
+    // Thread sweep: serial, a couple of fixed shard-pool widths, and
+    // whatever this host offers.
+    let mut threads = vec![1usize, 2, 4];
+    let host = pool::available_threads();
+    if !threads.contains(&host) {
+        threads.push(host);
+    }
     for calls in [1_000usize, 5_000, 20_000] {
         let run = generate(calls);
         let db = MonitoringDb::from_run(run);
-        group.bench_with_input(BenchmarkId::new("build", calls), &db, |b, db| {
-            b.iter(|| {
-                let dscg = Dscg::build(db);
-                assert!(dscg.abnormalities.is_empty());
-                dscg.total_nodes()
-            })
-        });
+        for &t in &threads {
+            group.bench_with_input(
+                BenchmarkId::new(format!("build_t{t}"), calls),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        let dscg = Dscg::build_with_threads(db, t);
+                        assert!(dscg.abnormalities.is_empty());
+                        dscg.total_nodes()
+                    })
+                },
+            );
+        }
         // Also bench the relational synthesis itself.
         let run = db.run().clone();
         group.bench_with_input(BenchmarkId::new("synthesize", calls), &run, |b, run| {

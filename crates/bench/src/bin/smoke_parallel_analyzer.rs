@@ -1,0 +1,93 @@
+//! Smoke E3b: the sharded analysis pipeline must be bit-identical to the
+//! serial pass and must not be slower on a multi-core host.
+//!
+//! Generates the paper-scale commercial workload (195,000 calls by
+//! default; override with `SMOKE_CALLS` for quicker local runs), builds
+//! the DSCG serially and on a worker pool, and fails — nonzero exit, for
+//! CI — when the parallel trees or abnormalities differ from the serial
+//! ones, or when the best parallel build is slower than the best serial
+//! build beyond a noise margin.
+//!
+//! Absolute times vary wildly across CI hosts; the serial/parallel ratio
+//! on the same records in the same process does not.
+//!
+//! ```text
+//! cargo run --release -p causeway-bench --bin smoke_parallel_analyzer
+//! ```
+
+use causeway_analyzer::dscg::Dscg;
+use causeway_collector::db::MonitoringDb;
+use causeway_core::pool;
+use causeway_workloads::{CommercialConfig, CommercialSystem};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Parallel may be at most this fraction of serial time. ≥1.0 tolerates
+/// scheduler noise on throttled single-core CI runners; on any real
+/// multi-core host the ratio lands well below 1.
+const MAX_RATIO: f64 = 1.10;
+const TRIALS: usize = 5;
+
+fn main() -> ExitCode {
+    let calls: usize = std::env::var("SMOKE_CALLS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(195_000);
+    // Honors CAUSEWAY_ANALYZER_THREADS, defaulting to the host's cores.
+    let threads = pool::configured_threads();
+
+    eprintln!("generating commercial workload ({calls} calls)...");
+    let commercial = CommercialSystem::build(&CommercialConfig::scaled(calls, 0xbeef));
+    commercial.run();
+    let db = MonitoringDb::from_run(commercial.finish());
+    let stats = db.scale_stats();
+    eprintln!(
+        "workload: {} records, {} calls, {} chains",
+        stats.total_records, stats.calls, stats.unique_chains
+    );
+
+    // Correctness first: the sharded build must be bit-identical.
+    let serial = Dscg::build_with_threads(&db, 1);
+    for t in [2, threads] {
+        if Dscg::build_with_threads(&db, t) != serial {
+            eprintln!("FAIL: parallel build (threads={t}) differs from serial");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "parallel output identical to serial ({} trees, {} nodes, {} abnormalities)",
+        serial.trees.len(),
+        serial.total_nodes(),
+        serial.abnormalities.len()
+    );
+    drop(serial);
+
+    // Interleave serial/parallel trials so drifting background load hits
+    // both sides equally; take each side's best.
+    let mut serial_time = Duration::MAX;
+    let mut parallel_time = Duration::MAX;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        std::hint::black_box(Dscg::build_with_threads(&db, 1));
+        serial_time = serial_time.min(started.elapsed());
+        let started = Instant::now();
+        std::hint::black_box(Dscg::build_with_threads(&db, threads));
+        parallel_time = parallel_time.min(started.elapsed());
+    }
+    let ratio = parallel_time.as_secs_f64() / serial_time.as_secs_f64();
+    eprintln!(
+        "dscg build: serial {:.1} ms, parallel {:.1} ms on {} threads (ratio {:.2}, \
+         paper reports 28 min for this scale)",
+        serial_time.as_secs_f64() * 1e3,
+        parallel_time.as_secs_f64() * 1e3,
+        threads,
+        ratio,
+    );
+
+    if ratio > MAX_RATIO {
+        eprintln!("FAIL: parallel build slower than serial (ratio {ratio:.2} > {MAX_RATIO})");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("OK");
+    ExitCode::SUCCESS
+}

@@ -3,6 +3,7 @@
 use causeway_core::deploy::Deployment;
 use causeway_core::event::TraceEvent;
 use causeway_core::names::VocabSnapshot;
+use causeway_core::pool;
 use causeway_core::record::ProbeRecord;
 use causeway_core::runlog::RunLog;
 use causeway_core::uuid::Uuid;
@@ -46,8 +47,16 @@ pub struct MonitoringDb {
 }
 
 impl MonitoringDb {
-    /// Synthesizes the database from a harvested run.
+    /// Synthesizes the database from a harvested run, sorting per-chain
+    /// indexes on [`pool::configured_threads`] workers.
     pub fn from_run(run: RunLog) -> MonitoringDb {
+        MonitoringDb::from_run_with_threads(run, pool::configured_threads())
+    }
+
+    /// Like [`MonitoringDb::from_run`] with an explicit worker count. The
+    /// per-chain sorts are independent, so the result is identical at any
+    /// thread count.
+    pub fn from_run_with_threads(run: RunLog, threads: usize) -> MonitoringDb {
         let mut by_uuid: HashMap<Uuid, Vec<usize>> = HashMap::new();
         let mut uuid_order = Vec::new();
         for (idx, record) in run.records.iter().enumerate() {
@@ -58,11 +67,13 @@ impl MonitoringDb {
             entry.push(idx);
         }
         let records = &run.records;
-        for indexes in by_uuid.values_mut() {
+        let mut chains: Vec<&mut Vec<usize>> = by_uuid.values_mut().collect();
+        pool::par_for_each_mut(&mut chains, threads, |indexes| {
             // Ascending event number; ties (which only occur in corrupted
             // logs) break by probe order then record index for determinism.
             indexes.sort_by_key(|&i| (records[i].seq, records[i].event.probe_number(), i));
-        }
+        });
+        drop(chains);
         MonitoringDb { run, by_uuid, uuid_order }
     }
 
@@ -179,6 +190,17 @@ impl DbBuilder {
     pub fn finish(self, vocab: VocabSnapshot, deployment: Deployment) -> MonitoringDb {
         MonitoringDb::from_run(RunLog::new(self.records, vocab, deployment))
     }
+
+    /// Like [`DbBuilder::finish`] with an explicit worker count for the
+    /// per-chain index sorts.
+    pub fn finish_with_threads(
+        self,
+        vocab: VocabSnapshot,
+        deployment: Deployment,
+        threads: usize,
+    ) -> MonitoringDb {
+        MonitoringDb::from_run_with_threads(RunLog::new(self.records, vocab, deployment), threads)
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +292,29 @@ mod tests {
         let db = db_from(vec![]);
         assert!(db.unique_uuids().is_empty());
         assert_eq!(db.scale_stats(), ScaleStats::default());
+    }
+
+    #[test]
+    fn parallel_synthesis_matches_serial() {
+        let records = vec![
+            rec(1, 3, TraceEvent::SkelEnd),
+            rec(2, 1, TraceEvent::StubStart),
+            rec(1, 1, TraceEvent::StubStart),
+            rec(3, 1, TraceEvent::StubStart),
+            rec(1, 4, TraceEvent::StubEnd),
+            rec(1, 2, TraceEvent::SkelStart),
+            rec(2, 2, TraceEvent::StubEnd),
+            rec(3, 2, TraceEvent::StubEnd),
+        ];
+        let run = RunLog::new(records, VocabSnapshot::default(), Deployment::new());
+        let serial = MonitoringDb::from_run_with_threads(run.clone(), 1);
+        for threads in [2, 4, 7] {
+            let parallel = MonitoringDb::from_run_with_threads(run.clone(), threads);
+            assert_eq!(serial.unique_uuids(), parallel.unique_uuids());
+            for &uuid in serial.unique_uuids() {
+                assert_eq!(serial.events_for(uuid), parallel.events_for(uuid));
+            }
+        }
     }
 
     #[test]

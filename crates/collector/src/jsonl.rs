@@ -7,6 +7,7 @@
 
 use crate::json::{Json, JsonError, parse};
 use causeway_core::deploy::{Deployment, NodeInfo, ProcessInfo};
+use causeway_core::pool;
 use causeway_core::event::{CallKind, TraceEvent};
 use causeway_core::ids::*;
 use causeway_core::names::{InterfaceEntry, ObjectEntry, VocabSnapshot};
@@ -59,14 +60,26 @@ pub fn write_run(run: &RunLog) -> String {
     out
 }
 
-/// Deserializes a run log from the JSONL text format.
+/// Deserializes a run log from the JSONL text format, parsing record lines
+/// in parallel batches on [`pool::configured_threads`] workers.
 ///
 /// # Errors
 ///
 /// Returns [`ReadError`] on malformed lines. Use [`read_run_lossy`] to skip
 /// corrupted record lines instead.
 pub fn read_run(text: &str) -> Result<RunLog, ReadError> {
-    read_run_impl(text, false).map(|(run, _)| run)
+    read_run_with_threads(text, pool::configured_threads())
+}
+
+/// Like [`read_run`] with an explicit worker count. Batches are merged back
+/// in input order, so the result — including which error strict mode reports
+/// first — is identical at any thread count.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on malformed lines.
+pub fn read_run_with_threads(text: &str, threads: usize) -> Result<RunLog, ReadError> {
+    read_run_impl(text, false, threads).map(|(run, _)| run)
 }
 
 /// Like [`read_run`] but skips unparseable *record* lines, returning the run
@@ -77,10 +90,26 @@ pub fn read_run(text: &str) -> Result<RunLog, ReadError> {
 ///
 /// Still fails when the header is missing or malformed.
 pub fn read_run_lossy(text: &str) -> Result<(RunLog, usize), ReadError> {
-    read_run_impl(text, true)
+    read_run_lossy_with_threads(text, pool::configured_threads())
 }
 
-fn read_run_impl(text: &str, lossy: bool) -> Result<(RunLog, usize), ReadError> {
+/// Like [`read_run_lossy`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Still fails when the header is missing or malformed.
+pub fn read_run_lossy_with_threads(
+    text: &str,
+    threads: usize,
+) -> Result<(RunLog, usize), ReadError> {
+    read_run_impl(text, true, threads)
+}
+
+/// Record lines handed to each parse worker at a time. Large enough to
+/// amortize scheduling, small enough to load-balance a skewed tail.
+const PARSE_BATCH_LINES: usize = 2048;
+
+fn read_run_impl(text: &str, lossy: bool, threads: usize) -> Result<(RunLog, usize), ReadError> {
     let mut lines = text.lines().enumerate();
     let (_, header_line) = lines
         .find(|(_, l)| !l.trim().is_empty())
@@ -90,26 +119,40 @@ fn read_run_impl(text: &str, lossy: bool) -> Result<(RunLog, usize), ReadError> 
     let deployment = deployment_from_json(header.get("deployment"), 1)?;
     let expected_records = header.get("expected_records").and_then(Json::as_u64);
 
-    let mut records = Vec::new();
-    let mut skipped = 0usize;
-    for (idx, line) in lines {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let lineno = idx + 1;
-        let parsed = match parse(line) {
-            Ok(v) => v,
-            Err(source) if lossy => {
-                let _ = source;
-                skipped += 1;
-                continue;
+    let record_lines: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
+    let batches: Vec<&[(usize, &str)]> = record_lines.chunks(PARSE_BATCH_LINES).collect();
+    // Each batch parses independently; a strict-mode batch stops at its
+    // first bad line. Merging in batch order below makes the first error
+    // reported (and the record order) identical to a serial scan.
+    let parsed_batches = pool::par_map(&batches, threads, |batch| {
+        let mut records = Vec::with_capacity(batch.len());
+        let mut skipped = 0usize;
+        for &(idx, line) in *batch {
+            let lineno = idx + 1;
+            let parsed = match parse(line) {
+                Ok(v) => v,
+                Err(_) if lossy => {
+                    skipped += 1;
+                    continue;
+                }
+                Err(source) => return (records, skipped, Some(ReadError::Json { line: lineno, source })),
+            };
+            match record_from_json(&parsed, lineno) {
+                Ok(record) => records.push(record),
+                Err(_) if lossy => skipped += 1,
+                Err(e) => return (records, skipped, Some(e)),
             }
-            Err(source) => return Err(ReadError::Json { line: lineno, source }),
-        };
-        match record_from_json(&parsed, lineno) {
-            Ok(record) => records.push(record),
-            Err(_) if lossy => skipped += 1,
-            Err(e) => return Err(e),
+        }
+        (records, skipped, None)
+    });
+
+    let mut records = Vec::with_capacity(record_lines.len());
+    let mut skipped = 0usize;
+    for (batch_records, batch_skipped, error) in parsed_batches {
+        records.extend(batch_records);
+        skipped += batch_skipped;
+        if let Some(e) = error {
+            return Err(e);
         }
     }
     let mut run = RunLog::new(records, vocab, deployment);
@@ -515,6 +558,34 @@ mod tests {
         let (restored, skipped) = read_run_lossy(&text[..cut]).unwrap();
         assert_eq!(restored.records.len(), run.records.len() - 1);
         assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn parallel_read_matches_serial() {
+        let run = sample_run();
+        let text = write_run(&run);
+        let serial = read_run_with_threads(&text, 1).unwrap();
+        for threads in [2, 4, 7] {
+            assert_eq!(read_run_with_threads(&text, threads).unwrap(), serial);
+        }
+
+        // Strict mode reports the same (first) error at any thread count.
+        let mut corrupt = text.clone();
+        corrupt.push_str("{not json\n");
+        corrupt.push_str("{\"uuid\": \"00\"}\n");
+        let serial_err = read_run_with_threads(&corrupt, 1).unwrap_err().to_string();
+        for threads in [2, 4] {
+            let parallel_err = read_run_with_threads(&corrupt, threads).unwrap_err().to_string();
+            assert_eq!(parallel_err, serial_err);
+        }
+
+        // Lossy mode skips the same lines at any thread count.
+        let (serial_run, serial_skipped) = read_run_lossy_with_threads(&corrupt, 1).unwrap();
+        for threads in [2, 4] {
+            let (run, skipped) = read_run_lossy_with_threads(&corrupt, threads).unwrap();
+            assert_eq!(run, serial_run);
+            assert_eq!(skipped, serial_skipped);
+        }
     }
 
     #[test]

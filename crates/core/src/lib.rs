@@ -70,6 +70,7 @@ pub mod manual;
 pub mod metrics;
 pub mod monitor;
 pub mod names;
+pub mod pool;
 pub mod record;
 pub mod runlog;
 pub mod sink;

@@ -10,7 +10,7 @@
 //! harness: replay it, reconstruct it, and diff the graphs.
 
 use crate::script::{Action, MethodScript, ScriptedServant};
-use causeway_analyzer::dscg::{CallNode, Dscg};
+use causeway_analyzer::dscg::{CallNode, Dscg, Visit, walk_pre_post};
 use causeway_analyzer::hotspot::self_latency;
 use causeway_collector::db::MonitoringDb;
 use causeway_core::ids::ProcessId;
@@ -22,7 +22,11 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// One invocation in the derived harness.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Clone`, `PartialEq` and `Drop` are hand-written iteratively: a harness
+/// derived from a paper-scale chain is as deep as the chain itself, and the
+/// derived / compiler-generated versions recurse once per level.
+#[derive(Debug)]
 pub struct ReplayNode {
     /// Label carried over from the original object (for diffing).
     pub label: String,
@@ -39,7 +43,90 @@ pub struct ReplayNode {
 impl ReplayNode {
     /// Total invocations in this subtree.
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(ReplayNode::size).sum::<usize>()
+        let mut count = 0;
+        let mut stack = vec![self];
+        while let Some(node) = stack.pop() {
+            count += 1;
+            stack.extend(node.children.iter());
+        }
+        count
+    }
+}
+
+impl Clone for ReplayNode {
+    fn clone(&self) -> ReplayNode {
+        enum Step<'a> {
+            Enter(&'a ReplayNode),
+            Exit,
+        }
+        fn shallow(node: &ReplayNode) -> ReplayNode {
+            ReplayNode {
+                label: node.label.clone(),
+                process: node.process,
+                oneway: node.oneway,
+                work_us: node.work_us,
+                children: Vec::with_capacity(node.children.len()),
+            }
+        }
+        let mut building: Vec<ReplayNode> = Vec::new();
+        let mut done: Option<ReplayNode> = None;
+        let mut stack = vec![Step::Enter(self)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(node) => {
+                    building.push(shallow(node));
+                    stack.push(Step::Exit);
+                    for child in node.children.iter().rev() {
+                        stack.push(Step::Enter(child));
+                    }
+                }
+                Step::Exit => {
+                    let finished = building.pop().expect("Enter pushed a copy");
+                    match building.last_mut() {
+                        Some(parent) => parent.children.push(finished),
+                        None => done = Some(finished),
+                    }
+                }
+            }
+        }
+        done.expect("root Exit ran")
+    }
+}
+
+impl PartialEq for ReplayNode {
+    fn eq(&self, other: &ReplayNode) -> bool {
+        let mut stack = vec![(self, other)];
+        while let Some((a, b)) = stack.pop() {
+            if a.label != b.label
+                || a.process != b.process
+                || a.oneway != b.oneway
+                || a.work_us != b.work_us
+                || a.children.len() != b.children.len()
+            {
+                return false;
+            }
+            stack.extend(a.children.iter().zip(b.children.iter()));
+        }
+        true
+    }
+}
+
+impl Eq for ReplayNode {}
+
+impl Drop for ReplayNode {
+    fn drop(&mut self) {
+        // Harnesses derived from paper-scale chains are as deep as the
+        // chains themselves: flatten so the drop glue never recurses.
+        if self.children.is_empty() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.children);
+        let mut next = 0;
+        while next < scratch.len() {
+            let grandchildren = std::mem::take(&mut scratch[next].children);
+            scratch.extend(grandchildren);
+            next += 1;
+        }
     }
 }
 
@@ -94,40 +181,45 @@ pub fn derive_from_dscg(dscg: &Dscg, db: &MonitoringDb, options: DeriveOptions) 
         }
     });
 
-    let convert = |node: &CallNode| -> ReplayNode {
-        fn inner(
-            node: &CallNode,
-            db: &MonitoringDb,
-            process_index: &BTreeMap<ProcessId, usize>,
-            options: &DeriveOptions,
-        ) -> ReplayNode {
-            let process = execution_process(node)
-                .and_then(|p| process_index.get(&p).copied())
-                .unwrap_or(0);
-            let work_us = if options.work_scale > 0.0 {
-                self_latency(node)
-                    .map(|ns| ((ns as f64) * options.work_scale / 1_000.0).round() as u64)
-                    .unwrap_or(0)
-            } else {
-                0
-            };
-            ReplayNode {
-                label: db
-                    .vocab()
-                    .object(node.func.object)
-                    .map(|o| o.label.clone())
-                    .unwrap_or_else(|| node.func.object.to_string()),
-                process,
-                oneway: node.kind == causeway_core::event::CallKind::Oneway,
-                work_us,
-                children: node
-                    .children
-                    .iter()
-                    .map(|c| inner(c, db, process_index, options))
-                    .collect(),
-            }
+    let shallow = |node: &CallNode| -> ReplayNode {
+        let process = execution_process(node)
+            .and_then(|p| process_index.get(&p).copied())
+            .unwrap_or(0);
+        let work_us = if options.work_scale > 0.0 {
+            self_latency(node)
+                .map(|ns| ((ns as f64) * options.work_scale / 1_000.0).round() as u64)
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        ReplayNode {
+            label: db
+                .vocab()
+                .object(node.func.object)
+                .map(|o| o.label.clone())
+                .unwrap_or_else(|| node.func.object.to_string()),
+            process,
+            oneway: node.kind == causeway_core::event::CallKind::Oneway,
+            work_us,
+            children: Vec::with_capacity(node.children.len()),
         }
-        inner(node, db, &process_index, &options)
+    };
+    // Iterative two-phase conversion on the shared traversal helper: Enter
+    // pushes a childless ReplayNode, Exit pops it into its parent.
+    let convert_roots = |roots: &[CallNode]| -> Vec<ReplayNode> {
+        let mut building: Vec<ReplayNode> = Vec::new();
+        let mut out: Vec<ReplayNode> = Vec::new();
+        walk_pre_post(roots, &mut |node, _, visit| match visit {
+            Visit::Enter => building.push(shallow(node)),
+            Visit::Exit => {
+                let finished = building.pop().expect("Enter pushed a node");
+                match building.last_mut() {
+                    Some(parent) => parent.children.push(finished),
+                    None => out.push(finished),
+                }
+            }
+        });
+        out
     };
 
     ReplaySpec {
@@ -135,7 +227,7 @@ pub fn derive_from_dscg(dscg: &Dscg, db: &MonitoringDb, options: DeriveOptions) 
         trees: dscg
             .trees
             .iter()
-            .map(|tree| ReplayTree { roots: tree.roots.iter().map(convert).collect() })
+            .map(|tree| ReplayTree { roots: convert_roots(&tree.roots) })
             .collect(),
     }
 }
@@ -167,44 +259,68 @@ pub fn execute(spec: &ReplaySpec, probe_mode: ProbeMode) -> RunLog {
         .load_idl("interface Replay { long go(in long x); oneway void fire(in long x); };")
         .expect("static IDL");
 
+    // Iterative two-phase registration (replay trees are as deep as the
+    // chains they reproduce): Enter assigns the pre-order object index,
+    // Exit registers the servant once all child references exist.
     fn register(
-        node: &ReplayNode,
+        root: &ReplayNode,
         system: &System,
         ps: &[ProcessId],
         counter: &mut usize,
     ) -> ObjRef {
-        let my_index = *counter;
-        *counter += 1;
-        let mut actions = Vec::new();
-        if node.work_us > 0 {
-            actions.push(Action::Work { wall_us: node.work_us, cpu_us: node.work_us });
+        enum Step<'a> {
+            Enter(&'a ReplayNode),
+            Exit(&'a ReplayNode, usize),
         }
-        let mut wires = Vec::new();
-        for child in &node.children {
-            let child_ref = register(child, system, ps, counter);
-            let slot = wires.len();
-            wires.push(child_ref);
-            if child.oneway {
-                actions.push(Action::CallOneway { target: slot, method: "fire" });
-            } else {
-                actions.push(Action::Call { target: slot, method: "go", manual: None });
+        // Child object references collected per open node.
+        let mut frames: Vec<Vec<ObjRef>> = vec![Vec::new()];
+        let mut stack = vec![Step::Enter(root)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(node) => {
+                    let my_index = *counter;
+                    *counter += 1;
+                    frames.push(Vec::new());
+                    stack.push(Step::Exit(node, my_index));
+                    for child in node.children.iter().rev() {
+                        stack.push(Step::Enter(child));
+                    }
+                }
+                Step::Exit(node, my_index) => {
+                    let wires = frames.pop().expect("Enter pushed a frame");
+                    let mut actions = Vec::new();
+                    if node.work_us > 0 {
+                        actions.push(Action::Work { wall_us: node.work_us, cpu_us: node.work_us });
+                    }
+                    for (slot, child) in node.children.iter().enumerate() {
+                        if child.oneway {
+                            actions.push(Action::CallOneway { target: slot, method: "fire" });
+                        } else {
+                            actions.push(Action::Call { target: slot, method: "go", manual: None });
+                        }
+                    }
+                    let script = MethodScript::new(actions);
+                    let servant = ScriptedServant::new(vec![script.clone(), script]);
+                    let obj = system
+                        .register_servant(
+                            ps[node.process.min(ps.len() - 1)],
+                            "Replay",
+                            &format!("Replay{my_index}"),
+                            &node.label,
+                            servant.clone(),
+                        )
+                        .expect("registration succeeds");
+                    for (slot, target) in wires.into_iter().enumerate() {
+                        servant.wire(slot, target);
+                    }
+                    frames.last_mut().expect("root frame").push(obj);
+                }
             }
         }
-        let script = MethodScript::new(actions);
-        let servant = ScriptedServant::new(vec![script.clone(), script]);
-        let obj = system
-            .register_servant(
-                ps[node.process.min(ps.len() - 1)],
-                "Replay",
-                &format!("Replay{my_index}"),
-                &node.label,
-                servant.clone(),
-            )
-            .expect("registration succeeds");
-        for (slot, target) in wires.into_iter().enumerate() {
-            servant.wire(slot, target);
-        }
-        obj
+        frames
+            .pop()
+            .and_then(|mut refs| refs.pop())
+            .expect("root registered")
     }
 
     // Register every tree's objects, then replay tree by tree.

@@ -1,0 +1,154 @@
+//! Deep-chain regression: every tree consumer must survive a pathological
+//! 50,000-deep single-chain DSCG without exhausting the call stack.
+//!
+//! The paper's commercial traces are wide, not deep — but a recursive
+//! analyzer pass turns an adversarial (or buggy) probe stream into a stack
+//! overflow, which aborts the whole analysis process. All traversals
+//! (build, walk, clone, compare, analyze, render, derive, drop) are
+//! iterative, so this test must pass in both debug and release profiles.
+
+use causeway::analyzer::ccsg::Ccsg;
+use causeway::analyzer::chrome_trace;
+use causeway::analyzer::cpu::CpuAnalysis;
+use causeway::analyzer::dscg::Dscg;
+use causeway::analyzer::hotspot;
+use causeway::analyzer::latency::{self, LatencyAnalysis};
+use causeway::analyzer::render::{AsciiOptions, ascii_tree, dot, sequence_chart};
+use causeway::collector::db::MonitoringDb;
+use causeway::core::deploy::Deployment;
+use causeway::core::event::{CallKind, TraceEvent};
+use causeway::core::ids::*;
+use causeway::core::names::VocabSnapshot;
+use causeway::core::record::{CallSite, FunctionKey, ProbeRecord};
+use causeway::core::runlog::RunLog;
+use causeway::core::uuid::Uuid;
+use causeway::workloads::replay;
+
+const DEPTH: usize = 50_000;
+
+fn record(seq: u64, event: TraceEvent, wall: u64) -> ProbeRecord {
+    ProbeRecord {
+        uuid: Uuid(1),
+        seq,
+        event,
+        kind: CallKind::Sync,
+        site: CallSite {
+            node: NodeId(0),
+            process: ProcessId(0),
+            thread: LogicalThreadId(0),
+        },
+        func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(0)),
+        wall_start: Some(wall),
+        wall_end: Some(wall),
+        cpu_start: None,
+        cpu_end: None,
+        oneway_child: None,
+        oneway_parent: None,
+    }
+}
+
+/// One chain of `depth` nested synchronous calls: stub/skel starts on the
+/// way down, skel/stub ends on the way back up, densely numbered.
+fn deep_chain_records(depth: usize) -> Vec<ProbeRecord> {
+    let mut records = Vec::with_capacity(4 * depth);
+    for i in 0..depth as u64 {
+        records.push(record(2 * i + 1, TraceEvent::StubStart, 2 * i));
+        records.push(record(2 * i + 2, TraceEvent::SkelStart, 2 * i + 1));
+    }
+    let base_seq = 2 * depth as u64;
+    let base_wall = 2 * depth as u64 + 10;
+    for out in 0..depth as u64 {
+        records.push(record(base_seq + 2 * out + 1, TraceEvent::SkelEnd, base_wall + 2 * out));
+        records.push(record(base_seq + 2 * out + 2, TraceEvent::StubEnd, base_wall + 2 * out + 1));
+    }
+    records
+}
+
+#[test]
+fn depth_50000_chain_survives_every_pass() {
+    let mut deployment = Deployment::new();
+    let node = deployment.add_node("n", CpuTypeId(0));
+    deployment.add_process("p", node);
+    let run = RunLog::new(deep_chain_records(DEPTH), VocabSnapshot::default(), deployment);
+    let db = MonitoringDb::from_run(run);
+
+    // Parallel build is bit-identical to serial, even for one giant chain.
+    let dscg = Dscg::build_with_threads(&db, 1);
+    assert_eq!(Dscg::build_with_threads(&db, 4), dscg);
+
+    assert!(dscg.abnormalities.is_empty(), "{:?}", dscg.abnormalities);
+    assert_eq!(dscg.trees.len(), 1);
+    assert_eq!(dscg.trees[0].roots.len(), 1);
+    let root = &dscg.trees[0].roots[0];
+    assert_eq!(root.depth(), DEPTH);
+    assert_eq!(root.size(), DEPTH);
+
+    // Shared pre-order walk.
+    let mut visited = 0usize;
+    let mut deepest = 0usize;
+    dscg.walk(&mut |node, depth| {
+        assert!(node.complete);
+        visited += 1;
+        deepest = deepest.max(depth);
+    });
+    assert_eq!(visited, DEPTH);
+    assert_eq!(deepest, DEPTH - 1, "roots walk at depth 0");
+
+    // Clone and structural equality are iterative too.
+    let cloned = dscg.clone();
+    assert_eq!(cloned, dscg);
+    drop(cloned);
+
+    // Latency: every level completes, all on the same method.
+    let lat = LatencyAnalysis::compute_with_threads(&dscg, 4);
+    let stats = lat.per_method.values().next().expect("one method");
+    assert_eq!(lat.per_method.len(), 1);
+    assert_eq!(stats.count, DEPTH);
+    assert_eq!(latency::histograms_with_threads(&dscg, 4).len(), 1);
+
+    // CPU roll-up visits every node.
+    let cpu = CpuAnalysis::compute_with_threads(&dscg, db.deployment(), 4);
+    assert_eq!(cpu.per_node.len(), DEPTH);
+
+    // CCSG aggregation nests 50,000 levels of the same function key.
+    let ccsg = Ccsg::build_with_threads(&dscg, db.deployment(), 4);
+    assert_eq!(ccsg.roots.len(), 1);
+    assert_eq!(ccsg.roots[0].size(), DEPTH);
+    drop(ccsg);
+
+    // Hotspots + critical path.
+    let ranked = hotspot::hotspots(&dscg);
+    assert_eq!(ranked.len(), 1);
+    assert_eq!(ranked[0].1.count, DEPTH);
+    assert_eq!(hotspot::critical_path(&dscg.trees[0]).len(), DEPTH);
+
+    // Renders: truncated ASCII (the full indent would be quadratic in
+    // depth), full dot (constant indent), and the sequence chart.
+    let ascii = ascii_tree(
+        &dscg,
+        db.vocab(),
+        AsciiOptions { max_nodes_per_tree: 25, ..AsciiOptions::default() },
+    );
+    assert!(ascii.contains("more nodes"), "deep tree renders truncated");
+    let graph = dot(&dscg, db.vocab());
+    assert_eq!(graph.matches("[label=").count(), DEPTH, "one dot node per call");
+    let chart = sequence_chart(&dscg, db.vocab(), 40);
+    assert!(!chart.is_empty());
+
+    // Chrome trace export walks the same tree.
+    let trace = chrome_trace::export(&db);
+    assert!(trace.contains("traceEvents") && trace.ends_with('}'));
+    drop(trace);
+
+    // Replay derivation converts the whole chain (no execution — a 50k-deep
+    // call needs 50k live frames in the simulated runtime itself).
+    let spec = replay::derive_from_dscg(&dscg, &db, replay::DeriveOptions::default());
+    assert_eq!(spec.total_calls(), DEPTH);
+    let spec_clone = spec.clone();
+    assert_eq!(spec_clone, spec);
+    drop(spec_clone);
+    drop(spec);
+
+    // Iterative Drop: freeing the 50,000-node trees must not recurse either.
+    drop(dscg);
+}

@@ -367,6 +367,23 @@ proptest! {
     }
 
     #[test]
+    fn parallel_dscg_build_is_identical_to_serial(records in prop::collection::vec(arbitrary_record(), 0..60)) {
+        // The sharded pipeline must be bit-identical to the serial pass at
+        // any worker count — trees, tree order, and abnormalities alike —
+        // even on garbage streams full of abnormal transitions.
+        let db = MonitoringDb::from_run(RunLog::new(
+            records,
+            VocabSnapshot::default(),
+            Deployment::new(),
+        ));
+        let serial = Dscg::build_with_threads(&db, 1);
+        for threads in [2, 3, 8] {
+            let parallel = Dscg::build_with_threads(&db, threads);
+            prop_assert_eq!(&parallel, &serial, "threads={}", threads);
+        }
+    }
+
+    #[test]
     fn jsonl_round_trips_arbitrary_records(records in prop::collection::vec(arbitrary_record(), 0..20)) {
         let run = RunLog::new(records, VocabSnapshot::default(), Deployment::new());
         let text = jsonl::write_run(&run);
