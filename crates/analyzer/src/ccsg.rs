@@ -367,7 +367,7 @@ mod tests {
             CallTree { chain: Uuid(1), roots: vec![leaf(7, 50), leaf(7, 70)] },
             CallTree { chain: Uuid(2), roots: vec![leaf(7, 30)] },
         ];
-        let dscg = Dscg { trees, abnormalities: vec![] };
+        let dscg = Dscg::from_trees(trees);
         let ccsg = Ccsg::build(&dscg, &deployment());
         assert_eq!(ccsg.roots.len(), 1);
         let node = &ccsg.roots[0];
@@ -383,10 +383,7 @@ mod tests {
         let mut parent = leaf(1, 100);
         parent.children.push(leaf(2, 40));
         parent.children.push(leaf(2, 60));
-        let dscg = Dscg {
-            trees: vec![CallTree { chain: Uuid(1), roots: vec![parent] }],
-            abnormalities: vec![],
-        };
+        let dscg = Dscg::from_trees(vec![CallTree { chain: Uuid(1), roots: vec![parent] }]);
         let ccsg = Ccsg::build(&dscg, &deployment());
         assert_eq!(ccsg.roots.len(), 1);
         let root = &ccsg.roots[0];
@@ -400,7 +397,7 @@ mod tests {
     #[test]
     fn distinct_objects_stay_distinct() {
         let trees = vec![CallTree { chain: Uuid(1), roots: vec![leaf(1, 10), leaf(2, 20)] }];
-        let dscg = Dscg { trees, abnormalities: vec![] };
+        let dscg = Dscg::from_trees(trees);
         let ccsg = Ccsg::build(&dscg, &deployment());
         assert_eq!(ccsg.roots.len(), 2);
     }

@@ -277,10 +277,7 @@ mod tests {
         let mut parent = node_on(0, (0, 5), (95, 100), (400, 405), (410, 415));
         let child = node_on(1, (150, 160), (1000, 1010), (1090, 1100), (240, 250));
         parent.children.push(child);
-        let dscg = Dscg {
-            trees: vec![CallTree { chain: Uuid(1), roots: vec![parent] }],
-            abnormalities: vec![],
-        };
+        let dscg = Dscg::from_trees(vec![CallTree { chain: Uuid(1), roots: vec![parent] }]);
         let analysis = CpuAnalysis::compute(&dscg, &d);
         assert_eq!(analysis.per_node.len(), 2);
         let parent_cpu = &analysis.per_node[0];
@@ -311,10 +308,7 @@ mod tests {
         let leaf = node_on(0, (200, 200), (5000, 5000), (5400, 5400), (300, 300));
         mid.children.push(leaf);
         top.children.push(mid);
-        let dscg = Dscg {
-            trees: vec![CallTree { chain: Uuid(1), roots: vec![top] }],
-            abnormalities: vec![],
-        };
+        let dscg = Dscg::from_trees(vec![CallTree { chain: Uuid(1), roots: vec![top] }]);
         let analysis = CpuAnalysis::compute(&dscg, &d);
         // leaf self = 400 (HPUX); mid self = 600−100 = 500 (NT);
         // top self = 1000−100 = 900 (HPUX).

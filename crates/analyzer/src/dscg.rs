@@ -247,6 +247,12 @@ pub struct Dscg {
 }
 
 impl Dscg {
+    /// Wraps already-reconstructed trees in a graph with no abnormalities —
+    /// the shape every synthetic-tree test and exporter fixture needs.
+    pub fn from_trees(trees: Vec<CallTree>) -> Dscg {
+        Dscg { trees, abnormalities: Vec::new() }
+    }
+
     /// Reconstructs the DSCG from a monitoring database on the configured
     /// worker pool (see [`causeway_core::pool::configured_threads`]).
     pub fn build(db: &MonitoringDb) -> Dscg {

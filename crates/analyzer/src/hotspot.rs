@@ -169,10 +169,7 @@ mod tests {
     fn hotspots_rank_by_total_self_latency() {
         let mut parent = node(1, 0, 0, 1000);
         parent.children.push(node(2, 1, 100, 900)); // hot child: self 800
-        let dscg = Dscg {
-            trees: vec![CallTree { chain: Uuid(1), roots: vec![parent] }],
-            abnormalities: vec![],
-        };
+        let dscg = Dscg::from_trees(vec![CallTree { chain: Uuid(1), roots: vec![parent] }]);
         let ranked = hotspots(&dscg);
         assert_eq!(ranked.len(), 2);
         assert_eq!(ranked[0].0, (InterfaceId(0), MethodIndex(1)), "child is hottest");

@@ -99,6 +99,8 @@ pub struct LatencyStats {
     pub p50_ns: u64,
     /// 95th-percentile latency, ns.
     pub p95_ns: u64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: u64,
     /// Mean compensated overhead, ns.
     pub mean_overhead_ns: f64,
 }
@@ -157,6 +159,7 @@ impl LatencyAnalysis {
                     max_ns: values.last().map(|l| l.latency_ns).unwrap_or(0),
                     p50_ns: percentile(&values, 50),
                     p95_ns: percentile(&values, 95),
+                    p99_ns: percentile(&values, 99),
                     mean_overhead_ns: overhead_sum as f64 / count as f64,
                 };
                 (key, stats)
@@ -301,7 +304,7 @@ mod tests {
             let node = sync_node((0, 10), (20, 25), (30, 35), (10 + span, 10 + span + 5));
             trees.push(CallTree { chain: Uuid(i as u128 + 1), roots: vec![node] });
         }
-        let dscg = Dscg { trees, abnormalities: vec![] };
+        let dscg = Dscg::from_trees(trees);
         let analysis = LatencyAnalysis::compute(&dscg);
         let stats = analysis.method(InterfaceId(0), MethodIndex(0)).unwrap();
         assert_eq!(stats.count, 4);
@@ -310,6 +313,7 @@ mod tests {
         assert_eq!(stats.mean_ns, 250.0);
         assert_eq!(stats.p50_ns, 200);
         assert_eq!(stats.p95_ns, 400);
+        assert_eq!(stats.p99_ns, 400);
         assert!(analysis.method(InterfaceId(9), MethodIndex(0)).is_none());
     }
 

@@ -36,6 +36,7 @@ pub mod cpu;
 pub mod dscg;
 pub mod hotspot;
 pub mod latency;
+pub mod live;
 pub mod online;
 pub mod render;
 
@@ -43,3 +44,4 @@ pub use ccsg::{Ccsg, CcsgNode};
 pub use cpu::{CpuAnalysis, CpuVector};
 pub use dscg::{Abnormality, CallNode, CallTree, Dscg};
 pub use latency::{LatencyAnalysis, LatencyStats};
+pub use live::{AlertEvent, AlertRule, LiveConfig, LiveMonitor, WindowSnapshot};

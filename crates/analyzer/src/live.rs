@@ -1,0 +1,1376 @@
+//! Live monitoring: windowed streaming characterization, abnormality
+//! alerting, and an embedded HTTP status/scrape endpoint.
+//!
+//! The paper's tooling is post-hoc: harvest after quiescence, then
+//! characterize. This module keeps the same Figure-4 reconstruction (via
+//! [`OnlineAnalyzer`]) but folds its event stream into *windows* so a
+//! long-running system can be characterized while it serves traffic:
+//!
+//! * [`LiveMonitor`] — ingests probe records, maintains **tumbling** and
+//!   **sliding** windows of per-(interface, method) latency (log2 streaming
+//!   histograms with p50/p95/p99), call rate, busy share and abnormality
+//!   rate, accumulates folded flamegraph stacks, and retains the last
+//!   window's raw records for Chrome-trace export.
+//! * [`AlertRule`] / [`AlertEvent`] — declarative threshold alerts with
+//!   duration (`for=N` windows) and hysteresis (separate fire/resolve
+//!   thresholds); firing and resolving transitions are recorded as
+//!   structured events and exposed as gauges.
+//! * [`serve`] — mounts the monitor behind [`causeway_core::httpd`]:
+//!   `/metrics`, `/healthz`, `/chains`, `/latency`, `/flamegraph`, `/trace`.
+//!
+//! Time is explicit: every mutating entry point has an `_at(now_ns)` variant
+//! so tests are deterministic; the plain variants stamp with a monotonic
+//! clock started at construction.
+
+use crate::chrome_trace;
+use crate::latency::LatencyHistogram;
+use crate::online::{OnlineAnalyzer, OnlineEvent, OpenChainSummary};
+use causeway_collector::db::MonitoringDb;
+use causeway_collector::json::Json;
+use causeway_core::deploy::Deployment;
+use causeway_core::httpd::{Handler, HttpServer, Request, Response};
+use causeway_core::ids::{InterfaceId, MethodIndex};
+use causeway_core::metrics::{Counter, Gauge, MetricsRegistry};
+use causeway_core::names::VocabSnapshot;
+use causeway_core::record::{FunctionKey, ProbeRecord};
+use causeway_core::runlog::RunLog;
+use causeway_core::uuid::Uuid;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A per-operation series key: the characterization unit of the paper's
+/// Table 2.
+pub type SeriesKey = (InterfaceId, MethodIndex);
+
+/// Static configuration of a [`LiveMonitor`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Tumbling window length. Alerts are evaluated once per window.
+    pub window: Duration,
+    /// Sliding resolution: the window is divided into this many slices; the
+    /// sliding view merges the most recent `slices` of them.
+    pub slices: usize,
+    /// Maximum raw probe records retained per window for `/trace` export.
+    pub trace_capacity: usize,
+    /// Maximum buffered flamegraph completion events per open chain.
+    pub chain_event_capacity: usize,
+    /// Maximum retained alert transition events.
+    pub alert_log_capacity: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            window: Duration::from_secs(5),
+            slices: 5,
+            trace_capacity: 100_000,
+            chain_event_capacity: 100_000,
+            alert_log_capacity: 1024,
+        }
+    }
+}
+
+/// Streaming aggregates for one (interface, method) within one window or
+/// slice.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesAgg {
+    /// Completed invocations.
+    pub calls: u64,
+    /// Sum of compensated latencies, ns.
+    pub latency_sum_ns: u64,
+    /// Log2 latency histogram (bucket upper bounds answer quantiles).
+    pub hist: LatencyHistogram,
+}
+
+impl SeriesAgg {
+    fn record(&mut self, latency_ns: u64) {
+        self.calls += 1;
+        self.latency_sum_ns += latency_ns;
+        self.hist.record(latency_ns);
+    }
+
+    fn merge(&mut self, other: &SeriesAgg) {
+        self.calls += other.calls;
+        self.latency_sum_ns += other.latency_sum_ns;
+        self.hist.merge(&other.hist);
+    }
+}
+
+/// One time slice's aggregates (a window is `slices` consecutive slices).
+#[derive(Debug, Clone, Default)]
+struct Slice {
+    series: BTreeMap<SeriesKey, SeriesAgg>,
+    completed_calls: u64,
+    abnormalities: u64,
+}
+
+/// A finalized (or synthesized sliding) window of characterization data.
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    /// Tumbling window ordinal (slice index of its first slice divided by
+    /// the slice count); `u64::MAX` marks a synthesized sliding view.
+    pub index: u64,
+    /// Window span covered, ns.
+    pub span_ns: u64,
+    /// Per-operation aggregates.
+    pub series: BTreeMap<SeriesKey, SeriesAgg>,
+    /// Invocations completed across all series.
+    pub completed_calls: u64,
+    /// Figure-4 reconstruction failures observed.
+    pub abnormalities: u64,
+}
+
+impl WindowSnapshot {
+    /// The q-quantile (`q` in `[0,1]`) for one series, as the containing
+    /// log2 bucket's upper bound; `None` when the series has no samples.
+    pub fn quantile_ns(&self, key: SeriesKey, q: f64) -> Option<u64> {
+        let agg = self.series.get(&key)?;
+        (agg.calls > 0).then(|| agg.hist.quantile_ns(q))
+    }
+
+    /// Completed calls per second for one series (or all, with `None`).
+    pub fn call_rate_hz(&self, key: Option<SeriesKey>) -> f64 {
+        if self.span_ns == 0 {
+            return 0.0;
+        }
+        let calls = match key {
+            Some(key) => self.series.get(&key).map_or(0, |a| a.calls),
+            None => self.completed_calls,
+        };
+        calls as f64 * 1e9 / self.span_ns as f64
+    }
+
+    /// Abnormalities per second over the window.
+    pub fn abnormality_rate_hz(&self) -> f64 {
+        if self.span_ns == 0 {
+            return 0.0;
+        }
+        self.abnormalities as f64 * 1e9 / self.span_ns as f64
+    }
+
+    /// Fraction of the window one series spent inside invocations (its
+    /// latency sum over the window span) — the live proxy for the paper's
+    /// per-function CPU share.
+    pub fn busy_share(&self, key: SeriesKey) -> f64 {
+        if self.span_ns == 0 {
+            return 0.0;
+        }
+        self.series.get(&key).map_or(0.0, |a| a.latency_sum_ns as f64 / self.span_ns as f64)
+    }
+}
+
+/// Which windowed series an [`AlertRule`] watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertMetric {
+    /// Median latency, ns.
+    P50,
+    /// 95th-percentile latency, ns.
+    P95,
+    /// 99th-percentile latency, ns.
+    P99,
+    /// Completed calls per second.
+    CallRate,
+    /// Abnormalities per second (always system-wide).
+    AbnormalityRate,
+}
+
+/// Alert comparison direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertCmp {
+    /// Fire when the value exceeds the threshold.
+    Above,
+    /// Fire when the value drops below the threshold.
+    Below,
+}
+
+/// A declarative alert: threshold + duration + hysteresis over one windowed
+/// series.
+#[derive(Debug, Clone)]
+pub struct AlertRule {
+    /// Display name, e.g. `p95:Pps::Stage.rasterize>800us`.
+    pub name: String,
+    /// The windowed value watched.
+    pub metric: AlertMetric,
+    /// Restrict to one operation; `None` watches the system-wide aggregate.
+    pub series: Option<SeriesKey>,
+    /// Fire direction.
+    pub cmp: AlertCmp,
+    /// Breaching this value (in `cmp`'s direction) starts/extends firing.
+    pub fire_threshold: f64,
+    /// Only values back past this (hysteresis band) count toward resolving.
+    pub resolve_threshold: f64,
+    /// Consecutive breaching windows required to fire, and consecutive calm
+    /// windows required to resolve.
+    pub for_windows: u32,
+}
+
+impl AlertRule {
+    fn breaches(&self, value: f64) -> bool {
+        match self.cmp {
+            AlertCmp::Above => value > self.fire_threshold,
+            AlertCmp::Below => value < self.fire_threshold,
+        }
+    }
+
+    fn calms(&self, value: f64) -> bool {
+        match self.cmp {
+            AlertCmp::Above => value <= self.resolve_threshold,
+            AlertCmp::Below => value >= self.resolve_threshold,
+        }
+    }
+
+    fn evaluate(&self, window: &WindowSnapshot) -> f64 {
+        match self.metric {
+            AlertMetric::P50 | AlertMetric::P95 | AlertMetric::P99 => {
+                let q = match self.metric {
+                    AlertMetric::P50 => 0.50,
+                    AlertMetric::P95 => 0.95,
+                    _ => 0.99,
+                };
+                match self.series {
+                    Some(key) => window.quantile_ns(key, q).unwrap_or(0) as f64,
+                    None => {
+                        // System-wide: merge every series' histogram.
+                        let mut all = SeriesAgg::default();
+                        for agg in window.series.values() {
+                            all.merge(agg);
+                        }
+                        if all.calls == 0 { 0.0 } else { all.hist.quantile_ns(q) as f64 }
+                    }
+                }
+            }
+            AlertMetric::CallRate => window.call_rate_hz(self.series),
+            AlertMetric::AbnormalityRate => window.abnormality_rate_hz(),
+        }
+    }
+}
+
+/// A structured record of one alert transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// The rule's name.
+    pub alert: String,
+    /// `true` on firing, `false` on resolving.
+    pub fired: bool,
+    /// Tumbling window ordinal at which the transition happened.
+    pub window_index: u64,
+    /// The windowed value that completed the transition.
+    pub value: f64,
+    /// The threshold it was compared against.
+    pub threshold: f64,
+}
+
+/// One rule plus its hysteresis state machine and exported series.
+#[derive(Debug)]
+struct AlertState {
+    rule: AlertRule,
+    active: bool,
+    pending_fire: u32,
+    pending_resolve: u32,
+    gauge: Gauge,
+    transitions: Counter,
+}
+
+impl AlertState {
+    fn new(rule: AlertRule) -> AlertState {
+        let registry = MetricsRegistry::global();
+        let gauge = registry.gauge_with(
+            "causeway_live_alert_active",
+            "1 while the named alert is firing.",
+            &[("alert", &rule.name)],
+        );
+        gauge.set(0);
+        let transitions = registry.counter_with(
+            "causeway_live_alert_transitions_total",
+            "Alert firing/resolving transitions.",
+            &[("alert", &rule.name)],
+        );
+        AlertState { rule, active: false, pending_fire: 0, pending_resolve: 0, gauge, transitions }
+    }
+
+    /// Advances the state machine by one finalized window; returns the
+    /// transition completed by this window, if any.
+    fn step(&mut self, window: &WindowSnapshot) -> Option<AlertEvent> {
+        let value = self.rule.evaluate(window);
+        if !self.active {
+            if self.rule.breaches(value) {
+                self.pending_fire += 1;
+                if self.pending_fire >= self.rule.for_windows {
+                    self.active = true;
+                    self.pending_fire = 0;
+                    self.gauge.set(1);
+                    self.transitions.inc();
+                    return Some(AlertEvent {
+                        alert: self.rule.name.clone(),
+                        fired: true,
+                        window_index: window.index,
+                        value,
+                        threshold: self.rule.fire_threshold,
+                    });
+                }
+            } else {
+                self.pending_fire = 0;
+            }
+        } else if self.rule.calms(value) {
+            self.pending_resolve += 1;
+            if self.pending_resolve >= self.rule.for_windows {
+                self.active = false;
+                self.pending_resolve = 0;
+                self.gauge.set(0);
+                self.transitions.inc();
+                return Some(AlertEvent {
+                    alert: self.rule.name.clone(),
+                    fired: false,
+                    window_index: window.index,
+                    value,
+                    threshold: self.rule.resolve_threshold,
+                });
+            }
+        } else {
+            // Inside the hysteresis band (or re-breaching): hold.
+            self.pending_resolve = 0;
+        }
+        None
+    }
+}
+
+/// Parses an alert rule spec.
+///
+/// Grammar: `METRIC[:IFACE.METHOD]CMP VALUE[;for=N][;resolve=VALUE]` with
+/// `METRIC` ∈ `p50|p95|p99|rate|abnormal`, `CMP` ∈ `>` `<`, and latency
+/// values suffixed `ns|us|ms|s` (rates are plain numbers per second).
+/// Example: `p95:Pps::Stage.rasterize>800us;for=2;resolve=400us`.
+pub fn parse_rule(spec: &str, vocab: &VocabSnapshot) -> Result<AlertRule, String> {
+    let mut parts = spec.split(';');
+    let head = parts.next().ok_or("empty rule")?.trim();
+    let mut for_windows = 1u32;
+    let mut resolve_spec: Option<&str> = None;
+    for opt in parts {
+        let opt = opt.trim();
+        if let Some(n) = opt.strip_prefix("for=") {
+            for_windows =
+                n.parse().map_err(|_| format!("bad for= count {n:?} in rule {spec:?}"))?;
+            if for_windows == 0 {
+                return Err(format!("for=0 is meaningless in rule {spec:?}"));
+            }
+        } else if let Some(v) = opt.strip_prefix("resolve=") {
+            resolve_spec = Some(v);
+        } else if !opt.is_empty() {
+            return Err(format!("unknown option {opt:?} in rule {spec:?}"));
+        }
+    }
+
+    let cmp_at = head
+        .find(['>', '<'])
+        .ok_or_else(|| format!("rule {spec:?} has no > or < comparison"))?;
+    let cmp = if head.as_bytes()[cmp_at] == b'>' { AlertCmp::Above } else { AlertCmp::Below };
+    let (target, value_spec) = (head[..cmp_at].trim(), head[cmp_at + 1..].trim());
+
+    let (metric_name, series_name) = match target.split_once(':') {
+        Some((m, s)) => (m.trim(), Some(s.trim())),
+        None => (target, None),
+    };
+    let metric = match metric_name {
+        "p50" => AlertMetric::P50,
+        "p95" => AlertMetric::P95,
+        "p99" => AlertMetric::P99,
+        "rate" => AlertMetric::CallRate,
+        "abnormal" => AlertMetric::AbnormalityRate,
+        other => return Err(format!("unknown metric {other:?} in rule {spec:?}")),
+    };
+    let series = match series_name {
+        None | Some("") => None,
+        Some(name) => Some(
+            resolve_series(vocab, name)
+                .ok_or_else(|| format!("unknown operation {name:?} in rule {spec:?}"))?,
+        ),
+    };
+    if series.is_some() && metric == AlertMetric::AbnormalityRate {
+        return Err(format!("abnormal is system-wide; drop the series in rule {spec:?}"));
+    }
+
+    let latency = matches!(metric, AlertMetric::P50 | AlertMetric::P95 | AlertMetric::P99);
+    let fire_threshold = parse_value(value_spec, latency)
+        .ok_or_else(|| format!("bad threshold {value_spec:?} in rule {spec:?}"))?;
+    let resolve_threshold = match resolve_spec {
+        Some(v) => parse_value(v, latency)
+            .ok_or_else(|| format!("bad resolve threshold {v:?} in rule {spec:?}"))?,
+        None => fire_threshold,
+    };
+    let band_ok = match cmp {
+        AlertCmp::Above => resolve_threshold <= fire_threshold,
+        AlertCmp::Below => resolve_threshold >= fire_threshold,
+    };
+    if !band_ok {
+        return Err(format!("resolve threshold must be on the calm side in rule {spec:?}"));
+    }
+
+    Ok(AlertRule {
+        name: spec.trim().to_owned(),
+        metric,
+        series,
+        cmp,
+        fire_threshold,
+        resolve_threshold,
+        for_windows,
+    })
+}
+
+/// Resolves `Iface::Name.method` against a vocabulary snapshot.
+pub fn resolve_series(vocab: &VocabSnapshot, name: &str) -> Option<SeriesKey> {
+    let (iface_name, method_name) = name.rsplit_once('.')?;
+    let iface = vocab
+        .interfaces
+        .iter()
+        .position(|e| e.name == iface_name)
+        .map(|i| InterfaceId(i as u32))?;
+    let method = vocab.interfaces[iface.0 as usize]
+        .methods
+        .iter()
+        .position(|m| m == method_name)
+        .map(|i| MethodIndex(i as u16))?;
+    Some((iface, method))
+}
+
+fn parse_value(spec: &str, latency: bool) -> Option<f64> {
+    let spec = spec.trim();
+    if latency {
+        let (num, scale) = if let Some(n) = spec.strip_suffix("ns") {
+            (n, 1.0)
+        } else if let Some(n) = spec.strip_suffix("us") {
+            (n, 1e3)
+        } else if let Some(n) = spec.strip_suffix("ms") {
+            (n, 1e6)
+        } else if let Some(n) = spec.strip_suffix('s') {
+            (n, 1e9)
+        } else {
+            (spec, 1.0)
+        };
+        num.trim().parse::<f64>().ok().map(|v| v * scale)
+    } else {
+        spec.parse::<f64>().ok()
+    }
+}
+
+/// Per-chain buffered completions for flamegraph folding: `(func, depth,
+/// latency_ns)` in the analyzer's post-order emission order.
+type ChainCompletions = Vec<(FunctionKey, usize, u64)>;
+
+/// The live monitoring service core: windowed characterization over the
+/// on-line analyzer, plus alerting and exporters. Wrap in
+/// `Arc<Mutex<_>>` and hand to [`serve`] for the HTTP endpoints.
+#[derive(Debug)]
+pub struct LiveMonitor {
+    cfg: LiveConfig,
+    analyzer: OnlineAnalyzer,
+    vocab: VocabSnapshot,
+    deployment: Deployment,
+    started: Instant,
+    slice_ns: u64,
+    /// Closed slices, oldest first; at most `cfg.slices` retained.
+    closed: VecDeque<Slice>,
+    /// The accumulating slice and its absolute index, once time has started.
+    current: Option<(u64, Slice)>,
+    /// Raw records of the current tumbling window (capped) for `/trace`.
+    window_records: Vec<ProbeRecord>,
+    window_records_dropped: u64,
+    last_window_records: Vec<ProbeRecord>,
+    last_window: Option<WindowSnapshot>,
+    alerts: Vec<AlertState>,
+    alert_log: VecDeque<AlertEvent>,
+    chain_events: HashMap<Uuid, ChainCompletions>,
+    folded: BTreeMap<String, u64>,
+    total_completed: u64,
+    total_abnormalities: u64,
+    window_gauges: HashMap<SeriesKey, [Gauge; 5]>,
+}
+
+impl LiveMonitor {
+    /// Creates a monitor. The vocabulary and deployment snapshots label the
+    /// JSON/flamegraph/trace exports (take them from the live system's
+    /// `SystemVocab::snapshot()` / `deployment()`).
+    pub fn new(cfg: LiveConfig, vocab: VocabSnapshot, deployment: Deployment) -> LiveMonitor {
+        let slice_ns =
+            (cfg.window.as_nanos() as u64 / cfg.slices.max(1) as u64).max(1);
+        LiveMonitor {
+            cfg,
+            analyzer: OnlineAnalyzer::new(),
+            vocab,
+            deployment,
+            started: Instant::now(),
+            slice_ns,
+            closed: VecDeque::new(),
+            current: None,
+            window_records: Vec::new(),
+            window_records_dropped: 0,
+            last_window_records: Vec::new(),
+            last_window: None,
+            alerts: Vec::new(),
+            alert_log: VecDeque::new(),
+            chain_events: HashMap::new(),
+            folded: BTreeMap::new(),
+            total_completed: 0,
+            total_abnormalities: 0,
+            window_gauges: HashMap::new(),
+        }
+    }
+
+    /// Nanoseconds since this monitor was created (the default time base).
+    pub fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// The vocabulary snapshot the exports are labelled with.
+    pub fn vocab(&self) -> &VocabSnapshot {
+        &self.vocab
+    }
+
+    /// Registers an alert rule.
+    pub fn add_rule(&mut self, rule: AlertRule) {
+        self.alerts.push(AlertState::new(rule));
+    }
+
+    /// Parses and registers an alert rule spec (see [`parse_rule`]).
+    pub fn add_rule_spec(&mut self, spec: &str) -> Result<(), String> {
+        let rule = parse_rule(spec, &self.vocab)?;
+        self.add_rule(rule);
+        Ok(())
+    }
+
+    /// Ingests a batch of probe records stamped with the monitor's clock.
+    pub fn ingest_batch(&mut self, records: Vec<ProbeRecord>) {
+        self.ingest_batch_at(records, self.now_ns());
+    }
+
+    /// Ingests a batch of probe records at an explicit time.
+    pub fn ingest_batch_at(&mut self, records: Vec<ProbeRecord>, now_ns: u64) {
+        self.roll_to(now_ns);
+        for record in &records {
+            if self.window_records.len() < self.cfg.trace_capacity {
+                self.window_records.push(record.clone());
+            } else {
+                self.window_records_dropped += 1;
+            }
+        }
+        let mut events = Vec::new();
+        self.analyzer.ingest_batch(records, &mut |e| events.push(e));
+        self.absorb(events);
+        self.analyzer.publish_metrics();
+    }
+
+    /// Advances window time with no new records (idle periods must still
+    /// finalize windows so alerts can resolve).
+    pub fn tick(&mut self) {
+        self.tick_at(self.now_ns());
+    }
+
+    /// Advances window time to an explicit instant.
+    pub fn tick_at(&mut self, now_ns: u64) {
+        self.roll_to(now_ns);
+    }
+
+    fn absorb(&mut self, events: Vec<OnlineEvent>) {
+        let slice = match self.current.as_mut() {
+            Some((_, slice)) => slice,
+            None => return, // roll_to always ran first; defensive only
+        };
+        for event in events {
+            match event {
+                OnlineEvent::CallCompleted { chain, func, depth, latency_ns } => {
+                    let latency = latency_ns.unwrap_or(0);
+                    slice
+                        .series
+                        .entry((func.interface, func.method))
+                        .or_default()
+                        .record(latency);
+                    slice.completed_calls += 1;
+                    self.total_completed += 1;
+                    let pending = self.chain_events.entry(chain).or_default();
+                    if pending.len() < self.cfg.chain_event_capacity {
+                        pending.push((func, depth, latency));
+                    }
+                }
+                OnlineEvent::Abnormality { .. } => {
+                    slice.abnormalities += 1;
+                    self.total_abnormalities += 1;
+                }
+                OnlineEvent::ChainIdle { chain, .. } => {
+                    if let Some(completions) = self.chain_events.remove(&chain) {
+                        fold_completions(&completions, &self.vocab, &mut self.folded);
+                    }
+                    // Completed transactions must not accumulate analyzer
+                    // state forever in a long-running service.
+                    self.analyzer.forget_chain(chain);
+                }
+            }
+        }
+    }
+
+    /// Advances the slice/window machinery to cover `now_ns`.
+    fn roll_to(&mut self, now_ns: u64) {
+        let target = now_ns / self.slice_ns;
+        let spw = self.cfg.slices.max(1) as u64;
+        let Some((mut index, _)) = self.current else {
+            self.current = Some((target, Slice::default()));
+            return;
+        };
+        if target <= index {
+            return; // time within the current slice (or stale stamp)
+        }
+        // After a very long idle gap, every skipped window is empty and the
+        // alert machinery converges within `for_windows` of them — evaluate
+        // a bounded number and jump.
+        let max_catchup = spw * 64;
+        if target - index > max_catchup {
+            let resume = target - max_catchup;
+            self.closed.clear();
+            self.current = Some((resume, Slice::default()));
+            index = resume;
+        }
+        while index < target {
+            let (_, done) =
+                self.current.replace((index + 1, Slice::default())).expect("current set");
+            self.closed.push_back(done);
+            while self.closed.len() > self.cfg.slices.max(1) {
+                self.closed.pop_front();
+            }
+            index += 1;
+            if index % spw == 0 {
+                self.finalize_window(index / spw - 1);
+            }
+        }
+    }
+
+    /// Merges the trailing `count` closed slices (plus optionally the
+    /// accumulating one) into a snapshot.
+    fn merge_slices(&self, include_current: bool) -> WindowSnapshot {
+        let mut snap = WindowSnapshot {
+            index: u64::MAX,
+            span_ns: 0,
+            series: BTreeMap::new(),
+            completed_calls: 0,
+            abnormalities: 0,
+        };
+        let mut merged = 0u64;
+        for slice in self.closed.iter() {
+            merge_slice(&mut snap, slice);
+            merged += 1;
+        }
+        if include_current {
+            if let Some((_, slice)) = &self.current {
+                merge_slice(&mut snap, slice);
+                merged += 1;
+            }
+        }
+        snap.span_ns = merged * self.slice_ns;
+        snap
+    }
+
+    fn finalize_window(&mut self, window_index: u64) {
+        // The ring holds exactly the window's slices: `roll_to` closes one
+        // slice at a time and trims to `cfg.slices`.
+        let mut snap = self.merge_slices(false);
+        snap.index = window_index;
+        snap.span_ns = self.cfg.slices.max(1) as u64 * self.slice_ns;
+
+        self.export_window_gauges(&snap);
+        let mut events = Vec::new();
+        for alert in &mut self.alerts {
+            if let Some(event) = alert.step(&snap) {
+                events.push(event);
+            }
+        }
+        for event in events {
+            self.alert_log.push_back(event);
+            while self.alert_log.len() > self.cfg.alert_log_capacity {
+                self.alert_log.pop_front();
+            }
+        }
+
+        self.last_window_records = std::mem::take(&mut self.window_records);
+        self.window_records_dropped = 0;
+        self.last_window = Some(snap);
+    }
+
+    fn export_window_gauges(&mut self, snap: &WindowSnapshot) {
+        let registry = MetricsRegistry::global();
+        for (key, agg) in &snap.series {
+            let gauges = self.window_gauges.entry(*key).or_insert_with(|| {
+                let iface = self.vocab.interface_name(key.0).to_owned();
+                let method = self.vocab.method_name(key.0, key.1).to_owned();
+                let labels = [("iface", iface.as_str()), ("method", method.as_str())];
+                [
+                    registry.gauge_with(
+                        "causeway_live_window_p50_ns",
+                        "Median latency over the last tumbling window.",
+                        &labels,
+                    ),
+                    registry.gauge_with(
+                        "causeway_live_window_p95_ns",
+                        "95th-percentile latency over the last tumbling window.",
+                        &labels,
+                    ),
+                    registry.gauge_with(
+                        "causeway_live_window_p99_ns",
+                        "99th-percentile latency over the last tumbling window.",
+                        &labels,
+                    ),
+                    registry.gauge_with(
+                        "causeway_live_window_calls",
+                        "Invocations completed in the last tumbling window.",
+                        &labels,
+                    ),
+                    registry.gauge_with(
+                        "causeway_live_window_busy_ns",
+                        "Summed invocation latency over the last tumbling window.",
+                        &labels,
+                    ),
+                ]
+            });
+            gauges[0].set(agg.hist.quantile_ns(0.50) as i64);
+            gauges[1].set(agg.hist.quantile_ns(0.95) as i64);
+            gauges[2].set(agg.hist.quantile_ns(0.99) as i64);
+            gauges[3].set(agg.calls as i64);
+            gauges[4].set(agg.latency_sum_ns as i64);
+        }
+        // Series absent from this window drop to zero rather than freezing
+        // at their last value.
+        for (key, gauges) in &self.window_gauges {
+            if !snap.series.contains_key(key) {
+                for gauge in gauges {
+                    gauge.set(0);
+                }
+            }
+        }
+        registry
+            .gauge_with(
+                "causeway_live_window_abnormalities",
+                "Reconstruction failures in the last tumbling window.",
+                &[],
+            )
+            .set(snap.abnormalities as i64);
+        registry
+            .gauge_with(
+                "causeway_live_window_completed_calls",
+                "Invocations completed in the last tumbling window.",
+                &[],
+            )
+            .set(snap.completed_calls as i64);
+    }
+
+    /// The sliding view: the most recent `cfg.slices` slices including the
+    /// accumulating one. At slice granularity this trails the tumbling
+    /// window by at most one slice.
+    pub fn sliding(&self) -> WindowSnapshot {
+        self.merge_slices(true)
+    }
+
+    /// The last finalized tumbling window, if one has completed.
+    pub fn last_window(&self) -> Option<&WindowSnapshot> {
+        self.last_window.as_ref()
+    }
+
+    /// Names of currently firing alerts.
+    pub fn active_alerts(&self) -> Vec<String> {
+        self.alerts.iter().filter(|a| a.active).map(|a| a.rule.name.clone()).collect()
+    }
+
+    /// All retained alert transitions, oldest first.
+    pub fn alert_log(&self) -> impl Iterator<Item = &AlertEvent> {
+        self.alert_log.iter()
+    }
+
+    /// Invocations completed since construction.
+    pub fn total_completed(&self) -> u64 {
+        self.total_completed
+    }
+
+    /// Abnormalities observed since construction.
+    pub fn total_abnormalities(&self) -> u64 {
+        self.total_abnormalities
+    }
+
+    /// Chains with unfinished work, from the underlying analyzer.
+    pub fn open_chain_summaries(&self) -> Vec<OpenChainSummary> {
+        self.analyzer.open_chain_summaries()
+    }
+
+    /// Cumulative folded flamegraph stacks (`a;b;c self_ns` per line,
+    /// inferno-compatible), sorted by stack for deterministic output.
+    pub fn folded_stacks(&self) -> String {
+        let mut out = String::new();
+        for (stack, self_ns) in &self.folded {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Chrome trace-event JSON of the last finalized window's raw records
+    /// (falls back to the accumulating window before the first boundary).
+    pub fn trace_json(&self) -> String {
+        let records = if self.last_window_records.is_empty() {
+            self.window_records.clone()
+        } else {
+            self.last_window_records.clone()
+        };
+        let run = RunLog::new(records, self.vocab.clone(), self.deployment.clone());
+        chrome_trace::export(&MonitoringDb::from_run(run))
+    }
+
+    /// The `/latency` JSON body: per-series windowed statistics, optionally
+    /// filtered to one interface (and method) by name.
+    pub fn latency_json(&self, iface: Option<&str>, method: Option<&str>) -> Json {
+        let window = self.sliding();
+        let mut series = Vec::new();
+        for (key, agg) in &window.series {
+            let iface_name = self.vocab.interface_name(key.0);
+            let method_name = self.vocab.method_name(key.0, key.1);
+            if iface.is_some_and(|want| want != iface_name) {
+                continue;
+            }
+            if method.is_some_and(|want| want != method_name) {
+                continue;
+            }
+            series.push(Json::obj([
+                ("iface", Json::Str(iface_name.to_owned())),
+                ("method", Json::Str(method_name.to_owned())),
+                ("calls", Json::Num(agg.calls as f64)),
+                ("call_rate_hz", Json::Num(window.call_rate_hz(Some(*key)))),
+                (
+                    "mean_ns",
+                    Json::Num(if agg.calls == 0 {
+                        0.0
+                    } else {
+                        agg.latency_sum_ns as f64 / agg.calls as f64
+                    }),
+                ),
+                ("p50_ns", Json::Num(agg.hist.quantile_ns(0.50) as f64)),
+                ("p95_ns", Json::Num(agg.hist.quantile_ns(0.95) as f64)),
+                ("p99_ns", Json::Num(agg.hist.quantile_ns(0.99) as f64)),
+                ("busy_share", Json::Num(window.busy_share(*key))),
+            ]));
+        }
+        Json::obj([
+            ("window_ns", Json::Num(window.span_ns as f64)),
+            ("completed_calls", Json::Num(window.completed_calls as f64)),
+            ("abnormality_rate_hz", Json::Num(window.abnormality_rate_hz())),
+            ("series", Json::Arr(series)),
+        ])
+    }
+
+    /// The `/healthz` JSON body and HTTP status: 200 while no alert fires,
+    /// 503 with the firing names otherwise.
+    pub fn health_json(&self) -> (u16, Json) {
+        let active = self.active_alerts();
+        let status = if active.is_empty() { 200 } else { 503 };
+        let body = Json::obj([
+            (
+                "status",
+                Json::Str(if active.is_empty() { "ok" } else { "degraded" }.to_owned()),
+            ),
+            ("active_alerts", Json::Arr(active.into_iter().map(Json::Str).collect())),
+            ("open_chains", Json::Num(self.analyzer.open_chains() as f64)),
+            ("buffered_records", Json::Num(self.analyzer.buffered_records() as f64)),
+            ("completed_calls", Json::Num(self.total_completed as f64)),
+            ("abnormalities", Json::Num(self.total_abnormalities as f64)),
+        ]);
+        (status, body)
+    }
+
+    /// The `/chains` JSON body: every chain with unfinished work.
+    pub fn chains_json(&self) -> Json {
+        let chains = self
+            .open_chain_summaries()
+            .into_iter()
+            .map(|s| {
+                Json::obj([
+                    ("chain", Json::Str(s.chain.to_string())),
+                    ("open_calls", Json::Num(s.open_calls as f64)),
+                    (
+                        "innermost",
+                        match s.innermost {
+                            Some(func) => Json::Str(self.vocab.qualified_function(&func)),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("buffered_records", Json::Num(s.buffered_records as f64)),
+                    ("completed_calls", Json::Num(s.completed_calls as f64)),
+                    ("processed_seq", Json::Num(s.processed_seq as f64)),
+                ])
+            })
+            .collect();
+        Json::obj([("open_chains", Json::Arr(chains))])
+    }
+}
+
+/// Reconstructs each chain's call tree from its post-order completion
+/// events and accumulates self-time folded stacks.
+///
+/// The analyzer emits `CallCompleted` in post-order (children before
+/// parents) with depths, which uniquely determines the tree: scanning the
+/// events in order, a completion at depth `d` adopts the contiguous run of
+/// already-built subtrees of depth `d + 1` at the top of the stack.
+fn fold_completions(
+    completions: &[(FunctionKey, usize, u64)],
+    vocab: &VocabSnapshot,
+    folded: &mut BTreeMap<String, u64>,
+) {
+    struct Built {
+        func: FunctionKey,
+        depth: usize,
+        latency_ns: u64,
+        children: Vec<Built>,
+    }
+    let mut stack: Vec<Built> = Vec::new();
+    for &(func, depth, latency_ns) in completions {
+        let mut children = Vec::new();
+        while stack.last().is_some_and(|b| b.depth == depth + 1) {
+            children.push(stack.pop().expect("checked last"));
+        }
+        children.reverse(); // popped newest-first; restore call order
+        stack.push(Built { func, depth, latency_ns, children });
+    }
+
+    // Iterative pre-order walk, threading the folded path down.
+    let mut work: Vec<(Built, String)> = Vec::new();
+    for root in stack {
+        let frame = format!(
+            "{}.{}",
+            vocab.interface_name(root.func.interface),
+            vocab.method_name(root.func.interface, root.func.method)
+        );
+        work.push((root, frame));
+    }
+    while let Some((node, path)) = work.pop() {
+        let child_ns: u64 = node.children.iter().map(|c| c.latency_ns).sum();
+        let self_ns = node.latency_ns.saturating_sub(child_ns);
+        *folded.entry(path.clone()).or_insert(0) += self_ns;
+        for child in node.children {
+            let frame = format!(
+                "{};{}.{}",
+                path,
+                vocab.interface_name(child.func.interface),
+                vocab.method_name(child.func.interface, child.func.method)
+            );
+            work.push((child, frame));
+        }
+    }
+}
+
+fn merge_slice(snap: &mut WindowSnapshot, slice: &Slice) {
+    for (key, agg) in &slice.series {
+        snap.series.entry(*key).or_default().merge(agg);
+    }
+    snap.completed_calls += slice.completed_calls;
+    snap.abnormalities += slice.abnormalities;
+}
+
+/// Mounts a shared [`LiveMonitor`] behind the embedded HTTP server.
+///
+/// Routes: `/metrics` (Prometheus exposition of the process-global
+/// registry), `/healthz` (alert-aware, 503 while any alert fires),
+/// `/chains`, `/latency[?iface=..&method=..]`, `/flamegraph` (folded
+/// stacks), `/trace` (Chrome trace of the last window). Every handler
+/// first advances window time so idle systems keep rotating windows.
+pub fn serve(monitor: Arc<Mutex<LiveMonitor>>, addr: &str) -> std::io::Result<HttpServer> {
+    let on = |monitor: &Arc<Mutex<LiveMonitor>>,
+              f: fn(&mut LiveMonitor, &Request) -> Response|
+     -> Handler {
+        let monitor = Arc::clone(monitor);
+        Box::new(move |req: &Request| {
+            let mut guard = match monitor.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.tick();
+            f(&mut guard, req)
+        })
+    };
+    let routes: Vec<(String, Handler)> = vec![
+        (
+            "/metrics".to_owned(),
+            on(&monitor, |_, _| {
+                Response::text(200, MetricsRegistry::global().render_prometheus())
+            }),
+        ),
+        (
+            "/healthz".to_owned(),
+            on(&monitor, |m, _| {
+                let (status, body) = m.health_json();
+                Response::json(status, body.to_string())
+            }),
+        ),
+        (
+            "/chains".to_owned(),
+            on(&monitor, |m, _| Response::json(200, m.chains_json().to_string())),
+        ),
+        (
+            "/latency".to_owned(),
+            on(&monitor, |m, req| {
+                let body =
+                    m.latency_json(req.query_param("iface"), req.query_param("method"));
+                Response::json(200, body.to_string())
+            }),
+        ),
+        (
+            "/flamegraph".to_owned(),
+            on(&monitor, |m, _| Response::text(200, m.folded_stacks())),
+        ),
+        (
+            "/trace".to_owned(),
+            on(&monitor, |m, _| Response::json(200, m.trace_json())),
+        ),
+    ];
+    HttpServer::bind(addr, routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causeway_core::event::{CallKind, TraceEvent};
+    use causeway_core::ids::{LogicalThreadId, NodeId, ObjectId, ProcessId};
+    use causeway_core::names::{ComponentId, InterfaceEntry, ObjectEntry};
+    use causeway_core::record::CallSite;
+
+    const SLICE_NS: u64 = 200_000_000; // 5 slices of a 1s window
+    const WINDOW_NS: u64 = 1_000_000_000;
+
+    fn test_config() -> LiveConfig {
+        LiveConfig { window: Duration::from_nanos(WINDOW_NS), slices: 5, ..LiveConfig::default() }
+    }
+
+    fn test_vocab() -> VocabSnapshot {
+        VocabSnapshot {
+            interfaces: vec![
+                InterfaceEntry {
+                    name: "Test::Alpha".to_owned(),
+                    methods: vec!["run".to_owned(), "poll".to_owned()],
+                },
+                InterfaceEntry { name: "Test::Beta".to_owned(), methods: vec!["go".to_owned()] },
+            ],
+            components: vec![],
+            cpu_types: vec![],
+            objects: vec![(
+                ObjectId(7),
+                ObjectEntry {
+                    label: "alpha-7".to_owned(),
+                    interface: InterfaceId(0),
+                    component: ComponentId(0),
+                    process: ProcessId(0),
+                },
+            )],
+        }
+    }
+
+    fn monitor() -> LiveMonitor {
+        LiveMonitor::new(test_config(), test_vocab(), Deployment::default())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        chain: u128,
+        seq: u64,
+        event: TraceEvent,
+        iface: u32,
+        method: u16,
+        object: u64,
+        start: u64,
+        end: u64,
+    ) -> ProbeRecord {
+        ProbeRecord {
+            uuid: Uuid(chain),
+            seq,
+            event,
+            kind: CallKind::Sync,
+            site: CallSite { node: NodeId(0), process: ProcessId(0), thread: LogicalThreadId(0) },
+            func: FunctionKey::new(InterfaceId(iface), MethodIndex(method), ObjectId(object)),
+            wall_start: Some(start),
+            wall_end: Some(end),
+            cpu_start: None,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: None,
+        }
+    }
+
+    /// A complete synchronous root call on `chain`: the compensated latency
+    /// is `stub_end.wall_start − stub_start.wall_end` (no children, so no
+    /// overhead subtraction) = `latency_ns + 4` with this 1ns-probe
+    /// geometry — see [`compensated`].
+    fn sync_call(chain: u128, iface: u32, method: u16, latency_ns: u64) -> Vec<ProbeRecord> {
+        let t0 = 0;
+        let send_end = t0 + 1;
+        let skel_start = (send_end + 1, send_end + 2);
+        let skel_end_start = skel_start.1 + latency_ns;
+        let skel_end = (skel_end_start, skel_end_start + 1);
+        let reply_start = skel_end.1 + 1;
+        vec![
+            record(chain, 1, TraceEvent::StubStart, iface, method, 7, t0, send_end),
+            record(chain, 2, TraceEvent::SkelStart, iface, method, 7, skel_start.0, skel_start.1),
+            record(chain, 3, TraceEvent::SkelEnd, iface, method, 7, skel_end.0, skel_end.1),
+            record(chain, 4, TraceEvent::StubEnd, iface, method, 7, reply_start, reply_start + 1),
+        ]
+    }
+
+    /// The compensated latency `sync_call` produces:
+    /// `stub_end.wall_start − stub_start.wall_end` with the gaps the helper
+    /// lays out (1ns hop each side of the skeleton window).
+    fn compensated(latency_ns: u64) -> u64 {
+        latency_ns + 4
+    }
+
+    #[test]
+    fn windows_rotate_and_capture_series() {
+        let mut m = monitor();
+        m.ingest_batch_at(sync_call(1, 0, 0, 1000), 10);
+        assert!(m.last_window().is_none(), "window not yet complete");
+        let sliding = m.sliding();
+        let key = (InterfaceId(0), MethodIndex(0));
+        assert_eq!(sliding.series[&key].calls, 1);
+
+        // Crossing the window boundary finalizes a tumbling snapshot.
+        m.tick_at(WINDOW_NS + 1);
+        let window = m.last_window().expect("finalized");
+        assert_eq!(window.index, 0);
+        assert_eq!(window.completed_calls, 1);
+        assert_eq!(window.span_ns, WINDOW_NS);
+        let q = window.quantile_ns(key, 0.5).unwrap();
+        let exact = compensated(1000);
+        assert!(q >= exact && q <= exact.next_power_of_two().max(2 * exact));
+    }
+
+    #[test]
+    fn sliding_equals_tumbling_for_aligned_batches() {
+        // Everything lands in window 0's slices; at the boundary, the
+        // sliding view (before any new slice opens) must equal the tumbling
+        // snapshot series-for-series.
+        let mut m = monitor();
+        for (i, latency) in [1_000u64, 50_000, 2_000_000, 900].into_iter().enumerate() {
+            let at = i as u64 * SLICE_NS + 5; // one batch per slice
+            m.ingest_batch_at(sync_call(i as u128 + 1, 0, 0, latency), at);
+        }
+        m.tick_at(WINDOW_NS); // close slice 4, finalize window 0
+        let tumbling = m.last_window().expect("finalized").clone();
+        let sliding = m.sliding();
+        assert_eq!(sliding.completed_calls, tumbling.completed_calls);
+        assert_eq!(sliding.series.len(), tumbling.series.len());
+        for (key, agg) in &tumbling.series {
+            let s = &sliding.series[key];
+            assert_eq!(s.calls, agg.calls);
+            assert_eq!(s.latency_sum_ns, agg.latency_sum_ns);
+            assert_eq!(s.hist, agg.hist, "histograms must match bucket-for-bucket");
+        }
+    }
+
+    #[test]
+    fn hysteresis_fires_once_and_resolves_once_per_excursion() {
+        let mut m = monitor();
+        m.add_rule(AlertRule {
+            name: "p50-high".to_owned(),
+            metric: AlertMetric::P50,
+            series: Some((InterfaceId(0), MethodIndex(0))),
+            cmp: AlertCmp::Above,
+            fire_threshold: 1_000_000.0,  // 1ms
+            resolve_threshold: 100_000.0, // 0.1ms
+            for_windows: 2,
+        });
+
+        // An oscillating series that hops between the fire threshold's far
+        // side and the hysteresis band every window: slow, slow, band, slow,
+        // band, then calm, calm. Without hysteresis + for=2 this would flap.
+        let per_window_latency = [
+            5_000_000u64, // W0 breach (pending 1)
+            5_000_000,    // W1 breach → FIRES
+            400_000,      // W2 inside band: stays active, no resolve progress
+            5_000_000,    // W3 breach again: still active, no second fire
+            400_000,      // W4 band: active
+            1_000,        // W5 calm (pending 1)
+            1_000,        // W6 calm → RESOLVES
+        ];
+        for (w, latency) in per_window_latency.into_iter().enumerate() {
+            let at = w as u64 * WINDOW_NS + 5;
+            m.ingest_batch_at(sync_call(w as u128 + 1, 0, 0, latency), at);
+        }
+        m.tick_at(8 * WINDOW_NS); // finalize W7 (empty) too
+
+        let log: Vec<&AlertEvent> = m.alert_log().collect();
+        assert_eq!(log.len(), 2, "exactly one fire + one resolve, got {log:?}");
+        assert!(log[0].fired && log[0].window_index == 1, "fired at W1: {:?}", log[0]);
+        assert!(!log[1].fired && log[1].window_index == 6, "resolved at W6: {:?}", log[1]);
+        assert!(m.active_alerts().is_empty());
+    }
+
+    #[test]
+    fn alert_gauge_tracks_active_state() {
+        let mut m = monitor();
+        m.add_rule(AlertRule {
+            name: "gauge-probe".to_owned(),
+            metric: AlertMetric::CallRate,
+            series: None,
+            cmp: AlertCmp::Above,
+            fire_threshold: 0.5,
+            resolve_threshold: 0.5,
+            for_windows: 1,
+        });
+        for w in 0..3u64 {
+            m.ingest_batch_at(sync_call(w as u128 + 1, 0, 0, 1000), w * WINDOW_NS + 5);
+        }
+        m.tick_at(3 * WINDOW_NS);
+        assert_eq!(m.active_alerts(), vec!["gauge-probe".to_owned()]);
+        let exposition = MetricsRegistry::global().render_prometheus();
+        assert!(
+            exposition.contains("causeway_live_alert_active{alert=\"gauge-probe\"} 1"),
+            "gauge missing from exposition"
+        );
+        let (status, _) = m.health_json();
+        assert_eq!(status, 503);
+    }
+
+    #[test]
+    fn rule_parser_round_trips() {
+        let vocab = test_vocab();
+        let rule = parse_rule("p95:Test::Alpha.run>800us;for=2;resolve=400us", &vocab).unwrap();
+        assert_eq!(rule.metric, AlertMetric::P95);
+        assert_eq!(rule.series, Some((InterfaceId(0), MethodIndex(0))));
+        assert_eq!(rule.cmp, AlertCmp::Above);
+        assert_eq!(rule.fire_threshold, 800_000.0);
+        assert_eq!(rule.resolve_threshold, 400_000.0);
+        assert_eq!(rule.for_windows, 2);
+
+        let rate = parse_rule("rate<0.5;for=3", &vocab).unwrap();
+        assert_eq!(rate.metric, AlertMetric::CallRate);
+        assert_eq!(rate.series, None);
+        assert_eq!(rate.cmp, AlertCmp::Below);
+        assert_eq!(rate.fire_threshold, 0.5);
+
+        assert!(parse_rule("p95:Nope::Missing.run>1ms", &vocab).is_err());
+        assert!(parse_rule("p95>1ms;resolve=2ms", &vocab).is_err(), "inverted band");
+        assert!(parse_rule("bogus>1", &vocab).is_err());
+        assert!(parse_rule("p95=1ms", &vocab).is_err(), "no comparison");
+    }
+
+    #[test]
+    fn folded_stacks_attribute_self_time() {
+        let mut m = monitor();
+        // A parent (Alpha.run) wrapping one child (Beta.go): nested sync
+        // calls on one chain. Parent seq 1..2, child seq 3..6, parent 7..8.
+        let t = |n: u64| n * 10;
+        let records = vec![
+            record(1, 1, TraceEvent::StubStart, 0, 0, 7, t(0), t(0) + 1),
+            record(1, 2, TraceEvent::SkelStart, 0, 0, 7, t(1), t(1) + 1),
+            record(1, 3, TraceEvent::StubStart, 1, 0, 7, t(2), t(2) + 1),
+            record(1, 4, TraceEvent::SkelStart, 1, 0, 7, t(3), t(3) + 1),
+            record(1, 5, TraceEvent::SkelEnd, 1, 0, 7, t(4), t(4) + 1),
+            record(1, 6, TraceEvent::StubEnd, 1, 0, 7, t(5), t(5) + 1),
+            record(1, 7, TraceEvent::SkelEnd, 0, 0, 7, t(6), t(6) + 1),
+            record(1, 8, TraceEvent::StubEnd, 0, 0, 7, t(7), t(7) + 1),
+        ];
+        m.ingest_batch_at(records, 10);
+        let folded = m.folded_stacks();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 2, "parent and child frames: {folded:?}");
+        assert!(lines[0].starts_with("Test::Alpha.run "), "root first: {folded:?}");
+        assert!(
+            lines[1].starts_with("Test::Alpha.run;Test::Beta.go "),
+            "child nested under parent: {folded:?}"
+        );
+        // Self time is parent latency minus child latency — strictly less
+        // than the parent's total.
+        let parent_self: u64 = lines[0].rsplit(' ').next().unwrap().parse().unwrap();
+        let child_self: u64 = lines[1].rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(parent_self > 0 && child_self > 0);
+        assert!(parent_self < parent_self + child_self);
+    }
+
+    #[test]
+    fn idle_chains_are_forgotten() {
+        let mut m = monitor();
+        m.ingest_batch_at(sync_call(1, 0, 0, 1000), 10);
+        assert_eq!(m.open_chain_summaries().len(), 0);
+        assert_eq!(m.analyzer.open_chains(), 0);
+        // The chain's per-chain analyzer state is gone entirely (not just
+        // filtered out of the summaries).
+        assert!(!m.analyzer.forget_chain(Uuid(1)), "state already dropped");
+    }
+
+    #[test]
+    fn long_idle_gap_fast_forwards_and_resolves_alerts() {
+        let mut m = monitor();
+        m.add_rule(AlertRule {
+            name: "stuck".to_owned(),
+            metric: AlertMetric::CallRate,
+            series: None,
+            cmp: AlertCmp::Above,
+            fire_threshold: 0.5,
+            resolve_threshold: 0.5,
+            for_windows: 1,
+        });
+        m.ingest_batch_at(sync_call(1, 0, 0, 1000), 5);
+        m.tick_at(WINDOW_NS + 1);
+        assert_eq!(m.active_alerts().len(), 1);
+        // A week of idleness later, the alert has resolved and the monitor
+        // did not iterate hundreds of millions of slices to learn that.
+        m.tick_at(7 * 24 * 3600 * WINDOW_NS);
+        assert!(m.active_alerts().is_empty());
+    }
+
+    #[test]
+    fn http_endpoints_serve_live_state() {
+        let m = Arc::new(Mutex::new(monitor()));
+        {
+            let mut guard = m.lock().unwrap();
+            guard.ingest_batch_at(sync_call(1, 0, 0, 50_000), 10);
+        }
+        let server = serve(Arc::clone(&m), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let get = |path: &str| -> (u16, String) {
+            use std::io::{Read, Write};
+            let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+            write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+                .expect("send");
+            let mut raw = String::new();
+            conn.read_to_string(&mut raw).expect("read");
+            let status: u16 =
+                raw.split_whitespace().nth(1).expect("status").parse().expect("numeric");
+            let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+            (status, body)
+        };
+
+        let (status, metrics) = get("/metrics");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("causeway_online_open_chains"));
+
+        let (status, health) = get("/healthz");
+        assert_eq!(status, 200);
+        let health = causeway_collector::json::parse(&health).expect("valid JSON");
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+        let (status, latency) = get("/latency?iface=Test%3A%3AAlpha");
+        assert_eq!(status, 200);
+        let latency = causeway_collector::json::parse(&latency).expect("valid JSON");
+        let series = latency.get("series").and_then(Json::as_arr).expect("series array");
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].get("method").and_then(Json::as_str), Some("run"));
+
+        let (status, chains) = get("/chains");
+        assert_eq!(status, 200);
+        assert!(causeway_collector::json::parse(&chains).is_ok());
+
+        let (status, folded) = get("/flamegraph");
+        assert_eq!(status, 200);
+        assert!(folded.contains("Test::Alpha.run "));
+
+        let (status, trace) = get("/trace");
+        assert_eq!(status, 200);
+        assert!(causeway_collector::json::parse(&trace).is_ok());
+
+        let (status, _) = get("/nope");
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+}

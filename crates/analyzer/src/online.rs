@@ -75,6 +75,24 @@ fn emit(sink: &mut impl FnMut(OnlineEvent), event: OnlineEvent) {
     sink(event);
 }
 
+/// A point-in-time description of one chain with unfinished work, as
+/// reported by [`OnlineAnalyzer::open_chain_summaries`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenChainSummary {
+    /// The chain's Function UUID.
+    pub chain: Uuid,
+    /// Open (not yet completed) invocations on the Figure-4 stack.
+    pub open_calls: usize,
+    /// The innermost open invocation, when any.
+    pub innermost: Option<FunctionKey>,
+    /// Records buffered waiting for out-of-order predecessors.
+    pub buffered_records: usize,
+    /// Invocations completed on this chain so far.
+    pub completed_calls: usize,
+    /// Highest contiguous event number processed.
+    pub processed_seq: u64,
+}
+
 /// A management event emitted by the on-line analyzer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OnlineEvent {
@@ -168,6 +186,36 @@ impl OnlineAnalyzer {
     /// Records buffered waiting for out-of-order predecessors.
     pub fn buffered_records(&self) -> usize {
         self.chains.values().map(|c| c.pending.len()).sum()
+    }
+
+    /// A point-in-time description of every chain with unfinished work, for
+    /// live status endpoints. Sorted by chain UUID for stable output.
+    pub fn open_chain_summaries(&self) -> Vec<OpenChainSummary> {
+        let mut out: Vec<OpenChainSummary> = self
+            .chains
+            .iter()
+            .filter(|(_, c)| !c.stack.is_empty() || !c.pending.is_empty())
+            .map(|(&chain, c)| OpenChainSummary {
+                chain,
+                open_calls: c.stack.len(),
+                innermost: c.stack.last().map(|o| o.func),
+                buffered_records: c.pending.len(),
+                completed_calls: c.completed_calls,
+                processed_seq: c.processed,
+            })
+            .collect();
+        out.sort_by_key(|s| s.chain);
+        out
+    }
+
+    /// Drops all state for a chain, returning `true` if it existed.
+    ///
+    /// Long-running consumers call this after a [`OnlineEvent::ChainIdle`]
+    /// so completed transactions do not accumulate forever. Forgetting a
+    /// chain mid-flight is safe but lossy: later records for it start a
+    /// fresh state and will be reported as a sequence gap.
+    pub fn forget_chain(&mut self, chain: Uuid) -> bool {
+        self.chains.remove(&chain).is_some()
     }
 
     /// Publishes this analyzer's instantaneous state (open chains,

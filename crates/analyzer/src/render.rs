@@ -356,10 +356,7 @@ mod tests {
             children: vec![],
             complete: true,
         };
-        Dscg {
-            trees: vec![CallTree { chain: Uuid(1), roots: vec![node] }],
-            abnormalities: vec![],
-        }
+        Dscg::from_trees(vec![CallTree { chain: Uuid(1), roots: vec![node] }])
     }
 
     #[test]
@@ -481,10 +478,7 @@ mod sequence_chart_tests {
             children: vec![],
             complete: true,
         };
-        let dscg = Dscg {
-            trees: vec![CallTree { chain: Uuid(1), roots: vec![node] }],
-            abnormalities: vec![],
-        };
+        let dscg = Dscg::from_trees(vec![CallTree { chain: Uuid(1), roots: vec![node] }]);
         let chart = sequence_chart(&dscg, &vocab(), 60);
         assert!(chart.contains("proc1/thr0"), "{chart}");
         assert!(chart.contains('['), "{chart}");

@@ -89,10 +89,7 @@ fn main() {
     );
 
     println!("\n--- Figure 5 substitute: a portion of the DSCG ---");
-    let excerpt = Dscg {
-        trees: dscg.trees.iter().take(1).cloned().collect(),
-        abnormalities: vec![],
-    };
+    let excerpt = Dscg::from_trees(dscg.trees.iter().take(1).cloned().collect());
     print!(
         "{}",
         ascii_tree(

@@ -1,0 +1,160 @@
+//! Smoke O4: the embedded HTTP status endpoint must not tax ingestion.
+//!
+//! Generates one PPS record set, then measures windowed-ingest throughput
+//! through `causeway_analyzer::live::LiveMonitor` twice — bare, and with
+//! the HTTP server mounted plus a 10 Hz `/metrics` scraper hammering it —
+//! and fails (nonzero exit, for CI) when the scraped run is slower than
+//! the bare run beyond a noise margin.
+//!
+//! Absolute throughput varies across CI hosts; the scraped/bare ratio on
+//! the same records in the same process does not.
+//!
+//! ```text
+//! cargo run --release -p causeway-bench --bin smoke_live_endpoint
+//! ```
+
+use causeway_analyzer::live::{serve, LiveConfig, LiveMonitor};
+use causeway_core::monitor::ProbeMode;
+use causeway_core::record::ProbeRecord;
+use causeway_workloads::{Pps, PpsConfig, PpsDeployment};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The scraped run may be at most this fraction of the bare run.
+const MAX_RATIO: f64 = 1.20;
+const TRIALS: usize = 5;
+/// Target wall time per trial — long enough for several 10 Hz scrapes.
+const TRIAL_TARGET: Duration = Duration::from_millis(600);
+
+/// One ingest pass: feed the whole record set through a fresh monitor in
+/// store-sized batches, advancing window time as it goes. Chains complete
+/// and are forgotten within each pass, so passes are independent.
+fn ingest_pass(monitor: &Arc<Mutex<LiveMonitor>>, records: &[ProbeRecord], pass: u64) {
+    let base = pass * 1_000_000_000;
+    for (i, batch) in records.chunks(1024).enumerate() {
+        let mut guard = monitor.lock().expect("monitor lock");
+        guard.ingest_batch_at(batch.to_vec(), base + i as u64 * 1_000_000);
+    }
+}
+
+fn fresh_monitor(run: &causeway_core::runlog::RunLog) -> Arc<Mutex<LiveMonitor>> {
+    Arc::new(Mutex::new(LiveMonitor::new(
+        LiveConfig { window: Duration::from_millis(100), ..LiveConfig::default() },
+        run.vocab.clone(),
+        run.deployment.clone(),
+    )))
+}
+
+fn main() -> ExitCode {
+    let jobs: usize = std::env::var("SMOKE_LIVE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+
+    eprintln!("generating PPS record set ({jobs} jobs)...");
+    let pps = Pps::build(&PpsConfig {
+        deployment: PpsDeployment::FourProcess,
+        probe_mode: ProbeMode::Latency,
+        work_scale: 0.02,
+        pages_per_job: 2,
+        ..PpsConfig::default()
+    });
+    pps.run_jobs(jobs);
+    let run = pps.finish();
+    eprintln!("record set: {} records", run.len());
+
+    // Calibrate how many passes fill one trial.
+    let monitor = fresh_monitor(&run);
+    let started = Instant::now();
+    ingest_pass(&monitor, &run.records, 0);
+    let per_pass = started.elapsed().max(Duration::from_micros(50));
+    let passes =
+        (TRIAL_TARGET.as_secs_f64() / per_pass.as_secs_f64()).ceil().max(1.0) as u64;
+    eprintln!("calibration: {per_pass:?} per pass, {passes} passes per trial");
+
+    // Interleave bare and scraped trials so drifting background load hits
+    // both sides equally; take each side's best.
+    let mut bare = Duration::MAX;
+    let mut scraped = Duration::MAX;
+    for trial in 0..TRIALS {
+        // Bare: no listener at all.
+        let monitor = fresh_monitor(&run);
+        let started = Instant::now();
+        for pass in 0..passes {
+            ingest_pass(&monitor, &run.records, pass);
+        }
+        bare = bare.min(started.elapsed());
+
+        // Scraped: HTTP server mounted, 10 Hz /metrics scraper running.
+        let monitor = fresh_monitor(&run);
+        let server = match serve(Arc::clone(&monitor), "127.0.0.1:0") {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("FAIL: cannot bind status endpoint: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_scraper = Arc::clone(&stop);
+        let scraper = std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            let mut scrapes = 0usize;
+            while !stop_scraper.load(Ordering::Relaxed) {
+                if let Ok(mut conn) = std::net::TcpStream::connect(addr) {
+                    let _ = write!(
+                        conn,
+                        "GET /metrics HTTP/1.1\r\nHost: s\r\nConnection: close\r\n\r\n"
+                    );
+                    let mut body = String::new();
+                    let _ = conn.read_to_string(&mut body);
+                    if !body.contains("causeway_") {
+                        return Err(format!("unparseable /metrics scrape: {body:.120}"));
+                    }
+                    scrapes += 1;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Ok(scrapes)
+        });
+        let started = Instant::now();
+        for pass in 0..passes {
+            ingest_pass(&monitor, &run.records, pass);
+        }
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        let scrapes = match scraper.join().expect("scraper thread") {
+            Ok(scrapes) => scrapes,
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        server.shutdown();
+        scraped = scraped.min(elapsed);
+        if trial == 0 && scrapes == 0 {
+            eprintln!("FAIL: scraper never completed a /metrics request");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let ratio = scraped.as_secs_f64() / bare.as_secs_f64();
+    let records_per_sec =
+        passes as f64 * run.len() as f64 / bare.as_secs_f64();
+    eprintln!(
+        "live ingest: bare {:.1} ms, with 10Hz scraper {:.1} ms ({:.0} records/s bare, \
+         ratio {ratio:.3})",
+        bare.as_secs_f64() * 1e3,
+        scraped.as_secs_f64() * 1e3,
+        records_per_sec,
+    );
+
+    if ratio > MAX_RATIO {
+        eprintln!("FAIL: scraping slowed ingest beyond the gate (ratio {ratio:.3} > {MAX_RATIO})");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("OK");
+    ExitCode::SUCCESS
+}

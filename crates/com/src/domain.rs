@@ -14,7 +14,7 @@ use causeway_core::clock::{CpuClock, SystemClock, VirtualCpuClock, WallClock};
 use causeway_core::deploy::Deployment;
 use causeway_core::event::CallKind;
 use causeway_core::ids::{InterfaceId, MethodIndex, NodeId, ObjectId, ProcessId};
-use causeway_core::metrics::{EngineMetrics, MetricsRegistry};
+use causeway_core::metrics::{EngineMetrics, MetricsRegistry, OpMetrics};
 use causeway_core::monitor::{Monitor, ProbeMode};
 use causeway_core::names::SystemVocab;
 use causeway_core::record::FunctionKey;
@@ -36,6 +36,13 @@ use std::time::{Duration, Instant};
 fn engine_metrics() -> &'static EngineMetrics {
     static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
     METRICS.get_or_init(|| EngineMetrics::register(MetricsRegistry::global(), "com"))
+}
+
+/// Per-operation dispatch series (`iface=`/`method=` on top of
+/// `engine="com"`).
+fn op_metrics() -> &'static OpMetrics {
+    static METRICS: OnceLock<OpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| OpMetrics::new("com"))
 }
 
 /// COM domain configuration.
@@ -445,6 +452,20 @@ impl ComDomain {
         let monitor = &self.inner.monitor;
         let instrumented = self.inner.config.instrumented;
         let func = FunctionKey::new(msg.interface, msg.method, msg.target);
+        let op = op_metrics().series(func.interface, func.method, || {
+            (
+                self.inner
+                    .vocab
+                    .interface_name(func.interface)
+                    .unwrap_or_else(|| func.interface.to_string()),
+                self.inner
+                    .vocab
+                    .method_name(func.interface, func.method)
+                    .unwrap_or_else(|| func.method.to_string()),
+            )
+        });
+        op.dispatch.inc();
+        let op_started = std::time::Instant::now();
         // Posted (fire-and-forget) calls are the COM analog of one-way
         // invocations: they arrived on a fresh child chain.
         let kind = if msg.reply.is_none() { CallKind::Oneway } else { CallKind::Sync };
@@ -483,6 +504,7 @@ impl ComDomain {
             Err(e) => Err(("MarshalError".to_owned(), e.to_string())),
         };
 
+        op.busy_ns.observe(op_started.elapsed().as_nanos() as u64);
         let mut extensions = Extensions::new();
         if instrumented && ftl.is_some() {
             let reply_ftl = monitor.skel_end(func, kind);

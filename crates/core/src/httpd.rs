@@ -1,0 +1,441 @@
+//! A thin embedded HTTP/1.1 server over [`std::net::TcpListener`].
+//!
+//! The live monitoring service (see `causeway_analyzer::live`) needs a
+//! status/scrape endpoint, and the vendored-deps policy (`DESIGN.md` §6)
+//! rules out `hyper`-class frameworks — so this module hand-rolls the tiny
+//! slice of HTTP that a Prometheus scraper, `curl`, and a browser actually
+//! need: parse a `GET` request line plus its query string, route it by
+//! exact path, and write one `Connection: close` response.
+//!
+//! Deliberate non-goals: keep-alive, request bodies, chunked encoding, TLS.
+//! Every scrape is one short-lived connection, which keeps the server loop
+//! trivially correct and the per-request overhead measurable (the
+//! `smoke_live_endpoint` CI gate holds it under 1.2× ingest throughput at
+//! a 10 Hz scrape rate).
+//!
+//! # Example
+//!
+//! ```
+//! use causeway_core::httpd::{HttpServer, Response};
+//! let server = HttpServer::bind(
+//!     "127.0.0.1:0",
+//!     vec![("/ping".to_owned(), Box::new(|_req| Response::text(200, "pong")))],
+//! )
+//! .expect("bind");
+//! let addr = server.local_addr();
+//! // ... point a scraper at http://{addr}/ping ...
+//! server.shutdown();
+//! ```
+
+use crate::metrics::{Counter, MetricsRegistry};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One parsed request: method, decoded path, and query parameters.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The HTTP method (`GET`, `HEAD`, …), uppercase.
+    pub method: String,
+    /// The path component, without the query string.
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first query parameter named `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One response: status code, content type, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: String,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain; charset=utf-8` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".to_owned(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json".to_owned(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The stock `404 Not Found` response.
+    pub fn not_found() -> Response {
+        Response::text(404, "not found\n")
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+}
+
+/// A route handler. Handlers run on the per-connection thread and must be
+/// `Send + Sync`; they typically lock a shared snapshot source.
+pub type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
+
+struct ServerShared {
+    routes: Vec<(String, Handler)>,
+    stop: AtomicBool,
+    requests: Counter,
+    errors: Counter,
+}
+
+/// The embedded HTTP server: an accept thread plus one short-lived thread
+/// per connection. Routes are matched by exact path; anything else is 404.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerShared")
+            .field("routes", &self.routes.iter().map(|(p, _)| p).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`, port `0` for ephemeral) and
+    /// starts serving `routes` in the background.
+    pub fn bind(addr: &str, routes: Vec<(String, Handler)>) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let registry = MetricsRegistry::global();
+        let shared = Arc::new(ServerShared {
+            routes,
+            stop: AtomicBool::new(false),
+            requests: registry.counter(
+                "causeway_httpd_requests_total",
+                "HTTP requests served by the embedded status endpoint",
+            ),
+            errors: registry.counter(
+                "causeway_httpd_errors_total",
+                "HTTP connections dropped before a response could be written",
+            ),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("causeway-httpd".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else {
+                        continue;
+                    };
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let _ = std::thread::Builder::new()
+                        .name("causeway-httpd-conn".to_owned())
+                        .spawn(move || serve_connection(stream, &conn_shared));
+                }
+            })?;
+        Ok(HttpServer { addr: local, shared, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served since bind (process-wide across servers — the
+    /// counter is a global metric handle).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests.get()
+    }
+
+    /// Stops accepting connections and joins the accept thread. In-flight
+    /// connection threads finish their single response on their own.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept with a throw-away connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &ServerShared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => {
+            shared.errors.inc();
+            return;
+        }
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() || request_line.trim().is_empty() {
+        shared.errors.inc();
+        return;
+    }
+    // Drain headers until the blank line; this server ignores them (GET
+    // only, no bodies, always Connection: close).
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header.trim().is_empty() => break,
+            Ok(_) => continue,
+            Err(_) => {
+                shared.errors.inc();
+                return;
+            }
+        }
+    }
+
+    let response = match parse_request_line(&request_line) {
+        Some(request) if request.method == "GET" || request.method == "HEAD" => {
+            shared.requests.inc();
+            let handler = shared
+                .routes
+                .iter()
+                .find(|(path, _)| *path == request.path)
+                .map(|(_, handler)| handler);
+            match handler {
+                Some(handler) => handler(&request),
+                None => Response::not_found(),
+            }
+        }
+        Some(_) => Response::text(405, "only GET is served here\n"),
+        None => Response::text(400, "malformed request line\n"),
+    };
+    write_response(stream, &response, request_line.starts_with("HEAD "));
+}
+
+fn write_response(mut stream: TcpStream, response: &Response, head_only: bool) {
+    let header = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+    );
+    let _ = stream.write_all(header.as_bytes());
+    if !head_only {
+        let _ = stream.write_all(&response.body);
+    }
+    let _ = stream.flush();
+}
+
+/// Parses `GET /path?k=v HTTP/1.1` into a [`Request`]. Returns `None` for
+/// lines that are not three whitespace-separated fields.
+fn parse_request_line(line: &str) -> Option<Request> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_ascii_uppercase();
+    let target = parts.next()?;
+    parts.next()?; // HTTP version; any value accepted
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+    Some(Request { method, path: percent_decode(path), query })
+}
+
+/// Decodes `%XX` escapes and `+`-for-space. Invalid escapes pass through
+/// verbatim — a scrape endpoint should never 500 on a sloppy client.
+fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// One blocking GET against a local server, returning (status, body).
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+        (status, body)
+    }
+
+    fn ping_server() -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            vec![
+                ("/ping".to_owned(), Box::new(|_req: &Request| Response::text(200, "pong")) as Handler),
+                (
+                    "/echo".to_owned(),
+                    Box::new(|req: &Request| {
+                        Response::json(
+                            200,
+                            format!("{{\"q\":\"{}\"}}", req.query_param("q").unwrap_or("")),
+                        )
+                    }),
+                ),
+            ],
+        )
+        .expect("bind ephemeral")
+    }
+
+    #[test]
+    fn serves_routed_paths_and_404s_the_rest() {
+        let server = ping_server();
+        let addr = server.local_addr();
+        assert_eq!(get(addr, "/ping"), (200, "pong".to_owned()));
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        assert!(server.requests_served() >= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_parameters_are_decoded() {
+        let server = ping_server();
+        let (status, body) = get(server.local_addr(), "/echo?q=a%20b+c&x=1");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"q\":\"a b c\"}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_get_methods_are_405() {
+        let server = ping_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write!(stream, "POST /ping HTTP/1.1\r\n\r\n").expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_answer() {
+        let server = ping_server();
+        let addr = server.local_addr();
+        let scrapers: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(move || get(addr, "/ping")))
+            .collect();
+        for scraper in scrapers {
+            assert_eq!(scraper.join().expect("scraper"), (200, "pong".to_owned()));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let server = ping_server();
+        let addr = server.local_addr();
+        server.shutdown();
+        // A fresh connection either fails outright or gets no response.
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = write!(stream, "GET /ping HTTP/1.1\r\n\r\n");
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut raw = String::new();
+            let _ = stream.read_to_string(&mut raw);
+            assert!(raw.is_empty(), "post-shutdown connection was served: {raw}");
+        }
+    }
+
+    #[test]
+    fn percent_decoding_is_lenient() {
+        assert_eq!(percent_decode("a%20b"), "a b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn request_line_parsing() {
+        let req = parse_request_line("GET /latency?iface=Pps%3A%3AStage HTTP/1.1").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/latency");
+        assert_eq!(req.query_param("iface"), Some("Pps::Stage"));
+        assert!(parse_request_line("garbage").is_none());
+    }
+}

@@ -65,6 +65,7 @@ pub mod deploy;
 pub mod error;
 pub mod event;
 pub mod ftl;
+pub mod httpd;
 pub mod ids;
 pub mod manual;
 pub mod metrics;

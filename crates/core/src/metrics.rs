@@ -621,6 +621,72 @@ impl EngineMetrics {
     }
 }
 
+/// Per-operation dispatch series: the same dispatch counters the engines
+/// keep per `engine=` label, additionally keyed by the invoked interface
+/// function — the unit the paper's characterization tables (Table 2) use.
+#[derive(Debug, Clone)]
+pub struct OpSeries {
+    /// Dispatches of this operation.
+    pub dispatch: Counter,
+    /// Nanoseconds the up-call (unmarshal + servant body + reply encode)
+    /// occupied a worker, per dispatch.
+    pub busy_ns: Histogram,
+}
+
+/// A lazy cache of [`OpSeries`] handles, one per (interface, method)
+/// dispatched through an engine. Label cardinality is bounded by the IDL
+/// (interfaces × methods), not by traffic, so the registry stays small; the
+/// cache keeps the hot dispatch path at one small `HashMap` lookup under a
+/// short-lived lock instead of a registry registration.
+#[derive(Debug)]
+pub struct OpMetrics {
+    engine: &'static str,
+    cache: Mutex<std::collections::HashMap<(crate::ids::InterfaceId, crate::ids::MethodIndex), OpSeries>>,
+}
+
+impl OpMetrics {
+    /// Creates an empty cache publishing under `engine=<engine>`.
+    pub fn new(engine: &'static str) -> OpMetrics {
+        OpMetrics { engine, cache: Mutex::new(std::collections::HashMap::new()) }
+    }
+
+    /// The series for one operation, registering it on first sight.
+    /// `names` resolves the human-readable `(interface, method)` label pair
+    /// and runs only on that first registration.
+    pub fn series(
+        &self,
+        iface: crate::ids::InterfaceId,
+        method: crate::ids::MethodIndex,
+        names: impl FnOnce() -> (String, String),
+    ) -> OpSeries {
+        let mut cache = self.cache.lock();
+        cache
+            .entry((iface, method))
+            .or_insert_with(|| {
+                let (iface_name, method_name) = names();
+                let registry = MetricsRegistry::global();
+                let labels = &[
+                    ("engine", self.engine),
+                    ("iface", iface_name.as_str()),
+                    ("method", method_name.as_str()),
+                ][..];
+                OpSeries {
+                    dispatch: registry.counter_with(
+                        "causeway_engine_op_dispatch_total",
+                        "requests dispatched, per interface function",
+                        labels,
+                    ),
+                    busy_ns: registry.histogram_with(
+                        "causeway_engine_op_busy_ns",
+                        "nanoseconds the up-call occupied a worker, per interface function",
+                        labels,
+                    ),
+                }
+            })
+            .clone()
+    }
+}
+
 fn braced(labels: &str) -> String {
     if labels.is_empty() { String::new() } else { format!("{{{labels}}}") }
 }
@@ -819,6 +885,30 @@ z_total 3
         assert_eq!(h.count(), 0);
         c.inc();
         assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn op_metrics_register_once_per_operation() {
+        let _shared = FLAG.read().unwrap();
+        use crate::ids::{InterfaceId, MethodIndex};
+        let ops = OpMetrics::new("test-op");
+        let mut resolutions = 0;
+        for _ in 0..3 {
+            let series = ops.series(InterfaceId(1), MethodIndex(2), || {
+                resolutions += 1;
+                ("Pps::Stage".to_owned(), "rasterize".to_owned())
+            });
+            series.dispatch.inc();
+            series.busy_ns.observe(100);
+        }
+        assert_eq!(resolutions, 1, "name resolution only on first sight");
+        let text = MetricsRegistry::global().render_prometheus();
+        assert!(
+            text.contains(
+                "causeway_engine_op_dispatch_total{engine=\"test-op\",iface=\"Pps::Stage\",method=\"rasterize\"} 3"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

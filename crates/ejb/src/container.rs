@@ -11,7 +11,7 @@ use causeway_core::deploy::Deployment;
 use causeway_core::event::CallKind;
 use causeway_core::ftl::FunctionTxLog;
 use causeway_core::ids::{InterfaceId, NodeId, ObjectId, ProcessId};
-use causeway_core::metrics::{EngineMetrics, MetricsRegistry};
+use causeway_core::metrics::{EngineMetrics, MetricsRegistry, OpMetrics};
 use causeway_core::monitor::{Monitor, ProbeMode};
 use causeway_core::names::SystemVocab;
 use causeway_core::runlog::RunLog;
@@ -32,6 +32,13 @@ use std::time::{Duration, Instant};
 fn engine_metrics() -> &'static EngineMetrics {
     static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
     METRICS.get_or_init(|| EngineMetrics::register(MetricsRegistry::global(), "ejb"))
+}
+
+/// Per-operation dispatch series (`iface=`/`method=` on top of
+/// `engine="ejb"`).
+fn op_metrics() -> &'static OpMetrics {
+    static METRICS: OnceLock<OpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| OpMetrics::new("ejb"))
 }
 
 /// Container configuration.
@@ -463,6 +470,20 @@ impl Container {
         let monitor = &self.inner.monitor;
         let instrumented = self.inner.config.instrumented;
         let func = causeway_core::record::FunctionKey::new(item.interface, item.method, item.bean);
+        let op = op_metrics().series(func.interface, func.method, || {
+            (
+                self.inner
+                    .vocab
+                    .interface_name(func.interface)
+                    .unwrap_or_else(|| func.interface.to_string()),
+                self.inner
+                    .vocab
+                    .method_name(func.interface, func.method)
+                    .unwrap_or_else(|| func.method.to_string()),
+            )
+        });
+        op.dispatch.inc();
+        let op_started = std::time::Instant::now();
         let kind = CallKind::Sync;
 
         let deployment = self.inner.beans.read().get(&item.bean).cloned();
@@ -510,6 +531,7 @@ impl Container {
             Err(e) => Err(("MarshalError".to_owned(), e.to_string())),
         };
 
+        op.busy_ns.observe(op_started.elapsed().as_nanos() as u64);
         let mut work_area = WorkArea::new();
         if instrumented {
             let reply_ftl = monitor.skel_end(func, kind);

@@ -12,7 +12,7 @@ use bytes::Bytes;
 use causeway_core::event::CallKind;
 use causeway_core::ftl::FunctionTxLog;
 use causeway_core::ids::{NodeId, ProcessId};
-use causeway_core::metrics::{EngineMetrics, MetricsRegistry};
+use causeway_core::metrics::{EngineMetrics, MetricsRegistry, OpMetrics};
 use causeway_core::monitor::Monitor;
 use causeway_core::names::SystemVocab;
 use causeway_core::record::FunctionKey;
@@ -27,6 +27,13 @@ use std::time::Duration;
 pub(crate) fn engine_metrics() -> &'static EngineMetrics {
     static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
     METRICS.get_or_init(|| EngineMetrics::register(MetricsRegistry::global(), "orb"))
+}
+
+/// Per-operation dispatch series (`iface=`/`method=` labels on top of
+/// `engine="orb"`) — the keys the paper's Table 2 characterizes by.
+pub(crate) fn op_metrics() -> &'static OpMetrics {
+    static METRICS: OnceLock<OpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| OpMetrics::new("orb"))
 }
 
 /// Static ORB configuration, fixed at system build time.
@@ -214,6 +221,20 @@ impl Orb {
         };
 
         let func = FunctionKey::new(msg.interface, msg.method, msg.target);
+        let op = op_metrics().series(func.interface, func.method, || {
+            (
+                self.inner
+                    .vocab
+                    .interface_name(func.interface)
+                    .unwrap_or_else(|| func.interface.to_string()),
+                self.inner
+                    .vocab
+                    .method_name(func.interface, func.method)
+                    .unwrap_or_else(|| func.method.to_string()),
+            )
+        });
+        op.dispatch.inc();
+        let op_started = std::time::Instant::now();
         let info = RequestInfo { func, kind };
         {
             let interceptors = self.inner.interceptors.read();
@@ -239,6 +260,7 @@ impl Orb {
             Err(e) => Err(crate::error::AppError::new("MarshalError", e.to_string())),
         };
 
+        op.busy_ns.observe(op_started.elapsed().as_nanos() as u64);
         let reply_ftl = instrumented.then(|| monitor.skel_end(func, kind));
         {
             let interceptors = self.inner.interceptors.read();

@@ -415,6 +415,32 @@ impl Pps {
             .expect("PPS quiesces");
     }
 
+    /// Drives jobs continuously until `stop` is raised, pacing one job per
+    /// `pace` (zero paces as fast as the pipeline completes), then quiesces
+    /// so every submitted job's records are sealed. Returns the number of
+    /// jobs submitted — the long-running load behind the live monitoring
+    /// service.
+    pub fn drive(&self, stop: &std::sync::atomic::AtomicBool, pace: Duration) -> usize {
+        use std::sync::atomic::Ordering;
+        let client = self.system.client(self.driver);
+        let source = self.stage(StageName::JobSource);
+        let mut jobs = 0usize;
+        while !stop.load(Ordering::Relaxed) {
+            client.begin_root();
+            client
+                .invoke(&source, "submit", vec![Value::I64(jobs as i64)])
+                .expect("PPS job");
+            jobs += 1;
+            if !pace.is_zero() {
+                std::thread::sleep(pace);
+            }
+        }
+        self.system
+            .quiesce(Duration::from_secs(30))
+            .expect("PPS quiesces");
+        jobs
+    }
+
     /// Stops the system and returns its run log.
     pub fn finish(self) -> RunLog {
         self.system.shutdown();

@@ -70,7 +70,7 @@ fn main() {
         .max_by_key(|t| t.roots.iter().map(|r| r.depth()).max().unwrap_or(0))
         .expect("non-empty");
     println!("\ndeepest call tree:");
-    let excerpt = Dscg { trees: vec![deepest.clone()], abnormalities: vec![] };
+    let excerpt = Dscg::from_trees(vec![deepest.clone()]);
     print!(
         "{}",
         ascii_tree(

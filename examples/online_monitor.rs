@@ -1,36 +1,100 @@
-//! On-line monitoring: watch calls complete *live*, without waiting for
-//! quiescence — the paper's future-work direction, implemented in
-//! `causeway_analyzer::online`.
+//! Live monitoring service: windowed streaming characterization with
+//! abnormality alerting and an embedded HTTP status/scrape endpoint — the
+//! paper's future-work direction, implemented in
+//! `causeway_analyzer::live` on top of the incremental analyzer.
 //!
 //! A monitor thread drains each process's probe buffers every few
-//! milliseconds and feeds them to the incremental analyzer, which emits a
-//! latency alert the moment a slow invocation closes. While it runs, the
-//! self-observability layer (`causeway_core::metrics`) tracks the
-//! monitoring pipeline itself: the monitor prints a snapshot — ingest
-//! rate, open causal chains, consumption lag — every few drain intervals,
-//! and the full Prometheus exposition at the end.
+//! milliseconds into a [`LiveMonitor`], which maintains tumbling/sliding
+//! windows of per-operation latency percentiles, call rate and abnormality
+//! rate, and evaluates declarative alert rules (threshold + duration +
+//! hysteresis) once per window. With `--listen` the monitor also serves:
 //!
-//! The run is also exported as a Chrome trace
-//! (`online_monitor.trace.json` in the temp directory): drop it on
-//! <https://ui.perfetto.dev> to see the causal chains as spans.
+//! * `GET /metrics` — Prometheus exposition (process-global registry)
+//! * `GET /healthz` — 200 while no alert fires, 503 otherwise
+//! * `GET /chains` — open causal chains, JSON
+//! * `GET /latency?iface=..&method=..` — windowed percentiles, JSON
+//! * `GET /flamegraph` — folded stacks (`a;b;c N`, inferno-compatible)
+//! * `GET /trace` — Chrome trace of the last window
 //!
 //! ```text
-//! cargo run --example online_monitor
+//! cargo run --example online_monitor                 # finite 8-job run
+//! cargo run --example online_monitor -- \
+//!     --listen 127.0.0.1:9464 --window 2 --duration 10 \
+//!     --alert 'p95>400us;resolve=200us'              # live service
 //! ```
 
 use causeway::analyzer::chrome_trace;
-use causeway::analyzer::online::{OnlineAnalyzer, OnlineEvent};
+use causeway::analyzer::live::{serve, LiveConfig, LiveMonitor};
 use causeway::collector::db::MonitoringDb;
 use causeway::core::metrics::MetricsRegistry;
 use causeway::core::monitor::ProbeMode;
+use causeway::core::record::ProbeRecord;
 use causeway::workloads::{Pps, PpsConfig, PpsDeployment};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-const SLOW_CALL_US: u64 = 400;
+struct Args {
+    listen: Option<String>,
+    window: Duration,
+    alerts: Vec<String>,
+    duration: Duration,
+    jobs: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: None,
+        window: Duration::from_secs(2),
+        alerts: Vec::new(),
+        duration: Duration::from_secs(10),
+        jobs: 8,
+    };
+    let mut argv = std::env::args().skip(1);
+    let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--listen" => args.listen = Some(need(&mut argv, "--listen")),
+            "--window" => {
+                let secs: f64 = need(&mut argv, "--window").parse().unwrap_or_else(|_| {
+                    eprintln!("--window takes seconds");
+                    std::process::exit(2);
+                });
+                args.window = Duration::from_secs_f64(secs.max(0.001));
+            }
+            "--alert" => args.alerts.push(need(&mut argv, "--alert")),
+            "--duration" => {
+                let secs: f64 = need(&mut argv, "--duration").parse().unwrap_or_else(|_| {
+                    eprintln!("--duration takes seconds");
+                    std::process::exit(2);
+                });
+                args.duration = Duration::from_secs_f64(secs.max(0.1));
+            }
+            "--jobs" => {
+                args.jobs = need(&mut argv, "--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs takes a count");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; flags: --listen ADDR --window SECS \
+                     --alert RULE --duration SECS --jobs N"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
 
 fn main() {
+    let args = parse_args();
     let config = PpsConfig {
         deployment: PpsDeployment::FourProcess,
         probe_mode: ProbeMode::Latency,
@@ -39,9 +103,6 @@ fn main() {
     };
     let pps = Pps::build(&config);
 
-    let done = Arc::new(AtomicBool::new(false));
-    let done_monitor = Arc::clone(&done);
-    // The live monitor: drain scattered buffers, ingest, alert.
     let stores: Vec<_> = (0..4u16)
         .map(|p| {
             pps.system
@@ -51,108 +112,170 @@ fn main() {
                 .clone()
         })
         .collect();
-    let vocab = pps.system.vocab().snapshot();
+
+    let mut live = LiveMonitor::new(
+        LiveConfig { window: args.window, ..LiveConfig::default() },
+        pps.system.vocab().snapshot(),
+        pps.system.deployment().clone(),
+    );
+    let rules = if args.alerts.is_empty() {
+        vec!["p95>400us;resolve=200us".to_owned()]
+    } else {
+        args.alerts.clone()
+    };
+    for rule in &rules {
+        if let Err(e) = live.add_rule_spec(rule) {
+            eprintln!("bad --alert rule: {e}");
+            std::process::exit(2);
+        }
+    }
+    let live = Arc::new(Mutex::new(live));
+
+    let server = args.listen.as_ref().map(|addr| {
+        let server = serve(Arc::clone(&live), addr).unwrap_or_else(|e| {
+            eprintln!("cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "serving /metrics /healthz /chains /latency /flamegraph /trace on http://{}",
+            server.local_addr()
+        );
+        server
+    });
+
+    // The monitor thread: drain scattered buffers into the windowed
+    // characterization, narrate alert transitions as they happen.
+    let done = Arc::new(AtomicBool::new(false));
+    let done_monitor = Arc::clone(&done);
+    let live_monitor = Arc::clone(&live);
+    let monitor_stores = stores.clone();
     let monitor = std::thread::spawn(move || {
-        let registry = MetricsRegistry::global();
-        let mut analyzer = OnlineAnalyzer::new();
-        let mut alerts = 0usize;
-        let mut completed = 0usize;
-        let mut kept = Vec::new();
-        let mut last_snapshot = Instant::now();
-        let mut last_records = 0u64;
+        let mut streamed: Vec<ProbeRecord> = Vec::new();
+        let mut narrated = 0usize;
         loop {
             let finished = done_monitor.load(Ordering::Relaxed);
-            for store in &stores {
-                for record in store.drain() {
-                    kept.push(record.clone());
-                    analyzer.ingest(record, &mut |event| match event {
-                        OnlineEvent::CallCompleted { func, latency_ns, depth, .. } => {
-                            completed += 1;
-                            if let Some(ns) = latency_ns {
-                                if ns / 1_000 >= SLOW_CALL_US {
-                                    alerts += 1;
-                                    println!(
-                                        "SLOW {:>6.0}µs {}{}",
-                                        ns as f64 / 1e3,
-                                        "  ".repeat(depth),
-                                        vocab.qualified_function(&func)
-                                    );
-                                }
-                            }
-                        }
-                        OnlineEvent::Abnormality { message, .. } => {
-                            println!("ABNORMAL: {message}");
-                        }
-                        OnlineEvent::ChainIdle { .. } => {}
-                    });
+            let mut batch = Vec::new();
+            for store in &monitor_stores {
+                batch.extend(store.drain());
+            }
+            streamed.extend(batch.iter().cloned());
+            {
+                let mut guard = live_monitor.lock().expect("monitor lock");
+                if batch.is_empty() {
+                    guard.tick(); // idle windows must still rotate
+                } else {
+                    guard.ingest_batch(batch);
                 }
+                for event in guard.alert_log().skip(narrated) {
+                    println!(
+                        "[alert] {} {} (value {:.0}, threshold {:.0}, window {})",
+                        if event.fired { "FIRING " } else { "resolved" },
+                        event.alert,
+                        event.value,
+                        event.threshold,
+                        event.window_index,
+                    );
+                }
+                narrated = guard.alert_log().count();
             }
-            // Per-record ingest skips the O(chains) gauge refresh; the
-            // monitor loop is the batch boundary, so refresh here.
-            analyzer.publish_metrics();
-
-            // One snapshot line per drain interval that moved records.
-            let records = registry
-                .counter_value("causeway_online_records_total")
-                .unwrap_or(0);
-            if records > last_records {
-                let rate =
-                    (records - last_records) as f64 / last_snapshot.elapsed().as_secs_f64();
-                let open = registry
-                    .gauge_value("causeway_online_open_chains")
-                    .unwrap_or(0);
-                let lag: usize = stores.iter().map(|s| s.len()).sum();
-                println!(
-                    "[metrics] {rate:>7.0} records/s | {open:>3} open chains | \
-                     {lag:>4} records lagging in buffers"
-                );
-                last_records = records;
-                last_snapshot = Instant::now();
-            }
-
             if finished {
                 break;
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        let mut tail = Vec::new();
-        analyzer.finish(&mut |e| tail.push(e));
-        (completed, alerts, tail.len(), kept)
+        streamed
     });
 
-    println!("running 8 print jobs with a live monitor (alert threshold {SLOW_CALL_US}µs)…\n");
-    pps.run_jobs(8);
-    // The job driver is now idle: seal its open log chunks so the
-    // monitor's final drain pass sees the tail of the run.
+    let stop = Arc::new(AtomicBool::new(false));
+    let jobs = if server.is_some() {
+        println!(
+            "driving print jobs for {:.1}s with {:.1}s windows; rules: {rules:?}\n",
+            args.duration.as_secs_f64(),
+            args.window.as_secs_f64()
+        );
+        let stop_timer = Arc::clone(&stop);
+        let duration = args.duration;
+        let timer = std::thread::spawn(move || {
+            std::thread::sleep(duration);
+            stop_timer.store(true, Ordering::Relaxed);
+        });
+        let jobs = pps.drive(&stop, Duration::from_millis(20));
+        timer.join().expect("timer thread");
+        jobs
+    } else {
+        println!(
+            "running {} print jobs with a live monitor; rules: {rules:?}\n",
+            args.jobs
+        );
+        pps.run_jobs(args.jobs);
+        args.jobs
+    };
+
+    // The job driver is idle: seal its open log chunks so the monitor's
+    // final drain pass sees the tail of the run.
     pps.system.flush_local_logs();
     done.store(true, Ordering::Relaxed);
-    let (completed, alerts, leftovers, records) = monitor.join().expect("monitor thread");
+    let streamed = monitor.join().expect("monitor thread");
 
-    // The streamed records plus the harvest's vocabulary/deployment make a
-    // complete run log — export it for Perfetto.
+    // Anything still buffered was stranded in unsealed per-thread chunks (a
+    // thread never reached an idle point) — surface it the same way the
+    // off-line analyzer does, via RunLog::missing_records.
+    let ingested = streamed.len() as u64;
     let mut run = pps.system.harvest();
-    run.records.extend(records);
+    run.expected_records = run.expected_records.map(|left| left + ingested);
+    let mut records = streamed;
+    records.extend(std::mem::take(&mut run.records));
+    run.records = records;
+    if let Some(missing) = run.missing_records() {
+        eprintln!(
+            "WARNING: {missing} records stranded in unsealed chunks at shutdown \
+             ({} expected, {} drained); a producer thread never reached an idle point",
+            run.expected_records.unwrap_or(0),
+            run.len()
+        );
+    }
+
     let trace_path = std::env::temp_dir().join("online_monitor.trace.json");
     std::fs::write(&trace_path, chrome_trace::export(&MonitoringDb::from_run(run)))
         .expect("write chrome trace");
+
+    {
+        let guard = live.lock().expect("final lock");
+        println!(
+            "\nlive monitor observed {} completed calls over {jobs} jobs, {} \
+             abnormalities, {} alert transitions.",
+            guard.total_completed(),
+            guard.total_abnormalities(),
+            guard.alert_log().count()
+        );
+        let window = guard.sliding();
+        for (key, agg) in &window.series {
+            println!(
+                "  {:>30}.{}: {} calls, p50 {}ns p95 {}ns p99 {}ns",
+                guard.vocab().interface_name(key.0),
+                guard.vocab().method_name(key.0, key.1),
+                agg.calls,
+                agg.hist.quantile_ns(0.50),
+                agg.hist.quantile_ns(0.95),
+                agg.hist.quantile_ns(0.99),
+            );
+        }
+        assert!(guard.total_completed() > 0);
+    }
+    if let Some(server) = server {
+        println!("served {} HTTP requests", server.requests_served());
+        server.shutdown();
+    }
     pps.system.shutdown();
 
-    println!(
-        "\nlive monitor observed {completed} completed calls, raised {alerts} slow-call \
-         alerts, {leftovers} end-of-run anomalies."
-    );
     println!(
         "chrome trace written to {} — open it in https://ui.perfetto.dev\n",
         trace_path.display()
     );
-
-    // What the monitoring pipeline spent on itself, in Prometheus text
-    // exposition (histogram buckets elided for readability).
     println!("== self-observability (prometheus exposition, buckets elided) ==");
     for line in MetricsRegistry::global().render_prometheus().lines() {
         if !line.contains("_bucket") {
             println!("{line}");
         }
     }
-    assert!(completed > 0);
 }

@@ -35,7 +35,7 @@ fn main() {
         "\none print job's call tree ({} invocations per job):",
         dscg.trees[0].size()
     );
-    let first_job = Dscg { trees: dscg.trees[..1].to_vec(), abnormalities: vec![] };
+    let first_job = Dscg::from_trees(dscg.trees[..1].to_vec());
     print!(
         "{}",
         ascii_tree(

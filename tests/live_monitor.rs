@@ -1,0 +1,248 @@
+//! Live monitoring service integration: the windowed streaming
+//! characterization must agree with the off-line analyzer on the same
+//! records, the HTTP endpoints must serve concurrently with ingestion, and
+//! an injected latency spike must fire and resolve exactly one alert.
+
+use causeway_analyzer::dscg::Dscg;
+use causeway_analyzer::latency::LatencyAnalysis;
+use causeway_analyzer::live::{serve, AlertCmp, AlertMetric, AlertRule, LiveConfig, LiveMonitor};
+use causeway_collector::db::MonitoringDb;
+use causeway_collector::json::{self, Json};
+use causeway_core::event::{CallKind, TraceEvent};
+use causeway_core::ids::{InterfaceId, LogicalThreadId, MethodIndex, NodeId, ObjectId, ProcessId};
+use causeway_core::monitor::ProbeMode;
+use causeway_core::record::{CallSite, FunctionKey, ProbeRecord};
+use causeway_core::uuid::Uuid;
+use causeway_workloads::{Pps, PpsConfig, PpsDeployment};
+use std::io::{Read, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn small_pps() -> Pps {
+    Pps::build(&PpsConfig {
+        deployment: PpsDeployment::FourProcess,
+        probe_mode: ProbeMode::Latency,
+        work_scale: 0.05,
+        pages_per_job: 2,
+        ..PpsConfig::default()
+    })
+}
+
+/// One tumbling window large enough to hold an entire finite run, so the
+/// live quantiles summarize exactly the same population as the off-line
+/// analyzer.
+fn one_big_window() -> LiveConfig {
+    LiveConfig { window: Duration::from_secs(3600), ..LiveConfig::default() }
+}
+
+#[test]
+fn windowed_percentiles_match_offline_analysis_within_bucket_resolution() {
+    let pps = small_pps();
+    pps.run_jobs(6);
+    let run = pps.finish();
+    assert_eq!(run.missing_records(), None);
+
+    // Live path: the same records, streamed through the windowed monitor.
+    let mut live = LiveMonitor::new(
+        one_big_window(),
+        run.vocab.clone(),
+        run.deployment.clone(),
+    );
+    live.ingest_batch_at(run.records.clone(), 10);
+    let window = live.sliding();
+
+    // Off-line path: full DSCG reconstruction and exact percentiles.
+    let offline = LatencyAnalysis::compute(&Dscg::build(&MonitoringDb::from_run(run)));
+    assert!(!offline.per_method.is_empty());
+
+    for (key, stats) in &offline.per_method {
+        let agg = window
+            .series
+            .get(key)
+            .unwrap_or_else(|| panic!("live window missing series {key:?}"));
+        assert_eq!(agg.calls as usize, stats.count, "call counts agree for {key:?}");
+        // A streaming log2 histogram answers quantiles as the containing
+        // bucket's upper bound: within (exact, 2*exact] of the off-line
+        // rank-based percentile, which uses the identical rank rule.
+        for (q, exact) in [(0.50, stats.p50_ns), (0.95, stats.p95_ns), (0.99, stats.p99_ns)] {
+            let live_q = window.quantile_ns(*key, q).expect("series has samples");
+            let exact = exact.max(1);
+            assert!(
+                live_q >= exact && live_q <= 2 * exact,
+                "q{q}: live {live_q} vs offline {exact} for {key:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn endpoints_serve_concurrently_with_ingestion() {
+    let pps = small_pps();
+    let stores: Vec<_> = (0..4u16)
+        .map(|p| pps.system.orb(ProcessId(p)).monitor().store().clone())
+        .collect();
+    let live = Arc::new(Mutex::new(LiveMonitor::new(
+        LiveConfig { window: Duration::from_millis(200), ..LiveConfig::default() },
+        pps.system.vocab().snapshot(),
+        pps.system.deployment().clone(),
+    )));
+    let server = serve(Arc::clone(&live), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // Scraper: hit every endpoint continuously while jobs run.
+    let scraping = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let scraper_flag = Arc::clone(&scraping);
+    let scraper = std::thread::spawn(move || {
+        let mut responses: Vec<(String, u16, String)> = Vec::new();
+        while scraper_flag.load(std::sync::atomic::Ordering::Relaxed) {
+            for path in
+                ["/metrics", "/healthz", "/chains", "/latency", "/flamegraph", "/trace"]
+            {
+                let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+                write!(conn, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+                    .expect("send");
+                let mut raw = String::new();
+                conn.read_to_string(&mut raw).expect("read");
+                let status: u16 =
+                    raw.split_whitespace().nth(1).expect("status line").parse().expect("code");
+                let body =
+                    raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+                responses.push((path.to_owned(), status, body));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        responses
+    });
+
+    // Ingestion loop on this thread while the driver runs on another.
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let driver_done = Arc::clone(&done);
+    let driver = std::thread::spawn({
+        let pps = pps; // move the workload into the driver thread
+        move || {
+            pps.run_jobs(10);
+            pps.system.flush_local_logs();
+            driver_done.store(true, std::sync::atomic::Ordering::Relaxed);
+            pps
+        }
+    });
+    loop {
+        let finished = done.load(std::sync::atomic::Ordering::Relaxed);
+        let mut batch = Vec::new();
+        for store in &stores {
+            batch.extend(store.drain());
+        }
+        if !batch.is_empty() {
+            live.lock().unwrap().ingest_batch(batch);
+        }
+        if finished {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let pps = driver.join().expect("driver thread");
+    scraping.store(false, std::sync::atomic::Ordering::Relaxed);
+    let responses = scraper.join().expect("scraper thread");
+    server.shutdown();
+    pps.system.shutdown();
+
+    assert!(responses.len() >= 6, "at least one full scrape cycle");
+    for (path, status, body) in &responses {
+        assert!(
+            *status == 200 || (*status == 503 && path == "/healthz"),
+            "{path} returned {status}"
+        );
+        // The flamegraph is legitimately empty until the first chain
+        // completes; every other endpoint always has a body.
+        if path != "/flamegraph" {
+            assert!(!body.is_empty(), "{path} returned an empty body");
+        }
+        match path.as_str() {
+            "/healthz" | "/chains" | "/latency" | "/trace" => {
+                json::parse(body).unwrap_or_else(|e| panic!("{path} not JSON ({e:?}): {body}"));
+            }
+            "/metrics" => assert!(body.contains("# TYPE"), "metrics exposition: {body}"),
+            _ => {}
+        }
+    }
+    // After the full run, ingestion really reached the monitor and the
+    // latency endpoint reports every pipeline stage.
+    let guard = live.lock().unwrap();
+    assert!(guard.total_completed() > 0);
+    let latency = guard.latency_json(Some("Pps::Stage"), None);
+    let series = latency.get("series").and_then(Json::as_arr).expect("series");
+    assert!(!series.is_empty(), "windowed series after the run: {latency}");
+    assert!(
+        guard.folded_stacks().contains("Pps::Stage.submit"),
+        "flamegraph accumulated the pipeline after the run"
+    );
+}
+
+/// Deterministic synthetic traffic: one operation whose latency spikes for
+/// a stretch of windows, then recovers. The alert must fire exactly once
+/// and resolve exactly once.
+#[test]
+fn injected_latency_spike_fires_and_resolves_one_alert() {
+    const WINDOW_NS: u64 = 1_000_000_000;
+
+    fn sync_call(chain: u128, latency_ns: u64) -> Vec<ProbeRecord> {
+        let rec = |seq, event, wall: (u64, u64)| ProbeRecord {
+            uuid: Uuid(chain),
+            seq,
+            event,
+            kind: CallKind::Sync,
+            site: CallSite {
+                node: NodeId(0),
+                process: ProcessId(0),
+                thread: LogicalThreadId(0),
+            },
+            func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(1)),
+            wall_start: Some(wall.0),
+            wall_end: Some(wall.1),
+            cpu_start: None,
+            cpu_end: None,
+            oneway_child: None,
+            oneway_parent: None,
+        };
+        vec![
+            rec(1, TraceEvent::StubStart, (0, 1)),
+            rec(2, TraceEvent::SkelStart, (2, 3)),
+            rec(3, TraceEvent::SkelEnd, (3 + latency_ns, 4 + latency_ns)),
+            rec(4, TraceEvent::StubEnd, (5 + latency_ns, 6 + latency_ns)),
+        ]
+    }
+
+    let mut live = LiveMonitor::new(
+        LiveConfig { window: Duration::from_nanos(WINDOW_NS), ..LiveConfig::default() },
+        causeway_core::names::VocabSnapshot::default(),
+        causeway_core::deploy::Deployment::default(),
+    );
+    live.add_rule(AlertRule {
+        name: "spike".to_owned(),
+        metric: AlertMetric::P95,
+        series: None,
+        cmp: AlertCmp::Above,
+        fire_threshold: 1_000_000.0,
+        resolve_threshold: 500_000.0,
+        for_windows: 2,
+    });
+
+    // Baseline (2 windows), spike (4 windows), recovery (3 windows).
+    let profile: [u64; 9] = [
+        10_000, 10_000, // calm
+        5_000_000, 5_000_000, 5_000_000, 5_000_000, // spike: fires after 2
+        10_000, 10_000, 10_000, // recovery: resolves after 2
+    ];
+    for (w, latency) in profile.into_iter().enumerate() {
+        live.ingest_batch_at(sync_call(w as u128 + 1, latency), w as u64 * WINDOW_NS + 5);
+    }
+    live.tick_at(10 * WINDOW_NS);
+
+    let events: Vec<_> = live.alert_log().collect();
+    assert_eq!(events.len(), 2, "one fire + one resolve: {events:?}");
+    assert!(events[0].fired, "first transition fires: {:?}", events[0]);
+    assert_eq!(events[0].window_index, 3, "fires on the spike's second window");
+    assert!(!events[1].fired, "second transition resolves: {:?}", events[1]);
+    assert_eq!(events[1].window_index, 7, "resolves on the recovery's second window");
+    assert!(live.active_alerts().is_empty());
+}
