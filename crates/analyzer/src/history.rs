@@ -1,0 +1,464 @@
+//! Retained window history and multi-window SLO burn-rate alerting — the
+//! "time-travel" layer of the live monitoring service.
+//!
+//! [`crate::live::LiveMonitor`] keeps exactly one window of state, which
+//! answers *is the system slow now* but not *when did it start drifting* or
+//! *which causal path regressed*. This module retains a bounded ring of
+//! finalized windows:
+//!
+//! * [`WindowHistory`] — every closed tumbling window's per-series
+//!   aggregates plus its folded-stack snapshot, capped both by window count
+//!   and by an approximate byte budget, with evictions counted in the
+//!   `causeway_live_history_evictions` metric.
+//! * [`BurnRule`] / [`BurnState`] — multi-window SLO burn-rate alerts in
+//!   the fast/slow-pair style: a window *breaches* when its metric crosses
+//!   the threshold, and the alert fires only when the breach fraction over
+//!   both the fast span (the problem is happening *now*) and the slow span
+//!   (it has *persisted*) burns the SLO error budget faster than the rule's
+//!   factor. A one-window spike that a single-threshold rule would catch
+//!   never fires a burn rule; a sustained regression fires it exactly once.
+//! * [`diff_folded`] — the folded-stack delta between two retained windows,
+//!   which renders as a differential flamegraph: the causal path that
+//!   regressed between window `a` and window `b` is the top positive line.
+
+use crate::live::{AlertEvent, AlertRule, SeriesAgg, WindowSnapshot};
+use causeway_core::metrics::{Counter, Gauge, MetricsRegistry};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One finalized tumbling window as retained by the history store.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// The window's per-series aggregates (shared with the live view).
+    pub window: WindowSnapshot,
+    /// Folded flamegraph stacks (`a;b.c` → self ns) completed *during* this
+    /// window — a per-window delta, not the cumulative map.
+    pub folded: BTreeMap<String, u64>,
+}
+
+impl HistoryEntry {
+    /// Approximate heap footprint, for the byte cap. Counts the dominant
+    /// payloads (histogram buckets per series, folded stack strings) plus a
+    /// flat per-node allowance for map overhead.
+    pub fn approx_bytes(&self) -> usize {
+        const NODE: usize = 48; // BTreeMap bookkeeping allowance per entry
+        let series = self.window.series.len()
+            * (std::mem::size_of::<SeriesAgg>() + std::mem::size_of::<(u32, u16)>() + NODE);
+        let folded: usize = self
+            .folded
+            .keys()
+            .map(|stack| stack.len() + std::mem::size_of::<u64>() + NODE)
+            .sum();
+        std::mem::size_of::<HistoryEntry>() + series + folded
+    }
+}
+
+/// A bounded ring of finalized windows, oldest first.
+///
+/// Two caps apply independently: at most `cap_windows` entries, and at most
+/// `cap_bytes` of approximate retained heap. Whichever bites first evicts
+/// from the oldest end; every eviction increments the
+/// `causeway_live_history_evictions` counter so an operator can tell the
+/// difference between "never happened" and "already aged out".
+#[derive(Debug)]
+pub struct WindowHistory {
+    ring: VecDeque<HistoryEntry>,
+    cap_windows: usize,
+    cap_bytes: usize,
+    bytes: usize,
+    evictions: Counter,
+    retained: Gauge,
+    retained_bytes: Gauge,
+}
+
+impl WindowHistory {
+    /// Creates an empty store capped at `cap_windows` entries and
+    /// `cap_bytes` of approximate memory (both at least 1).
+    pub fn new(cap_windows: usize, cap_bytes: usize) -> WindowHistory {
+        let registry = MetricsRegistry::global();
+        WindowHistory {
+            ring: VecDeque::new(),
+            cap_windows: cap_windows.max(1),
+            cap_bytes: cap_bytes.max(1),
+            bytes: 0,
+            evictions: registry.counter(
+                "causeway_live_history_evictions",
+                "History windows evicted by the count or byte cap.",
+            ),
+            retained: registry.gauge(
+                "causeway_live_history_windows",
+                "Finalized windows currently retained by the history store.",
+            ),
+            retained_bytes: registry.gauge(
+                "causeway_live_history_bytes",
+                "Approximate heap retained by the window history store.",
+            ),
+        }
+    }
+
+    /// Appends a finalized window, evicting from the oldest end until both
+    /// caps hold again.
+    pub fn push(&mut self, entry: HistoryEntry) {
+        self.bytes += entry.approx_bytes();
+        self.ring.push_back(entry);
+        while self.ring.len() > self.cap_windows
+            || (self.bytes > self.cap_bytes && self.ring.len() > 1)
+        {
+            let evicted = self.ring.pop_front().expect("len checked");
+            self.bytes = self.bytes.saturating_sub(evicted.approx_bytes());
+            self.evictions.inc();
+        }
+        self.retained.set(self.ring.len() as i64);
+        self.retained_bytes.set(self.bytes as i64);
+    }
+
+    /// The retained entry for tumbling window ordinal `index`, if it has
+    /// closed and has not been evicted.
+    pub fn get(&self, index: u64) -> Option<&HistoryEntry> {
+        // Ordinals are contiguous within the ring; index from the back.
+        let newest = self.ring.back()?.window.index;
+        let offset = newest.checked_sub(index)?;
+        if offset as usize >= self.ring.len() {
+            return None;
+        }
+        self.ring.get(self.ring.len() - 1 - offset as usize)
+    }
+
+    /// The most recently closed window.
+    pub fn latest(&self) -> Option<&HistoryEntry> {
+        self.ring.back()
+    }
+
+    /// Retained entries, oldest first.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &HistoryEntry> + ExactSizeIterator {
+        self.ring.iter()
+    }
+
+    /// Retained window count.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when no window has closed yet (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The configured window-count cap.
+    pub fn cap_windows(&self) -> usize {
+        self.cap_windows
+    }
+
+    /// The configured approximate byte cap.
+    pub fn cap_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    /// Approximate retained heap (always ≤ the byte cap after a push, save
+    /// for a single over-budget entry which is retained alone).
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Windows evicted so far (count + byte cap combined).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+}
+
+/// The folded-stack delta `b − a` between two windows, largest regression
+/// first (ties broken by stack name). Stacks present in only one window
+/// count with the other side as zero; exact zero deltas are dropped.
+pub fn diff_folded(
+    a: &BTreeMap<String, u64>,
+    b: &BTreeMap<String, u64>,
+) -> Vec<(String, i64)> {
+    let mut deltas: BTreeMap<&str, i64> = BTreeMap::new();
+    for (stack, &ns) in a {
+        *deltas.entry(stack).or_insert(0) -= ns as i64;
+    }
+    for (stack, &ns) in b {
+        *deltas.entry(stack).or_insert(0) += ns as i64;
+    }
+    let mut out: Vec<(String, i64)> = deltas
+        .into_iter()
+        .filter(|(_, delta)| *delta != 0)
+        .map(|(stack, delta)| (stack.to_owned(), delta))
+        .collect();
+    out.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
+    out
+}
+
+/// A multi-window SLO burn-rate alert rule.
+///
+/// Grammar (parsed by [`crate::live::parse_burn_rule`]):
+/// `burn=METRIC[:IFACE.METHOD]CMP VALUE;slo=PCT;fast=N;slow=M[;factor=F]`.
+///
+/// Semantics: the SLO error budget is `1 − slo/100` (as a fraction of
+/// windows allowed to breach). The *burn rate* over a span of K windows is
+/// `(breaching windows / K) / budget`. The alert fires when the burn rate
+/// over **both** the fast and the slow span reaches `factor`, and resolves
+/// when the fast span's burn rate drops back below it. The default factor,
+/// `fast / (slow × budget)`, makes the conditions concrete: fire once the
+/// slow span has accumulated at least a fast-span's worth of breaching
+/// windows *and* at least one of them is recent; resolve once the fast
+/// span is clean.
+#[derive(Debug, Clone)]
+pub struct BurnRule {
+    /// The window-badness condition: metric, optional series scope,
+    /// comparator and threshold (duration/hysteresis fields are unused).
+    pub condition: AlertRule,
+    /// The SLO objective in percent (e.g. `99.9`), strictly within (0, 100).
+    pub slo_percent: f64,
+    /// Fast span, in tumbling windows.
+    pub fast: usize,
+    /// Slow span, in tumbling windows (must be > `fast`).
+    pub slow: usize,
+    /// Burn-rate factor both spans must reach to fire.
+    pub factor: f64,
+}
+
+impl BurnRule {
+    /// The SLO error budget as a fraction of breaching windows.
+    pub fn budget(&self) -> f64 {
+        1.0 - self.slo_percent / 100.0
+    }
+
+    /// The default firing factor: a fast-span's worth of breaching windows
+    /// within the slow span.
+    pub fn default_factor(fast: usize, slow: usize, budget: f64) -> f64 {
+        fast as f64 / (slow as f64 * budget)
+    }
+
+    /// Burn rate over the newest `span` retained windows. Windows not yet
+    /// retained count as calm — the denominator is always the configured
+    /// span, so a cold store under-alarms rather than over-alarms.
+    pub fn burn_rate(&self, history: &WindowHistory, span: usize) -> f64 {
+        let breaching = history
+            .iter()
+            .rev()
+            .take(span)
+            .filter(|e| self.condition.breaches(self.condition.evaluate(&e.window)))
+            .count();
+        let budget = self.budget();
+        if budget <= 0.0 {
+            return f64::INFINITY;
+        }
+        breaching as f64 / span as f64 / budget
+    }
+}
+
+/// One burn rule plus its firing state and exported series.
+#[derive(Debug)]
+pub struct BurnState {
+    rule: BurnRule,
+    active: bool,
+    active_gauge: Gauge,
+    fast_gauge: Gauge,
+    slow_gauge: Gauge,
+    transitions: Counter,
+}
+
+impl BurnState {
+    /// Registers the rule's exported series and starts calm.
+    pub fn new(rule: BurnRule) -> BurnState {
+        let registry = MetricsRegistry::global();
+        let labels = [("alert", rule.condition.name.as_str())];
+        let active_gauge = registry.gauge_with(
+            "causeway_live_burn_active",
+            "1 while the named burn-rate alert is firing.",
+            &labels,
+        );
+        active_gauge.set(0);
+        BurnState {
+            active: false,
+            active_gauge,
+            fast_gauge: registry.gauge_with(
+                "causeway_live_burn_fast_milli",
+                "Fast-span SLO burn rate, in thousandths.",
+                &labels,
+            ),
+            slow_gauge: registry.gauge_with(
+                "causeway_live_burn_slow_milli",
+                "Slow-span SLO burn rate, in thousandths.",
+                &labels,
+            ),
+            transitions: registry.counter_with(
+                "causeway_live_burn_transitions_total",
+                "Burn-rate alert firing/resolving transitions.",
+                &labels,
+            ),
+            rule,
+        }
+    }
+
+    /// The rule being evaluated.
+    pub fn rule(&self) -> &BurnRule {
+        &self.rule
+    }
+
+    /// `true` while the excursion is unresolved.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Re-evaluates against the history store after a window closed (the
+    /// just-closed window must already be pushed); returns the transition
+    /// completed by this window, if any.
+    pub fn step(&mut self, history: &WindowHistory) -> Option<AlertEvent> {
+        let burn_fast = self.rule.burn_rate(history, self.rule.fast);
+        let burn_slow = self.rule.burn_rate(history, self.rule.slow);
+        let milli = |burn: f64| (burn * 1000.0).min(i64::MAX as f64) as i64;
+        self.fast_gauge.set(milli(burn_fast));
+        self.slow_gauge.set(milli(burn_slow));
+        let window_index = history.latest().map(|e| e.window.index).unwrap_or(0);
+        if !self.active && burn_fast >= self.rule.factor && burn_slow >= self.rule.factor {
+            self.active = true;
+            self.active_gauge.set(1);
+            self.transitions.inc();
+            return Some(AlertEvent {
+                alert: self.rule.condition.name.clone(),
+                fired: true,
+                window_index,
+                value: burn_slow,
+                threshold: self.rule.factor,
+            });
+        }
+        if self.active && burn_fast < self.rule.factor {
+            self.active = false;
+            self.active_gauge.set(0);
+            self.transitions.inc();
+            return Some(AlertEvent {
+                alert: self.rule.condition.name.clone(),
+                fired: false,
+                window_index,
+                value: burn_fast,
+                threshold: self.rule.factor,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::{AlertCmp, AlertMetric};
+    use std::collections::BTreeMap;
+
+    fn snapshot(index: u64, p_latency_ns: u64, calls: u64) -> WindowSnapshot {
+        let mut series = BTreeMap::new();
+        let mut agg = SeriesAgg::default();
+        for _ in 0..calls {
+            agg.record(p_latency_ns);
+        }
+        series.insert(
+            (causeway_core::ids::InterfaceId(0), causeway_core::ids::MethodIndex(0)),
+            agg,
+        );
+        WindowSnapshot {
+            index,
+            span_ns: 1_000_000_000,
+            series,
+            completed_calls: calls,
+            abnormalities: 0,
+        }
+    }
+
+    fn entry(index: u64, latency_ns: u64) -> HistoryEntry {
+        let mut folded = BTreeMap::new();
+        folded.insert(format!("root;w{index}"), latency_ns);
+        HistoryEntry { window: snapshot(index, latency_ns, 4), folded }
+    }
+
+    #[test]
+    fn ring_caps_by_window_count_and_counts_evictions() {
+        let mut history = WindowHistory::new(4, usize::MAX);
+        let before = history.evictions();
+        for i in 0..10u64 {
+            history.push(entry(i, 1000));
+        }
+        assert_eq!(history.len(), 4);
+        assert_eq!(history.evictions() - before, 6);
+        assert!(history.get(5).is_none(), "evicted ordinal");
+        assert_eq!(history.get(9).unwrap().window.index, 9);
+        assert_eq!(history.get(6).unwrap().window.index, 6);
+        assert!(history.get(10).is_none(), "not yet closed");
+    }
+
+    #[test]
+    fn ring_caps_by_bytes() {
+        let one = entry(0, 1000).approx_bytes();
+        // Room for roughly three entries; the count cap would allow eight.
+        let mut history = WindowHistory::new(8, one * 3 + one / 2);
+        for i in 0..8u64 {
+            history.push(entry(i, 1000));
+        }
+        assert!(history.len() < 8, "byte cap bites first: {}", history.len());
+        assert!(history.approx_bytes() <= history.cap_bytes());
+    }
+
+    #[test]
+    fn folded_diff_orders_regressions_first() {
+        let mut a = BTreeMap::new();
+        a.insert("root;fast".to_owned(), 100u64);
+        a.insert("root;gone".to_owned(), 40u64);
+        let mut b = BTreeMap::new();
+        b.insert("root;fast".to_owned(), 5_000u64);
+        b.insert("root;new".to_owned(), 70u64);
+        let diff = diff_folded(&a, &b);
+        assert_eq!(diff[0], ("root;fast".to_owned(), 4_900));
+        assert_eq!(diff[1], ("root;new".to_owned(), 70));
+        assert_eq!(diff[2], ("root;gone".to_owned(), -40));
+    }
+
+    fn burn_rule(fast: usize, slow: usize) -> BurnRule {
+        let budget = 1.0 - 99.9 / 100.0;
+        BurnRule {
+            condition: AlertRule {
+                name: "burn-test".to_owned(),
+                metric: AlertMetric::P95,
+                series: None,
+                cmp: AlertCmp::Above,
+                fire_threshold: 1_000_000.0,
+                resolve_threshold: 1_000_000.0,
+                for_windows: 1,
+            },
+            slo_percent: 99.9,
+            fast,
+            slow,
+            factor: BurnRule::default_factor(fast, slow, budget),
+        }
+    }
+
+    #[test]
+    fn one_window_spike_never_fires_but_sustained_regression_does() {
+        let mut history = WindowHistory::new(32, usize::MAX);
+        let mut state = BurnState::new(burn_rule(3, 24));
+        let mut transitions = Vec::new();
+        // Calm, one-window spike, calm, sustained regression, recovery.
+        let profile: Vec<u64> = [10_000; 4]
+            .into_iter()
+            .chain([5_000_000]) // spike: a single breaching window
+            .chain([10_000; 5])
+            .chain([5_000_000; 6]) // regression: six breaching windows
+            .chain([10_000; 6])
+            .collect();
+        for (i, latency) in profile.iter().enumerate() {
+            history.push(entry(i as u64, *latency));
+            if let Some(event) = state.step(&history) {
+                transitions.push(event);
+            }
+        }
+        assert_eq!(transitions.len(), 2, "one fire + one resolve: {transitions:?}");
+        assert!(transitions[0].fired);
+        // Fires on the regression (ordinal 11), not on the spike (ordinal
+        // 4): the spike alone never accumulates a fast-span's worth of bad
+        // windows in the slow span, but its budget consumption still counts,
+        // so the regression's second window completes the slow condition.
+        assert_eq!(transitions[0].window_index, 11);
+        assert!(!transitions[1].fired);
+        // Resolves once the fast span (3 windows) is clean again.
+        assert_eq!(transitions[1].window_index, 18);
+        assert!(!state.active());
+    }
+}

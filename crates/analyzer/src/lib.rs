@@ -34,6 +34,7 @@ pub mod ccsg;
 pub mod chrome_trace;
 pub mod cpu;
 pub mod dscg;
+pub mod history;
 pub mod hotspot;
 pub mod latency;
 pub mod live;
@@ -43,5 +44,6 @@ pub mod render;
 pub use ccsg::{Ccsg, CcsgNode};
 pub use cpu::{CpuAnalysis, CpuVector};
 pub use dscg::{Abnormality, CallNode, CallTree, Dscg};
+pub use history::{BurnRule, BurnState, WindowHistory};
 pub use latency::{LatencyAnalysis, LatencyStats};
 pub use live::{AlertEvent, AlertRule, LiveConfig, LiveMonitor, WindowSnapshot};

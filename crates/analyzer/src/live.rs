@@ -15,16 +15,27 @@
 //!   duration (`for=N` windows) and hysteresis (separate fire/resolve
 //!   thresholds); firing and resolving transitions are recorded as
 //!   structured events and exposed as gauges.
+//! * [`crate::history::WindowHistory`] — every finalized tumbling window's
+//!   aggregates and folded-stack snapshot are retained in a bounded ring,
+//!   so an operator can ask *when* a regression started (`/history`), diff
+//!   two windows' flamegraphs (`/flamegraph/diff?a=..&b=..`), and evaluate
+//!   multi-window SLO **burn-rate** rules (`burn=p95>400us;slo=99.9;fast=3;
+//!   slow=24`) that fire on sustained budget burn but ignore one-window
+//!   spikes.
 //! * [`serve`] — mounts the monitor behind [`causeway_core::httpd`]:
-//!   `/metrics`, `/healthz`, `/chains`, `/latency`, `/flamegraph`, `/trace`.
+//!   `/metrics`, `/healthz`, `/chains`, `/latency`, `/flamegraph`,
+//!   `/flamegraph/diff`, `/history`, `/dscg`, `/trace` — and runs a
+//!   background ticker thread so windows rotate on idle systems.
 //!
 //! Time is explicit: every mutating entry point has an `_at(now_ns)` variant
 //! so tests are deterministic; the plain variants stamp with a monotonic
 //! clock started at construction.
 
 use crate::chrome_trace;
+use crate::history::{diff_folded, BurnRule, BurnState, HistoryEntry, WindowHistory};
 use crate::latency::LatencyHistogram;
 use crate::online::{OnlineAnalyzer, OnlineEvent, OpenChainSummary};
+use crate::render::{self, CompletedCall};
 use causeway_collector::db::MonitoringDb;
 use causeway_collector::json::Json;
 use causeway_core::deploy::Deployment;
@@ -32,10 +43,12 @@ use causeway_core::httpd::{Handler, HttpServer, Request, Response};
 use causeway_core::ids::{InterfaceId, MethodIndex};
 use causeway_core::metrics::{Counter, Gauge, MetricsRegistry};
 use causeway_core::names::VocabSnapshot;
-use causeway_core::record::{FunctionKey, ProbeRecord};
+use causeway_core::record::ProbeRecord;
 use causeway_core::runlog::RunLog;
 use causeway_core::uuid::Uuid;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -57,6 +70,16 @@ pub struct LiveConfig {
     pub chain_event_capacity: usize,
     /// Maximum retained alert transition events.
     pub alert_log_capacity: usize,
+    /// Finalized tumbling windows retained by the history store (ring size
+    /// for `/history`, `/flamegraph?window=`, burn-rate rules).
+    pub history_windows: usize,
+    /// Approximate byte cap on the history store; whichever of the two
+    /// caps bites first evicts the oldest window.
+    pub history_max_bytes: usize,
+    /// Maximum distinct stacks in the cumulative folded flamegraph map
+    /// (and in each window's snapshot); beyond it the smallest-valued
+    /// stack is evicted and counted.
+    pub stack_capacity: usize,
 }
 
 impl Default for LiveConfig {
@@ -67,6 +90,9 @@ impl Default for LiveConfig {
             trace_capacity: 100_000,
             chain_event_capacity: 100_000,
             alert_log_capacity: 1024,
+            history_windows: 64,
+            history_max_bytes: 8 << 20,
+            stack_capacity: 65_536,
         }
     }
 }
@@ -84,7 +110,7 @@ pub struct SeriesAgg {
 }
 
 impl SeriesAgg {
-    fn record(&mut self, latency_ns: u64) {
+    pub(crate) fn record(&mut self, latency_ns: u64) {
         self.calls += 1;
         self.latency_sum_ns += latency_ns;
         self.hist.record(latency_ns);
@@ -206,7 +232,7 @@ pub struct AlertRule {
 }
 
 impl AlertRule {
-    fn breaches(&self, value: f64) -> bool {
+    pub(crate) fn breaches(&self, value: f64) -> bool {
         match self.cmp {
             AlertCmp::Above => value > self.fire_threshold,
             AlertCmp::Below => value < self.fire_threshold,
@@ -220,7 +246,7 @@ impl AlertRule {
         }
     }
 
-    fn evaluate(&self, window: &WindowSnapshot) -> f64 {
+    pub(crate) fn evaluate(&self, window: &WindowSnapshot) -> f64 {
         match self.metric {
             AlertMetric::P50 | AlertMetric::P95 | AlertMetric::P99 => {
                 let q = match self.metric {
@@ -361,6 +387,42 @@ pub fn parse_rule(spec: &str, vocab: &VocabSnapshot) -> Result<AlertRule, String
         }
     }
 
+    let condition = parse_condition(head, spec, vocab)?;
+    let resolve_threshold = match resolve_spec {
+        Some(v) => parse_value(v, condition.latency)
+            .ok_or_else(|| format!("bad resolve threshold {v:?} in rule {spec:?}"))?,
+        None => condition.threshold,
+    };
+    let band_ok = match condition.cmp {
+        AlertCmp::Above => resolve_threshold <= condition.threshold,
+        AlertCmp::Below => resolve_threshold >= condition.threshold,
+    };
+    if !band_ok {
+        return Err(format!("resolve threshold must be on the calm side in rule {spec:?}"));
+    }
+
+    Ok(AlertRule {
+        name: spec.trim().to_owned(),
+        metric: condition.metric,
+        series: condition.series,
+        cmp: condition.cmp,
+        fire_threshold: condition.threshold,
+        resolve_threshold,
+        for_windows,
+    })
+}
+
+/// A parsed `METRIC[:IFACE.METHOD]CMP VALUE` head, shared by threshold and
+/// burn-rate rules.
+struct Condition {
+    metric: AlertMetric,
+    series: Option<SeriesKey>,
+    cmp: AlertCmp,
+    threshold: f64,
+    latency: bool,
+}
+
+fn parse_condition(head: &str, spec: &str, vocab: &VocabSnapshot) -> Result<Condition, String> {
     let cmp_at = head
         .find(['>', '<'])
         .ok_or_else(|| format!("rule {spec:?} has no > or < comparison"))?;
@@ -391,29 +453,76 @@ pub fn parse_rule(spec: &str, vocab: &VocabSnapshot) -> Result<AlertRule, String
     }
 
     let latency = matches!(metric, AlertMetric::P50 | AlertMetric::P95 | AlertMetric::P99);
-    let fire_threshold = parse_value(value_spec, latency)
+    let threshold = parse_value(value_spec, latency)
         .ok_or_else(|| format!("bad threshold {value_spec:?} in rule {spec:?}"))?;
-    let resolve_threshold = match resolve_spec {
-        Some(v) => parse_value(v, latency)
-            .ok_or_else(|| format!("bad resolve threshold {v:?} in rule {spec:?}"))?,
-        None => fire_threshold,
-    };
-    let band_ok = match cmp {
-        AlertCmp::Above => resolve_threshold <= fire_threshold,
-        AlertCmp::Below => resolve_threshold >= fire_threshold,
-    };
-    if !band_ok {
-        return Err(format!("resolve threshold must be on the calm side in rule {spec:?}"));
-    }
+    Ok(Condition { metric, series, cmp, threshold, latency })
+}
 
-    Ok(AlertRule {
-        name: spec.trim().to_owned(),
-        metric,
-        series,
-        cmp,
-        fire_threshold,
-        resolve_threshold,
-        for_windows,
+/// Parses a multi-window SLO burn-rate rule spec.
+///
+/// Grammar: `burn=METRIC[:IFACE.METHOD]CMP VALUE;slo=PCT;fast=N;slow=M`
+/// `[;factor=F]` — the head condition decides whether one window breaches
+/// (same syntax as [`parse_rule`]), `slo=` is the objective in percent
+/// (error budget `1 − slo/100`, `0 < slo < 100`), and `fast=`/`slow=` are
+/// the window spans of the burn-rate pair (`fast < slow`). The alert fires
+/// when the burn rate over *both* spans reaches `factor` (default
+/// `fast/(slow×budget)`: a fast-span's worth of breaching windows within
+/// the slow span) and resolves when the fast span's burn rate drops below
+/// it. Example: `burn=p95>400us;slo=99.9;fast=3;slow=24`.
+pub fn parse_burn_rule(spec: &str, vocab: &VocabSnapshot) -> Result<BurnRule, String> {
+    let body = spec
+        .trim()
+        .strip_prefix("burn=")
+        .ok_or_else(|| format!("burn rule {spec:?} must start with burn="))?;
+    let mut parts = body.split(';');
+    let head = parts.next().ok_or("empty burn rule")?.trim();
+    let (mut slo, mut fast, mut slow, mut factor) = (None, None, None, None);
+    for opt in parts {
+        let opt = opt.trim();
+        let parse_num = |v: &str, what: &str| -> Result<f64, String> {
+            v.parse::<f64>().map_err(|_| format!("bad {what} {v:?} in rule {spec:?}"))
+        };
+        if let Some(v) = opt.strip_prefix("slo=") {
+            slo = Some(parse_num(v, "slo=")?);
+        } else if let Some(v) = opt.strip_prefix("fast=") {
+            fast = Some(parse_num(v, "fast=")? as usize);
+        } else if let Some(v) = opt.strip_prefix("slow=") {
+            slow = Some(parse_num(v, "slow=")? as usize);
+        } else if let Some(v) = opt.strip_prefix("factor=") {
+            factor = Some(parse_num(v, "factor=")?);
+        } else if !opt.is_empty() {
+            return Err(format!("unknown option {opt:?} in burn rule {spec:?}"));
+        }
+    }
+    let slo_percent = slo.ok_or_else(|| format!("burn rule {spec:?} needs slo="))?;
+    if !(0.0 < slo_percent && slo_percent < 100.0) {
+        return Err(format!("slo= must be in (0, 100) in rule {spec:?}"));
+    }
+    let fast = fast.ok_or_else(|| format!("burn rule {spec:?} needs fast="))?;
+    let slow = slow.ok_or_else(|| format!("burn rule {spec:?} needs slow="))?;
+    if fast == 0 || slow <= fast {
+        return Err(format!("need 0 < fast < slow in burn rule {spec:?}"));
+    }
+    let condition = parse_condition(head, spec, vocab)?;
+    let budget = 1.0 - slo_percent / 100.0;
+    let factor = factor.unwrap_or_else(|| BurnRule::default_factor(fast, slow, budget));
+    if factor <= 0.0 {
+        return Err(format!("factor= must be positive in burn rule {spec:?}"));
+    }
+    Ok(BurnRule {
+        condition: AlertRule {
+            name: spec.trim().to_owned(),
+            metric: condition.metric,
+            series: condition.series,
+            cmp: condition.cmp,
+            fire_threshold: condition.threshold,
+            resolve_threshold: condition.threshold,
+            for_windows: 1,
+        },
+        slo_percent,
+        fast,
+        slow,
+        factor,
     })
 }
 
@@ -453,9 +562,9 @@ fn parse_value(spec: &str, latency: bool) -> Option<f64> {
     }
 }
 
-/// Per-chain buffered completions for flamegraph folding: `(func, depth,
-/// latency_ns)` in the analyzer's post-order emission order.
-type ChainCompletions = Vec<(FunctionKey, usize, u64)>;
+/// Per-chain buffered completions for flamegraph folding and streaming
+/// DSCG renders, in the analyzer's post-order emission order.
+type ChainCompletions = Vec<CompletedCall>;
 
 /// The live monitoring service core: windowed characterization over the
 /// on-line analyzer, plus alerting and exporters. Wrap in
@@ -481,6 +590,18 @@ pub struct LiveMonitor {
     alert_log: VecDeque<AlertEvent>,
     chain_events: HashMap<Uuid, ChainCompletions>,
     folded: BTreeMap<String, u64>,
+    /// Stacks folded during the current tumbling window only (the
+    /// per-window delta retained by the history store).
+    window_folded: BTreeMap<String, u64>,
+    history: WindowHistory,
+    burns: Vec<BurnState>,
+    /// Recently completed chains' completion events, oldest first; total
+    /// buffered completions bounded by `cfg.trace_capacity`.
+    recent_chains: VecDeque<(Uuid, ChainCompletions)>,
+    recent_chain_calls: usize,
+    /// Cumulative per-series call counts — the `/latency` index view.
+    known_series: BTreeMap<SeriesKey, u64>,
+    stack_evictions: Counter,
     total_completed: u64,
     total_abnormalities: u64,
     window_gauges: HashMap<SeriesKey, [Gauge; 5]>,
@@ -493,6 +614,11 @@ impl LiveMonitor {
     pub fn new(cfg: LiveConfig, vocab: VocabSnapshot, deployment: Deployment) -> LiveMonitor {
         let slice_ns =
             (cfg.window.as_nanos() as u64 / cfg.slices.max(1) as u64).max(1);
+        let history = WindowHistory::new(cfg.history_windows, cfg.history_max_bytes);
+        let stack_evictions = MetricsRegistry::global().counter(
+            "causeway_live_stack_evictions",
+            "Folded stacks evicted from the capped flamegraph maps.",
+        );
         LiveMonitor {
             cfg,
             analyzer: OnlineAnalyzer::new(),
@@ -510,6 +636,13 @@ impl LiveMonitor {
             alert_log: VecDeque::new(),
             chain_events: HashMap::new(),
             folded: BTreeMap::new(),
+            window_folded: BTreeMap::new(),
+            history,
+            burns: Vec::new(),
+            recent_chains: VecDeque::new(),
+            recent_chain_calls: 0,
+            known_series: BTreeMap::new(),
+            stack_evictions,
             total_completed: 0,
             total_abnormalities: 0,
             window_gauges: HashMap::new(),
@@ -531,11 +664,32 @@ impl LiveMonitor {
         self.alerts.push(AlertState::new(rule));
     }
 
-    /// Parses and registers an alert rule spec (see [`parse_rule`]).
+    /// Parses and registers an alert rule spec (see [`parse_rule`]). A spec
+    /// starting `burn=` registers a burn-rate rule instead.
     pub fn add_rule_spec(&mut self, spec: &str) -> Result<(), String> {
+        if spec.trim_start().starts_with("burn=") {
+            return self.add_burn_rule_spec(spec);
+        }
         let rule = parse_rule(spec, &self.vocab)?;
         self.add_rule(rule);
         Ok(())
+    }
+
+    /// Registers a multi-window SLO burn-rate rule.
+    pub fn add_burn_rule(&mut self, rule: BurnRule) {
+        self.burns.push(BurnState::new(rule));
+    }
+
+    /// Parses and registers a burn-rate rule spec (see [`parse_burn_rule`]).
+    pub fn add_burn_rule_spec(&mut self, spec: &str) -> Result<(), String> {
+        let rule = parse_burn_rule(spec, &self.vocab)?;
+        self.add_burn_rule(rule);
+        Ok(())
+    }
+
+    /// The retained-window history store.
+    pub fn history(&self) -> &WindowHistory {
+        &self.history
     }
 
     /// Ingests a batch of probe records stamped with the monitor's clock.
@@ -575,20 +729,19 @@ impl LiveMonitor {
             Some((_, slice)) => slice,
             None => return, // roll_to always ran first; defensive only
         };
+        let mut idle_chains = Vec::new();
         for event in events {
             match event {
-                OnlineEvent::CallCompleted { chain, func, depth, latency_ns } => {
+                OnlineEvent::CallCompleted { chain, func, kind, depth, latency_ns } => {
                     let latency = latency_ns.unwrap_or(0);
-                    slice
-                        .series
-                        .entry((func.interface, func.method))
-                        .or_default()
-                        .record(latency);
+                    let key = (func.interface, func.method);
+                    slice.series.entry(key).or_default().record(latency);
                     slice.completed_calls += 1;
                     self.total_completed += 1;
+                    *self.known_series.entry(key).or_insert(0) += 1;
                     let pending = self.chain_events.entry(chain).or_default();
                     if pending.len() < self.cfg.chain_event_capacity {
-                        pending.push((func, depth, latency));
+                        pending.push(CompletedCall { func, kind, depth, latency_ns: latency });
                     }
                 }
                 OnlineEvent::Abnormality { .. } => {
@@ -596,14 +749,69 @@ impl LiveMonitor {
                     self.total_abnormalities += 1;
                 }
                 OnlineEvent::ChainIdle { chain, .. } => {
-                    if let Some(completions) = self.chain_events.remove(&chain) {
-                        fold_completions(&completions, &self.vocab, &mut self.folded);
-                    }
+                    // Folding borrows `self` mutably, which the live slice
+                    // borrow forbids here — defer past the loop.
+                    idle_chains.push(chain);
                     // Completed transactions must not accumulate analyzer
                     // state forever in a long-running service.
                     self.analyzer.forget_chain(chain);
                 }
             }
+        }
+        for chain in idle_chains {
+            if let Some(completions) = self.chain_events.remove(&chain) {
+                self.fold_completions(&completions);
+                self.retain_chain(chain, completions);
+            }
+        }
+    }
+
+    /// Folds one completed chain's call forest into the cumulative and
+    /// per-window flamegraph maps (both capped at `cfg.stack_capacity`).
+    fn fold_completions(&mut self, completions: &[CompletedCall]) {
+        let forest = render::completion_forest(completions);
+        // Iterative pre-order walk, threading the folded path down.
+        let mut lines: Vec<(String, u64)> = Vec::new();
+        let mut work: Vec<(&render::CompletionNode, String)> = forest
+            .iter()
+            .map(|root| {
+                let frame = format!(
+                    "{}.{}",
+                    self.vocab.interface_name(root.call.func.interface),
+                    self.vocab.method_name(root.call.func.interface, root.call.func.method)
+                );
+                (root, frame)
+            })
+            .collect();
+        while let Some((node, path)) = work.pop() {
+            let child_ns: u64 = node.children.iter().map(|c| c.call.latency_ns).sum();
+            let self_ns = node.call.latency_ns.saturating_sub(child_ns);
+            for child in &node.children {
+                let frame = format!(
+                    "{};{}.{}",
+                    path,
+                    self.vocab.interface_name(child.call.func.interface),
+                    self.vocab.method_name(child.call.func.interface, child.call.func.method)
+                );
+                work.push((child, frame));
+            }
+            lines.push((path, self_ns));
+        }
+        let cap = self.cfg.stack_capacity.max(1);
+        for (path, self_ns) in lines {
+            fold_into(&mut self.window_folded, cap, &self.stack_evictions, path.clone(), self_ns);
+            fold_into(&mut self.folded, cap, &self.stack_evictions, path, self_ns);
+        }
+    }
+
+    /// Retains a completed chain's events for `/dscg`, evicting the oldest
+    /// chains once the buffered completions exceed `cfg.trace_capacity`.
+    fn retain_chain(&mut self, chain: Uuid, completions: ChainCompletions) {
+        self.recent_chain_calls += completions.len();
+        self.recent_chains.push_back((chain, completions));
+        while self.recent_chains.len() > 1 && self.recent_chain_calls > self.cfg.trace_capacity {
+            let (_, dropped) = self.recent_chains.pop_front().expect("len checked");
+            self.recent_chain_calls -= dropped.len();
         }
     }
 
@@ -681,6 +889,17 @@ impl LiveMonitor {
                 events.push(event);
             }
         }
+
+        // Retain the closed window (aggregates + this window's folded-stack
+        // delta), then evaluate burn-rate rules against the updated history.
+        let folded = std::mem::take(&mut self.window_folded);
+        self.history.push(HistoryEntry { window: snap.clone(), folded });
+        for burn in &mut self.burns {
+            if let Some(event) = burn.step(&self.history) {
+                events.push(event);
+            }
+        }
+
         for event in events {
             self.alert_log.push_back(event);
             while self.alert_log.len() > self.cfg.alert_log_capacity {
@@ -771,9 +990,19 @@ impl LiveMonitor {
         self.last_window.as_ref()
     }
 
-    /// Names of currently firing alerts.
+    /// Names of currently firing alerts (threshold and burn-rate).
     pub fn active_alerts(&self) -> Vec<String> {
-        self.alerts.iter().filter(|a| a.active).map(|a| a.rule.name.clone()).collect()
+        self.alerts
+            .iter()
+            .filter(|a| a.active)
+            .map(|a| a.rule.name.clone())
+            .chain(
+                self.burns
+                    .iter()
+                    .filter(|b| b.active())
+                    .map(|b| b.rule().condition.name.clone()),
+            )
+            .collect()
     }
 
     /// All retained alert transitions, oldest first.
@@ -799,14 +1028,121 @@ impl LiveMonitor {
     /// Cumulative folded flamegraph stacks (`a;b;c self_ns` per line,
     /// inferno-compatible), sorted by stack for deterministic output.
     pub fn folded_stacks(&self) -> String {
-        let mut out = String::new();
-        for (stack, self_ns) in &self.folded {
-            out.push_str(stack);
-            out.push(' ');
-            out.push_str(&self_ns.to_string());
-            out.push('\n');
+        render_folded(&self.folded)
+    }
+
+    /// The `/flamegraph[?window=k]` body: cumulative folded stacks, or one
+    /// retained window's stacks when scoped.
+    pub fn flamegraph(&self, window: Option<u64>) -> Result<String, String> {
+        match window {
+            None => Ok(self.folded_stacks()),
+            Some(index) => {
+                let entry = self
+                    .history
+                    .get(index)
+                    .ok_or_else(|| format!("window {index} is not retained"))?;
+                Ok(render_folded(&entry.folded))
+            }
         }
-        out
+    }
+
+    /// The `/flamegraph/diff?a=..&b=..` body: the folded-stack delta
+    /// `b − a` between two retained windows, largest regression first
+    /// (`stack +delta` / `stack -delta` per line).
+    pub fn flamegraph_diff(&self, a: u64, b: u64) -> Result<String, String> {
+        let wa =
+            self.history.get(a).ok_or_else(|| format!("window {a} is not retained"))?;
+        let wb =
+            self.history.get(b).ok_or_else(|| format!("window {b} is not retained"))?;
+        let mut out = String::new();
+        for (stack, delta) in diff_folded(&wa.folded, &wb.folded) {
+            out.push_str(&format!("{stack} {delta:+}\n"));
+        }
+        Ok(out)
+    }
+
+    /// The `/history` JSON body: store bounds, per-window summaries (oldest
+    /// first), and burn-rule states.
+    pub fn history_json(&self) -> Json {
+        let windows = self
+            .history
+            .iter()
+            .map(|entry| {
+                let w = &entry.window;
+                let mut all = SeriesAgg::default();
+                for agg in w.series.values() {
+                    all.merge(agg);
+                }
+                let p95 =
+                    if all.calls == 0 { 0.0 } else { all.hist.quantile_ns(0.95) as f64 };
+                Json::obj([
+                    ("index", Json::Num(w.index as f64)),
+                    ("span_ns", Json::Num(w.span_ns as f64)),
+                    ("completed_calls", Json::Num(w.completed_calls as f64)),
+                    ("abnormalities", Json::Num(w.abnormalities as f64)),
+                    ("call_rate_hz", Json::Num(w.call_rate_hz(None))),
+                    ("p95_ns", Json::Num(p95)),
+                    ("series", Json::Num(w.series.len() as f64)),
+                    ("stacks", Json::Num(entry.folded.len() as f64)),
+                ])
+            })
+            .collect();
+        let burns = self
+            .burns
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("rule", Json::Str(b.rule().condition.name.clone())),
+                    ("active", Json::Bool(b.active())),
+                    ("slo_percent", Json::Num(b.rule().slo_percent)),
+                    ("fast_windows", Json::Num(b.rule().fast as f64)),
+                    ("slow_windows", Json::Num(b.rule().slow as f64)),
+                    ("factor", Json::Num(b.rule().factor)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("retained_windows", Json::Num(self.history.len() as f64)),
+            ("cap_windows", Json::Num(self.history.cap_windows() as f64)),
+            ("cap_bytes", Json::Num(self.history.cap_bytes() as f64)),
+            ("approx_bytes", Json::Num(self.history.approx_bytes() as f64)),
+            ("evictions", Json::Num(self.history.evictions() as f64)),
+            ("windows", Json::Arr(windows)),
+            ("burn_rules", Json::Arr(burns)),
+        ])
+    }
+
+    /// The `/dscg` JSON index: recently completed chains available for
+    /// rendering, oldest first.
+    pub fn recent_chains_json(&self) -> Json {
+        let chains = self
+            .recent_chains
+            .iter()
+            .map(|(chain, completions)| {
+                Json::obj([
+                    ("chain", Json::Str(chain.to_string())),
+                    ("completed_calls", Json::Num(completions.len() as f64)),
+                ])
+            })
+            .collect();
+        Json::obj([("recent_chains", Json::Arr(chains))])
+    }
+
+    /// The `/dscg?chain=<uuid>[&format=dot]` body: an incremental DSCG
+    /// render of one recently completed chain.
+    pub fn dscg_render(&self, chain: &str, format: Option<&str>) -> Result<String, String> {
+        let uuid: Uuid =
+            chain.parse().map_err(|_| format!("bad chain uuid {chain:?}"))?;
+        let (_, completions) = self
+            .recent_chains
+            .iter()
+            .rev()
+            .find(|(c, _)| *c == uuid)
+            .ok_or_else(|| format!("chain {chain} is not retained"))?;
+        Ok(match format {
+            Some("dot") => render::completed_chain_dot(uuid, completions, &self.vocab),
+            _ => render::completed_chain_ascii(uuid, completions, &self.vocab),
+        })
     }
 
     /// Chrome trace-event JSON of the last finalized window's raw records
@@ -821,15 +1157,21 @@ impl LiveMonitor {
         chrome_trace::export(&MonitoringDb::from_run(run))
     }
 
-    /// The `/latency` JSON body: per-series windowed statistics, optionally
-    /// filtered to one interface (and method) by name.
+    /// The `/latency` JSON body. With an `iface` filter: that interface's
+    /// per-series windowed statistics. Without one: the index of every
+    /// series seen since start (name + cumulative call count), so the
+    /// endpoint tells an operator what to ask for instead of replying with
+    /// an empty body on an idle window.
     pub fn latency_json(&self, iface: Option<&str>, method: Option<&str>) -> Json {
+        let Some(iface) = iface else {
+            return self.known_series_json();
+        };
         let window = self.sliding();
         let mut series = Vec::new();
         for (key, agg) in &window.series {
             let iface_name = self.vocab.interface_name(key.0);
             let method_name = self.vocab.method_name(key.0, key.1);
-            if iface.is_some_and(|want| want != iface_name) {
+            if iface != iface_name {
                 continue;
             }
             if method.is_some_and(|want| want != method_name) {
@@ -860,6 +1202,23 @@ impl LiveMonitor {
             ("abnormality_rate_hz", Json::Num(window.abnormality_rate_hz())),
             ("series", Json::Arr(series)),
         ])
+    }
+
+    /// Every series seen since start with its cumulative call count — the
+    /// unfiltered `/latency` body.
+    fn known_series_json(&self) -> Json {
+        let series = self
+            .known_series
+            .iter()
+            .map(|(key, calls)| {
+                Json::obj([
+                    ("iface", Json::Str(self.vocab.interface_name(key.0).to_owned())),
+                    ("method", Json::Str(self.vocab.method_name(key.0, key.1).to_owned())),
+                    ("calls", Json::Num(*calls as f64)),
+                ])
+            })
+            .collect();
+        Json::obj([("known_series", Json::Arr(series))])
     }
 
     /// The `/healthz` JSON body and HTTP status: 200 while no alert fires,
@@ -907,58 +1266,44 @@ impl LiveMonitor {
     }
 }
 
-/// Reconstructs each chain's call tree from its post-order completion
-/// events and accumulates self-time folded stacks.
-///
-/// The analyzer emits `CallCompleted` in post-order (children before
-/// parents) with depths, which uniquely determines the tree: scanning the
-/// events in order, a completion at depth `d` adopts the contiguous run of
-/// already-built subtrees of depth `d + 1` at the top of the stack.
-fn fold_completions(
-    completions: &[(FunctionKey, usize, u64)],
-    vocab: &VocabSnapshot,
-    folded: &mut BTreeMap<String, u64>,
-) {
-    struct Built {
-        func: FunctionKey,
-        depth: usize,
-        latency_ns: u64,
-        children: Vec<Built>,
+/// Renders a folded-stack map as `a;b;c self_ns` lines (inferno format),
+/// sorted by stack for deterministic output.
+fn render_folded(folded: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (stack, self_ns) in folded {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&self_ns.to_string());
+        out.push('\n');
     }
-    let mut stack: Vec<Built> = Vec::new();
-    for &(func, depth, latency_ns) in completions {
-        let mut children = Vec::new();
-        while stack.last().is_some_and(|b| b.depth == depth + 1) {
-            children.push(stack.pop().expect("checked last"));
-        }
-        children.reverse(); // popped newest-first; restore call order
-        stack.push(Built { func, depth, latency_ns, children });
-    }
+    out
+}
 
-    // Iterative pre-order walk, threading the folded path down.
-    let mut work: Vec<(Built, String)> = Vec::new();
-    for root in stack {
-        let frame = format!(
-            "{}.{}",
-            vocab.interface_name(root.func.interface),
-            vocab.method_name(root.func.interface, root.func.method)
-        );
-        work.push((root, frame));
+/// Adds `self_ns` to `path`'s folded-stack total, keeping the map at most
+/// `cap` entries by evicting the smallest-valued stack (counted) when a
+/// *new* stack would otherwise push it over.
+fn fold_into(
+    map: &mut BTreeMap<String, u64>,
+    cap: usize,
+    evictions: &Counter,
+    path: String,
+    self_ns: u64,
+) {
+    if let Some(total) = map.get_mut(&path) {
+        *total += self_ns;
+        return;
     }
-    while let Some((node, path)) = work.pop() {
-        let child_ns: u64 = node.children.iter().map(|c| c.latency_ns).sum();
-        let self_ns = node.latency_ns.saturating_sub(child_ns);
-        *folded.entry(path.clone()).or_insert(0) += self_ns;
-        for child in node.children {
-            let frame = format!(
-                "{};{}.{}",
-                path,
-                vocab.interface_name(child.func.interface),
-                vocab.method_name(child.func.interface, child.func.method)
-            );
-            work.push((child, frame));
+    if map.len() >= cap {
+        // Evicting the coldest stack loses the least flamegraph area; the
+        // O(n) scan only runs once the cap is hit and a new stack appears.
+        if let Some(coldest) =
+            map.iter().min_by_key(|(_, ns)| **ns).map(|(stack, _)| stack.clone())
+        {
+            map.remove(&coldest);
+            evictions.inc();
         }
     }
+    map.insert(path, self_ns);
 }
 
 fn merge_slice(snap: &mut WindowSnapshot, slice: &Slice) {
@@ -969,26 +1314,63 @@ fn merge_slice(snap: &mut WindowSnapshot, slice: &Slice) {
     snap.abnormalities += slice.abnormalities;
 }
 
-/// Mounts a shared [`LiveMonitor`] behind the embedded HTTP server.
+/// A running live monitoring service: the embedded HTTP server plus the
+/// background ticker thread that rotates windows on idle systems (so
+/// alerts resolve and history accrues without any scrape traffic).
+///
+/// Dropping the service (or calling [`LiveService::shutdown`]) stops the
+/// ticker, joins it, and stops accepting connections.
+#[derive(Debug)]
+pub struct LiveService {
+    server: HttpServer,
+    stop: Arc<AtomicBool>,
+    ticker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveService {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Requests served since bind (see [`HttpServer::requests_served`]).
+    pub fn requests_served(&self) -> u64 {
+        self.server.requests_served()
+    }
+
+    /// Stops the ticker thread and the HTTP server.
+    pub fn shutdown(self) {
+        // Drop does the work; this name keeps call sites explicit.
+    }
+}
+
+impl Drop for LiveService {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.ticker.take() {
+            let _ = handle.join();
+        }
+        // `self.server` drops afterwards and stops accepting.
+    }
+}
+
+/// Mounts a shared [`LiveMonitor`] behind the embedded HTTP server and
+/// starts the window ticker thread.
 ///
 /// Routes: `/metrics` (Prometheus exposition of the process-global
 /// registry), `/healthz` (alert-aware, 503 while any alert fires),
-/// `/chains`, `/latency[?iface=..&method=..]`, `/flamegraph` (folded
-/// stacks), `/trace` (Chrome trace of the last window). Every handler
-/// first advances window time so idle systems keep rotating windows.
-pub fn serve(monitor: Arc<Mutex<LiveMonitor>>, addr: &str) -> std::io::Result<HttpServer> {
+/// `/chains`, `/latency[?iface=..&method=..]` (series index without a
+/// filter), `/flamegraph[?window=k]`, `/flamegraph/diff?a=..&b=..`,
+/// `/history`, `/dscg[?chain=..&format=dot]`, `/trace` (Chrome trace of
+/// the last window). The ticker advances window time a few times per
+/// slice, so idle systems keep rotating windows without relying on scrape
+/// traffic.
+pub fn serve(monitor: Arc<Mutex<LiveMonitor>>, addr: &str) -> std::io::Result<LiveService> {
     let on = |monitor: &Arc<Mutex<LiveMonitor>>,
               f: fn(&mut LiveMonitor, &Request) -> Response|
      -> Handler {
         let monitor = Arc::clone(monitor);
-        Box::new(move |req: &Request| {
-            let mut guard = match monitor.lock() {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            guard.tick();
-            f(&mut guard, req)
-        })
+        Box::new(move |req: &Request| f(&mut lock_monitor(&monitor), req))
     };
     let routes: Vec<(String, Handler)> = vec![
         (
@@ -1018,14 +1400,82 @@ pub fn serve(monitor: Arc<Mutex<LiveMonitor>>, addr: &str) -> std::io::Result<Ht
         ),
         (
             "/flamegraph".to_owned(),
-            on(&monitor, |m, _| Response::text(200, m.folded_stacks())),
+            on(&monitor, |m, req| {
+                let window = match req.query_param("window") {
+                    Some(raw) => match raw.parse::<u64>() {
+                        Ok(index) => Some(index),
+                        Err(_) => {
+                            return Response::text(400, "window must be an ordinal\n")
+                        }
+                    },
+                    None => None,
+                };
+                match m.flamegraph(window) {
+                    Ok(body) => Response::text(200, body),
+                    Err(err) => Response::text(404, err + "\n"),
+                }
+            }),
+        ),
+        (
+            "/flamegraph/diff".to_owned(),
+            on(&monitor, |m, req| {
+                let ordinal =
+                    |key| req.query_param(key).and_then(|raw: &str| raw.parse::<u64>().ok());
+                match (ordinal("a"), ordinal("b")) {
+                    (Some(a), Some(b)) => match m.flamegraph_diff(a, b) {
+                        Ok(body) => Response::text(200, body),
+                        Err(err) => Response::text(404, err + "\n"),
+                    },
+                    _ => Response::text(400, "need a=<window>&b=<window>\n"),
+                }
+            }),
+        ),
+        (
+            "/history".to_owned(),
+            on(&monitor, |m, _| Response::json(200, m.history_json().to_string())),
+        ),
+        (
+            "/dscg".to_owned(),
+            on(&monitor, |m, req| match req.query_param("chain") {
+                Some(chain) => match m.dscg_render(chain, req.query_param("format")) {
+                    Ok(body) => Response::text(200, body),
+                    Err(err) => Response::text(404, err + "\n"),
+                },
+                None => Response::json(200, m.recent_chains_json().to_string()),
+            }),
         ),
         (
             "/trace".to_owned(),
             on(&monitor, |m, _| Response::json(200, m.trace_json())),
         ),
     ];
-    HttpServer::bind(addr, routes)
+    let server = HttpServer::bind(addr, routes)?;
+
+    // Tick a few times per slice (clamped to a sane wall-clock range) so
+    // windows close promptly even with zero traffic and zero scrapes.
+    let tick_every = Duration::from_nanos(lock_monitor(&monitor).slice_ns / 4)
+        .clamp(Duration::from_millis(5), Duration::from_millis(250));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ticker_stop = Arc::clone(&stop);
+    let ticker_monitor = Arc::clone(&monitor);
+    let ticker = std::thread::Builder::new()
+        .name("causeway-live-ticker".to_owned())
+        .spawn(move || {
+            while !ticker_stop.load(Ordering::Acquire) {
+                std::thread::sleep(tick_every);
+                lock_monitor(&ticker_monitor).tick();
+            }
+        })?;
+    Ok(LiveService { server, stop, ticker: Some(ticker) })
+}
+
+/// Locks a shared monitor, recovering from a poisoned mutex (a panicking
+/// handler must not take the whole status endpoint down with it).
+fn lock_monitor(monitor: &Arc<Mutex<LiveMonitor>>) -> std::sync::MutexGuard<'_, LiveMonitor> {
+    match monitor.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 #[cfg(test)]
@@ -1034,7 +1484,7 @@ mod tests {
     use causeway_core::event::{CallKind, TraceEvent};
     use causeway_core::ids::{LogicalThreadId, NodeId, ObjectId, ProcessId};
     use causeway_core::names::{ComponentId, InterfaceEntry, ObjectEntry};
-    use causeway_core::record::CallSite;
+    use causeway_core::record::{CallSite, FunctionKey};
 
     const SLICE_NS: u64 = 200_000_000; // 5 slices of a 1s window
     const WINDOW_NS: u64 = 1_000_000_000;
@@ -1254,6 +1704,125 @@ mod tests {
     }
 
     #[test]
+    fn burn_rule_parser_round_trips() {
+        let vocab = test_vocab();
+        let rule =
+            parse_burn_rule("burn=p95:Test::Alpha.run>400us;slo=99.9;fast=3;slow=24", &vocab)
+                .unwrap();
+        assert_eq!(rule.condition.metric, AlertMetric::P95);
+        assert_eq!(rule.condition.series, Some((InterfaceId(0), MethodIndex(0))));
+        assert_eq!(rule.condition.fire_threshold, 400_000.0);
+        assert_eq!(rule.slo_percent, 99.9);
+        assert_eq!((rule.fast, rule.slow), (3, 24));
+        let expected = BurnRule::default_factor(3, 24, 1.0 - 99.9 / 100.0);
+        assert!((rule.factor - expected).abs() < 1e-9, "{} vs {expected}", rule.factor);
+
+        let explicit =
+            parse_burn_rule("burn=rate<0.5;slo=99;fast=2;slow=10;factor=3", &vocab).unwrap();
+        assert_eq!(explicit.factor, 3.0);
+        assert_eq!(explicit.condition.cmp, AlertCmp::Below);
+
+        assert!(parse_burn_rule("p95>1ms;slo=99;fast=1;slow=2", &vocab).is_err(), "no burn=");
+        assert!(parse_burn_rule("burn=p95>1ms;fast=3;slow=24", &vocab).is_err(), "no slo=");
+        assert!(parse_burn_rule("burn=p95>1ms;slo=101;fast=3;slow=24", &vocab).is_err());
+        assert!(parse_burn_rule("burn=p95>1ms;slo=99.9;fast=5;slow=5", &vocab).is_err());
+        assert!(parse_burn_rule("burn=p95>1ms;slo=99.9;fast=3;slow=24;x=1", &vocab).is_err());
+    }
+
+    #[test]
+    fn latency_without_iface_lists_known_series() {
+        let mut m = monitor();
+        m.ingest_batch_at(sync_call(1, 0, 0, 1000), 10);
+        m.ingest_batch_at(sync_call(2, 1, 0, 1000), 20);
+        // Roll far ahead: windowed data ages out, but the index must not.
+        m.tick_at(10 * WINDOW_NS);
+        let json = m.latency_json(None, None);
+        let series = json.get("known_series").and_then(Json::as_arr).expect("index");
+        assert_eq!(series.len(), 2, "{json}");
+        assert_eq!(series[0].get("iface").and_then(Json::as_str), Some("Test::Alpha"));
+        assert_eq!(series[0].get("calls").and_then(Json::as_u64), Some(1));
+        assert_eq!(series[1].get("iface").and_then(Json::as_str), Some("Test::Beta"));
+    }
+
+    #[test]
+    fn history_scopes_flamegraphs_and_diffs_windows() {
+        let mut m = monitor();
+        m.ingest_batch_at(sync_call(1, 0, 0, 1_000), 10); // window 0
+        m.ingest_batch_at(sync_call(2, 1, 0, 50_000), WINDOW_NS + 10); // window 1
+        m.tick_at(2 * WINDOW_NS);
+        assert_eq!(m.history().len(), 2);
+
+        let w0 = m.flamegraph(Some(0)).unwrap();
+        assert!(w0.contains("Test::Alpha.run "), "{w0}");
+        assert!(!w0.contains("Test::Beta.go"), "window 0 must not see window 1: {w0}");
+        let cumulative = m.flamegraph(None).unwrap();
+        assert!(cumulative.contains("Test::Alpha.run ") && cumulative.contains("Test::Beta.go "));
+
+        let diff = m.flamegraph_diff(0, 1).unwrap();
+        let first = diff.lines().next().expect("non-empty diff");
+        assert!(first.starts_with("Test::Beta.go +"), "top positive delta first: {diff}");
+        assert!(diff.contains("Test::Alpha.run -"), "vanished stack goes negative: {diff}");
+
+        assert!(m.flamegraph(Some(7)).unwrap_err().contains("not retained"));
+        assert!(m.flamegraph_diff(0, 7).is_err());
+    }
+
+    #[test]
+    fn history_json_reports_bounds_and_burn_rules() {
+        let mut m = monitor();
+        m.add_rule_spec("burn=p95>400us;slo=99.9;fast=3;slow=24").expect("burn spec routed");
+        m.ingest_batch_at(sync_call(1, 0, 0, 1_000), 10);
+        m.tick_at(WINDOW_NS);
+        let json = m.history_json();
+        assert_eq!(json.get("retained_windows").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            json.get("cap_windows").and_then(Json::as_u64),
+            Some(LiveConfig::default().history_windows as u64)
+        );
+        let windows = json.get("windows").and_then(Json::as_arr).expect("windows");
+        assert_eq!(windows[0].get("index").and_then(Json::as_u64), Some(0));
+        assert_eq!(windows[0].get("completed_calls").and_then(Json::as_u64), Some(1));
+        let burns = json.get("burn_rules").and_then(Json::as_arr).expect("burn rules");
+        assert_eq!(burns.len(), 1);
+        assert_eq!(burns[0].get("active").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn dscg_serves_recently_completed_chains() {
+        let mut m = monitor();
+        m.ingest_batch_at(sync_call(0xabc, 0, 0, 1000), 10);
+        let listing = m.recent_chains_json();
+        let chains = listing.get("recent_chains").and_then(Json::as_arr).expect("list");
+        assert_eq!(chains.len(), 1);
+        let id = chains[0].get("chain").and_then(Json::as_str).expect("uuid").to_owned();
+        let ascii = m.dscg_render(&id, None).unwrap();
+        assert!(ascii.contains("Test::Alpha.run@alpha-7 [sync]"), "{ascii}");
+        let dot = m.dscg_render(&id, Some("dot")).unwrap();
+        assert!(dot.starts_with("digraph"), "{dot}");
+        assert!(m.dscg_render("not-a-uuid", None).is_err());
+        assert!(m.dscg_render(&Uuid(999).to_string(), None).is_err());
+    }
+
+    #[test]
+    fn folded_stack_maps_are_bounded() {
+        let cfg = LiveConfig { stack_capacity: 2, ..test_config() };
+        let mut m = LiveMonitor::new(cfg, test_vocab(), Deployment::default());
+        let before = MetricsRegistry::global()
+            .counter_value("causeway_live_stack_evictions")
+            .unwrap_or(0);
+        // Three distinct stacks against a two-entry cap.
+        m.ingest_batch_at(sync_call(1, 0, 0, 1000), 10);
+        m.ingest_batch_at(sync_call(2, 0, 1, 2000), 20);
+        m.ingest_batch_at(sync_call(3, 1, 0, 3000), 30);
+        assert!(m.folded.len() <= 2, "cumulative map capped: {:?}", m.folded);
+        assert!(m.window_folded.len() <= 2, "window map capped");
+        let after = MetricsRegistry::global()
+            .counter_value("causeway_live_stack_evictions")
+            .unwrap_or(0);
+        assert!(after > before, "evictions counted: {before} -> {after}");
+    }
+
+    #[test]
     fn folded_stacks_attribute_self_time() {
         let mut m = monitor();
         // A parent (Alpha.run) wrapping one child (Beta.go): nested sync
@@ -1369,8 +1938,60 @@ mod tests {
         assert_eq!(status, 200);
         assert!(causeway_collector::json::parse(&trace).is_ok());
 
+        let (status, history) = get("/history");
+        assert_eq!(status, 200);
+        let history = causeway_collector::json::parse(&history).expect("valid JSON");
+        assert!(history.get("retained_windows").is_some());
+
+        let (status, dscg) = get("/dscg");
+        assert_eq!(status, 200);
+        let dscg = causeway_collector::json::parse(&dscg).expect("valid JSON");
+        let chains =
+            dscg.get("recent_chains").and_then(Json::as_arr).expect("chain list");
+        assert_eq!(chains.len(), 1);
+        let chain = chains[0].get("chain").and_then(Json::as_str).expect("uuid");
+        let (status, tree) = get(&format!("/dscg?chain={chain}"));
+        assert_eq!(status, 200);
+        assert!(tree.contains("Test::Alpha.run"), "{tree}");
+
+        // Window-scoped views 404 cleanly before any window has closed…
+        let (status, _) = get("/flamegraph?window=0");
+        assert_eq!(status, 404);
+        let (status, _) = get("/flamegraph/diff?a=0&b=1");
+        assert_eq!(status, 404);
+        // …and malformed ordinals are a 400, not a panic.
+        let (status, _) = get("/flamegraph?window=abc");
+        assert_eq!(status, 400);
+        let (status, _) = get("/flamegraph/diff?a=0");
+        assert_eq!(status, 400);
+
         let (status, _) = get("/nope");
         assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn ticker_rotates_windows_on_an_idle_system() {
+        // Tight real-time windows: with zero traffic and zero scrapes, the
+        // background ticker alone must finalize windows into the history.
+        let cfg = LiveConfig {
+            window: Duration::from_millis(50),
+            slices: 2,
+            ..LiveConfig::default()
+        };
+        let m = Arc::new(Mutex::new(LiveMonitor::new(cfg, test_vocab(), Deployment::default())));
+        let server = serve(Arc::clone(&m), "127.0.0.1:0").expect("bind");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            {
+                let guard = m.lock().unwrap();
+                if guard.history().len() >= 2 {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "ticker never closed a window");
+            std::thread::sleep(Duration::from_millis(10));
+        }
         server.shutdown();
     }
 }

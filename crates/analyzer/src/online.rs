@@ -104,6 +104,8 @@ pub enum OnlineEvent {
         chain: Uuid,
         /// What was invoked.
         func: FunctionKey,
+        /// How it was invoked (sync, one-way, collocated, …).
+        kind: CallKind,
         /// Nesting depth within the chain (0 = top level).
         depth: usize,
         /// Compensated end-to-end latency, when measurable.
@@ -480,6 +482,7 @@ impl OnlineAnalyzer {
                     let open = state.stack.last().expect("matched");
                     let latency = compensated_latency(open, &record);
                     let func = open.func;
+                    let kind = open.kind;
                     // The one-way stub side only confirms the *send*; the
                     // call completes on its child chain (skeleton side), so
                     // emitting here would double-count the invocation.
@@ -493,7 +496,10 @@ impl OnlineAnalyzer {
                     }
                     if !is_oneway_send {
                         state.completed_calls += 1;
-                        emit(sink, OnlineEvent::CallCompleted { chain, func, depth, latency_ns: latency });
+                        emit(
+                            sink,
+                            OnlineEvent::CallCompleted { chain, func, kind, depth, latency_ns: latency },
+                        );
                     }
                 } else {
                     emit(sink, OnlineEvent::Abnormality {
@@ -522,7 +528,13 @@ impl OnlineAnalyzer {
             _ => None,
         };
         state.completed_calls += 1;
-        emit(sink, OnlineEvent::CallCompleted { chain, func: open.func, depth, latency_ns: latency });
+        emit(sink, OnlineEvent::CallCompleted {
+            chain,
+            func: open.func,
+            kind: open.kind,
+            depth,
+            latency_ns: latency,
+        });
     }
 }
 
@@ -620,6 +632,7 @@ mod tests {
                 OnlineEvent::CallCompleted {
                     chain: Uuid(1),
                     func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(7)),
+                    kind: CallKind::Sync,
                     depth: 0,
                     latency_ns: Some(95), // 100 − 5, no children
                 },
@@ -802,6 +815,7 @@ mod tests {
                 OnlineEvent::CallCompleted {
                     chain: Uuid(1),
                     func: FunctionKey::new(InterfaceId(0), MethodIndex(0), ObjectId(7)),
+                    kind: CallKind::Sync,
                     depth: 0,
                     latency_ns: Some(95),
                 },

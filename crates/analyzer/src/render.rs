@@ -8,7 +8,10 @@
 use crate::ccsg::{Ccsg, CcsgNode, format_sec_usec};
 use crate::dscg::{CallNode, Dscg};
 use crate::latency::node_latency;
+use causeway_core::event::CallKind;
 use causeway_core::names::VocabSnapshot;
+use causeway_core::record::FunctionKey;
+use causeway_core::uuid::Uuid;
 use std::fmt::Write as _;
 
 /// Options for the ASCII DSCG view.
@@ -195,6 +198,114 @@ fn xml_escape(s: &str) -> String {
         .replace('<', "&lt;")
         .replace('>', "&gt;")
         .replace('"', "&quot;")
+}
+
+/// One completed invocation as streamed by the on-line analyzer: enough to
+/// rebuild the chain's call tree without retaining raw probe records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedCall {
+    /// The invoked function.
+    pub func: FunctionKey,
+    /// How it was invoked (sync, one-way, collocated, …).
+    pub kind: CallKind,
+    /// Nesting depth within the chain (roots at 0).
+    pub depth: usize,
+    /// Compensated latency, ns (0 when wall stamps were absent).
+    pub latency_ns: u64,
+}
+
+/// A node of a reconstructed completed-call tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionNode {
+    /// The completed invocation.
+    pub call: CompletedCall,
+    /// Child invocations in call order.
+    pub children: Vec<CompletionNode>,
+}
+
+/// Rebuilds a chain's call forest from its completion events.
+///
+/// The analyzer emits completions in post-order (children before parents)
+/// with depths, which uniquely determines the tree: scanning in order, a
+/// completion at depth `d` adopts the contiguous run of already-built
+/// subtrees of depth `d + 1` at the top of the stack. Orphans whose parent
+/// never completed surface as extra roots rather than disappearing.
+pub fn completion_forest(completions: &[CompletedCall]) -> Vec<CompletionNode> {
+    let mut stack: Vec<CompletionNode> = Vec::new();
+    for &call in completions {
+        let mut children = Vec::new();
+        while stack.last().is_some_and(|n| n.call.depth == call.depth + 1) {
+            children.push(stack.pop().expect("checked last"));
+        }
+        children.reverse(); // popped newest-first; restore call order
+        stack.push(CompletionNode { call, children });
+    }
+    stack
+}
+
+/// Renders one completed chain as an indented ASCII tree (the streaming
+/// DSCG view: same shape as [`ascii_tree`], fed from completion events).
+pub fn completed_chain_ascii(
+    chain: Uuid,
+    completions: &[CompletedCall],
+    vocab: &VocabSnapshot,
+) -> String {
+    let forest = completion_forest(completions);
+    let mut out = String::new();
+    writeln!(out, "chain {chain} ({} completed calls)", completions.len())
+        .expect("string write");
+    let mut stack: Vec<(&CompletionNode, usize)> =
+        forest.iter().rev().map(|r| (r, 1)).collect();
+    while let Some((node, indent)) = stack.pop() {
+        writeln!(
+            out,
+            "{}{} [{}] L={}us",
+            "  ".repeat(indent),
+            vocab.qualified_function(&node.call.func),
+            node.call.kind,
+            node.call.latency_ns / 1_000
+        )
+        .expect("string write");
+        for child in node.children.iter().rev() {
+            stack.push((child, indent + 1));
+        }
+    }
+    out
+}
+
+/// Renders one completed chain as Graphviz DOT (single cluster).
+pub fn completed_chain_dot(
+    chain: Uuid,
+    completions: &[CompletedCall],
+    vocab: &VocabSnapshot,
+) -> String {
+    let forest = completion_forest(completions);
+    let mut out = String::from("digraph dscg {\n  node [shape=box, fontsize=9];\n");
+    writeln!(out, "  subgraph cluster_0 {{\n    label=\"chain {chain}\";")
+        .expect("string write");
+    let mut next_id = 0usize;
+    let mut stack: Vec<(&CompletionNode, Option<usize>)> =
+        forest.iter().rev().map(|r| (r, None)).collect();
+    while let Some((node, parent)) = stack.pop() {
+        let id = next_id;
+        next_id += 1;
+        let label = vocab.qualified_function(&node.call.func).replace('"', "'");
+        writeln!(
+            out,
+            "    n{id} [label=\"{label}\\n{} {}us\"];",
+            node.call.kind,
+            node.call.latency_ns / 1_000
+        )
+        .expect("string write");
+        if let Some(parent) = parent {
+            writeln!(out, "    n{parent} -> n{id};").expect("string write");
+        }
+        for child in node.children.iter().rev() {
+            stack.push((child, Some(id)));
+        }
+    }
+    out.push_str("  }\n}\n");
+    out
 }
 
 /// Renders an OVATION-style sequence chart: one lane per (process, thread)
@@ -423,6 +534,52 @@ mod tests {
     #[test]
     fn xml_escaping() {
         assert_eq!(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    fn completed(iface: u32, depth: usize, latency_us: u64) -> CompletedCall {
+        CompletedCall {
+            func: FunctionKey::new(InterfaceId(iface), MethodIndex(0), ObjectId(3)),
+            kind: CallKind::Sync,
+            depth,
+            latency_ns: latency_us * 1_000,
+        }
+    }
+
+    #[test]
+    fn completion_forest_rebuilds_post_order_tree() {
+        // Post-order: child (depth 1), sibling (depth 1), then parent
+        // (depth 0), plus a second root.
+        let events =
+            vec![completed(0, 1, 10), completed(0, 1, 20), completed(0, 0, 50), completed(0, 0, 5)];
+        let forest = completion_forest(&events);
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].children.len(), 2);
+        assert_eq!(forest[0].children[0].call.latency_ns, 10_000, "call order kept");
+        assert_eq!(forest[0].children[1].call.latency_ns, 20_000);
+        assert!(forest[1].children.is_empty());
+    }
+
+    #[test]
+    fn completion_forest_surfaces_orphans_as_roots() {
+        // A depth-2 completion whose depth-1 parent never completed must
+        // still be visible.
+        let events = vec![completed(0, 2, 10), completed(0, 0, 50)];
+        let forest = completion_forest(&events);
+        assert_eq!(forest.len(), 2);
+    }
+
+    #[test]
+    fn completed_chain_renders_are_wellformed() {
+        let events = vec![completed(0, 1, 10), completed(0, 0, 50)];
+        let ascii = completed_chain_ascii(Uuid(7), &events, &vocab());
+        assert!(ascii.starts_with("chain"), "{ascii}");
+        assert!(ascii.contains("Pipe::Stage.run@obj3 [sync] L=50us"), "{ascii}");
+        assert!(ascii.contains("    Pipe::Stage.run@obj3 [sync] L=10us"), "nested: {ascii}");
+
+        let dot = completed_chain_dot(Uuid(7), &events, &vocab());
+        assert!(dot.starts_with("digraph dscg {"), "{dot}");
+        assert!(dot.contains("n0 -> n1;"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'), "{dot}");
     }
 }
 

@@ -28,11 +28,21 @@
 //! ```
 
 use crate::metrics::{Counter, MetricsRegistry};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Longest accepted request line (and single header line), bytes. Anything
+/// longer gets a 400 — a scrape endpoint has no business receiving 8 KiB
+/// paths, and unbounded `read_line` buffering would hand any client a
+/// memory lever.
+const MAX_LINE_BYTES: u64 = 8 * 1024;
+
+/// Total header bytes drained per request before the connection is
+/// rejected with a 400.
+const MAX_HEADER_BYTES: u64 = 32 * 1024;
 
 /// One parsed request: method, decoded path, and query parameters.
 #[derive(Debug, Clone)]
@@ -109,6 +119,7 @@ pub type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
 struct ServerShared {
     routes: Vec<(String, Handler)>,
     stop: AtomicBool,
+    read_timeout: Duration,
     requests: Counter,
     errors: Counter,
 }
@@ -134,12 +145,24 @@ impl HttpServer {
     /// Binds `addr` (e.g. `"127.0.0.1:9464"`, port `0` for ephemeral) and
     /// starts serving `routes` in the background.
     pub fn bind(addr: &str, routes: Vec<(String, Handler)>) -> std::io::Result<HttpServer> {
+        HttpServer::bind_with_read_timeout(addr, routes, Duration::from_secs(5))
+    }
+
+    /// [`HttpServer::bind`] with an explicit per-read socket timeout — the
+    /// bound on how long a slow or stalled client can pin a connection
+    /// thread between bytes.
+    pub fn bind_with_read_timeout(
+        addr: &str,
+        routes: Vec<(String, Handler)>,
+        read_timeout: Duration,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let registry = MetricsRegistry::global();
         let shared = Arc::new(ServerShared {
             routes,
             stop: AtomicBool::new(false),
+            read_timeout,
             requests: registry.counter(
                 "causeway_httpd_requests_total",
                 "HTTP requests served by the embedded status endpoint",
@@ -205,7 +228,7 @@ impl Drop for HttpServer {
 }
 
 fn serve_connection(stream: TcpStream, shared: &ServerShared) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
@@ -214,21 +237,45 @@ fn serve_connection(stream: TcpStream, shared: &ServerShared) {
             return;
         }
     });
+    // A size-capped read: `read_line` alone would buffer an unbounded line.
     let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() || request_line.trim().is_empty() {
-        shared.errors.inc();
-        return;
+    match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut request_line) {
+        Err(_) => {
+            // Stalled or broken mid-line (the read timeout fired): answer
+            // what we can and close — never leave the thread hanging.
+            reject(stream, reader, shared, "incomplete request\n");
+            return;
+        }
+        Ok(0) => {
+            // Closed without sending a byte (port probe, shutdown waker).
+            return;
+        }
+        Ok(_) if !request_line.ends_with('\n') && request_line.len() as u64 >= MAX_LINE_BYTES => {
+            reject(stream, reader, shared, "request line too long\n");
+            return;
+        }
+        Ok(_) => {}
     }
     // Drain headers until the blank line; this server ignores them (GET
-    // only, no bodies, always Connection: close).
+    // only, no bodies, always Connection: close) but bounds how much a
+    // client may send before the response.
+    let mut header_bytes = 0u64;
     loop {
         let mut header = String::new();
-        match reader.read_line(&mut header) {
+        match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut header) {
             Ok(0) => break,
             Ok(_) if header.trim().is_empty() => break,
-            Ok(_) => continue,
+            Ok(n) => {
+                header_bytes += n as u64;
+                let unterminated =
+                    !header.ends_with('\n') && header.len() as u64 >= MAX_LINE_BYTES;
+                if header_bytes > MAX_HEADER_BYTES || unterminated {
+                    reject(stream, reader, shared, "headers too large\n");
+                    return;
+                }
+            }
             Err(_) => {
-                shared.errors.inc();
+                reject(stream, reader, shared, "incomplete request\n");
                 return;
             }
         }
@@ -251,6 +298,23 @@ fn serve_connection(stream: TcpStream, shared: &ServerShared) {
         None => Response::text(400, "malformed request line\n"),
     };
     write_response(stream, &response, request_line.starts_with("HEAD "));
+}
+
+/// Answers a malformed/oversized request with a 400 and drains a bounded
+/// amount of whatever the client is still sending, so closing the socket
+/// does not RST the response out from under a well-meaning-but-sloppy
+/// client.
+fn reject(stream: TcpStream, mut reader: BufReader<TcpStream>, shared: &ServerShared, why: &str) {
+    shared.errors.inc();
+    write_response(stream, &Response::text(400, why), false);
+    let _ = reader.get_ref().set_read_timeout(Some(Duration::from_millis(250)));
+    let mut scrap = [0u8; 4096];
+    for _ in 0..16 {
+        match reader.read(&mut scrap) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
 }
 
 fn write_response(mut stream: TcpStream, response: &Response, head_only: bool) {
@@ -420,6 +484,87 @@ mod tests {
             let _ = stream.read_to_string(&mut raw);
             assert!(raw.is_empty(), "post-shutdown connection was served: {raw}");
         }
+    }
+
+    #[test]
+    fn malformed_request_line_gets_400() {
+        let server = ping_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write!(stream, "complete garbage\r\n\r\n").expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+        // The server survives and keeps serving.
+        assert_eq!(get(server.local_addr(), "/ping"), (200, "pong".to_owned()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_gets_400() {
+        let server = ping_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let long_path = "a".repeat(MAX_LINE_BYTES as usize + 1024);
+        write!(stream, "GET /{long_path} HTTP/1.1\r\n\r\n").expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+        assert_eq!(get(server.local_addr(), "/ping"), (200, "pong".to_owned()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_headers_get_400() {
+        let server = ping_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write!(stream, "GET /ping HTTP/1.1\r\n").expect("send");
+        let filler = "x".repeat(1024);
+        for i in 0.. {
+            if write!(stream, "X-Filler-{i}: {filler}\r\n").is_err() {
+                break; // server already rejected and closed
+            }
+            if i as u64 * 1024 > 2 * MAX_HEADER_BYTES {
+                break;
+            }
+        }
+        let _ = stream.flush();
+        let mut raw = String::new();
+        let _ = stream.read_to_string(&mut raw); // best effort: RST possible mid-send
+        if !raw.is_empty() {
+            assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+        }
+        assert_eq!(get(server.local_addr(), "/ping"), (200, "pong".to_owned()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_partial_request_times_out_without_blocking_others() {
+        let server = HttpServer::bind_with_read_timeout(
+            "127.0.0.1:0",
+            vec![(
+                "/ping".to_owned(),
+                Box::new(|_req: &Request| Response::text(200, "pong")) as Handler,
+            )],
+            Duration::from_millis(200),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        // A client that sends half a request line and stalls…
+        let mut stalled = TcpStream::connect(addr).expect("connect");
+        write!(stalled, "GET /pi").expect("send partial");
+        // …must not block other connections (thread-per-connection).
+        assert_eq!(get(addr, "/ping"), (200, "pong".to_owned()));
+        // And the stalled connection is answered 400 and closed once the
+        // read timeout fires, not held open indefinitely.
+        stalled
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("client timeout");
+        let mut raw = String::new();
+        let _ = stalled.read_to_string(&mut raw);
+        assert!(
+            raw.starts_with("HTTP/1.1 400"),
+            "stalled connection should get a 400, got {raw:?}"
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -416,6 +416,24 @@ impl MetricsRegistry {
         }
     }
 
+    /// Looks up one labeled series of an existing counter family —
+    /// [`MetricsRegistry::counter_value`] resolves only unlabeled or sole
+    /// series, which is ambiguous once a family fans out over labels.
+    pub fn counter_value_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find_with(name, labels)? {
+            Series::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Looks up one labeled series of an existing gauge family.
+    pub fn gauge_value_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.find_with(name, labels)? {
+            Series::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
     fn find(&self, name: &str) -> Option<Series> {
         let families = self.inner.families.lock();
         let family = families.get(name)?;
@@ -425,6 +443,11 @@ impl MetricsRegistry {
             .get("")
             .or_else(|| family.series.values().next())
             .cloned()
+    }
+
+    fn find_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<Series> {
+        let families = self.inner.families.lock();
+        families.get(name)?.series.get(&label_key(labels)).cloned()
     }
 
     /// Renders every family in the Prometheus text exposition format

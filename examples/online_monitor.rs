@@ -13,14 +13,22 @@
 //! * `GET /healthz` — 200 while no alert fires, 503 otherwise
 //! * `GET /chains` — open causal chains, JSON
 //! * `GET /latency?iface=..&method=..` — windowed percentiles, JSON
-//! * `GET /flamegraph` — folded stacks (`a;b;c N`, inferno-compatible)
+//!   (without `iface`, the list of known series)
+//! * `GET /flamegraph[?window=k]` — folded stacks (`a;b;c N`,
+//!   inferno-compatible), cumulative or scoped to one retained window
+//! * `GET /flamegraph/diff?a=..&b=..` — folded-stack delta between two
+//!   retained windows, largest regression first
+//! * `GET /history` — retained-window ring summary + burn-rule states, JSON
+//! * `GET /dscg[?chain=UUID&format=dot]` — recently completed chains,
+//!   rendered as ascii call trees or Graphviz
 //! * `GET /trace` — Chrome trace of the last window
 //!
 //! ```text
 //! cargo run --example online_monitor                 # finite 8-job run
 //! cargo run --example online_monitor -- \
 //!     --listen 127.0.0.1:9464 --window 2 --duration 10 \
-//!     --alert 'p95>400us;resolve=200us'              # live service
+//!     --alert 'p95>400us;resolve=200us' \
+//!     --history 128 --burn 'burn=p95>400us;slo=99.9;fast=3;slow=24'
 //! ```
 
 use causeway::analyzer::chrome_trace;
@@ -38,6 +46,8 @@ struct Args {
     listen: Option<String>,
     window: Duration,
     alerts: Vec<String>,
+    burns: Vec<String>,
+    history: Option<usize>,
     duration: Duration,
     jobs: usize,
 }
@@ -47,6 +57,8 @@ fn parse_args() -> Args {
         listen: None,
         window: Duration::from_secs(2),
         alerts: Vec::new(),
+        burns: Vec::new(),
+        history: None,
         duration: Duration::from_secs(10),
         jobs: 8,
     };
@@ -68,6 +80,15 @@ fn parse_args() -> Args {
                 args.window = Duration::from_secs_f64(secs.max(0.001));
             }
             "--alert" => args.alerts.push(need(&mut argv, "--alert")),
+            "--burn" => args.burns.push(need(&mut argv, "--burn")),
+            "--history" => {
+                let windows: usize =
+                    need(&mut argv, "--history").parse().unwrap_or_else(|_| {
+                        eprintln!("--history takes a retained window count");
+                        std::process::exit(2);
+                    });
+                args.history = Some(windows.max(1));
+            }
             "--duration" => {
                 let secs: f64 = need(&mut argv, "--duration").parse().unwrap_or_else(|_| {
                     eprintln!("--duration takes seconds");
@@ -84,7 +105,7 @@ fn parse_args() -> Args {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; flags: --listen ADDR --window SECS \
-                     --alert RULE --duration SECS --jobs N"
+                     --alert RULE --burn RULE --history WINDOWS --duration SECS --jobs N"
                 );
                 std::process::exit(2);
             }
@@ -113,19 +134,24 @@ fn main() {
         })
         .collect();
 
+    let mut config = LiveConfig { window: args.window, ..LiveConfig::default() };
+    if let Some(windows) = args.history {
+        config.history_windows = windows;
+    }
     let mut live = LiveMonitor::new(
-        LiveConfig { window: args.window, ..LiveConfig::default() },
+        config,
         pps.system.vocab().snapshot(),
         pps.system.deployment().clone(),
     );
-    let rules = if args.alerts.is_empty() {
+    let mut rules = if args.alerts.is_empty() {
         vec!["p95>400us;resolve=200us".to_owned()]
     } else {
         args.alerts.clone()
     };
+    rules.extend(args.burns.iter().cloned());
     for rule in &rules {
         if let Err(e) = live.add_rule_spec(rule) {
-            eprintln!("bad --alert rule: {e}");
+            eprintln!("bad alert/burn rule: {e}");
             std::process::exit(2);
         }
     }
@@ -137,7 +163,8 @@ fn main() {
             std::process::exit(1);
         });
         println!(
-            "serving /metrics /healthz /chains /latency /flamegraph /trace on http://{}",
+            "serving /metrics /healthz /chains /latency /flamegraph \
+             /flamegraph/diff /history /dscg /trace on http://{}",
             server.local_addr()
         );
         server

@@ -11,6 +11,7 @@ use causeway_collector::json::{self, Json};
 use causeway_core::event::{CallKind, TraceEvent};
 use causeway_core::ids::{InterfaceId, LogicalThreadId, MethodIndex, NodeId, ObjectId, ProcessId};
 use causeway_core::monitor::ProbeMode;
+use causeway_core::names::{InterfaceEntry, VocabSnapshot};
 use causeway_core::record::{CallSite, FunctionKey, ProbeRecord};
 use causeway_core::uuid::Uuid;
 use causeway_workloads::{Pps, PpsConfig, PpsDeployment};
@@ -245,4 +246,184 @@ fn injected_latency_spike_fires_and_resolves_one_alert() {
     assert!(!events[1].fired, "second transition resolves: {:?}", events[1]);
     assert_eq!(events[1].window_index, 7, "resolves on the recovery's second window");
     assert!(live.active_alerts().is_empty());
+}
+
+/// Synthetic one-call sync chains for the time-travel tests: `serve` is the
+/// steady-state operation, `inject` is the culprit we plant.
+fn synthetic_call(chain: u128, method: MethodIndex, latency_ns: u64) -> Vec<ProbeRecord> {
+    let rec = |seq, event, wall: (u64, u64)| ProbeRecord {
+        uuid: Uuid(chain),
+        seq,
+        event,
+        kind: CallKind::Sync,
+        site: CallSite { node: NodeId(0), process: ProcessId(0), thread: LogicalThreadId(0) },
+        func: FunctionKey::new(InterfaceId(0), method, ObjectId(1)),
+        wall_start: Some(wall.0),
+        wall_end: Some(wall.1),
+        cpu_start: None,
+        cpu_end: None,
+        oneway_child: None,
+        oneway_parent: None,
+    };
+    vec![
+        rec(1, TraceEvent::StubStart, (0, 1)),
+        rec(2, TraceEvent::SkelStart, (2, 3)),
+        rec(3, TraceEvent::SkelEnd, (3 + latency_ns, 4 + latency_ns)),
+        rec(4, TraceEvent::StubEnd, (5 + latency_ns, 6 + latency_ns)),
+    ]
+}
+
+fn two_method_vocab() -> VocabSnapshot {
+    VocabSnapshot {
+        interfaces: vec![InterfaceEntry {
+            name: "Svc::Api".to_owned(),
+            methods: vec!["serve".to_owned(), "inject".to_owned()],
+        }],
+        components: vec![],
+        cpu_types: vec![],
+        objects: vec![],
+    }
+}
+
+/// Deterministic burn-rate semantics end to end: a one-window latency spike
+/// that a single-window rule catches must NOT fire the multi-window burn
+/// rule, while a sustained regression fires it exactly once (and resolves
+/// once). Across the regression boundary, `/flamegraph/diff` names the
+/// injected operation as the top positive delta.
+#[test]
+fn sustained_regression_fires_burn_alert_once_and_diff_names_culprit() {
+    const WINDOW_NS: u64 = 1_000_000_000;
+    // A synthetic epoch far beyond any real process uptime, so the server's
+    // wall-clock ticker can never advance past the explicit timestamps.
+    const BASE_W: u64 = 1 << 30;
+
+    let mut live = LiveMonitor::new(
+        LiveConfig { window: Duration::from_nanos(WINDOW_NS), ..LiveConfig::default() },
+        two_method_vocab(),
+        causeway_core::deploy::Deployment::default(),
+    );
+    // Error budget 10%; default factor fast/(slow*budget) = 3/(6*0.1) = 5:
+    // fire needs >= 2 breaching windows of the last 3 AND >= 3 of the last 6.
+    live.add_burn_rule_spec("burn=p95>1000us;slo=90;fast=3;slow=6").expect("burn spec parses");
+    // The naive single-window rule the burn rule is supposed to out-smart.
+    live.add_rule(AlertRule {
+        name: "single".to_owned(),
+        metric: AlertMetric::P95,
+        series: None,
+        cmp: AlertCmp::Above,
+        fire_threshold: 1_000_000.0,
+        resolve_threshold: 500_000.0,
+        for_windows: 1,
+    });
+
+    const CALM_NS: u64 = 10_000;
+    const SLOW_NS: u64 = 5_000_000;
+    let mut chain = 0u128;
+    for w in 0..15u64 {
+        let at = (BASE_W + w) * WINDOW_NS + 5;
+        chain += 1;
+        live.ingest_batch_at(synthetic_call(chain, MethodIndex(0), CALM_NS), at);
+        // One isolated spike window (w3), then a sustained regression
+        // (w7..=w10), both on the planted `inject` operation.
+        if w == 3 || (7..=10).contains(&w) {
+            chain += 1;
+            live.ingest_batch_at(synthetic_call(chain, MethodIndex(1), SLOW_NS), at);
+        }
+    }
+    live.tick_at((BASE_W + 16) * WINDOW_NS);
+
+    let events: Vec<_> = live.alert_log().collect();
+    let burn: Vec<_> = events.iter().filter(|e| e.alert.starts_with("burn=")).collect();
+    let fires = burn.iter().filter(|e| e.fired).count();
+    assert_eq!(fires, 1, "the sustained regression fires the burn rule exactly once: {burn:?}");
+    assert_eq!(burn.len(), 2, "one fire + one resolve: {burn:?}");
+    assert!(burn[0].fired && !burn[1].fired, "fire precedes resolve: {burn:?}");
+    assert_eq!(
+        burn[0].window_index,
+        BASE_W + 8,
+        "fires only once the regression is sustained, not on the w3 spike"
+    );
+    assert_eq!(burn[1].window_index, BASE_W + 12, "resolves after the recovery");
+    // The spike WAS single-window catchable: the naive rule fired on it.
+    let single: Vec<_> = events.iter().filter(|e| e.alert == "single").collect();
+    assert!(
+        single.iter().any(|e| e.fired && e.window_index == BASE_W + 3),
+        "the naive rule catches the one-window spike: {single:?}"
+    );
+    assert!(live.active_alerts().is_empty(), "everything resolved by the end");
+
+    // Differential flamegraph over HTTP across the regression boundary:
+    // calm window w4 vs regressed window w8.
+    let live = Arc::new(Mutex::new(live));
+    let server = serve(Arc::clone(&live), "127.0.0.1:0").expect("bind");
+    let (a, b) = (BASE_W + 4, BASE_W + 8);
+    let mut conn = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    write!(conn, "GET /flamegraph/diff?a={a}&b={b} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 200"), "diff endpoint serves retained windows: {raw}");
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or_default();
+    let top = body.lines().next().expect("diff has at least the injected stack");
+    assert!(
+        top.contains("Svc::Api.inject"),
+        "top positive delta names the injected operation: {body:?}"
+    );
+    let delta: i64 = top.rsplit(' ').next().unwrap().parse().expect("signed delta");
+    assert!(delta > 0, "the injected operation regressed (positive delta): {top}");
+    server.shutdown();
+}
+
+/// The history-memory gate: after 10x `history_windows` window closes the
+/// store must still hold at most `history_windows` entries, within its byte
+/// cap, with every excess window counted as an eviction.
+#[test]
+fn history_store_stays_bounded_after_ten_times_its_window_cap() {
+    const WINDOW_NS: u64 = 1_000_000_000;
+    const BASE_W: u64 = 1 << 30;
+    const CAP: usize = 4;
+
+    let mut live = LiveMonitor::new(
+        LiveConfig {
+            window: Duration::from_nanos(WINDOW_NS),
+            history_windows: CAP,
+            ..LiveConfig::default()
+        },
+        two_method_vocab(),
+        causeway_core::deploy::Deployment::default(),
+    );
+    let closes = 10 * CAP as u64; // 10x the cap, per the acceptance gate
+    for w in 0..closes {
+        let at = (BASE_W + w) * WINDOW_NS + 5;
+        live.ingest_batch_at(synthetic_call(w as u128 + 1, MethodIndex(0), 10_000), at);
+    }
+    live.tick_at((BASE_W + closes + 1) * WINDOW_NS);
+
+    let history = live.history();
+    assert!(history.len() <= CAP, "store holds {} > cap {CAP}", history.len());
+    assert!(
+        history.approx_bytes() <= history.cap_bytes(),
+        "store stays within its byte cap"
+    );
+    assert_eq!(
+        history.evictions(),
+        closes + 1 - history.len() as u64,
+        "every closed window beyond the cap was evicted"
+    );
+    // The ring keeps the newest windows: the latest close is retained, the
+    // oldest is long gone.
+    assert_eq!(history.latest().expect("non-empty").window.index, BASE_W + closes);
+    assert!(history.get(BASE_W).is_none(), "the first window was evicted");
+    // The JSON export agrees with the store it describes.
+    let json = live.history_json();
+    assert_eq!(
+        json.get("evictions").and_then(Json::as_u64),
+        Some(history.evictions()),
+        "history_json reports the eviction counter"
+    );
+    assert_eq!(
+        json.get("retained_windows").and_then(Json::as_u64),
+        Some(history.len() as u64),
+        "history_json reports the retained count"
+    );
 }
