@@ -21,12 +21,20 @@
 //!   which renders as a differential flamegraph: the causal path that
 //!   regressed between window `a` and window `b` is the top positive line.
 
+use crate::latency::LatencyHistogram;
 use crate::live::{AlertEvent, AlertRule, SeriesAgg, WindowSnapshot};
+use causeway_collector::segment::{next_frame, write_frame};
+use causeway_core::ids::{InterfaceId, MethodIndex};
 use causeway_core::metrics::{Counter, Gauge, MetricsRegistry};
+use causeway_core::wire;
+use std::borrow::Cow;
 use std::collections::{BTreeMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 /// One finalized tumbling window as retained by the history store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistoryEntry {
     /// The window's per-series aggregates (shared with the live view).
     pub window: WindowSnapshot,
@@ -65,7 +73,10 @@ pub struct WindowHistory {
     cap_windows: usize,
     cap_bytes: usize,
     bytes: usize,
+    spill: Option<HistorySpill>,
     evictions: Counter,
+    spilled: Counter,
+    spill_errors: Counter,
     retained: Gauge,
     retained_bytes: Gauge,
 }
@@ -80,9 +91,18 @@ impl WindowHistory {
             cap_windows: cap_windows.max(1),
             cap_bytes: cap_bytes.max(1),
             bytes: 0,
+            spill: None,
             evictions: registry.counter(
                 "causeway_live_history_evictions",
                 "History windows evicted by the count or byte cap.",
+            ),
+            spilled: registry.counter(
+                "causeway_live_history_spilled",
+                "Evicted history windows appended to the spill segment.",
+            ),
+            spill_errors: registry.counter(
+                "causeway_live_history_spill_errors",
+                "Evicted history windows lost to spill write failures.",
             ),
             retained: registry.gauge(
                 "causeway_live_history_windows",
@@ -95,8 +115,30 @@ impl WindowHistory {
         }
     }
 
+    /// Attaches a disk spill segment at `path`: from now on every entry
+    /// evicted by [`WindowHistory::push`] is appended there before it is
+    /// dropped, and [`WindowHistory::lookup`] serves spilled windows back.
+    /// An existing spill file is reopened — its index is rebuilt by
+    /// scanning, and a torn tail (crashed writer) is truncated away.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O failure when the file cannot be created, scanned,
+    /// or repositioned.
+    pub fn enable_spill(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.spill = Some(HistorySpill::open(path)?);
+        Ok(())
+    }
+
+    /// The attached spill segment, if any.
+    pub fn spill(&self) -> Option<&HistorySpill> {
+        self.spill.as_ref()
+    }
+
     /// Appends a finalized window, evicting from the oldest end until both
-    /// caps hold again.
+    /// caps hold again. Evicted entries are appended to the spill segment
+    /// when one is attached; a failed spill write counts in
+    /// `causeway_live_history_spill_errors` and the entry is dropped.
     pub fn push(&mut self, entry: HistoryEntry) {
         self.bytes += entry.approx_bytes();
         self.ring.push_back(entry);
@@ -106,6 +148,12 @@ impl WindowHistory {
             let evicted = self.ring.pop_front().expect("len checked");
             self.bytes = self.bytes.saturating_sub(evicted.approx_bytes());
             self.evictions.inc();
+            if let Some(spill) = self.spill.as_mut() {
+                match spill.append(&evicted) {
+                    Ok(()) => self.spilled.inc(),
+                    Err(_) => self.spill_errors.inc(),
+                };
+            }
         }
         self.retained.set(self.ring.len() as i64);
         self.retained_bytes.set(self.bytes as i64);
@@ -121,6 +169,34 @@ impl WindowHistory {
             return None;
         }
         self.ring.get(self.ring.len() - 1 - offset as usize)
+    }
+
+    /// The entry for tumbling window ordinal `index`, looking past the ring
+    /// into the spill segment: retained entries are borrowed, spilled ones
+    /// are read back from disk and owned. `None` when the window never
+    /// closed, was evicted before a spill was attached, or its spill frame
+    /// cannot be read back intact.
+    pub fn lookup(&self, index: u64) -> Option<Cow<'_, HistoryEntry>> {
+        if let Some(entry) = self.get(index) {
+            return Some(Cow::Borrowed(entry));
+        }
+        self.spill.as_ref()?.get(index).map(Cow::Owned)
+    }
+
+    /// The entries for ordinals `from..=to` (oldest first, at most `max`),
+    /// served from the ring and the spill segment combined. Ordinals that
+    /// resolve nowhere are skipped.
+    pub fn range(&self, from: u64, to: u64, max: usize) -> Vec<HistoryEntry> {
+        let mut out = Vec::new();
+        for index in from..=to {
+            if out.len() >= max {
+                break;
+            }
+            if let Some(entry) = self.lookup(index) {
+                out.push(entry.into_owned());
+            }
+        }
+        out
     }
 
     /// The most recently closed window.
@@ -163,29 +239,322 @@ impl WindowHistory {
     pub fn evictions(&self) -> u64 {
         self.evictions.get()
     }
+
+    /// Evicted windows successfully appended to the spill segment.
+    pub fn spilled(&self) -> u64 {
+        self.spilled.get()
+    }
+
+    /// Evicted windows lost to spill write failures.
+    pub fn spill_errors(&self) -> u64 {
+        self.spill_errors.get()
+    }
+}
+
+/// Magic prefix of a history spill segment file.
+pub const SPILL_MAGIC: &[u8; 8] = b"CWHIST1\n";
+
+/// An append-only disk segment of evicted [`HistoryEntry`] values — the
+/// overflow tier under [`WindowHistory`]'s in-memory ring.
+///
+/// The file layout reuses the collector's segment framing
+/// ([`causeway_collector::segment`]): an 8-byte magic, then one
+/// length-prefixed CRC-checksummed frame per evicted window, each payload a
+/// self-contained encoding of the entry (aggregates with sparse histogram
+/// buckets, plus the folded-stack map). Appends flush eagerly so every
+/// *completed* frame is readable; a torn tail from a crashed writer is
+/// detected and truncated on reopen, exactly like run-log recovery.
+///
+/// Reads open the file afresh per lookup (an in-memory `ordinal →
+/// (offset, len)` index makes each a single seek + bounded read), so
+/// lookups work through `&self` while the writer stays open for appends.
+#[derive(Debug)]
+pub struct HistorySpill {
+    path: PathBuf,
+    out: BufWriter<File>,
+    /// Window ordinal → (frame offset, full frame length incl. framing).
+    index: BTreeMap<u64, (u64, u32)>,
+    /// Offset one past the last complete frame (the append position).
+    end: u64,
+}
+
+impl HistorySpill {
+    /// Creates the spill file at `path`, or reopens an existing one:
+    /// complete frames are indexed, a torn tail is truncated away, and new
+    /// appends continue after the last complete frame. A file that exists
+    /// but does not start with [`SPILL_MAGIC`] is rewritten from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file create/read/seek/truncate failures.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<HistorySpill> {
+        let path = path.as_ref().to_path_buf();
+        let existing = match std::fs::read(&path) {
+            Ok(bytes)
+                if bytes.len() >= SPILL_MAGIC.len()
+                    && bytes[..SPILL_MAGIC.len()] == SPILL_MAGIC[..] =>
+            {
+                Some(bytes)
+            }
+            Ok(_) => None,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        let mut index = BTreeMap::new();
+        let (file, end) = match existing {
+            Some(bytes) => {
+                let mut at = SPILL_MAGIC.len();
+                while let Some(frame) = next_frame(&bytes, at) {
+                    if wire::crc32(frame.payload) != frame.crc {
+                        break;
+                    }
+                    let Some(entry) = decode_entry(frame.payload) else {
+                        break;
+                    };
+                    index.insert(entry.window.index, (at as u64, (frame.end - at) as u32));
+                    at = frame.end;
+                }
+                let mut file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(at as u64)?; // drop the torn tail, if any
+                file.seek(SeekFrom::End(0))?;
+                (file, at as u64)
+            }
+            None => {
+                let mut file = File::create(&path)?;
+                file.write_all(SPILL_MAGIC)?;
+                file.flush()?;
+                (file, SPILL_MAGIC.len() as u64)
+            }
+        };
+        Ok(HistorySpill { path, out: BufWriter::new(file), index, end })
+    }
+
+    /// Appends one evicted entry as a checksummed frame and flushes, so the
+    /// frame is complete on disk before the in-memory copy is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write/flush failure; the index is only updated after
+    /// a successful flush.
+    pub fn append(&mut self, entry: &HistoryEntry) -> io::Result<()> {
+        let payload = encode_entry(entry);
+        write_frame(&mut self.out, &payload)?;
+        self.out.flush()?;
+        let frame_len = (payload.len() + 8) as u32;
+        self.index.insert(entry.window.index, (self.end, frame_len));
+        self.end += u64::from(frame_len);
+        Ok(())
+    }
+
+    /// Reads one spilled window back, verifying its frame checksum. `None`
+    /// when the ordinal was never spilled or the frame no longer reads back
+    /// intact (file removed, truncated, or damaged since).
+    pub fn get(&self, window: u64) -> Option<HistoryEntry> {
+        let (offset, len) = *self.index.get(&window)?;
+        let mut file = File::open(&self.path).ok()?;
+        file.seek(SeekFrom::Start(offset)).ok()?;
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact(&mut buf).ok()?;
+        let frame = next_frame(&buf, 0)?;
+        if wire::crc32(frame.payload) != frame.crc {
+            return None;
+        }
+        decode_entry(frame.payload)
+    }
+
+    /// `true` when ordinal `window` has a spilled frame.
+    pub fn contains(&self, window: u64) -> bool {
+        self.index.contains_key(&window)
+    }
+
+    /// Spilled window count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when nothing has spilled yet.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The oldest spilled ordinal.
+    pub fn min_index(&self) -> Option<u64> {
+        self.index.keys().next().copied()
+    }
+
+    /// The newest spilled ordinal.
+    pub fn max_index(&self) -> Option<u64> {
+        self.index.keys().next_back().copied()
+    }
+
+    /// Bytes in the spill file (magic + complete frames).
+    pub fn bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// The spill file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// --- HistoryEntry wire codec (spill frame payloads) ---------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes one entry as a spill frame payload: window scalars, then each
+/// series (key, calls, latency sum, sparse histogram buckets), then the
+/// folded-stack map. All integers little-endian, strings UTF-8
+/// length-prefixed — self-contained and byte-stable for a given entry.
+fn encode_entry(entry: &HistoryEntry) -> Vec<u8> {
+    let w = &entry.window;
+    let mut buf = Vec::with_capacity(64 + w.series.len() * 64 + entry.folded.len() * 40);
+    put_u64(&mut buf, w.index);
+    put_u64(&mut buf, w.span_ns);
+    put_u64(&mut buf, w.completed_calls);
+    put_u64(&mut buf, w.abnormalities);
+    put_u32(&mut buf, w.series.len() as u32);
+    for ((iface, method), agg) in &w.series {
+        put_u32(&mut buf, iface.0);
+        put_u16(&mut buf, method.0);
+        put_u64(&mut buf, agg.calls);
+        put_u64(&mut buf, agg.latency_sum_ns);
+        let occupied: Vec<(usize, u64)> = agg.hist.occupied_buckets().collect();
+        buf.push(occupied.len() as u8); // at most 64 buckets
+        for (i, n) in occupied {
+            buf.push(i as u8);
+            put_u64(&mut buf, n);
+        }
+    }
+    put_u32(&mut buf, entry.folded.len() as u32);
+    for (stack, self_ns) in &entry.folded {
+        put_u32(&mut buf, stack.len() as u32);
+        buf.extend_from_slice(stack.as_bytes());
+        put_u64(&mut buf, *self_ns);
+    }
+    buf
+}
+
+/// Cursor over a spill frame payload; every accessor returns `None` past
+/// the end, so a short or malformed payload decodes to `None`, never a
+/// panic.
+struct SpillReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> SpillReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+/// Decodes a spill frame payload written by [`encode_entry`]. `None` on
+/// any structural mismatch (short payload, bad UTF-8, trailing bytes).
+fn decode_entry(payload: &[u8]) -> Option<HistoryEntry> {
+    let mut r = SpillReader { bytes: payload, at: 0 };
+    let index = r.u64()?;
+    let span_ns = r.u64()?;
+    let completed_calls = r.u64()?;
+    let abnormalities = r.u64()?;
+    let series_len = r.u32()? as usize;
+    let mut series = BTreeMap::new();
+    for _ in 0..series_len {
+        let iface = InterfaceId(r.u32()?);
+        let method = MethodIndex(r.u16()?);
+        let calls = r.u64()?;
+        let latency_sum_ns = r.u64()?;
+        let occupied = r.u8()? as usize;
+        let mut hist = LatencyHistogram::new();
+        for _ in 0..occupied {
+            let bucket = r.u8()? as usize;
+            let count = r.u64()?;
+            if bucket >= 64 || count == 0 {
+                return None;
+            }
+            hist.add_bucket_count(bucket, count);
+        }
+        series.insert((iface, method), SeriesAgg { calls, latency_sum_ns, hist });
+    }
+    let folded_len = r.u32()? as usize;
+    let mut folded = BTreeMap::new();
+    for _ in 0..folded_len {
+        let len = r.u32()? as usize;
+        let stack = std::str::from_utf8(r.take(len)?).ok()?.to_owned();
+        let self_ns = r.u64()?;
+        folded.insert(stack, self_ns);
+    }
+    if !r.done() {
+        return None;
+    }
+    Some(HistoryEntry {
+        window: WindowSnapshot { index, span_ns, series, completed_calls, abnormalities },
+        folded,
+    })
 }
 
 /// The folded-stack delta `b − a` between two windows, largest regression
 /// first (ties broken by stack name). Stacks present in only one window
 /// count with the other side as zero; exact zero deltas are dropped.
+///
+/// Self-time totals are `u64` nanoseconds, so the true delta spans
+/// ±`u64::MAX` — wider than `i64`. Deltas are accumulated and *ordered* in
+/// `i128` and only saturated to `i64` at the output boundary, so an extreme
+/// regression sorts first as `i64::MAX` instead of wrapping negative.
 pub fn diff_folded(
     a: &BTreeMap<String, u64>,
     b: &BTreeMap<String, u64>,
 ) -> Vec<(String, i64)> {
-    let mut deltas: BTreeMap<&str, i64> = BTreeMap::new();
+    let mut deltas: BTreeMap<&str, i128> = BTreeMap::new();
     for (stack, &ns) in a {
-        *deltas.entry(stack).or_insert(0) -= ns as i64;
+        *deltas.entry(stack).or_insert(0) -= ns as i128;
     }
     for (stack, &ns) in b {
-        *deltas.entry(stack).or_insert(0) += ns as i64;
+        *deltas.entry(stack).or_insert(0) += ns as i128;
     }
-    let mut out: Vec<(String, i64)> = deltas
+    let mut wide: Vec<(&str, i128)> = deltas
         .into_iter()
         .filter(|(_, delta)| *delta != 0)
-        .map(|(stack, delta)| (stack.to_owned(), delta))
         .collect();
-    out.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(&y.0)));
-    out
+    wide.sort_by(|x, y| y.1.cmp(&x.1).then_with(|| x.0.cmp(y.0)));
+    wide.into_iter()
+        .map(|(stack, delta)| {
+            let clamped = delta.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+            (stack.to_owned(), clamped)
+        })
+        .collect()
 }
 
 /// A multi-window SLO burn-rate alert rule.
@@ -397,6 +766,97 @@ mod tests {
         assert!(history.approx_bytes() <= history.cap_bytes());
     }
 
+    /// A unique temp path that cleans itself up when the test ends.
+    struct TempSpill(std::path::PathBuf);
+
+    impl TempSpill {
+        fn new(tag: &str) -> TempSpill {
+            TempSpill(std::env::temp_dir().join(format!(
+                "causeway_history_spill_{tag}_{}.cwhist",
+                std::process::id()
+            )))
+        }
+    }
+
+    impl Drop for TempSpill {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn spill_entry_codec_round_trips() {
+        let mut e = entry(42, 123_456);
+        e.window.series.entry((causeway_core::ids::InterfaceId(3), causeway_core::ids::MethodIndex(1))).or_default().record(77);
+        e.folded.insert("root;deep;frame".to_owned(), u64::MAX);
+        let payload = encode_entry(&e);
+        assert_eq!(decode_entry(&payload), Some(e));
+        // Every strict prefix is structurally short — never a panic, never
+        // a partially-decoded entry.
+        for cut in 0..payload.len() {
+            assert_eq!(decode_entry(&payload[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn eviction_spills_and_lookup_serves_past_the_ring() {
+        let spill = TempSpill::new("evict");
+        let mut history = WindowHistory::new(4, usize::MAX);
+        history.enable_spill(&spill.0).unwrap();
+        let spilled_before = history.spilled();
+        for i in 0..10u64 {
+            history.push(entry(i, 1000 + i));
+        }
+        assert_eq!(history.len(), 4, "ring still caps at 4");
+        assert_eq!(history.spilled() - spilled_before, 6, "six evictions spilled");
+        assert_eq!(history.spill().unwrap().len(), 6);
+        assert_eq!(history.spill().unwrap().min_index(), Some(0));
+        assert_eq!(history.spill().unwrap().max_index(), Some(5));
+        // Evicted ordinals come back from disk, identical to what went in.
+        for i in 0..6u64 {
+            assert!(history.get(i).is_none(), "ordinal {i} left the ring");
+            let restored = history.lookup(i).expect("served from spill");
+            assert_eq!(*restored, entry(i, 1000 + i), "ordinal {i}");
+        }
+        // Ring ordinals are still served without touching the disk.
+        assert!(matches!(history.lookup(9), Some(Cow::Borrowed(_))));
+        assert!(history.lookup(10).is_none(), "never closed");
+        // Range queries stitch both tiers, oldest first.
+        let range = history.range(0, 9, 100);
+        assert_eq!(range.len(), 10);
+        for (i, e) in range.iter().enumerate() {
+            assert_eq!(e.window.index, i as u64);
+        }
+        assert_eq!(history.range(0, 9, 3).len(), 3, "max caps the fetch");
+    }
+
+    #[test]
+    fn spill_reopen_rebuilds_index_and_truncates_torn_tail() {
+        let spill = TempSpill::new("reopen");
+        {
+            let mut s = HistorySpill::open(&spill.0).unwrap();
+            for i in 0..5u64 {
+                s.append(&entry(i, 2000 + i)).unwrap();
+            }
+        }
+        // A crashed writer leaves a torn frame at the tail.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&spill.0).unwrap();
+            f.write_all(&[0x55, 0xAA, 0x00, 0x99, 0x12]).unwrap();
+        }
+        let torn_len = std::fs::metadata(&spill.0).unwrap().len();
+        let reopened = HistorySpill::open(&spill.0).unwrap();
+        assert_eq!(reopened.len(), 5, "all complete frames survive");
+        assert_eq!(reopened.get(3), Some(entry(3, 2003)));
+        assert_eq!(reopened.bytes(), torn_len - 5, "torn tail truncated");
+        assert_eq!(std::fs::metadata(&spill.0).unwrap().len(), reopened.bytes());
+        // And the reopened writer appends cleanly after the repair.
+        let mut reopened = reopened;
+        reopened.append(&entry(5, 2005)).unwrap();
+        assert_eq!(reopened.get(5), Some(entry(5, 2005)));
+    }
+
     #[test]
     fn folded_diff_orders_regressions_first() {
         let mut a = BTreeMap::new();
@@ -409,6 +869,24 @@ mod tests {
         assert_eq!(diff[0], ("root;fast".to_owned(), 4_900));
         assert_eq!(diff[1], ("root;new".to_owned(), 70));
         assert_eq!(diff[2], ("root;gone".to_owned(), -40));
+    }
+
+    #[test]
+    fn folded_diff_saturates_instead_of_wrapping_at_the_i64_boundary() {
+        // A u64::MAX-sized regression does not fit in i64; it must sort
+        // first and clamp to i64::MAX, not wrap to -1.
+        let mut a = BTreeMap::new();
+        a.insert("root;huge".to_owned(), 0u64);
+        a.insert("root;drop".to_owned(), u64::MAX);
+        let mut b = BTreeMap::new();
+        b.insert("root;huge".to_owned(), u64::MAX);
+        b.insert("root;small".to_owned(), 3u64);
+        let diff = diff_folded(&a, &b);
+        assert_eq!(diff[0], ("root;huge".to_owned(), i64::MAX));
+        assert_eq!(diff[1], ("root;small".to_owned(), 3));
+        assert_eq!(diff[2], ("root;drop".to_owned(), i64::MIN));
+        // Equal huge values cancel exactly — no residue from clamping.
+        assert!(diff_folded(&b, &b).is_empty());
     }
 
     fn burn_rule(fast: usize, slow: usize) -> BurnRule {

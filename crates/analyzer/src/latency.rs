@@ -365,6 +365,24 @@ impl LatencyHistogram {
         self.buckets.get(i).copied().unwrap_or(0)
     }
 
+    /// Adds `n` samples directly to bucket `i` (out-of-range indices are
+    /// ignored) — the reconstruction path for histograms decoded from a
+    /// spill segment, where only per-bucket counts survive. Equivalent to
+    /// `n` calls to [`LatencyHistogram::record`] with any latency in the
+    /// bucket's range.
+    pub fn add_bucket_count(&mut self, i: usize, n: u64) {
+        if let Some(bucket) = self.buckets.get_mut(i) {
+            *bucket += n;
+            self.count += n;
+        }
+    }
+
+    /// The occupied buckets as `(index, count)` pairs, ascending — the
+    /// sparse encoding a spill segment stores.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| (i, n))
+    }
+
     /// Merges another histogram into this one (bucket-wise addition).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -502,6 +520,21 @@ mod histogram_tests {
         assert!(h.quantile_ns(1.0) >= 100_000);
         assert!(h.quantile_ns(0.0) >= 100);
         assert_eq!(LatencyHistogram::new().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_counts_reconstruct_an_identical_histogram() {
+        let mut h = LatencyHistogram::new();
+        for ns in [1u64, 3, 1024, 1024, 5_000_000] {
+            h.record(ns);
+        }
+        let mut rebuilt = LatencyHistogram::new();
+        for (i, n) in h.occupied_buckets() {
+            rebuilt.add_bucket_count(i, n);
+        }
+        assert_eq!(rebuilt, h, "sparse bucket counts carry the full state");
+        rebuilt.add_bucket_count(200, 5); // out of range: ignored
+        assert_eq!(rebuilt, h);
     }
 
     #[test]

@@ -80,6 +80,10 @@ pub struct LiveConfig {
     /// (and in each window's snapshot); beyond it the smallest-valued
     /// stack is evicted and counted.
     pub stack_capacity: usize,
+    /// Spill segment path for windows evicted from the history ring; when
+    /// set, `/history?from=..&to=..` and `/flamegraph?window=k` keep
+    /// working past the ring. `None` (the default) drops evictions.
+    pub history_spill: Option<std::path::PathBuf>,
 }
 
 impl Default for LiveConfig {
@@ -93,13 +97,14 @@ impl Default for LiveConfig {
             history_windows: 64,
             history_max_bytes: 8 << 20,
             stack_capacity: 65_536,
+            history_spill: None,
         }
     }
 }
 
 /// Streaming aggregates for one (interface, method) within one window or
 /// slice.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SeriesAgg {
     /// Completed invocations.
     pub calls: u64,
@@ -132,7 +137,7 @@ struct Slice {
 }
 
 /// A finalized (or synthesized sliding) window of characterization data.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowSnapshot {
     /// Tumbling window ordinal (slice index of its first slice divided by
     /// the slice count); `u64::MAX` marks a synthesized sliding view.
@@ -594,6 +599,10 @@ pub struct LiveMonitor {
     /// per-window delta retained by the history store).
     window_folded: BTreeMap<String, u64>,
     history: WindowHistory,
+    /// Why the configured history spill could not be attached, if it
+    /// couldn't — surfaced in `/history` so a durable-mode operator sees
+    /// the monitor silently fell back to ring-only retention.
+    spill_error: Option<String>,
     burns: Vec<BurnState>,
     /// Recently completed chains' completion events, oldest first; total
     /// buffered completions bounded by `cfg.trace_capacity`.
@@ -614,7 +623,10 @@ impl LiveMonitor {
     pub fn new(cfg: LiveConfig, vocab: VocabSnapshot, deployment: Deployment) -> LiveMonitor {
         let slice_ns =
             (cfg.window.as_nanos() as u64 / cfg.slices.max(1) as u64).max(1);
-        let history = WindowHistory::new(cfg.history_windows, cfg.history_max_bytes);
+        let mut history = WindowHistory::new(cfg.history_windows, cfg.history_max_bytes);
+        let spill_error = cfg.history_spill.as_ref().and_then(|path| {
+            history.enable_spill(path).err().map(|e| format!("{}: {e}", path.display()))
+        });
         let stack_evictions = MetricsRegistry::global().counter(
             "causeway_live_stack_evictions",
             "Folded stacks evicted from the capped flamegraph maps.",
@@ -638,6 +650,7 @@ impl LiveMonitor {
             folded: BTreeMap::new(),
             window_folded: BTreeMap::new(),
             history,
+            spill_error,
             burns: Vec::new(),
             recent_chains: VecDeque::new(),
             recent_chain_calls: 0,
@@ -1032,14 +1045,15 @@ impl LiveMonitor {
     }
 
     /// The `/flamegraph[?window=k]` body: cumulative folded stacks, or one
-    /// retained window's stacks when scoped.
+    /// window's stacks when scoped — served from the history ring, or read
+    /// back from the spill segment for ordinals that already aged out.
     pub fn flamegraph(&self, window: Option<u64>) -> Result<String, String> {
         match window {
             None => Ok(self.folded_stacks()),
             Some(index) => {
                 let entry = self
                     .history
-                    .get(index)
+                    .lookup(index)
                     .ok_or_else(|| format!("window {index} is not retained"))?;
                 Ok(render_folded(&entry.folded))
             }
@@ -1047,13 +1061,13 @@ impl LiveMonitor {
     }
 
     /// The `/flamegraph/diff?a=..&b=..` body: the folded-stack delta
-    /// `b − a` between two retained windows, largest regression first
-    /// (`stack +delta` / `stack -delta` per line).
+    /// `b − a` between two windows (ring or spill), largest regression
+    /// first (`stack +delta` / `stack -delta` per line).
     pub fn flamegraph_diff(&self, a: u64, b: u64) -> Result<String, String> {
         let wa =
-            self.history.get(a).ok_or_else(|| format!("window {a} is not retained"))?;
+            self.history.lookup(a).ok_or_else(|| format!("window {a} is not retained"))?;
         let wb =
-            self.history.get(b).ok_or_else(|| format!("window {b} is not retained"))?;
+            self.history.lookup(b).ok_or_else(|| format!("window {b} is not retained"))?;
         let mut out = String::new();
         for (stack, delta) in diff_folded(&wa.folded, &wb.folded) {
             out.push_str(&format!("{stack} {delta:+}\n"));
@@ -1061,32 +1075,28 @@ impl LiveMonitor {
         Ok(out)
     }
 
-    /// The `/history` JSON body: store bounds, per-window summaries (oldest
-    /// first), and burn-rule states.
-    pub fn history_json(&self) -> Json {
-        let windows = self
-            .history
-            .iter()
-            .map(|entry| {
-                let w = &entry.window;
-                let mut all = SeriesAgg::default();
-                for agg in w.series.values() {
-                    all.merge(agg);
-                }
-                let p95 =
-                    if all.calls == 0 { 0.0 } else { all.hist.quantile_ns(0.95) as f64 };
-                Json::obj([
-                    ("index", Json::Num(w.index as f64)),
-                    ("span_ns", Json::Num(w.span_ns as f64)),
-                    ("completed_calls", Json::Num(w.completed_calls as f64)),
-                    ("abnormalities", Json::Num(w.abnormalities as f64)),
-                    ("call_rate_hz", Json::Num(w.call_rate_hz(None))),
-                    ("p95_ns", Json::Num(p95)),
-                    ("series", Json::Num(w.series.len() as f64)),
-                    ("stacks", Json::Num(entry.folded.len() as f64)),
-                ])
-            })
-            .collect();
+    /// The `/history[?from=..&to=..]` JSON body: store bounds, per-window
+    /// summaries (oldest first), and burn-rule states. Without a range the
+    /// summaries cover the in-memory ring; with one they cover the
+    /// requested ordinals, reaching into the spill segment for windows that
+    /// already aged out (at most [`HISTORY_RANGE_MAX`] per request).
+    pub fn history_json(&self, from: Option<u64>, to: Option<u64>) -> Json {
+        let windows: Vec<Json> = if from.is_some() || to.is_some() {
+            let newest = self.history.latest().map(|e| e.window.index).unwrap_or(0);
+            let oldest = self
+                .history
+                .spill()
+                .and_then(|s| s.min_index())
+                .or_else(|| self.history.iter().next().map(|e| e.window.index))
+                .unwrap_or(0);
+            self.history
+                .range(from.unwrap_or(oldest), to.unwrap_or(newest), HISTORY_RANGE_MAX)
+                .iter()
+                .map(window_summary_json)
+                .collect()
+        } else {
+            self.history.iter().map(window_summary_json).collect()
+        };
         let burns = self
             .burns
             .iter()
@@ -1101,15 +1111,31 @@ impl LiveMonitor {
                 ])
             })
             .collect();
-        Json::obj([
+        let mut fields = vec![
             ("retained_windows", Json::Num(self.history.len() as f64)),
             ("cap_windows", Json::Num(self.history.cap_windows() as f64)),
             ("cap_bytes", Json::Num(self.history.cap_bytes() as f64)),
             ("approx_bytes", Json::Num(self.history.approx_bytes() as f64)),
             ("evictions", Json::Num(self.history.evictions() as f64)),
-            ("windows", Json::Arr(windows)),
-            ("burn_rules", Json::Arr(burns)),
-        ])
+        ];
+        if let Some(spill) = self.history.spill() {
+            fields.push(("spilled_windows", Json::Num(spill.len() as f64)));
+            fields.push(("spill_bytes", Json::Num(spill.bytes() as f64)));
+            fields.push((
+                "spill_oldest",
+                spill.min_index().map_or(Json::Null, |i| Json::Num(i as f64)),
+            ));
+            fields.push((
+                "spill_errors",
+                Json::Num(self.history.spill_errors() as f64),
+            ));
+        }
+        if let Some(error) = &self.spill_error {
+            fields.push(("spill_error", Json::Str(error.clone())));
+        }
+        fields.push(("windows", Json::Arr(windows)));
+        fields.push(("burn_rules", Json::Arr(burns)));
+        Json::obj(fields)
     }
 
     /// The `/dscg` JSON index: recently completed chains available for
@@ -1264,6 +1290,30 @@ impl LiveMonitor {
             .collect();
         Json::obj([("open_chains", Json::Arr(chains))])
     }
+}
+
+/// Most window summaries one `/history?from=..&to=..` request will fetch
+/// (each spilled ordinal costs a disk read).
+pub const HISTORY_RANGE_MAX: usize = 4096;
+
+/// One window's `/history` summary line.
+fn window_summary_json(entry: &HistoryEntry) -> Json {
+    let w = &entry.window;
+    let mut all = SeriesAgg::default();
+    for agg in w.series.values() {
+        all.merge(agg);
+    }
+    let p95 = if all.calls == 0 { 0.0 } else { all.hist.quantile_ns(0.95) as f64 };
+    Json::obj([
+        ("index", Json::Num(w.index as f64)),
+        ("span_ns", Json::Num(w.span_ns as f64)),
+        ("completed_calls", Json::Num(w.completed_calls as f64)),
+        ("abnormalities", Json::Num(w.abnormalities as f64)),
+        ("call_rate_hz", Json::Num(w.call_rate_hz(None))),
+        ("p95_ns", Json::Num(p95)),
+        ("series", Json::Num(w.series.len() as f64)),
+        ("stacks", Json::Num(entry.folded.len() as f64)),
+    ])
 }
 
 /// Renders a folded-stack map as `a;b;c self_ns` lines (inferno format),
@@ -1432,7 +1482,20 @@ pub fn serve(monitor: Arc<Mutex<LiveMonitor>>, addr: &str) -> std::io::Result<Li
         ),
         (
             "/history".to_owned(),
-            on(&monitor, |m, _| Response::json(200, m.history_json().to_string())),
+            on(&monitor, |m, req| {
+                let ordinal = |key: &str| -> Result<Option<u64>, ()> {
+                    match req.query_param(key) {
+                        Some(raw) => raw.parse::<u64>().map(Some).map_err(|_| ()),
+                        None => Ok(None),
+                    }
+                };
+                match (ordinal("from"), ordinal("to")) {
+                    (Ok(from), Ok(to)) => {
+                        Response::json(200, m.history_json(from, to).to_string())
+                    }
+                    _ => Response::text(400, "from/to must be window ordinals\n"),
+                }
+            }),
         ),
         (
             "/dscg".to_owned(),
@@ -1773,7 +1836,7 @@ mod tests {
         m.add_rule_spec("burn=p95>400us;slo=99.9;fast=3;slow=24").expect("burn spec routed");
         m.ingest_batch_at(sync_call(1, 0, 0, 1_000), 10);
         m.tick_at(WINDOW_NS);
-        let json = m.history_json();
+        let json = m.history_json(None, None);
         assert_eq!(json.get("retained_windows").and_then(Json::as_u64), Some(1));
         assert_eq!(
             json.get("cap_windows").and_then(Json::as_u64),

@@ -1,0 +1,306 @@
+//! Smoke D1: crash-safe segment recovery across a *real* process kill —
+//! not just in-memory truncation.
+//!
+//! The binary re-execs itself as a child (`--child <path> <seed>`) that
+//! streams deterministically seeded records into a segment file frame by
+//! frame, declaring the full expected count in the header. The parent
+//! waits until the file has grown past a threshold, SIGKILLs the child
+//! mid-write, recovers the torn file, and demands:
+//!
+//! * recovery reports an unsealed segment with a frame-aligned record
+//!   prefix,
+//! * every recovered record is bit-identical to the regenerated sequence
+//!   (same seed, same splitmix64 derivation — no cross-process clock or
+//!   RNG state involved),
+//! * [`causeway_core::runlog::RunLog::missing_records`] equals the exact
+//!   shortfall against the declared expectation,
+//! * strict [`segment::read_run_log`] refuses the torn file,
+//! * shaving additional bytes off the tail still recovers a clean,
+//!   shorter prefix — truncation degrades, never corrupts.
+//!
+//! ```text
+//! cargo run --release -p causeway-bench --bin smoke_crash_recovery
+//! ```
+
+use causeway_collector::segment::{self, SegmentWriter};
+use causeway_core::deploy::Deployment;
+use causeway_core::event::{CallKind, TraceEvent};
+use causeway_core::ids::*;
+use causeway_core::names::{ComponentId, InterfaceEntry, ObjectEntry, VocabSnapshot};
+use causeway_core::record::{CallSite, FunctionKey, ProbeRecord};
+use causeway_core::uuid::Uuid;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Records per chunk frame the child writes before flushing.
+const FRAME_RECORDS: u64 = 128;
+/// Total records the child *declares* (and would write, were it not
+/// killed). Large enough that the kill always lands mid-run.
+const TOTAL_RECORDS: u64 = 4_000_000;
+/// The parent kills the child once the segment file reaches this size.
+const KILL_BYTES: u64 = 192 * 1024;
+/// Give up if the child never reaches [`KILL_BYTES`] within this long.
+const SPAWN_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Splitmix64: cheap, well-mixed per-index randomness for record fields.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The i-th record of the run, a pure function of (seed, i) so parent and
+/// child derive identical bytes with no shared state.
+fn synth_record(seed: u64, i: u64) -> ProbeRecord {
+    let r = mix(seed, i);
+    let opt = |bit: u32| (r >> bit) & 1 == 1;
+    ProbeRecord {
+        uuid: Uuid(((mix(seed, i ^ 0xAAAA) as u128) << 64) | r as u128),
+        seq: i,
+        event: TraceEvent::ALL[(r % 4) as usize],
+        kind: match (r >> 2) % 4 {
+            0 => CallKind::Sync,
+            1 => CallKind::Oneway,
+            2 => CallKind::Collocated,
+            _ => CallKind::CustomMarshal,
+        },
+        site: CallSite {
+            node: NodeId((r >> 4) as u16),
+            process: ProcessId((r >> 20) as u16),
+            thread: LogicalThreadId((r >> 36) as u32 & 0xFFFF),
+        },
+        func: FunctionKey::new(
+            InterfaceId((r >> 8) as u32 & 0xFF),
+            MethodIndex((r >> 16) as u16 & 0x7),
+            ObjectId(mix(seed, i ^ 0x5555)),
+        ),
+        wall_start: opt(52).then_some(r & 0xFFFF_FFFF),
+        wall_end: opt(53).then_some((r & 0xFFFF_FFFF) + 17),
+        cpu_start: opt(54).then_some(r >> 13),
+        cpu_end: opt(55).then_some((r >> 13) + 3),
+        oneway_child: opt(56).then(|| Uuid(mix(seed, i ^ 0x1234) as u128)),
+        oneway_parent: opt(57).then(|| (Uuid(mix(seed, i ^ 0x4321) as u128), r % 97)),
+    }
+}
+
+fn synth_vocab(seed: u64) -> VocabSnapshot {
+    let mut vocab = VocabSnapshot::default();
+    vocab.interfaces.push(InterfaceEntry {
+        name: format!("Iface::Crash{seed}"),
+        methods: vec!["a".into(), "b".into(), "c".into()],
+    });
+    vocab.components.push("CrashComponent".into());
+    vocab.cpu_types.push("HPUX".into());
+    vocab.objects.push((
+        ObjectId(seed),
+        ObjectEntry {
+            label: format!("crash#{seed}"),
+            interface: InterfaceId(0),
+            component: ComponentId(0),
+            process: ProcessId(0),
+        },
+    ));
+    vocab
+}
+
+fn synth_deployment() -> Deployment {
+    let mut deployment = Deployment::new();
+    let node = deployment.add_node("hp1", CpuTypeId(0));
+    deployment.add_process("victim", node);
+    deployment
+}
+
+/// Child mode: stream frames into `path` until killed. Never exits on its
+/// own before writing [`TOTAL_RECORDS`] — the parent's SIGKILL is the
+/// only expected way out.
+fn run_child(path: &str, seed: u64) -> ExitCode {
+    let mut writer = match SegmentWriter::create(
+        path,
+        &synth_vocab(seed),
+        &synth_deployment(),
+        Some(TOTAL_RECORDS),
+    ) {
+        Ok(writer) => writer,
+        Err(e) => {
+            eprintln!("child: cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut next = 0u64;
+    while next < TOTAL_RECORDS {
+        let frame: Vec<ProbeRecord> = (next..next + FRAME_RECORDS)
+            .map(|i| synth_record(seed, i))
+            .collect();
+        let thread = LogicalThreadId((next / FRAME_RECORDS % 4) as u32);
+        if let Err(e) = writer.append_records(thread, &frame) {
+            eprintln!("child: append failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        next += FRAME_RECORDS;
+        // Pace the writer so the parent's size poll always catches it
+        // mid-run rather than racing a burst to completion.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let _ = writer.finish(Some(TOTAL_RECORDS));
+    ExitCode::SUCCESS
+}
+
+/// Recovers `bytes` and checks every recovered record against the
+/// regenerated sequence. Returns the recovered record count.
+fn check_prefix(bytes: &[u8], seed: u64, label: &str) -> Result<u64, String> {
+    let recovery = segment::recover_run_log(bytes)
+        .map_err(|e| format!("{label}: recovery failed outright: {e}"))?;
+    if recovery.sealed {
+        return Err(format!("{label}: torn segment recovered as sealed"));
+    }
+    let n = recovery.run.len() as u64;
+    if !n.is_multiple_of(FRAME_RECORDS) {
+        return Err(format!(
+            "{label}: {n} recovered records is not frame-aligned (frame={FRAME_RECORDS})"
+        ));
+    }
+    for (i, record) in recovery.run.records.iter().enumerate() {
+        if *record != synth_record(seed, i as u64) {
+            return Err(format!("{label}: record {i} differs from the seeded sequence"));
+        }
+    }
+    if recovery.run.expected_records != Some(TOTAL_RECORDS) {
+        return Err(format!(
+            "{label}: header expectation lost: {:?}",
+            recovery.run.expected_records
+        ));
+    }
+    if recovery.run.missing_records() != Some(TOTAL_RECORDS - n) {
+        return Err(format!(
+            "{label}: shortfall misreported: {:?} (want {})",
+            recovery.run.missing_records(),
+            TOTAL_RECORDS - n,
+        ));
+    }
+    eprintln!(
+        "{label}: recovered {n} records ({} chunk frames, {} trailing byte(s) dropped), \
+         missing {} as reported",
+        recovery.chunk_frames,
+        recovery.truncated_bytes,
+        TOTAL_RECORDS - n,
+    );
+    Ok(n)
+}
+
+fn run_parent() -> ExitCode {
+    let seed: u64 = 0xC4A5_E00D;
+    let path = std::env::temp_dir().join(format!("causeway_crash_{}.cwseg", std::process::id()));
+    let path_str = path.to_string_lossy().into_owned();
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("FAIL: cannot find own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!("spawning child writer -> {path_str}");
+    let mut child = match std::process::Command::new(&exe)
+        .args(["--child", &path_str, &seed.to_string()])
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => {
+            eprintln!("FAIL: cannot spawn child: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Wait for the segment to grow past the kill threshold, then murder
+    // the writer without any chance to flush or seal.
+    let started = Instant::now();
+    loop {
+        if started.elapsed() > SPAWN_DEADLINE {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = std::fs::remove_file(&path);
+            eprintln!("FAIL: child never reached {KILL_BYTES} bytes");
+            return ExitCode::FAILURE;
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            let _ = std::fs::remove_file(&path);
+            eprintln!("FAIL: child exited on its own ({status}) before the kill");
+            return ExitCode::FAILURE;
+        }
+        if std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) >= KILL_BYTES {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    eprintln!(
+        "killed child at {} bytes after {:.1}s",
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        started.elapsed().as_secs_f64(),
+    );
+
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("FAIL: cannot read segment back: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = std::fs::remove_file(&path);
+
+    // The torn file must recover a verified prefix with an exact
+    // shortfall, and must be refused by the strict reader.
+    let recovered = match check_prefix(&bytes, seed, "kill") {
+        Ok(n) => n,
+        Err(message) => {
+            eprintln!("FAIL: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if recovered == 0 {
+        eprintln!("FAIL: nothing recovered from a {} byte segment", bytes.len());
+        return ExitCode::FAILURE;
+    }
+    if segment::read_run_log(&bytes).is_ok() {
+        eprintln!("FAIL: strict read accepted an unsealed, torn segment");
+        return ExitCode::FAILURE;
+    }
+
+    // Chop progressively more off the tail: recovery must keep returning
+    // clean (possibly shorter) verified prefixes, never garbage.
+    for cut in [1usize, 3, 9, 77, 4096] {
+        if cut >= bytes.len() {
+            break;
+        }
+        let label = format!("cut-{cut}");
+        if let Err(message) = check_prefix(&bytes[..bytes.len() - cut], seed, &label) {
+            eprintln!("FAIL: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("OK");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--child") => {
+            let (Some(path), Some(seed)) =
+                (args.get(2), args.get(3).and_then(|s| s.parse().ok()))
+            else {
+                eprintln!("usage: smoke_crash_recovery --child <path> <seed>");
+                return ExitCode::FAILURE;
+            };
+            run_child(path, seed)
+        }
+        Some(other) => {
+            eprintln!("unknown argument {other}; run with no arguments");
+            ExitCode::FAILURE
+        }
+        None => run_parent(),
+    }
+}

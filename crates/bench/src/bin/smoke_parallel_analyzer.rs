@@ -1,15 +1,22 @@
 //! Smoke E3b: the sharded analysis pipeline must be bit-identical to the
-//! serial pass and must not be slower on a multi-core host.
+//! serial pass and must not be slower on a multi-core host — and the
+//! binary segment ingest path must round-trip the run exactly while
+//! beating JSONL parsing by a wide margin.
 //!
 //! Generates the paper-scale commercial workload (195,000 calls by
-//! default; override with `SMOKE_CALLS` for quicker local runs), builds
-//! the DSCG serially and on a worker pool, and fails — nonzero exit, for
-//! CI — when the parallel trees or abnormalities differ from the serial
-//! ones, or when the best parallel build is slower than the best serial
-//! build beyond a noise margin.
+//! default; override with `SMOKE_CALLS` for quicker local runs),
+//! serializes it to both on-disk encodings, and fails — nonzero exit,
+//! for CI — when any of these regress:
 //!
-//! Absolute times vary wildly across CI hosts; the serial/parallel ratio
-//! on the same records in the same process does not.
+//! * the binary segment does not decode back to a bit-identical run log,
+//! * binary ingest is not at least [`MIN_INGEST_SPEEDUP`]× faster than
+//!   JSONL ingest of the same run (both timed in-process, interleaved,
+//!   best-of-[`TRIALS`], so host speed cancels out),
+//! * the parallel DSCG built **from the binary-decoded run** differs
+//!   from the serial build, or is slower beyond a noise margin.
+//!
+//! Absolute times vary wildly across CI hosts; same-process ratios on
+//! the same records do not.
 //!
 //! ```text
 //! cargo run --release -p causeway-bench --bin smoke_parallel_analyzer
@@ -17,6 +24,7 @@
 
 use causeway_analyzer::dscg::Dscg;
 use causeway_collector::db::MonitoringDb;
+use causeway_collector::{jsonl, segment};
 use causeway_core::pool;
 use causeway_workloads::{CommercialConfig, CommercialSystem};
 use std::process::ExitCode;
@@ -26,6 +34,10 @@ use std::time::{Duration, Instant};
 /// scheduler noise on throttled single-core CI runners; on any real
 /// multi-core host the ratio lands well below 1.
 const MAX_RATIO: f64 = 1.10;
+/// Binary ingest must beat JSONL by at least this factor. Measured
+/// locally at well over 10×; 3× leaves generous headroom for noisy
+/// runners while still catching a codec regression to per-field parsing.
+const MIN_INGEST_SPEEDUP: f64 = 3.0;
 const TRIALS: usize = 5;
 
 fn main() -> ExitCode {
@@ -39,7 +51,62 @@ fn main() -> ExitCode {
     eprintln!("generating commercial workload ({calls} calls)...");
     let commercial = CommercialSystem::build(&CommercialConfig::scaled(calls, 0xbeef));
     commercial.run();
-    let db = MonitoringDb::from_run(commercial.finish());
+    let run = commercial.finish();
+    eprintln!("workload: {} records", run.len());
+
+    // Ingest gate. Serialize once, parse repeatedly, interleaving the two
+    // decoders so drifting background load hits both sides equally.
+    let jsonl_text = jsonl::write_run(&run);
+    let bin_bytes = segment::write_run_log(&run);
+    let decoded = match segment::read_run_log_with_threads(&bin_bytes, threads) {
+        Ok(decoded) => decoded,
+        Err(e) => {
+            eprintln!("FAIL: binary segment does not read back: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if decoded != run {
+        eprintln!("FAIL: binary segment round-trip is not bit-identical");
+        return ExitCode::FAILURE;
+    }
+    match jsonl::read_run_with_threads(&jsonl_text, threads) {
+        Ok(parsed) if parsed == run => {}
+        Ok(_) => {
+            eprintln!("FAIL: jsonl round-trip is not bit-identical");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("FAIL: jsonl does not parse back: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut jsonl_time = Duration::MAX;
+    let mut bin_time = Duration::MAX;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        std::hint::black_box(jsonl::read_run_with_threads(&jsonl_text, threads).unwrap());
+        jsonl_time = jsonl_time.min(started.elapsed());
+        let started = Instant::now();
+        std::hint::black_box(segment::read_run_log_with_threads(&bin_bytes, threads).unwrap());
+        bin_time = bin_time.min(started.elapsed());
+    }
+    let speedup = jsonl_time.as_secs_f64() / bin_time.as_secs_f64();
+    eprintln!(
+        "ingest: jsonl {:.1} ms ({:.1} MiB), binary {:.1} ms ({:.1} MiB) — {speedup:.1}x",
+        jsonl_time.as_secs_f64() * 1e3,
+        jsonl_text.len() as f64 / (1 << 20) as f64,
+        bin_time.as_secs_f64() * 1e3,
+        bin_bytes.len() as f64 / (1 << 20) as f64,
+    );
+    if speedup < MIN_INGEST_SPEEDUP {
+        eprintln!("FAIL: binary ingest only {speedup:.2}x faster than jsonl (< {MIN_INGEST_SPEEDUP}x)");
+        return ExitCode::FAILURE;
+    }
+
+    // Everything downstream analyzes the *binary-decoded* run, so the
+    // sharded-DSCG identity gate below doubles as an end-to-end gate on
+    // the segment path.
+    let db = MonitoringDb::from_run(decoded);
     let stats = db.scale_stats();
     eprintln!(
         "workload: {} records, {} calls, {} chains",

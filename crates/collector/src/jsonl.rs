@@ -313,6 +313,21 @@ fn get_u64(v: &Json, key: &str, line: usize) -> Result<u64, ReadError> {
         .ok_or_else(|| schema_err(line, format!("missing numeric field `{key}`")))
 }
 
+/// Like [`get_u64`] but rejects values that do not fit a `u32` — corrupt
+/// input must fail loudly, not wrap into a valid-looking id.
+fn get_u32(v: &Json, key: &str, line: usize) -> Result<u32, ReadError> {
+    let raw = get_u64(v, key, line)?;
+    u32::try_from(raw)
+        .map_err(|_| schema_err(line, format!("field `{key}` value {raw} out of range for u32")))
+}
+
+/// Like [`get_u64`] but rejects values that do not fit a `u16`.
+fn get_u16(v: &Json, key: &str, line: usize) -> Result<u16, ReadError> {
+    let raw = get_u64(v, key, line)?;
+    u16::try_from(raw)
+        .map_err(|_| schema_err(line, format!("field `{key}` value {raw} out of range for u16")))
+}
+
 fn get_opt_u64(v: &Json, key: &str) -> Option<u64> {
     v.get(key).and_then(Json::as_u64)
 }
@@ -359,13 +374,13 @@ fn record_from_json(v: &Json, line: usize) -> Result<ProbeRecord, ReadError> {
         event,
         kind,
         site: CallSite {
-            node: NodeId(get_u64(v, "node", line)? as u16),
-            process: ProcessId(get_u64(v, "process", line)? as u16),
-            thread: LogicalThreadId(get_u64(v, "thread", line)? as u32),
+            node: NodeId(get_u16(v, "node", line)?),
+            process: ProcessId(get_u16(v, "process", line)?),
+            thread: LogicalThreadId(get_u32(v, "thread", line)?),
         },
         func: FunctionKey::new(
-            InterfaceId(get_u64(v, "interface", line)? as u32),
-            MethodIndex(get_u64(v, "method", line)? as u16),
+            InterfaceId(get_u32(v, "interface", line)?),
+            MethodIndex(get_u16(v, "method", line)?),
             ObjectId(get_u64(v, "object", line)?),
         ),
         wall_start: get_opt_u64(v, "ws"),
@@ -403,11 +418,9 @@ fn vocab_from_json(v: Option<&Json>, line: usize) -> Result<VocabSnapshot, ReadE
             ObjectId(get_u64(obj, "id", line)?),
             ObjectEntry {
                 label: get_str(obj, "label", line)?.to_owned(),
-                interface: InterfaceId(get_u64(obj, "interface", line)? as u32),
-                component: causeway_core::names::ComponentId(
-                    get_u64(obj, "component", line)? as u32
-                ),
-                process: ProcessId(get_u64(obj, "process", line)? as u16),
+                interface: InterfaceId(get_u32(obj, "interface", line)?),
+                component: causeway_core::names::ComponentId(get_u32(obj, "component", line)?),
+                process: ProcessId(get_u16(obj, "process", line)?),
             },
         ));
     }
@@ -420,13 +433,13 @@ fn deployment_from_json(v: Option<&Json>, line: usize) -> Result<Deployment, Rea
     for node in v.get("nodes").and_then(Json::as_arr).unwrap_or(&[]) {
         deployment.nodes.push(NodeInfo {
             name: get_str(node, "name", line)?.to_owned(),
-            cpu_type: CpuTypeId(get_u64(node, "cpu_type", line)? as u16),
+            cpu_type: CpuTypeId(get_u16(node, "cpu_type", line)?),
         });
     }
     for proc in v.get("processes").and_then(Json::as_arr).unwrap_or(&[]) {
         deployment.processes.push(ProcessInfo {
             name: get_str(proc, "name", line)?.to_owned(),
-            node: NodeId(get_u64(proc, "node", line)? as u16),
+            node: NodeId(get_u16(proc, "node", line)?),
         });
     }
     Ok(deployment)
@@ -593,5 +606,37 @@ mod tests {
         let run = sample_run();
         let text = write_run(&run).replace('\n', "\n\n");
         assert_eq!(read_run(&text).unwrap(), run);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_schema_errors_not_wraps() {
+        // 4294967297 == 2^32 + 1: the old `as u32` cast silently wrapped it
+        // to InterfaceId(1). It must be a range error instead.
+        let run = sample_run();
+        let mut text = write_run(&run);
+        text.push_str(
+            "{\"uuid\":\"01\",\"seq\":1,\"event\":\"stub_start\",\"kind\":\"sync\",\
+             \"node\":0,\"process\":0,\"thread\":0,\"interface\":4294967297,\
+             \"method\":0,\"object\":0}\n",
+        );
+        let err = read_run(&text).unwrap_err().to_string();
+        assert!(
+            err.contains("out of range") && err.contains("interface"),
+            "expected a range error naming the field, got: {err}"
+        );
+        // Lossy mode skips the corrupt record rather than inventing an id.
+        let (restored, skipped) = read_run_lossy(&text).unwrap();
+        assert_eq!(restored.records, run.records);
+        assert_eq!(skipped, 1);
+
+        // Narrow u16 fields are range-checked the same way.
+        let mut text16 = write_run(&run);
+        text16.push_str(
+            "{\"uuid\":\"01\",\"seq\":1,\"event\":\"stub_start\",\"kind\":\"sync\",\
+             \"node\":65536,\"process\":0,\"thread\":0,\"interface\":0,\
+             \"method\":0,\"object\":0}\n",
+        );
+        let err16 = read_run(&text16).unwrap_err().to_string();
+        assert!(err16.contains("out of range") && err16.contains("node"), "{err16}");
     }
 }

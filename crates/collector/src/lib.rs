@@ -13,6 +13,9 @@
 //! * [`jsonl`] — a line-oriented persistence format so runs can be written
 //!   to disk and analyzed off-line, as the paper's stand-alone analyzer
 //!   does.
+//! * [`segment`] — the durable binary storage spine: append-only segment
+//!   files of checksummed frames with crash-safe recovery, carrying the
+//!   fixed-width record encoding of `causeway_core::wire`.
 //!
 //! # Example
 //!
@@ -30,6 +33,7 @@ pub mod db;
 pub mod json;
 pub mod jsonl;
 pub mod query;
+pub mod segment;
 
 pub use db::{MonitoringDb, ScaleStats};
 pub use query::Query;

@@ -307,7 +307,10 @@ fn serve_connection(stream: TcpStream, shared: &ServerShared) {
 fn reject(stream: TcpStream, mut reader: BufReader<TcpStream>, shared: &ServerShared, why: &str) {
     shared.errors.inc();
     write_response(stream, &Response::text(400, why), false);
-    let _ = reader.get_ref().set_read_timeout(Some(Duration::from_millis(250)));
+    // Drain on the server's configured patience, capped so a generous
+    // production read_timeout cannot pin a rejected connection for seconds.
+    let drain_timeout = shared.read_timeout.min(Duration::from_millis(250));
+    let _ = reader.get_ref().set_read_timeout(Some(drain_timeout));
     let mut scrap = [0u8; 4096];
     for _ in 0..16 {
         match reader.read(&mut scrap) {
@@ -563,6 +566,37 @@ mod tests {
         assert!(
             raw.starts_with("HTTP/1.1 400"),
             "stalled connection should get a 400, got {raw:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn reject_drain_honors_a_short_configured_read_timeout() {
+        // A server configured with a 25 ms read timeout must not fall back
+        // to the old hard-coded 250 ms drain: a rejected-then-silent client
+        // is cut loose on the *configured* patience.
+        let server = HttpServer::bind_with_read_timeout(
+            "127.0.0.1:0",
+            vec![(
+                "/ping".to_owned(),
+                Box::new(|_req: &Request| Response::text(200, "pong")) as Handler,
+            )],
+            Duration::from_millis(25),
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write!(stream, "complete garbage\r\n\r\n").expect("send");
+        let started = std::time::Instant::now();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("client timeout");
+        let mut raw = String::new();
+        let _ = stream.read_to_string(&mut raw); // returns only once the server closes
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+        assert!(
+            started.elapsed() < Duration::from_millis(2_000),
+            "drain outlived the configured read timeout: {:?}",
+            started.elapsed()
         );
         server.shutdown();
     }

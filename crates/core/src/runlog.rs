@@ -74,6 +74,14 @@ impl RunLog {
     pub fn push_chunk(&mut self, chunk: Chunk) {
         self.records.extend(chunk.records);
     }
+
+    /// Appends a whole stream of sealed chunks in arrival order — how
+    /// segment recovery reassembles a run frame by frame.
+    pub fn push_chunks(&mut self, chunks: impl IntoIterator<Item = Chunk>) {
+        for chunk in chunks {
+            self.push_chunk(chunk);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -405,13 +405,25 @@ impl LogStore {
     /// For a *complete* drain, reach quiescence first: idle runtimes flush
     /// at their blocking points and exited threads flush on termination.
     pub fn drain(&self) -> Vec<ProbeRecord> {
+        let mut out = Vec::new();
+        for chunk in self.drain_chunks() {
+            out.extend(chunk.records);
+        }
+        out
+    }
+
+    /// Like [`Self::drain`], but preserves chunk boundaries — the unit a
+    /// durable segment writer appends and checksums, so a crash loses at
+    /// most the chunks not yet sealed (see `causeway-collector`'s
+    /// `segment` module).
+    pub fn drain_chunks(&self) -> Vec<Chunk> {
         self.request_flush();
         // The drain itself runs on some thread that may have pushed
         // (clients, tests): hand over our own open chunk immediately.
         self.flush_current_thread();
         let mut out = Vec::new();
         while let Some(chunk) = self.try_recv_chunk() {
-            out.extend(chunk.records);
+            out.push(chunk);
         }
         out
     }
@@ -600,6 +612,20 @@ mod tests {
             (PUSHERS * PER_THREAD) as usize,
             "no record lost, none duplicated"
         );
+    }
+
+    #[test]
+    fn drain_chunks_preserves_chunk_boundaries() {
+        let store = LogStore::new();
+        for i in 0..(CHUNK_CAPACITY as u64 + 3) {
+            store.push(rec(&store, i));
+        }
+        let chunks = store.drain_chunks();
+        assert_eq!(chunks.len(), 2, "one full chunk plus the flushed remainder");
+        assert_eq!(chunks[0].len(), CHUNK_CAPACITY);
+        assert_eq!(chunks[1].len(), 3);
+        assert!(chunks.iter().all(|c| c.thread == store.current_thread()));
+        assert!(store.is_empty());
     }
 
     #[test]

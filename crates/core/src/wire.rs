@@ -8,7 +8,11 @@
 //! parameter.
 
 use crate::error::CoreError;
+use crate::event::{CallKind, TraceEvent};
 use crate::ftl::{FTL_WIRE_LEN, FunctionTxLog};
+use crate::ids::{InterfaceId, LogicalThreadId, MethodIndex, NodeId, ObjectId, ProcessId};
+use crate::record::{CallSite, FunctionKey, ProbeRecord};
+use crate::uuid::Uuid;
 use crate::value::Value;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -227,6 +231,221 @@ pub fn split_ftl(mut payload: Bytes) -> Result<(Bytes, FunctionTxLog), CoreError
     Ok((payload, ftl))
 }
 
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE, reflected) — the frame checksum used by durable log segments.
+// Hand-rolled table so the storage spine adds no dependency.
+// ---------------------------------------------------------------------------
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+///
+/// Used as the per-frame checksum in `causeway-collector`'s durable log
+/// segments; exposed here because the record codec and the frame format
+/// belong to the same wire layer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-width ProbeRecord codec.
+//
+// Every record occupies exactly RECORD_WIRE_LEN bytes: absent optional
+// fields are written as zeros and masked off by the flags byte. Fixed width
+// is what makes segment ingest shardable — a chunk payload splits into
+// records by pure arithmetic, no per-line scanning and no serde.
+// ---------------------------------------------------------------------------
+
+/// Exact encoded size of one [`ProbeRecord`] in the binary log format.
+pub const RECORD_WIRE_LEN: usize = 121;
+
+const FLAG_WALL_START: u8 = 1 << 0;
+const FLAG_WALL_END: u8 = 1 << 1;
+const FLAG_CPU_START: u8 = 1 << 2;
+const FLAG_CPU_END: u8 = 1 << 3;
+const FLAG_ONEWAY_CHILD: u8 = 1 << 4;
+const FLAG_ONEWAY_PARENT: u8 = 1 << 5;
+const FLAG_KNOWN: u8 = FLAG_WALL_START
+    | FLAG_WALL_END
+    | FLAG_CPU_START
+    | FLAG_CPU_END
+    | FLAG_ONEWAY_CHILD
+    | FLAG_ONEWAY_PARENT;
+
+fn event_tag(event: TraceEvent) -> u8 {
+    match event {
+        TraceEvent::StubStart => 0,
+        TraceEvent::SkelStart => 1,
+        TraceEvent::SkelEnd => 2,
+        TraceEvent::StubEnd => 3,
+    }
+}
+
+fn kind_tag(kind: CallKind) -> u8 {
+    match kind {
+        CallKind::Sync => 0,
+        CallKind::Oneway => 1,
+        CallKind::Collocated => 2,
+        CallKind::CustomMarshal => 3,
+    }
+}
+
+/// Appends one record's fixed-width encoding to `buf`.
+pub fn encode_record(r: &ProbeRecord, buf: &mut Vec<u8>) {
+    buf.reserve(RECORD_WIRE_LEN);
+    let mut flags = 0u8;
+    if r.wall_start.is_some() {
+        flags |= FLAG_WALL_START;
+    }
+    if r.wall_end.is_some() {
+        flags |= FLAG_WALL_END;
+    }
+    if r.cpu_start.is_some() {
+        flags |= FLAG_CPU_START;
+    }
+    if r.cpu_end.is_some() {
+        flags |= FLAG_CPU_END;
+    }
+    if r.oneway_child.is_some() {
+        flags |= FLAG_ONEWAY_CHILD;
+    }
+    if r.oneway_parent.is_some() {
+        flags |= FLAG_ONEWAY_PARENT;
+    }
+    buf.put_u128_le(r.uuid.0);
+    buf.put_u64_le(r.seq);
+    buf.put_u8(event_tag(r.event));
+    buf.put_u8(kind_tag(r.kind));
+    buf.put_u8(flags);
+    buf.put_u16_le(r.site.node.0);
+    buf.put_u16_le(r.site.process.0);
+    buf.put_u32_le(r.site.thread.0);
+    buf.put_u32_le(r.func.interface.0);
+    buf.put_u16_le(r.func.method.0);
+    buf.put_u64_le(r.func.object.0);
+    buf.put_u64_le(r.wall_start.unwrap_or(0));
+    buf.put_u64_le(r.wall_end.unwrap_or(0));
+    buf.put_u64_le(r.cpu_start.unwrap_or(0));
+    buf.put_u64_le(r.cpu_end.unwrap_or(0));
+    buf.put_u128_le(r.oneway_child.map(|u| u.0).unwrap_or(0));
+    let (pu, ps) = r.oneway_parent.map(|(u, s)| (u.0, s)).unwrap_or((0, 0));
+    buf.put_u128_le(pu);
+    buf.put_u64_le(ps);
+}
+
+#[inline]
+fn rd<const N: usize>(bytes: &[u8], off: usize) -> [u8; N] {
+    // Callers pre-check `bytes.len() >= RECORD_WIRE_LEN`, so the slice op
+    // cannot fail.
+    bytes[off..off + N].try_into().expect("bounds pre-checked")
+}
+
+/// Decodes one record from the first [`RECORD_WIRE_LEN`] bytes of `bytes`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::WireDecode`] when the slice is short or an
+/// event/kind/flags tag is out of range — corrupted frames must surface as
+/// errors, never as plausible-looking records.
+pub fn decode_record(bytes: &[u8]) -> Result<ProbeRecord, CoreError> {
+    if bytes.len() < RECORD_WIRE_LEN {
+        return Err(CoreError::WireDecode(format!(
+            "truncated record: need {RECORD_WIRE_LEN} bytes, have {}",
+            bytes.len()
+        )));
+    }
+    let event = match bytes[24] {
+        0 => TraceEvent::StubStart,
+        1 => TraceEvent::SkelStart,
+        2 => TraceEvent::SkelEnd,
+        3 => TraceEvent::StubEnd,
+        other => return Err(CoreError::WireDecode(format!("unknown event tag {other}"))),
+    };
+    let kind = match bytes[25] {
+        0 => CallKind::Sync,
+        1 => CallKind::Oneway,
+        2 => CallKind::Collocated,
+        3 => CallKind::CustomMarshal,
+        other => return Err(CoreError::WireDecode(format!("unknown kind tag {other}"))),
+    };
+    let flags = bytes[26];
+    if flags & !FLAG_KNOWN != 0 {
+        return Err(CoreError::WireDecode(format!("unknown record flags {flags:#04x}")));
+    }
+    let opt = |flag: u8, value: u64| (flags & flag != 0).then_some(value);
+    Ok(ProbeRecord {
+        uuid: Uuid(u128::from_le_bytes(rd::<16>(bytes, 0))),
+        seq: u64::from_le_bytes(rd::<8>(bytes, 16)),
+        event,
+        kind,
+        site: CallSite {
+            node: NodeId(u16::from_le_bytes(rd::<2>(bytes, 27))),
+            process: ProcessId(u16::from_le_bytes(rd::<2>(bytes, 29))),
+            thread: LogicalThreadId(u32::from_le_bytes(rd::<4>(bytes, 31))),
+        },
+        func: FunctionKey {
+            interface: InterfaceId(u32::from_le_bytes(rd::<4>(bytes, 35))),
+            method: MethodIndex(u16::from_le_bytes(rd::<2>(bytes, 39))),
+            object: ObjectId(u64::from_le_bytes(rd::<8>(bytes, 41))),
+        },
+        wall_start: opt(FLAG_WALL_START, u64::from_le_bytes(rd::<8>(bytes, 49))),
+        wall_end: opt(FLAG_WALL_END, u64::from_le_bytes(rd::<8>(bytes, 57))),
+        cpu_start: opt(FLAG_CPU_START, u64::from_le_bytes(rd::<8>(bytes, 65))),
+        cpu_end: opt(FLAG_CPU_END, u64::from_le_bytes(rd::<8>(bytes, 73))),
+        oneway_child: (flags & FLAG_ONEWAY_CHILD != 0)
+            .then(|| Uuid(u128::from_le_bytes(rd::<16>(bytes, 81)))),
+        oneway_parent: (flags & FLAG_ONEWAY_PARENT != 0).then(|| {
+            (
+                Uuid(u128::from_le_bytes(rd::<16>(bytes, 97))),
+                u64::from_le_bytes(rd::<8>(bytes, 113)),
+            )
+        }),
+    })
+}
+
+/// Encodes a batch of records back-to-back (fixed stride, no separators).
+pub fn encode_records(records: &[ProbeRecord]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(records.len() * RECORD_WIRE_LEN);
+    for r in records {
+        encode_record(r, &mut buf);
+    }
+    buf
+}
+
+/// Decodes a back-to-back batch of records.
+///
+/// # Errors
+///
+/// Returns [`CoreError::WireDecode`] when `bytes` is not a whole number of
+/// records or any record fails to decode.
+pub fn decode_records(bytes: &[u8]) -> Result<Vec<ProbeRecord>, CoreError> {
+    if !bytes.len().is_multiple_of(RECORD_WIRE_LEN) {
+        return Err(CoreError::WireDecode(format!(
+            "record batch of {} bytes is not a multiple of {RECORD_WIRE_LEN}",
+            bytes.len()
+        )));
+    }
+    bytes.chunks_exact(RECORD_WIRE_LEN).map(decode_record).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,5 +549,84 @@ mod tests {
     #[test]
     fn split_ftl_rejects_short_payloads() {
         assert!(split_ftl(Bytes::from_static(&[0u8; 10])).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    fn full_record() -> ProbeRecord {
+        ProbeRecord {
+            uuid: Uuid(0x0123_4567_89AB_CDEF_1122_3344_5566_7788),
+            seq: u64::MAX - 3,
+            event: TraceEvent::SkelEnd,
+            kind: CallKind::Oneway,
+            site: CallSite {
+                node: NodeId(u16::MAX),
+                process: ProcessId(7),
+                thread: LogicalThreadId(u32::MAX - 1),
+            },
+            func: FunctionKey::new(
+                InterfaceId(u32::MAX),
+                MethodIndex(513),
+                ObjectId(u64::MAX),
+            ),
+            wall_start: Some(0),
+            wall_end: Some(u64::MAX),
+            cpu_start: None,
+            cpu_end: Some(42),
+            oneway_child: Some(Uuid(u128::MAX)),
+            oneway_parent: Some((Uuid(9), 77)),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_at_fixed_width() {
+        for r in [
+            full_record(),
+            ProbeRecord {
+                wall_start: None,
+                wall_end: None,
+                cpu_end: None,
+                oneway_child: None,
+                oneway_parent: None,
+                event: TraceEvent::StubStart,
+                kind: CallKind::CustomMarshal,
+                ..full_record()
+            },
+        ] {
+            let mut buf = Vec::new();
+            encode_record(&r, &mut buf);
+            assert_eq!(buf.len(), RECORD_WIRE_LEN);
+            assert_eq!(decode_record(&buf).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn record_batches_round_trip() {
+        let records = vec![full_record(); 5];
+        let bytes = encode_records(&records);
+        assert_eq!(bytes.len(), 5 * RECORD_WIRE_LEN);
+        assert_eq!(decode_records(&bytes).unwrap(), records);
+        assert!(decode_records(&bytes[..bytes.len() - 1]).is_err(), "ragged batch");
+    }
+
+    #[test]
+    fn record_decode_rejects_truncation_and_bad_tags() {
+        let mut buf = Vec::new();
+        encode_record(&full_record(), &mut buf);
+        assert!(decode_record(&buf[..RECORD_WIRE_LEN - 1]).is_err());
+        let mut bad_event = buf.clone();
+        bad_event[24] = 9;
+        assert!(decode_record(&bad_event).is_err());
+        let mut bad_kind = buf.clone();
+        bad_kind[25] = 200;
+        assert!(decode_record(&bad_kind).is_err());
+        let mut bad_flags = buf;
+        bad_flags[26] = 0xC0;
+        assert!(decode_record(&bad_flags).is_err());
     }
 }

@@ -23,21 +23,31 @@
 //!   rendered as ascii call trees or Graphviz
 //! * `GET /trace` — Chrome trace of the last window
 //!
+//! Durable mode: `--segment PATH` streams every drained chunk into a
+//! crash-safe binary segment (`causeway_collector::segment`) as it is
+//! ingested, sealing it on clean shutdown — `causeway_analyze PATH` reads
+//! it back, and `--lossy` recovers the clean prefix after a crash.
+//! `--spill PATH` keeps evicted history windows on disk so
+//! `/flamegraph?window=k` and `/history?from=..&to=..` work past the ring.
+//!
 //! ```text
 //! cargo run --example online_monitor                 # finite 8-job run
 //! cargo run --example online_monitor -- \
 //!     --listen 127.0.0.1:9464 --window 2 --duration 10 \
 //!     --alert 'p95>400us;resolve=200us' \
-//!     --history 128 --burn 'burn=p95>400us;slo=99.9;fast=3;slow=24'
+//!     --history 128 --burn 'burn=p95>400us;slo=99.9;fast=3;slow=24' \
+//!     --segment /tmp/online_monitor.cwseg --spill /tmp/online_monitor.cwhist
 //! ```
 
 use causeway::analyzer::chrome_trace;
 use causeway::analyzer::live::{serve, LiveConfig, LiveMonitor};
 use causeway::collector::db::MonitoringDb;
+use causeway::collector::segment::SegmentWriter;
 use causeway::core::metrics::MetricsRegistry;
 use causeway::core::monitor::ProbeMode;
 use causeway::core::record::ProbeRecord;
 use causeway::workloads::{Pps, PpsConfig, PpsDeployment};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -48,6 +58,8 @@ struct Args {
     alerts: Vec<String>,
     burns: Vec<String>,
     history: Option<usize>,
+    segment: Option<PathBuf>,
+    spill: Option<PathBuf>,
     duration: Duration,
     jobs: usize,
 }
@@ -59,6 +71,8 @@ fn parse_args() -> Args {
         alerts: Vec::new(),
         burns: Vec::new(),
         history: None,
+        segment: None,
+        spill: None,
         duration: Duration::from_secs(10),
         jobs: 8,
     };
@@ -89,6 +103,12 @@ fn parse_args() -> Args {
                     });
                 args.history = Some(windows.max(1));
             }
+            "--segment" => {
+                args.segment = Some(PathBuf::from(need(&mut argv, "--segment")));
+            }
+            "--spill" => {
+                args.spill = Some(PathBuf::from(need(&mut argv, "--spill")));
+            }
             "--duration" => {
                 let secs: f64 = need(&mut argv, "--duration").parse().unwrap_or_else(|_| {
                     eprintln!("--duration takes seconds");
@@ -105,7 +125,8 @@ fn parse_args() -> Args {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; flags: --listen ADDR --window SECS \
-                     --alert RULE --burn RULE --history WINDOWS --duration SECS --jobs N"
+                     --alert RULE --burn RULE --history WINDOWS --segment PATH \
+                     --spill PATH --duration SECS --jobs N"
                 );
                 std::process::exit(2);
             }
@@ -138,6 +159,23 @@ fn main() {
     if let Some(windows) = args.history {
         config.history_windows = windows;
     }
+    config.history_spill = args.spill.clone();
+
+    // Durable mode: every drained chunk is appended to a crash-safe binary
+    // segment before it is handed to the in-memory monitor, so a crash
+    // loses at most the records still buffered in per-thread chunks.
+    let segment_writer = args.segment.as_ref().map(|path| {
+        SegmentWriter::create(
+            path,
+            &pps.system.vocab().snapshot(),
+            pps.system.deployment(),
+            None, // open-ended run: the seal will carry the final count
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot create segment {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
     let mut live = LiveMonitor::new(
         config,
         pps.system.vocab().snapshot(),
@@ -177,13 +215,24 @@ fn main() {
     let live_monitor = Arc::clone(&live);
     let monitor_stores = stores.clone();
     let monitor = std::thread::spawn(move || {
+        let mut writer = segment_writer;
         let mut streamed: Vec<ProbeRecord> = Vec::new();
         let mut narrated = 0usize;
         loop {
             let finished = done_monitor.load(Ordering::Relaxed);
             let mut batch = Vec::new();
             for store in &monitor_stores {
-                batch.extend(store.drain());
+                match writer.as_mut() {
+                    // Durable path: chunks hit the segment file before the
+                    // in-memory monitor sees their records.
+                    Some(writer) => {
+                        for chunk in store.drain_chunks() {
+                            writer.append_chunk(&chunk).expect("segment append");
+                            batch.extend(chunk.records);
+                        }
+                    }
+                    None => batch.extend(store.drain()),
+                }
             }
             streamed.extend(batch.iter().cloned());
             {
@@ -210,7 +259,7 @@ fn main() {
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        streamed
+        (streamed, writer)
     });
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -242,7 +291,7 @@ fn main() {
     // final drain pass sees the tail of the run.
     pps.system.flush_local_logs();
     done.store(true, Ordering::Relaxed);
-    let streamed = monitor.join().expect("monitor thread");
+    let (streamed, segment_writer) = monitor.join().expect("monitor thread");
 
     // Anything still buffered was stranded in unsealed per-thread chunks (a
     // thread never reached an idle point) — surface it the same way the
@@ -259,6 +308,21 @@ fn main() {
              ({} expected, {} drained); a producer thread never reached an idle point",
             run.expected_records.unwrap_or(0),
             run.len()
+        );
+    }
+
+    // Seal the durable segment: the seal frame records how many records
+    // made it to disk and how many the run expected, so recovery reports
+    // the same shortfall causeway_analyze prints here.
+    if let Some(writer) = segment_writer {
+        let written = writer.records_written();
+        writer.finish(run.expected_records).expect("seal segment");
+        let path = args.segment.as_ref().expect("writer implies --segment");
+        println!(
+            "segment sealed: {written} record(s) in {} — analyze with \
+             `causeway_analyze {}`",
+            path.display(),
+            path.display()
         );
     }
 

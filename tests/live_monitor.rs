@@ -415,7 +415,7 @@ fn history_store_stays_bounded_after_ten_times_its_window_cap() {
     assert_eq!(history.latest().expect("non-empty").window.index, BASE_W + closes);
     assert!(history.get(BASE_W).is_none(), "the first window was evicted");
     // The JSON export agrees with the store it describes.
-    let json = live.history_json();
+    let json = live.history_json(None, None);
     assert_eq!(
         json.get("evictions").and_then(Json::as_u64),
         Some(history.evictions()),

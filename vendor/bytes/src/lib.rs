@@ -311,6 +311,7 @@ pub trait Buf {
         get_u16_le -> u16,
         get_u32_le -> u32,
         get_u64_le -> u64,
+        get_u128_le -> u128,
         get_i32_le -> i32,
         get_i64_le -> i64,
     }
@@ -367,6 +368,7 @@ pub trait BufMut {
         put_u16_le(u16),
         put_u32_le(u32),
         put_u64_le(u64),
+        put_u128_le(u128),
         put_i32_le(i32),
         put_i64_le(i64),
         put_f64_le(f64),
