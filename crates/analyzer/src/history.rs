@@ -186,12 +186,35 @@ impl WindowHistory {
     /// The entries for ordinals `from..=to` (oldest first, at most `max`),
     /// served from the ring and the spill segment combined. Ordinals that
     /// resolve nowhere are skipped.
+    ///
+    /// The bounds are clamped to the ordinals the store has ever seen and
+    /// the scan itself is capped at `max` ordinals — callers pass
+    /// client-supplied bounds straight in (the `/history` endpoint), and an
+    /// unclamped `from..=to` over a hostile span would spin for ~2^64
+    /// iterations while the caller holds the monitor lock.
     pub fn range(&self, from: u64, to: u64, max: usize) -> Vec<HistoryEntry> {
+        let oldest = [
+            self.ring.front().map(|e| e.window.index),
+            self.spill.as_ref().and_then(|s| s.min_index()),
+        ];
+        let newest = [
+            self.ring.back().map(|e| e.window.index),
+            self.spill.as_ref().and_then(|s| s.max_index()),
+        ];
+        let (Some(oldest), Some(newest)) = (
+            oldest.into_iter().flatten().min(),
+            newest.into_iter().flatten().max(),
+        ) else {
+            return Vec::new();
+        };
+        let from = from.max(oldest);
+        let to = to.min(newest);
+        if from > to || max == 0 {
+            return Vec::new();
+        }
+        let to = to.min(from.saturating_add(max as u64 - 1));
         let mut out = Vec::new();
         for index in from..=to {
-            if out.len() >= max {
-                break;
-            }
             if let Some(entry) = self.lookup(index) {
                 out.push(entry.into_owned());
             }
@@ -281,12 +304,14 @@ pub struct HistorySpill {
 impl HistorySpill {
     /// Creates the spill file at `path`, or reopens an existing one:
     /// complete frames are indexed, a torn tail is truncated away, and new
-    /// appends continue after the last complete frame. A file that exists
-    /// but does not start with [`SPILL_MAGIC`] is rewritten from scratch.
+    /// appends continue after the last complete frame.
     ///
     /// # Errors
     ///
-    /// Propagates file create/read/seek/truncate failures.
+    /// Refuses (`InvalidData`) a path holding non-empty data that is not a
+    /// spill segment — a mistyped path must not destroy an unrelated file.
+    /// Only missing, empty, or magic-prefixed files are (re)created.
+    /// Otherwise propagates file create/read/seek/truncate failures.
     pub fn open(path: impl AsRef<Path>) -> io::Result<HistorySpill> {
         let path = path.as_ref().to_path_buf();
         let existing = match std::fs::read(&path) {
@@ -296,7 +321,18 @@ impl HistorySpill {
             {
                 Some(bytes)
             }
-            Ok(_) => None,
+            // Empty files (and a torn magic from our own interrupted
+            // create) are safe to rewrite from scratch.
+            Ok(bytes) if SPILL_MAGIC.starts_with(&bytes) => None,
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{} exists but is not a history spill segment; refusing to overwrite it",
+                        path.display()
+                    ),
+                ));
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => None,
             Err(e) => return Err(e),
         };
@@ -828,6 +864,69 @@ mod tests {
             assert_eq!(e.window.index, i as u64);
         }
         assert_eq!(history.range(0, 9, 3).len(), 3, "max caps the fetch");
+    }
+
+    #[test]
+    fn range_clamps_hostile_bounds_to_known_ordinals() {
+        // An empty store answers instantly whatever the bounds.
+        let empty = WindowHistory::new(4, usize::MAX);
+        assert!(empty.range(0, u64::MAX, 100).is_empty());
+        let spill = TempSpill::new("hostile_range");
+        let mut history = WindowHistory::new(4, usize::MAX);
+        history.enable_spill(&spill.0).unwrap();
+        for i in 0..10u64 {
+            history.push(entry(i, 1000 + i));
+        }
+        // The full-u64 span a client can request must finish promptly (it
+        // previously iterated every ordinal in from..=to) and still serve
+        // the real windows, oldest first and capped at `max`.
+        let all = history.range(0, u64::MAX, 100);
+        assert_eq!(all.len(), 10);
+        let capped = history.range(0, u64::MAX, 5);
+        assert_eq!(capped.len(), 5);
+        assert_eq!(capped[0].window.index, 0);
+        assert_eq!(capped[4].window.index, 4);
+        // Bounds entirely outside the known ordinals resolve to nothing.
+        assert!(history.range(10, u64::MAX, 100).is_empty());
+        assert!(history.range(u64::MAX, 0, 100).is_empty());
+    }
+
+    #[test]
+    fn range_serves_spill_only_stores_after_a_restart() {
+        let spill = TempSpill::new("restart_range");
+        {
+            let mut s = HistorySpill::open(&spill.0).unwrap();
+            for i in 3..7u64 {
+                s.append(&entry(i, 4000 + i)).unwrap();
+            }
+        }
+        // A fresh store (empty ring) reattached to the old spill file must
+        // still serve the spilled ordinals through range().
+        let mut history = WindowHistory::new(4, usize::MAX);
+        history.enable_spill(&spill.0).unwrap();
+        assert!(history.is_empty());
+        let served = history.range(0, u64::MAX, 100);
+        assert_eq!(served.len(), 4);
+        assert_eq!(served[0].window.index, 3);
+        assert_eq!(served[3].window.index, 6);
+    }
+
+    #[test]
+    fn spill_open_refuses_to_overwrite_foreign_files() {
+        let spill = TempSpill::new("foreign");
+        std::fs::write(&spill.0, b"important unrelated data").unwrap();
+        let err = HistorySpill::open(&spill.0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(
+            std::fs::read(&spill.0).unwrap(),
+            b"important unrelated data",
+            "the foreign file is untouched"
+        );
+        // Empty files are fair game — they carry nothing to destroy.
+        std::fs::write(&spill.0, b"").unwrap();
+        let mut s = HistorySpill::open(&spill.0).unwrap();
+        s.append(&entry(0, 1)).unwrap();
+        assert_eq!(s.get(0), Some(entry(0, 1)));
     }
 
     #[test]

@@ -1082,7 +1082,15 @@ impl LiveMonitor {
     /// already aged out (at most [`HISTORY_RANGE_MAX`] per request).
     pub fn history_json(&self, from: Option<u64>, to: Option<u64>) -> Json {
         let windows: Vec<Json> = if from.is_some() || to.is_some() {
-            let newest = self.history.latest().map(|e| e.window.index).unwrap_or(0);
+            // Both bounds consult the spill as well as the ring: after a
+            // restart the ring starts empty while the spill still holds
+            // windows, and a ring-only `newest` of 0 would hide them.
+            let newest = self
+                .history
+                .latest()
+                .map(|e| e.window.index)
+                .max(self.history.spill().and_then(|s| s.max_index()))
+                .unwrap_or(0);
             let oldest = self
                 .history
                 .spill()
@@ -1848,6 +1856,42 @@ mod tests {
         let burns = json.get("burn_rules").and_then(Json::as_arr).expect("burn rules");
         assert_eq!(burns.len(), 1);
         assert_eq!(burns[0].get("active").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn history_json_range_serves_spill_after_restart() {
+        let path = std::env::temp_dir().join(format!(
+            "causeway_live_spill_restart_{}.cwhist",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let config = LiveConfig {
+            window: Duration::from_nanos(WINDOW_NS),
+            slices: 5,
+            history_windows: 1,
+            history_spill: Some(path.clone()),
+            ..LiveConfig::default()
+        };
+        {
+            let mut m = LiveMonitor::new(config.clone(), test_vocab(), Deployment::default());
+            for w in 0..3u64 {
+                m.ingest_batch_at(sync_call(w as u128 + 1, 0, 0, 1_000), w * WINDOW_NS + 5);
+            }
+            m.tick_at(3 * WINDOW_NS);
+            assert_eq!(m.history().len(), 1, "ring caps at one window");
+            assert_eq!(m.history().spill().expect("spill attached").len(), 2);
+        }
+        // A restarted monitor reattaches the spill with an empty ring; a
+        // range request with `to` omitted must resolve `newest` from the
+        // spill, not default to 0, so the spilled windows come back.
+        let m = LiveMonitor::new(config, test_vocab(), Deployment::default());
+        assert!(m.history().is_empty(), "fresh ring after restart");
+        let json = m.history_json(Some(0), None);
+        let windows = json.get("windows").and_then(Json::as_arr).expect("windows");
+        assert_eq!(windows.len(), 2, "{json}");
+        assert_eq!(windows[0].get("index").and_then(Json::as_u64), Some(0));
+        assert_eq!(windows[1].get("index").and_then(Json::as_u64), Some(1));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

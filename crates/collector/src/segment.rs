@@ -64,8 +64,16 @@ const KIND_SEAL: u8 = 2;
 
 const HEADER_VERSION: u16 = 1;
 
-/// Sanity bound on one frame's payload — against corrupted length words.
-const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+/// Sanity bound on one frame's payload. The reader rejects larger length
+/// words as corruption, so the writer must never produce one: frames over
+/// this size would be written successfully and then dropped (along with
+/// everything after them) as a torn tail on recovery.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Most records one chunk frame can carry without its payload exceeding
+/// [`MAX_FRAME_BYTES`] (9 bytes of chunk framing precede the records).
+pub const MAX_CHUNK_RECORDS: usize = (MAX_FRAME_BYTES - 9) / RECORD_WIRE_LEN;
+const _: () = assert!(9 + MAX_CHUNK_RECORDS * RECORD_WIRE_LEN <= MAX_FRAME_BYTES);
 
 /// Records per chunk frame when serializing a flat [`RunLog`] (the live
 /// writer instead frames whatever the sink sealed).
@@ -108,7 +116,17 @@ fn corrupt(message: impl Into<String>) -> SegmentError {
 // ---------------------------------------------------------------------------
 
 /// Appends one `[len][crc][payload]` frame to `buf`.
+///
+/// # Panics
+///
+/// Panics when `payload` exceeds [`MAX_FRAME_BYTES`] — such a frame could
+/// never be read back (use [`write_frame`] for a fallible check).
 pub fn put_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "frame payload of {} bytes exceeds MAX_FRAME_BYTES and would be unreadable",
+        payload.len()
+    );
     buf.put_u32_le(payload.len() as u32);
     buf.put_u32_le(wire::crc32(payload));
     buf.put_slice(payload);
@@ -118,8 +136,20 @@ pub fn put_frame(buf: &mut Vec<u8>, payload: &[u8]) {
 ///
 /// # Errors
 ///
-/// Propagates the underlying I/O error.
+/// Returns [`io::ErrorKind::InvalidInput`] when `payload` exceeds
+/// [`MAX_FRAME_BYTES`] — the reader treats oversized frames as torn, so
+/// writing one would silently discard it (and everything after it) on
+/// recovery. Otherwise propagates the underlying I/O error.
 pub fn write_frame(out: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES}-byte frame bound",
+                payload.len()
+            ),
+        ));
+    }
     out.write_all(&(payload.len() as u32).to_le_bytes())?;
     out.write_all(&wire::crc32(payload).to_le_bytes())?;
     out.write_all(payload)
@@ -456,7 +486,10 @@ impl SegmentWriter {
         self.append_records(chunk.thread, &chunk.records)
     }
 
-    /// Appends an explicit record batch as one chunk frame and flushes.
+    /// Appends an explicit record batch as chunk frames and flushes. A
+    /// batch larger than [`MAX_CHUNK_RECORDS`] is split across several
+    /// frames, so no frame ever exceeds the [`MAX_FRAME_BYTES`] bound the
+    /// reader enforces.
     ///
     /// # Errors
     ///
@@ -466,7 +499,22 @@ impl SegmentWriter {
         thread: LogicalThreadId,
         records: &[ProbeRecord],
     ) -> io::Result<()> {
-        write_frame(&mut self.out, &encode_chunk(thread, records))?;
+        self.append_records_capped(thread, records, MAX_CHUNK_RECORDS)
+    }
+
+    fn append_records_capped(
+        &mut self,
+        thread: LogicalThreadId,
+        records: &[ProbeRecord],
+        records_per_frame: usize,
+    ) -> io::Result<()> {
+        if records.is_empty() {
+            write_frame(&mut self.out, &encode_chunk(thread, records))?;
+        } else {
+            for batch in records.chunks(records_per_frame.max(1)) {
+                write_frame(&mut self.out, &encode_chunk(thread, batch))?;
+            }
+        }
         self.out.flush()?;
         self.records_written += records.len() as u64;
         Ok(())
@@ -500,9 +548,11 @@ pub fn write_run_log(run: &RunLog) -> Vec<u8> {
 
 /// Serializes a run log, packing `records_per_frame` records into each
 /// chunk frame (smaller frames recover at finer granularity and shard
-/// wider; the tests use tiny frames to exercise many boundaries).
+/// wider; the tests use tiny frames to exercise many boundaries). The
+/// count is clamped to `1..=`[`MAX_CHUNK_RECORDS`] so every frame stays
+/// within the reader's [`MAX_FRAME_BYTES`] bound.
 pub fn write_run_log_with_frame(run: &RunLog, records_per_frame: usize) -> Vec<u8> {
-    let records_per_frame = records_per_frame.max(1);
+    let records_per_frame = records_per_frame.clamp(1, MAX_CHUNK_RECORDS);
     let mut buf = Vec::with_capacity(
         16 + run.records.len() * (RECORD_WIRE_LEN + 2) + 1024,
     );
@@ -824,6 +874,40 @@ mod tests {
             assert_eq!(parallel.truncated_bytes, serial.truncated_bytes);
             assert_eq!(parallel.chunk_frames, serial.chunk_frames);
         }
+    }
+
+    #[test]
+    fn write_frame_refuses_payloads_the_reader_would_drop() {
+        let payload = vec![0u8; MAX_FRAME_BYTES + 1];
+        let err = write_frame(&mut Vec::new(), &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // At the bound itself the frame is still writable and readable.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload[..MAX_FRAME_BYTES]).unwrap();
+        assert!(next_frame(&buf, 0).is_some());
+    }
+
+    #[test]
+    fn oversized_batches_split_into_multiple_recoverable_frames() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("segment_split_test_{}.cwseg", std::process::id()));
+        let run = sample_run(10);
+        {
+            let mut writer =
+                SegmentWriter::create(&path, &run.vocab, &run.deployment, Some(10)).unwrap();
+            // A tiny per-frame cap stands in for MAX_CHUNK_RECORDS: one
+            // append call, several frames, nothing dropped.
+            writer
+                .append_records_capped(run.records[0].site.thread, &run.records, 3)
+                .unwrap();
+            assert_eq!(writer.records_written(), 10);
+            writer.finish(Some(10)).unwrap();
+        }
+        let recovery = recover_run_log(&std::fs::read(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(recovery.is_clean());
+        assert_eq!(recovery.chunk_frames, 4, "10 records at 3 per frame");
+        assert_eq!(recovery.run.records, run.records);
     }
 
     #[test]

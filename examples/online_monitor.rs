@@ -216,6 +216,7 @@ fn main() {
     let monitor_stores = stores.clone();
     let monitor = std::thread::spawn(move || {
         let mut writer = segment_writer;
+        let mut segment_error: Option<String> = None;
         let mut streamed: Vec<ProbeRecord> = Vec::new();
         let mut narrated = 0usize;
         loop {
@@ -224,14 +225,32 @@ fn main() {
             for store in &monitor_stores {
                 match writer.as_mut() {
                     // Durable path: chunks hit the segment file before the
-                    // in-memory monitor sees their records.
+                    // in-memory monitor sees their records. An append
+                    // failure (disk full, EIO) must not kill monitoring:
+                    // the records still reach the in-memory monitor, and
+                    // the writer is dropped below so the run degrades to
+                    // in-memory mode instead of panicking mid-run.
                     Some(writer) => {
                         for chunk in store.drain_chunks() {
-                            writer.append_chunk(&chunk).expect("segment append");
+                            if segment_error.is_none() {
+                                if let Err(e) = writer.append_chunk(&chunk) {
+                                    segment_error = Some(e.to_string());
+                                }
+                            }
                             batch.extend(chunk.records);
                         }
                     }
                     None => batch.extend(store.drain()),
+                }
+            }
+            if segment_error.is_some() {
+                if let Some(abandoned) = writer.take() {
+                    eprintln!(
+                        "WARNING: segment append failed ({}); abandoning the durable \
+                         segment after {} record(s) and continuing in-memory",
+                        segment_error.as_deref().unwrap_or(""),
+                        abandoned.records_written()
+                    );
                 }
             }
             streamed.extend(batch.iter().cloned());
@@ -259,7 +278,7 @@ fn main() {
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        (streamed, writer)
+        (streamed, writer, segment_error)
     });
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -291,7 +310,7 @@ fn main() {
     // final drain pass sees the tail of the run.
     pps.system.flush_local_logs();
     done.store(true, Ordering::Relaxed);
-    let (streamed, segment_writer) = monitor.join().expect("monitor thread");
+    let (streamed, segment_writer, segment_error) = monitor.join().expect("monitor thread");
 
     // Anything still buffered was stranded in unsealed per-thread chunks (a
     // thread never reached an idle point) — surface it the same way the
@@ -313,14 +332,30 @@ fn main() {
 
     // Seal the durable segment: the seal frame records how many records
     // made it to disk and how many the run expected, so recovery reports
-    // the same shortfall causeway_analyze prints here.
+    // the same shortfall causeway_analyze prints here. A failed append or
+    // seal leaves an unsealed prefix behind — report the lost durability
+    // instead of panicking; `--lossy` recovery still reads the prefix.
     if let Some(writer) = segment_writer {
         let written = writer.records_written();
-        writer.finish(run.expected_records).expect("seal segment");
         let path = args.segment.as_ref().expect("writer implies --segment");
-        println!(
-            "segment sealed: {written} record(s) in {} — analyze with \
-             `causeway_analyze {}`",
+        match writer.finish(run.expected_records) {
+            Ok(()) => println!(
+                "segment sealed: {written} record(s) in {} — analyze with \
+                 `causeway_analyze {}`",
+                path.display(),
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "WARNING: cannot seal segment {} ({e}); {written} record(s) remain \
+                 recoverable with `causeway_analyze --lossy`",
+                path.display()
+            ),
+        }
+    } else if let Some(error) = segment_error {
+        let path = args.segment.as_ref().expect("error implies --segment");
+        eprintln!(
+            "WARNING: durable mode was abandoned mid-run ({error}); {} holds only an \
+             unsealed prefix — recover it with `causeway_analyze --lossy {}`",
             path.display(),
             path.display()
         );
