@@ -21,6 +21,7 @@
 //!   which renders as a differential flamegraph: the causal path that
 //!   regressed between window `a` and window `b` is the top positive line.
 
+use crate::incident::wall_clock_ms;
 use crate::latency::LatencyHistogram;
 use crate::live::{AlertEvent, AlertRule, SeriesAgg, WindowSnapshot};
 use causeway_collector::segment::{next_frame, write_frame};
@@ -225,6 +226,24 @@ impl WindowHistory {
     /// The most recently closed window.
     pub fn latest(&self) -> Option<&HistoryEntry> {
         self.ring.back()
+    }
+
+    /// The newest ordinal still resolvable (ring or spill) that is at or
+    /// before `ordinal` — how an incident finds its pre-breach baseline
+    /// window even when the ideal candidate already aged out of the ring
+    /// (or of both tiers, in which case the nearest older survivor wins).
+    pub fn newest_at_or_before(&self, ordinal: u64) -> Option<u64> {
+        let in_ring = self
+            .ring
+            .iter()
+            .rev()
+            .map(|e| e.window.index)
+            .find(|i| *i <= ordinal);
+        let in_spill = self
+            .spill
+            .as_ref()
+            .and_then(|s| s.index.range(..=ordinal).next_back().map(|(i, _)| *i));
+        in_ring.into_iter().chain(in_spill).max()
     }
 
     /// Retained entries, oldest first.
@@ -724,6 +743,7 @@ impl BurnState {
                 alert: self.rule.condition.name.clone(),
                 fired: true,
                 window_index,
+                at_ms: wall_clock_ms(),
                 value: burn_slow,
                 threshold: self.rule.factor,
             });
@@ -736,6 +756,7 @@ impl BurnState {
                 alert: self.rule.condition.name.clone(),
                 fired: false,
                 window_index,
+                at_ms: wall_clock_ms(),
                 value: burn_fast,
                 threshold: self.rule.factor,
             });

@@ -36,6 +36,7 @@ pub mod cpu;
 pub mod dscg;
 pub mod history;
 pub mod hotspot;
+pub mod incident;
 pub mod latency;
 pub mod live;
 pub mod online;
@@ -45,5 +46,6 @@ pub use ccsg::{Ccsg, CcsgNode};
 pub use cpu::{CpuAnalysis, CpuVector};
 pub use dscg::{Abnormality, CallNode, CallTree, Dscg};
 pub use history::{BurnRule, BurnState, WindowHistory};
+pub use incident::{Hypothesis, Incident, IncidentStore, Tombstone};
 pub use latency::{LatencyAnalysis, LatencyStats};
 pub use live::{AlertEvent, AlertRule, LiveConfig, LiveMonitor, WindowSnapshot};

@@ -22,10 +22,18 @@
 //!   multi-window SLO **burn-rate** rules (`burn=p95>400us;slo=99.9;fast=3;
 //!   slow=24`) that fire on sustained budget burn but ignore one-window
 //!   spikes.
+//! * [`crate::incident`] — when an alert transitions to firing the monitor
+//!   registers an **incident** and auto-populates its add-only causal
+//!   hypothesis graph from retained evidence (flamegraph-diff regressions
+//!   vs a pre-breach baseline window, abnormal chains with DSCG renders,
+//!   hottest stacks); automatic passes and operators eliminate hypotheses
+//!   via tombstones with provenance, and `/incidents` serves the
+//!   query-time surviving-cause set.
 //! * [`serve`] — mounts the monitor behind [`causeway_core::httpd`]:
 //!   `/metrics`, `/healthz`, `/chains`, `/latency`, `/flamegraph`,
-//!   `/flamegraph/diff`, `/history`, `/dscg`, `/trace` — and runs a
-//!   background ticker thread so windows rotate on idle systems.
+//!   `/flamegraph/diff`, `/history`, `/dscg`, `/trace`, `/alerts`,
+//!   `/incidents` (+ `POST /incidents/eliminate`) — and runs a background
+//!   ticker thread so windows rotate on idle systems.
 //!
 //! Time is explicit: every mutating entry point has an `_at(now_ns)` variant
 //! so tests are deterministic; the plain variants stamp with a monotonic
@@ -33,11 +41,12 @@
 
 use crate::chrome_trace;
 use crate::history::{diff_folded, BurnRule, BurnState, HistoryEntry, WindowHistory};
+use crate::incident::{self, HypothesisKind, Incident, IncidentStore};
 use crate::latency::LatencyHistogram;
 use crate::online::{OnlineAnalyzer, OnlineEvent, OpenChainSummary};
 use crate::render::{self, CompletedCall};
 use causeway_collector::db::MonitoringDb;
-use causeway_collector::json::Json;
+use causeway_collector::json::{self, Json};
 use causeway_core::deploy::Deployment;
 use causeway_core::httpd::{Handler, HttpServer, Request, Response};
 use causeway_core::ids::{InterfaceId, MethodIndex};
@@ -84,6 +93,42 @@ pub struct LiveConfig {
     /// set, `/history?from=..&to=..` and `/flamegraph?window=k` keep
     /// working past the ring. `None` (the default) drops evictions.
     pub history_spill: Option<std::path::PathBuf>,
+    /// Automatic incident forensics (see [`crate::incident`]).
+    pub incidents: IncidentConfig,
+}
+
+/// Configuration of automatic incident forensics: how the hypothesis graph
+/// is populated when an alert fires, and how the retained ring is bounded.
+#[derive(Debug, Clone)]
+pub struct IncidentConfig {
+    /// Register an incident whenever an alert transitions to firing.
+    pub enabled: bool,
+    /// Retained incidents (oldest evicted beyond this).
+    pub capacity: usize,
+    /// Top flamegraph-diff regressions (breach vs baseline window)
+    /// nominated as hypotheses.
+    pub top_regressions: usize,
+    /// Hottest breach-window folded stacks nominated as hypotheses.
+    pub top_stacks: usize,
+    /// Most recent abnormal chains nominated as hypotheses.
+    pub max_abnormal: usize,
+    /// The stack-floor pass eliminates hot-stack hypotheses below this
+    /// fraction of the breach window's total self time (the heaviest hot
+    /// stack is always spared, so the set never empties itself).
+    pub stack_share_floor: f64,
+}
+
+impl Default for IncidentConfig {
+    fn default() -> Self {
+        IncidentConfig {
+            enabled: true,
+            capacity: 64,
+            top_regressions: 8,
+            top_stacks: 5,
+            max_abnormal: 8,
+            stack_share_floor: 0.02,
+        }
+    }
 }
 
 impl Default for LiveConfig {
@@ -98,6 +143,7 @@ impl Default for LiveConfig {
             history_max_bytes: 8 << 20,
             stack_capacity: 65_536,
             history_spill: None,
+            incidents: IncidentConfig::default(),
         }
     }
 }
@@ -286,6 +332,9 @@ pub struct AlertEvent {
     pub fired: bool,
     /// Tumbling window ordinal at which the transition happened.
     pub window_index: u64,
+    /// Wall-clock stamp (epoch milliseconds) of the transition — incident
+    /// timelines correlate with external logs through this.
+    pub at_ms: u64,
     /// The windowed value that completed the transition.
     pub value: f64,
     /// The threshold it was compared against.
@@ -336,6 +385,7 @@ impl AlertState {
                         alert: self.rule.name.clone(),
                         fired: true,
                         window_index: window.index,
+                        at_ms: incident::wall_clock_ms(),
                         value,
                         threshold: self.rule.fire_threshold,
                     });
@@ -354,6 +404,7 @@ impl AlertState {
                     alert: self.rule.name.clone(),
                     fired: false,
                     window_index: window.index,
+                    at_ms: incident::wall_clock_ms(),
                     value,
                     threshold: self.rule.resolve_threshold,
                 });
@@ -614,7 +665,21 @@ pub struct LiveMonitor {
     total_completed: u64,
     total_abnormalities: u64,
     window_gauges: HashMap<SeriesKey, [Gauge; 5]>,
+    /// The add-only causal hypothesis graphs (see [`crate::incident`]).
+    incidents: IncidentStore,
+    /// Chains that tripped an abnormality in the current window — the
+    /// re-check pass must not tombstone a chain that misbehaved again.
+    window_abnormal: Vec<Uuid>,
+    /// Recent abnormal chains with their messages, oldest first, bounded at
+    /// [`RECENT_ABNORMAL_CAP`] — the abnormal-chain evidence pool.
+    recent_abnormal: VecDeque<(Uuid, String)>,
 }
+
+/// Most recent abnormal chains retained as incident evidence.
+const RECENT_ABNORMAL_CAP: usize = 256;
+
+/// Distinct abnormal chains remembered per window for the re-check pass.
+const WINDOW_ABNORMAL_CAP: usize = 64;
 
 impl LiveMonitor {
     /// Creates a monitor. The vocabulary and deployment snapshots label the
@@ -631,6 +696,7 @@ impl LiveMonitor {
             "causeway_live_stack_evictions",
             "Folded stacks evicted from the capped flamegraph maps.",
         );
+        let incidents = IncidentStore::new(cfg.incidents.capacity);
         LiveMonitor {
             cfg,
             analyzer: OnlineAnalyzer::new(),
@@ -659,6 +725,9 @@ impl LiveMonitor {
             total_completed: 0,
             total_abnormalities: 0,
             window_gauges: HashMap::new(),
+            incidents,
+            window_abnormal: Vec::new(),
+            recent_abnormal: VecDeque::new(),
         }
     }
 
@@ -757,9 +826,18 @@ impl LiveMonitor {
                         pending.push(CompletedCall { func, kind, depth, latency_ns: latency });
                     }
                 }
-                OnlineEvent::Abnormality { .. } => {
+                OnlineEvent::Abnormality { chain, at_seq, message } => {
                     slice.abnormalities += 1;
                     self.total_abnormalities += 1;
+                    if !self.window_abnormal.contains(&chain)
+                        && self.window_abnormal.len() < WINDOW_ABNORMAL_CAP
+                    {
+                        self.window_abnormal.push(chain);
+                    }
+                    self.recent_abnormal.push_back((chain, format!("seq {at_seq}: {message}")));
+                    while self.recent_abnormal.len() > RECENT_ABNORMAL_CAP {
+                        self.recent_abnormal.pop_front();
+                    }
                 }
                 OnlineEvent::ChainIdle { chain, .. } => {
                     // Folding borrows `self` mutably, which the live slice
@@ -896,10 +974,15 @@ impl LiveMonitor {
         snap.span_ns = self.cfg.slices.max(1) as u64 * self.slice_ns;
 
         self.export_window_gauges(&snap);
-        let mut events = Vec::new();
+        // Each event carries the rule's natural baseline lookback (in
+        // windows): `for=N` for threshold rules, the fast span for burns —
+        // the incident layer resolves its pre-breach comparison window from
+        // it.
+        let mut events: Vec<(AlertEvent, u64)> = Vec::new();
         for alert in &mut self.alerts {
+            let lookback = u64::from(alert.rule.for_windows);
             if let Some(event) = alert.step(&snap) {
-                events.push(event);
+                events.push((event, lookback));
             }
         }
 
@@ -908,12 +991,32 @@ impl LiveMonitor {
         let folded = std::mem::take(&mut self.window_folded);
         self.history.push(HistoryEntry { window: snap.clone(), folded });
         for burn in &mut self.burns {
+            let lookback = burn.rule().fast as u64;
             if let Some(event) = burn.step(&self.history) {
-                events.push(event);
+                events.push((event, lookback));
             }
         }
 
-        for event in events {
+        // Incident forensics: firings register and auto-populate an
+        // incident (the breach window is already in the history, so its
+        // evidence resolves); resolves close the matching open incidents.
+        let window_abnormal = std::mem::take(&mut self.window_abnormal);
+        if self.cfg.incidents.enabled {
+            for (event, lookback) in &events {
+                if event.fired {
+                    self.open_incident(event, *lookback);
+                } else {
+                    self.incidents.resolve_for_alert(
+                        &event.alert,
+                        event.window_index,
+                        event.at_ms,
+                    );
+                }
+            }
+            self.recheck_abnormal(&window_abnormal, window_index);
+        }
+
+        for (event, _) in events {
             self.alert_log.push_back(event);
             while self.alert_log.len() > self.cfg.alert_log_capacity {
                 self.alert_log.pop_front();
@@ -923,6 +1026,209 @@ impl LiveMonitor {
         self.last_window_records = std::mem::take(&mut self.window_records);
         self.window_records_dropped = 0;
         self.last_window = Some(snap);
+    }
+
+    /// Registers an incident for a just-fired alert, populates its add-only
+    /// hypothesis graph from retained evidence, and runs the automatic
+    /// elimination passes that are decidable at open time.
+    fn open_incident(&mut self, event: &AlertEvent, lookback_windows: u64) {
+        let cfg = self.cfg.incidents.clone();
+        let breach = event.window_index;
+        let at_ms = event.at_ms;
+        // The baseline is the newest still-resolvable window from *before*
+        // the sustained breach: `lookback` windows back, or the nearest
+        // older survivor (ring or spill) when that exact ordinal aged out.
+        let baseline = breach
+            .checked_sub(lookback_windows)
+            .and_then(|candidate| self.history.newest_at_or_before(candidate));
+        let breach_entry = self.history.lookup(breach).map(|e| e.into_owned());
+        let baseline_entry =
+            baseline.and_then(|b| self.history.lookup(b).map(|e| e.into_owned()));
+        let id = self.incidents.open(&event.alert, breach, baseline, at_ms);
+
+        // Evidence 1: top flamegraph-diff regressions, breach vs baseline.
+        let mut regressions: Vec<(u64, String, i64)> = Vec::new();
+        if let (Some(bl), Some(be)) = (&baseline_entry, &breach_entry) {
+            let diff = diff_folded(&bl.folded, &be.folded);
+            let entry = self.incidents.get_mut(id).expect("just opened");
+            for (stack, delta) in
+                diff.into_iter().filter(|(_, d)| *d > 0).take(cfg.top_regressions)
+            {
+                let hyp = entry.add_hypothesis(
+                    HypothesisKind::FlamegraphRegression,
+                    stack.clone(),
+                    format!(
+                        "self time {delta:+}ns in breach window {breach} vs baseline window {}",
+                        bl.window.index
+                    ),
+                    delta as u64,
+                    breach,
+                    at_ms,
+                );
+                regressions.push((hyp, stack, delta));
+            }
+        }
+
+        // Evidence 2: recently abnormal chains, with their DSCG renders
+        // when the completed-chain ring still holds them.
+        let mut picked: Vec<(Uuid, String)> = Vec::new();
+        for (chain, message) in self.recent_abnormal.iter().rev() {
+            if picked.iter().any(|(c, _)| c == chain) {
+                continue;
+            }
+            picked.push((*chain, message.clone()));
+            if picked.len() >= cfg.max_abnormal {
+                break;
+            }
+        }
+        for (chain, message) in picked {
+            let mut detail = message;
+            if let Some((_, completions)) =
+                self.recent_chains.iter().rev().find(|(c, _)| *c == chain)
+            {
+                detail.push('\n');
+                detail.push_str(&render::completed_chain_ascii(chain, completions, &self.vocab));
+            }
+            let entry = self.incidents.get_mut(id).expect("just opened");
+            entry.add_hypothesis(
+                HypothesisKind::AbnormalChain,
+                chain.to_string(),
+                detail,
+                0,
+                breach,
+                at_ms,
+            );
+        }
+
+        // Evidence 3: hottest folded stacks of the breach window itself.
+        let mut hot: Vec<(String, u64)> = breach_entry
+            .as_ref()
+            .map(|be| be.folded.iter().map(|(s, ns)| (s.clone(), *ns)).collect())
+            .unwrap_or_default();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let total_self_ns: u64 = hot.iter().map(|(_, ns)| ns).sum();
+        let mut hot_ids: Vec<(u64, u64)> = Vec::new();
+        {
+            let entry = self.incidents.get_mut(id).expect("just opened");
+            for (stack, self_ns) in hot.into_iter().take(cfg.top_stacks) {
+                let share = if total_self_ns == 0 {
+                    0.0
+                } else {
+                    self_ns as f64 / total_self_ns as f64
+                };
+                let hyp = entry.add_hypothesis(
+                    HypothesisKind::HotStack,
+                    stack,
+                    format!(
+                        "{self_ns}ns self time in breach window {breach} ({:.1}% of window self time)",
+                        share * 100.0
+                    ),
+                    self_ns,
+                    breach,
+                    at_ms,
+                );
+                hot_ids.push((hyp, self_ns));
+            }
+            let populated = entry.hypotheses().len();
+            entry.note(
+                breach,
+                format!("auto-populated {populated} hypotheses from retained evidence"),
+                at_ms,
+            );
+        }
+        self.incidents.refresh_gauges();
+
+        // Pass 1 (baseline-presence): a "regression" whose stack already
+        // spent comparable self time in the baseline window grew, it did
+        // not appear — rule it out as the novel cause.
+        if let Some(bl) = &baseline_entry {
+            for (hyp, stack, delta) in &regressions {
+                let baseline_ns = bl.folded.get(stack).copied().unwrap_or(0);
+                if baseline_ns > 0 && (*delta as u64) < baseline_ns {
+                    let _ = self.incidents.eliminate(
+                        id,
+                        *hyp,
+                        incident::PASS_BASELINE,
+                        &format!(
+                            "regression also present in baseline window {}: {baseline_ns}ns \
+                             there vs a {delta:+}ns delta",
+                            bl.window.index
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Pass 2 (stack-floor): hot stacks below the share floor are
+        // background noise — except the heaviest one, which always survives
+        // so the hot-stack evidence can never eliminate itself entirely.
+        if total_self_ns > 0 {
+            let heaviest = hot_ids.iter().map(|(_, ns)| *ns).max().unwrap_or(0);
+            let mut spared = false;
+            for (hyp, self_ns) in &hot_ids {
+                if *self_ns == heaviest && !spared {
+                    spared = true;
+                    continue;
+                }
+                let share = *self_ns as f64 / total_self_ns as f64;
+                if share < cfg.stack_share_floor {
+                    let _ = self.incidents.eliminate(
+                        id,
+                        *hyp,
+                        incident::PASS_STACK_FLOOR,
+                        &format!(
+                            "stack share {:.2}% of breach-window self time is below the \
+                             {:.2}% floor",
+                            share * 100.0,
+                            cfg.stack_share_floor * 100.0
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The re-check elimination pass, run at every window close: a live
+    /// abnormal-chain hypothesis whose chain has no open work left and
+    /// produced no new abnormality this window completed normally after
+    /// all — tombstone it. Hypotheses added this very window are spared
+    /// (their evidence has not had a full window to re-prove itself).
+    fn recheck_abnormal(&mut self, window_abnormal: &[Uuid], window_index: u64) {
+        let mut targets: Vec<(u64, u64, Uuid)> = Vec::new();
+        for entry in self.incidents.iter() {
+            if !entry.is_open() {
+                continue;
+            }
+            for h in entry.hypotheses() {
+                if h.kind == HypothesisKind::AbnormalChain
+                    && !entry.is_eliminated(h.id)
+                    && h.added_window < window_index
+                {
+                    if let Ok(chain) = h.subject.parse::<Uuid>() {
+                        targets.push((entry.id, h.id, chain));
+                    }
+                }
+            }
+        }
+        if targets.is_empty() {
+            return;
+        }
+        let open: Vec<Uuid> =
+            self.analyzer.open_chain_summaries().iter().map(|s| s.chain).collect();
+        for (incident_id, hypothesis, chain) in targets {
+            if open.contains(&chain) || window_abnormal.contains(&chain) {
+                continue;
+            }
+            let _ = self.incidents.eliminate(
+                incident_id,
+                hypothesis,
+                incident::PASS_CHAIN_RECHECK,
+                &format!(
+                    "chain completed normally on re-check at window {window_index} \
+                     (no open work, no new abnormality)"
+                ),
+            );
+        }
     }
 
     fn export_window_gauges(&mut self, snap: &WindowSnapshot) {
@@ -1256,10 +1562,15 @@ impl LiveMonitor {
     }
 
     /// The `/healthz` JSON body and HTTP status: 200 while no alert fires,
-    /// 503 with the firing names otherwise.
+    /// 503 with the firing names otherwise. Besides liveness counters the
+    /// body reports time-travel health — current window ordinal, history
+    /// evictions, and spill error state — so a scraper can tell when the
+    /// evidence an incident would need has started to rot.
     pub fn health_json(&self) -> (u16, Json) {
         let active = self.active_alerts();
         let status = if active.is_empty() { 200 } else { 503 };
+        let open_incidents =
+            self.incidents.iter().filter(|i| i.is_open()).count();
         let body = Json::obj([
             (
                 "status",
@@ -1270,8 +1581,110 @@ impl LiveMonitor {
             ("buffered_records", Json::Num(self.analyzer.buffered_records() as f64)),
             ("completed_calls", Json::Num(self.total_completed as f64)),
             ("abnormalities", Json::Num(self.total_abnormalities as f64)),
+            (
+                "window_index",
+                self.last_window
+                    .as_ref()
+                    .map_or(Json::Null, |w| Json::Num(w.index as f64)),
+            ),
+            ("history_evictions", Json::Num(self.history.evictions() as f64)),
+            ("spill_errors", Json::Num(self.history.spill_errors() as f64)),
+            (
+                "spill_error",
+                self.spill_error.as_ref().map_or(Json::Null, |e| Json::Str(e.clone())),
+            ),
+            ("open_incidents", Json::Num(open_incidents as f64)),
         ]);
         (status, body)
+    }
+
+    /// The `GET /alerts` JSON body: the bounded alert-transition log,
+    /// oldest first.
+    pub fn alerts_json(&self) -> Json {
+        let alerts = self
+            .alert_log
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("alert", Json::Str(e.alert.clone())),
+                    ("fired", Json::Bool(e.fired)),
+                    ("window_index", Json::Num(e.window_index as f64)),
+                    ("at_ms", Json::Num(e.at_ms as f64)),
+                    ("value", Json::Num(e.value)),
+                    ("threshold", Json::Num(e.threshold)),
+                ])
+            })
+            .collect();
+        Json::obj([("alerts", Json::Arr(alerts))])
+    }
+
+    /// The retained incidents, for in-process inspection.
+    pub fn incidents(&self) -> &IncidentStore {
+        &self.incidents
+    }
+
+    /// The `GET /incidents` index body.
+    pub fn incidents_json(&self) -> Json {
+        self.incidents.index_json()
+    }
+
+    /// The `GET /incidents?id=N` detail body: full add-only graph
+    /// (hypotheses + tombstones + timeline) and the query-time surviving
+    /// set. `None` when the incident is unknown or already evicted.
+    pub fn incident_json(&self, id: u64) -> Option<Json> {
+        self.incidents.get(id).map(Incident::detail_json)
+    }
+
+    /// Applies an operator tombstone from a `POST /incidents/eliminate`
+    /// body: `{"incident": N, "hypothesis": M, "pass"?: "...",
+    /// "reason"?: "..."}`. Returns the acknowledgement body, or the HTTP
+    /// status + message to reject with (400 malformed, 404 unknown target).
+    pub fn eliminate_json(&mut self, body: &[u8]) -> Result<Json, (u16, String)> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| (400, "body must be UTF-8 JSON".to_owned()))?;
+        let parsed =
+            json::parse(text).map_err(|e| (400, format!("bad JSON body: {e}")))?;
+        let number = |key: &str| -> Result<u64, (u16, String)> {
+            match parsed.get(key) {
+                Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+                _ => Err((400, format!("{key:?} must be a non-negative integer"))),
+            }
+        };
+        let incident_id = number("incident")?;
+        let hypothesis = number("hypothesis")?;
+        let pass = match parsed.get("pass") {
+            None => incident::PASS_OPERATOR.to_owned(),
+            Some(Json::Str(p))
+                if !p.is_empty()
+                    && p.len() <= incident::MAX_PASS_LEN
+                    && p.bytes().all(|b| {
+                        b.is_ascii_alphanumeric() || b == b'-' || b == b'_'
+                    }) =>
+            {
+                p.clone()
+            }
+            Some(_) => {
+                return Err((
+                    400,
+                    "\"pass\" must be a short [A-Za-z0-9_-] name".to_owned(),
+                ))
+            }
+        };
+        let reason = match parsed.get("reason") {
+            None => "eliminated by operator".to_owned(),
+            Some(Json::Str(r)) => r.clone(),
+            Some(_) => return Err((400, "\"reason\" must be a string".to_owned())),
+        };
+        let surviving = self
+            .incidents
+            .eliminate(incident_id, hypothesis, &pass, &reason)
+            .map_err(|e| (404, e.to_string()))?;
+        Ok(Json::obj([
+            ("incident", Json::Num(incident_id as f64)),
+            ("hypothesis", Json::Num(hypothesis as f64)),
+            ("pass", Json::Str(pass)),
+            ("surviving", Json::Num(surviving as f64)),
+        ]))
     }
 
     /// The `/chains` JSON body: every chain with unfinished work.
@@ -1420,9 +1833,11 @@ impl Drop for LiveService {
 /// `/chains`, `/latency[?iface=..&method=..]` (series index without a
 /// filter), `/flamegraph[?window=k]`, `/flamegraph/diff?a=..&b=..`,
 /// `/history`, `/dscg[?chain=..&format=dot]`, `/trace` (Chrome trace of
-/// the last window). The ticker advances window time a few times per
-/// slice, so idle systems keep rotating windows without relying on scrape
-/// traffic.
+/// the last window), `/alerts` (the transition log), `/incidents`
+/// (index, or `?id=N` for the full hypothesis graph) and
+/// `POST /incidents/eliminate` (operator tombstones). The ticker advances
+/// window time a few times per slice, so idle systems keep rotating
+/// windows without relying on scrape traffic.
 pub fn serve(monitor: Arc<Mutex<LiveMonitor>>, addr: &str) -> std::io::Result<LiveService> {
     let on = |monitor: &Arc<Mutex<LiveMonitor>>,
               f: fn(&mut LiveMonitor, &Request) -> Response|
@@ -1518,6 +1933,35 @@ pub fn serve(monitor: Arc<Mutex<LiveMonitor>>, addr: &str) -> std::io::Result<Li
         (
             "/trace".to_owned(),
             on(&monitor, |m, _| Response::json(200, m.trace_json())),
+        ),
+        (
+            "/alerts".to_owned(),
+            on(&monitor, |m, _| Response::json(200, m.alerts_json().to_string())),
+        ),
+        (
+            "/incidents".to_owned(),
+            on(&monitor, |m, req| match req.query_param("id") {
+                None => Response::json(200, m.incidents_json().to_string()),
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(id) => match m.incident_json(id) {
+                        Some(body) => Response::json(200, body.to_string()),
+                        None => Response::text(404, format!("incident {id} is not retained\n")),
+                    },
+                    Err(_) => Response::text(400, "id must be an incident number\n"),
+                },
+            }),
+        ),
+        (
+            "/incidents/eliminate".to_owned(),
+            on(&monitor, |m, req| {
+                if req.method != "POST" {
+                    return Response::text(405, "POST a JSON tombstone here\n");
+                }
+                match m.eliminate_json(&req.body) {
+                    Ok(body) => Response::json(200, body.to_string()),
+                    Err((status, why)) => Response::text(status, why + "\n"),
+                }
+            }),
         ),
     ];
     let server = HttpServer::bind(addr, routes)?;
@@ -2074,6 +2518,210 @@ mod tests {
 
         let (status, _) = get("/nope");
         assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn alert_firing_opens_incident_with_evidence_and_passes() {
+        let mut m = monitor();
+        m.add_rule(AlertRule {
+            name: "p95-high".to_owned(),
+            metric: AlertMetric::P95,
+            series: Some((InterfaceId(0), MethodIndex(0))),
+            cmp: AlertCmp::Above,
+            fire_threshold: 1_000_000.0, // 1ms
+            resolve_threshold: 1_000_000.0,
+            for_windows: 2,
+        });
+
+        // W0/W1 baseline: both methods quick. W2/W3 breach: `run` regresses
+        // 500×, `poll` drifts from 10µs to 12µs — a decoy regression that
+        // was already present in the baseline.
+        let mut chain = 1u128;
+        let mut drive = |window: u64, run_ns: u64, poll_ns: u64, m: &mut LiveMonitor| {
+            let at = window * WINDOW_NS + 5;
+            m.ingest_batch_at(sync_call(chain, 0, 0, run_ns), at);
+            m.ingest_batch_at(sync_call(chain + 1, 0, 1, poll_ns), at + 10);
+            chain += 2;
+        };
+        for w in 0..2 {
+            drive(w, 10_000, 10_000, &mut m);
+        }
+        for w in 2..4 {
+            drive(w, 5_000_000, 12_000, &mut m);
+        }
+        m.tick_at(4 * WINDOW_NS); // finalize W3: for=2 satisfied, fires
+
+        let fires: Vec<&AlertEvent> = m.alert_log().filter(|e| e.fired).collect();
+        assert_eq!(fires.len(), 1, "exactly one firing transition");
+        assert!(fires[0].at_ms > 0, "wall-clock stamp present");
+
+        assert_eq!(m.incidents().len(), 1);
+        let incident = m.incidents().iter().next().expect("registered");
+        assert!(incident.is_open());
+        assert_eq!(incident.breach_window, 3);
+        // for=2 lookback from W3 → baseline W1, before the excursion.
+        assert_eq!(incident.baseline_window, Some(1));
+
+        // The true regression survives as the heaviest flamegraph-diff
+        // hypothesis; the decoy is tombstoned by the baseline-presence pass
+        // with provenance, yet still present in the add-only graph.
+        let surviving = incident.surviving();
+        assert!(
+            surviving.iter().any(|h| {
+                h.kind == HypothesisKind::FlamegraphRegression
+                    && h.subject.contains("Test::Alpha.run")
+            }),
+            "true cause must survive: {surviving:?}"
+        );
+        let decoy = incident
+            .hypotheses()
+            .iter()
+            .find(|h| {
+                h.kind == HypothesisKind::FlamegraphRegression
+                    && h.subject.contains("Test::Alpha.poll")
+            })
+            .expect("decoy hypothesis stays in the graph");
+        assert!(incident.is_eliminated(decoy.id), "decoy tombstoned");
+        let tombstone = incident
+            .tombstones()
+            .iter()
+            .find(|t| t.hypothesis == decoy.id)
+            .expect("tombstone recorded");
+        assert_eq!(tombstone.pass, incident::PASS_BASELINE);
+        assert!(tombstone.evidence.contains("baseline window 1"), "{tombstone:?}");
+        assert!(tombstone.at_ms > 0, "tombstones carry wall-clock provenance");
+
+        // The alert calming resolves the incident (for=2 calm windows).
+        let incident_id = incident.id;
+        for w in 4..6 {
+            drive(w, 10_000, 10_000, &mut m);
+        }
+        m.tick_at(7 * WINDOW_NS);
+        let incident = m.incidents().get(incident_id).expect("still retained");
+        assert!(!incident.is_open(), "resolved with the alert");
+        assert_eq!(incident.resolved_window, Some(5));
+    }
+
+    #[test]
+    fn incident_http_surface_and_error_paths() {
+        let m = Arc::new(Mutex::new(monitor()));
+        let incident_id = {
+            let mut guard = m.lock().unwrap();
+            guard.ingest_batch_at(sync_call(1, 0, 0, 50_000), 10);
+            let id = guard.incidents.open("test-alert", 3, Some(1), 123);
+            let entry = guard.incidents.get_mut(id).unwrap();
+            entry.add_hypothesis(
+                HypothesisKind::FlamegraphRegression,
+                "Test::Alpha.run".to_owned(),
+                "self time +5000000ns".to_owned(),
+                5_000_000,
+                3,
+                123,
+            );
+            entry.add_hypothesis(
+                HypothesisKind::HotStack,
+                "Test::Alpha.poll".to_owned(),
+                "12000ns self time".to_owned(),
+                12_000,
+                3,
+                123,
+            );
+            id
+        };
+        let server = serve(Arc::clone(&m), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let roundtrip = |request: String| -> (u16, String) {
+            use std::io::{Read, Write};
+            let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+            conn.write_all(request.as_bytes()).expect("send");
+            let mut raw = String::new();
+            conn.read_to_string(&mut raw).expect("read");
+            let status: u16 =
+                raw.split_whitespace().nth(1).expect("status").parse().expect("numeric");
+            let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+            (status, body)
+        };
+        let get = |path: &str| {
+            roundtrip(format!(
+                "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+            ))
+        };
+        let post = |path: &str, body: &str| {
+            roundtrip(format!(
+                "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            ))
+        };
+
+        // The index and detail bodies.
+        let (status, index) = get("/incidents");
+        assert_eq!(status, 200);
+        let index = causeway_collector::json::parse(&index).expect("valid JSON");
+        assert_eq!(index.get("incidents").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        let (status, detail) = get(&format!("/incidents?id={incident_id}"));
+        assert_eq!(status, 200);
+        let detail = causeway_collector::json::parse(&detail).expect("valid JSON");
+        assert_eq!(
+            detail.get("surviving").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+
+        // An operator tombstone shrinks the surviving set but not the graph.
+        let (status, ack) = post(
+            "/incidents/eliminate",
+            &format!(
+                "{{\"incident\": {incident_id}, \"hypothesis\": 1, \
+                 \"reason\": \"known-benign poll path\"}}"
+            ),
+        );
+        assert_eq!(status, 200, "{ack}");
+        let (_, detail) = get(&format!("/incidents?id={incident_id}"));
+        let detail = causeway_collector::json::parse(&detail).expect("valid JSON");
+        assert_eq!(
+            detail.get("surviving").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(
+            detail.get("hypotheses").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2),
+            "add-only: the graph never shrinks"
+        );
+        let tombstones = detail.get("tombstones").and_then(Json::as_arr).expect("array");
+        assert_eq!(tombstones.len(), 1);
+        assert_eq!(tombstones[0].get("pass").and_then(Json::as_str), Some("operator"));
+
+        // Error paths stay bounded: garbage uuid, missing diff ordinal,
+        // unknown incident, malformed id, bad POST targets and bodies.
+        let (status, _) = get("/dscg?chain=not-a-uuid");
+        assert_eq!(status, 404);
+        let (status, _) = get("/flamegraph/diff?a=0");
+        assert_eq!(status, 400, "one missing ordinal");
+        let (status, _) = get("/incidents?id=999");
+        assert_eq!(status, 404);
+        let (status, _) = get("/incidents?id=abc");
+        assert_eq!(status, 400);
+        let (status, _) = get("/incidents/eliminate");
+        assert_eq!(status, 405, "tombstones arrive by POST only");
+        let (status, _) = post("/incidents/eliminate", "{\"incident\": 0}");
+        assert_eq!(status, 400, "missing hypothesis id");
+        let (status, _) = post("/incidents/eliminate", "not json");
+        assert_eq!(status, 400);
+        let (status, _) = post(
+            "/incidents/eliminate",
+            &format!("{{\"incident\": {incident_id}, \"hypothesis\": 99}}"),
+        );
+        assert_eq!(status, 404, "unknown hypothesis");
+
+        // An oversized declared body is rejected up front with 413.
+        let (status, _) = roundtrip(format!(
+            "POST /incidents/eliminate HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n",
+            causeway_core::httpd::MAX_BODY_BYTES + 1
+        ));
+        assert_eq!(status, 413);
         server.shutdown();
     }
 

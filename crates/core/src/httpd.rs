@@ -4,12 +4,15 @@
 //! status/scrape endpoint, and the vendored-deps policy (`DESIGN.md` §6)
 //! rules out `hyper`-class frameworks — so this module hand-rolls the tiny
 //! slice of HTTP that a Prometheus scraper, `curl`, and a browser actually
-//! need: parse a `GET` request line plus its query string, route it by
-//! exact path, and write one `Connection: close` response.
+//! need: parse a `GET`/`HEAD`/`POST` request line plus its query string,
+//! read a size-capped `Content-Length` body ([`MAX_BODY_BYTES`], rejected
+//! 413 beyond it — the incident-forensics eliminate endpoint takes small
+//! JSON commands), route by exact path, and write one `Connection: close`
+//! response.
 //!
-//! Deliberate non-goals: keep-alive, request bodies, chunked encoding, TLS.
-//! Every scrape is one short-lived connection, which keeps the server loop
-//! trivially correct and the per-request overhead measurable (the
+//! Deliberate non-goals: keep-alive, chunked encoding, TLS. Every request
+//! is one short-lived connection, which keeps the server loop trivially
+//! correct and the per-request overhead measurable (the
 //! `smoke_live_endpoint` CI gate holds it under 1.2× ingest throughput at
 //! a 10 Hz scrape rate).
 //!
@@ -44,15 +47,24 @@ const MAX_LINE_BYTES: u64 = 8 * 1024;
 /// rejected with a 400.
 const MAX_HEADER_BYTES: u64 = 32 * 1024;
 
-/// One parsed request: method, decoded path, and query parameters.
+/// Largest accepted request body, bytes. A `Content-Length` beyond this is
+/// answered 413 without reading the body — the only consumers are small
+/// JSON command endpoints, and an unbounded read would hand any client the
+/// same memory lever the line/header caps close.
+pub const MAX_BODY_BYTES: u64 = 64 * 1024;
+
+/// One parsed request: method, decoded path, query parameters, and body.
 #[derive(Debug, Clone)]
 pub struct Request {
-    /// The HTTP method (`GET`, `HEAD`, …), uppercase.
+    /// The HTTP method (`GET`, `HEAD`, `POST`), uppercase.
     pub method: String,
     /// The path component, without the query string.
     pub path: String,
     /// Decoded query parameters in order of appearance.
     pub query: Vec<(String, String)>,
+    /// The request body (empty unless the client sent `Content-Length`;
+    /// at most [`MAX_BODY_BYTES`]).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -106,6 +118,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            413 => "Payload Too Large",
             503 => "Service Unavailable",
             _ => "Response",
         }
@@ -256,10 +269,12 @@ fn serve_connection(stream: TcpStream, shared: &ServerShared) {
         }
         Ok(_) => {}
     }
-    // Drain headers until the blank line; this server ignores them (GET
-    // only, no bodies, always Connection: close) but bounds how much a
-    // client may send before the response.
+    // Drain headers until the blank line. The only header this server acts
+    // on is `Content-Length` (for POST bodies); the loop still bounds how
+    // much a client may send before the response.
     let mut header_bytes = 0u64;
+    let mut content_length: Option<u64> = None;
+    let mut bad_content_length = false;
     loop {
         let mut header = String::new();
         match (&mut reader).take(MAX_LINE_BYTES).read_line(&mut header) {
@@ -273,6 +288,14 @@ fn serve_connection(stream: TcpStream, shared: &ServerShared) {
                     reject(stream, reader, shared, "headers too large\n");
                     return;
                 }
+                if let Some((name, value)) = header.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        match value.trim().parse::<u64>() {
+                            Ok(len) => content_length = Some(len),
+                            Err(_) => bad_content_length = true,
+                        }
+                    }
+                }
             }
             Err(_) => {
                 reject(stream, reader, shared, "incomplete request\n");
@@ -280,9 +303,31 @@ fn serve_connection(stream: TcpStream, shared: &ServerShared) {
             }
         }
     }
+    if bad_content_length {
+        reject(stream, reader, shared, "bad Content-Length\n");
+        return;
+    }
+    // Read the declared body before dispatch, size-capped like the header
+    // limits: an oversized declaration is refused outright (never buffered),
+    // a short read (client stalled or lied) is a 400.
+    let mut body = Vec::new();
+    if let Some(len) = content_length {
+        if len > MAX_BODY_BYTES {
+            reject_with(stream, reader, shared, 413, "request body too large\n");
+            return;
+        }
+        body.resize(len as usize, 0);
+        if reader.read_exact(&mut body).is_err() {
+            reject(stream, reader, shared, "incomplete request body\n");
+            return;
+        }
+    }
 
     let response = match parse_request_line(&request_line) {
-        Some(request) if request.method == "GET" || request.method == "HEAD" => {
+        Some(mut request)
+            if matches!(request.method.as_str(), "GET" | "HEAD" | "POST") =>
+        {
+            request.body = body;
             shared.requests.inc();
             let handler = shared
                 .routes
@@ -294,7 +339,7 @@ fn serve_connection(stream: TcpStream, shared: &ServerShared) {
                 None => Response::not_found(),
             }
         }
-        Some(_) => Response::text(405, "only GET is served here\n"),
+        Some(_) => Response::text(405, "only GET, HEAD and POST are served here\n"),
         None => Response::text(400, "malformed request line\n"),
     };
     write_response(stream, &response, request_line.starts_with("HEAD "));
@@ -304,9 +349,21 @@ fn serve_connection(stream: TcpStream, shared: &ServerShared) {
 /// amount of whatever the client is still sending, so closing the socket
 /// does not RST the response out from under a well-meaning-but-sloppy
 /// client.
-fn reject(stream: TcpStream, mut reader: BufReader<TcpStream>, shared: &ServerShared, why: &str) {
+fn reject(stream: TcpStream, reader: BufReader<TcpStream>, shared: &ServerShared, why: &str) {
+    reject_with(stream, reader, shared, 400, why);
+}
+
+/// [`reject`] with an explicit status (400 for malformed, 413 for an
+/// oversized declared body).
+fn reject_with(
+    stream: TcpStream,
+    mut reader: BufReader<TcpStream>,
+    shared: &ServerShared,
+    status: u16,
+    why: &str,
+) {
     shared.errors.inc();
-    write_response(stream, &Response::text(400, why), false);
+    write_response(stream, &Response::text(status, why), false);
     // Drain on the server's configured patience, capped so a generous
     // production read_timeout cannot pin a rejected connection for seconds.
     let drain_timeout = shared.read_timeout.min(Duration::from_millis(250));
@@ -354,7 +411,7 @@ fn parse_request_line(line: &str) -> Option<Request> {
             None => (percent_decode(pair), String::new()),
         })
         .collect();
-    Some(Request { method, path: percent_decode(path), query })
+    Some(Request { method, path: percent_decode(path), query, body: Vec::new() })
 }
 
 /// Decodes `%XX` escapes and `+`-for-space. Invalid escapes pass through
@@ -451,13 +508,109 @@ mod tests {
     }
 
     #[test]
-    fn non_get_methods_are_405() {
+    fn unsupported_methods_are_405() {
         let server = ping_server();
         let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
-        write!(stream, "POST /ping HTTP/1.1\r\n\r\n").expect("send");
+        write!(stream, "PUT /ping HTTP/1.1\r\n\r\n").expect("send");
         let mut raw = String::new();
         stream.read_to_string(&mut raw).expect("read");
         assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.shutdown();
+    }
+
+    /// A server with one echo route that reflects the POST body back.
+    fn post_server() -> HttpServer {
+        HttpServer::bind(
+            "127.0.0.1:0",
+            vec![(
+                "/submit".to_owned(),
+                Box::new(|req: &Request| {
+                    Response::text(
+                        200,
+                        format!(
+                            "{}:{}",
+                            req.method,
+                            String::from_utf8_lossy(&req.body)
+                        ),
+                    )
+                }) as Handler,
+            )],
+        )
+        .expect("bind ephemeral")
+    }
+
+    #[test]
+    fn post_bodies_reach_the_handler() {
+        let server = post_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let body = "{\"incident\": 1}";
+        write!(
+            stream,
+            "POST /submit HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        assert!(raw.ends_with(&format!("POST:{body}")), "{raw}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_buffering() {
+        let server = post_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        // Declare far over the cap but send nothing: the server must answer
+        // 413 from the declaration alone.
+        write!(
+            stream,
+            "POST /submit HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES * 16
+        )
+        .expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 413"), "{raw}");
+        // The server survives and keeps serving.
+        let mut ok = TcpStream::connect(server.local_addr()).expect("connect");
+        write!(ok, "POST /submit HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi").expect("send");
+        let mut raw = String::new();
+        ok.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_content_length_is_400() {
+        let server = post_server();
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write!(stream, "POST /submit HTTP/1.1\r\nContent-Length: banana\r\n\r\n").expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn short_body_times_out_to_400() {
+        let server = HttpServer::bind_with_read_timeout(
+            "127.0.0.1:0",
+            vec![(
+                "/submit".to_owned(),
+                Box::new(|_req: &Request| Response::text(200, "ok")) as Handler,
+            )],
+            Duration::from_millis(100),
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        // Declare 10 bytes, send 2, stall: the read timeout turns the short
+        // body into a clean 400 instead of pinning the thread.
+        write!(stream, "POST /submit HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi").expect("send");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("client timeout");
+        let mut raw = String::new();
+        let _ = stream.read_to_string(&mut raw);
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
         server.shutdown();
     }
 

@@ -22,6 +22,12 @@
 //! * `GET /dscg[?chain=UUID&format=dot]` — recently completed chains,
 //!   rendered as ascii call trees or Graphviz
 //! * `GET /trace` — Chrome trace of the last window
+//! * `GET /alerts` — the bounded alert-transition log, JSON
+//! * `GET /incidents[?id=N]` — incident forensics: index, or one
+//!   incident's add-only hypothesis graph (timeline + tombstones +
+//!   query-time surviving set)
+//! * `POST /incidents/eliminate` — operator tombstones
+//!   (`{"incident":N,"hypothesis":M,"reason":"..."}`)
 //!
 //! Durable mode: `--segment PATH` streams every drained chunk into a
 //! crash-safe binary segment (`causeway_collector::segment`) as it is
@@ -62,6 +68,9 @@ struct Args {
     spill: Option<PathBuf>,
     duration: Duration,
     jobs: usize,
+    incidents: bool,
+    incident_top: Option<usize>,
+    incident_floor: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -75,6 +84,9 @@ fn parse_args() -> Args {
         spill: None,
         duration: Duration::from_secs(10),
         jobs: 8,
+        incidents: true,
+        incident_top: None,
+        incident_floor: None,
     };
     let mut argv = std::env::args().skip(1);
     let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -122,11 +134,29 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--no-incidents" => args.incidents = false,
+            "--incident-top" => {
+                let top: usize =
+                    need(&mut argv, "--incident-top").parse().unwrap_or_else(|_| {
+                        eprintln!("--incident-top takes a hypothesis count");
+                        std::process::exit(2);
+                    });
+                args.incident_top = Some(top.max(1));
+            }
+            "--incident-floor" => {
+                let floor: f64 =
+                    need(&mut argv, "--incident-floor").parse().unwrap_or_else(|_| {
+                        eprintln!("--incident-floor takes a share in [0,1)");
+                        std::process::exit(2);
+                    });
+                args.incident_floor = Some(floor.clamp(0.0, 0.99));
+            }
             other => {
                 eprintln!(
                     "unknown argument {other:?}; flags: --listen ADDR --window SECS \
                      --alert RULE --burn RULE --history WINDOWS --segment PATH \
-                     --spill PATH --duration SECS --jobs N"
+                     --spill PATH --duration SECS --jobs N --no-incidents \
+                     --incident-top N --incident-floor SHARE"
                 );
                 std::process::exit(2);
             }
@@ -160,6 +190,14 @@ fn main() {
         config.history_windows = windows;
     }
     config.history_spill = args.spill.clone();
+    config.incidents.enabled = args.incidents;
+    if let Some(top) = args.incident_top {
+        config.incidents.top_regressions = top;
+        config.incidents.top_stacks = top;
+    }
+    if let Some(floor) = args.incident_floor {
+        config.incidents.stack_share_floor = floor;
+    }
 
     // Durable mode: every drained chunk is appended to a crash-safe binary
     // segment before it is handed to the in-memory monitor, so a crash
@@ -202,7 +240,8 @@ fn main() {
         });
         println!(
             "serving /metrics /healthz /chains /latency /flamegraph \
-             /flamegraph/diff /history /dscg /trace on http://{}",
+             /flamegraph/diff /history /dscg /trace /alerts /incidents on \
+             http://{}",
             server.local_addr()
         );
         server
@@ -384,6 +423,18 @@ fn main() {
                 agg.hist.quantile_ns(0.50),
                 agg.hist.quantile_ns(0.95),
                 agg.hist.quantile_ns(0.99),
+            );
+        }
+        for incident in guard.incidents().iter() {
+            let live = incident.surviving().len();
+            let total = incident.hypotheses().len();
+            println!(
+                "  incident #{} [{}] alert {:?}: {live}/{total} hypotheses \
+                 surviving, {} tombstone(s)",
+                incident.id,
+                if incident.is_open() { "open" } else { "resolved" },
+                incident.alert,
+                incident.tombstones().len(),
             );
         }
         assert!(guard.total_completed() > 0);

@@ -374,6 +374,195 @@ fn sustained_regression_fires_burn_alert_once_and_diff_names_culprit() {
     server.shutdown();
 }
 
+/// Incident forensics end to end: a sustained latency regression on the
+/// planted `inject` operation fires the burn rule exactly once, which
+/// auto-opens an incident whose flamegraph-diff hypotheses include the
+/// injected operation; the baseline-presence pass tombstones the `serve`
+/// decoy (slightly slower in the breach window, but already hot in the
+/// baseline) with provenance; and `/incidents?id=N` serves the query-time
+/// surviving set with the tombstoned hypotheses still present in the full
+/// graph (the add-only invariant), shrinking further under an operator
+/// `POST /incidents/eliminate`.
+#[test]
+fn incident_forensics_names_the_true_regression_over_http() {
+    const WINDOW_NS: u64 = 1_000_000_000;
+    const BASE_W: u64 = 1 << 30;
+
+    let mut live = LiveMonitor::new(
+        LiveConfig { window: Duration::from_nanos(WINDOW_NS), ..LiveConfig::default() },
+        two_method_vocab(),
+        causeway_core::deploy::Deployment::default(),
+    );
+    live.add_burn_rule_spec("burn=p95>1000us;slo=90;fast=3;slow=6").expect("burn spec parses");
+
+    // `serve` runs every window: 10µs calm, 15µs during the breach — a
+    // decoy regression (+5µs) that the baseline already mostly contains.
+    // `inject` appears only in the breach windows at 5ms — the true cause.
+    const CALM_NS: u64 = 10_000;
+    const DECOY_NS: u64 = 15_000;
+    const SLOW_NS: u64 = 5_000_000;
+    let mut chain = 0u128;
+    for w in 0..15u64 {
+        let at = (BASE_W + w) * WINDOW_NS + 5;
+        let breach = (7..=10).contains(&w);
+        chain += 1;
+        let serve_ns = if breach { DECOY_NS } else { CALM_NS };
+        live.ingest_batch_at(synthetic_call(chain, MethodIndex(0), serve_ns), at);
+        if breach {
+            chain += 1;
+            live.ingest_batch_at(synthetic_call(chain, MethodIndex(1), SLOW_NS), at);
+        }
+    }
+    live.tick_at((BASE_W + 16) * WINDOW_NS);
+
+    // The burn rule fires exactly once, on the third sustained window
+    // (2-of-3 fast AND 3-of-6 slow with this rule's budget).
+    let fires: Vec<_> = live.alert_log().filter(|e| e.fired).collect();
+    assert_eq!(fires.len(), 1, "exactly one firing transition: {fires:?}");
+    assert_eq!(fires[0].window_index, BASE_W + 9);
+    assert!(fires[0].at_ms > 0, "alert events carry a wall-clock stamp");
+
+    // The firing auto-opened one incident against the pre-breach baseline
+    // (fast=3 windows back from the breach).
+    assert_eq!(live.incidents().len(), 1);
+    let incident = live.incidents().iter().next().expect("auto-opened");
+    let incident_id = incident.id;
+    assert_eq!(incident.breach_window, BASE_W + 9);
+    assert_eq!(incident.baseline_window, Some(BASE_W + 6));
+    assert!(!incident.is_open(), "resolved when the burn rule calmed");
+
+    // The injected operation is a flamegraph-diff hypothesis and survives;
+    // the decoy is tombstoned by the baseline-presence pass with provenance.
+    assert!(
+        incident.surviving().iter().any(|h| h.subject.contains("Svc::Api.inject")),
+        "true cause survives: {:?}",
+        incident.surviving()
+    );
+    let decoy_id = incident
+        .hypotheses()
+        .iter()
+        .find(|h| {
+            h.kind == causeway_analyzer::incident::HypothesisKind::FlamegraphRegression
+                && h.subject.contains("Svc::Api.serve")
+        })
+        .expect("decoy regression hypothesis in the graph")
+        .id;
+    assert!(incident.is_eliminated(decoy_id));
+    let tombstone = incident
+        .tombstones()
+        .iter()
+        .find(|t| t.hypothesis == decoy_id)
+        .expect("tombstone with provenance");
+    assert_eq!(tombstone.pass, "baseline-presence");
+    assert!(tombstone.evidence.contains("baseline window"), "{tombstone:?}");
+    assert!(tombstone.at_ms > 0);
+
+    // Over HTTP: the index, the full graph, and an operator tombstone.
+    let live = Arc::new(Mutex::new(live));
+    let server = serve(Arc::clone(&live), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let roundtrip = |request: String| -> (u16, String) {
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        conn.write_all(request.as_bytes()).expect("send");
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).expect("read");
+        let status: u16 =
+            raw.split_whitespace().nth(1).expect("status").parse().expect("numeric");
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+        (status, body)
+    };
+    let get = |path: &str| {
+        roundtrip(format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"))
+    };
+
+    let (status, alerts) = get("/alerts");
+    assert_eq!(status, 200);
+    let alerts = json::parse(&alerts).expect("valid JSON");
+    let log = alerts.get("alerts").and_then(Json::as_arr).expect("alert log");
+    assert!(!log.is_empty());
+    assert!(
+        log.iter().all(|e| e.get("at_ms").and_then(Json::as_u64).is_some_and(|t| t > 0)),
+        "every served alert carries its wall-clock stamp: {alerts}"
+    );
+
+    let (status, index) = get("/incidents");
+    assert_eq!(status, 200);
+    let index = json::parse(&index).expect("valid JSON");
+    assert_eq!(index.get("incidents").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+
+    let (status, detail) = get(&format!("/incidents?id={incident_id}"));
+    assert_eq!(status, 200);
+    let detail = json::parse(&detail).expect("valid JSON");
+    let hypotheses = detail.get("hypotheses").and_then(Json::as_arr).expect("graph");
+    let surviving_of = |detail: &Json| -> Vec<u64> {
+        detail
+            .get("surviving")
+            .and_then(Json::as_arr)
+            .expect("surviving ids")
+            .iter()
+            .map(|j| j.as_u64().expect("id"))
+            .collect()
+    };
+    let surviving = surviving_of(&detail);
+    let subject_of = |id: u64| -> &str {
+        hypotheses
+            .iter()
+            .find(|h| h.get("id").and_then(Json::as_u64) == Some(id))
+            .and_then(|h| h.get("subject"))
+            .and_then(Json::as_str)
+            .expect("subject")
+    };
+    assert!(
+        surviving.iter().any(|id| subject_of(*id).contains("Svc::Api.inject")),
+        "served surviving set names the true regression: {detail}"
+    );
+    // Add-only invariant: the tombstoned decoy is still in the full graph,
+    // flagged eliminated, just not surviving.
+    let served_decoy = hypotheses
+        .iter()
+        .find(|h| h.get("id").and_then(Json::as_u64) == Some(decoy_id))
+        .expect("decoy still served in the graph");
+    assert_eq!(served_decoy.get("eliminated").and_then(Json::as_bool), Some(true));
+    assert!(!surviving.contains(&decoy_id));
+
+    // An operator tombstone via POST shrinks the surviving set further.
+    let victim = *surviving.last().expect("something survives");
+    let body = format!(
+        "{{\"incident\": {incident_id}, \"hypothesis\": {victim}, \
+         \"reason\": \"ruled out by hand\"}}"
+    );
+    let (status, ack) = roundtrip(format!(
+        "POST /incidents/eliminate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    ));
+    assert_eq!(status, 200, "{ack}");
+    let (_, after) = get(&format!("/incidents?id={incident_id}"));
+    let after = json::parse(&after).expect("valid JSON");
+    let now_surviving = surviving_of(&after);
+    assert_eq!(now_surviving.len(), surviving.len() - 1);
+    assert!(!now_surviving.contains(&victim));
+    assert!(
+        after
+            .get("tombstones")
+            .and_then(Json::as_arr)
+            .expect("tombstones")
+            .iter()
+            .any(|t| t.get("hypothesis").and_then(Json::as_u64) == Some(victim)
+                && t.get("pass").and_then(Json::as_str) == Some("operator")),
+        "operator tombstone with provenance: {after}"
+    );
+    // The graph itself never shrank.
+    assert_eq!(
+        after.get("hypotheses").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(hypotheses.len())
+    );
+
+    let (status, _) = get("/incidents?id=999999");
+    assert_eq!(status, 404);
+    server.shutdown();
+}
+
 /// The history-memory gate: after 10x `history_windows` window closes the
 /// store must still hold at most `history_windows` entries, within its byte
 /// cap, with every excess window counted as an eviction.
