@@ -445,14 +445,16 @@ pub struct IncidentStore {
 }
 
 impl IncidentStore {
-    /// Creates an empty store retaining at most `capacity` incidents
-    /// (at least 1).
+    /// Creates an empty store retaining at most `capacity` incidents. A
+    /// capacity of 0 retains nothing: every open is immediately evicted
+    /// (callers must treat a vanished just-opened incident as a skip, not
+    /// a bug — see `causeway_incident_dropped_total`).
     pub fn new(capacity: usize) -> IncidentStore {
         let registry = MetricsRegistry::global();
         IncidentStore {
             incidents: VecDeque::new(),
             next_id: 1,
-            capacity: capacity.max(1),
+            capacity,
             open_gauge: registry.gauge(
                 "causeway_incident_open",
                 "Registered incidents whose opening alert is still firing.",

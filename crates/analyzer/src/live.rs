@@ -10,7 +10,14 @@
 //!   **sliding** windows of per-(interface, method) latency (log2 streaming
 //!   histograms with p50/p95/p99), call rate, busy share and abnormality
 //!   rate, accumulates folded flamegraph stacks, and retains the last
-//!   window's raw records for Chrome-trace export.
+//!   window's raw records for Chrome-trace export. Ingestion is **sharded
+//!   by chain UUID**: each shard owns its analyzer, slice aggregates and
+//!   folded-stack maps behind its own lock, records route lock-free by
+//!   `uuid % shards`, and shard state merges into the window machinery at
+//!   window close — output is bit-identical to a serial monitor at any
+//!   shard count, because the cross-chain, order-sensitive effects are
+//!   replayed under one small control lock in the batch's chain
+//!   first-appearance order (the exact order a serial analyzer emits).
 //! * [`AlertRule`] / [`AlertEvent`] — declarative threshold alerts with
 //!   duration (`for=N` windows) and hysteresis (separate fire/resolve
 //!   thresholds); firing and resolving transitions are recorded as
@@ -35,6 +42,12 @@
 //!   `/incidents` (+ `POST /incidents/eliminate`) — and runs a background
 //!   ticker thread so windows rotate on idle systems.
 //!
+//! Lock discipline: the control lock may be taken alone or **before** shard
+//! locks (taken one at a time); a thread holding a shard lock never takes
+//! the control lock or another shard lock. Every internal lock site
+//! recovers from poisoning (a panicking handler or ingest thread must not
+//! take window rotation down with it), logging once per process.
+//!
 //! Time is explicit: every mutating entry point has an `_at(now_ns)` variant
 //! so tests are deterministic; the plain variants stamp with a monotonic
 //! clock started at construction.
@@ -58,7 +71,7 @@ use causeway_core::uuid::Uuid;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// A per-operation series key: the characterization unit of the paper's
@@ -95,6 +108,10 @@ pub struct LiveConfig {
     pub history_spill: Option<std::path::PathBuf>,
     /// Automatic incident forensics (see [`crate::incident`]).
     pub incidents: IncidentConfig,
+    /// Ingestion shards: records route by `uuid % shards`, so a chain's
+    /// records always land on one shard. Clamped to at least 1. Output is
+    /// shard-count independent; more shards reduce ingest lock contention.
+    pub shards: usize,
 }
 
 /// Configuration of automatic incident forensics: how the hypothesis graph
@@ -144,6 +161,7 @@ impl Default for LiveConfig {
             stack_capacity: 65_536,
             history_spill: None,
             incidents: IncidentConfig::default(),
+            shards: 4,
         }
     }
 }
@@ -583,18 +601,24 @@ pub fn parse_burn_rule(spec: &str, vocab: &VocabSnapshot) -> Result<BurnRule, St
 }
 
 /// Resolves `Iface::Name.method` against a vocabulary snapshot.
+///
+/// Positions are range-checked into their id types rather than truncated:
+/// a vocabulary larger than the id space must fail resolution, not silently
+/// alias an unrelated series.
 pub fn resolve_series(vocab: &VocabSnapshot, name: &str) -> Option<SeriesKey> {
     let (iface_name, method_name) = name.rsplit_once('.')?;
     let iface = vocab
         .interfaces
         .iter()
         .position(|e| e.name == iface_name)
-        .map(|i| InterfaceId(i as u32))?;
+        .and_then(|i| u32::try_from(i).ok())
+        .map(InterfaceId)?;
     let method = vocab.interfaces[iface.0 as usize]
         .methods
         .iter()
         .position(|m| m == method_name)
-        .map(|i| MethodIndex(i as u16))?;
+        .and_then(|i| u16::try_from(i).ok())
+        .map(MethodIndex)?;
     Some((iface, method))
 }
 
@@ -617,26 +641,86 @@ fn parse_value(spec: &str, latency: bool) -> Option<f64> {
         spec.parse::<f64>().ok()
     }
 }
-
 /// Per-chain buffered completions for flamegraph folding and streaming
 /// DSCG renders, in the analyzer's post-order emission order.
 type ChainCompletions = Vec<CompletedCall>;
 
-/// The live monitoring service core: windowed characterization over the
-/// on-line analyzer, plus alerting and exporters. Wrap in
-/// `Arc<Mutex<_>>` and hand to [`serve`] for the HTTP endpoints.
+/// Most recent abnormal chains retained as incident evidence.
+const RECENT_ABNORMAL_CAP: usize = 256;
+
+/// Distinct abnormal chains remembered per window for the re-check pass.
+const WINDOW_ABNORMAL_CAP: usize = 64;
+
+/// The shard a chain's records always land on: the stable `uuid mod N`
+/// shard function the offline pipeline (PR 3) routes by, so a chain's
+/// records are processed by exactly one shard in arrival order.
+fn shard_of(chain: Uuid, shards: usize) -> usize {
+    (chain.0 % shards as u128) as usize
+}
+
+/// Locks an internal monitor mutex, recovering from poisoning: a panicking
+/// handler or ingest thread must not take window rotation or the status
+/// endpoints down with it. Logged once per process.
+fn lock_recover<'a, T>(mutex: &'a Mutex<T>, what: &str) -> MutexGuard<'a, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            static WARNED: AtomicBool = AtomicBool::new(false);
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "causeway-live: {what} lock poisoned by a panic; \
+                     continuing with inner state"
+                );
+            }
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// One ingestion shard: the chains with `uuid % shards == index`, their
+/// Figure-4 reconstruction state, slice aggregates, and flamegraph folding
+/// — everything a chain's records touch that needs no cross-chain order.
 #[derive(Debug)]
-pub struct LiveMonitor {
-    cfg: LiveConfig,
+struct Shard {
     analyzer: OnlineAnalyzer,
-    vocab: VocabSnapshot,
-    deployment: Deployment,
-    started: Instant,
-    slice_ns: u64,
-    /// Closed slices, oldest first; at most `cfg.slices` retained.
-    closed: VecDeque<Slice>,
-    /// The accumulating slice and its absolute index, once time has started.
-    current: Option<(u64, Slice)>,
+    /// This shard's per-slice aggregates, keyed by absolute slice index.
+    /// Finalization prunes slices older than the window just closed.
+    slices: BTreeMap<u64, Slice>,
+    /// Slice indices below this were already folded into a finalized
+    /// window; a completion racing a window close lands here instead.
+    floor: u64,
+    chain_events: HashMap<Uuid, ChainCompletions>,
+    /// Cumulative folded flamegraph stacks (shard's share; capped).
+    folded: BTreeMap<String, u64>,
+    /// Stacks folded during the current tumbling window only (the
+    /// per-window delta merged into the history store at window close).
+    window_folded: BTreeMap<String, u64>,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            analyzer: OnlineAnalyzer::new(),
+            slices: BTreeMap::new(),
+            floor: 0,
+            chain_events: HashMap::new(),
+            folded: BTreeMap::new(),
+            window_folded: BTreeMap::new(),
+        }
+    }
+}
+
+/// The order-sensitive, cross-chain state: window machinery, alerting,
+/// history, incidents and the exporters' retained evidence. One small lock
+/// guards it; the expensive per-record work happens under shard locks.
+#[derive(Debug)]
+struct Control {
+    /// Absolute index of the accumulating slice, once time has started.
+    current: Option<u64>,
+    /// Closed slice positions still inside the sliding window, capped at
+    /// the slices-per-window count (empty positions count, matching the
+    /// serial monitor's closed-slice ring).
+    closed_len: u64,
     /// Raw records of the current tumbling window (capped) for `/trace`.
     window_records: Vec<ProbeRecord>,
     window_records_dropped: u64,
@@ -644,11 +728,6 @@ pub struct LiveMonitor {
     last_window: Option<WindowSnapshot>,
     alerts: Vec<AlertState>,
     alert_log: VecDeque<AlertEvent>,
-    chain_events: HashMap<Uuid, ChainCompletions>,
-    folded: BTreeMap<String, u64>,
-    /// Stacks folded during the current tumbling window only (the
-    /// per-window delta retained by the history store).
-    window_folded: BTreeMap<String, u64>,
     history: WindowHistory,
     /// Why the configured history spill could not be attached, if it
     /// couldn't — surfaced in `/history` so a durable-mode operator sees
@@ -661,7 +740,6 @@ pub struct LiveMonitor {
     recent_chain_calls: usize,
     /// Cumulative per-series call counts — the `/latency` index view.
     known_series: BTreeMap<SeriesKey, u64>,
-    stack_evictions: Counter,
     total_completed: u64,
     total_abnormalities: u64,
     window_gauges: HashMap<SeriesKey, [Gauge; 5]>,
@@ -675,11 +753,51 @@ pub struct LiveMonitor {
     recent_abnormal: VecDeque<(Uuid, String)>,
 }
 
-/// Most recent abnormal chains retained as incident evidence.
-const RECENT_ABNORMAL_CAP: usize = 256;
+/// A cross-chain, order-sensitive side effect of one analyzer event,
+/// collected per chain group under the shard lock and replayed under the
+/// control lock in batch first-appearance order — the exact order a serial
+/// analyzer would have emitted it.
+enum Effect {
+    /// A completed invocation: totals and the `/latency` index.
+    Completed { key: SeriesKey },
+    /// A Figure-4 reconstruction failure: totals and the evidence pools.
+    Abnormal { chain: Uuid, message: String },
+}
 
-/// Distinct abnormal chains remembered per window for the re-check pass.
-const WINDOW_ABNORMAL_CAP: usize = 64;
+/// One chain's contiguous event group from a shard's ingest, tagged with
+/// the chain's first-appearance rank in the original batch.
+struct ChainGroup {
+    chain: Uuid,
+    rank: usize,
+    effects: Vec<Effect>,
+    /// The chain's buffered completions when it went idle this batch.
+    idle: Option<ChainCompletions>,
+}
+
+/// The live monitoring service core: windowed characterization over the
+/// on-line analyzer, plus alerting and exporters. All methods take
+/// `&self` — ingestion shards by chain UUID behind per-shard locks, and
+/// the window/alert/incident machinery sits behind one control lock.
+/// Share via `Arc` and hand to [`serve`] for the HTTP endpoints.
+#[derive(Debug)]
+pub struct LiveMonitor {
+    cfg: LiveConfig,
+    vocab: VocabSnapshot,
+    deployment: Deployment,
+    started: Instant,
+    slice_ns: u64,
+    shards: Vec<Mutex<Shard>>,
+    control: Mutex<Control>,
+    stack_evictions: Counter,
+    /// Incidents evicted at open before their hypothesis graph could be
+    /// populated (capacity 0, or a tiny ring racing the open).
+    incident_dropped: Counter,
+    /// Process-global analyzer gauges, republished as sums over shards
+    /// after each ingest (per-shard `publish_metrics` would clobber the
+    /// global value with one shard's partial count).
+    online_open: Gauge,
+    online_buffered: Gauge,
+}
 
 impl LiveMonitor {
     /// Creates a monitor. The vocabulary and deployment snapshots label the
@@ -692,43 +810,70 @@ impl LiveMonitor {
         let spill_error = cfg.history_spill.as_ref().and_then(|path| {
             history.enable_spill(path).err().map(|e| format!("{}: {e}", path.display()))
         });
-        let stack_evictions = MetricsRegistry::global().counter(
+        let registry = MetricsRegistry::global();
+        let stack_evictions = registry.counter(
             "causeway_live_stack_evictions",
             "Folded stacks evicted from the capped flamegraph maps.",
         );
+        let incident_dropped = registry.counter(
+            "causeway_incident_dropped_total",
+            "Incidents evicted before their hypothesis graph could be populated.",
+        );
+        // Same names + help as the analyzer's own registrations: the
+        // registry hands back the same instruments, which the monitor sets
+        // to the summed values across shards.
+        let online_open = registry.gauge(
+            "causeway_online_open_chains",
+            "causal chains with open invocations or buffered records",
+        );
+        let online_buffered = registry.gauge(
+            "causeway_online_resequence_buffered",
+            "records buffered waiting for out-of-order predecessors",
+        );
         let incidents = IncidentStore::new(cfg.incidents.capacity);
+        let shards = (0..cfg.shards.max(1)).map(|_| Mutex::new(Shard::new())).collect();
         LiveMonitor {
             cfg,
-            analyzer: OnlineAnalyzer::new(),
             vocab,
             deployment,
             started: Instant::now(),
             slice_ns,
-            closed: VecDeque::new(),
-            current: None,
-            window_records: Vec::new(),
-            window_records_dropped: 0,
-            last_window_records: Vec::new(),
-            last_window: None,
-            alerts: Vec::new(),
-            alert_log: VecDeque::new(),
-            chain_events: HashMap::new(),
-            folded: BTreeMap::new(),
-            window_folded: BTreeMap::new(),
-            history,
-            spill_error,
-            burns: Vec::new(),
-            recent_chains: VecDeque::new(),
-            recent_chain_calls: 0,
-            known_series: BTreeMap::new(),
+            shards,
+            control: Mutex::new(Control {
+                current: None,
+                closed_len: 0,
+                window_records: Vec::new(),
+                window_records_dropped: 0,
+                last_window_records: Vec::new(),
+                last_window: None,
+                alerts: Vec::new(),
+                alert_log: VecDeque::new(),
+                history,
+                spill_error,
+                burns: Vec::new(),
+                recent_chains: VecDeque::new(),
+                recent_chain_calls: 0,
+                known_series: BTreeMap::new(),
+                total_completed: 0,
+                total_abnormalities: 0,
+                window_gauges: HashMap::new(),
+                incidents,
+                window_abnormal: Vec::new(),
+                recent_abnormal: VecDeque::new(),
+            }),
             stack_evictions,
-            total_completed: 0,
-            total_abnormalities: 0,
-            window_gauges: HashMap::new(),
-            incidents,
-            window_abnormal: Vec::new(),
-            recent_abnormal: VecDeque::new(),
+            incident_dropped,
+            online_open,
+            online_buffered,
         }
+    }
+
+    fn control_lock(&self) -> MutexGuard<'_, Control> {
+        lock_recover(&self.control, "control")
+    }
+
+    fn shard_lock(&self, index: usize) -> MutexGuard<'_, Shard> {
+        lock_recover(&self.shards[index], "shard")
     }
 
     /// Nanoseconds since this monitor was created (the default time base).
@@ -741,14 +886,19 @@ impl LiveMonitor {
         &self.vocab
     }
 
+    /// The number of ingestion shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Registers an alert rule.
-    pub fn add_rule(&mut self, rule: AlertRule) {
-        self.alerts.push(AlertState::new(rule));
+    pub fn add_rule(&self, rule: AlertRule) {
+        self.control_lock().alerts.push(AlertState::new(rule));
     }
 
     /// Parses and registers an alert rule spec (see [`parse_rule`]). A spec
     /// starting `burn=` registers a burn-rate rule instead.
-    pub fn add_rule_spec(&mut self, spec: &str) -> Result<(), String> {
+    pub fn add_rule_spec(&self, spec: &str) -> Result<(), String> {
         if spec.trim_start().starts_with("burn=") {
             return self.add_burn_rule_spec(spec);
         }
@@ -758,108 +908,195 @@ impl LiveMonitor {
     }
 
     /// Registers a multi-window SLO burn-rate rule.
-    pub fn add_burn_rule(&mut self, rule: BurnRule) {
-        self.burns.push(BurnState::new(rule));
+    pub fn add_burn_rule(&self, rule: BurnRule) {
+        self.control_lock().burns.push(BurnState::new(rule));
     }
 
     /// Parses and registers a burn-rate rule spec (see [`parse_burn_rule`]).
-    pub fn add_burn_rule_spec(&mut self, spec: &str) -> Result<(), String> {
+    pub fn add_burn_rule_spec(&self, spec: &str) -> Result<(), String> {
         let rule = parse_burn_rule(spec, &self.vocab)?;
         self.add_burn_rule(rule);
         Ok(())
     }
 
-    /// The retained-window history store.
-    pub fn history(&self) -> &WindowHistory {
-        &self.history
+    /// The retained-window history store, behind the control lock. Drop the
+    /// returned guard before calling other monitor methods — holding it
+    /// across them deadlocks.
+    pub fn history(&self) -> HistoryRef<'_> {
+        HistoryRef { guard: self.control_lock() }
     }
 
     /// Ingests a batch of probe records stamped with the monitor's clock.
-    pub fn ingest_batch(&mut self, records: Vec<ProbeRecord>) {
+    pub fn ingest_batch(&self, records: Vec<ProbeRecord>) {
         self.ingest_batch_at(records, self.now_ns());
     }
 
     /// Ingests a batch of probe records at an explicit time.
-    pub fn ingest_batch_at(&mut self, records: Vec<ProbeRecord>, now_ns: u64) {
-        self.roll_to(now_ns);
-        for record in &records {
-            if self.window_records.len() < self.cfg.trace_capacity {
-                self.window_records.push(record.clone());
-            } else {
-                self.window_records_dropped += 1;
+    ///
+    /// Three phases. A short control-locked phase advances window time and
+    /// retains raw records for `/trace`. Then records route lock-free by
+    /// `uuid % shards` (a chain's records always land on one shard, in
+    /// order) and each touched shard runs the Figure-4 reconstruction and
+    /// absorbs slice aggregates under its own lock — concurrent batches
+    /// only contend when they share a shard. Finally the cross-chain,
+    /// order-sensitive effects are replayed under the control lock in the
+    /// batch's chain first-appearance order — exactly the order a serial
+    /// analyzer emits its event groups, which is what makes sharded output
+    /// bit-identical to the serial monitor.
+    pub fn ingest_batch_at(&self, records: Vec<ProbeRecord>, now_ns: u64) {
+        let target = {
+            let mut c = self.control_lock();
+            self.roll_locked(&mut c, now_ns);
+            for record in &records {
+                if c.window_records.len() < self.cfg.trace_capacity {
+                    c.window_records.push(record.clone());
+                } else {
+                    c.window_records_dropped += 1;
+                }
+            }
+            c.current.expect("roll_locked sets current")
+        };
+
+        let n = self.shards.len();
+        let mut rank_of: HashMap<Uuid, usize> = HashMap::new();
+        let mut parts: Vec<Vec<ProbeRecord>> = (0..n).map(|_| Vec::new()).collect();
+        for record in records {
+            let next = rank_of.len();
+            rank_of.entry(record.uuid).or_insert(next);
+            parts[shard_of(record.uuid, n)].push(record);
+        }
+
+        let mut groups: Vec<ChainGroup> = Vec::new();
+        for (index, batch) in parts.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            // Shard guards drop before the control lock below: a thread
+            // holding a shard never waits on control (see module docs).
+            let mut shard = self.shard_lock(index);
+            let mut events = Vec::new();
+            shard.analyzer.ingest_batch_with_threads(batch, 1, &mut |e| events.push(e));
+            self.absorb_shard(&mut shard, target, events, &rank_of, &mut groups);
+        }
+        groups.sort_by_key(|g| g.rank);
+
+        {
+            let mut c = self.control_lock();
+            for group in &mut groups {
+                for effect in group.effects.drain(..) {
+                    match effect {
+                        Effect::Completed { key } => {
+                            c.total_completed += 1;
+                            *c.known_series.entry(key).or_insert(0) += 1;
+                        }
+                        Effect::Abnormal { chain, message } => {
+                            c.total_abnormalities += 1;
+                            if !c.window_abnormal.contains(&chain)
+                                && c.window_abnormal.len() < WINDOW_ABNORMAL_CAP
+                            {
+                                c.window_abnormal.push(chain);
+                            }
+                            c.recent_abnormal.push_back((chain, message));
+                            while c.recent_abnormal.len() > RECENT_ABNORMAL_CAP {
+                                c.recent_abnormal.pop_front();
+                            }
+                        }
+                    }
+                }
+            }
+            for group in groups {
+                if let Some(completions) = group.idle {
+                    self.retain_chain(&mut c, group.chain, completions);
+                }
             }
         }
-        let mut events = Vec::new();
-        self.analyzer.ingest_batch(records, &mut |e| events.push(e));
-        self.absorb(events);
-        self.analyzer.publish_metrics();
+        self.publish_online_gauges();
     }
 
     /// Advances window time with no new records (idle periods must still
     /// finalize windows so alerts can resolve).
-    pub fn tick(&mut self) {
+    pub fn tick(&self) {
         self.tick_at(self.now_ns());
     }
 
     /// Advances window time to an explicit instant.
-    pub fn tick_at(&mut self, now_ns: u64) {
-        self.roll_to(now_ns);
+    pub fn tick_at(&self, now_ns: u64) {
+        let mut c = self.control_lock();
+        self.roll_locked(&mut c, now_ns);
     }
 
-    fn absorb(&mut self, events: Vec<OnlineEvent>) {
-        let slice = match self.current.as_mut() {
-            Some((_, slice)) => slice,
-            None => return, // roll_to always ran first; defensive only
-        };
-        let mut idle_chains = Vec::new();
+    /// Absorbs one shard's event stream: slice aggregates, flamegraph
+    /// folding and chain buffers mutate the shard in place (chain-local,
+    /// order-insensitive across chains); the cross-chain effects are
+    /// collected per chain group for rank-ordered replay under the control
+    /// lock. The analyzer emits each chain's events as one contiguous
+    /// group, so groups are cut on chain change.
+    fn absorb_shard(
+        &self,
+        shard: &mut Shard,
+        target: u64,
+        events: Vec<OnlineEvent>,
+        rank_of: &HashMap<Uuid, usize>,
+        groups: &mut Vec<ChainGroup>,
+    ) {
+        // A completion racing a concurrent window close lands in the first
+        // still-open slice rather than mutating a finalized window.
+        let apply_at = target.max(shard.floor);
+        let mut open: Option<ChainGroup> = None;
         for event in events {
+            let chain = match &event {
+                OnlineEvent::CallCompleted { chain, .. }
+                | OnlineEvent::Abnormality { chain, .. }
+                | OnlineEvent::ChainIdle { chain, .. } => *chain,
+            };
+            if open.as_ref().map(|g| g.chain) != Some(chain) {
+                if let Some(done) = open.take() {
+                    groups.push(done);
+                }
+                let rank = rank_of.get(&chain).copied().unwrap_or(usize::MAX);
+                open = Some(ChainGroup { chain, rank, effects: Vec::new(), idle: None });
+            }
+            let group = open.as_mut().expect("group just opened");
             match event {
                 OnlineEvent::CallCompleted { chain, func, kind, depth, latency_ns } => {
                     let latency = latency_ns.unwrap_or(0);
                     let key = (func.interface, func.method);
+                    let slice = shard.slices.entry(apply_at).or_default();
                     slice.series.entry(key).or_default().record(latency);
                     slice.completed_calls += 1;
-                    self.total_completed += 1;
-                    *self.known_series.entry(key).or_insert(0) += 1;
-                    let pending = self.chain_events.entry(chain).or_default();
+                    let pending = shard.chain_events.entry(chain).or_default();
                     if pending.len() < self.cfg.chain_event_capacity {
                         pending.push(CompletedCall { func, kind, depth, latency_ns: latency });
                     }
+                    group.effects.push(Effect::Completed { key });
                 }
                 OnlineEvent::Abnormality { chain, at_seq, message } => {
-                    slice.abnormalities += 1;
-                    self.total_abnormalities += 1;
-                    if !self.window_abnormal.contains(&chain)
-                        && self.window_abnormal.len() < WINDOW_ABNORMAL_CAP
-                    {
-                        self.window_abnormal.push(chain);
-                    }
-                    self.recent_abnormal.push_back((chain, format!("seq {at_seq}: {message}")));
-                    while self.recent_abnormal.len() > RECENT_ABNORMAL_CAP {
-                        self.recent_abnormal.pop_front();
-                    }
+                    shard.slices.entry(apply_at).or_default().abnormalities += 1;
+                    group.effects.push(Effect::Abnormal {
+                        chain,
+                        message: format!("seq {at_seq}: {message}"),
+                    });
                 }
                 OnlineEvent::ChainIdle { chain, .. } => {
-                    // Folding borrows `self` mutably, which the live slice
-                    // borrow forbids here — defer past the loop.
-                    idle_chains.push(chain);
                     // Completed transactions must not accumulate analyzer
                     // state forever in a long-running service.
-                    self.analyzer.forget_chain(chain);
+                    shard.analyzer.forget_chain(chain);
+                    if let Some(completions) = shard.chain_events.remove(&chain) {
+                        self.fold_completions(shard, &completions);
+                        group.idle = Some(completions);
+                    }
                 }
             }
         }
-        for chain in idle_chains {
-            if let Some(completions) = self.chain_events.remove(&chain) {
-                self.fold_completions(&completions);
-                self.retain_chain(chain, completions);
-            }
+        if let Some(done) = open.take() {
+            groups.push(done);
         }
     }
 
-    /// Folds one completed chain's call forest into the cumulative and
-    /// per-window flamegraph maps (both capped at `cfg.stack_capacity`).
-    fn fold_completions(&mut self, completions: &[CompletedCall]) {
+    /// Folds one completed chain's call forest into the shard's cumulative
+    /// and per-window flamegraph maps (both capped at `cfg.stack_capacity`
+    /// per shard).
+    fn fold_completions(&self, shard: &mut Shard, completions: &[CompletedCall]) {
         let forest = render::completion_forest(completions);
         // Iterative pre-order walk, threading the folded path down.
         let mut lines: Vec<(String, u64)> = Vec::new();
@@ -890,28 +1127,28 @@ impl LiveMonitor {
         }
         let cap = self.cfg.stack_capacity.max(1);
         for (path, self_ns) in lines {
-            fold_into(&mut self.window_folded, cap, &self.stack_evictions, path.clone(), self_ns);
-            fold_into(&mut self.folded, cap, &self.stack_evictions, path, self_ns);
+            fold_into(&mut shard.window_folded, cap, &self.stack_evictions, path.clone(), self_ns);
+            fold_into(&mut shard.folded, cap, &self.stack_evictions, path, self_ns);
         }
     }
 
     /// Retains a completed chain's events for `/dscg`, evicting the oldest
     /// chains once the buffered completions exceed `cfg.trace_capacity`.
-    fn retain_chain(&mut self, chain: Uuid, completions: ChainCompletions) {
-        self.recent_chain_calls += completions.len();
-        self.recent_chains.push_back((chain, completions));
-        while self.recent_chains.len() > 1 && self.recent_chain_calls > self.cfg.trace_capacity {
-            let (_, dropped) = self.recent_chains.pop_front().expect("len checked");
-            self.recent_chain_calls -= dropped.len();
+    fn retain_chain(&self, c: &mut Control, chain: Uuid, completions: ChainCompletions) {
+        c.recent_chain_calls += completions.len();
+        c.recent_chains.push_back((chain, completions));
+        while c.recent_chains.len() > 1 && c.recent_chain_calls > self.cfg.trace_capacity {
+            let (_, dropped) = c.recent_chains.pop_front().expect("len checked");
+            c.recent_chain_calls -= dropped.len();
         }
     }
 
     /// Advances the slice/window machinery to cover `now_ns`.
-    fn roll_to(&mut self, now_ns: u64) {
+    fn roll_locked(&self, c: &mut Control, now_ns: u64) {
         let target = now_ns / self.slice_ns;
         let spw = self.cfg.slices.max(1) as u64;
-        let Some((mut index, _)) = self.current else {
-            self.current = Some((target, Slice::default()));
+        let Some(mut index) = c.current else {
+            c.current = Some(target);
             return;
         };
         if target <= index {
@@ -923,27 +1160,29 @@ impl LiveMonitor {
         let max_catchup = spw * 64;
         if target - index > max_catchup {
             let resume = target - max_catchup;
-            self.closed.clear();
-            self.current = Some((resume, Slice::default()));
+            c.closed_len = 0;
+            c.current = Some(resume);
             index = resume;
+            for shard in &self.shards {
+                let mut shard = lock_recover(shard, "shard");
+                shard.slices.clear();
+                shard.floor = resume;
+            }
         }
         while index < target {
-            let (_, done) =
-                self.current.replace((index + 1, Slice::default())).expect("current set");
-            self.closed.push_back(done);
-            while self.closed.len() > self.cfg.slices.max(1) {
-                self.closed.pop_front();
-            }
             index += 1;
+            c.current = Some(index);
+            c.closed_len = (c.closed_len + 1).min(spw);
             if index % spw == 0 {
-                self.finalize_window(index / spw - 1);
+                self.finalize_window_locked(c, index / spw - 1);
             }
         }
     }
 
-    /// Merges the trailing `count` closed slices (plus optionally the
-    /// accumulating one) into a snapshot.
-    fn merge_slices(&self, include_current: bool) -> WindowSnapshot {
+    /// Merges every shard's slices in `[lo, hi]` into a snapshot (the
+    /// sliding view). Sum-merges over ordered maps commute, so the result
+    /// is independent of shard count.
+    fn sliding_locked(&self, c: &Control) -> WindowSnapshot {
         let mut snap = WindowSnapshot {
             index: u64::MAX,
             span_ns: 0,
@@ -951,35 +1190,58 @@ impl LiveMonitor {
             completed_calls: 0,
             abnormalities: 0,
         };
-        let mut merged = 0u64;
-        for slice in self.closed.iter() {
-            merge_slice(&mut snap, slice);
-            merged += 1;
-        }
-        if include_current {
-            if let Some((_, slice)) = &self.current {
+        let Some(current) = c.current else {
+            return snap;
+        };
+        let lo = current.saturating_sub(c.closed_len);
+        for shard in &self.shards {
+            let shard = lock_recover(shard, "shard");
+            for slice in shard.slices.range(lo..=current).map(|(_, s)| s) {
                 merge_slice(&mut snap, slice);
-                merged += 1;
             }
         }
-        snap.span_ns = merged * self.slice_ns;
+        snap.span_ns = (c.closed_len + 1) * self.slice_ns;
         snap
     }
 
-    fn finalize_window(&mut self, window_index: u64) {
-        // The ring holds exactly the window's slices: `roll_to` closes one
-        // slice at a time and trims to `cfg.slices`.
-        let mut snap = self.merge_slices(false);
-        snap.index = window_index;
-        snap.span_ns = self.cfg.slices.max(1) as u64 * self.slice_ns;
+    /// Closes tumbling window `window_index`: merges every shard's slices
+    /// and per-window folded stacks, then runs the serial window machinery
+    /// (gauges, alerts, history, burn rates, incidents) on the merged
+    /// snapshot under the control lock.
+    fn finalize_window_locked(&self, c: &mut Control, window_index: u64) {
+        let spw = self.cfg.slices.max(1) as u64;
+        let end = (window_index + 1) * spw;
+        let start = end - spw;
+        let mut snap = WindowSnapshot {
+            index: window_index,
+            span_ns: spw * self.slice_ns,
+            series: BTreeMap::new(),
+            completed_calls: 0,
+            abnormalities: 0,
+        };
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for shard in &self.shards {
+            let mut shard = lock_recover(shard, "shard");
+            for slice in shard.slices.range(start..end).map(|(_, s)| s) {
+                merge_slice(&mut snap, slice);
+            }
+            // Slices older than this window can no longer appear in any
+            // view; the just-closed window's slices stay for the sliding
+            // view until the next finalization.
+            shard.slices = shard.slices.split_off(&start);
+            shard.floor = end;
+            for (stack, self_ns) in std::mem::take(&mut shard.window_folded) {
+                *folded.entry(stack).or_insert(0) += self_ns;
+            }
+        }
 
-        self.export_window_gauges(&snap);
+        self.export_window_gauges(c, &snap);
         // Each event carries the rule's natural baseline lookback (in
         // windows): `for=N` for threshold rules, the fast span for burns —
         // the incident layer resolves its pre-breach comparison window from
         // it.
         let mut events: Vec<(AlertEvent, u64)> = Vec::new();
-        for alert in &mut self.alerts {
+        for alert in &mut c.alerts {
             let lookback = u64::from(alert.rule.for_windows);
             if let Some(event) = alert.step(&snap) {
                 events.push((event, lookback));
@@ -988,11 +1250,10 @@ impl LiveMonitor {
 
         // Retain the closed window (aggregates + this window's folded-stack
         // delta), then evaluate burn-rate rules against the updated history.
-        let folded = std::mem::take(&mut self.window_folded);
-        self.history.push(HistoryEntry { window: snap.clone(), folded });
-        for burn in &mut self.burns {
+        c.history.push(HistoryEntry { window: snap.clone(), folded });
+        for burn in &mut c.burns {
             let lookback = burn.rule().fast as u64;
-            if let Some(event) = burn.step(&self.history) {
+            if let Some(event) = burn.step(&c.history) {
                 events.push((event, lookback));
             }
         }
@@ -1000,38 +1261,37 @@ impl LiveMonitor {
         // Incident forensics: firings register and auto-populate an
         // incident (the breach window is already in the history, so its
         // evidence resolves); resolves close the matching open incidents.
-        let window_abnormal = std::mem::take(&mut self.window_abnormal);
+        let window_abnormal = std::mem::take(&mut c.window_abnormal);
         if self.cfg.incidents.enabled {
             for (event, lookback) in &events {
                 if event.fired {
-                    self.open_incident(event, *lookback);
+                    self.open_incident(c, event, *lookback);
                 } else {
-                    self.incidents.resolve_for_alert(
+                    c.incidents.resolve_for_alert(
                         &event.alert,
                         event.window_index,
                         event.at_ms,
                     );
                 }
             }
-            self.recheck_abnormal(&window_abnormal, window_index);
+            self.recheck_abnormal(c, &window_abnormal, window_index);
         }
 
         for (event, _) in events {
-            self.alert_log.push_back(event);
-            while self.alert_log.len() > self.cfg.alert_log_capacity {
-                self.alert_log.pop_front();
+            c.alert_log.push_back(event);
+            while c.alert_log.len() > self.cfg.alert_log_capacity {
+                c.alert_log.pop_front();
             }
         }
 
-        self.last_window_records = std::mem::take(&mut self.window_records);
-        self.window_records_dropped = 0;
-        self.last_window = Some(snap);
+        c.last_window_records = std::mem::take(&mut c.window_records);
+        c.window_records_dropped = 0;
+        c.last_window = Some(snap);
     }
-
     /// Registers an incident for a just-fired alert, populates its add-only
     /// hypothesis graph from retained evidence, and runs the automatic
     /// elimination passes that are decidable at open time.
-    fn open_incident(&mut self, event: &AlertEvent, lookback_windows: u64) {
+    fn open_incident(&self, c: &mut Control, event: &AlertEvent, lookback_windows: u64) {
         let cfg = self.cfg.incidents.clone();
         let breach = event.window_index;
         let at_ms = event.at_ms;
@@ -1040,17 +1300,25 @@ impl LiveMonitor {
         // older survivor (ring or spill) when that exact ordinal aged out.
         let baseline = breach
             .checked_sub(lookback_windows)
-            .and_then(|candidate| self.history.newest_at_or_before(candidate));
-        let breach_entry = self.history.lookup(breach).map(|e| e.into_owned());
+            .and_then(|candidate| c.history.newest_at_or_before(candidate));
+        let breach_entry = c.history.lookup(breach).map(|e| e.into_owned());
         let baseline_entry =
-            baseline.and_then(|b| self.history.lookup(b).map(|e| e.into_owned()));
-        let id = self.incidents.open(&event.alert, breach, baseline, at_ms);
+            baseline.and_then(|b| c.history.lookup(b).map(|e| e.into_owned()));
+        let id = c.incidents.open(&event.alert, breach, baseline, at_ms);
+        // A capacity-0 ring (or a tiny one whose eviction races this open)
+        // can drop the incident before any evidence lands. Skip gracefully
+        // and count it — the window-close path must never panic on it.
+        if c.incidents.get(id).is_none() {
+            self.incident_dropped.inc();
+            c.incidents.refresh_gauges();
+            return;
+        }
 
         // Evidence 1: top flamegraph-diff regressions, breach vs baseline.
         let mut regressions: Vec<(u64, String, i64)> = Vec::new();
         if let (Some(bl), Some(be)) = (&baseline_entry, &breach_entry) {
             let diff = diff_folded(&bl.folded, &be.folded);
-            let entry = self.incidents.get_mut(id).expect("just opened");
+            let Some(entry) = c.incidents.get_mut(id) else { return };
             for (stack, delta) in
                 diff.into_iter().filter(|(_, d)| *d > 0).take(cfg.top_regressions)
             {
@@ -1072,7 +1340,7 @@ impl LiveMonitor {
         // Evidence 2: recently abnormal chains, with their DSCG renders
         // when the completed-chain ring still holds them.
         let mut picked: Vec<(Uuid, String)> = Vec::new();
-        for (chain, message) in self.recent_abnormal.iter().rev() {
+        for (chain, message) in c.recent_abnormal.iter().rev() {
             if picked.iter().any(|(c, _)| c == chain) {
                 continue;
             }
@@ -1084,12 +1352,12 @@ impl LiveMonitor {
         for (chain, message) in picked {
             let mut detail = message;
             if let Some((_, completions)) =
-                self.recent_chains.iter().rev().find(|(c, _)| *c == chain)
+                c.recent_chains.iter().rev().find(|(c, _)| *c == chain)
             {
                 detail.push('\n');
                 detail.push_str(&render::completed_chain_ascii(chain, completions, &self.vocab));
             }
-            let entry = self.incidents.get_mut(id).expect("just opened");
+            let Some(entry) = c.incidents.get_mut(id) else { break };
             entry.add_hypothesis(
                 HypothesisKind::AbnormalChain,
                 chain.to_string(),
@@ -1108,8 +1376,7 @@ impl LiveMonitor {
         hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let total_self_ns: u64 = hot.iter().map(|(_, ns)| ns).sum();
         let mut hot_ids: Vec<(u64, u64)> = Vec::new();
-        {
-            let entry = self.incidents.get_mut(id).expect("just opened");
+        if let Some(entry) = c.incidents.get_mut(id) {
             for (stack, self_ns) in hot.into_iter().take(cfg.top_stacks) {
                 let share = if total_self_ns == 0 {
                     0.0
@@ -1136,7 +1403,7 @@ impl LiveMonitor {
                 at_ms,
             );
         }
-        self.incidents.refresh_gauges();
+        c.incidents.refresh_gauges();
 
         // Pass 1 (baseline-presence): a "regression" whose stack already
         // spent comparable self time in the baseline window grew, it did
@@ -1145,7 +1412,7 @@ impl LiveMonitor {
             for (hyp, stack, delta) in &regressions {
                 let baseline_ns = bl.folded.get(stack).copied().unwrap_or(0);
                 if baseline_ns > 0 && (*delta as u64) < baseline_ns {
-                    let _ = self.incidents.eliminate(
+                    let _ = c.incidents.eliminate(
                         id,
                         *hyp,
                         incident::PASS_BASELINE,
@@ -1172,7 +1439,7 @@ impl LiveMonitor {
                 }
                 let share = *self_ns as f64 / total_self_ns as f64;
                 if share < cfg.stack_share_floor {
-                    let _ = self.incidents.eliminate(
+                    let _ = c.incidents.eliminate(
                         id,
                         *hyp,
                         incident::PASS_STACK_FLOOR,
@@ -1193,9 +1460,9 @@ impl LiveMonitor {
     /// produced no new abnormality this window completed normally after
     /// all — tombstone it. Hypotheses added this very window are spared
     /// (their evidence has not had a full window to re-prove itself).
-    fn recheck_abnormal(&mut self, window_abnormal: &[Uuid], window_index: u64) {
+    fn recheck_abnormal(&self, c: &mut Control, window_abnormal: &[Uuid], window_index: u64) {
         let mut targets: Vec<(u64, u64, Uuid)> = Vec::new();
-        for entry in self.incidents.iter() {
+        for entry in c.incidents.iter() {
             if !entry.is_open() {
                 continue;
             }
@@ -1213,13 +1480,16 @@ impl LiveMonitor {
         if targets.is_empty() {
             return;
         }
-        let open: Vec<Uuid> =
-            self.analyzer.open_chain_summaries().iter().map(|s| s.chain).collect();
+        let mut open: Vec<Uuid> = Vec::new();
+        for shard in &self.shards {
+            let shard = lock_recover(shard, "shard");
+            open.extend(shard.analyzer.open_chain_summaries().iter().map(|s| s.chain));
+        }
         for (incident_id, hypothesis, chain) in targets {
             if open.contains(&chain) || window_abnormal.contains(&chain) {
                 continue;
             }
-            let _ = self.incidents.eliminate(
+            let _ = c.incidents.eliminate(
                 incident_id,
                 hypothesis,
                 incident::PASS_CHAIN_RECHECK,
@@ -1231,10 +1501,10 @@ impl LiveMonitor {
         }
     }
 
-    fn export_window_gauges(&mut self, snap: &WindowSnapshot) {
+    fn export_window_gauges(&self, c: &mut Control, snap: &WindowSnapshot) {
         let registry = MetricsRegistry::global();
         for (key, agg) in &snap.series {
-            let gauges = self.window_gauges.entry(*key).or_insert_with(|| {
+            let gauges = c.window_gauges.entry(*key).or_insert_with(|| {
                 let iface = self.vocab.interface_name(key.0).to_owned();
                 let method = self.vocab.method_name(key.0, key.1).to_owned();
                 let labels = [("iface", iface.as_str()), ("method", method.as_str())];
@@ -1274,7 +1544,7 @@ impl LiveMonitor {
         }
         // Series absent from this window drop to zero rather than freezing
         // at their last value.
-        for (key, gauges) in &self.window_gauges {
+        for (key, gauges) in &c.window_gauges {
             if !snap.series.contains_key(key) {
                 for gauge in gauges {
                     gauge.set(0);
@@ -1298,25 +1568,31 @@ impl LiveMonitor {
     }
 
     /// The sliding view: the most recent `cfg.slices` slices including the
-    /// accumulating one. At slice granularity this trails the tumbling
-    /// window by at most one slice.
+    /// accumulating one, merged across shards. At slice granularity this
+    /// trails the tumbling window by at most one slice.
     pub fn sliding(&self) -> WindowSnapshot {
-        self.merge_slices(true)
+        let c = self.control_lock();
+        self.sliding_locked(&c)
     }
 
     /// The last finalized tumbling window, if one has completed.
-    pub fn last_window(&self) -> Option<&WindowSnapshot> {
-        self.last_window.as_ref()
+    pub fn last_window(&self) -> Option<WindowSnapshot> {
+        self.control_lock().last_window.clone()
     }
 
     /// Names of currently firing alerts (threshold and burn-rate).
     pub fn active_alerts(&self) -> Vec<String> {
-        self.alerts
+        let c = self.control_lock();
+        Self::active_alerts_locked(&c)
+    }
+
+    fn active_alerts_locked(c: &Control) -> Vec<String> {
+        c.alerts
             .iter()
             .filter(|a| a.active)
             .map(|a| a.rule.name.clone())
             .chain(
-                self.burns
+                c.burns
                     .iter()
                     .filter(|b| b.active())
                     .map(|b| b.rule().condition.name.clone()),
@@ -1325,29 +1601,67 @@ impl LiveMonitor {
     }
 
     /// All retained alert transitions, oldest first.
-    pub fn alert_log(&self) -> impl Iterator<Item = &AlertEvent> {
-        self.alert_log.iter()
+    pub fn alert_log(&self) -> Vec<AlertEvent> {
+        self.control_lock().alert_log.iter().cloned().collect()
     }
 
     /// Invocations completed since construction.
     pub fn total_completed(&self) -> u64 {
-        self.total_completed
+        self.control_lock().total_completed
     }
 
     /// Abnormalities observed since construction.
     pub fn total_abnormalities(&self) -> u64 {
-        self.total_abnormalities
+        self.control_lock().total_abnormalities
     }
 
-    /// Chains with unfinished work, from the underlying analyzer.
+    /// Summed (open chains, buffered records) across every shard's analyzer.
+    fn analyzer_totals(&self) -> (usize, usize) {
+        let mut open = 0;
+        let mut buffered = 0;
+        for shard in &self.shards {
+            let shard = lock_recover(shard, "shard");
+            open += shard.analyzer.open_chains();
+            buffered += shard.analyzer.buffered_records();
+        }
+        (open, buffered)
+    }
+
+    /// Republishes the process-global analyzer gauges as sums over shards.
+    fn publish_online_gauges(&self) {
+        let (open, buffered) = self.analyzer_totals();
+        self.online_open.set(open as i64);
+        self.online_buffered.set(buffered as i64);
+    }
+
+    /// Chains with unfinished work, merged across shards and sorted by
+    /// chain id for shard-count-independent output.
     pub fn open_chain_summaries(&self) -> Vec<OpenChainSummary> {
-        self.analyzer.open_chain_summaries()
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let shard = lock_recover(shard, "shard");
+            all.extend(shard.analyzer.open_chain_summaries());
+        }
+        all.sort_by_key(|s| s.chain);
+        all
+    }
+
+    /// Every shard's cumulative folded stacks sum-merged into one map.
+    fn merged_folded(&self) -> BTreeMap<String, u64> {
+        let mut merged = BTreeMap::new();
+        for shard in &self.shards {
+            let shard = lock_recover(shard, "shard");
+            for (stack, self_ns) in &shard.folded {
+                *merged.entry(stack.clone()).or_insert(0) += self_ns;
+            }
+        }
+        merged
     }
 
     /// Cumulative folded flamegraph stacks (`a;b;c self_ns` per line,
     /// inferno-compatible), sorted by stack for deterministic output.
     pub fn folded_stacks(&self) -> String {
-        render_folded(&self.folded)
+        render_folded(&self.merged_folded())
     }
 
     /// The `/flamegraph[?window=k]` body: cumulative folded stacks, or one
@@ -1357,7 +1671,8 @@ impl LiveMonitor {
         match window {
             None => Ok(self.folded_stacks()),
             Some(index) => {
-                let entry = self
+                let c = self.control_lock();
+                let entry = c
                     .history
                     .lookup(index)
                     .ok_or_else(|| format!("window {index} is not retained"))?;
@@ -1370,10 +1685,11 @@ impl LiveMonitor {
     /// `b − a` between two windows (ring or spill), largest regression
     /// first (`stack +delta` / `stack -delta` per line).
     pub fn flamegraph_diff(&self, a: u64, b: u64) -> Result<String, String> {
+        let c = self.control_lock();
         let wa =
-            self.history.lookup(a).ok_or_else(|| format!("window {a} is not retained"))?;
+            c.history.lookup(a).ok_or_else(|| format!("window {a} is not retained"))?;
         let wb =
-            self.history.lookup(b).ok_or_else(|| format!("window {b} is not retained"))?;
+            c.history.lookup(b).ok_or_else(|| format!("window {b} is not retained"))?;
         let mut out = String::new();
         for (stack, delta) in diff_folded(&wa.folded, &wb.folded) {
             out.push_str(&format!("{stack} {delta:+}\n"));
@@ -1387,31 +1703,32 @@ impl LiveMonitor {
     /// requested ordinals, reaching into the spill segment for windows that
     /// already aged out (at most [`HISTORY_RANGE_MAX`] per request).
     pub fn history_json(&self, from: Option<u64>, to: Option<u64>) -> Json {
+        let c = self.control_lock();
         let windows: Vec<Json> = if from.is_some() || to.is_some() {
             // Both bounds consult the spill as well as the ring: after a
             // restart the ring starts empty while the spill still holds
             // windows, and a ring-only `newest` of 0 would hide them.
-            let newest = self
+            let newest = c
                 .history
                 .latest()
                 .map(|e| e.window.index)
-                .max(self.history.spill().and_then(|s| s.max_index()))
+                .max(c.history.spill().and_then(|s| s.max_index()))
                 .unwrap_or(0);
-            let oldest = self
+            let oldest = c
                 .history
                 .spill()
                 .and_then(|s| s.min_index())
-                .or_else(|| self.history.iter().next().map(|e| e.window.index))
+                .or_else(|| c.history.iter().next().map(|e| e.window.index))
                 .unwrap_or(0);
-            self.history
+            c.history
                 .range(from.unwrap_or(oldest), to.unwrap_or(newest), HISTORY_RANGE_MAX)
                 .iter()
                 .map(window_summary_json)
                 .collect()
         } else {
-            self.history.iter().map(window_summary_json).collect()
+            c.history.iter().map(window_summary_json).collect()
         };
-        let burns = self
+        let burns = c
             .burns
             .iter()
             .map(|b| {
@@ -1426,13 +1743,13 @@ impl LiveMonitor {
             })
             .collect();
         let mut fields = vec![
-            ("retained_windows", Json::Num(self.history.len() as f64)),
-            ("cap_windows", Json::Num(self.history.cap_windows() as f64)),
-            ("cap_bytes", Json::Num(self.history.cap_bytes() as f64)),
-            ("approx_bytes", Json::Num(self.history.approx_bytes() as f64)),
-            ("evictions", Json::Num(self.history.evictions() as f64)),
+            ("retained_windows", Json::Num(c.history.len() as f64)),
+            ("cap_windows", Json::Num(c.history.cap_windows() as f64)),
+            ("cap_bytes", Json::Num(c.history.cap_bytes() as f64)),
+            ("approx_bytes", Json::Num(c.history.approx_bytes() as f64)),
+            ("evictions", Json::Num(c.history.evictions() as f64)),
         ];
-        if let Some(spill) = self.history.spill() {
+        if let Some(spill) = c.history.spill() {
             fields.push(("spilled_windows", Json::Num(spill.len() as f64)));
             fields.push(("spill_bytes", Json::Num(spill.bytes() as f64)));
             fields.push((
@@ -1441,10 +1758,10 @@ impl LiveMonitor {
             ));
             fields.push((
                 "spill_errors",
-                Json::Num(self.history.spill_errors() as f64),
+                Json::Num(c.history.spill_errors() as f64),
             ));
         }
-        if let Some(error) = &self.spill_error {
+        if let Some(error) = &c.spill_error {
             fields.push(("spill_error", Json::Str(error.clone())));
         }
         fields.push(("windows", Json::Arr(windows)));
@@ -1455,7 +1772,8 @@ impl LiveMonitor {
     /// The `/dscg` JSON index: recently completed chains available for
     /// rendering, oldest first.
     pub fn recent_chains_json(&self) -> Json {
-        let chains = self
+        let c = self.control_lock();
+        let chains = c
             .recent_chains
             .iter()
             .map(|(chain, completions)| {
@@ -1473,7 +1791,8 @@ impl LiveMonitor {
     pub fn dscg_render(&self, chain: &str, format: Option<&str>) -> Result<String, String> {
         let uuid: Uuid =
             chain.parse().map_err(|_| format!("bad chain uuid {chain:?}"))?;
-        let (_, completions) = self
+        let c = self.control_lock();
+        let (_, completions) = c
             .recent_chains
             .iter()
             .rev()
@@ -1488,10 +1807,13 @@ impl LiveMonitor {
     /// Chrome trace-event JSON of the last finalized window's raw records
     /// (falls back to the accumulating window before the first boundary).
     pub fn trace_json(&self) -> String {
-        let records = if self.last_window_records.is_empty() {
-            self.window_records.clone()
-        } else {
-            self.last_window_records.clone()
+        let records = {
+            let c = self.control_lock();
+            if c.last_window_records.is_empty() {
+                c.window_records.clone()
+            } else {
+                c.last_window_records.clone()
+            }
         };
         let run = RunLog::new(records, self.vocab.clone(), self.deployment.clone());
         chrome_trace::export(&MonitoringDb::from_run(run))
@@ -1503,10 +1825,11 @@ impl LiveMonitor {
     /// endpoint tells an operator what to ask for instead of replying with
     /// an empty body on an idle window.
     pub fn latency_json(&self, iface: Option<&str>, method: Option<&str>) -> Json {
+        let c = self.control_lock();
         let Some(iface) = iface else {
-            return self.known_series_json();
+            return self.known_series_json_locked(&c);
         };
-        let window = self.sliding();
+        let window = self.sliding_locked(&c);
         let mut series = Vec::new();
         for (key, agg) in &window.series {
             let iface_name = self.vocab.interface_name(key.0);
@@ -1546,8 +1869,8 @@ impl LiveMonitor {
 
     /// Every series seen since start with its cumulative call count — the
     /// unfiltered `/latency` body.
-    fn known_series_json(&self) -> Json {
-        let series = self
+    fn known_series_json_locked(&self, c: &Control) -> Json {
+        let series = c
             .known_series
             .iter()
             .map(|(key, calls)| {
@@ -1567,31 +1890,32 @@ impl LiveMonitor {
     /// evictions, and spill error state — so a scraper can tell when the
     /// evidence an incident would need has started to rot.
     pub fn health_json(&self) -> (u16, Json) {
-        let active = self.active_alerts();
+        let c = self.control_lock();
+        let active = Self::active_alerts_locked(&c);
         let status = if active.is_empty() { 200 } else { 503 };
-        let open_incidents =
-            self.incidents.iter().filter(|i| i.is_open()).count();
+        let open_incidents = c.incidents.iter().filter(|i| i.is_open()).count();
+        let (open_chains, buffered) = self.analyzer_totals();
         let body = Json::obj([
             (
                 "status",
                 Json::Str(if active.is_empty() { "ok" } else { "degraded" }.to_owned()),
             ),
             ("active_alerts", Json::Arr(active.into_iter().map(Json::Str).collect())),
-            ("open_chains", Json::Num(self.analyzer.open_chains() as f64)),
-            ("buffered_records", Json::Num(self.analyzer.buffered_records() as f64)),
-            ("completed_calls", Json::Num(self.total_completed as f64)),
-            ("abnormalities", Json::Num(self.total_abnormalities as f64)),
+            ("open_chains", Json::Num(open_chains as f64)),
+            ("buffered_records", Json::Num(buffered as f64)),
+            ("completed_calls", Json::Num(c.total_completed as f64)),
+            ("abnormalities", Json::Num(c.total_abnormalities as f64)),
             (
                 "window_index",
-                self.last_window
+                c.last_window
                     .as_ref()
                     .map_or(Json::Null, |w| Json::Num(w.index as f64)),
             ),
-            ("history_evictions", Json::Num(self.history.evictions() as f64)),
-            ("spill_errors", Json::Num(self.history.spill_errors() as f64)),
+            ("history_evictions", Json::Num(c.history.evictions() as f64)),
+            ("spill_errors", Json::Num(c.history.spill_errors() as f64)),
             (
                 "spill_error",
-                self.spill_error.as_ref().map_or(Json::Null, |e| Json::Str(e.clone())),
+                c.spill_error.as_ref().map_or(Json::Null, |e| Json::Str(e.clone())),
             ),
             ("open_incidents", Json::Num(open_incidents as f64)),
         ]);
@@ -1601,7 +1925,8 @@ impl LiveMonitor {
     /// The `GET /alerts` JSON body: the bounded alert-transition log,
     /// oldest first.
     pub fn alerts_json(&self) -> Json {
-        let alerts = self
+        let c = self.control_lock();
+        let alerts = c
             .alert_log
             .iter()
             .map(|e| {
@@ -1618,28 +1943,30 @@ impl LiveMonitor {
         Json::obj([("alerts", Json::Arr(alerts))])
     }
 
-    /// The retained incidents, for in-process inspection.
-    pub fn incidents(&self) -> &IncidentStore {
-        &self.incidents
+    /// The retained incidents, behind the control lock. Drop the returned
+    /// guard before calling other monitor methods — holding it across them
+    /// deadlocks.
+    pub fn incidents(&self) -> IncidentsRef<'_> {
+        IncidentsRef { guard: self.control_lock() }
     }
 
     /// The `GET /incidents` index body.
     pub fn incidents_json(&self) -> Json {
-        self.incidents.index_json()
+        self.control_lock().incidents.index_json()
     }
 
     /// The `GET /incidents?id=N` detail body: full add-only graph
     /// (hypotheses + tombstones + timeline) and the query-time surviving
     /// set. `None` when the incident is unknown or already evicted.
     pub fn incident_json(&self, id: u64) -> Option<Json> {
-        self.incidents.get(id).map(Incident::detail_json)
+        self.control_lock().incidents.get(id).map(Incident::detail_json)
     }
 
     /// Applies an operator tombstone from a `POST /incidents/eliminate`
     /// body: `{"incident": N, "hypothesis": M, "pass"?: "...",
     /// "reason"?: "..."}`. Returns the acknowledgement body, or the HTTP
     /// status + message to reject with (400 malformed, 404 unknown target).
-    pub fn eliminate_json(&mut self, body: &[u8]) -> Result<Json, (u16, String)> {
+    pub fn eliminate_json(&self, body: &[u8]) -> Result<Json, (u16, String)> {
         let text = std::str::from_utf8(body)
             .map_err(|_| (400, "body must be UTF-8 JSON".to_owned()))?;
         let parsed =
@@ -1676,6 +2003,7 @@ impl LiveMonitor {
             Some(_) => return Err((400, "\"reason\" must be a string".to_owned())),
         };
         let surviving = self
+            .control_lock()
             .incidents
             .eliminate(incident_id, hypothesis, &pass, &reason)
             .map_err(|e| (404, e.to_string()))?;
@@ -1712,6 +2040,41 @@ impl LiveMonitor {
         Json::obj([("open_chains", Json::Arr(chains))])
     }
 }
+
+/// A borrowed view of the monitor's [`WindowHistory`], holding the control
+/// lock. Drop it before calling other [`LiveMonitor`] methods — holding it
+/// across them deadlocks.
+pub struct HistoryRef<'a> {
+    guard: MutexGuard<'a, Control>,
+}
+
+impl std::ops::Deref for HistoryRef<'_> {
+    type Target = WindowHistory;
+    fn deref(&self) -> &WindowHistory {
+        &self.guard.history
+    }
+}
+
+/// A borrowed view of the monitor's [`IncidentStore`], holding the control
+/// lock. Drop it before calling other [`LiveMonitor`] methods — holding it
+/// across them deadlocks.
+pub struct IncidentsRef<'a> {
+    guard: MutexGuard<'a, Control>,
+}
+
+impl std::ops::Deref for IncidentsRef<'_> {
+    type Target = IncidentStore;
+    fn deref(&self) -> &IncidentStore {
+        &self.guard.incidents
+    }
+}
+
+impl std::ops::DerefMut for IncidentsRef<'_> {
+    fn deref_mut(&mut self) -> &mut IncidentStore {
+        &mut self.guard.incidents
+    }
+}
+
 
 /// Most window summaries one `/history?from=..&to=..` request will fetch
 /// (each spilled ordinal costs a disk read).
@@ -1784,7 +2147,6 @@ fn merge_slice(snap: &mut WindowSnapshot, slice: &Slice) {
     snap.completed_calls += slice.completed_calls;
     snap.abnormalities += slice.abnormalities;
 }
-
 /// A running live monitoring service: the embedded HTTP server plus the
 /// background ticker thread that rotates windows on idle systems (so
 /// alerts resolve and history accrues without any scrape traffic).
@@ -1838,12 +2200,12 @@ impl Drop for LiveService {
 /// `POST /incidents/eliminate` (operator tombstones). The ticker advances
 /// window time a few times per slice, so idle systems keep rotating
 /// windows without relying on scrape traffic.
-pub fn serve(monitor: Arc<Mutex<LiveMonitor>>, addr: &str) -> std::io::Result<LiveService> {
-    let on = |monitor: &Arc<Mutex<LiveMonitor>>,
-              f: fn(&mut LiveMonitor, &Request) -> Response|
+pub fn serve(monitor: Arc<LiveMonitor>, addr: &str) -> std::io::Result<LiveService> {
+    let on = |monitor: &Arc<LiveMonitor>,
+              f: fn(&LiveMonitor, &Request) -> Response|
      -> Handler {
         let monitor = Arc::clone(monitor);
-        Box::new(move |req: &Request| f(&mut lock_monitor(&monitor), req))
+        Box::new(move |req: &Request| f(&monitor, req))
     };
     let routes: Vec<(String, Handler)> = vec![
         (
@@ -1968,7 +2330,7 @@ pub fn serve(monitor: Arc<Mutex<LiveMonitor>>, addr: &str) -> std::io::Result<Li
 
     // Tick a few times per slice (clamped to a sane wall-clock range) so
     // windows close promptly even with zero traffic and zero scrapes.
-    let tick_every = Duration::from_nanos(lock_monitor(&monitor).slice_ns / 4)
+    let tick_every = Duration::from_nanos(monitor.slice_ns / 4)
         .clamp(Duration::from_millis(5), Duration::from_millis(250));
     let stop = Arc::new(AtomicBool::new(false));
     let ticker_stop = Arc::clone(&stop);
@@ -1978,21 +2340,11 @@ pub fn serve(monitor: Arc<Mutex<LiveMonitor>>, addr: &str) -> std::io::Result<Li
         .spawn(move || {
             while !ticker_stop.load(Ordering::Acquire) {
                 std::thread::sleep(tick_every);
-                lock_monitor(&ticker_monitor).tick();
+                ticker_monitor.tick();
             }
         })?;
     Ok(LiveService { server, stop, ticker: Some(ticker) })
 }
-
-/// Locks a shared monitor, recovering from a poisoned mutex (a panicking
-/// handler must not take the whole status endpoint down with it).
-fn lock_monitor(monitor: &Arc<Mutex<LiveMonitor>>) -> std::sync::MutexGuard<'_, LiveMonitor> {
-    match monitor.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2090,7 +2442,7 @@ mod tests {
 
     #[test]
     fn windows_rotate_and_capture_series() {
-        let mut m = monitor();
+        let m = monitor();
         m.ingest_batch_at(sync_call(1, 0, 0, 1000), 10);
         assert!(m.last_window().is_none(), "window not yet complete");
         let sliding = m.sliding();
@@ -2113,7 +2465,7 @@ mod tests {
         // Everything lands in window 0's slices; at the boundary, the
         // sliding view (before any new slice opens) must equal the tumbling
         // snapshot series-for-series.
-        let mut m = monitor();
+        let m = monitor();
         for (i, latency) in [1_000u64, 50_000, 2_000_000, 900].into_iter().enumerate() {
             let at = i as u64 * SLICE_NS + 5; // one batch per slice
             m.ingest_batch_at(sync_call(i as u128 + 1, 0, 0, latency), at);
@@ -2133,7 +2485,7 @@ mod tests {
 
     #[test]
     fn hysteresis_fires_once_and_resolves_once_per_excursion() {
-        let mut m = monitor();
+        let m = monitor();
         m.add_rule(AlertRule {
             name: "p50-high".to_owned(),
             metric: AlertMetric::P50,
@@ -2162,7 +2514,7 @@ mod tests {
         }
         m.tick_at(8 * WINDOW_NS); // finalize W7 (empty) too
 
-        let log: Vec<&AlertEvent> = m.alert_log().collect();
+        let log: Vec<AlertEvent> = m.alert_log();
         assert_eq!(log.len(), 2, "exactly one fire + one resolve, got {log:?}");
         assert!(log[0].fired && log[0].window_index == 1, "fired at W1: {:?}", log[0]);
         assert!(!log[1].fired && log[1].window_index == 6, "resolved at W6: {:?}", log[1]);
@@ -2171,7 +2523,7 @@ mod tests {
 
     #[test]
     fn alert_gauge_tracks_active_state() {
-        let mut m = monitor();
+        let m = monitor();
         m.add_rule(AlertRule {
             name: "gauge-probe".to_owned(),
             metric: AlertMetric::CallRate,
@@ -2246,7 +2598,7 @@ mod tests {
 
     #[test]
     fn latency_without_iface_lists_known_series() {
-        let mut m = monitor();
+        let m = monitor();
         m.ingest_batch_at(sync_call(1, 0, 0, 1000), 10);
         m.ingest_batch_at(sync_call(2, 1, 0, 1000), 20);
         // Roll far ahead: windowed data ages out, but the index must not.
@@ -2261,7 +2613,7 @@ mod tests {
 
     #[test]
     fn history_scopes_flamegraphs_and_diffs_windows() {
-        let mut m = monitor();
+        let m = monitor();
         m.ingest_batch_at(sync_call(1, 0, 0, 1_000), 10); // window 0
         m.ingest_batch_at(sync_call(2, 1, 0, 50_000), WINDOW_NS + 10); // window 1
         m.tick_at(2 * WINDOW_NS);
@@ -2284,7 +2636,7 @@ mod tests {
 
     #[test]
     fn history_json_reports_bounds_and_burn_rules() {
-        let mut m = monitor();
+        let m = monitor();
         m.add_rule_spec("burn=p95>400us;slo=99.9;fast=3;slow=24").expect("burn spec routed");
         m.ingest_batch_at(sync_call(1, 0, 0, 1_000), 10);
         m.tick_at(WINDOW_NS);
@@ -2317,7 +2669,7 @@ mod tests {
             ..LiveConfig::default()
         };
         {
-            let mut m = LiveMonitor::new(config.clone(), test_vocab(), Deployment::default());
+            let m = LiveMonitor::new(config.clone(), test_vocab(), Deployment::default());
             for w in 0..3u64 {
                 m.ingest_batch_at(sync_call(w as u128 + 1, 0, 0, 1_000), w * WINDOW_NS + 5);
             }
@@ -2340,7 +2692,7 @@ mod tests {
 
     #[test]
     fn dscg_serves_recently_completed_chains() {
-        let mut m = monitor();
+        let m = monitor();
         m.ingest_batch_at(sync_call(0xabc, 0, 0, 1000), 10);
         let listing = m.recent_chains_json();
         let chains = listing.get("recent_chains").and_then(Json::as_arr).expect("list");
@@ -2356,8 +2708,10 @@ mod tests {
 
     #[test]
     fn folded_stack_maps_are_bounded() {
-        let cfg = LiveConfig { stack_capacity: 2, ..test_config() };
-        let mut m = LiveMonitor::new(cfg, test_vocab(), Deployment::default());
+        // One shard: the per-shard stack caps must bind for three distinct
+        // stacks to race a two-entry map.
+        let cfg = LiveConfig { stack_capacity: 2, shards: 1, ..test_config() };
+        let m = LiveMonitor::new(cfg, test_vocab(), Deployment::default());
         let before = MetricsRegistry::global()
             .counter_value("causeway_live_stack_evictions")
             .unwrap_or(0);
@@ -2365,8 +2719,11 @@ mod tests {
         m.ingest_batch_at(sync_call(1, 0, 0, 1000), 10);
         m.ingest_batch_at(sync_call(2, 0, 1, 2000), 20);
         m.ingest_batch_at(sync_call(3, 1, 0, 3000), 30);
-        assert!(m.folded.len() <= 2, "cumulative map capped: {:?}", m.folded);
-        assert!(m.window_folded.len() <= 2, "window map capped");
+        for index in 0..m.shards.len() {
+            let shard = m.shard_lock(index);
+            assert!(shard.folded.len() <= 2, "cumulative map capped: {:?}", shard.folded);
+            assert!(shard.window_folded.len() <= 2, "window map capped");
+        }
         let after = MetricsRegistry::global()
             .counter_value("causeway_live_stack_evictions")
             .unwrap_or(0);
@@ -2375,7 +2732,7 @@ mod tests {
 
     #[test]
     fn folded_stacks_attribute_self_time() {
-        let mut m = monitor();
+        let m = monitor();
         // A parent (Alpha.run) wrapping one child (Beta.go): nested sync
         // calls on one chain. Parent seq 1..2, child seq 3..6, parent 7..8.
         let t = |n: u64| n * 10;
@@ -2408,18 +2765,19 @@ mod tests {
 
     #[test]
     fn idle_chains_are_forgotten() {
-        let mut m = monitor();
+        let m = monitor();
         m.ingest_batch_at(sync_call(1, 0, 0, 1000), 10);
         assert_eq!(m.open_chain_summaries().len(), 0);
-        assert_eq!(m.analyzer.open_chains(), 0);
+        let mut shard = m.shard_lock(shard_of(Uuid(1), m.shards.len()));
+        assert_eq!(shard.analyzer.open_chains(), 0);
         // The chain's per-chain analyzer state is gone entirely (not just
         // filtered out of the summaries).
-        assert!(!m.analyzer.forget_chain(Uuid(1)), "state already dropped");
+        assert!(!shard.analyzer.forget_chain(Uuid(1)), "state already dropped");
     }
 
     #[test]
     fn long_idle_gap_fast_forwards_and_resolves_alerts() {
-        let mut m = monitor();
+        let m = monitor();
         m.add_rule(AlertRule {
             name: "stuck".to_owned(),
             metric: AlertMetric::CallRate,
@@ -2440,11 +2798,8 @@ mod tests {
 
     #[test]
     fn http_endpoints_serve_live_state() {
-        let m = Arc::new(Mutex::new(monitor()));
-        {
-            let mut guard = m.lock().unwrap();
-            guard.ingest_batch_at(sync_call(1, 0, 0, 50_000), 10);
-        }
+        let m = Arc::new(monitor());
+        m.ingest_batch_at(sync_call(1, 0, 0, 50_000), 10);
         let server = serve(Arc::clone(&m), "127.0.0.1:0").expect("bind");
         let addr = server.local_addr();
 
@@ -2552,12 +2907,17 @@ mod tests {
         }
         m.tick_at(4 * WINDOW_NS); // finalize W3: for=2 satisfied, fires
 
-        let fires: Vec<&AlertEvent> = m.alert_log().filter(|e| e.fired).collect();
+        let log = m.alert_log();
+        let fires: Vec<&AlertEvent> = log.iter().filter(|e| e.fired).collect();
         assert_eq!(fires.len(), 1, "exactly one firing transition");
         assert!(fires[0].at_ms > 0, "wall-clock stamp present");
 
-        assert_eq!(m.incidents().len(), 1);
-        let incident = m.incidents().iter().next().expect("registered");
+        // `incidents()` holds the control lock: scope the guard so the
+        // drives below can ingest again.
+        let incident_id = {
+        let incidents = m.incidents();
+        assert_eq!(incidents.len(), 1);
+        let incident = incidents.iter().next().expect("registered");
         assert!(incident.is_open());
         assert_eq!(incident.breach_window, 3);
         // for=2 lookback from W3 → baseline W1, before the excursion.
@@ -2592,25 +2952,28 @@ mod tests {
         assert!(tombstone.evidence.contains("baseline window 1"), "{tombstone:?}");
         assert!(tombstone.at_ms > 0, "tombstones carry wall-clock provenance");
 
+        incident.id
+        };
+
         // The alert calming resolves the incident (for=2 calm windows).
-        let incident_id = incident.id;
         for w in 4..6 {
             drive(w, 10_000, 10_000, &mut m);
         }
         m.tick_at(7 * WINDOW_NS);
-        let incident = m.incidents().get(incident_id).expect("still retained");
+        let incidents = m.incidents();
+        let incident = incidents.get(incident_id).expect("still retained");
         assert!(!incident.is_open(), "resolved with the alert");
         assert_eq!(incident.resolved_window, Some(5));
     }
 
     #[test]
     fn incident_http_surface_and_error_paths() {
-        let m = Arc::new(Mutex::new(monitor()));
+        let m = Arc::new(monitor());
+        m.ingest_batch_at(sync_call(1, 0, 0, 50_000), 10);
         let incident_id = {
-            let mut guard = m.lock().unwrap();
-            guard.ingest_batch_at(sync_call(1, 0, 0, 50_000), 10);
-            let id = guard.incidents.open("test-alert", 3, Some(1), 123);
-            let entry = guard.incidents.get_mut(id).unwrap();
+            let mut incidents = m.incidents();
+            let id = incidents.open("test-alert", 3, Some(1), 123);
+            let entry = incidents.get_mut(id).unwrap();
             entry.add_hypothesis(
                 HypothesisKind::FlamegraphRegression,
                 "Test::Alpha.run".to_owned(),
@@ -2734,19 +3097,71 @@ mod tests {
             slices: 2,
             ..LiveConfig::default()
         };
-        let m = Arc::new(Mutex::new(LiveMonitor::new(cfg, test_vocab(), Deployment::default())));
+        let m = Arc::new(LiveMonitor::new(cfg, test_vocab(), Deployment::default()));
         let server = serve(Arc::clone(&m), "127.0.0.1:0").expect("bind");
         let deadline = Instant::now() + Duration::from_secs(10);
         loop {
-            {
-                let guard = m.lock().unwrap();
-                if guard.history().len() >= 2 {
-                    break;
-                }
+            if m.history().len() >= 2 {
+                break;
             }
             assert!(Instant::now() < deadline, "ticker never closed a window");
             std::thread::sleep(Duration::from_millis(10));
         }
         server.shutdown();
+    }
+
+    fn p95_rule(name: &str) -> AlertRule {
+        AlertRule {
+            name: name.to_owned(),
+            metric: AlertMetric::P95,
+            series: Some((InterfaceId(0), MethodIndex(0))),
+            cmp: AlertCmp::Above,
+            fire_threshold: 1.0,
+            resolve_threshold: 1.0,
+            for_windows: 1,
+        }
+    }
+
+    #[test]
+    fn incident_ring_capacity_zero_skips_gracefully() {
+        // Regression: `open_incident` used `expect("just opened")` and
+        // panicked the window-close path when the ring evicted the incident
+        // at open. Capacity 0 must skip gracefully and count the drop.
+        let mut cfg = test_config();
+        cfg.incidents.capacity = 0;
+        let m = LiveMonitor::new(cfg, test_vocab(), Deployment::default());
+        m.add_rule(p95_rule("p95-high"));
+        let before = MetricsRegistry::global()
+            .counter_value("causeway_incident_dropped_total")
+            .unwrap_or(0);
+        m.ingest_batch_at(sync_call(1, 0, 0, 50_000), 5);
+        m.tick_at(WINDOW_NS); // finalize W0: fires, incident open is dropped
+        let after = MetricsRegistry::global()
+            .counter_value("causeway_incident_dropped_total")
+            .unwrap_or(0);
+        assert!(after > before, "drop counted: {before} -> {after}");
+        assert!(m.alert_log().iter().any(|e| e.fired), "alert still fired");
+        assert_eq!(m.incidents().len(), 0, "nothing retained at capacity 0");
+    }
+
+    #[test]
+    fn incident_ring_capacity_one_retains_latest() {
+        // Two rules firing in the same window against a one-slot ring: the
+        // second open evicts the first incident, the just-opened one
+        // survives with its evidence, and nothing panics.
+        let mut cfg = test_config();
+        cfg.incidents.capacity = 1;
+        let m = LiveMonitor::new(cfg, test_vocab(), Deployment::default());
+        m.add_rule(p95_rule("first"));
+        m.add_rule(p95_rule("second"));
+        m.ingest_batch_at(sync_call(1, 0, 0, 50_000), 5);
+        m.tick_at(WINDOW_NS); // finalize W0: both fire
+        let log = m.alert_log();
+        assert_eq!(log.iter().filter(|e| e.fired).count(), 2, "{log:?}");
+        let incidents = m.incidents();
+        assert_eq!(incidents.len(), 1);
+        let retained = incidents.iter().next().expect("one retained");
+        assert_eq!(retained.alert, "second", "latest open survives");
+        assert!(!retained.hypotheses().is_empty(), "evidence populated");
     }
 }

@@ -1,13 +1,23 @@
-//! Smoke O4: the embedded HTTP status endpoint must not tax ingestion.
+//! Smoke O4: the embedded HTTP status endpoint must not tax ingestion,
+//! and sharded ingestion must not be slower than the single-shard path.
 //!
 //! Generates one PPS record set, then measures windowed-ingest throughput
-//! through `causeway_analyzer::live::LiveMonitor` twice — bare, and with
-//! the HTTP server mounted plus a 10 Hz `/metrics` scraper hammering it —
-//! and fails (nonzero exit, for CI) when the scraped run is slower than
-//! the bare run beyond a noise margin.
+//! through `causeway_analyzer::live::LiveMonitor` with several concurrent
+//! ingest threads (one per chain partition, mirroring the monitor's
+//! `uuid % shards` routing) in three configurations:
 //!
-//! Absolute throughput varies across CI hosts; the scraped/bare ratio on
-//! the same records in the same process does not.
+//! 1. sharded, bare — no listener at all;
+//! 2. sharded, scraped — HTTP server mounted plus a 10 Hz `/metrics`
+//!    scraper hammering it;
+//! 3. single shard, bare — every ingest thread contending one shard lock.
+//!
+//! It fails (nonzero exit, for CI) when the scraped run is slower than the
+//! bare run beyond a noise margin, or — on multi-core hosts only — when
+//! the sharded run is slower than the single-shard run (the whole point of
+//! sharding is that concurrent ingesters stop serializing on one lock).
+//!
+//! Absolute throughput varies across CI hosts; both ratios on the same
+//! records in the same process do not.
 //!
 //! ```text
 //! cargo run --release -p causeway-bench --bin smoke_live_endpoint
@@ -19,32 +29,55 @@ use causeway_core::record::ProbeRecord;
 use causeway_workloads::{Pps, PpsConfig, PpsDeployment};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The scraped run may be at most this fraction of the bare run.
 const MAX_RATIO: f64 = 1.20;
+/// On multi-core hosts the sharded run must be at least as fast as the
+/// single-shard run (ratio single/sharded >= this).
+const MIN_SCALING: f64 = 1.0;
 const TRIALS: usize = 5;
 /// Target wall time per trial — long enough for several 10 Hz scrapes.
 const TRIAL_TARGET: Duration = Duration::from_millis(600);
+/// Ingest threads (and shards for the sharded configurations).
+const THREADS: usize = 4;
 
-/// One ingest pass: feed the whole record set through a fresh monitor in
-/// store-sized batches, advancing window time as it goes. Chains complete
+/// One ingest pass over one chain partition: feed it through the shared
+/// monitor in chunks, advancing window time as it goes. Chains complete
 /// and are forgotten within each pass, so passes are independent.
-fn ingest_pass(monitor: &Arc<Mutex<LiveMonitor>>, records: &[ProbeRecord], pass: u64) {
+fn ingest_part(monitor: &LiveMonitor, part: &[ProbeRecord], pass: u64) {
     let base = pass * 1_000_000_000;
-    for (i, batch) in records.chunks(1024).enumerate() {
-        let mut guard = monitor.lock().expect("monitor lock");
-        guard.ingest_batch_at(batch.to_vec(), base + i as u64 * 1_000_000);
+    for (i, batch) in part.chunks(1024).enumerate() {
+        monitor.ingest_batch_at(batch.to_vec(), base + i as u64 * 1_000_000);
     }
 }
 
-fn fresh_monitor(run: &causeway_core::runlog::RunLog) -> Arc<Mutex<LiveMonitor>> {
-    Arc::new(Mutex::new(LiveMonitor::new(
-        LiveConfig { window: Duration::from_millis(100), ..LiveConfig::default() },
+/// One multi-threaded pass: every partition ingests concurrently into the
+/// same monitor, mirroring N live collector threads draining N processes.
+fn parallel_pass(monitor: &Arc<LiveMonitor>, parts: &Arc<Vec<Vec<ProbeRecord>>>, pass: u64) {
+    let workers: Vec<_> = (0..parts.len())
+        .map(|p| {
+            let monitor = Arc::clone(monitor);
+            let parts = Arc::clone(parts);
+            std::thread::spawn(move || ingest_part(&monitor, &parts[p], pass))
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("ingest thread");
+    }
+}
+
+fn fresh_monitor(run: &causeway_core::runlog::RunLog, shards: usize) -> Arc<LiveMonitor> {
+    Arc::new(LiveMonitor::new(
+        LiveConfig {
+            window: Duration::from_millis(100),
+            shards,
+            ..LiveConfig::default()
+        },
         run.vocab.clone(),
         run.deployment.clone(),
-    )))
+    ))
 }
 
 fn main() -> ExitCode {
@@ -65,30 +98,48 @@ fn main() -> ExitCode {
     let run = pps.finish();
     eprintln!("record set: {} records", run.len());
 
+    // Partition by the same `uuid % N` the monitor routes by, preserving
+    // per-chain record order, so each ingest thread owns whole chains.
+    let mut parts: Vec<Vec<ProbeRecord>> = vec![Vec::new(); THREADS];
+    for record in &run.records {
+        parts[(record.uuid.0 % THREADS as u128) as usize].push(record.clone());
+    }
+    let parts = Arc::new(parts);
+
     // Calibrate how many passes fill one trial.
-    let monitor = fresh_monitor(&run);
+    let monitor = fresh_monitor(&run, THREADS);
     let started = Instant::now();
-    ingest_pass(&monitor, &run.records, 0);
+    parallel_pass(&monitor, &parts, 0);
     let per_pass = started.elapsed().max(Duration::from_micros(50));
     let passes =
         (TRIAL_TARGET.as_secs_f64() / per_pass.as_secs_f64()).ceil().max(1.0) as u64;
     eprintln!("calibration: {per_pass:?} per pass, {passes} passes per trial");
 
-    // Interleave bare and scraped trials so drifting background load hits
-    // both sides equally; take each side's best.
+    // Interleave the three configurations so drifting background load hits
+    // every side equally; take each side's best.
     let mut bare = Duration::MAX;
     let mut scraped = Duration::MAX;
+    let mut single = Duration::MAX;
     for trial in 0..TRIALS {
-        // Bare: no listener at all.
-        let monitor = fresh_monitor(&run);
+        // Sharded, bare: no listener at all.
+        let monitor = fresh_monitor(&run, THREADS);
         let started = Instant::now();
         for pass in 0..passes {
-            ingest_pass(&monitor, &run.records, pass);
+            parallel_pass(&monitor, &parts, pass);
         }
         bare = bare.min(started.elapsed());
 
-        // Scraped: HTTP server mounted, 10 Hz /metrics scraper running.
-        let monitor = fresh_monitor(&run);
+        // Single shard, bare: the pre-shard regime — every ingest thread
+        // funnels through one shard lock.
+        let monitor = fresh_monitor(&run, 1);
+        let started = Instant::now();
+        for pass in 0..passes {
+            parallel_pass(&monitor, &parts, pass);
+        }
+        single = single.min(started.elapsed());
+
+        // Sharded, scraped: HTTP server mounted, 10 Hz /metrics scraper.
+        let monitor = fresh_monitor(&run, THREADS);
         let server = match serve(Arc::clone(&monitor), "127.0.0.1:0") {
             Ok(server) => server,
             Err(e) => {
@@ -121,7 +172,7 @@ fn main() -> ExitCode {
         });
         let started = Instant::now();
         for pass in 0..passes {
-            ingest_pass(&monitor, &run.records, pass);
+            parallel_pass(&monitor, &parts, pass);
         }
         let elapsed = started.elapsed();
         stop.store(true, Ordering::Relaxed);
@@ -141,19 +192,32 @@ fn main() -> ExitCode {
     }
 
     let ratio = scraped.as_secs_f64() / bare.as_secs_f64();
-    let records_per_sec =
-        passes as f64 * run.len() as f64 / bare.as_secs_f64();
+    let scaling = single.as_secs_f64() / bare.as_secs_f64();
+    let records_per_sec = passes as f64 * run.len() as f64 / bare.as_secs_f64();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     eprintln!(
-        "live ingest: bare {:.1} ms, with 10Hz scraper {:.1} ms ({:.0} records/s bare, \
-         ratio {ratio:.3})",
+        "live ingest ({THREADS} threads, {cores} cores): {THREADS} shards bare {:.1} ms, \
+         with 10Hz scraper {:.1} ms, 1 shard bare {:.1} ms \
+         ({:.0} records/s sharded, scraper ratio {ratio:.3}, shard speedup {scaling:.3}x)",
         bare.as_secs_f64() * 1e3,
         scraped.as_secs_f64() * 1e3,
+        single.as_secs_f64() * 1e3,
         records_per_sec,
     );
 
     if ratio > MAX_RATIO {
         eprintln!("FAIL: scraping slowed ingest beyond the gate (ratio {ratio:.3} > {MAX_RATIO})");
         return ExitCode::FAILURE;
+    }
+    if cores >= 2 && scaling < MIN_SCALING {
+        eprintln!(
+            "FAIL: {THREADS} shards slower than 1 shard under {THREADS} ingest threads \
+             (speedup {scaling:.3} < {MIN_SCALING})"
+        );
+        return ExitCode::FAILURE;
+    }
+    if cores < 2 {
+        eprintln!("note: single-core host, shard-scaling gate reported but not enforced");
     }
     eprintln!("OK");
     ExitCode::SUCCESS

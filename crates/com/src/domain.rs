@@ -58,6 +58,10 @@ pub struct ComConfig {
     pub fix_mingling: bool,
     /// Reply timeout for synchronous calls.
     pub reply_timeout: Duration,
+    /// Bound on each apartment's dispatch queue; calls over it are
+    /// refused with [`ComError::Overloaded`] and counted in
+    /// `causeway_engine_shed_total{engine="com"}`. 0 is treated as 1.
+    pub queue_capacity: usize,
 }
 
 impl Default for ComConfig {
@@ -67,6 +71,7 @@ impl Default for ComConfig {
             instrumented: true,
             fix_mingling: true,
             reply_timeout: Duration::from_secs(30),
+            queue_capacity: 65_536,
         }
     }
 }
@@ -586,6 +591,19 @@ impl ComClient {
             .cloned()
             .ok_or_else(|| ComError::ApartmentUnreachable(target.apartment.to_string()))?;
 
+        // Bounded admission: a full apartment queue sheds the call with an
+        // explicit overload error instead of queueing without bound.
+        if apt_tx.len() >= inner.config.queue_capacity.max(1) {
+            engine_metrics().shed.inc();
+            if instrumented {
+                monitor.stub_end(func, kind, None);
+            }
+            return Err(ComError::Overloaded(format!(
+                "apartment {} queue at capacity",
+                target.apartment
+            )));
+        }
+
         let (reply_tx, reply_rx) = bounded::<OrpcReply>(1);
         inner.pending.fetch_add(1, Ordering::SeqCst);
         if apt_tx
@@ -708,6 +726,20 @@ impl ComClient {
             .get(&target.apartment)
             .cloned()
             .ok_or_else(|| ComError::ApartmentUnreachable(target.apartment.to_string()))?;
+
+        // Same bounded admission as the synchronous path: one-way senders
+        // do not wait, which is exactly how an open-loop burst overruns an
+        // unbounded queue.
+        if apt_tx.len() >= inner.config.queue_capacity.max(1) {
+            engine_metrics().shed.inc();
+            if instrumented {
+                monitor.stub_end(func, kind, None);
+            }
+            return Err(ComError::Overloaded(format!(
+                "apartment {} queue at capacity",
+                target.apartment
+            )));
+        }
 
         inner.pending.fetch_add(1, Ordering::SeqCst);
         let sent = apt_tx.send(AptIncoming::Call(OrpcMsg {

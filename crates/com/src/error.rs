@@ -18,6 +18,8 @@ pub enum ComError {
     Application(String, String),
     /// A payload failed to (un)marshal.
     Wire(String),
+    /// The apartment shed the call: its dispatch queue was at capacity.
+    Overloaded(String),
 }
 
 impl fmt::Display for ComError {
@@ -29,6 +31,7 @@ impl fmt::Display for ComError {
             ComError::Timeout(m) => write!(f, "call timed out: {m}"),
             ComError::Application(e, m) => write!(f, "application exception {e}: {m}"),
             ComError::Wire(m) => write!(f, "marshalling error: {m}"),
+            ComError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }

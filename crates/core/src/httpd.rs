@@ -33,7 +33,7 @@
 use crate::metrics::{Counter, MetricsRegistry};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -52,6 +52,12 @@ const MAX_HEADER_BYTES: u64 = 32 * 1024;
 /// JSON command endpoints, and an unbounded read would hand any client the
 /// same memory lever the line/header caps close.
 pub const MAX_BODY_BYTES: u64 = 64 * 1024;
+
+/// Default cap on concurrently served connections. The server spawns one
+/// thread per connection; without a cap, a connection flood (or a scraper
+/// fleet gone wrong) turns into unbounded thread creation. Connections
+/// over the cap are answered `503` on the accept thread and closed.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
 
 /// One parsed request: method, decoded path, query parameters, and body.
 #[derive(Debug, Clone)]
@@ -133,8 +139,24 @@ struct ServerShared {
     routes: Vec<(String, Handler)>,
     stop: AtomicBool,
     read_timeout: Duration,
+    /// Concurrently served connections; bounded by `max_connections`.
+    active: AtomicUsize,
+    max_connections: usize,
     requests: Counter,
     errors: Counter,
+    over_capacity: Counter,
+}
+
+/// Holds one slot of the connection cap; releases it on drop, so a
+/// connection thread that panics still frees its slot.
+struct ConnPermit {
+    shared: Arc<ServerShared>,
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// The embedded HTTP server: an accept thread plus one short-lived thread
@@ -169,6 +191,21 @@ impl HttpServer {
         routes: Vec<(String, Handler)>,
         read_timeout: Duration,
     ) -> std::io::Result<HttpServer> {
+        HttpServer::bind_with_limits(addr, routes, read_timeout, DEFAULT_MAX_CONNECTIONS)
+    }
+
+    /// [`HttpServer::bind_with_read_timeout`] with an explicit connection
+    /// cap: at most `max_connections` connections are served concurrently
+    /// (one thread each); any further accept is answered `503` inline on
+    /// the accept thread, counted in
+    /// `causeway_httpd_over_capacity_total`, and closed. A cap of 0 is
+    /// treated as 1 — a server that can serve nothing would be useless.
+    pub fn bind_with_limits(
+        addr: &str,
+        routes: Vec<(String, Handler)>,
+        read_timeout: Duration,
+        max_connections: usize,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let registry = MetricsRegistry::global();
@@ -176,6 +213,8 @@ impl HttpServer {
             routes,
             stop: AtomicBool::new(false),
             read_timeout,
+            active: AtomicUsize::new(0),
+            max_connections: max_connections.max(1),
             requests: registry.counter(
                 "causeway_httpd_requests_total",
                 "HTTP requests served by the embedded status endpoint",
@@ -183,6 +222,10 @@ impl HttpServer {
             errors: registry.counter(
                 "causeway_httpd_errors_total",
                 "HTTP connections dropped before a response could be written",
+            ),
+            over_capacity: registry.counter(
+                "causeway_httpd_over_capacity_total",
+                "HTTP connections answered 503 because the connection cap was reached",
             ),
         });
         let accept_shared = Arc::clone(&shared);
@@ -196,10 +239,27 @@ impl HttpServer {
                     let Ok(stream) = stream else {
                         continue;
                     };
-                    let conn_shared = Arc::clone(&accept_shared);
+                    // Shed over the cap on the accept thread: a bounded
+                    // write with a short timeout, never a new thread.
+                    if accept_shared.active.load(Ordering::Acquire)
+                        >= accept_shared.max_connections
+                    {
+                        accept_shared.over_capacity.inc();
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                        write_response(
+                            stream,
+                            &Response::text(503, "connection capacity reached\n"),
+                            false,
+                        );
+                        continue;
+                    }
+                    accept_shared.active.fetch_add(1, Ordering::AcqRel);
+                    let permit = ConnPermit { shared: Arc::clone(&accept_shared) };
+                    // If the spawn fails the closure (and its permit) is
+                    // dropped right here, releasing the slot.
                     let _ = std::thread::Builder::new()
                         .name("causeway-httpd-conn".to_owned())
-                        .spawn(move || serve_connection(stream, &conn_shared));
+                        .spawn(move || serve_connection(stream, &permit.shared));
                 }
             })?;
         Ok(HttpServer { addr: local, shared, accept_thread: Some(accept_thread) })
@@ -751,6 +811,71 @@ mod tests {
             "drain outlived the configured read timeout: {:?}",
             started.elapsed()
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn connections_over_the_cap_get_503_and_the_slot_is_reusable() {
+        let server = HttpServer::bind_with_limits(
+            "127.0.0.1:0",
+            vec![(
+                "/ping".to_owned(),
+                Box::new(|_req: &Request| Response::text(200, "pong")) as Handler,
+            )],
+            Duration::from_secs(5),
+            1,
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let over_capacity = MetricsRegistry::global().counter(
+            "causeway_httpd_over_capacity_total",
+            "HTTP connections answered 503 because the connection cap was reached",
+        );
+        let before = over_capacity.get();
+
+        // One stalled client pins the only slot (its thread sits in the
+        // request-line read until the timeout or until we finish it).
+        let mut stalled = TcpStream::connect(addr).expect("connect");
+        write!(stalled, "GET /pi").expect("send partial");
+        // Wait until the accept thread has really taken the slot: the next
+        // connection must observe `active == cap`.
+        let mut shed_raw = String::new();
+        for _ in 0..50 {
+            let mut shed = TcpStream::connect(addr).expect("connect");
+            write!(shed, "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+            let _ = shed.set_read_timeout(Some(Duration::from_secs(5)));
+            shed_raw.clear();
+            let _ = shed.read_to_string(&mut shed_raw);
+            if shed_raw.starts_with("HTTP/1.1 503") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            shed_raw.starts_with("HTTP/1.1 503"),
+            "connection over the cap should be shed with 503, got {shed_raw:?}"
+        );
+        assert!(
+            over_capacity.get() > before,
+            "shedding increments causeway_httpd_over_capacity_total"
+        );
+
+        // Finish the stalled request; its permit is released and the next
+        // connection is served normally.
+        write!(stalled, "ng HTTP/1.1\r\nHost: t\r\n\r\n").expect("finish request");
+        let mut raw = String::new();
+        stalled.set_read_timeout(Some(Duration::from_secs(5))).expect("client timeout");
+        let _ = stalled.read_to_string(&mut raw);
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        let mut served = (0, String::new());
+        for _ in 0..50 {
+            served = get(addr, "/ping");
+            if served.0 == 200 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(served, (200, "pong".to_owned()), "slot is reusable after release");
         server.shutdown();
     }
 

@@ -564,6 +564,8 @@ pub struct EngineMetrics {
     pub queue_wait_ns: Histogram,
     /// Worker threads currently live for this engine.
     pub workers: Gauge,
+    /// Requests shed at admission because the dispatch queue was full.
+    pub shed: Counter,
 }
 
 /// RAII span for one dispatch: counts it, marks it in flight, and on drop
@@ -638,6 +640,11 @@ impl EngineMetrics {
             workers: registry.gauge_with(
                 "causeway_engine_workers",
                 "live worker threads",
+                labels,
+            ),
+            shed: registry.counter_with(
+                "causeway_engine_shed_total",
+                "requests refused at admission because the dispatch queue was full",
                 labels,
             ),
         }

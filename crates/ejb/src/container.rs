@@ -54,6 +54,10 @@ pub struct ContainerConfig {
     pub default_pool_size: usize,
     /// Reply timeout for business calls.
     pub reply_timeout: Duration,
+    /// Bound on the container's dispatch queue; business calls over it
+    /// are refused with [`crate::error::EjbError::Overloaded`] and counted
+    /// in `causeway_engine_shed_total{engine="ejb"}`. 0 is treated as 1.
+    pub queue_capacity: usize,
 }
 
 impl Default for ContainerConfig {
@@ -64,6 +68,7 @@ impl Default for ContainerConfig {
             dispatch_threads: 4,
             default_pool_size: 8,
             reply_timeout: Duration::from_secs(30),
+            queue_capacity: 65_536,
         }
     }
 }
@@ -642,6 +647,20 @@ impl EjbClient {
             }
             return Err(EjbError::ContainerUnreachable(target.container.to_string()));
         };
+
+        // Bounded admission: a full container queue sheds the call with an
+        // explicit overload error instead of queueing without bound. The
+        // proxy-side probe still closes, so the causal chain stays intact.
+        if route.len() >= inner.config.queue_capacity.max(1) {
+            engine_metrics().shed.inc();
+            if instrumented {
+                monitor.stub_end(func, kind, None);
+            }
+            return Err(EjbError::Overloaded(format!(
+                "{} dispatch queue at capacity",
+                target.container
+            )));
+        }
 
         let (reply_tx, reply_rx) = bounded(1);
         inner.domain.pending.fetch_add(1, Ordering::SeqCst);

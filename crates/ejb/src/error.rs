@@ -18,6 +18,8 @@ pub enum EjbError {
     Application(String, String),
     /// A payload failed to (un)marshal, or IDL failed to compile.
     Definition(String),
+    /// The container shed the call: its dispatch queue was at capacity.
+    Overloaded(String),
 }
 
 impl fmt::Display for EjbError {
@@ -26,6 +28,7 @@ impl fmt::Display for EjbError {
             EjbError::NameNotFound(n) => write!(f, "name not found: {n}"),
             EjbError::UnknownMethod(m) => write!(f, "unknown method: {m}"),
             EjbError::ContainerUnreachable(m) => write!(f, "container unreachable: {m}"),
+            EjbError::Overloaded(m) => write!(f, "overloaded: {m}"),
             EjbError::Timeout(m) => write!(f, "invocation timed out: {m}"),
             EjbError::Application(e, m) => write!(f, "application exception {e}: {m}"),
             EjbError::Definition(m) => write!(f, "definition error: {m}"),

@@ -157,12 +157,25 @@ fn spawn_per_request(
     rx: Receiver<Incoming>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) -> JoinHandle<()> {
+    let capacity = orb.config().engine_queue_capacity.max(1);
     std::thread::Builder::new()
         .name(format!("{}-acceptor", orb.process()))
         .spawn(move || {
             while let Ok(incoming) = rx.recv() {
                 match incoming {
                     Incoming::Request(msg) => {
+                        // Completed requests leave finished handles behind;
+                        // reap them here so a long-lived engine does not
+                        // accumulate one dead handle per request ever
+                        // served — and so the capacity check below counts
+                        // only live request threads.
+                        reap_finished(&workers);
+                        // The queue under thread-per-request IS the thread
+                        // set: shed rather than spawn without bound.
+                        if workers.lock().len() >= capacity {
+                            orb.shed(msg);
+                            continue;
+                        }
                         let orb = orb.clone();
                         // Queue wait under thread-per-request is the spawn
                         // cost: stamp here, claim when the thread runs.
@@ -176,11 +189,6 @@ fn spawn_per_request(
                                 }
                             })
                             .expect("spawn request thread");
-                        // Completed requests leave finished handles behind;
-                        // reap them here so a long-lived engine does not
-                        // accumulate one dead handle per request ever
-                        // served.
-                        reap_finished(&workers);
                         workers.lock().push(handle);
                     }
                     Incoming::Stop => break,
@@ -218,12 +226,20 @@ fn spawn_pool(
             guard.push(handle);
         }
     }
+    let capacity = orb.config().engine_queue_capacity.max(1);
     std::thread::Builder::new()
         .name(format!("{}-acceptor", orb.process()))
         .spawn(move || {
             while let Ok(incoming) = rx.recv() {
                 match incoming {
                     Incoming::Request(msg) => {
+                        // Bounded admission: a full worker queue sheds the
+                        // request with an overload reply instead of letting
+                        // an arrival burst grow the queue without bound.
+                        if work_tx.len() >= capacity {
+                            orb.shed(msg);
+                            continue;
+                        }
                         if work_tx.send(Queued::now(Incoming::Request(msg))).is_err() {
                             break;
                         }
@@ -245,6 +261,7 @@ fn spawn_per_connection(
     rx: Receiver<Incoming>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) -> JoinHandle<()> {
+    let capacity = orb.config().engine_queue_capacity.max(1);
     std::thread::Builder::new()
         .name(format!("{}-acceptor", orb.process()))
         .spawn(move || {
@@ -253,6 +270,12 @@ fn spawn_per_connection(
                 match incoming {
                     Incoming::Request(msg) => {
                         let conn = msg.conn;
+                        // Bounded admission per connection queue (the
+                        // worker is per connection, so the bound is too).
+                        if conns.get(&conn).is_some_and(|tx| tx.len() >= capacity) {
+                            orb.shed(msg);
+                            continue;
+                        }
                         let tx = conns.entry(conn).or_insert_with(|| {
                             let (tx, conn_rx) = unbounded::<Queued>();
                             let orb = orb.clone();

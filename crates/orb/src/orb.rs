@@ -36,6 +36,13 @@ pub(crate) fn op_metrics() -> &'static OpMetrics {
     METRICS.get_or_init(|| OpMetrics::new("orb"))
 }
 
+/// Default bound on each server engine's internal dispatch queue (and, for
+/// thread-per-request, on live request threads). Requests beyond it are
+/// shed with an overload reply instead of queueing without bound — an
+/// open-loop arrival burst must surface as explicit shed load
+/// (`causeway_engine_shed_total`), not as a silently growing queue.
+pub const DEFAULT_ENGINE_QUEUE_CAPACITY: usize = 65_536;
+
 /// Static ORB configuration, fixed at system build time.
 #[derive(Debug, Clone)]
 pub struct OrbConfig {
@@ -48,6 +55,10 @@ pub struct OrbConfig {
     pub collocation_optimization: bool,
     /// How long a synchronous caller waits for a reply before giving up.
     pub reply_timeout: Duration,
+    /// Bound on the server engine's dispatch queue; requests over it are
+    /// shed with an overload reply (see
+    /// [`DEFAULT_ENGINE_QUEUE_CAPACITY`]). A value of 0 is treated as 1.
+    pub engine_queue_capacity: usize,
 }
 
 impl Default for OrbConfig {
@@ -56,6 +67,7 @@ impl Default for OrbConfig {
             instrumented: true,
             collocation_optimization: true,
             reply_timeout: Duration::from_secs(30),
+            engine_queue_capacity: DEFAULT_ENGINE_QUEUE_CAPACITY,
         }
     }
 }
@@ -173,6 +185,25 @@ impl Orb {
         // server-side record is visible to the collector. Runs after the
         // reply send, so it never sits on the caller's latency path.
         self.inner.monitor.store().flush_current_thread();
+        self.inner.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Refuses one request at admission because the engine's dispatch
+    /// queue is full: counts the shed, answers the caller with an overload
+    /// failure (synchronous callers see it as an immediate error instead
+    /// of a timeout), and releases the request's in-flight count — a shed
+    /// request must not wedge quiescence.
+    pub(crate) fn shed(&self, msg: RequestMsg) {
+        engine_metrics().shed.inc();
+        if let Some(reply) = &msg.reply {
+            let _ = reply.send(ReplyMsg {
+                body: Err(format!(
+                    "overloaded: {} engine dispatch queue at capacity",
+                    self.process()
+                )),
+                contexts: ServiceContexts::new(),
+            });
+        }
         self.inner.pending.fetch_sub(1, Ordering::SeqCst);
     }
 

@@ -80,6 +80,7 @@ pub struct SystemBuilder {
     instrumented: bool,
     collocation_optimization: bool,
     reply_timeout: Duration,
+    engine_queue_capacity: usize,
     wall: Option<Arc<dyn WallClock>>,
     cpu: Option<Arc<dyn CpuClock>>,
 }
@@ -129,6 +130,15 @@ impl SystemBuilder {
     /// Sets the synchronous reply timeout (default 30 s).
     pub fn reply_timeout(&mut self, timeout: Duration) -> &mut Self {
         self.reply_timeout = timeout;
+        self
+    }
+
+    /// Bounds each server engine's dispatch queue (default
+    /// [`crate::orb::DEFAULT_ENGINE_QUEUE_CAPACITY`]); requests over the
+    /// bound are shed with an overload reply and counted in
+    /// `causeway_engine_shed_total{engine="orb"}`.
+    pub fn engine_queue_capacity(&mut self, capacity: usize) -> &mut Self {
+        self.engine_queue_capacity = capacity.max(1);
         self
     }
 
@@ -187,6 +197,7 @@ impl SystemBuilder {
                     instrumented: self.instrumented,
                     collocation_optimization: self.collocation_optimization,
                     reply_timeout: self.reply_timeout,
+                    engine_queue_capacity: self.engine_queue_capacity,
                 },
                 Arc::clone(&pending),
             );
@@ -241,6 +252,7 @@ impl System {
             instrumented: true,
             collocation_optimization: true,
             reply_timeout: Duration::from_secs(30),
+            engine_queue_capacity: crate::orb::DEFAULT_ENGINE_QUEUE_CAPACITY,
             wall: None,
             cpu: None,
         }

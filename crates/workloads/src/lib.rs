@@ -9,6 +9,9 @@
 //!   configurable into a monolithic single-thread deployment, the paper's
 //!   single-processor 4-process deployment, or a multi-node
 //!   HPUX/WindowsNT/VxWorks deployment.
+//! * [`load`] — open-loop (coordinated-omission-free) load generation:
+//!   fixed arrival schedules (steady, burst, thundering herd) issued from
+//!   worker threads with latency charged from scheduled arrival.
 //! * [`commercial`] — a seeded synthetic stand-in for the paper's
 //!   1M-line commercial embedded system, matching its published shape
 //!   statistics (~176 components, ~155 interfaces, ~801 methods, ~195,000
@@ -17,12 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod commercial;
+pub mod load;
 pub mod pps;
 pub mod random;
 pub mod replay;
 pub mod script;
 
 pub use commercial::{CommercialConfig, CommercialSystem};
+pub use load::{run_open_loop, Arrivals, LoadReport};
 pub use pps::{Pps, PpsConfig, PpsDeployment, StageName};
 pub use random::{RandomNode, RandomTreeConfig};
 pub use replay::{DeriveOptions, ReplayNode, ReplaySpec, ReplayTree};

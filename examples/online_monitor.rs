@@ -55,12 +55,13 @@ use causeway::core::record::ProbeRecord;
 use causeway::workloads::{Pps, PpsConfig, PpsDeployment};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
     listen: Option<String>,
     window: Duration,
+    shards: Option<usize>,
     alerts: Vec<String>,
     burns: Vec<String>,
     history: Option<usize>,
@@ -77,6 +78,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         listen: None,
         window: Duration::from_secs(2),
+        shards: None,
         alerts: Vec::new(),
         burns: Vec::new(),
         history: None,
@@ -104,6 +106,13 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
                 args.window = Duration::from_secs_f64(secs.max(0.001));
+            }
+            "--shards" => {
+                let shards: usize = need(&mut argv, "--shards").parse().unwrap_or_else(|_| {
+                    eprintln!("--shards takes an ingestion shard count");
+                    std::process::exit(2);
+                });
+                args.shards = Some(shards.max(1));
             }
             "--alert" => args.alerts.push(need(&mut argv, "--alert")),
             "--burn" => args.burns.push(need(&mut argv, "--burn")),
@@ -154,9 +163,9 @@ fn parse_args() -> Args {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; flags: --listen ADDR --window SECS \
-                     --alert RULE --burn RULE --history WINDOWS --segment PATH \
-                     --spill PATH --duration SECS --jobs N --no-incidents \
-                     --incident-top N --incident-floor SHARE"
+                     --shards N --alert RULE --burn RULE --history WINDOWS \
+                     --segment PATH --spill PATH --duration SECS --jobs N \
+                     --no-incidents --incident-top N --incident-floor SHARE"
                 );
                 std::process::exit(2);
             }
@@ -186,6 +195,9 @@ fn main() {
         .collect();
 
     let mut config = LiveConfig { window: args.window, ..LiveConfig::default() };
+    if let Some(shards) = args.shards {
+        config.shards = shards;
+    }
     if let Some(windows) = args.history {
         config.history_windows = windows;
     }
@@ -214,7 +226,7 @@ fn main() {
             std::process::exit(1);
         })
     });
-    let mut live = LiveMonitor::new(
+    let live = LiveMonitor::new(
         config,
         pps.system.vocab().snapshot(),
         pps.system.deployment().clone(),
@@ -231,7 +243,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let live = Arc::new(Mutex::new(live));
+    let live = Arc::new(live);
 
     let server = args.listen.as_ref().map(|addr| {
         let server = serve(Arc::clone(&live), addr).unwrap_or_else(|e| {
@@ -293,25 +305,23 @@ fn main() {
                 }
             }
             streamed.extend(batch.iter().cloned());
-            {
-                let mut guard = live_monitor.lock().expect("monitor lock");
-                if batch.is_empty() {
-                    guard.tick(); // idle windows must still rotate
-                } else {
-                    guard.ingest_batch(batch);
-                }
-                for event in guard.alert_log().skip(narrated) {
-                    println!(
-                        "[alert] {} {} (value {:.0}, threshold {:.0}, window {})",
-                        if event.fired { "FIRING " } else { "resolved" },
-                        event.alert,
-                        event.value,
-                        event.threshold,
-                        event.window_index,
-                    );
-                }
-                narrated = guard.alert_log().count();
+            if batch.is_empty() {
+                live_monitor.tick(); // idle windows must still rotate
+            } else {
+                live_monitor.ingest_batch(batch);
             }
+            let log = live_monitor.alert_log();
+            for event in log.iter().skip(narrated) {
+                println!(
+                    "[alert] {} {} (value {:.0}, threshold {:.0}, window {})",
+                    if event.fired { "FIRING " } else { "resolved" },
+                    event.alert,
+                    event.value,
+                    event.threshold,
+                    event.window_index,
+                );
+            }
+            narrated = log.len();
             if finished {
                 break;
             }
@@ -404,32 +414,34 @@ fn main() {
     std::fs::write(&trace_path, chrome_trace::export(&MonitoringDb::from_run(run)))
         .expect("write chrome trace");
 
-    {
-        let guard = live.lock().expect("final lock");
+    println!(
+        "\nlive monitor observed {} completed calls over {jobs} jobs, {} \
+         abnormalities, {} alert transitions.",
+        live.total_completed(),
+        live.total_abnormalities(),
+        live.alert_log().len()
+    );
+    let window = live.sliding();
+    for (key, agg) in &window.series {
         println!(
-            "\nlive monitor observed {} completed calls over {jobs} jobs, {} \
-             abnormalities, {} alert transitions.",
-            guard.total_completed(),
-            guard.total_abnormalities(),
-            guard.alert_log().count()
+            "  {:>30}.{}: {} calls, p50 {}ns p95 {}ns p99 {}ns",
+            live.vocab().interface_name(key.0),
+            live.vocab().method_name(key.0, key.1),
+            agg.calls,
+            agg.hist.quantile_ns(0.50),
+            agg.hist.quantile_ns(0.95),
+            agg.hist.quantile_ns(0.99),
         );
-        let window = guard.sliding();
-        for (key, agg) in &window.series {
-            println!(
-                "  {:>30}.{}: {} calls, p50 {}ns p95 {}ns p99 {}ns",
-                guard.vocab().interface_name(key.0),
-                guard.vocab().method_name(key.0, key.1),
-                agg.calls,
-                agg.hist.quantile_ns(0.50),
-                agg.hist.quantile_ns(0.95),
-                agg.hist.quantile_ns(0.99),
-            );
-        }
-        for incident in guard.incidents().iter() {
-            let live = incident.surviving().len();
+    }
+    {
+        // `incidents()` holds the monitor's control lock; keep the guard
+        // scoped so later monitor calls cannot self-deadlock.
+        let incidents = live.incidents();
+        for incident in incidents.iter() {
+            let surviving = incident.surviving().len();
             let total = incident.hypotheses().len();
             println!(
-                "  incident #{} [{}] alert {:?}: {live}/{total} hypotheses \
+                "  incident #{} [{}] alert {:?}: {surviving}/{total} hypotheses \
                  surviving, {} tombstone(s)",
                 incident.id,
                 if incident.is_open() { "open" } else { "resolved" },
@@ -437,8 +449,8 @@ fn main() {
                 incident.tombstones().len(),
             );
         }
-        assert!(guard.total_completed() > 0);
     }
+    assert!(live.total_completed() > 0);
     if let Some(server) = server {
         println!("served {} HTTP requests", server.requests_served());
         server.shutdown();

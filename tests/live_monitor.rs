@@ -16,7 +16,7 @@ use causeway_core::record::{CallSite, FunctionKey, ProbeRecord};
 use causeway_core::uuid::Uuid;
 use causeway_workloads::{Pps, PpsConfig, PpsDeployment};
 use std::io::{Read, Write};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn small_pps() -> Pps {
@@ -44,7 +44,7 @@ fn windowed_percentiles_match_offline_analysis_within_bucket_resolution() {
     assert_eq!(run.missing_records(), None);
 
     // Live path: the same records, streamed through the windowed monitor.
-    let mut live = LiveMonitor::new(
+    let live = LiveMonitor::new(
         one_big_window(),
         run.vocab.clone(),
         run.deployment.clone(),
@@ -82,11 +82,11 @@ fn endpoints_serve_concurrently_with_ingestion() {
     let stores: Vec<_> = (0..4u16)
         .map(|p| pps.system.orb(ProcessId(p)).monitor().store().clone())
         .collect();
-    let live = Arc::new(Mutex::new(LiveMonitor::new(
+    let live = Arc::new(LiveMonitor::new(
         LiveConfig { window: Duration::from_millis(200), ..LiveConfig::default() },
         pps.system.vocab().snapshot(),
         pps.system.deployment().clone(),
-    )));
+    ));
     let server = serve(Arc::clone(&live), "127.0.0.1:0").expect("bind");
     let addr = server.local_addr();
 
@@ -134,7 +134,7 @@ fn endpoints_serve_concurrently_with_ingestion() {
             batch.extend(store.drain());
         }
         if !batch.is_empty() {
-            live.lock().unwrap().ingest_batch(batch);
+            live.ingest_batch(batch);
         }
         if finished {
             break;
@@ -168,13 +168,12 @@ fn endpoints_serve_concurrently_with_ingestion() {
     }
     // After the full run, ingestion really reached the monitor and the
     // latency endpoint reports every pipeline stage.
-    let guard = live.lock().unwrap();
-    assert!(guard.total_completed() > 0);
-    let latency = guard.latency_json(Some("Pps::Stage"), None);
+    assert!(live.total_completed() > 0);
+    let latency = live.latency_json(Some("Pps::Stage"), None);
     let series = latency.get("series").and_then(Json::as_arr).expect("series");
     assert!(!series.is_empty(), "windowed series after the run: {latency}");
     assert!(
-        guard.folded_stacks().contains("Pps::Stage.submit"),
+        live.folded_stacks().contains("Pps::Stage.submit"),
         "flamegraph accumulated the pipeline after the run"
     );
 }
@@ -213,7 +212,7 @@ fn injected_latency_spike_fires_and_resolves_one_alert() {
         ]
     }
 
-    let mut live = LiveMonitor::new(
+    let live = LiveMonitor::new(
         LiveConfig { window: Duration::from_nanos(WINDOW_NS), ..LiveConfig::default() },
         causeway_core::names::VocabSnapshot::default(),
         causeway_core::deploy::Deployment::default(),
@@ -239,7 +238,7 @@ fn injected_latency_spike_fires_and_resolves_one_alert() {
     }
     live.tick_at(10 * WINDOW_NS);
 
-    let events: Vec<_> = live.alert_log().collect();
+    let events = live.alert_log();
     assert_eq!(events.len(), 2, "one fire + one resolve: {events:?}");
     assert!(events[0].fired, "first transition fires: {:?}", events[0]);
     assert_eq!(events[0].window_index, 3, "fires on the spike's second window");
@@ -297,7 +296,7 @@ fn sustained_regression_fires_burn_alert_once_and_diff_names_culprit() {
     // wall-clock ticker can never advance past the explicit timestamps.
     const BASE_W: u64 = 1 << 30;
 
-    let mut live = LiveMonitor::new(
+    let live = LiveMonitor::new(
         LiveConfig { window: Duration::from_nanos(WINDOW_NS), ..LiveConfig::default() },
         two_method_vocab(),
         causeway_core::deploy::Deployment::default(),
@@ -332,7 +331,7 @@ fn sustained_regression_fires_burn_alert_once_and_diff_names_culprit() {
     }
     live.tick_at((BASE_W + 16) * WINDOW_NS);
 
-    let events: Vec<_> = live.alert_log().collect();
+    let events = live.alert_log();
     let burn: Vec<_> = events.iter().filter(|e| e.alert.starts_with("burn=")).collect();
     let fires = burn.iter().filter(|e| e.fired).count();
     assert_eq!(fires, 1, "the sustained regression fires the burn rule exactly once: {burn:?}");
@@ -354,7 +353,7 @@ fn sustained_regression_fires_burn_alert_once_and_diff_names_culprit() {
 
     // Differential flamegraph over HTTP across the regression boundary:
     // calm window w4 vs regressed window w8.
-    let live = Arc::new(Mutex::new(live));
+    let live = Arc::new(live);
     let server = serve(Arc::clone(&live), "127.0.0.1:0").expect("bind");
     let (a, b) = (BASE_W + 4, BASE_W + 8);
     let mut conn = std::net::TcpStream::connect(server.local_addr()).expect("connect");
@@ -388,7 +387,7 @@ fn incident_forensics_names_the_true_regression_over_http() {
     const WINDOW_NS: u64 = 1_000_000_000;
     const BASE_W: u64 = 1 << 30;
 
-    let mut live = LiveMonitor::new(
+    let live = LiveMonitor::new(
         LiveConfig { window: Duration::from_nanos(WINDOW_NS), ..LiveConfig::default() },
         two_method_vocab(),
         causeway_core::deploy::Deployment::default(),
@@ -417,15 +416,17 @@ fn incident_forensics_names_the_true_regression_over_http() {
 
     // The burn rule fires exactly once, on the third sustained window
     // (2-of-3 fast AND 3-of-6 slow with this rule's budget).
-    let fires: Vec<_> = live.alert_log().filter(|e| e.fired).collect();
+    let log = live.alert_log();
+    let fires: Vec<_> = log.iter().filter(|e| e.fired).collect();
     assert_eq!(fires.len(), 1, "exactly one firing transition: {fires:?}");
     assert_eq!(fires[0].window_index, BASE_W + 9);
     assert!(fires[0].at_ms > 0, "alert events carry a wall-clock stamp");
 
     // The firing auto-opened one incident against the pre-breach baseline
     // (fast=3 windows back from the breach).
-    assert_eq!(live.incidents().len(), 1);
-    let incident = live.incidents().iter().next().expect("auto-opened");
+    let incidents = live.incidents();
+    assert_eq!(incidents.len(), 1);
+    let incident = incidents.iter().next().expect("auto-opened");
     let incident_id = incident.id;
     assert_eq!(incident.breach_window, BASE_W + 9);
     assert_eq!(incident.baseline_window, Some(BASE_W + 6));
@@ -456,9 +457,11 @@ fn incident_forensics_names_the_true_regression_over_http() {
     assert_eq!(tombstone.pass, "baseline-presence");
     assert!(tombstone.evidence.contains("baseline window"), "{tombstone:?}");
     assert!(tombstone.at_ms > 0);
+    // The guard holds the monitor's control lock; release it before serving.
+    drop(incidents);
 
     // Over HTTP: the index, the full graph, and an operator tombstone.
-    let live = Arc::new(Mutex::new(live));
+    let live = Arc::new(live);
     let server = serve(Arc::clone(&live), "127.0.0.1:0").expect("bind");
     let addr = server.local_addr();
     let roundtrip = |request: String| -> (u16, String) {
@@ -572,7 +575,7 @@ fn history_store_stays_bounded_after_ten_times_its_window_cap() {
     const BASE_W: u64 = 1 << 30;
     const CAP: usize = 4;
 
-    let mut live = LiveMonitor::new(
+    let live = LiveMonitor::new(
         LiveConfig {
             window: Duration::from_nanos(WINDOW_NS),
             history_windows: CAP,
@@ -588,31 +591,36 @@ fn history_store_stays_bounded_after_ten_times_its_window_cap() {
     }
     live.tick_at((BASE_W + closes + 1) * WINDOW_NS);
 
+    // `history()` holds the monitor's control lock: copy what the asserts
+    // need and release it before calling back into the monitor below.
     let history = live.history();
-    assert!(history.len() <= CAP, "store holds {} > cap {CAP}", history.len());
+    let retained = history.len();
+    let evictions = history.evictions();
+    assert!(retained <= CAP, "store holds {retained} > cap {CAP}");
     assert!(
         history.approx_bytes() <= history.cap_bytes(),
         "store stays within its byte cap"
     );
     assert_eq!(
-        history.evictions(),
-        closes + 1 - history.len() as u64,
+        evictions,
+        closes + 1 - retained as u64,
         "every closed window beyond the cap was evicted"
     );
     // The ring keeps the newest windows: the latest close is retained, the
     // oldest is long gone.
     assert_eq!(history.latest().expect("non-empty").window.index, BASE_W + closes);
     assert!(history.get(BASE_W).is_none(), "the first window was evicted");
+    drop(history);
     // The JSON export agrees with the store it describes.
     let json = live.history_json(None, None);
     assert_eq!(
         json.get("evictions").and_then(Json::as_u64),
-        Some(history.evictions()),
+        Some(evictions),
         "history_json reports the eviction counter"
     );
     assert_eq!(
         json.get("retained_windows").and_then(Json::as_u64),
-        Some(history.len() as u64),
+        Some(retained as u64),
         "history_json reports the retained count"
     );
 }
