@@ -1020,6 +1020,8 @@ mod tests {
                 fire_threshold: 1_000_000.0,
                 resolve_threshold: 1_000_000.0,
                 for_windows: 1,
+                escalate: None,
+                deescalate: None,
             },
             slo_percent: 99.9,
             fast,

@@ -64,6 +64,7 @@ use causeway_core::deploy::Deployment;
 use causeway_core::httpd::{Handler, HttpServer, Request, Response};
 use causeway_core::ids::{InterfaceId, MethodIndex};
 use causeway_core::metrics::{Counter, Gauge, MetricsRegistry};
+use causeway_core::monitor::{ProbeDirective, ProbeMode, ProbePolicy};
 use causeway_core::names::VocabSnapshot;
 use causeway_core::record::ProbeRecord;
 use causeway_core::runlog::RunLog;
@@ -108,6 +109,9 @@ pub struct LiveConfig {
     pub history_spill: Option<std::path::PathBuf>,
     /// Automatic incident forensics (see [`crate::incident`]).
     pub incidents: IncidentConfig,
+    /// The adaptive probe control plane (alert-driven escalation of
+    /// per-interface probe modes; see [`AdaptiveConfig`]).
+    pub adaptive: AdaptiveConfig,
     /// Ingestion shards: records route by `uuid % shards`, so a chain's
     /// records always land on one shard. Clamped to at least 1. Output is
     /// shard-count independent; more shards reduce ingest lock contention.
@@ -148,6 +152,41 @@ impl Default for IncidentConfig {
     }
 }
 
+/// Configuration of the adaptive probe control plane.
+///
+/// The monitored system's shared [`ProbePolicy`] is the actuator surface:
+/// when a series-targeting alert or burn rule fires, the live monitor
+/// escalates that interface's probes to `escalate_mode` (or the rule's own
+/// `escalate=` suffix), and de-escalates when the rule resolves. Operators
+/// can override any interface over `POST /probes`, bounded by a TTL. With
+/// `policy` left `None` the control plane is inert: rules still alert, but
+/// nothing is actuated.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// The probe policy shared with the monitored system's dispatch
+    /// substrates (e.g. `System::probe_policy()`); `None` disables
+    /// actuation.
+    pub policy: Option<ProbePolicy>,
+    /// The mode a firing series-targeting rule escalates its interface to,
+    /// unless the rule carries an explicit `escalate=` suffix.
+    pub escalate_mode: ProbeMode,
+    /// Default lifetime of an operator override posted without `ttl_ms`.
+    pub operator_ttl: Duration,
+    /// Retained probe-mode transitions (the `/probes` log ring).
+    pub log_capacity: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            policy: None,
+            escalate_mode: ProbeMode::Both,
+            operator_ttl: Duration::from_secs(300),
+            log_capacity: 256,
+        }
+    }
+}
+
 impl Default for LiveConfig {
     fn default() -> Self {
         LiveConfig {
@@ -161,6 +200,7 @@ impl Default for LiveConfig {
             stack_capacity: 65_536,
             history_spill: None,
             incidents: IncidentConfig::default(),
+            adaptive: AdaptiveConfig::default(),
             shards: 4,
         }
     }
@@ -298,6 +338,13 @@ pub struct AlertRule {
     /// Consecutive breaching windows required to fire, and consecutive calm
     /// windows required to resolve.
     pub for_windows: u32,
+    /// Probe mode the watched interface is escalated to while this rule
+    /// fires, overriding the control plane's default escalate mode. Only
+    /// meaningful on series-targeting rules with an adaptive policy.
+    pub escalate: Option<ProbeMode>,
+    /// Standing probe mode the watched interface is left at after this rule
+    /// resolves (instead of returning to the policy's base mode).
+    pub deescalate: Option<ProbeMode>,
 }
 
 impl AlertRule {
@@ -437,15 +484,20 @@ impl AlertState {
 
 /// Parses an alert rule spec.
 ///
-/// Grammar: `METRIC[:IFACE.METHOD]CMP VALUE[;for=N][;resolve=VALUE]` with
-/// `METRIC` ∈ `p50|p95|p99|rate|abnormal`, `CMP` ∈ `>` `<`, and latency
-/// values suffixed `ns|us|ms|s` (rates are plain numbers per second).
+/// Grammar: `METRIC[:IFACE.METHOD]CMP VALUE[;for=N][;resolve=VALUE]`
+/// `[;escalate=MODE][;deescalate=MODE]` with `METRIC` ∈
+/// `p50|p95|p99|rate|abnormal`, `CMP` ∈ `>` `<`, latency values suffixed
+/// `ns|us|ms|s` (rates are plain numbers per second), and `MODE` a
+/// [`ProbeMode`] name. `escalate=`/`deescalate=` require a series target
+/// (the escalated unit is the series' interface).
 /// Example: `p95:Pps::Stage.rasterize>800us;for=2;resolve=400us`.
 pub fn parse_rule(spec: &str, vocab: &VocabSnapshot) -> Result<AlertRule, String> {
     let mut parts = spec.split(';');
     let head = parts.next().ok_or("empty rule")?.trim();
     let mut for_windows = 1u32;
     let mut resolve_spec: Option<&str> = None;
+    let mut escalate = None;
+    let mut deescalate = None;
     for opt in parts {
         let opt = opt.trim();
         if let Some(n) = opt.strip_prefix("for=") {
@@ -456,6 +508,10 @@ pub fn parse_rule(spec: &str, vocab: &VocabSnapshot) -> Result<AlertRule, String
             }
         } else if let Some(v) = opt.strip_prefix("resolve=") {
             resolve_spec = Some(v);
+        } else if let Some(v) = opt.strip_prefix("escalate=") {
+            escalate = Some(parse_probe_mode(v, spec)?);
+        } else if let Some(v) = opt.strip_prefix("deescalate=") {
+            deescalate = Some(parse_probe_mode(v, spec)?);
         } else if !opt.is_empty() {
             return Err(format!("unknown option {opt:?} in rule {spec:?}"));
         }
@@ -474,6 +530,11 @@ pub fn parse_rule(spec: &str, vocab: &VocabSnapshot) -> Result<AlertRule, String
     if !band_ok {
         return Err(format!("resolve threshold must be on the calm side in rule {spec:?}"));
     }
+    if (escalate.is_some() || deescalate.is_some()) && condition.series.is_none() {
+        return Err(format!(
+            "escalate=/deescalate= need a series target (METRIC:IFACE.METHOD) in rule {spec:?}"
+        ));
+    }
 
     Ok(AlertRule {
         name: spec.trim().to_owned(),
@@ -483,7 +544,13 @@ pub fn parse_rule(spec: &str, vocab: &VocabSnapshot) -> Result<AlertRule, String
         fire_threshold: condition.threshold,
         resolve_threshold,
         for_windows,
+        escalate,
+        deescalate,
     })
+}
+
+fn parse_probe_mode(v: &str, spec: &str) -> Result<ProbeMode, String> {
+    v.parse::<ProbeMode>().map_err(|e| format!("{e} in rule {spec:?}"))
 }
 
 /// A parsed `METRIC[:IFACE.METHOD]CMP VALUE` head, shared by threshold and
@@ -535,7 +602,8 @@ fn parse_condition(head: &str, spec: &str, vocab: &VocabSnapshot) -> Result<Cond
 /// Parses a multi-window SLO burn-rate rule spec.
 ///
 /// Grammar: `burn=METRIC[:IFACE.METHOD]CMP VALUE;slo=PCT;fast=N;slow=M`
-/// `[;factor=F]` — the head condition decides whether one window breaches
+/// `[;factor=F][;escalate=MODE][;deescalate=MODE]` — the head condition
+/// decides whether one window breaches
 /// (same syntax as [`parse_rule`]), `slo=` is the objective in percent
 /// (error budget `1 − slo/100`, `0 < slo < 100`), and `fast=`/`slow=` are
 /// the window spans of the burn-rate pair (`fast < slow`). The alert fires
@@ -551,6 +619,8 @@ pub fn parse_burn_rule(spec: &str, vocab: &VocabSnapshot) -> Result<BurnRule, St
     let mut parts = body.split(';');
     let head = parts.next().ok_or("empty burn rule")?.trim();
     let (mut slo, mut fast, mut slow, mut factor) = (None, None, None, None);
+    let mut escalate = None;
+    let mut deescalate = None;
     for opt in parts {
         let opt = opt.trim();
         let parse_num = |v: &str, what: &str| -> Result<f64, String> {
@@ -564,6 +634,10 @@ pub fn parse_burn_rule(spec: &str, vocab: &VocabSnapshot) -> Result<BurnRule, St
             slow = Some(parse_num(v, "slow=")? as usize);
         } else if let Some(v) = opt.strip_prefix("factor=") {
             factor = Some(parse_num(v, "factor=")?);
+        } else if let Some(v) = opt.strip_prefix("escalate=") {
+            escalate = Some(parse_probe_mode(v, spec)?);
+        } else if let Some(v) = opt.strip_prefix("deescalate=") {
+            deescalate = Some(parse_probe_mode(v, spec)?);
         } else if !opt.is_empty() {
             return Err(format!("unknown option {opt:?} in burn rule {spec:?}"));
         }
@@ -583,6 +657,11 @@ pub fn parse_burn_rule(spec: &str, vocab: &VocabSnapshot) -> Result<BurnRule, St
     if factor <= 0.0 {
         return Err(format!("factor= must be positive in burn rule {spec:?}"));
     }
+    if (escalate.is_some() || deescalate.is_some()) && condition.series.is_none() {
+        return Err(format!(
+            "escalate=/deescalate= need a series target (METRIC:IFACE.METHOD) in rule {spec:?}"
+        ));
+    }
     Ok(BurnRule {
         condition: AlertRule {
             name: spec.trim().to_owned(),
@@ -592,6 +671,8 @@ pub fn parse_burn_rule(spec: &str, vocab: &VocabSnapshot) -> Result<BurnRule, St
             fire_threshold: condition.threshold,
             resolve_threshold: condition.threshold,
             for_windows: 1,
+            escalate,
+            deescalate,
         },
         slo_percent,
         fast,
@@ -710,6 +791,61 @@ impl Shard {
     }
 }
 
+/// One probe-mode change actuated by the control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeTransition {
+    /// Wall-clock stamp (epoch milliseconds).
+    pub at_ms: u64,
+    /// Tumbling window ordinal at which the transition was actuated
+    /// (`u64::MAX` before the first window closes, e.g. operator posts).
+    pub window_index: u64,
+    /// The interface whose probes changed mode.
+    pub interface: InterfaceId,
+    /// Effective mode before the transition.
+    pub from: ProbeMode,
+    /// Effective mode after the transition.
+    pub to: ProbeMode,
+    /// Who actuated it: `"alert"`, `"operator"`, or `"ttl"`.
+    pub reason: &'static str,
+    /// The driving rule name or operator annotation.
+    pub detail: String,
+}
+
+/// Control-plane bookkeeping behind the control lock: who holds which
+/// interface at which mode, standing floors, operator overrides, and the
+/// transition log. The actuated state itself lives in the shared
+/// [`ProbePolicy`] the dispatch substrates read.
+#[derive(Debug, Default)]
+struct ProbeCtl {
+    /// Alert-driven holds: firing rule name → (interface, held mode).
+    holds: BTreeMap<String, (InterfaceId, ProbeMode)>,
+    /// Standing post-resolve modes from `deescalate=` suffixes.
+    floors: BTreeMap<InterfaceId, ProbeMode>,
+    /// Operator overrides: interface → (mode, expiry epoch ms).
+    operator: BTreeMap<InterfaceId, (ProbeMode, u64)>,
+    /// Recent transitions, oldest first, capped at the adaptive log
+    /// capacity.
+    log: VecDeque<ProbeTransition>,
+    /// Per-interface `causeway_probe_mode{iface,mode}` gauges (one per
+    /// mode; the active one reads 1), created on first transition.
+    mode_gauges: HashMap<InterfaceId, [Gauge; 4]>,
+}
+
+/// What a rule's transition means for the probe control plane, captured
+/// before stepping the rule (stepping borrows the rule state mutably).
+#[derive(Debug, Clone, Copy)]
+struct ProbeIntent {
+    series: Option<SeriesKey>,
+    escalate: Option<ProbeMode>,
+    deescalate: Option<ProbeMode>,
+}
+
+impl ProbeIntent {
+    fn of(rule: &AlertRule) -> ProbeIntent {
+        ProbeIntent { series: rule.series, escalate: rule.escalate, deescalate: rule.deescalate }
+    }
+}
+
 /// The order-sensitive, cross-chain state: window machinery, alerting,
 /// history, incidents and the exporters' retained evidence. One small lock
 /// guards it; the expensive per-record work happens under shard locks.
@@ -751,6 +887,8 @@ struct Control {
     /// Recent abnormal chains with their messages, oldest first, bounded at
     /// [`RECENT_ABNORMAL_CAP`] — the abnormal-chain evidence pool.
     recent_abnormal: VecDeque<(Uuid, String)>,
+    /// Adaptive probe control-plane bookkeeping (see [`ProbeCtl`]).
+    probe_ctl: ProbeCtl,
 }
 
 /// A cross-chain, order-sensitive side effect of one analyzer event,
@@ -797,6 +935,17 @@ pub struct LiveMonitor {
     /// global value with one shard's partial count).
     online_open: Gauge,
     online_buffered: Gauge,
+    /// `causeway_probe_transitions_total{reason=alert|operator|ttl}`.
+    probe_transitions: [Counter; 3],
+}
+
+/// Index into [`LiveMonitor::probe_transitions`] for a transition reason.
+fn reason_index(reason: &str) -> usize {
+    match reason {
+        "alert" => 0,
+        "operator" => 1,
+        _ => 2,
+    }
 }
 
 impl LiveMonitor {
@@ -830,6 +979,13 @@ impl LiveMonitor {
             "causeway_online_resequence_buffered",
             "records buffered waiting for out-of-order predecessors",
         );
+        let probe_transitions = ["alert", "operator", "ttl"].map(|reason| {
+            registry.counter_with(
+                "causeway_probe_transitions_total",
+                "Probe-mode transitions actuated by the adaptive control plane.",
+                &[("reason", reason)],
+            )
+        });
         let incidents = IncidentStore::new(cfg.incidents.capacity);
         let shards = (0..cfg.shards.max(1)).map(|_| Mutex::new(Shard::new())).collect();
         LiveMonitor {
@@ -860,11 +1016,13 @@ impl LiveMonitor {
                 incidents,
                 window_abnormal: Vec::new(),
                 recent_abnormal: VecDeque::new(),
+                probe_ctl: ProbeCtl::default(),
             }),
             stack_evictions,
             incident_dropped,
             online_open,
             online_buffered,
+            probe_transitions,
         }
     }
 
@@ -917,6 +1075,127 @@ impl LiveMonitor {
         let rule = parse_burn_rule(spec, &self.vocab)?;
         self.add_burn_rule(rule);
         Ok(())
+    }
+
+    /// The interface display name used by `/probes` and the probe gauges.
+    fn iface_name(&self, iface: InterfaceId) -> String {
+        self.vocab
+            .interfaces
+            .get(iface.0 as usize)
+            .map(|e| e.name.clone())
+            .unwrap_or_else(|| format!("iface-{}", iface.0))
+    }
+
+    /// The mode the control state wants for `iface`: an unexpired operator
+    /// override wins outright; otherwise the most observant of the firing
+    /// rules' holds and the standing floor; `None` means base.
+    fn probe_target(ctl: &ProbeCtl, iface: InterfaceId, now_ms: u64) -> Option<ProbeMode> {
+        if let Some((mode, expiry)) = ctl.operator.get(&iface) {
+            if *expiry > now_ms {
+                return Some(*mode);
+            }
+        }
+        let mut best = ctl.floors.get(&iface).copied();
+        for (held, mode) in ctl.holds.values() {
+            if *held == iface && best.is_none_or(|b| mode.rank() > b.rank()) {
+                best = Some(*mode);
+            }
+        }
+        best
+    }
+
+    /// Re-derives `iface`'s override from the control state and applies it
+    /// to the shared policy. When the effective mode changes, counts the
+    /// transition, updates the per-interface mode gauges, appends to the
+    /// transition log, and returns the transition for incident noting.
+    /// No-op without an adaptive policy.
+    fn actuate_probe(
+        &self,
+        c: &mut Control,
+        iface: InterfaceId,
+        window_index: u64,
+        reason: &'static str,
+        detail: String,
+        at_ms: u64,
+    ) -> Option<ProbeTransition> {
+        let policy = self.cfg.adaptive.policy.as_ref()?;
+        let from = policy.effective(iface);
+        match Self::probe_target(&c.probe_ctl, iface, at_ms) {
+            Some(mode) => policy.apply(ProbeDirective { interface: iface, mode }),
+            None => policy.clear(iface),
+        }
+        let to = policy.effective(iface);
+        if from == to {
+            return None;
+        }
+        self.probe_transitions[reason_index(reason)].inc();
+        let name = self.iface_name(iface);
+        let gauges = c.probe_ctl.mode_gauges.entry(iface).or_insert_with(|| {
+            let registry = MetricsRegistry::global();
+            ProbeMode::ALL.map(|mode| {
+                registry.gauge_with(
+                    "causeway_probe_mode",
+                    "1 while the labelled interface's probes run at the labelled mode.",
+                    &[("iface", &name), ("mode", mode.name())],
+                )
+            })
+        });
+        for mode in ProbeMode::ALL {
+            gauges[mode.rank() as usize].set(i64::from(mode == to));
+        }
+        let transition = ProbeTransition {
+            at_ms,
+            window_index,
+            interface: iface,
+            from,
+            to,
+            reason,
+            detail,
+        };
+        c.probe_ctl.log.push_back(transition.clone());
+        while c.probe_ctl.log.len() > self.cfg.adaptive.log_capacity.max(1) {
+            c.probe_ctl.log.pop_front();
+        }
+        Some(transition)
+    }
+
+    /// Drops operator overrides whose TTL has lapsed and de-escalates the
+    /// interfaces they pinned (reason `"ttl"`).
+    fn expire_operators_locked(&self, c: &mut Control, window_index: u64, now_ms: u64) {
+        if self.cfg.adaptive.policy.is_none() {
+            return;
+        }
+        let expired: Vec<InterfaceId> = c
+            .probe_ctl
+            .operator
+            .iter()
+            .filter(|(_, (_, expiry))| *expiry <= now_ms)
+            .map(|(iface, _)| *iface)
+            .collect();
+        for iface in expired {
+            c.probe_ctl.operator.remove(&iface);
+            self.actuate_probe(
+                c,
+                iface,
+                window_index,
+                "ttl",
+                "operator override expired".to_owned(),
+                now_ms,
+            );
+        }
+    }
+
+    /// Notes a probe transition on retained incidents opened by `alert`.
+    fn note_transition(c: &mut Control, ids: &[u64], t: &ProbeTransition, name: &str) {
+        for id in ids {
+            if let Some(incident) = c.incidents.get_mut(*id) {
+                incident.note(
+                    t.window_index,
+                    format!("probe {name}: {} → {} ({}: {})", t.from, t.to, t.reason, t.detail),
+                    t.at_ms,
+                );
+            }
+        }
     }
 
     /// The retained-window history store, behind the control lock. Drop the
@@ -1240,11 +1519,12 @@ impl LiveMonitor {
         // windows): `for=N` for threshold rules, the fast span for burns —
         // the incident layer resolves its pre-breach comparison window from
         // it.
-        let mut events: Vec<(AlertEvent, u64)> = Vec::new();
+        let mut events: Vec<(AlertEvent, u64, ProbeIntent)> = Vec::new();
         for alert in &mut c.alerts {
             let lookback = u64::from(alert.rule.for_windows);
+            let intent = ProbeIntent::of(&alert.rule);
             if let Some(event) = alert.step(&snap) {
-                events.push((event, lookback));
+                events.push((event, lookback, intent));
             }
         }
 
@@ -1253,8 +1533,9 @@ impl LiveMonitor {
         c.history.push(HistoryEntry { window: snap.clone(), folded });
         for burn in &mut c.burns {
             let lookback = burn.rule().fast as u64;
+            let intent = ProbeIntent::of(&burn.rule().condition);
             if let Some(event) = burn.step(&c.history) {
-                events.push((event, lookback));
+                events.push((event, lookback, intent));
             }
         }
 
@@ -1262,11 +1543,20 @@ impl LiveMonitor {
         // incident (the breach window is already in the history, so its
         // evidence resolves); resolves close the matching open incidents.
         let window_abnormal = std::mem::take(&mut c.window_abnormal);
+        let mut incident_of: Vec<Vec<u64>> = vec![Vec::new(); events.len()];
         if self.cfg.incidents.enabled {
-            for (event, lookback) in &events {
+            for (i, (event, lookback, _)) in events.iter().enumerate() {
                 if event.fired {
-                    self.open_incident(c, event, *lookback);
+                    incident_of[i].extend(self.open_incident(c, event, *lookback));
                 } else {
+                    // Remember which incidents this resolve closes, so a
+                    // de-escalation actuated by it lands on their timelines.
+                    incident_of[i] = c
+                        .incidents
+                        .iter()
+                        .filter(|inc| inc.is_open() && inc.alert == event.alert)
+                        .map(|inc| inc.id)
+                        .collect();
                     c.incidents.resolve_for_alert(
                         &event.alert,
                         event.window_index,
@@ -1277,7 +1567,46 @@ impl LiveMonitor {
             self.recheck_abnormal(c, &window_abnormal, window_index);
         }
 
-        for (event, _) in events {
+        // The probe actuator: series-targeting transitions escalate their
+        // interface while firing and release the hold on resolve; `ttl`
+        // sweeps expired operator overrides every window close.
+        if self.cfg.adaptive.policy.is_some() {
+            for (i, (event, _, intent)) in events.iter().enumerate() {
+                let Some((iface, _)) = intent.series else { continue };
+                let transition = if event.fired {
+                    let mode = intent.escalate.unwrap_or(self.cfg.adaptive.escalate_mode);
+                    c.probe_ctl.holds.insert(event.alert.clone(), (iface, mode));
+                    self.actuate_probe(
+                        c,
+                        iface,
+                        window_index,
+                        "alert",
+                        format!("fired: {}", event.alert),
+                        event.at_ms,
+                    )
+                } else {
+                    c.probe_ctl.holds.remove(&event.alert);
+                    if let Some(floor) = intent.deescalate {
+                        c.probe_ctl.floors.insert(iface, floor);
+                    }
+                    self.actuate_probe(
+                        c,
+                        iface,
+                        window_index,
+                        "alert",
+                        format!("resolved: {}", event.alert),
+                        event.at_ms,
+                    )
+                };
+                if let Some(t) = transition {
+                    let name = self.iface_name(iface);
+                    Self::note_transition(c, &incident_of[i], &t, &name);
+                }
+            }
+            self.expire_operators_locked(c, window_index, incident::wall_clock_ms());
+        }
+
+        for (event, _, _) in events {
             c.alert_log.push_back(event);
             while c.alert_log.len() > self.cfg.alert_log_capacity {
                 c.alert_log.pop_front();
@@ -1290,8 +1619,15 @@ impl LiveMonitor {
     }
     /// Registers an incident for a just-fired alert, populates its add-only
     /// hypothesis graph from retained evidence, and runs the automatic
-    /// elimination passes that are decidable at open time.
-    fn open_incident(&self, c: &mut Control, event: &AlertEvent, lookback_windows: u64) {
+    /// elimination passes that are decidable at open time. Returns the
+    /// incident id, or `None` when the ring dropped it before evidence
+    /// could land.
+    fn open_incident(
+        &self,
+        c: &mut Control,
+        event: &AlertEvent,
+        lookback_windows: u64,
+    ) -> Option<u64> {
         let cfg = self.cfg.incidents.clone();
         let breach = event.window_index;
         let at_ms = event.at_ms;
@@ -1311,14 +1647,14 @@ impl LiveMonitor {
         if c.incidents.get(id).is_none() {
             self.incident_dropped.inc();
             c.incidents.refresh_gauges();
-            return;
+            return None;
         }
 
         // Evidence 1: top flamegraph-diff regressions, breach vs baseline.
         let mut regressions: Vec<(u64, String, i64)> = Vec::new();
         if let (Some(bl), Some(be)) = (&baseline_entry, &breach_entry) {
             let diff = diff_folded(&bl.folded, &be.folded);
-            let Some(entry) = c.incidents.get_mut(id) else { return };
+            let entry = c.incidents.get_mut(id)?;
             for (stack, delta) in
                 diff.into_iter().filter(|(_, d)| *d > 0).take(cfg.top_regressions)
             {
@@ -1453,6 +1789,7 @@ impl LiveMonitor {
                 }
             }
         }
+        Some(id)
     }
 
     /// The re-check elimination pass, run at every window close: a live
@@ -1918,6 +2255,16 @@ impl LiveMonitor {
                 c.spill_error.as_ref().map_or(Json::Null, |e| Json::Str(e.clone())),
             ),
             ("open_incidents", Json::Num(open_incidents as f64)),
+            (
+                "escalated_interfaces",
+                Json::Num(
+                    self.cfg
+                        .adaptive
+                        .policy
+                        .as_ref()
+                        .map_or(0, |p| p.overrides().len()) as f64,
+                ),
+            ),
         ]);
         (status, body)
     }
@@ -1941,6 +2288,158 @@ impl LiveMonitor {
             })
             .collect();
         Json::obj([("alerts", Json::Arr(alerts))])
+    }
+
+    /// The `GET /probes` JSON body: the control plane's base mode, every
+    /// vocabulary interface's effective mode with the source of authority
+    /// (`base`, `alert`, `floor`, or `operator` with its expiry), and the
+    /// bounded transition log, oldest first. Expired operator TTLs are
+    /// swept before rendering, so a lapsed override never shows as live.
+    pub fn probes_json(&self) -> Json {
+        let mut c = self.control_lock();
+        let now_ms = incident::wall_clock_ms();
+        let window_index = c.last_window.as_ref().map_or(u64::MAX, |w| w.index);
+        self.expire_operators_locked(&mut c, window_index, now_ms);
+
+        let policy = self.cfg.adaptive.policy.as_ref();
+        let interfaces: Vec<Json> = self
+            .vocab
+            .interfaces
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| {
+                let iface = InterfaceId(i as u32);
+                let mode = policy.map_or(Json::Null, |p| Json::Str(p.effective(iface).to_string()));
+                let operator = c.probe_ctl.operator.get(&iface);
+                let source = if operator.is_some() {
+                    "operator"
+                } else if c.probe_ctl.holds.values().any(|(held, _)| *held == iface) {
+                    "alert"
+                } else if c.probe_ctl.floors.contains_key(&iface) {
+                    "floor"
+                } else {
+                    "base"
+                };
+                Json::obj([
+                    ("iface", Json::Str(entry.name.clone())),
+                    ("id", Json::Num(i as f64)),
+                    ("mode", mode),
+                    ("source", Json::Str(source.to_owned())),
+                    (
+                        "expires_at_ms",
+                        operator.map_or(Json::Null, |(_, expiry)| Json::Num(*expiry as f64)),
+                    ),
+                ])
+            })
+            .collect();
+        let transitions: Vec<Json> = c
+            .probe_ctl
+            .log
+            .iter()
+            .map(|t| {
+                Json::obj([
+                    ("at_ms", Json::Num(t.at_ms as f64)),
+                    (
+                        "window_index",
+                        if t.window_index == u64::MAX {
+                            Json::Null
+                        } else {
+                            Json::Num(t.window_index as f64)
+                        },
+                    ),
+                    ("iface", Json::Str(self.iface_name(t.interface))),
+                    ("from", Json::Str(t.from.to_string())),
+                    ("to", Json::Str(t.to.to_string())),
+                    ("reason", Json::Str(t.reason.to_owned())),
+                    ("detail", Json::Str(t.detail.clone())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("adaptive", Json::Bool(policy.is_some())),
+            ("base", policy.map_or(Json::Null, |p| Json::Str(p.base().to_string()))),
+            (
+                "escalated_interfaces",
+                Json::Num(policy.map_or(0, |p| p.overrides().len()) as f64),
+            ),
+            ("interfaces", Json::Arr(interfaces)),
+            ("transitions", Json::Arr(transitions)),
+        ])
+    }
+
+    /// Applies an operator probe override from a `POST /probes` body:
+    /// `{"iface": "Name"|id, "mode": "both"|…|"base", "ttl_ms"?: N}`.
+    /// `"base"` clears the operator override and any standing floor (live
+    /// alert holds keep their escalation until they resolve). Returns the
+    /// acknowledgement body, or the HTTP status + message to reject with
+    /// (400 malformed, 404 unknown interface, 409 control plane disabled).
+    pub fn probe_override_json(&self, body: &[u8]) -> Result<Json, (u16, String)> {
+        let policy = self.cfg.adaptive.policy.as_ref().ok_or((
+            409,
+            "adaptive probe control is disabled (no shared policy)".to_owned(),
+        ))?;
+        let text = std::str::from_utf8(body)
+            .map_err(|_| (400, "body must be UTF-8 JSON".to_owned()))?;
+        let parsed = json::parse(text).map_err(|e| (400, format!("bad JSON body: {e}")))?;
+
+        let iface = match parsed.get("iface") {
+            Some(Json::Str(name)) => self
+                .vocab
+                .interfaces
+                .iter()
+                .position(|e| &e.name == name)
+                .map(|i| InterfaceId(i as u32))
+                .ok_or((404, format!("unknown interface {name:?}")))?,
+            Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => InterfaceId(*n as u32),
+            _ => return Err((400, "\"iface\" must be an interface name or id".to_owned())),
+        };
+        let mode_spec = match parsed.get("mode") {
+            Some(Json::Str(m)) => m.clone(),
+            _ => return Err((400, "\"mode\" must be a probe mode name or \"base\"".to_owned())),
+        };
+        let ttl_ms = match parsed.get("ttl_ms") {
+            None => self.cfg.adaptive.operator_ttl.as_millis() as u64,
+            Some(Json::Num(n)) if *n > 0.0 && n.fract() == 0.0 => *n as u64,
+            _ => return Err((400, "\"ttl_ms\" must be a positive integer".to_owned())),
+        };
+
+        let mut c = self.control_lock();
+        let now_ms = incident::wall_clock_ms();
+        let window_index = c.last_window.as_ref().map_or(u64::MAX, |w| w.index);
+        let expires = if mode_spec.eq_ignore_ascii_case("base") {
+            c.probe_ctl.operator.remove(&iface);
+            c.probe_ctl.floors.remove(&iface);
+            self.actuate_probe(
+                &mut c,
+                iface,
+                window_index,
+                "operator",
+                "operator cleared to base".to_owned(),
+                now_ms,
+            );
+            None
+        } else {
+            let mode = mode_spec
+                .parse::<ProbeMode>()
+                .map_err(|e| (400, e.to_string()))?;
+            let expiry = now_ms.saturating_add(ttl_ms);
+            c.probe_ctl.operator.insert(iface, (mode, expiry));
+            self.actuate_probe(
+                &mut c,
+                iface,
+                window_index,
+                "operator",
+                format!("operator override to {mode} (ttl {ttl_ms}ms)"),
+                now_ms,
+            );
+            Some(expiry)
+        };
+        Ok(Json::obj([
+            ("iface", Json::Str(self.iface_name(iface))),
+            ("id", Json::Num(iface.0 as f64)),
+            ("mode", Json::Str(policy.effective(iface).to_string())),
+            ("expires_at_ms", expires.map_or(Json::Null, |e| Json::Num(e as f64))),
+        ]))
     }
 
     /// The retained incidents, behind the control lock. Drop the returned
@@ -2314,6 +2813,18 @@ pub fn serve(monitor: Arc<LiveMonitor>, addr: &str) -> std::io::Result<LiveServi
             }),
         ),
         (
+            "/probes".to_owned(),
+            on(&monitor, |m, req| {
+                if req.method == "POST" {
+                    return match m.probe_override_json(&req.body) {
+                        Ok(body) => Response::json(200, body.to_string()),
+                        Err((status, why)) => Response::text(status, why + "\n"),
+                    };
+                }
+                Response::json(200, m.probes_json().to_string())
+            }),
+        ),
+        (
             "/incidents/eliminate".to_owned(),
             on(&monitor, |m, req| {
                 if req.method != "POST" {
@@ -2494,6 +3005,8 @@ mod tests {
             fire_threshold: 1_000_000.0,  // 1ms
             resolve_threshold: 100_000.0, // 0.1ms
             for_windows: 2,
+            escalate: None,
+            deescalate: None,
         });
 
         // An oscillating series that hops between the fire threshold's far
@@ -2532,6 +3045,8 @@ mod tests {
             fire_threshold: 0.5,
             resolve_threshold: 0.5,
             for_windows: 1,
+            escalate: None,
+            deescalate: None,
         });
         for w in 0..3u64 {
             m.ingest_batch_at(sync_call(w as u128 + 1, 0, 0, 1000), w * WINDOW_NS + 5);
@@ -2786,6 +3301,8 @@ mod tests {
             fire_threshold: 0.5,
             resolve_threshold: 0.5,
             for_windows: 1,
+            escalate: None,
+            deescalate: None,
         });
         m.ingest_batch_at(sync_call(1, 0, 0, 1000), 5);
         m.tick_at(WINDOW_NS + 1);
@@ -2887,6 +3404,8 @@ mod tests {
             fire_threshold: 1_000_000.0, // 1ms
             resolve_threshold: 1_000_000.0,
             for_windows: 2,
+            escalate: None,
+            deescalate: None,
         });
 
         // W0/W1 baseline: both methods quick. W2/W3 breach: `run` regresses
@@ -3119,6 +3638,8 @@ mod tests {
             fire_threshold: 1.0,
             resolve_threshold: 1.0,
             for_windows: 1,
+            escalate: None,
+            deescalate: None,
         }
     }
 
@@ -3163,5 +3684,218 @@ mod tests {
         let retained = incidents.iter().next().expect("one retained");
         assert_eq!(retained.alert, "second", "latest open survives");
         assert!(!retained.hypotheses().is_empty(), "evidence populated");
+    }
+
+    // ---- adaptive probe control plane ----
+
+    fn adaptive_monitor(base: ProbeMode) -> (LiveMonitor, ProbePolicy) {
+        let policy = ProbePolicy::new(base);
+        let mut cfg = test_config();
+        cfg.adaptive.policy = Some(policy.clone());
+        (LiveMonitor::new(cfg, test_vocab(), Deployment::default()), policy)
+    }
+
+    /// Flattens the `/probes` transition log to (iface, from, to, reason).
+    fn transitions_of(m: &LiveMonitor) -> Vec<(String, String, String, String)> {
+        let body = m.probes_json();
+        let Some(Json::Arr(items)) = body.get("transitions") else {
+            panic!("no transitions array in {body:?}");
+        };
+        items
+            .iter()
+            .map(|t| {
+                let s = |k: &str| match t.get(k) {
+                    Some(Json::Str(v)) => v.clone(),
+                    other => panic!("transition field {k}: {other:?}"),
+                };
+                (s("iface"), s("from"), s("to"), s("reason"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rule_parser_accepts_probe_escalation_suffixes() {
+        let vocab = test_vocab();
+        let rule = parse_rule(
+            "p95:Test::Alpha.run>800us;escalate=both;deescalate=latency",
+            &vocab,
+        )
+        .unwrap();
+        assert_eq!(rule.escalate, Some(ProbeMode::Both));
+        assert_eq!(rule.deescalate, Some(ProbeMode::Latency));
+
+        let burn = parse_burn_rule(
+            "burn=p95:Test::Alpha.run>400us;slo=99;fast=2;slow=12;escalate=cpu",
+            &vocab,
+        )
+        .unwrap();
+        assert_eq!(burn.condition.escalate, Some(ProbeMode::Cpu));
+        assert_eq!(burn.condition.deescalate, None);
+
+        // The interface to actuate comes from the series target, so a
+        // series-less rule cannot carry escalation.
+        assert!(parse_rule("rate<0.5;escalate=both", &vocab).is_err());
+        assert!(parse_burn_rule("burn=err>0.01;slo=99;fast=2;slow=12;deescalate=cpu", &vocab)
+            .is_err());
+        assert!(parse_rule("p95:Test::Alpha.run>1ms;escalate=warp", &vocab).is_err());
+    }
+
+    #[test]
+    fn firing_rule_escalates_only_its_interface_and_resolve_restores_base() {
+        let (m, policy) = adaptive_monitor(ProbeMode::CausalityOnly);
+        m.add_rule(AlertRule {
+            name: "p95-high".to_owned(),
+            metric: AlertMetric::P95,
+            series: Some((InterfaceId(0), MethodIndex(0))),
+            cmp: AlertCmp::Above,
+            fire_threshold: 1_000_000.0,  // 1ms
+            resolve_threshold: 100_000.0, // 0.1ms
+            for_windows: 1,
+            escalate: None, // falls back to AdaptiveConfig::escalate_mode (Both)
+            deescalate: None,
+        });
+        assert_eq!(policy.effective(InterfaceId(0)), ProbeMode::CausalityOnly);
+
+        // W0 breaches: the rule fires at window close and the hot
+        // interface escalates. The unrelated interface must not move.
+        m.ingest_batch_at(sync_call(1, 0, 0, 5_000_000), 5);
+        m.tick_at(WINDOW_NS);
+        assert_eq!(policy.effective(InterfaceId(0)), ProbeMode::Both);
+        assert_eq!(policy.effective(InterfaceId(1)), ProbeMode::CausalityOnly);
+
+        // W1 is calm: the rule resolves and the escalation is withdrawn.
+        m.ingest_batch_at(sync_call(2, 0, 0, 1_000), WINDOW_NS + 5);
+        m.tick_at(2 * WINDOW_NS);
+        assert_eq!(policy.effective(InterfaceId(0)), ProbeMode::CausalityOnly);
+        assert!(policy.overrides().is_empty(), "no standing overrides");
+
+        let log = transitions_of(&m);
+        assert_eq!(
+            log,
+            vec![
+                (
+                    "Test::Alpha".to_owned(),
+                    "causality-only".to_owned(),
+                    "both".to_owned(),
+                    "alert".to_owned()
+                ),
+                (
+                    "Test::Alpha".to_owned(),
+                    "both".to_owned(),
+                    "causality-only".to_owned(),
+                    "alert".to_owned()
+                ),
+            ],
+            "escalate then de-escalate, both alert-driven"
+        );
+    }
+
+    #[test]
+    fn deescalate_suffix_leaves_standing_floor() {
+        let (m, policy) = adaptive_monitor(ProbeMode::CausalityOnly);
+        m.add_rule_spec("p95:Test::Alpha.run>1ms;resolve=100us;escalate=both;deescalate=latency")
+            .unwrap();
+
+        m.ingest_batch_at(sync_call(1, 0, 0, 5_000_000), 5);
+        m.tick_at(WINDOW_NS); // fires
+        assert_eq!(policy.effective(InterfaceId(0)), ProbeMode::Both);
+
+        m.ingest_batch_at(sync_call(2, 0, 0, 1_000), WINDOW_NS + 5);
+        m.tick_at(2 * WINDOW_NS); // resolves
+        assert_eq!(
+            policy.effective(InterfaceId(0)),
+            ProbeMode::Latency,
+            "resolve lands on the deescalate= floor, not base"
+        );
+
+        let body = m.probes_json();
+        let Some(Json::Arr(ifaces)) = body.get("interfaces") else {
+            panic!("no interfaces in {body:?}");
+        };
+        let alpha = ifaces
+            .iter()
+            .find(|e| matches!(e.get("iface"), Some(Json::Str(n)) if n == "Test::Alpha"))
+            .expect("Test::Alpha listed");
+        assert!(
+            matches!(alpha.get("source"), Some(Json::Str(s)) if s == "floor"),
+            "{alpha:?}"
+        );
+    }
+
+    #[test]
+    fn operator_override_outranks_alert_hold_and_expires_by_ttl() {
+        let (m, policy) = adaptive_monitor(ProbeMode::CausalityOnly);
+        m.add_rule(p95_rule("hold"));
+        m.ingest_batch_at(sync_call(1, 0, 0, 5_000_000), 5);
+        m.tick_at(WINDOW_NS); // fires: hold escalates iface 0 to Both
+        assert_eq!(policy.effective(InterfaceId(0)), ProbeMode::Both);
+
+        // An operator pins the interface below the alert hold.
+        let ack = m
+            .probe_override_json(br#"{"iface": "Test::Alpha", "mode": "latency", "ttl_ms": 1}"#)
+            .expect("override accepted");
+        assert!(matches!(ack.get("mode"), Some(Json::Str(s)) if s == "latency"), "{ack:?}");
+        assert_eq!(policy.effective(InterfaceId(0)), ProbeMode::Latency);
+
+        // Once the TTL lapses, the next sweep (here: a /probes read)
+        // re-derives the target from the still-live alert hold.
+        std::thread::sleep(Duration::from_millis(5));
+        let log = transitions_of(&m);
+        assert_eq!(policy.effective(InterfaceId(0)), ProbeMode::Both);
+        let reasons: Vec<&str> = log.iter().map(|(_, _, _, r)| r.as_str()).collect();
+        assert_eq!(reasons, vec!["alert", "operator", "ttl"], "{log:?}");
+        assert_eq!(log[2].1, "latency");
+        assert_eq!(log[2].2, "both", "ttl expiry falls back to the hold");
+    }
+
+    #[test]
+    fn operator_base_post_clears_override_and_floor() {
+        let (m, policy) = adaptive_monitor(ProbeMode::CausalityOnly);
+        m.probe_override_json(br#"{"iface": 1, "mode": "cpu"}"#).expect("override accepted");
+        assert_eq!(policy.effective(InterfaceId(1)), ProbeMode::Cpu);
+        let ack = m
+            .probe_override_json(br#"{"iface": "Test::Beta", "mode": "base"}"#)
+            .expect("clear accepted");
+        assert!(matches!(ack.get("mode"), Some(Json::Str(s)) if s == "causality-only"), "{ack:?}");
+        assert!(matches!(ack.get("expires_at_ms"), Some(Json::Null)), "{ack:?}");
+        assert_eq!(policy.effective(InterfaceId(1)), ProbeMode::CausalityOnly);
+        assert!(policy.overrides().is_empty());
+    }
+
+    #[test]
+    fn probe_override_rejects_bad_requests() {
+        let (m, _policy) = adaptive_monitor(ProbeMode::CausalityOnly);
+        let status = |body: &[u8]| m.probe_override_json(body).unwrap_err().0;
+        assert_eq!(status(b"not json"), 400);
+        assert_eq!(status(br#"{"iface": "Nope::Missing", "mode": "cpu"}"#), 404);
+        assert_eq!(status(br#"{"iface": "Test::Alpha", "mode": "warp"}"#), 400);
+        assert_eq!(status(br#"{"iface": "Test::Alpha", "mode": "cpu", "ttl_ms": -3}"#), 400);
+
+        // Without a shared policy the whole control plane is inert.
+        let inert = monitor();
+        assert_eq!(
+            inert
+                .probe_override_json(br#"{"iface": "Test::Alpha", "mode": "cpu"}"#)
+                .unwrap_err()
+                .0,
+            409
+        );
+        let body = inert.probes_json();
+        assert!(matches!(body.get("adaptive"), Some(Json::Bool(false))), "{body:?}");
+    }
+
+    #[test]
+    fn probe_transitions_are_noted_on_incident_timelines() {
+        let (m, _policy) = adaptive_monitor(ProbeMode::CausalityOnly);
+        m.add_rule(p95_rule("noted"));
+        m.ingest_batch_at(sync_call(1, 0, 0, 5_000_000), 5);
+        m.tick_at(WINDOW_NS); // fires + escalates
+        let incidents = m.incidents();
+        let incident = incidents.iter().next().expect("incident opened");
+        let noted = incident
+            .timeline()
+            .iter()
+            .any(|n| n.what.contains("probe Test::Alpha") && n.what.contains("both"));
+        assert!(noted, "timeline: {:?}", incident.timeline());
     }
 }

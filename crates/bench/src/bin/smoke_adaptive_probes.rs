@@ -1,0 +1,250 @@
+//! Smoke: the adaptive probe control plane must be surgical and free.
+//!
+//! Two gates, both against a live two-interface system:
+//!
+//! 1. **Selectivity** — flipping one interface's probe mode mid-ingest
+//!    changes the stamping of exactly that interface's records, bit-level
+//!    (`wall_*`/`cpu_*` appear and disappear with the flip, the causality
+//!    floor never does), and the full record stream still reconstructs
+//!    every chain with zero abnormalities.
+//! 2. **Overhead** — a non-escalated interface must not pay for another
+//!    interface's escalation: with one interface held at `both`, calls on
+//!    the other stay within `MAX_RATIO` of the same calls in a run whose
+//!    policy table holds no overrides at all (the fixed `causality-only`
+//!    build). The hot path is one relaxed atomic load either way.
+//!
+//! ```text
+//! cargo run --release -p causeway-bench --bin smoke_adaptive_probes
+//! ```
+
+use causeway_analyzer::dscg::Dscg;
+use causeway_collector::db::MonitoringDb;
+use causeway_core::ids::{InterfaceId, ProcessId};
+use causeway_core::monitor::{ProbeDirective, ProbeMode};
+use causeway_core::record::ProbeRecord;
+use causeway_core::value::Value;
+use causeway_orb::prelude::*;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Escalating one interface may cost the *other* interface nothing: the
+/// dispatch path is identical (one relaxed load of an untouched slot).
+/// 1.1x is the EXPERIMENTS O1 budget for CI noise.
+const MAX_RATIO: f64 = 1.1;
+const CALLS_PER_TRIAL: usize = 3_000;
+const TRIALS: usize = 5;
+
+const IDL: &str = r#"
+    module Shop {
+        interface Hot { long work(in long x); };
+        interface Cold { long side(in long x); };
+    };
+"#;
+
+struct Shop {
+    system: System,
+    hot: ObjRef,
+    cold: ObjRef,
+    driver: ProcessId,
+}
+
+fn build_shop(mode: ProbeMode) -> Shop {
+    let mut builder = System::builder();
+    builder.probe_mode(mode);
+    let node = builder.node("hp-1", "HPUX");
+    let driver = builder.process("driver", node, ThreadingPolicy::ThreadPerRequest);
+    let server = builder.process("server", node, ThreadingPolicy::ThreadPerRequest);
+    let system = builder.build();
+    system.load_idl(IDL).expect("IDL loads");
+    let echo = || {
+        Arc::new(FnServant::new(|_ctx, _midx, args: Vec<Value>| {
+            Ok(Value::I64(args[0].as_i64().unwrap_or(0)))
+        }))
+    };
+    let hot = system
+        .register_servant(server, "Shop::Hot", "HotSvc", "hot#0", echo())
+        .expect("hot servant");
+    let cold = system
+        .register_servant(server, "Shop::Cold", "ColdSvc", "cold#0", echo())
+        .expect("cold servant");
+    system.start();
+    Shop { system, hot, cold, driver }
+}
+
+fn iface_id(shop: &Shop, name: &str) -> InterfaceId {
+    let snapshot = shop.system.vocab().snapshot();
+    let i = snapshot
+        .interfaces
+        .iter()
+        .position(|e| e.name == name)
+        .unwrap_or_else(|| panic!("{name} not in vocab"));
+    InterfaceId(i as u32)
+}
+
+/// Runs `calls` root invocations against each interface and drains every
+/// process's probe store: the records stamped under the modes effective
+/// during exactly this phase.
+fn run_phase(shop: &Shop, calls: usize) -> Vec<ProbeRecord> {
+    let client = shop.system.client(shop.driver);
+    for i in 0..calls {
+        client.begin_root();
+        client.invoke(&shop.hot, "work", vec![Value::I64(i as i64)]).expect("hot call");
+        client.begin_root();
+        client.invoke(&shop.cold, "side", vec![Value::I64(i as i64)]).expect("cold call");
+    }
+    shop.system.quiesce(Duration::from_secs(30)).expect("quiesce");
+    shop.system.flush_local_logs();
+    let mut records = Vec::new();
+    for p in 0..2u16 {
+        records.extend(shop.system.orb(ProcessId(p)).monitor().store().drain());
+    }
+    records
+}
+
+/// Checks every record of `iface` in `records` carries exactly the stamps
+/// of `wall`/`cpu`, bit-level, plus the unconditional causality floor.
+fn check_stamps(
+    records: &[ProbeRecord],
+    iface: InterfaceId,
+    wall: bool,
+    cpu: bool,
+    what: &str,
+) -> Result<usize, String> {
+    let mut seen = 0;
+    for r in records.iter().filter(|r| r.func.interface == iface) {
+        seen += 1;
+        let got = (r.wall_start.is_some(), r.wall_end.is_some(), r.cpu_start.is_some(), r.cpu_end.is_some());
+        if got != (wall, wall, cpu, cpu) {
+            return Err(format!("{what}: expected wall={wall} cpu={cpu}, got {r:?}"));
+        }
+        if r.seq == 0 {
+            return Err(format!("{what}: causality floor lost on {r:?}"));
+        }
+    }
+    if seen == 0 {
+        return Err(format!("{what}: no records for interface {iface:?}"));
+    }
+    Ok(seen)
+}
+
+/// Gate 1: mid-ingest flips re-stamp exactly the targeted interface and
+/// chain reconstruction stays abnormality-free across them.
+fn selectivity_gate() -> Result<(), String> {
+    let shop = build_shop(ProbeMode::CausalityOnly);
+    let policy = shop.system.probe_policy().clone();
+    let hot_id = iface_id(&shop, "Shop::Hot");
+    let cold_id = iface_id(&shop, "Shop::Cold");
+
+    let phase_a = run_phase(&shop, 50);
+    check_stamps(&phase_a, hot_id, false, false, "phase A hot")?;
+    check_stamps(&phase_a, cold_id, false, false, "phase A cold")?;
+
+    // Mid-ingest escalation of Shop::Hot alone.
+    policy.apply(ProbeDirective { interface: hot_id, mode: ProbeMode::Both });
+    let phase_b = run_phase(&shop, 50);
+    let escalated = check_stamps(&phase_b, hot_id, true, true, "phase B hot (escalated)")?;
+    check_stamps(&phase_b, cold_id, false, false, "phase B cold (untouched)")?;
+
+    // And back down: the stamps disappear with the override.
+    policy.clear(hot_id);
+    let phase_c = run_phase(&shop, 50);
+    check_stamps(&phase_c, hot_id, false, false, "phase C hot (cleared)")?;
+    check_stamps(&phase_c, cold_id, false, false, "phase C cold")?;
+
+    shop.system.shutdown();
+    let mut run = shop.system.harvest();
+    let mut records = phase_a;
+    records.extend(phase_b);
+    records.extend(phase_c);
+    run.expected_records = run.expected_records.map(|left| left + records.len() as u64);
+    records.extend(std::mem::take(&mut run.records));
+    run.records = records;
+    if let Some(missing) = run.missing_records() {
+        return Err(format!("{missing} records stranded at shutdown"));
+    }
+    let total = run.len();
+    let dscg = Dscg::build(&MonitoringDb::from_run(run));
+    if dscg.trees.is_empty() {
+        return Err("no chains reconstructed".to_owned());
+    }
+    if !dscg.abnormalities.is_empty() {
+        return Err(format!(
+            "{} abnormalities across probe flips: {:?}",
+            dscg.abnormalities.len(),
+            dscg.abnormalities
+        ));
+    }
+    println!(
+        "selectivity: {total} records, {} chains, {escalated} escalated-phase hot records, \
+         0 abnormalities",
+        dscg.trees.len()
+    );
+    Ok(())
+}
+
+/// Mean nanoseconds per call against the cold interface for one trial.
+fn trial(shop: &Shop) -> f64 {
+    let client = shop.system.client(shop.driver);
+    let started = Instant::now();
+    for i in 0..CALLS_PER_TRIAL {
+        client.begin_root();
+        client.invoke(&shop.cold, "side", vec![Value::I64(i as i64)]).expect("cold call");
+    }
+    let elapsed = started.elapsed().as_nanos() as f64;
+    // Drain so buffered records never compound across trials.
+    for p in 0..2u16 {
+        shop.system.orb(ProcessId(p)).monitor().store().drain();
+    }
+    elapsed / CALLS_PER_TRIAL as f64
+}
+
+/// Gate 2: cold-interface calls beside an escalated interface vs. the
+/// fixed causality-only build, best-of-N means, interleaved so drift hits
+/// both configurations equally.
+fn overhead_gate() -> Result<(), String> {
+    let fixed = build_shop(ProbeMode::CausalityOnly);
+    let adaptive = build_shop(ProbeMode::CausalityOnly);
+    let hot_id = iface_id(&adaptive, "Shop::Hot");
+    adaptive
+        .system
+        .probe_policy()
+        .apply(ProbeDirective { interface: hot_id, mode: ProbeMode::Both });
+
+    // Warm both paths.
+    trial(&fixed);
+    trial(&adaptive);
+
+    let mut best_fixed = f64::INFINITY;
+    let mut best_adaptive = f64::INFINITY;
+    for _ in 0..TRIALS {
+        best_fixed = best_fixed.min(trial(&fixed));
+        best_adaptive = best_adaptive.min(trial(&adaptive));
+    }
+    fixed.system.shutdown();
+    adaptive.system.shutdown();
+
+    let ratio = best_adaptive / best_fixed;
+    println!(
+        "overhead: fixed causality-only {best_fixed:.0} ns/call, beside escalation \
+         {best_adaptive:.0} ns/call, ratio {ratio:.3} (budget {MAX_RATIO})"
+    );
+    if ratio > MAX_RATIO {
+        return Err(format!("non-escalated interface pays {ratio:.3}x > {MAX_RATIO}x"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    for (name, gate) in [
+        ("selectivity", selectivity_gate as fn() -> Result<(), String>),
+        ("overhead", overhead_gate),
+    ] {
+        if let Err(e) = gate() {
+            eprintln!("FAIL {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("smoke_adaptive_probes: OK");
+    ExitCode::SUCCESS
+}

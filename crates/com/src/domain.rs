@@ -15,7 +15,7 @@ use causeway_core::deploy::Deployment;
 use causeway_core::event::CallKind;
 use causeway_core::ids::{InterfaceId, MethodIndex, NodeId, ObjectId, ProcessId};
 use causeway_core::metrics::{EngineMetrics, MetricsRegistry, OpMetrics};
-use causeway_core::monitor::{Monitor, ProbeMode};
+use causeway_core::monitor::{Monitor, ProbeMode, ProbePolicy};
 use causeway_core::names::SystemVocab;
 use causeway_core::record::FunctionKey;
 use causeway_core::runlog::RunLog;
@@ -48,8 +48,13 @@ fn op_metrics() -> &'static OpMetrics {
 /// COM domain configuration.
 #[derive(Debug, Clone)]
 pub struct ComConfig {
-    /// Probe mode for the domain's monitor.
+    /// Base probe mode for the domain's monitor. Ignored when
+    /// [`ComConfig::probe_policy`] supplies a shared policy.
     pub probe_mode: ProbeMode,
+    /// A probe policy shared with other runtimes, so one control plane
+    /// steers the COM domain's stamping too. `None` mints a private policy
+    /// from `probe_mode`.
+    pub probe_policy: Option<ProbePolicy>,
     /// Instrumented or plain proxies/stubs.
     pub instrumented: bool,
     /// Apply the paper's runtime fix for STA causal mingling (save/restore
@@ -68,6 +73,7 @@ impl Default for ComConfig {
     fn default() -> Self {
         ComConfig {
             probe_mode: ProbeMode::Latency,
+            probe_policy: None,
             instrumented: true,
             fix_mingling: true,
             reply_timeout: Duration::from_secs(30),
@@ -230,8 +236,13 @@ impl ComDomainBuilder {
 
     /// Builds the domain.
     pub fn build(self) -> ComDomain {
+        let probe_policy = self
+            .config
+            .probe_policy
+            .clone()
+            .unwrap_or_else(|| ProbePolicy::new(self.config.probe_mode));
         let monitor = Monitor::builder(self.process, self.node)
-            .mode(self.config.probe_mode)
+            .policy(probe_policy)
             .wall_clock(self.wall.unwrap_or_else(|| Arc::new(SystemClock::new())))
             .cpu_clock(self.cpu.unwrap_or_else(|| Arc::new(VirtualCpuClock::new())))
             .build();

@@ -94,7 +94,9 @@ pub mod prelude {
     };
     pub use crate::manual::ManualProbe;
     pub use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-    pub use crate::monitor::{Monitor, MonitorBuilder, ProbeMode, StubStartOutcome};
+    pub use crate::monitor::{
+        Monitor, MonitorBuilder, ProbeDirective, ProbeMode, ProbePolicy, StubStartOutcome,
+    };
     pub use crate::names::{ComponentId, SystemVocab, VocabSnapshot};
     pub use crate::record::{CallSite, FunctionKey, ProbeRecord};
     pub use crate::runlog::RunLog;

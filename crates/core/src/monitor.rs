@@ -24,14 +24,15 @@
 use crate::clock::{CpuClock, SystemClock, VirtualCpuClock, WallClock};
 use crate::event::{CallKind, TraceEvent};
 use crate::ftl::FunctionTxLog;
-use crate::ids::{NodeId, ProcessId};
+use crate::ids::{InterfaceId, NodeId, ProcessId};
 use crate::record::{CallSite, FunctionKey, ProbeRecord};
 use crate::sink::LogStore;
 use crate::tss;
 use crate::uuid::Uuid;
 use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 /// Which behavior aspects the probes record.
 ///
@@ -53,6 +54,10 @@ pub enum ProbeMode {
 }
 
 impl ProbeMode {
+    /// All modes, ordered by [`ProbeMode::rank`].
+    pub const ALL: [ProbeMode; 4] =
+        [ProbeMode::CausalityOnly, ProbeMode::Latency, ProbeMode::Cpu, ProbeMode::Both];
+
     /// `true` when wall stamps are recorded.
     pub fn wall(self) -> bool {
         matches!(self, ProbeMode::Latency | ProbeMode::Both)
@@ -62,12 +67,185 @@ impl ProbeMode {
     pub fn cpu(self) -> bool {
         matches!(self, ProbeMode::Cpu | ProbeMode::Both)
     }
+
+    /// Observation-intensity rank (`CausalityOnly` < `Latency` < `Cpu` <
+    /// `Both`). The control plane uses this to take the most observant of
+    /// several concurrent escalation holds.
+    pub fn rank(self) -> u8 {
+        match self {
+            ProbeMode::CausalityOnly => 0,
+            ProbeMode::Latency => 1,
+            ProbeMode::Cpu => 2,
+            ProbeMode::Both => 3,
+        }
+    }
+
+    /// The canonical name, as accepted by [`ProbeMode::from_str`].
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeMode::CausalityOnly => "causality-only",
+            ProbeMode::Latency => "latency",
+            ProbeMode::Cpu => "cpu",
+            ProbeMode::Both => "both",
+        }
+    }
+}
+
+impl fmt::Display for ProbeMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a [`ProbeMode`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProbeModeError(String);
+
+impl fmt::Display for ParseProbeModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown probe mode {:?} (expected causality-only, latency, cpu, or both)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseProbeModeError {}
+
+impl FromStr for ProbeMode {
+    type Err = ParseProbeModeError;
+
+    /// Parses a mode name. Case-insensitive; accepts the canonical
+    /// kebab-case names plus `causality` / `causality_only` as aliases.
+    fn from_str(s: &str) -> Result<ProbeMode, ParseProbeModeError> {
+        match s.to_ascii_lowercase().as_str() {
+            "causality-only" | "causality_only" | "causality" => Ok(ProbeMode::CausalityOnly),
+            "latency" => Ok(ProbeMode::Latency),
+            "cpu" => Ok(ProbeMode::Cpu),
+            "both" => Ok(ProbeMode::Both),
+            _ => Err(ParseProbeModeError(s.to_string())),
+        }
+    }
+}
+
+/// One probe-mode override: pin `interface` to `mode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeDirective {
+    /// The interface whose probes are overridden.
+    pub interface: InterfaceId,
+    /// The mode its probes run at while the override stands.
+    pub mode: ProbeMode,
+}
+
+/// Number of direct-indexed override slots in a [`ProbePolicy`]. Interfaces
+/// with ids past this stay at the base mode (vocabularies in this codebase
+/// are tens of interfaces; the slack is for generated workloads).
+pub const PROBE_OVERRIDE_SLOTS: usize = 1024;
+
+/// No-override sentinel in a policy slot; occupied slots hold `rank + 1`.
+const SLOT_EMPTY: u8 = 0;
+
+struct PolicyInner {
+    base: ProbeMode,
+    /// One atomic mode word per interface, direct-indexed by
+    /// `InterfaceId.0`. `SLOT_EMPTY` means "use the base mode"; otherwise
+    /// the slot holds `mode.rank() + 1`.
+    slots: Box<[AtomicU8]>,
+}
+
+/// The probe control plane's shared state: a base [`ProbeMode`] plus a
+/// lock-free per-interface override table.
+///
+/// Every dispatch substrate reads the *effective* mode per call through
+/// [`ProbePolicy::effective`] — a single relaxed atomic load — so an
+/// actuator (the live monitor's alert engine, or an operator `POST
+/// /probes`) can hot-swap stamping for one interface without a rebuild and
+/// without slowing uninvolved interfaces. Causality capture is not
+/// negotiable here by construction: the weakest expressible setting is
+/// [`ProbeMode::CausalityOnly`], so the paper's always-on causality floor
+/// can never be crossed (§2.2).
+///
+/// Cloning is cheap; clones share the table.
+#[derive(Clone)]
+pub struct ProbePolicy {
+    inner: Arc<PolicyInner>,
+}
+
+impl ProbePolicy {
+    /// A policy with no overrides: every interface runs at `base`.
+    pub fn new(base: ProbeMode) -> ProbePolicy {
+        let slots = (0..PROBE_OVERRIDE_SLOTS).map(|_| AtomicU8::new(SLOT_EMPTY)).collect();
+        ProbePolicy { inner: Arc::new(PolicyInner { base, slots }) }
+    }
+
+    /// The mode interfaces without an override run at.
+    pub fn base(&self) -> ProbeMode {
+        self.inner.base
+    }
+
+    /// The mode `interface`'s probes run at right now. This is the probe
+    /// hot path: one relaxed load, no branches beyond the decode.
+    #[inline]
+    pub fn effective(&self, interface: InterfaceId) -> ProbeMode {
+        let Some(slot) = self.inner.slots.get(interface.0 as usize) else {
+            return self.inner.base;
+        };
+        match slot.load(Ordering::Relaxed) {
+            SLOT_EMPTY => self.inner.base,
+            1 => ProbeMode::CausalityOnly,
+            2 => ProbeMode::Latency,
+            3 => ProbeMode::Cpu,
+            _ => ProbeMode::Both,
+        }
+    }
+
+    /// Installs (or replaces) an override. Calls already past their probe's
+    /// mode read keep the old setting; every later probe sees the new one.
+    /// Out-of-table interfaces are ignored (they stay at base).
+    pub fn apply(&self, directive: ProbeDirective) {
+        if let Some(slot) = self.inner.slots.get(directive.interface.0 as usize) {
+            slot.store(directive.mode.rank() + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes `interface`'s override, returning it to the base mode.
+    pub fn clear(&self, interface: InterfaceId) {
+        if let Some(slot) = self.inner.slots.get(interface.0 as usize) {
+            slot.store(SLOT_EMPTY, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the standing overrides, in interface-id order.
+    pub fn overrides(&self) -> Vec<ProbeDirective> {
+        let mut out = Vec::new();
+        for (i, slot) in self.inner.slots.iter().enumerate() {
+            let mode = match slot.load(Ordering::Relaxed) {
+                SLOT_EMPTY => continue,
+                1 => ProbeMode::CausalityOnly,
+                2 => ProbeMode::Latency,
+                3 => ProbeMode::Cpu,
+                _ => ProbeMode::Both,
+            };
+            out.push(ProbeDirective { interface: InterfaceId(i as u32), mode });
+        }
+        out
+    }
+}
+
+impl fmt::Debug for ProbePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbePolicy")
+            .field("base", &self.inner.base)
+            .field("overrides", &self.overrides())
+            .finish()
+    }
 }
 
 struct MonitorInner {
     process: ProcessId,
     node: NodeId,
-    mode: ProbeMode,
+    policy: ProbePolicy,
     enabled: AtomicBool,
     wall: Arc<dyn WallClock>,
     cpu: Arc<dyn CpuClock>,
@@ -80,7 +258,7 @@ impl fmt::Debug for MonitorInner {
         f.debug_struct("Monitor")
             .field("process", &self.process)
             .field("node", &self.node)
-            .field("mode", &self.mode)
+            .field("policy", &self.policy)
             .field("enabled", &self.enabled.load(Ordering::Relaxed))
             .field("buffered", &self.store.len())
             .finish()
@@ -116,6 +294,7 @@ impl Monitor {
             process,
             node,
             mode: ProbeMode::default(),
+            policy: None,
             enabled: true,
             wall: None,
             cpu: None,
@@ -133,9 +312,16 @@ impl Monitor {
         self.inner.node
     }
 
-    /// The probe mode.
+    /// The base probe mode — what interfaces without a standing override
+    /// run at. Per-interface effective modes live in [`Monitor::policy`].
     pub fn mode(&self) -> ProbeMode {
-        self.inner.mode
+        self.inner.policy.base()
+    }
+
+    /// The probe policy the probes consult per call. Shared — applying a
+    /// directive through any clone is visible to the probes immediately.
+    pub fn policy(&self) -> &ProbePolicy {
+        &self.inner.policy
     }
 
     /// Whether the probes are active. When disabled, probe calls are no-ops
@@ -205,7 +391,7 @@ impl Monitor {
                 oneway_parent: None,
             };
         }
-        let mode = self.inner.mode;
+        let mode = self.inner.policy.effective(func.interface);
         let wall_start = mode.wall().then(|| self.inner.wall.now());
         let cpu_start = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
         let region = self.inner.cpu.region_begin();
@@ -262,7 +448,7 @@ impl Monitor {
         if !self.is_enabled() {
             return;
         }
-        let mode = self.inner.mode;
+        let mode = self.inner.policy.effective(func.interface);
         let wall_start = mode.wall().then(|| self.inner.wall.now());
         let cpu_start = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
         let region = self.inner.cpu.region_begin();
@@ -298,7 +484,7 @@ impl Monitor {
         if !self.is_enabled() {
             return FunctionTxLog::new(Uuid::NIL, 0);
         }
-        let mode = self.inner.mode;
+        let mode = self.inner.policy.effective(func.interface);
         let wall_start = mode.wall().then(|| self.inner.wall.now());
         let cpu_start = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
         let region = self.inner.cpu.region_begin();
@@ -344,7 +530,7 @@ impl Monitor {
         if !self.is_enabled() {
             return;
         }
-        let mode = self.inner.mode;
+        let mode = self.inner.policy.effective(func.interface);
         let wall_start = mode.wall().then(|| self.inner.wall.now());
         let cpu_start = mode.cpu().then(|| self.inner.cpu.thread_cpu_now());
         let region = self.inner.cpu.region_begin();
@@ -386,6 +572,7 @@ pub struct MonitorBuilder {
     process: ProcessId,
     node: NodeId,
     mode: ProbeMode,
+    policy: Option<ProbePolicy>,
     enabled: bool,
     wall: Option<Arc<dyn WallClock>>,
     cpu: Option<Arc<dyn CpuClock>>,
@@ -393,9 +580,19 @@ pub struct MonitorBuilder {
 }
 
 impl MonitorBuilder {
-    /// Sets the probe mode (default: [`ProbeMode::Latency`]).
+    /// Sets the base probe mode (default: [`ProbeMode::Latency`]). Ignored
+    /// when a shared [`MonitorBuilder::policy`] is supplied.
     pub fn mode(mut self, mode: ProbeMode) -> MonitorBuilder {
         self.mode = mode;
+        self
+    }
+
+    /// Shares a probe policy with this monitor instead of the private one
+    /// `build` would otherwise mint from the base mode. All monitors of one
+    /// system share a policy so a control-plane directive covers every
+    /// process at once.
+    pub fn policy(mut self, policy: ProbePolicy) -> MonitorBuilder {
+        self.policy = Some(policy);
         self
     }
 
@@ -430,7 +627,7 @@ impl MonitorBuilder {
             inner: Arc::new(MonitorInner {
                 process: self.process,
                 node: self.node,
-                mode: self.mode,
+                policy: self.policy.unwrap_or_else(|| ProbePolicy::new(self.mode)),
                 enabled: AtomicBool::new(self.enabled),
                 wall: self.wall.unwrap_or_else(|| Arc::new(SystemClock::new())),
                 cpu: self.cpu.unwrap_or_else(|| Arc::new(VirtualCpuClock::new())),
@@ -642,6 +839,104 @@ mod tests {
         assert_eq!(m.anomaly_count(), 1);
         m.begin_root();
         m.store().drain();
+    }
+
+    #[test]
+    fn probe_mode_display_round_trips_for_every_mode() {
+        for mode in ProbeMode::ALL {
+            let name = mode.to_string();
+            assert_eq!(name.parse::<ProbeMode>(), Ok(mode), "round-trip of {name}");
+        }
+    }
+
+    #[test]
+    fn probe_mode_parse_accepts_aliases_and_any_case() {
+        for (s, want) in [
+            ("causality-only", ProbeMode::CausalityOnly),
+            ("causality_only", ProbeMode::CausalityOnly),
+            ("causality", ProbeMode::CausalityOnly),
+            ("CAUSALITY-ONLY", ProbeMode::CausalityOnly),
+            ("latency", ProbeMode::Latency),
+            ("Latency", ProbeMode::Latency),
+            ("cpu", ProbeMode::Cpu),
+            ("CPU", ProbeMode::Cpu),
+            ("both", ProbeMode::Both),
+            ("BoTh", ProbeMode::Both),
+        ] {
+            assert_eq!(s.parse::<ProbeMode>(), Ok(want), "parse of {s:?}");
+        }
+    }
+
+    #[test]
+    fn probe_mode_parse_rejects_junk() {
+        for s in ["", "off", "none", "latency ", "all", "causality only"] {
+            let err = s.parse::<ProbeMode>().unwrap_err();
+            assert!(err.to_string().contains("probe mode"), "error for {s:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn probe_mode_ranks_are_strictly_increasing() {
+        let ranks: Vec<u8> = ProbeMode::ALL.iter().map(|m| m.rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn policy_effective_follows_apply_and_clear() {
+        let p = ProbePolicy::new(ProbeMode::Latency);
+        let iface = InterfaceId(3);
+        assert_eq!(p.effective(iface), ProbeMode::Latency);
+        p.apply(ProbeDirective { interface: iface, mode: ProbeMode::Both });
+        assert_eq!(p.effective(iface), ProbeMode::Both);
+        assert_eq!(p.effective(InterfaceId(4)), ProbeMode::Latency, "only the target moves");
+        assert_eq!(p.overrides(), vec![ProbeDirective { interface: iface, mode: ProbeMode::Both }]);
+        p.clear(iface);
+        assert_eq!(p.effective(iface), ProbeMode::Latency);
+        assert!(p.overrides().is_empty());
+    }
+
+    #[test]
+    fn policy_every_mode_survives_the_slot_encoding() {
+        let p = ProbePolicy::new(ProbeMode::Latency);
+        for mode in ProbeMode::ALL {
+            p.apply(ProbeDirective { interface: InterfaceId(0), mode });
+            assert_eq!(p.effective(InterfaceId(0)), mode);
+        }
+    }
+
+    #[test]
+    fn policy_ignores_interfaces_past_the_table() {
+        let p = ProbePolicy::new(ProbeMode::Cpu);
+        let far = InterfaceId(PROBE_OVERRIDE_SLOTS as u32 + 7);
+        p.apply(ProbeDirective { interface: far, mode: ProbeMode::Both });
+        assert_eq!(p.effective(far), ProbeMode::Cpu, "out-of-table stays at base");
+        assert!(p.overrides().is_empty());
+        p.clear(far);
+    }
+
+    #[test]
+    fn shared_policy_hot_swaps_stamping_between_calls() {
+        let policy = ProbePolicy::new(ProbeMode::CausalityOnly);
+        let m = Monitor::builder(ProcessId(0), NodeId(0)).policy(policy.clone()).build();
+        m.begin_root();
+        let out = m.stub_start(func(1), CallKind::Sync);
+        m.stub_end(func(1), CallKind::Sync, Some(out.wire_ftl));
+
+        policy.apply(ProbeDirective { interface: InterfaceId(0), mode: ProbeMode::Both });
+        let out = m.stub_start(func(1), CallKind::Sync);
+        m.stub_end(func(1), CallKind::Sync, Some(out.wire_ftl));
+
+        let recs = m.store().drain();
+        assert_eq!(recs.len(), 4);
+        // Causality fields are identical in shape across the flip…
+        assert!(recs.iter().all(|r| r.uuid == recs[0].uuid));
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<u64>>(), vec![1, 2, 3, 4]);
+        // …while stamping switches exactly at the flip.
+        assert!(recs[0].wall_start.is_none() && recs[0].cpu_start.is_none());
+        assert!(recs[1].wall_start.is_none() && recs[1].cpu_start.is_none());
+        assert!(recs[2].wall_start.is_some() && recs[2].cpu_start.is_some());
+        assert!(recs[3].wall_start.is_some() && recs[3].cpu_start.is_some());
+        m.begin_root();
     }
 
     #[test]

@@ -12,7 +12,7 @@ use causeway_core::event::CallKind;
 use causeway_core::ftl::FunctionTxLog;
 use causeway_core::ids::{InterfaceId, NodeId, ObjectId, ProcessId};
 use causeway_core::metrics::{EngineMetrics, MetricsRegistry, OpMetrics};
-use causeway_core::monitor::{Monitor, ProbeMode};
+use causeway_core::monitor::{Monitor, ProbeMode, ProbePolicy};
 use causeway_core::names::SystemVocab;
 use causeway_core::runlog::RunLog;
 use causeway_core::value::Value;
@@ -44,8 +44,13 @@ fn op_metrics() -> &'static OpMetrics {
 /// Container configuration.
 #[derive(Debug, Clone)]
 pub struct ContainerConfig {
-    /// Probe mode for this container's monitor.
+    /// Base probe mode for this container's monitor. Ignored when
+    /// [`ContainerConfig::probe_policy`] supplies a shared policy.
     pub probe_mode: ProbeMode,
+    /// A probe policy shared with other runtimes, so one control plane
+    /// steers the container's stamping too. `None` mints a private policy
+    /// from `probe_mode`.
+    pub probe_policy: Option<ProbePolicy>,
     /// Instrumented (probing) or plain business proxies.
     pub instrumented: bool,
     /// Container dispatch threads.
@@ -64,6 +69,7 @@ impl Default for ContainerConfig {
     fn default() -> Self {
         ContainerConfig {
             probe_mode: ProbeMode::Latency,
+            probe_policy: None,
             instrumented: true,
             dispatch_threads: 4,
             default_pool_size: 8,
@@ -259,8 +265,13 @@ impl ContainerBuilder {
 
     /// Builds and starts the container's dispatch workers.
     pub fn build(self) -> Container {
+        let probe_policy = self
+            .config
+            .probe_policy
+            .clone()
+            .unwrap_or_else(|| ProbePolicy::new(self.config.probe_mode));
         let monitor = Monitor::builder(self.process, self.node)
-            .mode(self.config.probe_mode)
+            .policy(probe_policy)
             .wall_clock(self.wall.unwrap_or_else(|| Arc::new(SystemClock::new())))
             .cpu_clock(self.cpu.unwrap_or_else(|| Arc::new(VirtualCpuClock::new())))
             .build();

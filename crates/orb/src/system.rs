@@ -15,7 +15,7 @@ use crate::transport::{Fabric, Incoming};
 use causeway_core::clock::{CpuClock, SystemClock, VirtualCpuClock, WallClock};
 use causeway_core::deploy::Deployment;
 use causeway_core::ids::{InterfaceId, NodeId, ProcessId};
-use causeway_core::monitor::{Monitor, ProbeMode};
+use causeway_core::monitor::{Monitor, ProbeMode, ProbePolicy};
 use causeway_core::names::SystemVocab;
 use causeway_core::runlog::RunLog;
 use causeway_core::sink::LogStore;
@@ -77,6 +77,7 @@ pub struct SystemBuilder {
     deployment: Deployment,
     policies: Vec<ThreadingPolicy>,
     probe_mode: ProbeMode,
+    probe_policy: Option<ProbePolicy>,
     instrumented: bool,
     collocation_optimization: bool,
     reply_timeout: Duration,
@@ -109,9 +110,19 @@ impl SystemBuilder {
         self.deployment.add_process(name, node)
     }
 
-    /// Sets the probe mode (default [`ProbeMode::Latency`]).
+    /// Sets the base probe mode (default [`ProbeMode::Latency`]). The mode
+    /// becomes the base of the system's shared [`ProbePolicy`] unless
+    /// [`SystemBuilder::probe_policy`] supplies one.
     pub fn probe_mode(&mut self, mode: ProbeMode) -> &mut Self {
         self.probe_mode = mode;
+        self
+    }
+
+    /// Shares an external probe policy with every process monitor instead
+    /// of minting one from the base mode — e.g. one policy spanning an ORB
+    /// system plus COM/EJB domains so a control plane steers all of them.
+    pub fn probe_policy(&mut self, policy: ProbePolicy) -> &mut Self {
+        self.probe_policy = Some(policy);
         self
     }
 
@@ -172,6 +183,8 @@ impl SystemBuilder {
         let pending = Arc::new(AtomicI64::new(0));
         let wall = self.wall.unwrap_or_else(|| Arc::new(SystemClock::new()));
         let cpu = self.cpu.unwrap_or_else(|| Arc::new(VirtualCpuClock::new()));
+        let probe_policy =
+            self.probe_policy.unwrap_or_else(|| ProbePolicy::new(self.probe_mode));
 
         let mut orbs = Vec::new();
         for (idx, proc_info) in self.deployment.processes.iter().enumerate() {
@@ -179,7 +192,7 @@ impl SystemBuilder {
             let registry = ObjectRegistry::new();
             registries.insert(process, registry.clone());
             let monitor = Monitor::builder(process, proc_info.node)
-                .mode(self.probe_mode)
+                .policy(probe_policy.clone())
                 .wall_clock(Arc::clone(&wall))
                 .cpu_clock(Arc::clone(&cpu))
                 .store(LogStore::new())
@@ -208,6 +221,7 @@ impl SystemBuilder {
             vocab: self.vocab,
             deployment: self.deployment,
             policies: self.policies,
+            probe_policy,
             fabric,
             catalog,
             orbs,
@@ -223,6 +237,7 @@ pub struct System {
     vocab: SystemVocab,
     deployment: Deployment,
     policies: Vec<ThreadingPolicy>,
+    probe_policy: ProbePolicy,
     fabric: Fabric,
     catalog: InterfaceCatalog,
     orbs: Vec<Orb>,
@@ -249,6 +264,7 @@ impl System {
             deployment: Deployment::new(),
             policies: Vec::new(),
             probe_mode: ProbeMode::default(),
+            probe_policy: None,
             instrumented: true,
             collocation_optimization: true,
             reply_timeout: Duration::from_secs(30),
@@ -266,6 +282,13 @@ impl System {
     /// The deployment topology.
     pub fn deployment(&self) -> &Deployment {
         &self.deployment
+    }
+
+    /// The probe policy shared by every process monitor. Hand a clone to a
+    /// control plane (e.g. `LiveConfig.adaptive`) to let it hot-swap
+    /// per-interface stamping at runtime.
+    pub fn probe_policy(&self) -> &ProbePolicy {
+        &self.probe_policy
     }
 
     /// The transport fabric (for configuring link latency).

@@ -42,7 +42,10 @@ pub struct CommercialConfig {
     pub driver_threads: usize,
     /// Pool size per server process.
     pub pool_size: usize,
-    /// Probe mode.
+    /// Base probe mode for every interface (canonical names:
+    /// `causality-only`, `latency`, `cpu`, `both` — see
+    /// [`ProbeMode`]'s `FromStr`). A shared [`causeway_core::monitor::ProbePolicy`]
+    /// can override it per interface at runtime.
     pub probe_mode: ProbeMode,
     /// RNG seed — same seed, same system, same workload.
     pub seed: u64,

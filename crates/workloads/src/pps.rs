@@ -112,7 +112,10 @@ pub enum PpsDeployment {
 pub struct PpsConfig {
     /// Deployment shape.
     pub deployment: PpsDeployment,
-    /// Probe mode.
+    /// Base probe mode for every interface (canonical names:
+    /// `causality-only`, `latency`, `cpu`, `both` — see
+    /// [`ProbeMode`]'s `FromStr`). A shared [`causeway_core::monitor::ProbePolicy`]
+    /// can override it per interface at runtime.
     pub probe_mode: ProbeMode,
     /// Instrumented or plain stubs (plain for manual-measurement runs).
     pub instrumented: bool,

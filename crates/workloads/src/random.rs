@@ -28,7 +28,8 @@ pub struct RandomTreeConfig {
     pub oneway_probability: f64,
     /// Number of simulated server processes (the driver is extra).
     pub processes: usize,
-    /// Probe mode for the run.
+    /// Base probe mode for the run (canonical names: `causality-only`,
+    /// `latency`, `cpu`, `both` — see [`ProbeMode`]'s `FromStr`).
     pub probe_mode: ProbeMode,
     /// RNG seed.
     pub seed: u64,

@@ -28,6 +28,15 @@
 //!   query-time surviving set)
 //! * `POST /incidents/eliminate` — operator tombstones
 //!   (`{"incident":N,"hypothesis":M,"reason":"..."}`)
+//! * `GET /probes` — adaptive probe control plane: per-interface effective
+//!   modes, who holds them, and the transition log
+//! * `POST /probes` — operator probe override with TTL
+//!   (`{"iface":"Pps::Stage","mode":"both","ttl_ms":60000}`)
+//!
+//! The live monitor shares the system's probe policy: alert/burn rules with
+//! an `escalate=MODE` suffix escalate the targeted interface's probes while
+//! they fire (de-escalating on resolve), and `--probe IFACE=MODE` seeds
+//! overrides at startup.
 //!
 //! Durable mode: `--segment PATH` streams every drained chunk into a
 //! crash-safe binary segment (`causeway_collector::segment`) as it is
@@ -50,7 +59,8 @@ use causeway::analyzer::live::{serve, LiveConfig, LiveMonitor};
 use causeway::collector::db::MonitoringDb;
 use causeway::collector::segment::SegmentWriter;
 use causeway::core::metrics::MetricsRegistry;
-use causeway::core::monitor::ProbeMode;
+use causeway::core::ids::InterfaceId;
+use causeway::core::monitor::{ProbeDirective, ProbeMode};
 use causeway::core::record::ProbeRecord;
 use causeway::workloads::{Pps, PpsConfig, PpsDeployment};
 use std::path::PathBuf;
@@ -72,6 +82,7 @@ struct Args {
     incidents: bool,
     incident_top: Option<usize>,
     incident_floor: Option<f64>,
+    probes: Vec<(String, ProbeMode)>,
 }
 
 fn parse_args() -> Args {
@@ -89,6 +100,7 @@ fn parse_args() -> Args {
         incidents: true,
         incident_top: None,
         incident_floor: None,
+        probes: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
     let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -160,12 +172,25 @@ fn parse_args() -> Args {
                     });
                 args.incident_floor = Some(floor.clamp(0.0, 0.99));
             }
+            "--probe" => {
+                let spec = need(&mut argv, "--probe");
+                let Some((iface, mode)) = spec.split_once('=') else {
+                    eprintln!("--probe takes IFACE=MODE (e.g. 'Pps::Stage=both')");
+                    std::process::exit(2);
+                };
+                let mode: ProbeMode = mode.parse().unwrap_or_else(|e| {
+                    eprintln!("--probe: {e}");
+                    std::process::exit(2);
+                });
+                args.probes.push((iface.to_owned(), mode));
+            }
             other => {
                 eprintln!(
                     "unknown argument {other:?}; flags: --listen ADDR --window SECS \
                      --shards N --alert RULE --burn RULE --history WINDOWS \
                      --segment PATH --spill PATH --duration SECS --jobs N \
-                     --no-incidents --incident-top N --incident-floor SHARE"
+                     --no-incidents --incident-top N --incident-floor SHARE \
+                     --probe IFACE=MODE"
                 );
                 std::process::exit(2);
             }
@@ -211,6 +236,25 @@ fn main() {
         config.incidents.stack_share_floor = floor;
     }
 
+    // The adaptive control plane shares the running system's probe policy:
+    // a firing `escalate=` rule or a `POST /probes` override hot-swaps the
+    // stamping mode of exactly the targeted interface while jobs run.
+    config.adaptive.policy = Some(pps.system.probe_policy().clone());
+    let vocab = pps.system.vocab().snapshot();
+    for (name, mode) in &args.probes {
+        let Some(i) = vocab.interfaces.iter().position(|e| &e.name == name) else {
+            eprintln!(
+                "--probe: unknown interface {name:?}; known: {:?}",
+                vocab.interfaces.iter().map(|e| e.name.as_str()).collect::<Vec<_>>()
+            );
+            std::process::exit(2);
+        };
+        pps.system
+            .probe_policy()
+            .apply(ProbeDirective { interface: InterfaceId(i as u32), mode: *mode });
+        println!("probe override: {name} starts at mode {mode}");
+    }
+
     // Durable mode: every drained chunk is appended to a crash-safe binary
     // segment before it is handed to the in-memory monitor, so a crash
     // loses at most the records still buffered in per-thread chunks.
@@ -252,8 +296,8 @@ fn main() {
         });
         println!(
             "serving /metrics /healthz /chains /latency /flamegraph \
-             /flamegraph/diff /history /dscg /trace /alerts /incidents on \
-             http://{}",
+             /flamegraph/diff /history /dscg /trace /alerts /incidents \
+             /probes on http://{}",
             server.local_addr()
         );
         server

@@ -1,0 +1,269 @@
+//! Adaptive probe control-plane integration: a live monitor sharing the
+//! system's [`ProbePolicy`] must hot-swap per-interface probe modes while
+//! the system runs — a firing burn rule escalates exactly the targeted
+//! interface's stamping (visible bit-level in the drained records), an
+//! operator override does the same below a TTL, and the causality capture
+//! stays complete across every flip.
+
+use causeway_analyzer::dscg::Dscg;
+use causeway_analyzer::live::{LiveConfig, LiveMonitor};
+use causeway_collector::db::MonitoringDb;
+use causeway_collector::json::Json;
+use causeway_core::ids::{InterfaceId, ProcessId};
+use causeway_core::monitor::ProbeMode;
+use causeway_core::names::VocabSnapshot;
+use causeway_core::record::ProbeRecord;
+use causeway_core::value::Value;
+use causeway_orb::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const IDL: &str = r#"
+    module Shop {
+        interface Hot { long work(in long x); };
+        interface Cold { long side(in long x); };
+    };
+"#;
+
+const WINDOW_NS: u64 = 1_000_000_000;
+
+struct Shop {
+    system: System,
+    hot: ObjRef,
+    cold: ObjRef,
+    driver: ProcessId,
+}
+
+fn build_shop(mode: ProbeMode) -> Shop {
+    let mut builder = System::builder();
+    builder.probe_mode(mode);
+    let node = builder.node("hp-1", "HPUX");
+    let driver = builder.process("driver", node, ThreadingPolicy::ThreadPerRequest);
+    let server = builder.process("server", node, ThreadingPolicy::ThreadPerRequest);
+    let system = builder.build();
+    system.load_idl(IDL).unwrap();
+    let hot = system
+        .register_servant(
+            server,
+            "Shop::Hot",
+            "HotSvc",
+            "hot#0",
+            Arc::new(FnServant::new(|_ctx, _midx, args| {
+                causeway_core::clock::VirtualCpuClock::credit_current_thread(50_000);
+                Ok(Value::I64(args[0].as_i64().unwrap_or(0) + 1))
+            })),
+        )
+        .unwrap();
+    let cold = system
+        .register_servant(
+            server,
+            "Shop::Cold",
+            "ColdSvc",
+            "cold#0",
+            Arc::new(FnServant::new(|_ctx, _midx, args| {
+                Ok(Value::I64(args[0].as_i64().unwrap_or(0)))
+            })),
+        )
+        .unwrap();
+    system.start();
+    Shop { system, hot, cold, driver }
+}
+
+/// Issues `calls` root invocations against each interface, quiesces, and
+/// drains every process's probe store — the records produced by exactly
+/// this phase, stamped under whatever modes were effective while it ran.
+fn run_phase(shop: &Shop, calls: usize) -> Vec<ProbeRecord> {
+    let client = shop.system.client(shop.driver);
+    for i in 0..calls {
+        client.begin_root();
+        client.invoke(&shop.hot, "work", vec![Value::I64(i as i64)]).expect("hot call");
+        client.begin_root();
+        client.invoke(&shop.cold, "side", vec![Value::I64(i as i64)]).expect("cold call");
+    }
+    shop.system.quiesce(Duration::from_secs(30)).expect("quiesce");
+    shop.system.flush_local_logs();
+    let mut records = Vec::new();
+    for p in 0..2u16 {
+        records.extend(shop.system.orb(ProcessId(p)).monitor().store().drain());
+    }
+    records
+}
+
+fn iface_id(vocab: &VocabSnapshot, name: &str) -> InterfaceId {
+    let i = vocab
+        .interfaces
+        .iter()
+        .position(|e| e.name == name)
+        .unwrap_or_else(|| panic!("{name} not in vocab"));
+    InterfaceId(i as u32)
+}
+
+fn split_by_iface(
+    records: &[ProbeRecord],
+    iface: InterfaceId,
+) -> (Vec<&ProbeRecord>, Vec<&ProbeRecord>) {
+    records.iter().partition(|r| r.func.interface == iface)
+}
+
+/// Asserts the bit-level stamping contract of a probe mode on every record:
+/// wall stamps iff latency is probed, cpu stamps iff CPU is probed, and the
+/// causality floor (uuid/seq) regardless.
+fn assert_stamped(records: &[&ProbeRecord], wall: bool, cpu: bool, what: &str) {
+    assert!(!records.is_empty(), "{what}: no records");
+    for r in records {
+        assert_eq!(r.wall_start.is_some(), wall, "{what}: wall_start of {r:?}");
+        assert_eq!(r.wall_end.is_some(), wall, "{what}: wall_end of {r:?}");
+        assert_eq!(r.cpu_start.is_some(), cpu, "{what}: cpu_start of {r:?}");
+        assert_eq!(r.cpu_end.is_some(), cpu, "{what}: cpu_end of {r:?}");
+        assert!(r.seq > 0, "{what}: causality floor lost on {r:?}");
+    }
+}
+
+/// Shuts the system down and verifies the full record stream (mid-run
+/// drains + final harvest) reconstructs every chain with zero
+/// abnormalities — probe-mode flips must never damage causality capture.
+fn assert_causality_intact(shop: Shop, drained: Vec<ProbeRecord>) {
+    shop.system.shutdown();
+    let mut run = shop.system.harvest();
+    run.expected_records = run.expected_records.map(|left| left + drained.len() as u64);
+    let mut records = drained;
+    records.extend(std::mem::take(&mut run.records));
+    run.records = records;
+    assert_eq!(run.missing_records(), None, "records stranded at shutdown");
+    let dscg = Dscg::build(&MonitoringDb::from_run(run));
+    assert!(!dscg.trees.is_empty(), "no chains reconstructed");
+    assert!(dscg.abnormalities.is_empty(), "abnormalities: {:?}", dscg.abnormalities);
+}
+
+#[test]
+fn burn_rule_escalates_hot_interface_mid_run_and_resolve_restores_base() {
+    let shop = build_shop(ProbeMode::Latency);
+    let policy = shop.system.probe_policy().clone();
+    let vocab = shop.system.vocab().snapshot();
+    let hot_id = iface_id(&vocab, "Shop::Hot");
+    let cold_id = iface_id(&vocab, "Shop::Cold");
+
+    let mut cfg = LiveConfig { window: Duration::from_secs(1), ..LiveConfig::default() };
+    cfg.adaptive.policy = Some(policy.clone());
+    let live = LiveMonitor::new(cfg, vocab, shop.system.deployment().clone());
+    // Real dispatch latency is comfortably above 1µs, so every window with
+    // Shop::Hot.work samples breaches; factor 0.2 over fast=2/slow=4 means
+    // one breaching window fires and two calm windows resolve.
+    live.add_rule_spec(
+        "burn=p95:Shop::Hot.work>1us;slo=50;fast=2;slow=4;factor=0.2;escalate=both",
+    )
+    .unwrap();
+
+    // Phase A, base Latency: wall stamps only, on both interfaces.
+    let phase_a = run_phase(&shop, 6);
+    let (hot_a, cold_a) = split_by_iface(&phase_a, hot_id);
+    assert_stamped(&hot_a, true, false, "phase A hot");
+    assert_stamped(&cold_a, true, false, "phase A cold");
+
+    // W0 closes breaching: the burn rule fires and escalates exactly the
+    // targeted interface to Both; the unrelated interface must not move.
+    live.ingest_batch_at(phase_a.clone(), 5);
+    live.tick_at(WINDOW_NS);
+    assert!(live.alert_log().iter().any(|e| e.fired), "burn rule fired");
+    assert_eq!(policy.effective(hot_id), ProbeMode::Both);
+    assert_eq!(policy.effective(cold_id), ProbeMode::Latency, "unrelated iface at base");
+
+    // Phase B, mid-run: the hot interface's records gain CPU stamps
+    // bit-level; the cold interface still stamps wall only.
+    let phase_b = run_phase(&shop, 6);
+    let (hot_b, cold_b) = split_by_iface(&phase_b, hot_id);
+    assert_stamped(&hot_b, true, true, "phase B hot (escalated)");
+    assert_stamped(&cold_b, true, false, "phase B cold");
+
+    // Two calm windows drain the fast span: the rule resolves and the
+    // escalation is withdrawn back to base.
+    live.ingest_batch_at(phase_b.clone(), WINDOW_NS + 5);
+    live.tick_at(2 * WINDOW_NS);
+    live.tick_at(3 * WINDOW_NS);
+    live.tick_at(4 * WINDOW_NS);
+    assert!(live.alert_log().iter().any(|e| !e.fired), "burn rule resolved");
+    assert_eq!(policy.effective(hot_id), ProbeMode::Latency);
+    assert!(policy.overrides().is_empty(), "no standing overrides after resolve");
+
+    // Phase C: back to wall-only stamping everywhere.
+    let phase_c = run_phase(&shop, 4);
+    let (hot_c, cold_c) = split_by_iface(&phase_c, hot_id);
+    assert_stamped(&hot_c, true, false, "phase C hot (de-escalated)");
+    assert_stamped(&cold_c, true, false, "phase C cold");
+
+    // Both transitions are alert-driven in the /probes log.
+    let body = live.probes_json();
+    let Some(Json::Arr(transitions)) = body.get("transitions") else {
+        panic!("no transitions in {body:?}");
+    };
+    assert_eq!(transitions.len(), 2, "{transitions:?}");
+    for t in transitions {
+        assert!(
+            matches!(t.get("reason"), Some(Json::Str(r)) if r == "alert"),
+            "{t:?}"
+        );
+    }
+
+    let mut drained = phase_a;
+    drained.extend(phase_b);
+    drained.extend(phase_c);
+    assert_causality_intact(shop, drained);
+}
+
+#[test]
+fn operator_override_changes_stamping_for_exactly_the_target_and_expires() {
+    let shop = build_shop(ProbeMode::CausalityOnly);
+    let policy = shop.system.probe_policy().clone();
+    let vocab = shop.system.vocab().snapshot();
+    let hot_id = iface_id(&vocab, "Shop::Hot");
+    let cold_id = iface_id(&vocab, "Shop::Cold");
+
+    let mut cfg = LiveConfig { window: Duration::from_secs(1), ..LiveConfig::default() };
+    cfg.adaptive.policy = Some(policy.clone());
+    let live = LiveMonitor::new(cfg, vocab, shop.system.deployment().clone());
+
+    // Base CausalityOnly: no stamps anywhere, causality floor intact.
+    let phase_a = run_phase(&shop, 4);
+    let (hot_a, cold_a) = split_by_iface(&phase_a, hot_id);
+    assert_stamped(&hot_a, false, false, "phase A hot");
+    assert_stamped(&cold_a, false, false, "phase A cold");
+
+    // An operator escalates only Shop::Cold, with a short TTL.
+    live.probe_override_json(br#"{"iface": "Shop::Cold", "mode": "both", "ttl_ms": 1}"#)
+        .expect("override accepted");
+    assert_eq!(policy.effective(cold_id), ProbeMode::Both);
+    assert_eq!(policy.effective(hot_id), ProbeMode::CausalityOnly);
+
+    // Exactly the targeted interface gains stamps, bit-level.
+    let phase_b = run_phase(&shop, 4);
+    let (hot_b, cold_b) = split_by_iface(&phase_b, hot_id);
+    assert_stamped(&cold_b, true, true, "phase B cold (operator escalated)");
+    assert_stamped(&hot_b, false, false, "phase B hot");
+
+    // The TTL lapses: the next /probes read sweeps the override away and
+    // stamping returns to the causality-only base.
+    std::thread::sleep(Duration::from_millis(5));
+    let body = live.probes_json();
+    assert_eq!(policy.effective(cold_id), ProbeMode::CausalityOnly);
+    let Some(Json::Arr(transitions)) = body.get("transitions") else {
+        panic!("no transitions in {body:?}");
+    };
+    let reasons: Vec<&str> = transitions
+        .iter()
+        .filter_map(|t| match t.get("reason") {
+            Some(Json::Str(r)) => Some(r.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reasons, vec!["operator", "ttl"], "{transitions:?}");
+
+    let phase_c = run_phase(&shop, 4);
+    let (hot_c, cold_c) = split_by_iface(&phase_c, hot_id);
+    assert_stamped(&cold_c, false, false, "phase C cold (expired)");
+    assert_stamped(&hot_c, false, false, "phase C hot");
+
+    let mut drained = phase_a;
+    drained.extend(phase_b);
+    drained.extend(phase_c);
+    assert_causality_intact(shop, drained);
+}

@@ -225,6 +225,8 @@ fn injected_latency_spike_fires_and_resolves_one_alert() {
         fire_threshold: 1_000_000.0,
         resolve_threshold: 500_000.0,
         for_windows: 2,
+        escalate: None,
+        deescalate: None,
     });
 
     // Baseline (2 windows), spike (4 windows), recovery (3 windows).
@@ -313,6 +315,8 @@ fn sustained_regression_fires_burn_alert_once_and_diff_names_culprit() {
         fire_threshold: 1_000_000.0,
         resolve_threshold: 500_000.0,
         for_windows: 1,
+        escalate: None,
+        deescalate: None,
     });
 
     const CALM_NS: u64 = 10_000;
