@@ -746,6 +746,7 @@ impl BurnState {
                 at_ms: wall_clock_ms(),
                 value: burn_slow,
                 threshold: self.rule.factor,
+                exemplars: Vec::new(),
             });
         }
         if self.active && burn_fast < self.rule.factor {
@@ -759,6 +760,7 @@ impl BurnState {
                 at_ms: wall_clock_ms(),
                 value: burn_fast,
                 threshold: self.rule.factor,
+                exemplars: Vec::new(),
             });
         }
         None

@@ -34,6 +34,7 @@ pub mod ccsg;
 pub mod chrome_trace;
 pub mod cpu;
 pub mod dscg;
+pub mod exemplar;
 pub mod history;
 pub mod hotspot;
 pub mod incident;
@@ -45,6 +46,7 @@ pub mod render;
 pub use ccsg::{Ccsg, CcsgNode};
 pub use cpu::{CpuAnalysis, CpuVector};
 pub use dscg::{Abnormality, CallNode, CallTree, Dscg};
+pub use exemplar::{Exemplar, ExemplarConfig, ExemplarStore};
 pub use history::{BurnRule, BurnState, WindowHistory};
 pub use incident::{Hypothesis, Incident, IncidentStore, Tombstone};
 pub use latency::{LatencyAnalysis, LatencyStats};

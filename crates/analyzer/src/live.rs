@@ -53,6 +53,7 @@
 //! clock started at construction.
 
 use crate::chrome_trace;
+use crate::exemplar::{self, ExemplarConfig, ExemplarStore};
 use crate::history::{diff_folded, BurnRule, BurnState, HistoryEntry, WindowHistory};
 use crate::incident::{self, HypothesisKind, Incident, IncidentStore};
 use crate::latency::LatencyHistogram;
@@ -116,6 +117,9 @@ pub struct LiveConfig {
     /// records always land on one shard. Clamped to at least 1. Output is
     /// shard-count independent; more shards reduce ingest lock contention.
     pub shards: usize,
+    /// Tail-based exemplar capture: per-series reservoirs of the chains
+    /// behind the percentiles and alerts (see [`crate::exemplar`]).
+    pub exemplars: ExemplarConfig,
 }
 
 /// Configuration of automatic incident forensics: how the hypothesis graph
@@ -202,6 +206,7 @@ impl Default for LiveConfig {
             incidents: IncidentConfig::default(),
             adaptive: AdaptiveConfig::default(),
             shards: 4,
+            exemplars: ExemplarConfig::default(),
         }
     }
 }
@@ -404,6 +409,10 @@ pub struct AlertEvent {
     pub value: f64,
     /// The threshold it was compared against.
     pub threshold: f64,
+    /// Chain uuids of retained exemplars that explain the breach (the
+    /// breach window's slowest chains of the rule's series), resolvable at
+    /// `/exemplars?id=`. Empty on resolves and when nothing was retained.
+    pub exemplars: Vec<Uuid>,
 }
 
 /// One rule plus its hysteresis state machine and exported series.
@@ -453,6 +462,7 @@ impl AlertState {
                         at_ms: incident::wall_clock_ms(),
                         value,
                         threshold: self.rule.fire_threshold,
+                        exemplars: Vec::new(),
                     });
                 }
             } else {
@@ -472,6 +482,7 @@ impl AlertState {
                     at_ms: incident::wall_clock_ms(),
                     value,
                     threshold: self.rule.resolve_threshold,
+                    exemplars: Vec::new(),
                 });
             }
         } else {
@@ -732,6 +743,10 @@ const RECENT_ABNORMAL_CAP: usize = 256;
 /// Distinct abnormal chains remembered per window for the re-check pass.
 const WINDOW_ABNORMAL_CAP: usize = 64;
 
+/// Exemplar references attached per alert firing and per `/latency`
+/// percentile bucket.
+const EXEMPLAR_REFS_MAX: usize = 4;
+
 /// The shard a chain's records always land on: the stable `uuid mod N`
 /// shard function the offline pipeline (PR 3) routes by, so a chain's
 /// records are processed by exactly one shard in arrival order.
@@ -889,6 +904,10 @@ struct Control {
     recent_abnormal: VecDeque<(Uuid, String)>,
     /// Adaptive probe control-plane bookkeeping (see [`ProbeCtl`]).
     probe_ctl: ProbeCtl,
+    /// Tail-biased exemplar reservoirs: the chains behind the percentiles
+    /// (see [`crate::exemplar`]). Fed in the rank-ordered replay phase, so
+    /// its state is bit-identical at any shard count.
+    exemplars: ExemplarStore,
 }
 
 /// A cross-chain, order-sensitive side effect of one analyzer event,
@@ -910,6 +929,21 @@ struct ChainGroup {
     effects: Vec<Effect>,
     /// The chain's buffered completions when it went idle this batch.
     idle: Option<ChainCompletions>,
+    /// Exemplar candidate computed under the shard lock when the chain
+    /// went idle: the root call's series and compensated latency. The
+    /// admission decision itself happens in the replay phase.
+    candidate: Option<(SeriesKey, u64)>,
+}
+
+/// The exemplar selection input for one completed chain: the slowest root
+/// (depth-0) call's series and latency. Chain-local, so it is computed
+/// under the shard lock; `None` for chains with no completed root.
+fn exemplar_candidate(completions: &[CompletedCall]) -> Option<(SeriesKey, u64)> {
+    completions
+        .iter()
+        .filter(|call| call.depth == 0)
+        .max_by_key(|call| call.latency_ns)
+        .map(|call| ((call.func.interface, call.func.method), call.latency_ns))
 }
 
 /// The live monitoring service core: windowed characterization over the
@@ -987,6 +1021,7 @@ impl LiveMonitor {
             )
         });
         let incidents = IncidentStore::new(cfg.incidents.capacity);
+        let exemplars = ExemplarStore::new(cfg.exemplars.clone());
         let shards = (0..cfg.shards.max(1)).map(|_| Mutex::new(Shard::new())).collect();
         LiveMonitor {
             cfg,
@@ -1017,6 +1052,7 @@ impl LiveMonitor {
                 window_abnormal: Vec::new(),
                 recent_abnormal: VecDeque::new(),
                 probe_ctl: ProbeCtl::default(),
+                exemplars,
             }),
             stack_evictions,
             incident_dropped,
@@ -1261,7 +1297,10 @@ impl LiveMonitor {
 
         {
             let mut c = self.control_lock();
-            for group in &mut groups {
+            let spw = self.cfg.slices.max(1) as u64;
+            let window_index = c.current.map_or(0, |slice| slice / spw);
+            for mut group in groups {
+                let mut abnormal_now = false;
                 for effect in group.effects.drain(..) {
                     match effect {
                         Effect::Completed { key } => {
@@ -1269,6 +1308,7 @@ impl LiveMonitor {
                             *c.known_series.entry(key).or_insert(0) += 1;
                         }
                         Effect::Abnormal { chain, message } => {
+                            abnormal_now = true;
                             c.total_abnormalities += 1;
                             if !c.window_abnormal.contains(&chain)
                                 && c.window_abnormal.len() < WINDOW_ABNORMAL_CAP
@@ -1282,9 +1322,24 @@ impl LiveMonitor {
                         }
                     }
                 }
-            }
-            for group in groups {
                 if let Some(completions) = group.idle {
+                    // Exemplar *admission* (reservoir publication) rides
+                    // the rank-ordered replay: same order as a serial
+                    // monitor, so the store is shard-count independent. A
+                    // chain that misbehaved in an earlier batch still
+                    // counts as abnormal via the retained evidence pool.
+                    if let Some((series, latency_ns)) = group.candidate {
+                        let abnormal = abnormal_now
+                            || c.recent_abnormal.iter().any(|(chain, _)| *chain == group.chain);
+                        c.exemplars.offer(
+                            series,
+                            group.chain,
+                            latency_ns,
+                            window_index,
+                            abnormal,
+                            &completions,
+                        );
+                    }
                     self.retain_chain(&mut c, group.chain, completions);
                 }
             }
@@ -1333,7 +1388,13 @@ impl LiveMonitor {
                     groups.push(done);
                 }
                 let rank = rank_of.get(&chain).copied().unwrap_or(usize::MAX);
-                open = Some(ChainGroup { chain, rank, effects: Vec::new(), idle: None });
+                open = Some(ChainGroup {
+                    chain,
+                    rank,
+                    effects: Vec::new(),
+                    idle: None,
+                    candidate: None,
+                });
             }
             let group = open.as_mut().expect("group just opened");
             match event {
@@ -1362,6 +1423,12 @@ impl LiveMonitor {
                     shard.analyzer.forget_chain(chain);
                     if let Some(completions) = shard.chain_events.remove(&chain) {
                         self.fold_completions(shard, &completions);
+                        // Exemplar *selection* happens here, under the
+                        // shard lock: the chain's root series and latency
+                        // are chain-local facts. Admission is deferred to
+                        // the rank-ordered replay so the reservoirs stay
+                        // bit-identical at any shard count.
+                        group.candidate = exemplar_candidate(&completions);
                         group.idle = Some(completions);
                     }
                 }
@@ -1539,6 +1606,22 @@ impl LiveMonitor {
             }
         }
 
+        // Pin breach exemplars on every firing: the breach window's
+        // slowest retained chains of the rule's series (store-wide when
+        // the rule has no series target). `/alerts` surfaces the uuids and
+        // `/exemplars?id=` resolves each to the concrete chain.
+        for (event, _, intent) in events.iter_mut() {
+            if event.fired {
+                event.exemplars =
+                    c.exemplars.breaching(intent.series, event.window_index, EXEMPLAR_REFS_MAX);
+                // The published uuids must outlive later, faster traffic:
+                // an operator following the alert hours in may still ask.
+                for chain in &event.exemplars {
+                    c.exemplars.pin(*chain);
+                }
+            }
+        }
+
         // Incident forensics: firings register and auto-populate an
         // incident (the breach window is already in the history, so its
         // evidence resolves); resolves close the matching open incidents.
@@ -1687,11 +1770,20 @@ impl LiveMonitor {
         }
         for (chain, message) in picked {
             let mut detail = message;
+            // The trace ring first; the exemplar store keeps abnormal
+            // chains long after FIFO churn, so fall back to it and mark
+            // the hypothesis with its resolvable exemplar reference.
             if let Some((_, completions)) =
                 c.recent_chains.iter().rev().find(|(c, _)| *c == chain)
             {
                 detail.push('\n');
                 detail.push_str(&render::completed_chain_ascii(chain, completions, &self.vocab));
+            } else if let Some(e) = c.exemplars.get(chain) {
+                detail.push('\n');
+                detail.push_str(&render::completed_chain_ascii(chain, &e.completions, &self.vocab));
+            }
+            if c.exemplars.get(chain).is_some() {
+                detail.push_str(&format!("\nexemplar {chain}"));
             }
             let Some(entry) = c.incidents.get_mut(id) else { break };
             entry.add_hypothesis(
@@ -1738,6 +1830,15 @@ impl LiveMonitor {
                 format!("auto-populated {populated} hypotheses from retained evidence"),
                 at_ms,
             );
+            if !event.exemplars.is_empty() {
+                let uuids: Vec<String> =
+                    event.exemplars.iter().map(|u| u.to_string()).collect();
+                entry.note(
+                    breach,
+                    format!("breach exemplars: {}", uuids.join(", ")),
+                    at_ms,
+                );
+            }
         }
         c.incidents.refresh_gauges();
 
@@ -2124,16 +2225,22 @@ impl LiveMonitor {
     }
 
     /// The `/dscg?chain=<uuid>[&format=dot]` body: an incremental DSCG
-    /// render of one recently completed chain.
+    /// render of one recently completed chain. The FIFO trace ring is
+    /// consulted first; a chain volume already churned out of it still
+    /// renders when the exemplar store holds it — eviction by sheer
+    /// traffic must not sever the link from an exemplar reference to its
+    /// render.
     pub fn dscg_render(&self, chain: &str, format: Option<&str>) -> Result<String, String> {
         let uuid: Uuid =
             chain.parse().map_err(|_| format!("bad chain uuid {chain:?}"))?;
         let c = self.control_lock();
-        let (_, completions) = c
+        let completions = c
             .recent_chains
             .iter()
             .rev()
             .find(|(c, _)| *c == uuid)
+            .map(|(_, completions)| completions)
+            .or_else(|| c.exemplars.get(uuid).map(|e| &e.completions))
             .ok_or_else(|| format!("chain {chain} is not retained"))?;
         Ok(match format {
             Some("dot") => render::completed_chain_dot(uuid, completions, &self.vocab),
@@ -2177,6 +2284,33 @@ impl LiveMonitor {
             if method.is_some_and(|want| want != method_name) {
                 continue;
             }
+            let p95 = agg.hist.quantile_ns(0.95);
+            let p99 = agg.hist.quantile_ns(0.99);
+            // OpenMetrics-style exemplar references on the tail buckets:
+            // the retained chains at or above this window's p95, labelled
+            // with the tightest bucket they still clear. The histogram
+            // quantile reports its log2 bucket's *upper* bound, so members
+            // of that bucket sit anywhere at or above half of it — use the
+            // bucket's lower bound as the inclusive floor.
+            let refs: Vec<Json> = c
+                .exemplars
+                .refs_at_least(*key, p95 / 2, EXEMPLAR_REFS_MAX)
+                .into_iter()
+                .map(|e| {
+                    Json::obj([
+                        ("chain", Json::Str(e.chain.to_string())),
+                        ("latency_ns", Json::Num(e.latency_ns as f64)),
+                        ("window_index", Json::Num(e.window_index as f64)),
+                        ("verdict", Json::Str(e.verdict.name().to_owned())),
+                        (
+                            "bucket",
+                            Json::Str(
+                                if e.latency_ns >= p99 / 2 { "p99" } else { "p95" }.to_owned(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
             series.push(Json::obj([
                 ("iface", Json::Str(iface_name.to_owned())),
                 ("method", Json::Str(method_name.to_owned())),
@@ -2191,9 +2325,10 @@ impl LiveMonitor {
                     }),
                 ),
                 ("p50_ns", Json::Num(agg.hist.quantile_ns(0.50) as f64)),
-                ("p95_ns", Json::Num(agg.hist.quantile_ns(0.95) as f64)),
-                ("p99_ns", Json::Num(agg.hist.quantile_ns(0.99) as f64)),
+                ("p95_ns", Json::Num(p95 as f64)),
+                ("p99_ns", Json::Num(p99 as f64)),
                 ("busy_share", Json::Num(window.busy_share(*key))),
+                ("exemplars", Json::Arr(refs)),
             ]));
         }
         Json::obj([
@@ -2237,6 +2372,12 @@ impl LiveMonitor {
                 "status",
                 Json::Str(if active.is_empty() { "ok" } else { "degraded" }.to_owned()),
             ),
+            // What build and topology is serving: a scraper (or a human
+            // mid-incident) can tell a fresh restart from a long-lived
+            // monitor and a serial from a sharded deployment.
+            ("uptime_ms", Json::Num(self.started.elapsed().as_millis() as f64)),
+            ("version", Json::Str(env!("CARGO_PKG_VERSION").to_owned())),
+            ("shards", Json::Num(self.shards.len() as f64)),
             ("active_alerts", Json::Arr(active.into_iter().map(Json::Str).collect())),
             ("open_chains", Json::Num(open_chains as f64)),
             ("buffered_records", Json::Num(buffered as f64)),
@@ -2284,10 +2425,114 @@ impl LiveMonitor {
                     ("at_ms", Json::Num(e.at_ms as f64)),
                     ("value", Json::Num(e.value)),
                     ("threshold", Json::Num(e.threshold)),
+                    (
+                        "exemplars",
+                        Json::Arr(
+                            e.exemplars
+                                .iter()
+                                .map(|u| Json::Str(u.to_string()))
+                                .collect(),
+                        ),
+                    ),
                 ])
             })
             .collect();
         Json::obj([("alerts", Json::Arr(alerts))])
+    }
+
+    /// One exemplar's summary object (shared by the index and detail
+    /// bodies).
+    fn exemplar_summary_json(&self, e: &crate::exemplar::Exemplar) -> Json {
+        Json::obj([
+            ("id", Json::Num(e.id as f64)),
+            ("chain", Json::Str(e.chain.to_string())),
+            ("iface", Json::Str(self.vocab.interface_name(e.series.0).to_owned())),
+            ("method", Json::Str(self.vocab.method_name(e.series.0, e.series.1).to_owned())),
+            ("latency_ns", Json::Num(e.latency_ns as f64)),
+            ("window_index", Json::Num(e.window_index as f64)),
+            ("verdict", Json::Str(e.verdict.name().to_owned())),
+            ("completed_calls", Json::Num(e.completions.len() as f64)),
+        ])
+    }
+
+    /// The `GET /exemplars` index body: store totals plus every retained
+    /// series' exemplars, slowest first. With `series=Iface::Name.method`,
+    /// only that series. `Err` carries the HTTP status + message.
+    pub fn exemplars_json(&self, series: Option<&str>) -> Result<Json, (u16, String)> {
+        let want = match series {
+            Some(name) => Some(
+                resolve_series(&self.vocab, name)
+                    .ok_or((404, format!("unknown series {name:?} (want Iface::Name.method)")))?,
+            ),
+            None => None,
+        };
+        let c = self.control_lock();
+        let store = &c.exemplars;
+        let series_objs: Vec<Json> = store
+            .series_keys()
+            .into_iter()
+            .filter(|key| want.is_none_or(|w| w == *key))
+            .map(|key| {
+                let exemplars: Vec<Json> = store
+                    .series_sorted(key)
+                    .into_iter()
+                    .map(|e| self.exemplar_summary_json(e))
+                    .collect();
+                Json::obj([
+                    ("iface", Json::Str(self.vocab.interface_name(key.0).to_owned())),
+                    ("method", Json::Str(self.vocab.method_name(key.0, key.1).to_owned())),
+                    ("count", Json::Num(exemplars.len() as f64)),
+                    ("exemplars", Json::Arr(exemplars)),
+                ])
+            })
+            .collect();
+        let cfg = store.config();
+        let mut fields = vec![
+            ("enabled", Json::Bool(cfg.enabled)),
+            ("per_series", Json::Num(cfg.per_series as f64)),
+            ("sample_per_series", Json::Num(cfg.sample_per_series as f64)),
+            ("max_total", Json::Num(cfg.max_total as f64)),
+            ("max_bytes", Json::Num(cfg.max_bytes as f64)),
+            ("count", Json::Num(store.len() as f64)),
+            ("approx_bytes", Json::Num(store.approx_bytes() as f64)),
+            ("admitted", Json::Num(store.admitted() as f64)),
+            ("evicted", Json::Num(store.evicted() as f64)),
+            ("rejected", Json::Num(store.rejected() as f64)),
+        ];
+        if let Some(error) = store.spill_error() {
+            fields.push(("spill_error", Json::Str(error.to_owned())));
+        }
+        fields.push(("series", Json::Arr(series_objs)));
+        Ok(Json::obj(fields))
+    }
+
+    /// The `GET /exemplars?id=<chain-uuid>` detail body: the summary plus
+    /// the full DSCG ascii and dot renders and a single-chain Chrome-trace
+    /// slice view. `Err` carries the HTTP status + message.
+    pub fn exemplar_detail_json(&self, id: &str) -> Result<Json, (u16, String)> {
+        let uuid: Uuid =
+            id.parse().map_err(|_| (400, format!("bad exemplar uuid {id:?}")))?;
+        let c = self.control_lock();
+        let e = c
+            .exemplars
+            .get(uuid)
+            .ok_or((404, format!("exemplar {id} is not retained")))?;
+        let mut body = self.exemplar_summary_json(e);
+        if let Json::Obj(map) = &mut body {
+            map.insert(
+                "ascii".to_owned(),
+                Json::Str(render::completed_chain_ascii(uuid, &e.completions, &self.vocab)),
+            );
+            map.insert(
+                "dot".to_owned(),
+                Json::Str(render::completed_chain_dot(uuid, &e.completions, &self.vocab)),
+            );
+            map.insert(
+                "chrome_trace".to_owned(),
+                exemplar::chrome_slice_json(e, &self.vocab),
+            );
+        }
+        Ok(body)
     }
 
     /// The `GET /probes` JSON body: the control plane's base mode, every
@@ -2694,8 +2939,10 @@ impl Drop for LiveService {
 /// `/chains`, `/latency[?iface=..&method=..]` (series index without a
 /// filter), `/flamegraph[?window=k]`, `/flamegraph/diff?a=..&b=..`,
 /// `/history`, `/dscg[?chain=..&format=dot]`, `/trace` (Chrome trace of
-/// the last window), `/alerts` (the transition log), `/incidents`
-/// (index, or `?id=N` for the full hypothesis graph) and
+/// the last window), `/alerts` (the transition log), `/exemplars`
+/// (tail-biased exemplar index, `?series=..` to filter, `?id=<chain>` for
+/// DSCG + Chrome-trace detail), `/incidents` (index, or `?id=N` for the
+/// full hypothesis graph) and
 /// `POST /incidents/eliminate` (operator tombstones). The ticker advances
 /// window time a few times per slice, so idle systems keep rotating
 /// windows without relying on scrape traffic.
@@ -2810,6 +3057,19 @@ pub fn serve(monitor: Arc<LiveMonitor>, addr: &str) -> std::io::Result<LiveServi
                     },
                     Err(_) => Response::text(400, "id must be an incident number\n"),
                 },
+            }),
+        ),
+        (
+            "/exemplars".to_owned(),
+            on(&monitor, |m, req| {
+                let body = match req.query_param("id") {
+                    Some(id) => m.exemplar_detail_json(id),
+                    None => m.exemplars_json(req.query_param("series")),
+                };
+                match body {
+                    Ok(json) => Response::json(200, json.to_string()),
+                    Err((status, why)) => Response::text(status, why + "\n"),
+                }
             }),
         ),
         (
@@ -3390,6 +3650,315 @@ mod tests {
 
         let (status, _) = get("/nope");
         assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    /// Raw-socket GET against a [`LiveService`] (shared by the HTTP tests).
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+        use std::io::{Read, Write};
+        let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).expect("read");
+        let status: u16 =
+            raw.split_whitespace().nth(1).expect("status").parse().expect("numeric");
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+        (status, body)
+    }
+
+    /// The object keys of a [`Json::Obj`], for shape-stability assertions.
+    fn json_keys(value: &Json) -> Vec<&str> {
+        match value {
+            Json::Obj(map) => map.keys().map(String::as_str).collect(),
+            other => panic!("expected an object, got {other:?}"),
+        }
+    }
+
+    /// Satellite regression: the completed-chain ring is strict FIFO, so a
+    /// burst of fast traffic used to evict the one slow chain an operator
+    /// would actually ask about. With the exemplar store as a `/dscg`
+    /// fallback the slow chain keeps rendering after arbitrary churn.
+    #[test]
+    fn exemplar_outlives_trace_ring_churn() {
+        let cfg = LiveConfig { trace_capacity: 4, ..test_config() };
+        let m = LiveMonitor::new(cfg, test_vocab(), Deployment::default());
+        let slow = Uuid(1).to_string();
+        m.ingest_batch_at(sync_call(1, 0, 0, 9_000_000), 10);
+        assert!(m.dscg_render(&slow, None).is_ok(), "present while in the ring");
+        // 32 fast completions churn the 4-slot FIFO ring eight times over.
+        for i in 0..32u64 {
+            m.ingest_batch_at(sync_call(100 + u128::from(i), 0, 1, 1_000), 20 + i);
+        }
+        let recent = m.recent_chains_json().to_string();
+        assert!(!recent.contains(&slow), "FIFO ring churned past the slow chain");
+        let tree = m.dscg_render(&slow, None).expect("served from the exemplar store");
+        assert!(tree.contains("Test::Alpha.run"), "{tree}");
+        // Chains in neither the ring nor the store still 404.
+        assert!(m.dscg_render(&Uuid(9_999).to_string(), None).is_err());
+    }
+
+    #[test]
+    fn fired_alerts_carry_breach_exemplars_that_resolve_to_renders() {
+        let m = monitor();
+        m.add_rule(AlertRule {
+            name: "p95-high".to_owned(),
+            metric: AlertMetric::P95,
+            series: Some((InterfaceId(0), MethodIndex(0))),
+            cmp: AlertCmp::Above,
+            fire_threshold: 1_000_000.0,
+            resolve_threshold: 100_000.0,
+            for_windows: 2,
+            escalate: None,
+            deescalate: None,
+        });
+        let mut chain = 1u128;
+        for w in 0..2u64 {
+            m.ingest_batch_at(sync_call(chain, 0, 0, 10_000), w * WINDOW_NS + 5);
+            chain += 1;
+        }
+        for w in 2..4u64 {
+            m.ingest_batch_at(sync_call(chain, 0, 0, 5_000_000), w * WINDOW_NS + 5);
+            chain += 1;
+        }
+        m.tick_at(4 * WINDOW_NS);
+        let log = m.alert_log();
+        let fired = log.iter().find(|e| e.fired).expect("alert fired");
+        assert!(!fired.exemplars.is_empty(), "firing transitions carry exemplar refs");
+        // Every referenced uuid resolves to a full detail render naming the
+        // breaching operation.
+        for uuid in &fired.exemplars {
+            let detail = m.exemplar_detail_json(&uuid.to_string()).expect("resolves");
+            let ascii = detail.get("ascii").and_then(Json::as_str).expect("ascii render");
+            assert!(ascii.contains("Test::Alpha.run"), "{ascii}");
+            let trace = detail.get("chrome_trace").expect("chrome trace");
+            assert!(!trace.get("traceEvents").and_then(Json::as_arr).unwrap().is_empty());
+        }
+        // Resolve transitions stay unadorned.
+        drop(log);
+        for w in 4..6u64 {
+            m.ingest_batch_at(sync_call(chain, 0, 0, 10_000), w * WINDOW_NS + 5);
+            chain += 1;
+        }
+        m.tick_at(7 * WINDOW_NS);
+        let log = m.alert_log();
+        let resolved = log.iter().find(|e| !e.fired).expect("alert resolved");
+        assert!(resolved.exemplars.is_empty());
+    }
+
+    /// Scraper-facing JSON contracts: the exact key sets of `/healthz`,
+    /// `/latency` series objects (with exemplar refs), and `/exemplars`
+    /// must not silently drift.
+    #[test]
+    fn scraper_json_shapes_are_stable() {
+        let m = Arc::new(monitor());
+        m.ingest_batch_at(sync_call(1, 0, 0, 5_000_000), 10);
+        let server = serve(Arc::clone(&m), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let (status, health) = http_get(addr, "/healthz");
+        assert_eq!(status, 200);
+        let health = causeway_collector::json::parse(&health).expect("valid JSON");
+        assert_eq!(
+            json_keys(&health),
+            [
+                "abnormalities",
+                "active_alerts",
+                "buffered_records",
+                "completed_calls",
+                "escalated_interfaces",
+                "history_evictions",
+                "open_chains",
+                "open_incidents",
+                "shards",
+                "spill_error",
+                "spill_errors",
+                "status",
+                "uptime_ms",
+                "version",
+                "window_index",
+            ]
+        );
+        assert_eq!(
+            health.get("shards").and_then(Json::as_u64),
+            Some(test_config().shards as u64)
+        );
+        assert_eq!(
+            health.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(health.get("uptime_ms").and_then(Json::as_u64).is_some());
+
+        let (status, latency) = http_get(addr, "/latency?iface=Test%3A%3AAlpha");
+        assert_eq!(status, 200);
+        let latency = causeway_collector::json::parse(&latency).expect("valid JSON");
+        let series = latency.get("series").and_then(Json::as_arr).expect("series");
+        assert_eq!(
+            json_keys(&series[0]),
+            [
+                "busy_share",
+                "call_rate_hz",
+                "calls",
+                "exemplars",
+                "iface",
+                "mean_ns",
+                "method",
+                "p50_ns",
+                "p95_ns",
+                "p99_ns",
+            ]
+        );
+        let refs = series[0].get("exemplars").and_then(Json::as_arr).expect("refs");
+        assert!(!refs.is_empty(), "slow call must surface an exemplar ref");
+        assert_eq!(
+            json_keys(&refs[0]),
+            ["bucket", "chain", "latency_ns", "verdict", "window_index"]
+        );
+
+        let (status, index) = http_get(addr, "/exemplars");
+        assert_eq!(status, 200);
+        let index = causeway_collector::json::parse(&index).expect("valid JSON");
+        assert_eq!(
+            json_keys(&index),
+            [
+                "admitted",
+                "approx_bytes",
+                "count",
+                "enabled",
+                "evicted",
+                "max_bytes",
+                "max_total",
+                "per_series",
+                "rejected",
+                "sample_per_series",
+                "series",
+            ]
+        );
+        let per_series = index.get("series").and_then(Json::as_arr).expect("series");
+        assert_eq!(json_keys(&per_series[0]), ["count", "exemplars", "iface", "method"]);
+        let summary = &per_series[0].get("exemplars").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(
+            json_keys(summary),
+            [
+                "chain",
+                "completed_calls",
+                "id",
+                "iface",
+                "latency_ns",
+                "method",
+                "verdict",
+                "window_index",
+            ]
+        );
+        let chain = summary.get("chain").and_then(Json::as_str).expect("uuid");
+
+        let (status, detail) = http_get(addr, &format!("/exemplars?id={chain}"));
+        assert_eq!(status, 200);
+        let detail = causeway_collector::json::parse(&detail).expect("valid JSON");
+        assert_eq!(
+            json_keys(&detail),
+            [
+                "ascii",
+                "chain",
+                "chrome_trace",
+                "completed_calls",
+                "dot",
+                "id",
+                "iface",
+                "latency_ns",
+                "method",
+                "verdict",
+                "window_index",
+            ]
+        );
+        assert!(detail.get("dot").and_then(Json::as_str).unwrap().contains("digraph"));
+
+        // Error paths: filtered index, bad uuid, unknown uuid.
+        let (status, _) = http_get(addr, "/exemplars?series=Test%3A%3AAlpha.run");
+        assert_eq!(status, 200);
+        let (status, _) = http_get(addr, "/exemplars?series=No%3A%3ASuch.thing");
+        assert_eq!(status, 404);
+        let (status, _) = http_get(addr, "/exemplars?id=not-a-uuid");
+        assert_eq!(status, 400);
+        let (status, _) = http_get(addr, &format!("/exemplars?id={}", Uuid(0xdead)));
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    /// The acceptance path, end to end over HTTP: a sustained regression
+    /// fires an alert whose exemplar uuid resolves at `/exemplars?id=` to a
+    /// DSCG render containing the injected operation — even after the FIFO
+    /// trace ring has churned far past `trace_capacity`.
+    #[test]
+    fn alert_exemplar_resolves_over_http_after_ring_churn() {
+        let cfg = LiveConfig { trace_capacity: 4, ..test_config() };
+        let m = Arc::new(LiveMonitor::new(cfg, test_vocab(), Deployment::default()));
+        m.add_rule(AlertRule {
+            name: "p95-high".to_owned(),
+            metric: AlertMetric::P95,
+            series: Some((InterfaceId(0), MethodIndex(0))),
+            cmp: AlertCmp::Above,
+            fire_threshold: 1_000_000.0,
+            resolve_threshold: 100_000.0,
+            for_windows: 2,
+            escalate: None,
+            deescalate: None,
+        });
+        let mut chain = 1u128;
+        for w in 0..4u64 {
+            let slow = if w < 2 { 10_000 } else { 5_000_000 };
+            m.ingest_batch_at(sync_call(chain, 0, 0, slow), w * WINDOW_NS + 5);
+            chain += 1;
+            // Fast decoy traffic churns the 4-slot FIFO ring every window.
+            for i in 0..8u64 {
+                m.ingest_batch_at(
+                    sync_call(1000 + chain + u128::from(i), 0, 1, 1_000),
+                    w * WINDOW_NS + 10 + i,
+                );
+            }
+            chain += 8;
+        }
+        m.tick_at(4 * WINDOW_NS);
+        // The alert has fired and published its exemplar uuids. Keep the
+        // regression sustained with *even slower* chains — without the
+        // alert-time pin these would displace the published exemplars from
+        // the fastest-first reservoir and break the uuid the operator saw.
+        for w in 4..7u64 {
+            for i in 0..4u64 {
+                m.ingest_batch_at(
+                    sync_call(chain, 0, 0, 6_000_000 + i * 100_000),
+                    w * WINDOW_NS + 5 + i,
+                );
+                chain += 1;
+            }
+        }
+        m.tick_at(7 * WINDOW_NS);
+
+        let server = serve(Arc::clone(&m), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let (status, alerts) = http_get(addr, "/alerts");
+        assert_eq!(status, 200);
+        let alerts = causeway_collector::json::parse(&alerts).expect("valid JSON");
+        let fired = alerts
+            .get("alerts")
+            .and_then(Json::as_arr)
+            .expect("log")
+            .iter()
+            .find(|e| e.get("fired").and_then(Json::as_bool) == Some(true))
+            .expect("alert fired")
+            .clone();
+        let refs = fired.get("exemplars").and_then(Json::as_arr).expect("refs");
+        let uuid = refs[0].as_str().expect("uuid string");
+        // The breaching chain is long gone from the FIFO ring…
+        let (_, recent) = http_get(addr, "/dscg");
+        assert!(!recent.contains(uuid), "ring must have churned: {recent}");
+        // …but the alert's exemplar still resolves to a full DSCG render
+        // naming the regressed operation.
+        let (status, detail) = http_get(addr, &format!("/exemplars?id={uuid}"));
+        assert_eq!(status, 200);
+        let detail = causeway_collector::json::parse(&detail).expect("valid JSON");
+        let ascii = detail.get("ascii").and_then(Json::as_str).expect("render");
+        assert!(ascii.contains("Test::Alpha.run"), "{ascii}");
         server.shutdown();
     }
 

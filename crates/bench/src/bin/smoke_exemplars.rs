@@ -1,0 +1,169 @@
+//! Smoke O5: tail-based exemplar capture must ride the ingest path for
+//! (almost) free.
+//!
+//! Feeds the same synthetic record stream — mostly fast calls with a
+//! sprinkling of slow tails, the shape that exercises reservoir admission
+//! and eviction hardest — through two otherwise-identical live monitors,
+//! one with the exemplar store enabled and one with it disabled, *in the
+//! same process*, and fails (nonzero exit, for CI) when the enabled run is
+//! more than 1.1× the disabled run.
+//!
+//! Absolute nanoseconds vary wildly across CI hosts; the ratio of the two
+//! runs on the same records does not. It also asserts the enabled store
+//! actually captured the injected slow chains, so the gate can never pass
+//! by silently measuring a no-op.
+//!
+//! ```text
+//! cargo run --release -p causeway-bench --bin smoke_exemplars
+//! ```
+
+use causeway_analyzer::live::{LiveConfig, LiveMonitor};
+use causeway_core::deploy::Deployment;
+use causeway_core::event::{CallKind, TraceEvent};
+use causeway_core::ids::{
+    InterfaceId, LogicalThreadId, MethodIndex, NodeId, ObjectId, ProcessId,
+};
+use causeway_core::names::{InterfaceEntry, VocabSnapshot};
+use causeway_core::record::{CallSite, FunctionKey, ProbeRecord};
+use causeway_core::uuid::Uuid;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// The exemplar-enabled run may be at most this multiple of the disabled
+/// run: admission is one comparison per completion, eviction a scan of a
+/// handful of retained entries.
+const MAX_RATIO: f64 = 1.10;
+const TRIALS: usize = 7;
+const WINDOW_NS: u64 = 1_000_000_000;
+const WINDOWS: u64 = 40;
+const CHAINS_PER_WINDOW: u64 = 250;
+/// Every Nth chain is a slow tail call that belongs in the reservoir.
+const SLOW_EVERY: u64 = 25;
+
+fn record(
+    chain: u128,
+    seq: u64,
+    event: TraceEvent,
+    method: u16,
+    wall: (u64, u64),
+) -> ProbeRecord {
+    ProbeRecord {
+        uuid: Uuid(chain),
+        seq,
+        event,
+        kind: CallKind::Sync,
+        site: CallSite { node: NodeId(0), process: ProcessId(0), thread: LogicalThreadId(0) },
+        func: FunctionKey::new(InterfaceId(0), MethodIndex(method), ObjectId(1)),
+        wall_start: Some(wall.0),
+        wall_end: Some(wall.1),
+        cpu_start: None,
+        cpu_end: None,
+        oneway_child: None,
+        oneway_parent: None,
+    }
+}
+
+/// One window's batch: `CHAINS_PER_WINDOW` complete sync calls,
+/// interleaved record-by-record, with an injected slow tail every
+/// `SLOW_EVERY` chains.
+fn window_batch(window: u64) -> Vec<ProbeRecord> {
+    let chains: Vec<Vec<ProbeRecord>> = (0..CHAINS_PER_WINDOW)
+        .map(|c| {
+            let chain = u128::from(window * CHAINS_PER_WINDOW + c + 1);
+            let slow = c % SLOW_EVERY == 0;
+            let (method, latency) = if slow { (1, 5_000_000) } else { (0, 10_000 + c * 7) };
+            vec![
+                record(chain, 1, TraceEvent::StubStart, method, (0, 1)),
+                record(chain, 2, TraceEvent::SkelStart, method, (2, 3)),
+                record(chain, 3, TraceEvent::SkelEnd, method, (3 + latency, 4 + latency)),
+                record(chain, 4, TraceEvent::StubEnd, method, (5 + latency, 6 + latency)),
+            ]
+        })
+        .collect();
+    let mut batch = Vec::with_capacity(chains.len() * 4);
+    for i in 0..4 {
+        for chain in &chains {
+            batch.push(chain[i].clone());
+        }
+    }
+    batch
+}
+
+fn vocab() -> VocabSnapshot {
+    VocabSnapshot {
+        interfaces: vec![InterfaceEntry {
+            name: "Svc::Api".to_owned(),
+            methods: vec!["serve".to_owned(), "inject".to_owned()],
+        }],
+        components: vec![],
+        cpu_types: vec![],
+        objects: vec![],
+    }
+}
+
+fn monitor(exemplars_enabled: bool) -> LiveMonitor {
+    let mut config =
+        LiveConfig { window: Duration::from_nanos(WINDOW_NS), ..LiveConfig::default() };
+    config.exemplars.enabled = exemplars_enabled;
+    LiveMonitor::new(config, vocab(), Deployment::default())
+}
+
+/// Nanoseconds per completed call for one full ingest run over a fresh
+/// monitor. Returns the monitor too so the caller can sanity-check it.
+fn trial(batches: &[Vec<ProbeRecord>], exemplars_enabled: bool) -> (f64, LiveMonitor) {
+    let m = monitor(exemplars_enabled);
+    let base = 1u64 << 30; // past process uptime, so ticks cannot interfere
+    let started = Instant::now();
+    for (w, batch) in batches.iter().enumerate() {
+        m.ingest_batch_at(black_box(batch.clone()), (base + w as u64) * WINDOW_NS + 5);
+    }
+    let elapsed = started.elapsed().as_nanos() as f64;
+    (elapsed / (WINDOWS * CHAINS_PER_WINDOW) as f64, m)
+}
+
+fn best_of(batches: &[Vec<ProbeRecord>], exemplars_enabled: bool) -> f64 {
+    (0..TRIALS)
+        .map(|_| trial(batches, exemplars_enabled).0)
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() -> ExitCode {
+    let batches: Vec<Vec<ProbeRecord>> = (0..WINDOWS).map(window_batch).collect();
+
+    // Warm-up, plus the can't-measure-a-no-op check: the enabled store must
+    // have admitted exemplars for both the steady series and the slow tail.
+    let (_, warm) = trial(&batches, true);
+    let index = warm.exemplars_json(None).expect("unfiltered index renders");
+    let retained = index.get("count").and_then(|c| c.as_u64()).unwrap_or(0);
+    assert!(retained > 0, "enabled run retained no exemplars: {index}");
+    assert!(
+        index.to_string().contains("inject"),
+        "the injected slow series must be represented: {index}"
+    );
+    let (_, cold) = trial(&batches, false);
+    assert_eq!(
+        cold.exemplars_json(None).expect("index").get("count").and_then(|c| c.as_u64()),
+        Some(0),
+        "disabled run must capture nothing"
+    );
+
+    let disabled_ns = best_of(&batches, false);
+    let enabled_ns = best_of(&batches, true);
+    let ratio = enabled_ns / disabled_ns;
+
+    println!(
+        "live ingest, best of {TRIALS}×{} completions:",
+        WINDOWS * CHAINS_PER_WINDOW
+    );
+    println!("  exemplars disabled: {disabled_ns:.1} ns/call");
+    println!("  exemplars enabled:  {enabled_ns:.1} ns/call ({retained} retained)");
+    println!("  ratio:              {ratio:.3}× (budget {MAX_RATIO:.2}×)");
+
+    if ratio > MAX_RATIO {
+        eprintln!("FAIL: exemplar capture {ratio:.3}× exceeds the {MAX_RATIO:.2}× budget");
+        return ExitCode::FAILURE;
+    }
+    println!("OK");
+    ExitCode::SUCCESS
+}

@@ -460,7 +460,7 @@ impl MetricsRegistry {
                 Some(series) => series.kind(),
                 None => continue,
             };
-            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
             let _ = writeln!(out, "# TYPE {name} {kind}");
             for (labels, series) in &family.series {
                 match series {
@@ -717,6 +717,13 @@ impl OpMetrics {
     }
 }
 
+/// Prometheus exposition-format escaping for `# HELP` text: backslashes
+/// and line feeds must be escaped so multi-line help strings cannot break
+/// the line-oriented scrape format.
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 fn braced(labels: &str) -> String {
     if labels.is_empty() { String::new() } else { format!("{{{labels}}}") }
 }
@@ -785,6 +792,29 @@ mod tests {
         let text = registry.render_prometheus();
         assert!(text.contains("lbl_total{engine=\"pool\"} 2"), "{text}");
         assert!(text.contains("lbl_total{engine=\"sta\"} 5"), "{text}");
+    }
+
+    #[test]
+    fn exposition_carries_type_and_escaped_help_per_family() {
+        let _shared = FLAG.read().unwrap();
+        let registry = MetricsRegistry::new();
+        registry.counter("shape_total", "line one\nline two with a \\ backslash").inc();
+        registry.gauge("shape_depth", "plain help").set(3);
+        let text = registry.render_prometheus();
+        // Every family leads with its metadata, in HELP-then-TYPE order.
+        assert!(
+            text.contains(
+                "# HELP shape_total line one\\nline two with a \\\\ backslash\n# TYPE shape_total counter\nshape_total 1\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP shape_depth plain help\n# TYPE shape_depth gauge\nshape_depth 3\n"),
+            "{text}"
+        );
+        // Escaping keeps the exposition line-oriented: the raw newline in
+        // the help string must not have produced a non-comment line.
+        assert!(!text.lines().any(|l| l.starts_with("line two")), "{text}");
     }
 
     #[test]

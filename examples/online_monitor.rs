@@ -22,7 +22,11 @@
 //! * `GET /dscg[?chain=UUID&format=dot]` — recently completed chains,
 //!   rendered as ascii call trees or Graphviz
 //! * `GET /trace` — Chrome trace of the last window
-//! * `GET /alerts` — the bounded alert-transition log, JSON
+//! * `GET /alerts` — the bounded alert-transition log, JSON; firing
+//!   transitions carry the breach-window exemplar uuids
+//! * `GET /exemplars[?series=..|?id=UUID]` — tail-biased exemplar store:
+//!   index of retained slow/abnormal/sampled chains per series, or one
+//!   exemplar's DSCG ascii/dot render + Chrome-trace slice view
 //! * `GET /incidents[?id=N]` — incident forensics: index, or one
 //!   incident's add-only hypothesis graph (timeline + tombstones +
 //!   query-time surviving set)
@@ -83,6 +87,8 @@ struct Args {
     incident_top: Option<usize>,
     incident_floor: Option<f64>,
     probes: Vec<(String, ProbeMode)>,
+    exemplars: Option<usize>,
+    exemplar_spill: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -101,6 +107,8 @@ fn parse_args() -> Args {
         incident_top: None,
         incident_floor: None,
         probes: Vec::new(),
+        exemplars: None,
+        exemplar_spill: None,
     };
     let mut argv = std::env::args().skip(1);
     let need = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -172,6 +180,16 @@ fn parse_args() -> Args {
                     });
                 args.incident_floor = Some(floor.clamp(0.0, 0.99));
             }
+            "--exemplars" => {
+                let k: usize = need(&mut argv, "--exemplars").parse().unwrap_or_else(|_| {
+                    eprintln!("--exemplars takes a per-series tail depth (0 disables)");
+                    std::process::exit(2);
+                });
+                args.exemplars = Some(k);
+            }
+            "--exemplar-spill" => {
+                args.exemplar_spill = Some(PathBuf::from(need(&mut argv, "--exemplar-spill")));
+            }
             "--probe" => {
                 let spec = need(&mut argv, "--probe");
                 let Some((iface, mode)) = spec.split_once('=') else {
@@ -190,7 +208,7 @@ fn parse_args() -> Args {
                      --shards N --alert RULE --burn RULE --history WINDOWS \
                      --segment PATH --spill PATH --duration SECS --jobs N \
                      --no-incidents --incident-top N --incident-floor SHARE \
-                     --probe IFACE=MODE"
+                     --probe IFACE=MODE --exemplars K --exemplar-spill PATH"
                 );
                 std::process::exit(2);
             }
@@ -235,6 +253,17 @@ fn main() {
     if let Some(floor) = args.incident_floor {
         config.incidents.stack_share_floor = floor;
     }
+    // Tail-biased exemplar capture: `--exemplars 0` disables it entirely,
+    // any other K deepens the per-series tail ring; `--exemplar-spill`
+    // keeps the retained exemplars on disk across restarts.
+    if let Some(k) = args.exemplars {
+        if k == 0 {
+            config.exemplars.enabled = false;
+        } else {
+            config.exemplars.per_series = k;
+        }
+    }
+    config.exemplars.spill = args.exemplar_spill.clone();
 
     // The adaptive control plane shares the running system's probe policy:
     // a firing `escalate=` rule or a `POST /probes` override hot-swaps the
@@ -296,8 +325,8 @@ fn main() {
         });
         println!(
             "serving /metrics /healthz /chains /latency /flamegraph \
-             /flamegraph/diff /history /dscg /trace /alerts /incidents \
-             /probes on http://{}",
+             /flamegraph/diff /history /dscg /trace /alerts /exemplars \
+             /incidents /probes on http://{}",
             server.local_addr()
         );
         server

@@ -173,6 +173,11 @@ struct Fingerprint {
     sliding: String,
     alerts: Vec<(String, bool, u64, String, String)>,
     incidents: Vec<String>,
+    /// The full exemplar index plus every retained exemplar's detail
+    /// render (DSCG ascii/dot and the Chrome-trace slices) — admission,
+    /// eviction, and id assignment must all replay identically.
+    exemplars: String,
+    exemplar_details: Vec<String>,
 }
 
 fn fingerprint(monitor: &LiveMonitor) -> Fingerprint {
@@ -194,6 +199,18 @@ fn fingerprint(monitor: &LiveMonitor) -> Fingerprint {
             scrub_ms(monitor.incident_json(id).expect("listed incident renders")).to_string()
         })
         .collect();
+    let exemplar_index = monitor.exemplars_json(None).expect("no series filter");
+    let exemplar_details = exemplar_index
+        .get("series")
+        .and_then(Json::as_arr)
+        .expect("series array")
+        .iter()
+        .flat_map(|s| s.get("exemplars").and_then(Json::as_arr).expect("ring").iter())
+        .map(|e| {
+            let chain = e.get("chain").and_then(Json::as_str).expect("uuid");
+            monitor.exemplar_detail_json(chain).expect("listed exemplar renders").to_string()
+        })
+        .collect();
     Fingerprint {
         total_completed: monitor.total_completed(),
         total_abnormalities: monitor.total_abnormalities(),
@@ -205,6 +222,8 @@ fn fingerprint(monitor: &LiveMonitor) -> Fingerprint {
         sliding: format!("{:?}", monitor.sliding()),
         alerts,
         incidents,
+        exemplars: exemplar_index.to_string(),
+        exemplar_details,
     }
 }
 
@@ -238,6 +257,11 @@ fn sharded_monitor_is_bit_identical_to_serial_at_any_shard_count() {
     );
     assert!(!serial.incidents.is_empty(), "the burn firing auto-opened an incident");
     assert!(serial.folded_stacks.contains("Svc::Api.inject"), "folds name the regression");
+    assert!(!serial.exemplar_details.is_empty(), "the run retained exemplars");
+    assert!(
+        serial.exemplar_details.iter().any(|d| d.contains("Svc::Api.inject")),
+        "the regressed chains survive as exemplars"
+    );
 
     for shards in [2usize, 8] {
         let sharded = run_at(shards);
